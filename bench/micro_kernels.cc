@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the software kernels: compact vs
+ * naive TT inference, dense GEMV, the two Transform implementations
+ * (index-map vs the paper's literal 4-step), the fixed-point GEMM, and
+ * TT-SVD. These measure host wall-clock, complementing the simulator's
+ * cycle counts.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/workloads.hh"
+#include "linalg/svd.hh"
+#include "tt/cost_model.hh"
+#include "tt/tt_infer.hh"
+#include "tt/tt_svd.hh"
+
+using namespace tie;
+
+namespace {
+
+TtLayerConfig
+smallLayer()
+{
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4};
+    cfg.n = {4, 8, 8};
+    cfg.r = {1, 4, 4, 1};
+    return cfg;
+}
+
+void
+BM_CompactInfer_Small(benchmark::State &state)
+{
+    Rng rng(1);
+    TtMatrix tt = TtMatrix::random(smallLayer(), rng);
+    std::vector<double> x(smallLayer().inSize(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compactInferVec(tt, x));
+}
+BENCHMARK(BM_CompactInfer_Small);
+
+void
+BM_NaiveInfer_Small(benchmark::State &state)
+{
+    Rng rng(1);
+    TtMatrix tt = TtMatrix::random(smallLayer(), rng);
+    std::vector<double> x(smallLayer().inSize(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(naiveInfer(tt, x));
+}
+BENCHMARK(BM_NaiveInfer_Small);
+
+void
+BM_DenseGemv_Small(benchmark::State &state)
+{
+    Rng rng(1);
+    TtMatrix tt = TtMatrix::random(smallLayer(), rng);
+    MatrixD w = tt.toDense();
+    std::vector<double> x(smallLayer().inSize(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matVec(w, x));
+}
+BENCHMARK(BM_DenseGemv_Small);
+
+void
+BM_CompactInfer_VggFc6(benchmark::State &state)
+{
+    Rng rng(2);
+    TtMatrix tt = TtMatrix::random(workloads::vggFc6(), rng);
+    std::vector<double> x(workloads::vggFc6().inSize(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compactInferVec(tt, x));
+    state.SetItemsProcessed(state.iterations() *
+                            multCompact(workloads::vggFc6()));
+}
+BENCHMARK(BM_CompactInfer_VggFc6);
+
+void
+BM_Transform_IndexMap(benchmark::State &state)
+{
+    TtLayerConfig cfg = workloads::vggFc6();
+    const size_t h = 4;
+    TransformSpec spec = makeStageTransform(cfg, h);
+    Rng rng(3);
+    MatrixD v(spec.rows_in, spec.cols_in);
+    v.setNormal(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(applyTransform(spec, v));
+}
+BENCHMARK(BM_Transform_IndexMap);
+
+void
+BM_Transform_FourStep(benchmark::State &state)
+{
+    TtLayerConfig cfg = workloads::vggFc6();
+    const size_t h = 4;
+    Rng rng(3);
+    MatrixD v(cfg.coreRows(h), cfg.stageCols(h));
+    v.setNormal(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transformFourStep(cfg, h, v));
+}
+BENCHMARK(BM_Transform_FourStep);
+
+void
+BM_FxpMatmul(benchmark::State &state)
+{
+    const size_t n = state.range(0);
+    Rng rng(4);
+    MatrixF wf(n, n), xf(n, n);
+    wf.setUniform(rng, -1, 1);
+    xf.setUniform(rng, -1, 1);
+    MacFormat fmt;
+    auto w = quantizeMatrix(wf, fmt.weight);
+    auto x = quantizeMatrix(xf, fmt.act_in);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fxpMatmul(w, x, fmt));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_FxpMatmul)->Arg(16)->Arg(64);
+
+void
+BM_TtSvd(benchmark::State &state)
+{
+    Rng rng(5);
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4};
+    cfg.n = {4, 4, 4};
+    cfg.r = {1, 4, 4, 1};
+    MatrixD w(cfg.outSize(), cfg.inSize());
+    w.setNormal(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ttSvdMatrix(w, cfg));
+}
+BENCHMARK(BM_TtSvd);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates the Sec.-3.1 redundancy analysis: for each benchmark
+ * layer, the naive scheme's multiplication count (Eqn. 3), the
+ * theoretical minimum (Eqn. 7), the compact scheme's actual count, and
+ * the resulting redundancy ratios — including the paper's "~1000x for
+ * the d=6, r=4 VGG layer" observation.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/workloads.hh"
+#include "tt/cost_model.hh"
+
+using namespace tie;
+
+int
+main()
+{
+    std::cout << "== Sec. 3.1: computational redundancy of TT-format "
+                 "inference ==\n\n";
+
+    TextTable t("multiplication counts per inference");
+    t.header({"layer", "naive (Eqn.3)", "minimum (Eqn.7)",
+              "compact (Alg.1)", "naive/min", "compact/min",
+              "dense/compact"});
+
+    for (const auto &b : workloads::table4Benchmarks()) {
+        const double naive = double(multNaive(b.config));
+        const double mini = double(multTheoreticalMin(b.config));
+        const double comp = double(multCompact(b.config));
+        const double dense = double(multDense(b.config));
+        t.row({b.name, TextTable::num(naive, 0),
+               TextTable::num(mini, 0), TextTable::num(comp, 0),
+               TextTable::ratio(naive / mini, 0),
+               TextTable::ratio(comp / mini, 2),
+               TextTable::ratio(dense / comp, 1)});
+    }
+    t.print();
+
+    std::cout
+        << "\npaper quote check: for the d=6, r=4 VGG FC layer the "
+           "naive scheme needs ~1073x the minimum; our exact\n"
+           "evaluation of Eqns. 3/7 on VGG-FC7 gives "
+        << TextTable::ratio(double(multNaive(workloads::vggFc7())) /
+                                double(multTheoreticalMin(
+                                    workloads::vggFc7())),
+                            0)
+        << " (FC6, whose n-factors differ, gives "
+        << TextTable::ratio(double(multNaive(workloads::vggFc6())) /
+                                double(multTheoreticalMin(
+                                    workloads::vggFc6())),
+                            0)
+        << ").\n\n";
+
+    // The paper's second claim (Sec. 1): "the multi-stage processing
+    // scheme reduces the intensive memory access to all tensor cores".
+    TextTable m("tensor-core (weight) memory accesses per inference");
+    m.header({"layer", "naive scheme", "TIE schedule",
+              "ideal (each element once)", "naive/scheduled"});
+    for (const auto &b : workloads::table4Benchmarks()) {
+        const double naive = double(weightAccessesNaive(b.config));
+        const double sched =
+            double(weightAccessesScheduled(b.config, 16, 16));
+        m.row({b.name, TextTable::num(naive, 0),
+               TextTable::num(sched, 0),
+               TextTable::num(double(weightAccessesCompactIdeal(
+                                  b.config)),
+                              0),
+               TextTable::ratio(naive / sched, 0)});
+    }
+    m.print();
+    std::cout << "\n";
+
+    // Per-stage compact breakdown for FC6 (the multi-stage processing
+    // Sec. 3.2 describes).
+    TextTable s("compact-scheme per-stage multiplies (VGG-FC6)");
+    s.header({"stage (core h)", "G~ shape", "operand cols",
+              "multiplies"});
+    const TtLayerConfig fc6 = workloads::vggFc6();
+    auto per = multCompactPerStage(fc6);
+    size_t idx = 0;
+    for (size_t h = fc6.d(); h >= 1; --h, ++idx) {
+        s.row({std::to_string(h),
+               std::to_string(fc6.coreRows(h)) + " x " +
+                   std::to_string(fc6.coreCols(h)),
+               std::to_string(fc6.stageCols(h)),
+               std::to_string(per[idx])});
+    }
+    s.print();
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Regenerates paper Tables 1-3: compression ratios of the TT-format
+ * models (FC-dominated CNN, CONV-dominated CNN, TT-LSTM/GRU).
+ *
+ * The CR columns are exact analytic reproductions from the papers'
+ * published TT settings (Sec. 2.3). The accuracy columns of the
+ * original tables come from ImageNet / CIFAR-10 / Youtube-Faces runs
+ * that need the real datasets; the repository's examples reproduce the
+ * qualitative accuracy claims on synthetic data (see
+ * examples/image_classification and examples/video_classification, and
+ * EXPERIMENTS.md).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/workloads.hh"
+
+using namespace tie;
+
+int
+main()
+{
+    std::cout << "== Tables 1-3: TT compression ratios ==\n\n";
+
+    // ---- Table 1: FC-dominated CNN (VGG-16) ----
+    {
+        auto fcs = workloads::fcDominatedCnnLayers();
+        auto b = workloads::vgg16Params();
+        size_t tt_fc = 0;
+        for (const auto &cfg : fcs)
+            tt_fc += cfg.ttParamCount();
+
+        const double fc_dense = double(b.fc6 + b.fc7 + b.fc8);
+        const double fc_tt = double(tt_fc + b.fc8);
+        const double total_dense = fc_dense + double(b.conv_params);
+        const double total_tt = fc_tt + double(b.conv_params);
+
+        TextTable t("Table 1 — FC-dominated CNN on ImageNet (VGG-16)");
+        t.header({"model", "CR for FC layers", "CR overall", "paper"});
+        t.row({"VGG-16 (baseline)", "1x", "1x", "1x / 1x"});
+        t.row({"TT-VGG-16", TextTable::ratio(fc_dense / fc_tt, 1),
+               TextTable::ratio(total_dense / total_tt, 1),
+               "30.9x / 7.4x"});
+        t.print();
+        std::cout << "\n";
+    }
+
+    // ---- Table 2: CONV-dominated CNN (CIFAR-10) ----
+    {
+        auto layers = workloads::convDominatedCnnLayers();
+        size_t dense = 0, tt = 0;
+        for (const auto &cfg : layers) {
+            dense += cfg.denseParamCount();
+            tt += cfg.ttParamCount();
+        }
+        const double other =
+            double(workloads::convDominatedCnnOtherParams());
+
+        TextTable t("Table 2 — CONV-dominated CNN on CIFAR-10");
+        t.header({"model", "CR for CONV layers", "CR overall",
+                  "paper"});
+        t.row({"CNN (baseline)", "1x", "1x", "1x / 1x"});
+        t.row({"TT-CNN",
+               TextTable::ratio(double(dense) / double(tt), 2),
+               TextTable::ratio((dense + other) / (tt + other), 2),
+               "3.3x / 3.27x"});
+        t.print();
+
+        TextTable d("  per-layer TT settings (Sec. 2.3)");
+        d.header({"layer", "config", "CR"});
+        for (size_t i = 0; i < layers.size(); ++i)
+            d.row({"CONV " + std::to_string(i + 2),
+                   layers[i].toString(),
+                   TextTable::ratio(layers[i].compressionRatio(), 1)});
+        d.print();
+        std::cout << "\n";
+    }
+
+    // ---- Table 3: TT-LSTM / TT-GRU ----
+    {
+        TextTable t("Table 3 — RNNs on Youtube Celebrities Faces");
+        t.header({"model", "input-to-hidden CR", "paper CR",
+                  "overall CR", "paper overall"});
+        struct Row
+        {
+            const char *name;
+            size_t gates;
+            const char *paper_fc;
+            const char *paper_all;
+        };
+        for (const Row &r :
+             {Row{"TT-LSTM", 4, "15283x", "196x"},
+              Row{"TT-GRU", 3, "11683x", "195x"}}) {
+            TtLayerConfig cfg = workloads::rnnInputToHidden(r.gates);
+            // Overall: input-to-hidden dominates; hidden-to-hidden
+            // (gates*H*H) and the classifier stay dense.
+            const double h = 256.0;
+            const double dense_total =
+                double(cfg.denseParamCount()) + r.gates * h * h;
+            const double tt_total =
+                double(cfg.ttParamCount()) + r.gates * h * h;
+            t.row({r.name,
+                   TextTable::ratio(cfg.compressionRatio(), 0),
+                   r.paper_fc,
+                   TextTable::ratio(dense_total / tt_total, 0),
+                   r.paper_all});
+        }
+        t.print();
+        std::cout << "\n(accuracy columns: see the examples — the "
+                     "synthetic-data reproduction of the TT >> plain "
+                     "RNN effect lives in "
+                     "examples/video_classification)\n";
+    }
+    return 0;
+}

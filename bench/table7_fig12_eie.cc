@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Regenerates paper Table 7 and Fig. 12: TIE vs EIE on VGG-FC6 and
+ * VGG-FC7. TIE latency comes from the cycle-accurate simulator
+ * running real quantised data; EIE latency comes from the 64-PE sparse
+ * pipeline model on workloads with Deep-Compression-style densities;
+ * EIE's silicon area/power are the reported numbers projected to 28 nm
+ * with the paper's rules (frequency linear, area quadratic, power
+ * constant).
+ */
+
+#include <iostream>
+
+#include "arch/tie_sim.hh"
+#include "baselines/eie/eie_model.hh"
+#include "common/table.hh"
+#include "core/workloads.hh"
+
+using namespace tie;
+
+int
+main()
+{
+    std::cout << "== Table 7 + Fig. 12: TIE vs EIE ==\n\n";
+
+    TieArchConfig tie_cfg;
+    TechModel tech = TechModel::cmos28();
+    TieSimulator tie_sim(tie_cfg, tech);
+    const double tie_area = TieFloorplan::build(tie_cfg, tech)
+                                .totalAreaMm2();
+
+    EieModel eie;
+    const EieConfig &ec = eie.config();
+
+    TextTable t7("Table 7 — design parameters (28 nm)");
+    t7.header({"design", "freq MHz", "area mm2", "power mW",
+               "quantisation"});
+    t7.row({"EIE (projected)", TextTable::num(ec.projectedFreqMhz(), 0),
+            TextTable::num(ec.projectedAreaMm2(), 1),
+            TextTable::num(ec.projectedPowerMw(), 0),
+            "4-bit idx + 16-bit shared"});
+    t7.row({"TIE", TextTable::num(tie_cfg.freq_mhz, 0),
+            TextTable::num(tie_area, 2), "(measured per workload)",
+            "16-bit"});
+    t7.print();
+    std::cout << "\n";
+
+    Rng rng(12);
+    TextTable f("Fig. 12 — per-workload comparison");
+    f.header({"workload", "design", "latency us", "GOPS", "GOPS/W",
+              "GOPS/mm2"});
+
+    struct Ratios
+    {
+        double thr, area_eff, energy_eff;
+    };
+    std::vector<std::pair<std::string, Ratios>> summary;
+
+    for (const auto &w : workloads::eieWorkloads()) {
+        // ---- TIE on the matching TT layer ----
+        const TtLayerConfig layer =
+            w.name == "VGG-FC6" ? workloads::vggFc6()
+                                : workloads::vggFc7();
+        TtMatrix tt = TtMatrix::random(layer, rng);
+        TtMatrixFxp ttq =
+            TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+        MatrixF xf(layer.inSize(), 1);
+        xf.setUniform(rng, -1, 1);
+        TieSimResult res =
+            tie_sim.runLayer(ttq, quantizeMatrix(xf, FxpFormat{16, 8}));
+        PerfReport tp = makePerfReport(res.stats, layer.outSize(),
+                                       layer.inSize(), tie_cfg, tech);
+
+        // ---- EIE on the pruned sparse twin ----
+        CscMatrix csc =
+            randomCsc(w.rows, w.cols, w.weight_density, rng);
+        std::vector<float> x =
+            randomSparseActivations(w.cols, w.act_density, rng);
+        EieRunResult er = eie.run(csc, x);
+
+        const double eie_freq = ec.projectedFreqMhz();
+        const double eie_lat = er.latencyUs(eie_freq);
+        const double dense_ops = 2.0 * double(w.rows) * double(w.cols);
+        const double eie_gops = dense_ops / (eie_lat * 1e3);
+        const double eie_gops_w =
+            eie_gops / (ec.projectedPowerMw() / 1000.0);
+        const double eie_gops_mm2 = eie_gops / ec.projectedAreaMm2();
+
+        f.row({w.name, "EIE", TextTable::num(eie_lat, 2),
+               TextTable::num(eie_gops, 0),
+               TextTable::num(eie_gops_w, 0),
+               TextTable::num(eie_gops_mm2, 0)});
+        f.row({"", "TIE", TextTable::num(tp.latency_us, 2),
+               TextTable::num(tp.effective_gops, 0),
+               TextTable::num(tp.gopsPerWatt(), 0),
+               TextTable::num(tp.gopsPerMm2(), 0)});
+
+        summary.push_back(
+            {w.name,
+             {tp.effective_gops / eie_gops,
+              tp.gopsPerMm2() / eie_gops_mm2,
+              tp.gopsPerWatt() / eie_gops_w}});
+    }
+    f.print();
+    std::cout << "\n";
+
+    TextTable s("TIE / EIE ratios (paper: throughput comparable, "
+                "area eff 7.22x-10.66x, energy eff 3.03x-4.48x)");
+    s.header({"workload", "throughput", "area efficiency",
+              "energy efficiency"});
+    for (const auto &[name, r] : summary)
+        s.row({name, TextTable::ratio(r.thr, 2),
+               TextTable::ratio(r.area_eff, 2),
+               TextTable::ratio(r.energy_eff, 2)});
+    s.print();
+    std::cout << "\n";
+
+    // Where EIE's power goes (event-driven estimate; the EIE paper
+    // reports only the 590 mW total): clocking 64 sparse PEs dominates,
+    // which is the structural reason TIE's dense array wins on energy
+    // per effective op.
+    {
+        const auto w = workloads::eieWorkloads()[0];
+        CscMatrix csc =
+            randomCsc(w.rows, w.cols, w.weight_density, rng);
+        std::vector<float> x =
+            randomSparseActivations(w.cols, w.act_density, rng);
+        EieRunResult er = eie.run(csc, x);
+        EiePowerBreakdown p = eie.estimatePower(er);
+        TextTable e("EIE power breakdown on VGG-FC6 (modeled; "
+                    "reported total: 590 mW)");
+        e.header({"clock mW", "memory mW", "compute mW", "total mW"});
+        e.row({TextTable::num(p.clock_mw, 0),
+               TextTable::num(p.memory_mw, 0),
+               TextTable::num(p.compute_mw, 0),
+               TextTable::num(p.totalMw(), 0)});
+        e.print();
+    }
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Regenerates paper Table 8: TIE vs CIRCNN at synthesis level
+ * (throughput in TOPS and energy efficiency in TOPS/W). CIRCNN's
+ * numbers come from its FFT-pipeline model calibrated to the MICRO'17
+ * synthesis report and projected 45 nm -> 28 nm; TIE's throughput is
+ * the mean effective TOPS the cycle-accurate simulator measures over
+ * the four benchmark layers. Table 8 compares synthesis reports, so
+ * TIE's synthesis-level column strips the place-and-route additions
+ * (the layout "other" area and the clock-tree estimate) from the
+ * layout numbers — see EXPERIMENTS.md.
+ */
+
+#include <iostream>
+
+#include "arch/tie_sim.hh"
+#include "baselines/circnn/circnn_model.hh"
+#include "common/table.hh"
+#include "core/workloads.hh"
+
+using namespace tie;
+
+int
+main()
+{
+    std::cout << "== Table 8: TIE vs CIRCNN (synthesis level) ==\n\n";
+
+    TieArchConfig cfg;
+    TechModel tech = TechModel::cmos28();
+    TieSimulator sim(cfg, tech);
+
+    // Measured TIE throughput + power over the benchmark suite.
+    Rng rng(13);
+    double tops_sum = 0.0;
+    double layout_power_sum = 0.0;
+    double synth_power_sum = 0.0;
+    size_t n = 0;
+    for (const auto &b : workloads::table4Benchmarks()) {
+        TtMatrix tt = TtMatrix::random(b.config, rng);
+        TtMatrixFxp ttq =
+            TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+        MatrixF xf(b.config.inSize(), 1);
+        xf.setUniform(rng, -1, 1);
+        TieSimResult res =
+            sim.runLayer(ttq, quantizeMatrix(xf, FxpFormat{16, 8}));
+        PerfReport perf =
+            makePerfReport(res.stats, b.config.outSize(),
+                           b.config.inSize(), cfg, tech);
+        tops_sum += perf.effective_gops / 1000.0;
+        PowerReport p = computePower(res.stats, cfg, tech);
+        layout_power_sum += p.totalMw();
+        // Synthesis-level: pre-layout netlist power (no clock tree).
+        synth_power_sum += p.totalMw() - p.clock_mw;
+        ++n;
+    }
+    const double tie_tops = tops_sum / n;
+    const double tie_layout_mw = layout_power_sum / n;
+    const double tie_synth_mw = synth_power_sum / n;
+
+    TieFloorplan fp = TieFloorplan::build(cfg, tech);
+    const double tie_synth_area = fp.totalAreaMm2() - fp.area_other_mm2;
+
+    // CIRCNN model at reported and projected nodes.
+    CircnnModel circnn;
+    const CircnnConfig &cc = circnn.config();
+    const double circ_tops_45 =
+        circnn.effectiveTops(4096, 4096, cc.freq_mhz);
+    const double circ_tops_28 =
+        circnn.effectiveTops(4096, 4096, cc.projectedFreqMhz());
+    const double circ_eff_45 = circ_tops_45 / (cc.power_mw / 1000.0);
+    const double circ_eff_28 =
+        circ_tops_28 / (cc.projectedPowerMw() / 1000.0);
+
+    TextTable t("Table 8 — CIRCNN vs TIE");
+    t.header({"design", "tech", "freq MHz", "power mW",
+              "throughput TOPS", "energy eff TOPS/W"});
+    t.row({"CIRCNN (reported)", "45 nm", TextTable::num(cc.freq_mhz, 0),
+           TextTable::num(cc.power_mw, 0),
+           TextTable::num(circ_tops_45, 2),
+           TextTable::num(circ_eff_45, 1)});
+    t.row({"CIRCNN (projected)", "28 nm",
+           TextTable::num(cc.projectedFreqMhz(), 0),
+           TextTable::num(cc.projectedPowerMw(), 0),
+           TextTable::num(circ_tops_28, 2),
+           TextTable::num(circ_eff_28, 1)});
+    t.row({"TIE (synthesis)", "28 nm", TextTable::num(cfg.freq_mhz, 0),
+           TextTable::num(tie_synth_mw, 1), TextTable::num(tie_tops, 2),
+           TextTable::num(tie_tops / (tie_synth_mw / 1000.0), 1)});
+    t.row({"TIE (with layout)", "28 nm", TextTable::num(cfg.freq_mhz, 0),
+           TextTable::num(tie_layout_mw, 1),
+           TextTable::num(tie_tops, 2),
+           TextTable::num(tie_tops / (tie_layout_mw / 1000.0), 1)});
+    t.print();
+
+    std::cout << "\nTIE synthesis-level area: "
+              << TextTable::num(tie_synth_area, 2)
+              << " mm^2 (paper Table 8: 1.40 mm^2)\n";
+    std::cout << "ratios vs projected CIRCNN: throughput "
+              << TextTable::ratio(tie_tops / circ_tops_28, 2)
+              << " (paper 5.96x), energy efficiency "
+              << TextTable::ratio(tie_tops / (tie_synth_mw / 1000.0) /
+                                      circ_eff_28,
+                                  2)
+              << " (paper 4.56x)\n";
+    return 0;
+}

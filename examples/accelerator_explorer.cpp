@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design-space exploration over the TIE hardware parameters: sweep the
+ * PE array geometry and clock, and print the latency / power / area /
+ * efficiency frontier on the paper's benchmark layers. This is the
+ * kind of study Sec. 5.4 ("Flexibility") gestures at, taken further.
+ */
+
+#include <iostream>
+
+#include "arch/tie_sim.hh"
+#include "common/table.hh"
+#include "core/tie_engine.hh"
+#include "core/workloads.hh"
+
+using namespace tie;
+
+int
+main()
+{
+    std::cout << "== TIE design-space explorer ==\n"
+              << "workload: VGG-FC6 ("
+              << workloads::vggFc6().toString() << ")\n\n";
+
+    const TtLayerConfig layer = workloads::vggFc6();
+    const TechModel tech = TechModel::cmos28();
+
+    TextTable t("PE-array sweep @ 1 GHz (analytic, conflict-checked)");
+    t.header({"NPE x NMAC", "cycles", "latency us", "power mW",
+              "area mm2", "GOPS", "GOPS/W", "GOPS/mm2"});
+
+    for (auto [npe, nmac] : {std::pair<size_t, size_t>{4, 4},
+                             {8, 8},
+                             {16, 8},
+                             {8, 16},
+                             {16, 16},
+                             {32, 16},
+                             {16, 32},
+                             {32, 32}}) {
+        TieArchConfig cfg;
+        cfg.n_pe = npe;
+        cfg.n_mac = nmac;
+        SimStats stats = TieSimulator::analyticStats(layer, cfg);
+        PerfReport perf = makePerfReport(stats, layer.outSize(),
+                                         layer.inSize(), cfg, tech);
+        t.row({std::to_string(npe) + " x " + std::to_string(nmac),
+               std::to_string(stats.cycles),
+               TextTable::num(perf.latency_us, 2),
+               TextTable::num(perf.power_mw, 1),
+               TextTable::num(perf.area_mm2, 2),
+               TextTable::num(perf.effective_gops, 0),
+               TextTable::num(perf.gopsPerWatt(), 0),
+               TextTable::num(perf.gopsPerMm2(), 0)});
+    }
+    t.print();
+
+    // Working-SRAM sizing: what does each benchmark actually need?
+    TextTable s("working-SRAM requirement per benchmark layer");
+    s.header({"layer", "peak intermediate KB", "fits 2 x 384 KB?"});
+    for (const auto &b : workloads::table4Benchmarks()) {
+        size_t peak = b.config.inSize();
+        for (size_t h = 1; h <= b.config.d(); ++h)
+            peak = std::max(peak, b.config.coreRows(h) *
+                                      b.config.stageCols(h));
+        const double kb = peak * 2.0 / 1024.0;
+        s.row({b.name, TextTable::num(kb, 1),
+               kb <= 384.0 ? "yes" : "NO"});
+    }
+    s.print();
+
+    // Clock sweep at the paper's geometry.
+    TextTable f("frequency sweep @ 16 x 16");
+    f.header({"freq MHz", "latency us", "GOPS", "GOPS/W"});
+    for (double mhz : {250.0, 500.0, 1000.0, 1500.0, 2000.0}) {
+        TieArchConfig cfg;
+        cfg.freq_mhz = mhz;
+        SimStats stats = TieSimulator::analyticStats(layer, cfg);
+        PerfReport perf = makePerfReport(stats, layer.outSize(),
+                                         layer.inSize(), cfg, tech);
+        f.row({TextTable::num(mhz, 0), TextTable::num(perf.latency_us, 2),
+               TextTable::num(perf.effective_gops, 0),
+               TextTable::num(perf.gopsPerWatt(), 0)});
+    }
+    f.print();
+    return 0;
+}

@@ -1,0 +1,49 @@
+#include "arch/pe.hh"
+
+#include "common/logging.hh"
+
+namespace tie {
+
+PeArray::PeArray(size_t n_pe, size_t n_mac)
+    : n_pe_(n_pe), n_mac_(n_mac), acc_(n_pe * n_mac, 0)
+{
+    TIE_CHECK_ARG(n_pe >= 1 && n_mac >= 1,
+                  "PE array needs n_pe, n_mac >= 1");
+}
+
+void
+PeArray::resetAccumulators()
+{
+    std::fill(acc_.begin(), acc_.end(), 0);
+}
+
+void
+PeArray::step(const std::vector<int16_t> &weights,
+              const std::vector<int16_t> &acts, const MacFormat &fmt)
+{
+    TIE_REQUIRE(weights.size() == n_mac_ && acts.size() == n_pe_,
+                "PE array operand width mismatch");
+    for (size_t i = 0; i < n_mac_; ++i) {
+        const int16_t w = weights[i];
+        for (size_t p = 0; p < n_pe_; ++p) {
+            accumulate(acc_[i * n_pe_ + p], macProduct(w, acts[p], fmt),
+                       fmt.acc_bits);
+        }
+    }
+    // Every MAC fires every cycle (idle lanes multiply zeros); each
+    // writes its accumulator register plus an operand staging register.
+    mac_ops_ += n_mac_ * n_pe_;
+    reg_writes_ += 2 * n_mac_ * n_pe_;
+}
+
+int16_t
+PeArray::result(size_t i, size_t p, const MacFormat &fmt, bool relu) const
+{
+    TIE_REQUIRE(i < n_mac_ && p < n_pe_, "PE result index out of range");
+    int16_t v = requantizeAcc(acc_[i * n_pe_ + p], fmt);
+    if (relu && v < 0)
+        v = 0;
+    return v;
+}
+
+} // namespace tie

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The TIE datapath: an NPE x NMAC array of multiply-accumulate units
+ * with activation units (paper Sec. 4.1/4.3, Fig. 7).
+ *
+ * Each cycle, one column of the unfolded tensor core is broadcast to
+ * all PEs (MAC i of every PE receives column element i) while each PE p
+ * receives one operand element; MAC (i, p) accumulates
+ * weight[i] * act[p]. The arithmetic is the shared fixed-point
+ * semantics from quant/fxp.hh, which makes the array bit-accurate
+ * against the functional reference.
+ */
+
+#ifndef TIE_ARCH_PE_HH
+#define TIE_ARCH_PE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/fxp.hh"
+
+namespace tie {
+
+/** The full PE array (paper Fig. 8's "PE Array"). */
+class PeArray
+{
+  public:
+    PeArray(size_t n_pe, size_t n_mac);
+
+    size_t nPe() const { return n_pe_; }
+    size_t nMac() const { return n_mac_; }
+
+    /** Clear every accumulator (start of an output sub-block). */
+    void resetAccumulators();
+
+    /**
+     * One datapath cycle: weights has n_mac entries (the broadcast
+     * core column), acts has n_pe entries (one operand element per PE).
+     */
+    void step(const std::vector<int16_t> &weights,
+              const std::vector<int16_t> &acts, const MacFormat &fmt);
+
+    /**
+     * Requantised result of MAC @p i in PE @p p, optionally through the
+     * activation unit (ReLU).
+     */
+    int16_t result(size_t i, size_t p, const MacFormat &fmt,
+                   bool relu) const;
+
+    size_t macOps() const { return mac_ops_; }
+    size_t regWrites() const { return reg_writes_; }
+
+    void
+    resetCounters()
+    {
+        mac_ops_ = reg_writes_ = 0;
+    }
+
+  private:
+    size_t n_pe_;
+    size_t n_mac_;
+    std::vector<int64_t> acc_; ///< acc_[i * n_pe + p]
+    size_t mac_ops_ = 0;
+    size_t reg_writes_ = 0;
+};
+
+} // namespace tie
+
+#endif // TIE_ARCH_PE_HH

@@ -1,0 +1,60 @@
+#include "arch/program.hh"
+
+#include "common/logging.hh"
+
+namespace tie {
+
+LayerProgram
+LayerProgram::compile(const TtLayerConfig &cfg, bool relu_last)
+{
+    cfg.validate();
+    LayerProgram prog;
+    prog.layer = cfg;
+    prog.stages.reserve(cfg.d());
+
+    for (size_t h = cfg.d(); h >= 1; --h) {
+        StageDescriptor d;
+        d.core_index = static_cast<uint32_t>(h);
+        d.rows = static_cast<uint32_t>(cfg.coreRows(h));
+        d.inner = static_cast<uint32_t>(cfg.coreCols(h));
+        d.cols = static_cast<uint32_t>(cfg.stageCols(h));
+        d.relu = relu_last && h == 1;
+
+        if (h == cfg.d()) {
+            d.identity = true;
+        } else {
+            d.identity = false;
+            d.r = static_cast<uint32_t>(cfg.r[h]);
+            d.m_next = static_cast<uint32_t>(cfg.m[h]);
+            d.mblk = static_cast<uint32_t>(cfg.mSuffixProd(h + 1));
+            d.jblk = static_cast<uint32_t>(cfg.nPrefixProd(h));
+            d.src_cols = static_cast<uint32_t>(cfg.stageCols(h + 1));
+        }
+        prog.stages.push_back(d);
+    }
+    return prog;
+}
+
+std::pair<uint32_t, uint32_t>
+operandSource(const StageDescriptor &d, uint32_t k, uint32_t q)
+{
+    TIE_REQUIRE(k < d.inner && q < d.cols,
+                "address generator input out of stage range");
+    if (d.identity)
+        return {k, q};
+
+    // k = j_h * r + t ; q = jp * (m_next * mblk) + ip * m_next + i_next.
+    const uint32_t j = k / d.r;
+    const uint32_t t = k % d.r;
+    const uint32_t i_next = q % d.m_next;
+    const uint32_t rest = q / d.m_next;
+    const uint32_t ip = rest % d.mblk;
+    const uint32_t jp = rest / d.mblk;
+
+    const uint32_t src_row = i_next * d.r + t;
+    const uint32_t src_col = (j * d.jblk + jp) * d.mblk + ip;
+    TIE_REQUIRE(src_col < d.src_cols, "address generator overflow");
+    return {src_row, src_col};
+}
+
+} // namespace tie

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The main controller's layer program (paper Fig. 8, "Main
+ * Controller"; Sec. 5.4 flexibility).
+ *
+ * TIE is configured per layer with a handful of scalars per stage —
+ * not with lookup tables: the working-SRAM read scheme (Algorithm 2)
+ * computes each operand element's source coordinates *arithmetically*
+ * from the stage geometry. StageDescriptor holds exactly those
+ * scalars, and operandSource() is the address generator — a pure
+ * integer function the hardware implements with dividers by
+ * constant/modulo counters. Tests prove it equal to the TransformSpec
+ * permutation table for every configuration.
+ */
+
+#ifndef TIE_ARCH_PROGRAM_HH
+#define TIE_ARCH_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tt/tt_shape.hh"
+
+namespace tie {
+
+/** Control scalars for one compact-scheme stage (core h). */
+struct StageDescriptor
+{
+    uint32_t core_index = 0;   ///< h (1-based); stage order is d..1
+    uint32_t rows = 0;         ///< NGrow = m_h * r_{h-1}
+    uint32_t inner = 0;        ///< NGcol = n_h * r_h
+    uint32_t cols = 0;         ///< NVcol = prod n_{<h} * prod m_{>h}
+
+    /** Address-generator scalars of the *source* read phase. When
+     *  identity is set the source holds the operand directly (stage d
+     *  reading X'); otherwise it holds V_{h+1} and the generator
+     *  inverts the stage-(h+1) transform. */
+    bool identity = true;
+    uint32_t r = 0;     ///< r_h (rank shared by operand rows and src)
+    uint32_t m_next = 0; ///< m_{h+1}
+    uint32_t mblk = 0;  ///< prod_{k>h+1} m_k
+    uint32_t jblk = 0;  ///< prod_{l<h} n_l
+    uint32_t src_cols = 0; ///< stageCols(h+1) (per sample)
+
+    bool relu = false;  ///< activation units active (stage 1 only)
+};
+
+/** A compiled layer: the descriptor sequence the controller walks. */
+struct LayerProgram
+{
+    TtLayerConfig layer;
+    std::vector<StageDescriptor> stages; ///< order h = d .. 1
+
+    /** Compile a TT layer into controller state. */
+    static LayerProgram compile(const TtLayerConfig &cfg,
+                                bool relu_last = false);
+};
+
+/**
+ * The address generator: source coordinates (row, column) inside the
+ * stored matrix for operand element (k, q) of this stage (single
+ * sample; batching offsets the column by sample * src_cols outside).
+ *
+ * Derivation (inverse of the Eqn.-10 transform; see
+ * tt/tt_transform.cc): with k = j_h * r + t and
+ * q = jp' * (m_{h+1} * mblk) + ip * m_{h+1} + i_{h+1},
+ *   src row = i_{h+1} * r + t,
+ *   src col = (j_h * jblk + jp') * mblk + ip.
+ */
+std::pair<uint32_t, uint32_t> operandSource(const StageDescriptor &d,
+                                            uint32_t k, uint32_t q);
+
+} // namespace tie
+
+#endif // TIE_ARCH_PROGRAM_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A single component SRAM bank: word storage plus access accounting.
+ * The weight SRAM and the two working SRAMs are built from these.
+ */
+
+#ifndef TIE_ARCH_SRAM_HH
+#define TIE_ARCH_SRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tie {
+
+/** One physical SRAM bank of 16-bit words. */
+class SramBank
+{
+  public:
+    SramBank() = default;
+
+    explicit SramBank(size_t words) : data_(words, 0) {}
+
+    size_t words() const { return data_.size(); }
+    size_t reads() const { return reads_; }
+    size_t writes() const { return writes_; }
+
+    int16_t
+    read(size_t addr)
+    {
+        TIE_REQUIRE(addr < data_.size(), "SRAM read address ", addr,
+                    " out of ", data_.size());
+        ++reads_;
+        return data_[addr];
+    }
+
+    void
+    write(size_t addr, int16_t value)
+    {
+        TIE_REQUIRE(addr < data_.size(), "SRAM write address ", addr,
+                    " out of ", data_.size());
+        ++writes_;
+        data_[addr] = value;
+    }
+
+    /** Non-counting inspection (testing / result readout). */
+    int16_t
+    peek(size_t addr) const
+    {
+        TIE_REQUIRE(addr < data_.size(), "SRAM peek address out of range");
+        return data_[addr];
+    }
+
+    void
+    clear()
+    {
+        std::fill(data_.begin(), data_.end(), int16_t(0));
+    }
+
+    void
+    resetCounters()
+    {
+        reads_ = writes_ = 0;
+    }
+
+  private:
+    std::vector<int16_t> data_;
+    size_t reads_ = 0;
+    size_t writes_ = 0;
+};
+
+} // namespace tie
+
+#endif // TIE_ARCH_SRAM_HH

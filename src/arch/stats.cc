@@ -1,0 +1,82 @@
+#include "arch/stats.hh"
+
+namespace tie {
+
+void
+SimStats::add(const SimStats &other)
+{
+    cycles += other.cycles;
+    mac_ops += other.mac_ops;
+    weight_sram_reads += other.weight_sram_reads;
+    working_sram_reads += other.working_sram_reads;
+    working_sram_writes += other.working_sram_writes;
+    reg_writes += other.reg_writes;
+    stall_cycles += other.stall_cycles;
+    stages.insert(stages.end(), other.stages.begin(), other.stages.end());
+}
+
+PowerReport
+computePower(const SimStats &stats, const TieArchConfig &cfg,
+             const TechModel &tech)
+{
+    PowerReport p;
+    if (stats.cycles == 0)
+        return p;
+
+    // Working SRAM accesses hit one component bank, so the per-access
+    // energy follows the bank capacity (one bank per PE lane).
+    const size_t bank_bytes = cfg.working_sram_bytes / cfg.n_pe;
+
+    const double e_weight =
+        static_cast<double>(stats.weight_sram_reads) *
+        tech.sramAccessPj(cfg.weight_sram_bytes, cfg.data_bits);
+    const double e_working =
+        (static_cast<double>(stats.working_sram_reads) +
+         static_cast<double>(stats.working_sram_writes)) *
+        tech.sramAccessPj(bank_bytes, cfg.data_bits);
+    const double e_mac = static_cast<double>(stats.mac_ops) * tech.e_mac;
+    const double e_reg =
+        static_cast<double>(stats.reg_writes) * tech.e_reg_write;
+    const double e_clock = static_cast<double>(stats.cycles) *
+                           static_cast<double>(tieFlopCount(cfg)) *
+                           tech.e_clock_per_flop;
+
+    // E[pJ] over t = cycles / (f_MHz * 1e6) seconds:
+    // P = E * 1e-12 / t W = E * f_MHz / cycles * 1e-6 W
+    //   = E * f_MHz / cycles * 1e-3 mW.
+    const double to_mw =
+        cfg.freq_mhz / static_cast<double>(stats.cycles) * 1.0e-3;
+    p.memory_mw = (e_weight + e_working) * to_mw;
+    p.combinational_mw = e_mac * to_mw;
+    p.register_mw = e_reg * to_mw;
+    p.clock_mw = e_clock * to_mw;
+    return p;
+}
+
+double
+computeEnergyNj(const SimStats &stats, const TieArchConfig &cfg,
+                const TechModel &tech)
+{
+    PowerReport p = computePower(stats, cfg, tech);
+    const double seconds =
+        static_cast<double>(stats.cycles) / (cfg.freq_mhz * 1.0e6);
+    return p.totalMw() * 1.0e-3 * seconds * 1.0e9;
+}
+
+PerfReport
+makePerfReport(const SimStats &stats, size_t m_out, size_t n_in,
+               const TieArchConfig &cfg, const TechModel &tech)
+{
+    PerfReport r;
+    r.latency_us =
+        static_cast<double>(stats.cycles) / cfg.freq_mhz; // us at MHz
+    r.energy_nj = computeEnergyNj(stats, cfg, tech);
+    r.power_mw = computePower(stats, cfg, tech).totalMw();
+    const double dense_ops =
+        2.0 * static_cast<double>(m_out) * static_cast<double>(n_in);
+    r.effective_gops = dense_ops / (r.latency_us * 1.0e3); // ops/ns=GOPS
+    r.area_mm2 = TieFloorplan::build(cfg, tech).totalAreaMm2();
+    return r;
+}
+
+} // namespace tie

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simulation statistics and the energy/power/performance reports
+ * derived from them via the technology model.
+ */
+
+#ifndef TIE_ARCH_STATS_HH
+#define TIE_ARCH_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/tech_model.hh"
+
+namespace tie {
+
+/** Per-stage slice of a layer simulation. */
+struct StageStats
+{
+    size_t core_index = 0; ///< h (1-based, executed d..1)
+    size_t cycles = 0;
+    size_t mac_ops = 0;
+    size_t stall_cycles = 0; ///< working-SRAM bank-conflict stalls
+};
+
+/** Event counts accumulated by the cycle-accurate simulator. */
+struct SimStats
+{
+    size_t cycles = 0;
+    size_t mac_ops = 0;               ///< MAC operations issued
+    size_t weight_sram_reads = 0;     ///< 16-bit words
+    size_t working_sram_reads = 0;    ///< 16-bit words
+    size_t working_sram_writes = 0;   ///< 16-bit words
+    size_t reg_writes = 0;
+    size_t stall_cycles = 0;
+    std::vector<StageStats> stages;
+
+    /** Accumulate another run (e.g. per-layer stats into a model). */
+    void add(const SimStats &other);
+};
+
+/** Power broken down by the categories of paper Table 6 (mW). */
+struct PowerReport
+{
+    double memory_mw = 0.0;
+    double register_mw = 0.0;
+    double combinational_mw = 0.0;
+    double clock_mw = 0.0;
+
+    double totalMw() const
+    {
+        return memory_mw + register_mw + combinational_mw + clock_mw;
+    }
+};
+
+/** End-to-end performance numbers for one workload on one design. */
+struct PerfReport
+{
+    double latency_us = 0.0;
+    double energy_nj = 0.0;
+    double power_mw = 0.0;
+    double effective_gops = 0.0; ///< 2*M*N / latency (dense-equivalent)
+    double area_mm2 = 0.0;
+
+    double
+    gopsPerWatt() const
+    {
+        return power_mw > 0 ? effective_gops / (power_mw / 1000.0) : 0.0;
+    }
+    double
+    gopsPerMm2() const
+    {
+        return area_mm2 > 0 ? effective_gops / area_mm2 : 0.0;
+    }
+};
+
+/**
+ * Convert event counts to a Table-6-style power breakdown, assuming
+ * the events are spread over stats.cycles at cfg.freq_mhz.
+ */
+PowerReport computePower(const SimStats &stats, const TieArchConfig &cfg,
+                         const TechModel &tech);
+
+/** Total energy in nanojoules for the counted events. */
+double computeEnergyNj(const SimStats &stats, const TieArchConfig &cfg,
+                       const TechModel &tech);
+
+/**
+ * Full performance report for a layer of dense-equivalent size
+ * M x N executed in stats.cycles.
+ */
+PerfReport makePerfReport(const SimStats &stats, size_t m_out,
+                          size_t n_in, const TieArchConfig &cfg,
+                          const TechModel &tech);
+
+} // namespace tie
+
+#endif // TIE_ARCH_STATS_HH

@@ -1,0 +1,80 @@
+#include "arch/tech_model.hh"
+
+#include <cmath>
+
+namespace tie {
+
+double
+TechModel::sramAccessPj(size_t capacity_bytes, int word_bits) const
+{
+    const double kb = static_cast<double>(capacity_bytes) / 1024.0;
+    const double per_16b = e_sram_base + e_sram_per_sqrt_kb * std::sqrt(kb);
+    return per_16b * (static_cast<double>(word_bits) / 16.0);
+}
+
+double
+TechModel::sramAreaMm2(size_t capacity_bytes) const
+{
+    return a_sram_per_kb * static_cast<double>(capacity_bytes) / 1024.0;
+}
+
+TechModel
+TechModel::cmos28()
+{
+    return TechModel{}; // in-class defaults are the calibrated values
+}
+
+double
+NodeProjection::frequencyMhz(double f, double from_nm, double to_nm)
+{
+    return f * from_nm / to_nm;
+}
+
+double
+NodeProjection::areaMm2(double a, double from_nm, double to_nm)
+{
+    return a * (to_nm / from_nm) * (to_nm / from_nm);
+}
+
+double
+NodeProjection::powerMw(double p, double from_nm, double to_nm)
+{
+    (void)from_nm;
+    (void)to_nm;
+    return p; // the paper's conservative rule: power held constant
+}
+
+size_t
+tieFlopCount(const TieArchConfig &cfg)
+{
+    return cfg.macsTotal() *
+           static_cast<size_t>(cfg.acc_bits + cfg.data_bits + 8);
+}
+
+double
+TieFloorplan::totalAreaMm2() const
+{
+    return area_memory_mm2 + area_register_mm2 + area_combinational_mm2 +
+           area_clock_mm2 + area_other_mm2;
+}
+
+TieFloorplan
+TieFloorplan::build(const TieArchConfig &cfg, const TechModel &tech)
+{
+    TieFloorplan fp;
+    fp.area_memory_mm2 =
+        tech.sramAreaMm2(cfg.weight_sram_bytes) +
+        2.0 * tech.sramAreaMm2(cfg.working_sram_bytes);
+    fp.area_combinational_mm2 =
+        tech.a_mac * static_cast<double>(cfg.macsTotal());
+    fp.area_register_mm2 =
+        tech.a_flop * static_cast<double>(tieFlopCount(cfg));
+    fp.area_clock_mm2 = tech.a_clock_network;
+    fp.area_other_mm2 =
+        tech.a_other_frac *
+        (fp.area_memory_mm2 + fp.area_combinational_mm2 +
+         fp.area_register_mm2 + fp.area_clock_mm2);
+    return fp;
+}
+
+} // namespace tie

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The bit-accurate, cycle-accurate TIE simulator (paper Sec. 4 and the
+ * methodology of Sec. 5.1: "The high-level functional behavior of TIE
+ * was modeled by a bit-accurate cycle-accurate simulator").
+ *
+ * Execution of one TT layer follows the overall architecture of Fig. 8:
+ * the d stages run back to back; in each stage the PE array computes
+ * V_h = G~_h V'_{h+1} by streaming core columns from the weight SRAM
+ * and operand rows from the source working SRAM (whose grouped read
+ * scheme performs the Eqn.-10 transform on the fly); results are
+ * written to the destination working SRAM; the two working SRAMs swap
+ * roles between stages. Stage 1 routes results through the activation
+ * units first.
+ */
+
+#ifndef TIE_ARCH_TIE_SIM_HH
+#define TIE_ARCH_TIE_SIM_HH
+
+#include "arch/pe.hh"
+#include "arch/stats.hh"
+#include "arch/weight_sram.hh"
+#include "arch/working_sram.hh"
+#include "tt/tt_infer.hh"
+
+namespace tie {
+
+/** Output and statistics of one simulated layer. */
+struct TieSimResult
+{
+    /** M x batch raw values in the stage-1 act_out format. */
+    Matrix<int16_t> output;
+    SimStats stats;
+};
+
+/** Cycle-accurate model of one TIE accelerator instance. */
+class TieSimulator
+{
+  public:
+    explicit TieSimulator(TieArchConfig cfg = {},
+                          TechModel tech = TechModel::cmos28());
+
+    const TieArchConfig &config() const { return cfg_; }
+    const TechModel &tech() const { return tech_; }
+
+    /**
+     * Run one TT-format layer on input @p x (N x batch, raw int16 in
+     * the last stage's act_in format). Batch > 1 models CONV workloads
+     * (every output pixel is one operand column — Fig. 3) and batched
+     * FC inference: sample blocks sit side by side in the working
+     * SRAMs and every stage streams the widened operand. @p relu
+     * selects whether the activation units apply ReLU at the final
+     * stage.
+     */
+    TieSimResult runLayer(const TtMatrixFxp &tt, const Matrix<int16_t> &x,
+                          bool relu = false);
+
+    /** One network layer with its ReLU flag. */
+    struct NetworkLayer
+    {
+        const TtMatrixFxp *weights;
+        bool relu;
+    };
+
+    /** Whole-network result: per-layer statistics plus the total. */
+    struct NetworkResult
+    {
+        Matrix<int16_t> output;
+        SimStats total;
+        std::vector<SimStats> per_layer;
+    };
+
+    /**
+     * Run a whole network with intermediates *resident* in the
+     * working SRAMs: between layers no readout/reload happens — the
+     * next layer's stage-d reads gather straight from the previous
+     * layer's V_1 through the same grouped read scheme (paper
+     * Sec. 4.4: "the inter-layer transform is identical to the
+     * intra-layer transform"). Bit-identical to chaining runLayer
+     * calls, but with the memory behaviour of the real chip.
+     */
+    NetworkResult runNetwork(const std::vector<NetworkLayer> &net,
+                             const Matrix<int16_t> &x);
+
+    /**
+     * Closed-form cycle count (paper Sec. 4.1): per stage
+     * ceil(NGrow/NMAC) * ceil(NVcol/NPE) * NGcol, plus the configured
+     * stage-switch overhead. Matches runLayer exactly when the read
+     * scheme is conflict-free (tests assert this for the paper's
+     * benchmark layers).
+     */
+    static size_t analyticCycles(const TtLayerConfig &layer,
+                                 const TieArchConfig &cfg);
+
+    /**
+     * Analytic per-event counts for fast design-space sweeps (no
+     * functional execution). Returns the same stats runLayer would
+     * produce in the conflict-free case.
+     */
+    static SimStats analyticStats(const TtLayerConfig &layer,
+                                  const TieArchConfig &cfg);
+
+  private:
+    TieArchConfig cfg_;
+    TechModel tech_;
+};
+
+} // namespace tie
+
+#endif // TIE_ARCH_TIE_SIM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tensor-core weight SRAM (paper Sec. 4.3, Fig. 9).
+ *
+ * Data allocation is "sequential at the inter-core level and
+ * interleaved at the intra-core level": cores G~_1 .. G~_d occupy
+ * consecutive regions; within a core, the NMAC elements the MAC units
+ * need in one cycle — rows [rb*NMAC, (rb+1)*NMAC) of one column k —
+ * are stored contiguously so each cycle is a single row-wide read.
+ */
+
+#ifndef TIE_ARCH_WEIGHT_SRAM_HH
+#define TIE_ARCH_WEIGHT_SRAM_HH
+
+#include <vector>
+
+#include "arch/sram.hh"
+#include "tt/tt_matrix.hh"
+
+namespace tie {
+
+/** On-chip weight memory holding all d unfolded tensor cores. */
+class WeightSram
+{
+  public:
+    /**
+     * @param capacity_bytes total capacity (paper Table 5: 16 KB).
+     * @param n_mac words delivered per access (one per MAC unit).
+     */
+    WeightSram(size_t capacity_bytes, size_t n_mac);
+
+    /**
+     * Lay out all cores of a layer. fatal() if the layer does not fit —
+     * that is a user configuration error, not a bug.
+     */
+    void loadLayer(const TtMatrixFxp &tt);
+
+    /**
+     * One cycle's weight fetch: the NMAC words of core @p h (1-based),
+     * row block @p rb, column @p k. Rows beyond the core's height are
+     * zero-padded (idle MAC lanes).
+     */
+    const std::vector<int16_t> &readColumn(size_t h, size_t rb, size_t k);
+
+    /** Words read so far. */
+    size_t wordReads() const { return word_reads_; }
+
+    /** Words of capacity used by the currently loaded layer. */
+    size_t wordsUsed() const { return words_used_; }
+
+    void resetCounters() { word_reads_ = 0; }
+
+  private:
+    size_t addressOf(size_t h, size_t rb, size_t k) const;
+
+    size_t n_mac_;
+    SramBank bank_;
+    std::vector<size_t> core_offset_;    ///< word offset of each core
+    std::vector<size_t> core_rows_;      ///< NGrow per core
+    std::vector<size_t> core_cols_;      ///< NGcol per core
+    std::vector<size_t> core_row_blocks_;///< ceil(NGrow / NMAC)
+    size_t words_used_ = 0;
+    size_t word_reads_ = 0;
+    std::vector<int16_t> fetch_buf_;
+};
+
+} // namespace tie
+
+#endif // TIE_ARCH_WEIGHT_SRAM_HH

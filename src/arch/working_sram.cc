@@ -1,0 +1,114 @@
+#include "arch/working_sram.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace tie {
+
+WorkingSram::WorkingSram(size_t capacity_bytes, size_t n_banks,
+                         size_t row_width)
+    : capacity_words_(capacity_bytes / 2), n_banks_(n_banks),
+      row_width_(row_width)
+{
+    TIE_CHECK_ARG(n_banks >= 1 && row_width >= 1,
+                  "working SRAM needs banks and row width >= 1");
+    const size_t bank_words = capacity_words_ / n_banks_;
+    banks_.assign(n_banks_, SramBank(bank_words));
+}
+
+void
+WorkingSram::configure(size_t rows, size_t cols)
+{
+    const size_t qblocks = (cols + row_width_ - 1) / row_width_;
+    const size_t slots = rows * qblocks;
+    const size_t slots_per_bank = (slots + n_banks_ - 1) / n_banks_;
+    const size_t words_per_bank = slots_per_bank * row_width_;
+    TIE_CHECK_ARG(words_per_bank <= banks_[0].words(),
+                  "stage intermediate of ", rows, "x", cols,
+                  " 16-bit words exceeds the ", n_banks_, " x ",
+                  banks_[0].words() * 2,
+                  "-byte component banks — increase working_sram_bytes");
+    rows_ = rows;
+    cols_ = cols;
+    qblocks_ = qblocks;
+}
+
+size_t
+WorkingSram::addrOf(size_t p, size_t qblk) const
+{
+    return (slotOf(p, qblk) / n_banks_) * row_width_;
+}
+
+void
+WorkingSram::writeRow(size_t p, size_t q0,
+                      const std::vector<int16_t> &vals)
+{
+    TIE_REQUIRE(p < rows_, "working SRAM write row out of range");
+    TIE_REQUIRE(vals.size() <= row_width_, "row write wider than a row");
+    for (size_t i = 0; i < vals.size(); ++i) {
+        const size_t q = q0 + i;
+        if (q >= cols_)
+            break; // tail block: lanes beyond the matrix are dropped
+        const size_t qblk = q / row_width_;
+        banks_[bankOf(p, qblk)].write(addrOf(p, qblk) + q % row_width_,
+                                      vals[i]);
+        ++word_writes_;
+    }
+}
+
+WorkingSram::GatherResult
+WorkingSram::gather(const std::vector<std::pair<size_t, size_t>> &coords)
+{
+    GatherResult out;
+    out.values.resize(coords.size(), 0);
+
+    // Group the needed physical rows: (bank, row base address).
+    std::map<std::pair<size_t, size_t>, size_t> rows_needed;
+    for (const auto &[p, q] : coords) {
+        if (p >= rows_ || q >= cols_)
+            continue; // padding lane
+        const size_t qblk = q / row_width_;
+        rows_needed[{bankOf(p, qblk), addrOf(p, qblk)}]++;
+    }
+
+    // One row read per distinct (bank, addr); reads in different banks
+    // are concurrent, same-bank rows serialise.
+    std::map<size_t, size_t> per_bank;
+    for (const auto &[key, count] : rows_needed) {
+        (void)count;
+        ++per_bank[key.first];
+    }
+    out.row_reads = rows_needed.size();
+    out.cycles = 1;
+    for (const auto &[bank, nrows] : per_bank) {
+        (void)bank;
+        out.cycles = std::max(out.cycles, nrows);
+    }
+
+    // Energy: banks are column-muxed, so we charge the words actually
+    // consumed (the grouped row activations are tracked separately in
+    // row_reads for conflict analysis).
+    for (size_t i = 0; i < coords.size(); ++i) {
+        const auto [p, q] = coords[i];
+        if (p >= rows_ || q >= cols_) {
+            out.values[i] = 0;
+            continue;
+        }
+        const size_t qblk = q / row_width_;
+        SramBank &bank = banks_[bankOf(p, qblk)];
+        out.values[i] = bank.read(addrOf(p, qblk) + q % row_width_);
+        ++word_reads_;
+    }
+    return out;
+}
+
+int16_t
+WorkingSram::peek(size_t p, size_t q) const
+{
+    TIE_REQUIRE(p < rows_ && q < cols_, "working SRAM peek out of range");
+    const size_t qblk = q / row_width_;
+    return banks_[bankOf(p, qblk)].peek(addrOf(p, qblk) +
+                                        q % row_width_);
+}
+
+} // namespace tie

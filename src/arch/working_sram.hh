@@ -1,0 +1,119 @@
+/**
+ * @file
+ * One of the two ping-pong working SRAMs (paper Sec. 4.4, Fig. 10,
+ * Algorithm 2).
+ *
+ * The memory is partitioned into NPE component banks. The *write*
+ * scheme stores each produced V_h row segment — the values held in MAC
+ * position i across all PEs, i.e. one row p over NPE consecutive
+ * columns — as a single row-wide write into bank (p mod NPE).
+ *
+ * The *read* scheme implements the on-the-fly transform: a consumer
+ * asks for elements of V'_h by logical (row, column) coordinates of the
+ * *source* matrix V_h (the TransformSpec supplies the mapping). The
+ * bank model groups the requested elements by (bank, row address); each
+ * distinct pair is one row read, rows in distinct banks proceed in
+ * parallel (Algorithm 2's group-based access), and multiple rows
+ * needed from the *same* bank serialise into stall cycles — which the
+ * simulator reports honestly instead of assuming away.
+ */
+
+#ifndef TIE_ARCH_WORKING_SRAM_HH
+#define TIE_ARCH_WORKING_SRAM_HH
+
+#include <utility>
+#include <vector>
+
+#include "arch/sram.hh"
+
+namespace tie {
+
+/** Banked activation memory with grouped, transform-aware reads. */
+class WorkingSram
+{
+  public:
+    /**
+     * @param capacity_bytes total capacity of this copy (384 KB).
+     * @param n_banks component SRAM count (= NPE).
+     * @param row_width words per physical row (= NPE).
+     */
+    WorkingSram(size_t capacity_bytes, size_t n_banks, size_t row_width);
+
+    /**
+     * Configure the logical matrix this copy will hold next (the V_h of
+     * the upcoming stage). fatal() if it exceeds capacity.
+     */
+    void configure(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /**
+     * Row-wide write of @p vals starting at logical (p, q0). Unaligned
+     * starts (they arise when batched sample blocks are not multiples
+     * of the row width) split across at most two physical rows. Counts
+     * one word write per value.
+     */
+    void writeRow(size_t p, size_t q0, const std::vector<int16_t> &vals);
+
+    /** Result of a gathered (grouped) read. */
+    struct GatherResult
+    {
+        std::vector<int16_t> values;
+        size_t row_reads = 0; ///< distinct (bank, row) activations
+        size_t cycles = 0;    ///< >=1; >1 means bank conflicts stalled
+    };
+
+    /**
+     * Fetch the given logical coordinates in one datapath cycle (plus
+     * stalls). Coordinates outside the configured matrix yield 0
+     * (padding lanes) and cost nothing.
+     */
+    GatherResult gather(
+        const std::vector<std::pair<size_t, size_t>> &coords);
+
+    /** Non-counting logical inspection. */
+    int16_t peek(size_t p, size_t q) const;
+
+    size_t wordReads() const { return word_reads_; }
+    size_t wordWrites() const { return word_writes_; }
+    void
+    resetCounters()
+    {
+        word_reads_ = word_writes_ = 0;
+    }
+
+  private:
+    /**
+     * Physical placement: enumerate (column block, row) slots
+     * s = qblk * rows + p and deal them round-robin across banks.
+     * For a fixed column block this degenerates to bank = (C + p) mod
+     * n_banks, so a gathered read touching distinct rows (mod n_banks)
+     * is conflict-free — the property the stage reads rely on — while
+     * matrices with few rows (e.g. X' with n_d rows) still spread
+     * evenly over all banks instead of overflowing a few of them.
+     */
+    size_t slotOf(size_t p, size_t qblk) const
+    {
+        return qblk * rows_ + p;
+    }
+    size_t bankOf(size_t p, size_t qblk) const
+    {
+        return slotOf(p, qblk) % n_banks_;
+    }
+    size_t addrOf(size_t p, size_t qblk) const;
+
+    size_t capacity_words_;
+    size_t n_banks_;
+    size_t row_width_;
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t qblocks_ = 0;
+    std::vector<SramBank> banks_;
+    size_t word_reads_ = 0;
+    size_t word_writes_ = 0;
+};
+
+} // namespace tie
+
+#endif // TIE_ARCH_WORKING_SRAM_HH

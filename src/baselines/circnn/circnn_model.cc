@@ -1,0 +1,63 @@
+#include "baselines/circnn/circnn_model.hh"
+
+#include <cmath>
+
+#include "arch/tech_model.hh"
+#include "common/logging.hh"
+
+namespace tie {
+
+double
+CircnnConfig::projectedFreqMhz(double to_nm) const
+{
+    return NodeProjection::frequencyMhz(freq_mhz, node_nm, to_nm);
+}
+
+double
+CircnnConfig::projectedPowerMw(double to_nm) const
+{
+    return NodeProjection::powerMw(power_mw, node_nm, to_nm);
+}
+
+CircnnModel::CircnnModel(CircnnConfig cfg) : cfg_(cfg)
+{
+    TIE_CHECK_ARG(cfg_.block >= 2 && cfg_.n_mult >= 1,
+                  "CIRCNN needs a block size and multipliers");
+}
+
+CircnnRunResult
+CircnnModel::run(size_t rows, size_t cols) const
+{
+    TIE_CHECK_ARG(rows % cfg_.block == 0 && cols % cfg_.block == 0,
+                  "layer ", rows, "x", cols,
+                  " not divisible by block ", cfg_.block);
+    const double b = static_cast<double>(cfg_.block);
+    const double rb = static_cast<double>(rows) / b;
+    const double cb = static_cast<double>(cols) / b;
+    const double log_b = std::log2(b);
+
+    // FFT of every input block (shared across row blocks), 4b real
+    // multiplies per block-product, IFFT per output block. Weight
+    // spectra are precomputed offline.
+    const double fft_mults = 2.0 * b * log_b * (rb + cb);
+    const double prod_mults = 4.0 * b * rb * cb;
+
+    CircnnRunResult res;
+    res.real_mults = static_cast<size_t>(fft_mults + prod_mults);
+    res.cycles = (res.real_mults + cfg_.n_mult - 1) / cfg_.n_mult;
+    return res;
+}
+
+double
+CircnnModel::effectiveTops(size_t rows, size_t cols,
+                           double freq_mhz) const
+{
+    CircnnRunResult r = run(rows, cols);
+    const double dense_ops = 2.0 * static_cast<double>(rows) *
+                             static_cast<double>(cols);
+    const double seconds =
+        static_cast<double>(r.cycles) / (freq_mhz * 1.0e6);
+    return dense_ops / seconds / 1.0e12;
+}
+
+} // namespace tie

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Performance/energy model of the CIRCNN accelerator (Ding et al.,
+ * MICRO'17): FFT -> elementwise multiply -> IFFT pipelines over
+ * block-circulant layers. TIE compares against CIRCNN's *synthesis*
+ * numbers (0.8 TOPS, 80 mW @ 200 MHz, 45 nm) in Table 8.
+ */
+
+#ifndef TIE_BASELINES_CIRCNN_CIRCNN_MODEL_HH
+#define TIE_BASELINES_CIRCNN_CIRCNN_MODEL_HH
+
+#include "baselines/circnn/circulant.hh"
+
+namespace tie {
+
+/** CIRCNN design parameters (defaults: MICRO'17 synthesis report). */
+struct CircnnConfig
+{
+    size_t block = 64;        ///< circulant block size
+    size_t n_mult = 128;      ///< real multipliers in the FFT datapath
+    double freq_mhz = 200.0;  ///< reported @45 nm
+    double node_nm = 45.0;
+    double power_mw = 80.0;   ///< reported (synthesis)
+
+    double projectedFreqMhz(double to_nm = 28.0) const;
+    double projectedPowerMw(double to_nm = 28.0) const;
+};
+
+/** Per-layer execution estimate for the CIRCNN pipeline. */
+struct CircnnRunResult
+{
+    size_t real_mults = 0; ///< actual multiplies in the FFT dataflow
+    size_t cycles = 0;
+    double
+    latencyUs(double freq_mhz) const
+    {
+        return static_cast<double>(cycles) / freq_mhz;
+    }
+};
+
+/** Analytic model of CIRCNN executing one block-circulant layer. */
+class CircnnModel
+{
+  public:
+    explicit CircnnModel(CircnnConfig cfg = {});
+
+    const CircnnConfig &config() const { return cfg_; }
+
+    /**
+     * Cost of y = Wx for an M x N block-circulant layer:
+     * FFT each of the N/b input blocks once, 4b real multiplies per
+     * block product, one IFFT per output block
+     * (real_mults ~= 4MN/b + 2 b log2 b (M + N)/b).
+     */
+    CircnnRunResult run(size_t rows, size_t cols) const;
+
+    /**
+     * Dense-equivalent throughput in TOPS for a layer executed at the
+     * given frequency.
+     */
+    double effectiveTops(size_t rows, size_t cols,
+                         double freq_mhz) const;
+
+  private:
+    CircnnConfig cfg_;
+};
+
+} // namespace tie
+
+#endif // TIE_BASELINES_CIRCNN_CIRCNN_MODEL_HH

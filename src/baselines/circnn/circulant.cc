@@ -1,0 +1,116 @@
+#include "baselines/circnn/circulant.hh"
+
+#include "common/logging.hh"
+#include "signal/fft.hh"
+
+namespace tie {
+
+BlockCirculantMatrix::BlockCirculantMatrix(size_t rows, size_t cols,
+                                           size_t block)
+    : rows_(rows), cols_(cols), block_(block)
+{
+    TIE_CHECK_ARG(block >= 1 && rows % block == 0 && cols % block == 0,
+                  "matrix ", rows, "x", cols,
+                  " is not divisible into ", block, "x", block,
+                  " circulant blocks");
+    blocks_.assign(rowBlocks() * colBlocks(),
+                   std::vector<double>(block, 0.0));
+}
+
+std::vector<double> &
+BlockCirculantMatrix::blockColumn(size_t bi, size_t bj)
+{
+    TIE_REQUIRE(bi < rowBlocks() && bj < colBlocks(),
+                "block index out of range");
+    return blocks_[bi * colBlocks() + bj];
+}
+
+const std::vector<double> &
+BlockCirculantMatrix::blockColumn(size_t bi, size_t bj) const
+{
+    TIE_REQUIRE(bi < rowBlocks() && bj < colBlocks(),
+                "block index out of range");
+    return blocks_[bi * colBlocks() + bj];
+}
+
+size_t
+BlockCirculantMatrix::paramCount() const
+{
+    return blocks_.size() * block_;
+}
+
+double
+BlockCirculantMatrix::compressionRatio() const
+{
+    return static_cast<double>(rows_ * cols_) /
+           static_cast<double>(paramCount());
+}
+
+MatrixD
+BlockCirculantMatrix::toDense() const
+{
+    MatrixD w(rows_, cols_);
+    for (size_t bi = 0; bi < rowBlocks(); ++bi) {
+        for (size_t bj = 0; bj < colBlocks(); ++bj) {
+            const auto &c = blockColumn(bi, bj);
+            // Circulant from first column: W[i][j] = c[(i - j) mod b].
+            for (size_t i = 0; i < block_; ++i)
+                for (size_t j = 0; j < block_; ++j)
+                    w(bi * block_ + i, bj * block_ + j) =
+                        c[(i + block_ - j) % block_];
+        }
+    }
+    return w;
+}
+
+std::vector<double>
+BlockCirculantMatrix::matVec(const std::vector<double> &x) const
+{
+    TIE_CHECK_ARG(x.size() == cols_, "block-circulant matVec length");
+    std::vector<double> y(rows_, 0.0);
+    for (size_t bj = 0; bj < colBlocks(); ++bj) {
+        std::vector<double> xs(x.begin() + bj * block_,
+                               x.begin() + (bj + 1) * block_);
+        for (size_t bi = 0; bi < rowBlocks(); ++bi) {
+            auto part = circulantMatVec(blockColumn(bi, bj), xs);
+            for (size_t i = 0; i < block_; ++i)
+                y[bi * block_ + i] += part[i];
+        }
+    }
+    return y;
+}
+
+BlockCirculantMatrix
+BlockCirculantMatrix::fromDenseProjection(const MatrixD &w, size_t block)
+{
+    BlockCirculantMatrix out(w.rows(), w.cols(), block);
+    for (size_t bi = 0; bi < out.rowBlocks(); ++bi) {
+        for (size_t bj = 0; bj < out.colBlocks(); ++bj) {
+            auto &c = out.blockColumn(bi, bj);
+            // Least-squares circulant: mean of each wrapped diagonal.
+            for (size_t k = 0; k < block; ++k) {
+                double sum = 0.0;
+                for (size_t j = 0; j < block; ++j)
+                    sum += w(bi * block + (j + k) % block,
+                             bj * block + j);
+                c[k] = sum / static_cast<double>(block);
+            }
+        }
+    }
+    return out;
+}
+
+BlockCirculantMatrix
+BlockCirculantMatrix::random(size_t rows, size_t cols, size_t block,
+                             Rng &rng)
+{
+    BlockCirculantMatrix out(rows, cols, block);
+    const double stddev = 1.0 / std::sqrt(static_cast<double>(cols));
+    for (size_t bi = 0; bi < out.rowBlocks(); ++bi)
+        for (size_t bj = 0; bj < out.colBlocks(); ++bj)
+            for (auto &v : out.blockColumn(bi, bj))
+                v = rng.normal(0.0, stddev);
+    return out;
+}
+
+} // namespace tie

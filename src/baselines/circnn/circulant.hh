@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Block-circulant weight layers — the compression scheme of CIRCNN
+ * (Ding et al., MICRO'17), TIE's Table-8 comparison point. A weight
+ * matrix is partitioned into b x b blocks, each circulant and therefore
+ * defined by its first column; inference runs through FFTs.
+ */
+
+#ifndef TIE_BASELINES_CIRCNN_CIRCULANT_HH
+#define TIE_BASELINES_CIRCNN_CIRCULANT_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** M x N weights as a grid of b x b circulant blocks. */
+class BlockCirculantMatrix
+{
+  public:
+    BlockCirculantMatrix() = default;
+
+    /** Zero-initialised grid; M and N must be multiples of b. */
+    BlockCirculantMatrix(size_t rows, size_t cols, size_t block);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t block() const { return block_; }
+    size_t rowBlocks() const { return rows_ / block_; }
+    size_t colBlocks() const { return cols_ / block_; }
+
+    /** First column of block (bi, bj) — the b defining values. */
+    std::vector<double> &blockColumn(size_t bi, size_t bj);
+    const std::vector<double> &blockColumn(size_t bi, size_t bj) const;
+
+    /** Stored parameters: rowBlocks * colBlocks * b. */
+    size_t paramCount() const;
+
+    /** Compression ratio versus dense (== b). */
+    double compressionRatio() const;
+
+    /** Expand to a dense matrix. */
+    MatrixD toDense() const;
+
+    /** y = W x via per-block circular convolution (FFT when b = 2^k). */
+    std::vector<double> matVec(const std::vector<double> &x) const;
+
+    /**
+     * Project a dense matrix onto the nearest block-circulant matrix
+     * (average each wrapped diagonal of every block) — how CIRCNN-style
+     * training initialises from a pre-trained model.
+     */
+    static BlockCirculantMatrix fromDenseProjection(const MatrixD &w,
+                                                    size_t block);
+
+    /** Random init (training from scratch). */
+    static BlockCirculantMatrix random(size_t rows, size_t cols,
+                                       size_t block, Rng &rng);
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    size_t block_ = 0;
+    /** blocks_[bi * colBlocks + bj] = first column of that block. */
+    std::vector<std::vector<double>> blocks_;
+};
+
+} // namespace tie
+
+#endif // TIE_BASELINES_CIRCNN_CIRCULANT_HH

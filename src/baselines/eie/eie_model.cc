@@ -1,0 +1,146 @@
+#include "baselines/eie/eie_model.hh"
+
+#include <deque>
+
+#include "arch/tech_model.hh"
+#include "common/logging.hh"
+
+namespace tie {
+
+double
+EieConfig::projectedFreqMhz(double to_nm) const
+{
+    return NodeProjection::frequencyMhz(freq_mhz, node_nm, to_nm);
+}
+
+double
+EieConfig::projectedAreaMm2(double to_nm) const
+{
+    return NodeProjection::areaMm2(area_mm2, node_nm, to_nm);
+}
+
+double
+EieConfig::projectedPowerMw(double to_nm) const
+{
+    return NodeProjection::powerMw(power_mw, node_nm, to_nm);
+}
+
+EieModel::EieModel(EieConfig cfg) : cfg_(cfg)
+{
+    TIE_CHECK_ARG(cfg_.n_pe >= 1 && cfg_.fifo_depth >= 1,
+                  "EIE needs PEs and a FIFO");
+}
+
+EieRunResult
+EieModel::run(const CscMatrix &w, const std::vector<float> &x) const
+{
+    TIE_CHECK_ARG(x.size() == w.cols, "EIE input length mismatch");
+
+    EieRunResult res;
+    res.output = w.matVec(x); // functional result
+
+    // Per-(column, PE) nonzero counts; rows are interleaved mod n_pe.
+    const size_t npe = cfg_.n_pe;
+    std::vector<std::deque<uint32_t>> queue(npe);
+    std::vector<size_t> nz_cols;
+    for (size_t j = 0; j < w.cols; ++j)
+        if (x[j] != 0.0f)
+            nz_cols.push_back(j);
+
+    std::vector<uint32_t> job(npe);
+    size_t next = 0; // next nonzero activation to broadcast
+    size_t busy_work = 0;
+
+    auto all_empty = [&] {
+        for (const auto &q : queue)
+            if (!q.empty())
+                return false;
+        return true;
+    };
+
+    while (next < nz_cols.size() || !all_empty()) {
+        // Broadcast stage: push the next activation's jobs if every
+        // queue has space; otherwise the broadcast stalls this cycle.
+        if (next < nz_cols.size()) {
+            bool space = true;
+            for (const auto &q : queue)
+                if (q.size() >= cfg_.fifo_depth) {
+                    space = false;
+                    break;
+                }
+            if (space) {
+                const size_t j = nz_cols[next++];
+                std::fill(job.begin(), job.end(), 0);
+                for (size_t k = w.col_ptr[j]; k < w.col_ptr[j + 1]; ++k)
+                    ++job[w.row_idx[k] % npe];
+                for (size_t p = 0; p < npe; ++p)
+                    if (job[p] > 0)
+                        queue[p].push_back(job[p]);
+            } else {
+                ++res.broadcast_stalls;
+            }
+        }
+
+        // Execute stage: each PE retires one nonzero per cycle.
+        for (auto &q : queue) {
+            if (q.empty())
+                continue;
+            if (--q.front() == 0)
+                q.pop_front();
+            ++busy_work;
+        }
+        ++res.cycles;
+    }
+
+    res.mac_ops = busy_work;
+    return res;
+}
+
+CscMatrix
+EieModel::compress(const MatrixF &w, double weight_density)
+{
+    return encodeCsc(magnitudePrune(w, weight_density));
+}
+
+EiePowerBreakdown
+EieModel::estimatePower(const EieRunResult &run) const
+{
+    EiePowerBreakdown p;
+    if (run.cycles == 0)
+        return p;
+
+    TechModel t28 = TechModel::cmos28();
+    // Per-op energy scales ~linearly with feature size (the flip side
+    // of the paper's constant-power projection rule).
+    const double node_scale = cfg_.node_nm / t28.node_nm;
+
+    // Clocked state per PE: activation FIFO, pointer registers, the
+    // accumulator bank and control (~2400 flops).
+    const double flops = static_cast<double>(cfg_.n_pe) * 2400.0;
+    const double e_clock_cycle =
+        flops * t28.e_clock_per_flop * node_scale;
+
+    // Per retired nonzero: one 4-bit weight-index read + pointer
+    // bookkeeping from the per-PE SRAM (~8 KB each), one codebook
+    // register lookup, one 16-bit MAC, one accumulator write.
+    const double per_pe_sram = 8.0 * 1024;
+    const double e_mem_op =
+        (t28.sramAccessPj(static_cast<size_t>(per_pe_sram), 4) +
+         t28.sramAccessPj(static_cast<size_t>(per_pe_sram), 16)) *
+        node_scale;
+    const double e_compute_op =
+        (t28.e_mac + 2.0 * t28.e_reg_write) * node_scale;
+
+    const double seconds =
+        static_cast<double>(run.cycles) / (cfg_.freq_mhz * 1.0e6);
+    const double to_mw = 1.0e-12 / seconds * 1.0e3;
+
+    p.clock_mw = static_cast<double>(run.cycles) * e_clock_cycle *
+                 to_mw;
+    p.memory_mw = static_cast<double>(run.mac_ops) * e_mem_op * to_mw;
+    p.compute_mw =
+        static_cast<double>(run.mac_ops) * e_compute_op * to_mw;
+    return p;
+}
+
+} // namespace tie

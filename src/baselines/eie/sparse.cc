@@ -1,0 +1,198 @@
+#include "baselines/eie/sparse.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tie {
+
+double
+CscMatrix::density() const
+{
+    const size_t total = rows * cols;
+    return total ? static_cast<double>(nnz()) / total : 0.0;
+}
+
+MatrixF
+CscMatrix::toDense() const
+{
+    MatrixF w(rows, cols);
+    for (size_t j = 0; j < cols; ++j)
+        for (size_t k = col_ptr[j]; k < col_ptr[j + 1]; ++k)
+            w(row_idx[k], j) = codebook[weight_ix[k]];
+    return w;
+}
+
+std::vector<float>
+CscMatrix::matVec(const std::vector<float> &x) const
+{
+    TIE_CHECK_ARG(x.size() == cols, "CSC matVec length mismatch");
+    std::vector<float> y(rows, 0.0f);
+    for (size_t j = 0; j < cols; ++j) {
+        const float xj = x[j];
+        if (xj == 0.0f)
+            continue; // EIE skips zero activations entirely
+        for (size_t k = col_ptr[j]; k < col_ptr[j + 1]; ++k)
+            y[row_idx[k]] += codebook[weight_ix[k]] * xj;
+    }
+    return y;
+}
+
+MatrixF
+magnitudePrune(const MatrixF &w, double density)
+{
+    TIE_CHECK_ARG(density > 0.0 && density <= 1.0,
+                  "density must be in (0, 1], got ", density);
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(density * w.size())));
+    if (keep >= w.size())
+        return w;
+
+    std::vector<float> mags(w.size());
+    for (size_t i = 0; i < w.size(); ++i)
+        mags[i] = std::abs(w.flat()[i]);
+    std::nth_element(mags.begin(), mags.begin() + (w.size() - keep),
+                     mags.end());
+    const float threshold = mags[w.size() - keep];
+
+    MatrixF out = w;
+    size_t kept = 0;
+    for (auto &v : out.flat()) {
+        if (std::abs(v) < threshold || kept >= keep)
+            v = 0.0f;
+        else
+            ++kept;
+    }
+    return out;
+}
+
+CscMatrix
+encodeCsc(const MatrixF &w, int cluster_bits)
+{
+    TIE_CHECK_ARG(cluster_bits >= 1 && cluster_bits <= 8,
+                  "cluster bits must be 1..8");
+    const size_t n_clusters = size_t(1) << cluster_bits;
+
+    // Collect nonzeros.
+    std::vector<float> vals;
+    for (float v : w.flat())
+        if (v != 0.0f)
+            vals.push_back(v);
+
+    CscMatrix out;
+    out.rows = w.rows();
+    out.cols = w.cols();
+    out.col_ptr.assign(w.cols() + 1, 0);
+    if (vals.empty()) {
+        out.codebook.assign(n_clusters, 0.0f);
+        return out;
+    }
+
+    // Uniform-range seeding + a few Lloyd iterations.
+    auto [mn_it, mx_it] = std::minmax_element(vals.begin(), vals.end());
+    const float mn = *mn_it, mx = *mx_it;
+    std::vector<float> centers(n_clusters);
+    for (size_t c = 0; c < n_clusters; ++c)
+        centers[c] = mn + (mx - mn) *
+                         (static_cast<float>(c) + 0.5f) /
+                         static_cast<float>(n_clusters);
+
+    auto nearest = [&](float v) {
+        size_t best = 0;
+        float bd = std::abs(v - centers[0]);
+        for (size_t c = 1; c < centers.size(); ++c) {
+            const float d = std::abs(v - centers[c]);
+            if (d < bd) {
+                bd = d;
+                best = c;
+            }
+        }
+        return best;
+    };
+
+    for (int iter = 0; iter < 8; ++iter) {
+        std::vector<double> sum(n_clusters, 0.0);
+        std::vector<size_t> cnt(n_clusters, 0);
+        for (float v : vals) {
+            const size_t c = nearest(v);
+            sum[c] += v;
+            ++cnt[c];
+        }
+        for (size_t c = 0; c < n_clusters; ++c)
+            if (cnt[c] > 0)
+                centers[c] = static_cast<float>(sum[c] / cnt[c]);
+    }
+
+    out.codebook = centers;
+    for (size_t j = 0; j < w.cols(); ++j) {
+        for (size_t i = 0; i < w.rows(); ++i) {
+            const float v = w(i, j);
+            if (v == 0.0f)
+                continue;
+            out.row_idx.push_back(static_cast<uint32_t>(i));
+            out.weight_ix.push_back(static_cast<uint8_t>(nearest(v)));
+        }
+        out.col_ptr[j + 1] = out.row_idx.size();
+    }
+    return out;
+}
+
+CscMatrix
+randomCsc(size_t rows, size_t cols, double density, Rng &rng,
+          int cluster_bits)
+{
+    TIE_CHECK_ARG(density > 0.0 && density <= 1.0,
+                  "density must be in (0, 1]");
+    const size_t n_clusters = size_t(1) << cluster_bits;
+
+    CscMatrix out;
+    out.rows = rows;
+    out.cols = cols;
+    out.col_ptr.assign(cols + 1, 0);
+    out.codebook.resize(n_clusters);
+    for (auto &v : out.codebook)
+        v = static_cast<float>(rng.normal(0.0, 0.05));
+
+    const double mean_nnz = density * static_cast<double>(rows);
+    std::vector<bool> used(rows, false);
+    std::vector<size_t> picked;
+    for (size_t j = 0; j < cols; ++j) {
+        // Per-column nonzero count with mild jitter (pruned layers are
+        // not perfectly balanced — this is what stresses EIE's FIFO).
+        long k = std::lround(mean_nnz + rng.normal(0.0, 0.25 * mean_nnz));
+        k = std::max(0l, std::min(k, static_cast<long>(rows)));
+        picked.clear();
+        for (long t = 0; t < k; ++t) {
+            size_t r;
+            do {
+                r = static_cast<size_t>(rng.intIn(0, rows - 1));
+            } while (used[r]);
+            used[r] = true;
+            picked.push_back(r);
+        }
+        std::sort(picked.begin(), picked.end());
+        for (size_t r : picked) {
+            used[r] = false;
+            out.row_idx.push_back(static_cast<uint32_t>(r));
+            out.weight_ix.push_back(static_cast<uint8_t>(
+                rng.intIn(0, static_cast<int64_t>(n_clusters) - 1)));
+        }
+        out.col_ptr[j + 1] = out.row_idx.size();
+    }
+    return out;
+}
+
+std::vector<float>
+randomSparseActivations(size_t n, double density, Rng &rng)
+{
+    TIE_CHECK_ARG(density >= 0.0 && density <= 1.0,
+                  "activation density must be in [0, 1]");
+    std::vector<float> x(n, 0.0f);
+    for (auto &v : x)
+        if (rng.coin(density))
+            v = static_cast<float>(rng.normal());
+    return x;
+}
+
+} // namespace tie

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Compressed sparse column (CSC) weights with 4-bit weight sharing —
+ * the storage format of the EIE baseline (Han et al., ISCA'16), which
+ * the TIE paper compares against in Table 7 / Fig. 12.
+ */
+
+#ifndef TIE_BASELINES_EIE_SPARSE_HH
+#define TIE_BASELINES_EIE_SPARSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** CSC sparse matrix with clustered (shared) weight values. */
+struct CscMatrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    std::vector<size_t> col_ptr;    ///< size cols+1
+    std::vector<uint32_t> row_idx;  ///< size nnz
+    std::vector<uint8_t> weight_ix; ///< 4-bit codebook index per nnz
+    std::vector<float> codebook;    ///< 16 shared weight values
+
+    size_t nnz() const { return row_idx.size(); }
+    double density() const;
+
+    /** Decode back to a dense matrix. */
+    MatrixF toDense() const;
+
+    /** y = W x (functional reference). */
+    std::vector<float> matVec(const std::vector<float> &x) const;
+};
+
+/**
+ * Magnitude pruning: zero all but the largest-|w| fraction @p density
+ * of entries (Deep Compression's pruning step).
+ */
+MatrixF magnitudePrune(const MatrixF &w, double density);
+
+/**
+ * Cluster the nonzero values of @p w into 2^bits shared weights
+ * (uniform-range k-means seeding, a few Lloyd iterations) and encode
+ * as CSC.
+ */
+CscMatrix encodeCsc(const MatrixF &w, int cluster_bits = 4);
+
+/** Random sparse activation vector with the given nonzero fraction. */
+std::vector<float> randomSparseActivations(size_t n, double density,
+                                           Rng &rng);
+
+/**
+ * Directly synthesise a random CSC matrix of the given density —
+ * used for the paper-scale EIE workloads (a 4096 x 25088 dense
+ * intermediate would be pointless when only the sparsity pattern
+ * drives the performance model).
+ */
+CscMatrix randomCsc(size_t rows, size_t cols, double density, Rng &rng,
+                    int cluster_bits = 4);
+
+} // namespace tie
+
+#endif // TIE_BASELINES_EIE_SPARSE_HH

@@ -1,0 +1,80 @@
+#include "baselines/eyeriss/eyeriss_model.hh"
+
+#include "arch/tech_model.hh"
+#include "common/logging.hh"
+
+namespace tie {
+
+size_t
+ConvShape::macs() const
+{
+    return outH() * outW() * f * f * c_in * c_out;
+}
+
+double
+EyerissConfig::projectedFreqMhz(double to_nm) const
+{
+    return NodeProjection::frequencyMhz(freq_mhz, node_nm, to_nm);
+}
+
+double
+EyerissConfig::projectedAreaMm2(double to_nm) const
+{
+    return NodeProjection::areaMm2(area_mm2, node_nm, to_nm);
+}
+
+double
+EyerissConfig::projectedPowerMw(double to_nm) const
+{
+    return NodeProjection::powerMw(power_mw, node_nm, to_nm);
+}
+
+EyerissModel::EyerissModel(EyerissConfig cfg) : cfg_(cfg)
+{
+    TIE_CHECK_ARG(cfg_.n_pe >= 1 && cfg_.utilization > 0.0 &&
+                  cfg_.utilization <= 1.0,
+                  "Eyeriss config out of range");
+}
+
+size_t
+EyerissModel::cyclesFor(const ConvShape &conv) const
+{
+    const double eff_macs_per_cycle =
+        static_cast<double>(cfg_.n_pe) * cfg_.utilization;
+    return static_cast<size_t>(
+        static_cast<double>(conv.macs()) / eff_macs_per_cycle);
+}
+
+size_t
+EyerissModel::cyclesFor(const std::vector<ConvShape> &convs) const
+{
+    size_t total = 0;
+    for (const auto &c : convs)
+        total += cyclesFor(c);
+    return total;
+}
+
+double
+EyerissModel::framesPerSecond(const std::vector<ConvShape> &convs,
+                              double freq_mhz) const
+{
+    const double cycles = static_cast<double>(cyclesFor(convs));
+    return freq_mhz * 1.0e6 / cycles;
+}
+
+std::vector<ConvShape>
+vgg16ConvLayers()
+{
+    // (H, W, Cin, Cout, f, pad): the standard VGG-16 feature stack.
+    return {
+        {224, 224, 3, 64, 3, 1},   {224, 224, 64, 64, 3, 1},
+        {112, 112, 64, 128, 3, 1}, {112, 112, 128, 128, 3, 1},
+        {56, 56, 128, 256, 3, 1},  {56, 56, 256, 256, 3, 1},
+        {56, 56, 256, 256, 3, 1},  {28, 28, 256, 512, 3, 1},
+        {28, 28, 512, 512, 3, 1},  {28, 28, 512, 512, 3, 1},
+        {14, 14, 512, 512, 3, 1},  {14, 14, 512, 512, 3, 1},
+        {14, 14, 512, 512, 3, 1},
+    };
+}
+
+} // namespace tie

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Analytic model of Eyeriss (Chen et al., ISCA'16), the row-stationary
+ * CONV accelerator TIE compares against on VGG CONV layers (Table 9).
+ */
+
+#ifndef TIE_BASELINES_EYERISS_EYERISS_MODEL_HH
+#define TIE_BASELINES_EYERISS_EYERISS_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tie {
+
+/** Geometry of one convolutional layer (no padding: H' = H - f + 1). */
+struct ConvShape
+{
+    size_t h = 0;     ///< input height
+    size_t w = 0;     ///< input width
+    size_t c_in = 0;  ///< input channels
+    size_t c_out = 0; ///< output channels
+    size_t f = 0;     ///< square kernel size
+    size_t pad = 0;   ///< symmetric zero padding
+    size_t stride = 1;
+
+    size_t outH() const { return (h + 2 * pad - f) / stride + 1; }
+    size_t outW() const { return (w + 2 * pad - f) / stride + 1; }
+
+    /** Multiply-accumulates for one input frame. */
+    size_t macs() const;
+
+    /** im2col matrix view: (c_out) x (f*f*c_in), outH*outW columns. */
+    size_t gemmRows() const { return c_out; }
+    size_t gemmCols() const { return f * f * c_in; }
+    size_t gemmBatch() const { return outH() * outW(); }
+};
+
+/** Eyeriss design parameters (ISCA'16 chip, core numbers). */
+struct EyerissConfig
+{
+    size_t n_pe = 168;        ///< 12 x 14 PE array
+    double freq_mhz = 200.0;  ///< reported @65 nm
+    double node_nm = 65.0;
+    double area_mm2 = 12.25;  ///< core area (paper Table 9 footnote)
+    double power_mw = 236.0;  ///< reported
+    /**
+     * Sustained PE-array utilisation including mapping fragmentation,
+     * DRAM stalls and cross-layer overheads. 0.37 end-to-end
+     * reproduces Eyeriss's reported ~0.8 frame/s on the VGG-16 CONV
+     * stack (the number Table 9 compares against).
+     */
+    double utilization = 0.37;
+
+    double projectedFreqMhz(double to_nm = 28.0) const;
+    double projectedAreaMm2(double to_nm = 28.0) const;
+    double projectedPowerMw(double to_nm = 28.0) const;
+};
+
+/** Analytic row-stationary execution model. */
+class EyerissModel
+{
+  public:
+    explicit EyerissModel(EyerissConfig cfg = {});
+
+    const EyerissConfig &config() const { return cfg_; }
+
+    /** Cycles to execute one CONV layer on one frame. */
+    size_t cyclesFor(const ConvShape &conv) const;
+
+    /** Cycles for a whole CONV stack (one frame). */
+    size_t cyclesFor(const std::vector<ConvShape> &convs) const;
+
+    /** Frames per second on a CONV stack at the given frequency. */
+    double framesPerSecond(const std::vector<ConvShape> &convs,
+                           double freq_mhz) const;
+
+  private:
+    EyerissConfig cfg_;
+};
+
+/** The 13 CONV layers of VGG-16 (224x224 input, padding 1). */
+std::vector<ConvShape> vgg16ConvLayers();
+
+} // namespace tie
+
+#endif // TIE_BASELINES_EYERISS_EYERISS_MODEL_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Diagnostic helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger / core dump can capture state.
+ * fatal()  — the *user* asked for something impossible (bad configuration,
+ *            mismatched shapes supplied through the public API); exits with
+ *            an error code.
+ * warn()   — something works but is suspicious or approximated.
+ * inform() — plain status output.
+ */
+
+#ifndef TIE_COMMON_LOGGING_HH
+#define TIE_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace tie {
+
+/** Terminate with an internal-bug diagnostic (calls std::abort). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a user-error diagnostic (calls std::exit(1)). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print an informational message to stdout. */
+void informImpl(const std::string &msg);
+
+/**
+ * Build a string by streaming every argument into an ostringstream.
+ * Keeps call sites free of manual string concatenation.
+ */
+template <typename... Args>
+std::string
+strCat(const Args &...args)
+{
+    std::ostringstream oss;
+    ((void)(oss << ... << args));
+    return oss.str();
+}
+
+} // namespace tie
+
+#define TIE_PANIC(...) \
+    ::tie::panicImpl(__FILE__, __LINE__, ::tie::strCat(__VA_ARGS__))
+
+#define TIE_FATAL(...) \
+    ::tie::fatalImpl(__FILE__, __LINE__, ::tie::strCat(__VA_ARGS__))
+
+#define TIE_WARN(...) \
+    ::tie::warnImpl(__FILE__, __LINE__, ::tie::strCat(__VA_ARGS__))
+
+#define TIE_INFORM(...) ::tie::informImpl(::tie::strCat(__VA_ARGS__))
+
+/** Invariant check that survives release builds (unlike assert). */
+#define TIE_REQUIRE(cond, ...)                                         \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::tie::panicImpl(__FILE__, __LINE__,                       \
+                             ::tie::strCat("requirement failed: ",     \
+                                           #cond, " — ",               \
+                                           ::tie::strCat(__VA_ARGS__))); \
+        }                                                              \
+    } while (0)
+
+/** User-facing argument check: failure is the caller's fault. */
+#define TIE_CHECK_ARG(cond, ...)                                       \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::tie::fatalImpl(__FILE__, __LINE__,                       \
+                             ::tie::strCat("invalid argument: ",       \
+                                           #cond, " — ",               \
+                                           ::tie::strCat(__VA_ARGS__))); \
+        }                                                              \
+    } while (0)
+
+#endif // TIE_COMMON_LOGGING_HH

@@ -1,0 +1,21 @@
+#include "common/random.hh"
+
+namespace tie {
+
+namespace {
+Rng globalRngInstance;
+} // namespace
+
+Rng &
+globalRng()
+{
+    return globalRngInstance;
+}
+
+void
+reseedGlobalRng(uint64_t seed)
+{
+    globalRngInstance = Rng(seed);
+}
+
+} // namespace tie

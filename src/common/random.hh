@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this repository that needs randomness (weight
+ * initialisation, synthetic datasets, property-based tests) goes through
+ * Rng so experiments are reproducible bit-for-bit across runs.
+ */
+
+#ifndef TIE_COMMON_RANDOM_HH
+#define TIE_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace tie {
+
+/** Seedable wrapper around a 64-bit Mersenne twister. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x7ee5eed) : engine_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Standard normal scaled by @p stddev around @p mean. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        std::normal_distribution<double> d(mean, stddev);
+        return d(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    intIn(int64_t lo, int64_t hi)
+    {
+        std::uniform_int_distribution<int64_t> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool coin(double p = 0.5) { return uniform() < p; }
+
+    /** Fisher–Yates shuffle of an index vector [0, n). */
+    std::vector<size_t>
+    permutation(size_t n)
+    {
+        std::vector<size_t> idx(n);
+        for (size_t i = 0; i < n; ++i)
+            idx[i] = i;
+        for (size_t i = n; i > 1; --i) {
+            size_t j = static_cast<size_t>(intIn(0, static_cast<int64_t>(i) - 1));
+            std::swap(idx[i - 1], idx[j]);
+        }
+        return idx;
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+/** Process-wide generator for code that does not thread an Rng through. */
+Rng &globalRng();
+
+/** Re-seed the process-wide generator (tests use this for isolation). */
+void reseedGlobalRng(uint64_t seed);
+
+} // namespace tie
+
+#endif // TIE_COMMON_RANDOM_HH

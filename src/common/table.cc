@@ -1,0 +1,87 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace tie {
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    std::ostringstream oss;
+    size_t total = 0;
+    for (size_t c = 0; c < ncols; ++c)
+        total += width[c] + 3;
+
+    auto rule = std::string(total ? total - 1 : 0, '-');
+    if (!title_.empty())
+        oss << title_ << "\n" << rule << "\n";
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < ncols; ++c) {
+            std::string cell = c < r.size() ? r[c] : "";
+            oss << cell << std::string(width[c] - cell.size(), ' ');
+            if (c + 1 < ncols)
+                oss << " | ";
+        }
+        oss << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        oss << rule << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return oss.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render() << std::endl;
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << v;
+    return oss.str();
+}
+
+std::string
+TextTable::ratio(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+} // namespace tie

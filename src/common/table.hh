@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table rendering used by the bench binaries to print the
+ * paper's tables and figure series with aligned columns.
+ */
+
+#ifndef TIE_COMMON_TABLE_HH
+#define TIE_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tie {
+
+/** Column-aligned text table with an optional title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row (column names). */
+    void header(std::vector<std::string> cols);
+
+    /** Append one data row; ragged rows are padded with empty cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to a string (title, rule, header, rows). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision significant decimal digits. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a ratio as e.g. "7.22x". */
+    static std::string ratio(double v, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tie
+
+#endif // TIE_COMMON_TABLE_HH

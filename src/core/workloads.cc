@@ -1,0 +1,190 @@
+#include "core/workloads.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tie {
+namespace workloads {
+
+namespace {
+
+/** Cap requested interior ranks by the TT-maximal ranks of the shape. */
+TtLayerConfig
+capRanks(TtLayerConfig cfg)
+{
+    const size_t dd = cfg.d();
+    for (size_t k = 1; k < dd; ++k) {
+        size_t left = 1, right = 1;
+        for (size_t l = 0; l < k; ++l)
+            left *= cfg.m[l] * cfg.n[l];
+        for (size_t l = k; l < dd; ++l)
+            right *= cfg.m[l] * cfg.n[l];
+        cfg.r[k] = std::min(cfg.r[k], std::min(left, right));
+    }
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
+TtLayerConfig
+vggFc6()
+{
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4, 4, 4, 4};
+    cfg.n = {2, 7, 8, 8, 7, 4};
+    cfg.r = {1, 4, 4, 4, 4, 4, 1};
+    cfg.validate();
+    return cfg;
+}
+
+TtLayerConfig
+vggFc7()
+{
+    return TtLayerConfig::uniform(6, 4, 4, 4);
+}
+
+TtLayerConfig
+lstmUcf11()
+{
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4, 4};
+    cfg.n = {8, 20, 20, 18};
+    cfg.r = {1, 4, 4, 4, 1};
+    cfg.validate();
+    return cfg;
+}
+
+TtLayerConfig
+lstmYoutube()
+{
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4, 4};
+    cfg.n = {4, 20, 20, 36};
+    cfg.r = {1, 4, 4, 4, 1};
+    cfg.validate();
+    return cfg;
+}
+
+std::vector<Benchmark>
+table4Benchmarks()
+{
+    return {
+        {"VGG-FC6", vggFc6(), "CNN / image classification"},
+        {"VGG-FC7", vggFc7(), "CNN / image classification"},
+        {"LSTM-UCF11", lstmUcf11(), "RNN / video classification"},
+        {"LSTM-Youtube", lstmYoutube(), "RNN / video classification"},
+    };
+}
+
+std::vector<TtLayerConfig>
+fcDominatedCnnLayers()
+{
+    return {vggFc6(), vggFc7()};
+}
+
+VggParamBudget
+vgg16Params()
+{
+    VggParamBudget b;
+    b.conv_params = 0;
+    for (const ConvShape &c : vgg16ConvLayers())
+        b.conv_params += c.f * c.f * c.c_in * c.c_out;
+    b.fc6 = 25088ull * 4096;
+    b.fc7 = 4096ull * 4096;
+    b.fc8 = 4096ull * 1000;
+    return b;
+}
+
+std::vector<TtLayerConfig>
+convDominatedCnnLayers()
+{
+    // Paper Sec. 2.3: layers 2-6 of the CIFAR-10 CNN of [23].
+    auto make = [](std::vector<size_t> m, std::vector<size_t> n,
+                   std::vector<size_t> rint) {
+        TtLayerConfig cfg;
+        cfg.m = std::move(m);
+        cfg.n = std::move(n);
+        cfg.r = {1, rint[0], rint[1], rint[2], 1};
+        cfg.validate();
+        return cfg;
+    };
+    return {
+        make({3, 4, 4, 4}, {3, 4, 4, 4}, {22, 20, 20}), // 2nd
+        make({3, 4, 8, 4}, {3, 4, 4, 4}, {27, 22, 22}), // 3rd
+        make({3, 4, 8, 4}, {3, 4, 8, 4}, {23, 23, 23}), // 4th
+        make({3, 4, 8, 4}, {3, 4, 8, 4}, {23, 23, 23}), // 5th
+        make({3, 4, 8, 4}, {3, 4, 8, 4}, {23, 23, 23}), // 6th
+    };
+}
+
+size_t
+convDominatedCnnOtherParams()
+{
+    // Inferred from Table 2's reported overall CR of 3.27x given the
+    // per-layer settings (the non-TT layers of that CNN are tiny).
+    return 1240;
+}
+
+TtLayerConfig
+rnnInputToHidden(size_t gates)
+{
+    TIE_CHECK_ARG(gates == 3 || gates == 4,
+                  "gates must be 3 (GRU) or 4 (LSTM)");
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4, 4 * gates}; // gate pre-activations folded into m_d
+    cfg.n = {4, 20, 20, 36};
+    cfg.r = {1, 4, 4, 4, 1};
+    cfg.validate();
+    return cfg;
+}
+
+std::vector<EieWorkload>
+eieWorkloads()
+{
+    // Weight densities follow Deep Compression's VGG-16 pruning (~4%
+    // of FC weights kept); activation densities reflect the dynamic
+    // sparsity EIE reports for the two layers' inputs.
+    return {
+        {"VGG-FC6", 4096, 25088, 0.04, 0.35},
+        {"VGG-FC7", 4096, 4096, 0.04, 0.55},
+    };
+}
+
+std::vector<TtConvWorkload>
+vgg16TtConvLayers(size_t rank)
+{
+    auto convs = vgg16ConvLayers();
+    auto make = [&](const ConvShape &s, std::vector<size_t> m,
+                    std::vector<size_t> n) {
+        TtLayerConfig cfg;
+        cfg.m = std::move(m);
+        cfg.n = std::move(n);
+        cfg.r.assign(cfg.m.size() + 1, rank);
+        cfg.r.front() = cfg.r.back() = 1;
+        cfg = capRanks(cfg);
+        TIE_REQUIRE(cfg.outSize() == s.c_out &&
+                    cfg.inSize() == s.f * s.f * s.c_in,
+                    "bad VGG conv factorisation");
+        return TtConvWorkload{s, cfg};
+    };
+    return {
+        make(convs[0], {4, 4, 4}, {3, 3, 3}),        // 64 x 27
+        make(convs[1], {4, 4, 4}, {6, 8, 12}),       // 64 x 576
+        make(convs[2], {4, 4, 8}, {6, 8, 12}),       // 128 x 576
+        make(convs[3], {4, 4, 8}, {8, 9, 16}),       // 128 x 1152
+        make(convs[4], {4, 4, 4, 4}, {4, 6, 6, 8}),  // 256 x 1152
+        make(convs[5], {4, 4, 4, 4}, {4, 6, 12, 8}), // 256 x 2304
+        make(convs[6], {4, 4, 4, 4}, {4, 6, 12, 8}),
+        make(convs[7], {4, 4, 8, 4}, {4, 6, 12, 8}), // 512 x 2304
+        make(convs[8], {4, 4, 8, 4}, {6, 8, 12, 8}), // 512 x 4608
+        make(convs[9], {4, 4, 8, 4}, {6, 8, 12, 8}),
+        make(convs[10], {4, 4, 8, 4}, {6, 8, 12, 8}),
+        make(convs[11], {4, 4, 8, 4}, {6, 8, 12, 8}),
+        make(convs[12], {4, 4, 8, 4}, {6, 8, 12, 8}),
+    };
+}
+
+} // namespace workloads
+} // namespace tie

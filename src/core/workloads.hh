@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The paper's evaluation workloads, centralised: the four Table-4
+ * benchmark layers, the Sec.-2.3 model settings behind Tables 1-3, the
+ * EIE comparison densities, and TT factorisations of the VGG-16 CONV
+ * stack for the Eyeriss comparison (Table 9).
+ */
+
+#ifndef TIE_CORE_WORKLOADS_HH
+#define TIE_CORE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "baselines/eyeriss/eyeriss_model.hh"
+#include "tt/tt_shape.hh"
+
+namespace tie {
+namespace workloads {
+
+/** One Table-4 row: a named TT benchmark layer. */
+struct Benchmark
+{
+    std::string name;
+    TtLayerConfig config;
+    std::string task;
+};
+
+/** VGG-FC6: (4096, 25088), d=6, CR 50972x. */
+TtLayerConfig vggFc6();
+
+/** VGG-FC7: (4096, 4096), d=6, CR 14564x. */
+TtLayerConfig vggFc7();
+
+/** LSTM-UCF11 input-to-hidden: (57600, 256) -> wide-input TT. */
+TtLayerConfig lstmUcf11();
+
+/** LSTM-Youtube input-to-hidden: (57600, 256). */
+TtLayerConfig lstmYoutube();
+
+/** All four Table-4 rows in paper order. */
+std::vector<Benchmark> table4Benchmarks();
+
+/** Table 1: the two TT FC layers of TT-VGG-16 ([50], d=6, r=4). */
+std::vector<TtLayerConfig> fcDominatedCnnLayers();
+
+/** Non-TT parameter counts of VGG-16 needed for the overall-CR math. */
+struct VggParamBudget
+{
+    size_t conv_params;  ///< all 13 CONV layers
+    size_t fc6, fc7, fc8; ///< dense FC parameter counts
+};
+VggParamBudget vgg16Params();
+
+/** Table 2: TT settings of the CONV-dominated CNN ([23], d=4). */
+std::vector<TtLayerConfig> convDominatedCnnLayers();
+
+/** Dense parameter count of the CONV-dominated CNN's other layers. */
+size_t convDominatedCnnOtherParams();
+
+/** Table 3: TT-LSTM / TT-GRU input-to-hidden settings ([77], d=4). */
+TtLayerConfig rnnInputToHidden(size_t gates);
+
+/** EIE comparison: weight / activation densities per FC workload. */
+struct EieWorkload
+{
+    std::string name;
+    size_t rows, cols;
+    double weight_density;
+    double act_density;
+};
+std::vector<EieWorkload> eieWorkloads();
+
+/**
+ * TT factorisations of the 13 VGG-16 CONV-layer GEMMs
+ * (c_out x f*f*c_in) for the Table-9 Eyeriss comparison, paired with
+ * the conv geometry. The default rank 7 is the largest uniform rank
+ * for which every layer's interleaved core layout fits the 16 KB
+ * weight SRAM (the paper's Table-9 settings are unstated; see
+ * EXPERIMENTS.md).
+ */
+struct TtConvWorkload
+{
+    ConvShape shape;
+    TtLayerConfig config;
+};
+std::vector<TtConvWorkload> vgg16TtConvLayers(size_t rank = 7);
+
+} // namespace workloads
+} // namespace tie
+
+#endif // TIE_CORE_WORKLOADS_HH

@@ -1,0 +1,40 @@
+#include "linalg/matrix.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace tie {
+
+namespace {
+
+template <typename T>
+std::string
+toStringImpl(const Matrix<T> &m, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        oss << (r == 0 ? "[" : " ");
+        for (size_t c = 0; c < m.cols(); ++c)
+            oss << std::setw(precision + 6) << m(r, c);
+        oss << (r + 1 == m.rows() ? " ]" : "\n");
+    }
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+toString(const MatrixD &m, int precision)
+{
+    return toStringImpl(m, precision);
+}
+
+std::string
+toString(const MatrixF &m, int precision)
+{
+    return toStringImpl(m, precision);
+}
+
+} // namespace tie

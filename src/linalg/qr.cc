@@ -1,0 +1,86 @@
+#include "linalg/qr.hh"
+
+#include <cmath>
+
+namespace tie {
+
+QrResult
+householderQr(const MatrixD &a)
+{
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+    const size_t k = std::min(m, n);
+
+    // Work on a copy; accumulate Householder vectors in-place below the
+    // diagonal while R forms on and above it.
+    MatrixD r = a;
+    std::vector<std::vector<double>> vs; // Householder vectors
+    vs.reserve(k);
+
+    for (size_t j = 0; j < k; ++j) {
+        // Build the Householder vector for column j.
+        double norm = 0.0;
+        for (size_t i = j; i < m; ++i)
+            norm += r(i, j) * r(i, j);
+        norm = std::sqrt(norm);
+
+        std::vector<double> v(m, 0.0);
+        if (norm == 0.0) {
+            // Zero column: identity reflector.
+            vs.push_back(std::move(v));
+            continue;
+        }
+        double alpha = r(j, j) >= 0 ? -norm : norm;
+        for (size_t i = j; i < m; ++i)
+            v[i] = r(i, j);
+        v[j] -= alpha;
+        double vnorm2 = 0.0;
+        for (size_t i = j; i < m; ++i)
+            vnorm2 += v[i] * v[i];
+        if (vnorm2 == 0.0) {
+            vs.push_back(std::move(v));
+            continue;
+        }
+
+        // Apply the reflector to the trailing columns of R.
+        for (size_t c = j; c < n; ++c) {
+            double dot = 0.0;
+            for (size_t i = j; i < m; ++i)
+                dot += v[i] * r(i, c);
+            double f = 2.0 * dot / vnorm2;
+            for (size_t i = j; i < m; ++i)
+                r(i, c) -= f * v[i];
+        }
+        vs.push_back(std::move(v));
+    }
+
+    // Form the thin Q by applying reflectors to the first k columns of I.
+    MatrixD q(m, k);
+    for (size_t c = 0; c < k; ++c)
+        q(c, c) = 1.0;
+    for (size_t j = k; j-- > 0;) {
+        const auto &v = vs[j];
+        double vnorm2 = 0.0;
+        for (size_t i = j; i < m; ++i)
+            vnorm2 += v[i] * v[i];
+        if (vnorm2 == 0.0)
+            continue;
+        for (size_t c = 0; c < k; ++c) {
+            double dot = 0.0;
+            for (size_t i = j; i < m; ++i)
+                dot += v[i] * q(i, c);
+            double f = 2.0 * dot / vnorm2;
+            for (size_t i = j; i < m; ++i)
+                q(i, c) -= f * v[i];
+        }
+    }
+
+    // Zero the strictly-lower part of the k x n R we return.
+    MatrixD rr(k, n);
+    for (size_t i = 0; i < k; ++i)
+        for (size_t c = i; c < n; ++c)
+            rr(i, c) = r(i, c);
+    return {std::move(q), std::move(rr)};
+}
+
+} // namespace tie

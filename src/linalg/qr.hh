@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Householder QR factorisation. Used by TT rounding to re-orthogonalise
+ * cores and by tests as an independent check on the SVD.
+ */
+
+#ifndef TIE_LINALG_QR_HH
+#define TIE_LINALG_QR_HH
+
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** Thin QR result: a = q * r with q (m x k), r (k x n), k = min(m, n). */
+struct QrResult
+{
+    MatrixD q; ///< Orthonormal columns.
+    MatrixD r; ///< Upper triangular (trapezoidal when m < n).
+};
+
+/**
+ * Compute the thin Householder QR factorisation of @p a.
+ *
+ * @param a input matrix (m x n).
+ * @return q with orthonormal columns and upper-triangular r.
+ */
+QrResult householderQr(const MatrixD &a);
+
+} // namespace tie
+
+#endif // TIE_LINALG_QR_HH

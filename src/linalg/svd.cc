@@ -1,0 +1,157 @@
+#include "linalg/svd.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tie {
+
+namespace {
+
+/**
+ * One-sided Jacobi works on the columns of a tall matrix. For wide
+ * inputs we factor the transpose and swap U/V on return.
+ */
+SvdResult
+jacobiSvdTall(const MatrixD &a, double tol, int max_sweeps)
+{
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+
+    MatrixD u = a;                     // columns get orthogonalised
+    MatrixD v = MatrixD::identity(n);  // accumulates rotations
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double max_coh = 0.0;
+        for (size_t p = 0; p + 1 < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                // Column inner products.
+                double app = 0.0, aqq = 0.0, apq = 0.0;
+                for (size_t i = 0; i < m; ++i) {
+                    const double up = u(i, p), uq = u(i, q);
+                    app += up * up;
+                    aqq += uq * uq;
+                    apq += up * uq;
+                }
+                if (app == 0.0 || aqq == 0.0)
+                    continue;
+                const double coh = std::abs(apq) / std::sqrt(app * aqq);
+                max_coh = std::max(max_coh, coh);
+                if (coh <= tol)
+                    continue;
+
+                // Jacobi rotation zeroing the (p, q) coherence.
+                const double tau = (aqq - app) / (2.0 * apq);
+                const double t = (tau >= 0 ? 1.0 : -1.0) /
+                                 (std::abs(tau) +
+                                  std::sqrt(1.0 + tau * tau));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+
+                for (size_t i = 0; i < m; ++i) {
+                    const double up = u(i, p), uq = u(i, q);
+                    u(i, p) = c * up - s * uq;
+                    u(i, q) = s * up + c * uq;
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    const double vp = v(i, p), vq = v(i, q);
+                    v(i, p) = c * vp - s * vq;
+                    v(i, q) = s * vp + c * vq;
+                }
+            }
+        }
+        if (max_coh <= tol)
+            break;
+    }
+
+    // Column norms are the singular values; normalise U.
+    std::vector<double> s(n, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+        double norm = 0.0;
+        for (size_t i = 0; i < m; ++i)
+            norm += u(i, j) * u(i, j);
+        s[j] = std::sqrt(norm);
+        if (s[j] > 0.0) {
+            for (size_t i = 0; i < m; ++i)
+                u(i, j) /= s[j];
+        }
+    }
+
+    // Sort descending by singular value.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return s[x] > s[y]; });
+
+    SvdResult out;
+    out.u = MatrixD(m, n);
+    out.v = MatrixD(n, n);
+    out.s.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+        const size_t src = order[j];
+        out.s[j] = s[src];
+        for (size_t i = 0; i < m; ++i)
+            out.u(i, j) = u(i, src);
+        for (size_t i = 0; i < n; ++i)
+            out.v(i, j) = v(i, src);
+    }
+    return out;
+}
+
+} // namespace
+
+SvdResult
+jacobiSvd(const MatrixD &a, double tol, int max_sweeps)
+{
+    TIE_CHECK_ARG(a.rows() > 0 && a.cols() > 0, "empty matrix in SVD");
+    if (a.rows() >= a.cols())
+        return jacobiSvdTall(a, tol, max_sweeps);
+
+    SvdResult t = jacobiSvdTall(a.transposed(), tol, max_sweeps);
+    return {std::move(t.v), std::move(t.s), std::move(t.u)};
+}
+
+TruncatedSvd
+truncatedSvd(const MatrixD &a, size_t max_rank, double rel_eps)
+{
+    SvdResult full = jacobiSvd(a);
+    const size_t k = full.s.size();
+
+    size_t rank = std::min(max_rank, k);
+    if (rel_eps > 0.0 && !full.s.empty()) {
+        const double cutoff = rel_eps * full.s[0];
+        size_t eff = 0;
+        while (eff < rank && full.s[eff] > cutoff)
+            ++eff;
+        rank = std::max<size_t>(eff, 1);
+    }
+    rank = std::max<size_t>(rank, 1);
+
+    TruncatedSvd out;
+    out.rank = rank;
+    out.u = MatrixD(a.rows(), rank);
+    out.v = MatrixD(a.cols(), rank);
+    out.s.assign(full.s.begin(), full.s.begin() + rank);
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < rank; ++j)
+            out.u(i, j) = full.u(i, j);
+    for (size_t i = 0; i < a.cols(); ++i)
+        for (size_t j = 0; j < rank; ++j)
+            out.v(i, j) = full.v(i, j);
+    return out;
+}
+
+MatrixD
+svdReconstruct(const MatrixD &u, const std::vector<double> &s,
+               const MatrixD &v)
+{
+    TIE_CHECK_ARG(u.cols() == s.size() && v.cols() == s.size(),
+                  "svdReconstruct shape mismatch");
+    MatrixD us = u;
+    for (size_t i = 0; i < us.rows(); ++i)
+        for (size_t j = 0; j < us.cols(); ++j)
+            us(i, j) *= s[j];
+    return matmul(us, v.transposed());
+}
+
+} // namespace tie

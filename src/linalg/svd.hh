@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Singular value decomposition via one-sided Jacobi rotations, plus the
+ * truncated variant used by TT-SVD (paper Sec. 2.2, "standard TT
+ * decomposition in [52]").
+ */
+
+#ifndef TIE_LINALG_SVD_HH
+#define TIE_LINALG_SVD_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** Full thin SVD: a = u * diag(s) * v^T. */
+struct SvdResult
+{
+    MatrixD u;             ///< m x k, orthonormal columns.
+    std::vector<double> s; ///< k singular values, descending.
+    MatrixD v;             ///< n x k, orthonormal columns.
+};
+
+/**
+ * Thin SVD of @p a by one-sided Jacobi orthogonalisation.
+ *
+ * Robust for the modest matrix sizes TT-SVD produces (the widest
+ * unfolding of the paper's benchmark layers is a few thousand columns).
+ *
+ * @param a input matrix (m x n).
+ * @param tol convergence tolerance on off-diagonal column coherence.
+ * @param max_sweeps iteration cap; convergence is usually < 15 sweeps.
+ */
+SvdResult jacobiSvd(const MatrixD &a, double tol = 1e-12,
+                    int max_sweeps = 60);
+
+/** Rank-truncated SVD result. */
+struct TruncatedSvd
+{
+    MatrixD u;             ///< m x r.
+    std::vector<double> s; ///< r singular values.
+    MatrixD v;             ///< n x r.
+    size_t rank;           ///< chosen rank r.
+};
+
+/**
+ * SVD truncated to at most @p max_rank components, additionally dropping
+ * singular values below @p rel_eps * s[0].
+ */
+TruncatedSvd truncatedSvd(const MatrixD &a, size_t max_rank,
+                          double rel_eps = 0.0);
+
+/** Reconstruct u * diag(s) * v^T. */
+MatrixD svdReconstruct(const MatrixD &u, const std::vector<double> &s,
+                       const MatrixD &v);
+
+} // namespace tie
+
+#endif // TIE_LINALG_SVD_HH

@@ -1,0 +1,61 @@
+#include "nn/activations.hh"
+
+#include <cmath>
+
+namespace tie {
+
+MatrixF
+Relu::forward(const MatrixF &x)
+{
+    mask_ = MatrixF(x.rows(), x.cols());
+    MatrixF y = x;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const bool pos = x.flat()[i] > 0.0f;
+        mask_.flat()[i] = pos ? 1.0f : 0.0f;
+        if (!pos)
+            y.flat()[i] = 0.0f;
+    }
+    return y;
+}
+
+MatrixF
+Relu::backward(const MatrixF &dy)
+{
+    TIE_CHECK_ARG(dy.rows() == mask_.rows() && dy.cols() == mask_.cols(),
+                  "ReLU backward shape mismatch");
+    MatrixF dx = dy;
+    for (size_t i = 0; i < dx.size(); ++i)
+        dx.flat()[i] *= mask_.flat()[i];
+    return dx;
+}
+
+MatrixF
+sigmoid(const MatrixF &x)
+{
+    MatrixF y = x;
+    for (auto &v : y.flat())
+        v = 1.0f / (1.0f + std::exp(-v));
+    return y;
+}
+
+MatrixF
+tanhm(const MatrixF &x)
+{
+    MatrixF y = x;
+    for (auto &v : y.flat())
+        v = std::tanh(v);
+    return y;
+}
+
+MatrixF
+hadamard(const MatrixF &a, const MatrixF &b)
+{
+    TIE_CHECK_ARG(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "hadamard shape mismatch");
+    MatrixF c = a;
+    for (size_t i = 0; i < c.size(); ++i)
+        c.flat()[i] *= b.flat()[i];
+    return c;
+}
+
+} // namespace tie

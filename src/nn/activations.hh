@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Elementwise activation layers and the nonlinearity helpers the RNN
+ * cells use.
+ */
+
+#ifndef TIE_NN_ACTIVATIONS_HH
+#define TIE_NN_ACTIVATIONS_HH
+
+#include "nn/layer.hh"
+
+namespace tie {
+
+/** ReLU layer (the TIE activation units implement this in hardware). */
+class Relu : public Layer
+{
+  public:
+    MatrixF forward(const MatrixF &x) override;
+    MatrixF backward(const MatrixF &dy) override;
+    std::string name() const override { return "ReLU"; }
+    size_t outFeatures(size_t in) const override { return in; }
+
+  private:
+    MatrixF mask_;
+};
+
+/** Elementwise logistic sigmoid. */
+MatrixF sigmoid(const MatrixF &x);
+
+/** Elementwise tanh. */
+MatrixF tanhm(const MatrixF &x);
+
+/** Elementwise (Hadamard) product. */
+MatrixF hadamard(const MatrixF &a, const MatrixF &b);
+
+/** a + b with shape check (alias of linalg add, for readability). */
+inline MatrixF
+addm(const MatrixF &a, const MatrixF &b)
+{
+    return add(a, b);
+}
+
+} // namespace tie
+
+#endif // TIE_NN_ACTIVATIONS_HH

@@ -1,0 +1,183 @@
+#include "nn/conv2d.hh"
+
+#include <cmath>
+
+namespace tie {
+
+namespace {
+
+inline size_t
+featIndex(const ConvShape &s, size_t c, size_t y, size_t x)
+{
+    return (c * s.h + y) * s.w + x;
+}
+
+} // namespace
+
+MatrixF
+im2col(const float *x, const ConvShape &s)
+{
+    const size_t oh = s.outH();
+    const size_t ow = s.outW();
+    MatrixF cols(s.f * s.f * s.c_in, oh * ow);
+    for (size_t c = 0; c < s.c_in; ++c) {
+        for (size_t fy = 0; fy < s.f; ++fy) {
+            for (size_t fx = 0; fx < s.f; ++fx) {
+                const size_t row = (c * s.f + fy) * s.f + fx;
+                for (size_t oy = 0; oy < oh; ++oy) {
+                    const long iy = static_cast<long>(oy * s.stride + fy) -
+                                    static_cast<long>(s.pad);
+                    for (size_t ox = 0; ox < ow; ++ox) {
+                        const long ix =
+                            static_cast<long>(ox * s.stride + fx) -
+                            static_cast<long>(s.pad);
+                        float v = 0.0f;
+                        if (iy >= 0 && iy < static_cast<long>(s.h) &&
+                            ix >= 0 && ix < static_cast<long>(s.w)) {
+                            v = x[featIndex(s, c, iy, ix)];
+                        }
+                        cols(row, oy * ow + ox) = v;
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+void
+col2im(const MatrixF &cols, const ConvShape &s, float *dx)
+{
+    const size_t oh = s.outH();
+    const size_t ow = s.outW();
+    for (size_t c = 0; c < s.c_in; ++c) {
+        for (size_t fy = 0; fy < s.f; ++fy) {
+            for (size_t fx = 0; fx < s.f; ++fx) {
+                const size_t row = (c * s.f + fy) * s.f + fx;
+                for (size_t oy = 0; oy < oh; ++oy) {
+                    const long iy = static_cast<long>(oy * s.stride + fy) -
+                                    static_cast<long>(s.pad);
+                    if (iy < 0 || iy >= static_cast<long>(s.h))
+                        continue;
+                    for (size_t ox = 0; ox < ow; ++ox) {
+                        const long ix =
+                            static_cast<long>(ox * s.stride + fx) -
+                            static_cast<long>(s.pad);
+                        if (ix < 0 || ix >= static_cast<long>(s.w))
+                            continue;
+                        dx[featIndex(s, c, iy, ix)] +=
+                            cols(row, oy * ow + ox);
+                    }
+                }
+            }
+        }
+    }
+}
+
+MatrixF
+directConv(const MatrixF &x, const MatrixF &w, const MatrixF &b,
+           const ConvShape &s)
+{
+    const size_t oh = s.outH();
+    const size_t ow = s.outW();
+    const size_t batch = x.cols();
+    MatrixF y(s.c_out * oh * ow, batch);
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t co = 0; co < s.c_out; ++co) {
+            for (size_t oy = 0; oy < oh; ++oy) {
+                for (size_t ox = 0; ox < ow; ++ox) {
+                    double acc = b(co, 0);
+                    for (size_t c = 0; c < s.c_in; ++c) {
+                        for (size_t fy = 0; fy < s.f; ++fy) {
+                            for (size_t fx = 0; fx < s.f; ++fx) {
+                                const long iy = static_cast<long>(
+                                                    oy * s.stride + fy) -
+                                                static_cast<long>(s.pad);
+                                const long ix = static_cast<long>(
+                                                    ox * s.stride + fx) -
+                                                static_cast<long>(s.pad);
+                                if (iy < 0 ||
+                                    iy >= static_cast<long>(s.h) ||
+                                    ix < 0 || ix >= static_cast<long>(s.w))
+                                    continue;
+                                acc += w(co, (c * s.f + fy) * s.f + fx) *
+                                       x(featIndex(s, c, iy, ix), n);
+                            }
+                        }
+                    }
+                    y((co * oh + oy) * ow + ox, n) =
+                        static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Conv2D::Conv2D(ConvShape shape, Rng &rng)
+    : shape_(shape), w_(shape.c_out, shape.f * shape.f * shape.c_in),
+      b_(shape.c_out, 1), gw_(w_.rows(), w_.cols()), gb_(shape.c_out, 1)
+{
+    const double fan_in =
+        static_cast<double>(shape.f * shape.f * shape.c_in);
+    w_.setNormal(rng, 0.0, std::sqrt(2.0 / fan_in));
+}
+
+MatrixF
+Conv2D::forward(const MatrixF &x)
+{
+    TIE_CHECK_ARG(x.rows() == shape_.c_in * shape_.h * shape_.w,
+                  "Conv2D input features mismatch");
+    const size_t batch = x.cols();
+    const size_t opix = shape_.outH() * shape_.outW();
+    MatrixF y(shape_.c_out * opix, batch);
+    cols_.assign(batch, MatrixF());
+    for (size_t n = 0; n < batch; ++n) {
+        // Column n of x is one sample (copy to get a contiguous view).
+        std::vector<float> sample(x.rows());
+        for (size_t i = 0; i < x.rows(); ++i)
+            sample[i] = x(i, n);
+        cols_[n] = im2col(sample.data(), shape_);
+        MatrixF yn = matmul(w_, cols_[n]); // c_out x opix
+        for (size_t co = 0; co < shape_.c_out; ++co)
+            for (size_t p = 0; p < opix; ++p)
+                y(co * opix + p, n) = yn(co, p) + b_(co, 0);
+    }
+    return y;
+}
+
+MatrixF
+Conv2D::backward(const MatrixF &dy)
+{
+    const size_t batch = cols_.size();
+    const size_t opix = shape_.outH() * shape_.outW();
+    TIE_CHECK_ARG(dy.rows() == shape_.c_out * opix && dy.cols() == batch,
+                  "Conv2D backward shape mismatch");
+
+    MatrixF dx(shape_.c_in * shape_.h * shape_.w, batch);
+    for (size_t n = 0; n < batch; ++n) {
+        MatrixF dyn(shape_.c_out, opix);
+        for (size_t co = 0; co < shape_.c_out; ++co) {
+            for (size_t p = 0; p < opix; ++p) {
+                const float g = dy(co * opix + p, n);
+                dyn(co, p) = g;
+                gb_(co, 0) += g;
+            }
+        }
+        gw_ = add(gw_, matmul(dyn, cols_[n].transposed()));
+        MatrixF dcol = matmul(w_.transposed(), dyn);
+        std::vector<float> dsample(dx.rows(), 0.0f);
+        col2im(dcol, shape_, dsample.data());
+        for (size_t i = 0; i < dx.rows(); ++i)
+            dx(i, n) = dsample[i];
+    }
+    return dx;
+}
+
+std::vector<ParamRef>
+Conv2D::params()
+{
+    return {{&w_, &gw_}, {&b_, &gb_}};
+}
+
+} // namespace tie

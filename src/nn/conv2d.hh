@@ -1,0 +1,64 @@
+/**
+ * @file
+ * 2-D convolution executed as im2col + GEMM — the transformation of
+ * paper Fig. 3 that lets CONV layers run on the same TT-format matrix
+ * engine as FC layers.
+ *
+ * Activation layout: a (C*H*W x batch) matrix, channel-major row-major
+ * features (c slowest, then y, then x).
+ */
+
+#ifndef TIE_NN_CONV2D_HH
+#define TIE_NN_CONV2D_HH
+
+#include "baselines/eyeriss/eyeriss_model.hh"
+#include "nn/layer.hh"
+
+namespace tie {
+
+/**
+ * Build the im2col matrix of one sample: rows index (c, fy, fx)
+ * row-major, columns index output pixels (oy, ox) row-major.
+ */
+MatrixF im2col(const float *x, const ConvShape &shape);
+
+/** Scatter-add the inverse of im2col (for backward). */
+void col2im(const MatrixF &cols, const ConvShape &shape, float *dx);
+
+/** Direct (non-GEMM) convolution reference for tests. */
+MatrixF directConv(const MatrixF &x, const MatrixF &w, const MatrixF &b,
+                   const ConvShape &shape);
+
+/** Convolution layer (im2col + dense GEMM). */
+class Conv2D : public Layer
+{
+  public:
+    Conv2D(ConvShape shape, Rng &rng);
+
+    MatrixF forward(const MatrixF &x) override;
+    MatrixF backward(const MatrixF &dy) override;
+    std::vector<ParamRef> params() override;
+    std::string name() const override { return "Conv2D"; }
+    size_t
+    outFeatures(size_t) const override
+    {
+        return shape_.c_out * shape_.outH() * shape_.outW();
+    }
+
+    const ConvShape &shape() const { return shape_; }
+    const MatrixF &weights() const { return w_; } ///< c_out x f*f*c_in
+    MatrixF &weights() { return w_; }
+    const MatrixF &bias() const { return b_; }
+
+  private:
+    ConvShape shape_;
+    MatrixF w_;
+    MatrixF b_;
+    MatrixF gw_;
+    MatrixF gb_;
+    std::vector<MatrixF> cols_; ///< cached im2col per sample
+};
+
+} // namespace tie
+
+#endif // TIE_NN_CONV2D_HH

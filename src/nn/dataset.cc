@@ -1,0 +1,109 @@
+#include "nn/dataset.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tie {
+
+Dataset
+Dataset::slice(size_t begin, size_t count) const
+{
+    TIE_CHECK_ARG(begin + count <= size(), "dataset slice out of range");
+    Dataset out;
+    out.x = MatrixF(x.rows(), count);
+    out.labels.assign(labels.begin() + begin,
+                      labels.begin() + begin + count);
+    for (size_t i = 0; i < x.rows(); ++i)
+        for (size_t j = 0; j < count; ++j)
+            out.x(i, j) = x(i, begin + j);
+    return out;
+}
+
+Dataset
+makeClusteredImages(size_t n, size_t classes, size_t features,
+                    double noise, Rng &rng)
+{
+    TIE_CHECK_ARG(classes >= 2, "need at least two classes");
+    std::vector<std::vector<float>> templates(classes,
+                                              std::vector<float>(features));
+    for (auto &t : templates)
+        for (auto &v : t)
+            v = static_cast<float>(rng.normal());
+
+    Dataset ds;
+    ds.x = MatrixF(features, n);
+    ds.labels.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+        const int cls = static_cast<int>(rng.intIn(0, classes - 1));
+        ds.labels[j] = cls;
+        for (size_t i = 0; i < features; ++i)
+            ds.x(i, j) = templates[cls][i] +
+                         static_cast<float>(rng.normal(0.0, noise));
+    }
+    return ds;
+}
+
+MatrixF
+SeqDataset::packBatch(size_t begin, size_t count) const
+{
+    TIE_CHECK_ARG(begin + count <= size(), "sequence batch out of range");
+    const size_t features = x[begin].rows();
+    MatrixF out(features, steps * count);
+    for (size_t b = 0; b < count; ++b) {
+        const MatrixF &s = x[begin + b];
+        TIE_REQUIRE(s.rows() == features && s.cols() == steps,
+                    "inconsistent sequence sample shape");
+        for (size_t t = 0; t < steps; ++t)
+            for (size_t i = 0; i < features; ++i)
+                out(i, t * count + b) = s(i, t);
+    }
+    return out;
+}
+
+std::vector<int>
+SeqDataset::batchLabels(size_t begin, size_t count) const
+{
+    return {labels.begin() + begin, labels.begin() + begin + count};
+}
+
+SeqDataset
+makeSyntheticVideo(size_t n, size_t classes, size_t features,
+                   size_t steps, double noise, Rng &rng)
+{
+    TIE_CHECK_ARG(classes >= 2 && steps >= 2, "degenerate video dataset");
+
+    // Shared random projection latent -> frame (fixed for the dataset).
+    const size_t latent = 8;
+    MatrixF proj(features, latent);
+    proj.setNormal(rng, 0.0, 1.0 / std::sqrt(double(latent)));
+
+    // Per-class latent trajectories (random smooth walks).
+    std::vector<MatrixF> traj(classes, MatrixF(latent, steps));
+    for (auto &tr : traj) {
+        std::vector<float> state(latent, 0.0f);
+        for (size_t t = 0; t < steps; ++t) {
+            for (size_t k = 0; k < latent; ++k) {
+                state[k] = 0.7f * state[k] +
+                           static_cast<float>(rng.normal(0.0, 1.0));
+                tr(k, t) = state[k];
+            }
+        }
+    }
+
+    SeqDataset ds;
+    ds.steps = steps;
+    ds.x.reserve(n);
+    ds.labels.resize(n);
+    for (size_t s = 0; s < n; ++s) {
+        const int cls = static_cast<int>(rng.intIn(0, classes - 1));
+        ds.labels[s] = cls;
+        MatrixF frames = matmul(proj, traj[cls]);
+        for (auto &v : frames.flat())
+            v += static_cast<float>(rng.normal(0.0, noise));
+        ds.x.push_back(std::move(frames));
+    }
+    return ds;
+}
+
+} // namespace tie

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic synthetic datasets standing in for the paper's
+ * ImageNet / CIFAR-10 / UCF11 / Youtube-Celebrities workloads (see
+ * DESIGN.md §5: the datasets are unavailable offline; these generators
+ * exercise identical layer shapes and the same qualitative claims —
+ * TT ≈ dense for feed-forward nets, TT ≫ plain RNN on
+ * high-dimensional sequential inputs).
+ */
+
+#ifndef TIE_NN_DATASET_HH
+#define TIE_NN_DATASET_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** A labelled feed-forward dataset: x is (features x n). */
+struct Dataset
+{
+    MatrixF x;
+    std::vector<int> labels;
+
+    size_t size() const { return labels.size(); }
+    size_t features() const { return x.rows(); }
+
+    /** Copy a contiguous slice [begin, begin+count). */
+    Dataset slice(size_t begin, size_t count) const;
+};
+
+/**
+ * Clustered-class images: each class has a random dense template;
+ * samples are template + Gaussian noise. Linearly separable enough to
+ * train quickly, noisy enough that capacity matters.
+ */
+Dataset makeClusteredImages(size_t n, size_t classes, size_t features,
+                            double noise, Rng &rng);
+
+/** A labelled sequence dataset: sample i is (features x steps). */
+struct SeqDataset
+{
+    std::vector<MatrixF> x;
+    std::vector<int> labels;
+    size_t steps = 0;
+
+    size_t size() const { return labels.size(); }
+
+    /**
+     * Pack samples [begin, begin+count) time-major into one
+     * (features x steps*count) matrix for the RNN cells.
+     */
+    MatrixF packBatch(size_t begin, size_t count) const;
+
+    /** Labels of the same slice. */
+    std::vector<int> batchLabels(size_t begin, size_t count) const;
+};
+
+/**
+ * High-dimensional synthetic "video": each class has a latent
+ * trajectory; frames are the trajectory state expanded through a random
+ * fixed projection to `features` dimensions plus noise — mirroring the
+ * frame-vector inputs of the paper's video-classification RNNs
+ * (57600-dimensional frames in Table 4).
+ */
+SeqDataset makeSyntheticVideo(size_t n, size_t classes, size_t features,
+                              size_t steps, double noise, Rng &rng);
+
+} // namespace tie
+
+#endif // TIE_NN_DATASET_HH

@@ -1,0 +1,49 @@
+#include "nn/dense.hh"
+
+#include <cmath>
+
+namespace tie {
+
+Dense::Dense(size_t in_features, size_t out_features, Rng &rng)
+    : w_(out_features, in_features), b_(out_features, 1),
+      gw_(out_features, in_features), gb_(out_features, 1)
+{
+    const double stddev = std::sqrt(2.0 / static_cast<double>(in_features));
+    w_.setNormal(rng, 0.0, stddev);
+}
+
+MatrixF
+Dense::forward(const MatrixF &x)
+{
+    TIE_CHECK_ARG(x.rows() == w_.cols(), "Dense input features ",
+                  x.rows(), " != ", w_.cols());
+    x_ = x;
+    MatrixF y = matmul(w_, x);
+    for (size_t i = 0; i < y.rows(); ++i)
+        for (size_t b = 0; b < y.cols(); ++b)
+            y(i, b) += b_(i, 0);
+    return y;
+}
+
+MatrixF
+Dense::backward(const MatrixF &dy)
+{
+    TIE_CHECK_ARG(dy.rows() == w_.rows() && dy.cols() == x_.cols(),
+                  "Dense backward shape mismatch");
+    gw_ = add(gw_, matmul(dy, x_.transposed()));
+    for (size_t i = 0; i < dy.rows(); ++i) {
+        float s = 0.0f;
+        for (size_t b = 0; b < dy.cols(); ++b)
+            s += dy(i, b);
+        gb_(i, 0) += s;
+    }
+    return matmul(w_.transposed(), dy);
+}
+
+std::vector<ParamRef>
+Dense::params()
+{
+    return {{&w_, &gw_}, {&b_, &gb_}};
+}
+
+} // namespace tie

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fully-connected layer y = Wx + b — the uncompressed baseline the
+ * paper's Tables 1-3 compare TT layers against.
+ */
+
+#ifndef TIE_NN_DENSE_HH
+#define TIE_NN_DENSE_HH
+
+#include "nn/layer.hh"
+
+namespace tie {
+
+/** Dense (fully-connected) layer. */
+class Dense : public Layer
+{
+  public:
+    /** Xavier-initialised (out x in) layer. */
+    Dense(size_t in_features, size_t out_features, Rng &rng);
+
+    MatrixF forward(const MatrixF &x) override;
+    MatrixF backward(const MatrixF &dy) override;
+    std::vector<ParamRef> params() override;
+    std::string name() const override { return "Dense"; }
+    size_t
+    outFeatures(size_t) const override
+    {
+        return w_.rows();
+    }
+
+    const MatrixF &weights() const { return w_; }
+    MatrixF &weights() { return w_; }
+    const MatrixF &bias() const { return b_; }
+
+  private:
+    MatrixF w_;
+    MatrixF b_;
+    MatrixF gw_;
+    MatrixF gb_;
+    MatrixF x_; ///< cached input
+};
+
+} // namespace tie
+
+#endif // TIE_NN_DENSE_HH

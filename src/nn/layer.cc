@@ -1,0 +1,21 @@
+#include "nn/layer.hh"
+
+namespace tie {
+
+size_t
+Layer::paramCount()
+{
+    size_t total = 0;
+    for (const ParamRef &p : params())
+        total += p.value->size();
+    return total;
+}
+
+void
+Layer::zeroGrads()
+{
+    for (const ParamRef &p : params())
+        p.grad->fill(0.0f);
+}
+
+} // namespace tie

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal training-capable layer abstraction for the NN substrate. The
+ * paper's evaluation workloads (TT-compressed VGG-style CNNs and
+ * TT-LSTM/GRU video classifiers, Tables 1-3) are built from these.
+ *
+ * Activations flow as (features x batch) matrices. forward() caches
+ * whatever backward() needs; backward() consumes the upstream gradient
+ * and accumulates parameter gradients.
+ */
+
+#ifndef TIE_NN_LAYER_HH
+#define TIE_NN_LAYER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** A trainable tensor: value plus accumulated gradient. */
+struct ParamRef
+{
+    MatrixF *value;
+    MatrixF *grad;
+};
+
+/** Base class of all NN layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Compute outputs for a (features x batch) input. */
+    virtual MatrixF forward(const MatrixF &x) = 0;
+
+    /** Propagate gradients; returns d(loss)/d(input). */
+    virtual MatrixF backward(const MatrixF &dy) = 0;
+
+    /** Trainable parameters (empty for stateless layers). */
+    virtual std::vector<ParamRef> params() { return {}; }
+
+    /** Number of stored weights. */
+    size_t paramCount();
+
+    /** Zero all parameter gradients. */
+    void zeroGrads();
+
+    /** Human-readable layer name for summaries. */
+    virtual std::string name() const = 0;
+
+    /** Output feature count given an input feature count. */
+    virtual size_t outFeatures(size_t in_features) const = 0;
+};
+
+} // namespace tie
+
+#endif // TIE_NN_LAYER_HH

@@ -1,0 +1,72 @@
+#include "nn/loss.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tie {
+
+MatrixF
+softmax(const MatrixF &logits)
+{
+    MatrixF p = logits;
+    for (size_t b = 0; b < p.cols(); ++b) {
+        float mx = p(0, b);
+        for (size_t i = 1; i < p.rows(); ++i)
+            mx = std::max(mx, p(i, b));
+        double sum = 0.0;
+        for (size_t i = 0; i < p.rows(); ++i) {
+            p(i, b) = std::exp(p(i, b) - mx);
+            sum += p(i, b);
+        }
+        for (size_t i = 0; i < p.rows(); ++i)
+            p(i, b) = static_cast<float>(p(i, b) / sum);
+    }
+    return p;
+}
+
+double
+softmaxCrossEntropy(const MatrixF &logits, const std::vector<int> &labels,
+                    MatrixF *dlogits)
+{
+    TIE_CHECK_ARG(labels.size() == logits.cols(),
+                  "label count != batch size");
+    MatrixF p = softmax(logits);
+    double loss = 0.0;
+    const double inv_b = 1.0 / static_cast<double>(labels.size());
+    for (size_t b = 0; b < labels.size(); ++b) {
+        const int y = labels[b];
+        TIE_CHECK_ARG(y >= 0 && static_cast<size_t>(y) < logits.rows(),
+                      "label out of range");
+        loss -= std::log(std::max(1e-12, double(p(y, b))));
+    }
+    loss *= inv_b;
+
+    if (dlogits) {
+        *dlogits = p;
+        for (size_t b = 0; b < labels.size(); ++b)
+            (*dlogits)(labels[b], b) -= 1.0f;
+        for (auto &v : dlogits->flat())
+            v = static_cast<float>(v * inv_b);
+    }
+    return loss;
+}
+
+double
+accuracy(const MatrixF &logits, const std::vector<int> &labels)
+{
+    TIE_CHECK_ARG(labels.size() == logits.cols(),
+                  "label count != batch size");
+    size_t hits = 0;
+    for (size_t b = 0; b < labels.size(); ++b) {
+        size_t best = 0;
+        for (size_t i = 1; i < logits.rows(); ++i)
+            if (logits(i, b) > logits(best, b))
+                best = i;
+        hits += static_cast<int>(best) == labels[b];
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(labels.size());
+}
+
+} // namespace tie

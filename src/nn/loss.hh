@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Softmax cross-entropy loss and accuracy metrics for the
+ * classification workloads of Tables 1-3.
+ */
+
+#ifndef TIE_NN_LOSS_HH
+#define TIE_NN_LOSS_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** Column-wise softmax probabilities. */
+MatrixF softmax(const MatrixF &logits);
+
+/**
+ * Mean softmax cross-entropy over a batch.
+ *
+ * @param logits (classes x batch) raw scores.
+ * @param labels batch class indices.
+ * @param dlogits if non-null, receives d(loss)/d(logits).
+ */
+double softmaxCrossEntropy(const MatrixF &logits,
+                           const std::vector<int> &labels,
+                           MatrixF *dlogits = nullptr);
+
+/** Fraction of argmax predictions equal to the labels. */
+double accuracy(const MatrixF &logits, const std::vector<int> &labels);
+
+} // namespace tie
+
+#endif // TIE_NN_LOSS_HH

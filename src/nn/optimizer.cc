@@ -1,0 +1,52 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+
+namespace tie {
+
+void
+SgdMomentum::step(const std::vector<ParamRef> &params)
+{
+    for (const ParamRef &p : params) {
+        MatrixF &vel = velocity_[p.value];
+        if (vel.size() != p.value->size())
+            vel = MatrixF(p.value->rows(), p.value->cols());
+        for (size_t i = 0; i < p.value->size(); ++i) {
+            vel.flat()[i] = momentum_ * vel.flat()[i] -
+                            lr_ * p.grad->flat()[i];
+            p.value->flat()[i] += vel.flat()[i];
+        }
+        p.grad->fill(0.0f);
+    }
+}
+
+void
+Adam::step(const std::vector<ParamRef> &params)
+{
+    for (const ParamRef &p : params) {
+        State &s = state_[p.value];
+        if (s.m.size() != p.value->size()) {
+            s.m = MatrixF(p.value->rows(), p.value->cols());
+            s.v = MatrixF(p.value->rows(), p.value->cols());
+            s.t = 0;
+        }
+        ++s.t;
+        const float bc1 =
+            1.0f - std::pow(beta1_, static_cast<float>(s.t));
+        const float bc2 =
+            1.0f - std::pow(beta2_, static_cast<float>(s.t));
+        for (size_t i = 0; i < p.value->size(); ++i) {
+            const float g = p.grad->flat()[i];
+            s.m.flat()[i] = beta1_ * s.m.flat()[i] + (1 - beta1_) * g;
+            s.v.flat()[i] =
+                beta2_ * s.v.flat()[i] + (1 - beta2_) * g * g;
+            const float mhat = s.m.flat()[i] / bc1;
+            const float vhat = s.v.flat()[i] / bc2;
+            p.value->flat()[i] -=
+                lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+        p.grad->fill(0.0f);
+    }
+}
+
+} // namespace tie

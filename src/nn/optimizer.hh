@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SGD with momentum — the optimiser used for all training flows
+ * (train-from-scratch and TT-SVD fine-tuning, paper Sec. 2.2).
+ */
+
+#ifndef TIE_NN_OPTIMIZER_HH
+#define TIE_NN_OPTIMIZER_HH
+
+#include <map>
+
+#include "nn/layer.hh"
+
+namespace tie {
+
+/** Plain SGD with classical momentum. */
+class SgdMomentum
+{
+  public:
+    explicit SgdMomentum(float lr = 0.01f, float momentum = 0.9f)
+        : lr_(lr), momentum_(momentum)
+    {}
+
+    /** Apply one update to every parameter and zero the gradients. */
+    void step(const std::vector<ParamRef> &params);
+
+    float learningRate() const { return lr_; }
+    void setLearningRate(float lr) { lr_ = lr; }
+
+  private:
+    float lr_;
+    float momentum_;
+    std::map<const MatrixF *, MatrixF> velocity_;
+};
+
+/** Adam (Kingma & Ba) — adaptive optimiser for the TT fine-tune flow,
+ *  where per-core gradient scales differ by orders of magnitude. */
+class Adam
+{
+  public:
+    explicit Adam(float lr = 1e-3f, float beta1 = 0.9f,
+                  float beta2 = 0.999f, float eps = 1e-8f)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+    {}
+
+    /** Apply one update to every parameter and zero the gradients. */
+    void step(const std::vector<ParamRef> &params);
+
+    float learningRate() const { return lr_; }
+    void setLearningRate(float lr) { lr_ = lr; }
+
+  private:
+    struct State
+    {
+        MatrixF m;
+        MatrixF v;
+        long t = 0;
+    };
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float eps_;
+    std::map<const MatrixF *, State> state_;
+};
+
+} // namespace tie
+
+#endif // TIE_NN_OPTIMIZER_HH

@@ -1,0 +1,64 @@
+#include "nn/pooling.hh"
+
+namespace tie {
+
+MaxPool2D::MaxPool2D(size_t channels, size_t h, size_t w, size_t window)
+    : channels_(channels), h_(h), w_(w), window_(window)
+{
+    TIE_CHECK_ARG(window >= 1 && h % window == 0 && w % window == 0,
+                  "pooling window ", window, " must divide ", h, "x", w);
+}
+
+MatrixF
+MaxPool2D::forward(const MatrixF &x)
+{
+    TIE_CHECK_ARG(x.rows() == channels_ * h_ * w_,
+                  "MaxPool2D input features mismatch");
+    batch_ = x.cols();
+    const size_t oh = outH();
+    const size_t ow = outW();
+    MatrixF y(channels_ * oh * ow, batch_);
+    argmax_.assign(y.rows() * batch_, 0);
+
+    for (size_t n = 0; n < batch_; ++n) {
+        for (size_t c = 0; c < channels_; ++c) {
+            for (size_t oy = 0; oy < oh; ++oy) {
+                for (size_t ox = 0; ox < ow; ++ox) {
+                    float best = -1e30f;
+                    size_t best_idx = 0;
+                    for (size_t wy = 0; wy < window_; ++wy) {
+                        for (size_t wx = 0; wx < window_; ++wx) {
+                            const size_t iy = oy * window_ + wy;
+                            const size_t ix = ox * window_ + wx;
+                            const size_t idx =
+                                (c * h_ + iy) * w_ + ix;
+                            if (x(idx, n) > best) {
+                                best = x(idx, n);
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    const size_t out = (c * oh + oy) * ow + ox;
+                    y(out, n) = best;
+                    argmax_[out * batch_ + n] = best_idx;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+MatrixF
+MaxPool2D::backward(const MatrixF &dy)
+{
+    TIE_CHECK_ARG(dy.rows() == channels_ * outH() * outW() &&
+                  dy.cols() == batch_,
+                  "MaxPool2D backward shape mismatch");
+    MatrixF dx(channels_ * h_ * w_, batch_);
+    for (size_t out = 0; out < dy.rows(); ++out)
+        for (size_t n = 0; n < batch_; ++n)
+            dx(argmax_[out * batch_ + n], n) += dy(out, n);
+    return dx;
+}
+
+} // namespace tie

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Max pooling — the downsampling layer between the CONV stages of the
+ * paper's CNN workloads (VGG interleaves 2x2 max-pool between its
+ * conv blocks; the CONV-dominated CIFAR CNN of Table 2 does too).
+ */
+
+#ifndef TIE_NN_POOLING_HH
+#define TIE_NN_POOLING_HH
+
+#include "nn/layer.hh"
+
+namespace tie {
+
+/** 2-D max pooling over (C, H, W)-layout features. */
+class MaxPool2D : public Layer
+{
+  public:
+    /**
+     * @param channels feature-map count C.
+     * @param h input height, @param w input width.
+     * @param window square pooling window (also the stride).
+     */
+    MaxPool2D(size_t channels, size_t h, size_t w, size_t window);
+
+    MatrixF forward(const MatrixF &x) override;
+    MatrixF backward(const MatrixF &dy) override;
+    std::string name() const override { return "MaxPool2D"; }
+    size_t
+    outFeatures(size_t) const override
+    {
+        return channels_ * outH() * outW();
+    }
+
+    size_t outH() const { return h_ / window_; }
+    size_t outW() const { return w_ / window_; }
+
+  private:
+    size_t channels_;
+    size_t h_;
+    size_t w_;
+    size_t window_;
+    /** argmax_[out_index * batch + b] = flat input feature index. */
+    std::vector<size_t> argmax_;
+    size_t batch_ = 0;
+};
+
+} // namespace tie
+
+#endif // TIE_NN_POOLING_HH

@@ -1,0 +1,293 @@
+#include "nn/rnn.hh"
+
+#include <cmath>
+
+#include "nn/activations.hh"
+
+namespace tie {
+
+namespace {
+
+/** Copy rows [r0, r0+n) of src into a new matrix. */
+MatrixF
+sliceRows(const MatrixF &src, size_t r0, size_t n)
+{
+    MatrixF out(n, src.cols());
+    for (size_t r = 0; r < n; ++r)
+        for (size_t c = 0; c < src.cols(); ++c)
+            out(r, c) = src(r0 + r, c);
+    return out;
+}
+
+/** Copy columns [c0, c0+n) of src into a new matrix. */
+MatrixF
+sliceCols(const MatrixF &src, size_t c0, size_t n)
+{
+    MatrixF out(src.rows(), n);
+    for (size_t r = 0; r < src.rows(); ++r)
+        for (size_t c = 0; c < n; ++c)
+            out(r, c) = src(r, c0 + c);
+    return out;
+}
+
+/** Write block into dst at (r0, c0). */
+void
+setBlock(MatrixF &dst, size_t r0, size_t c0, const MatrixF &block)
+{
+    for (size_t r = 0; r < block.rows(); ++r)
+        for (size_t c = 0; c < block.cols(); ++c)
+            dst(r0 + r, c0 + c) = block(r, c);
+}
+
+} // namespace
+
+LstmCell::LstmCell(std::unique_ptr<Layer> input_map, size_t hidden,
+                   Rng &rng)
+    : input_map_(std::move(input_map)), hidden_(hidden),
+      wh_(4 * hidden, hidden), gwh_(4 * hidden, hidden)
+{
+    TIE_CHECK_ARG(input_map_ != nullptr, "LSTM needs an input map");
+    wh_.setNormal(rng, 0.0, 1.0 / std::sqrt(static_cast<double>(hidden)));
+}
+
+MatrixF
+LstmCell::forward(const MatrixF &x_seq, size_t steps)
+{
+    TIE_CHECK_ARG(steps >= 1 && x_seq.cols() % steps == 0,
+                  "packed sequence length not divisible by steps");
+    steps_ = steps;
+    batch_ = x_seq.cols() / steps;
+
+    // One pass of the input map over every timestep (4H x T*B).
+    MatrixF zx = input_map_->forward(x_seq);
+    TIE_CHECK_ARG(zx.rows() == 4 * hidden_,
+                  "LSTM input map must emit 4*hidden rows, got ",
+                  zx.rows());
+
+    i_.assign(steps, MatrixF());
+    f_.assign(steps, MatrixF());
+    g_.assign(steps, MatrixF());
+    o_.assign(steps, MatrixF());
+    c_.assign(steps, MatrixF());
+    h_.assign(steps, MatrixF());
+
+    MatrixF h_prev(hidden_, batch_);
+    MatrixF c_prev(hidden_, batch_);
+    const size_t hh = hidden_;
+
+    for (size_t t = 0; t < steps; ++t) {
+        MatrixF pre = add(sliceCols(zx, t * batch_, batch_),
+                          matmul(wh_, h_prev));
+        i_[t] = sigmoid(sliceRows(pre, 0 * hh, hh));
+        f_[t] = sigmoid(sliceRows(pre, 1 * hh, hh));
+        g_[t] = tanhm(sliceRows(pre, 2 * hh, hh));
+        o_[t] = sigmoid(sliceRows(pre, 3 * hh, hh));
+
+        c_[t] = add(hadamard(f_[t], c_prev), hadamard(i_[t], g_[t]));
+        h_[t] = hadamard(o_[t], tanhm(c_[t]));
+
+        h_prev = h_[t];
+        c_prev = c_[t];
+    }
+    return h_.back();
+}
+
+MatrixF
+LstmCell::backward(const MatrixF &dh_last)
+{
+    TIE_CHECK_ARG(dh_last.rows() == hidden_ && dh_last.cols() == batch_,
+                  "LSTM backward shape mismatch");
+    const size_t hh = hidden_;
+    MatrixF dzx(4 * hh, steps_ * batch_);
+    MatrixF dh = dh_last;
+    MatrixF dc(hh, batch_);
+
+    for (size_t t = steps_; t-- > 0;) {
+        const MatrixF tc = tanhm(c_[t]);
+        const MatrixF do_ = hadamard(dh, tc);
+        // dc += dh * o * (1 - tanh(c)^2)
+        MatrixF one_minus_tc2 = tc;
+        for (auto &v : one_minus_tc2.flat())
+            v = 1.0f - v * v;
+        dc = add(dc, hadamard(hadamard(dh, o_[t]), one_minus_tc2));
+
+        const MatrixF &c_prev =
+            t > 0 ? c_[t - 1] : MatrixF(hh, batch_);
+        const MatrixF di = hadamard(dc, g_[t]);
+        const MatrixF dg = hadamard(dc, i_[t]);
+        const MatrixF df = hadamard(dc, c_prev);
+        const MatrixF dc_prev = hadamard(dc, f_[t]);
+
+        auto dsigmoid = [](const MatrixF &dy, const MatrixF &s) {
+            MatrixF out = dy;
+            for (size_t k = 0; k < out.size(); ++k)
+                out.flat()[k] *=
+                    s.flat()[k] * (1.0f - s.flat()[k]);
+            return out;
+        };
+        auto dtanh = [](const MatrixF &dy, const MatrixF &th) {
+            MatrixF out = dy;
+            for (size_t k = 0; k < out.size(); ++k)
+                out.flat()[k] *= 1.0f - th.flat()[k] * th.flat()[k];
+            return out;
+        };
+
+        MatrixF dpre(4 * hh, batch_);
+        setBlock(dpre, 0 * hh, 0, dsigmoid(di, i_[t]));
+        setBlock(dpre, 1 * hh, 0, dsigmoid(df, f_[t]));
+        setBlock(dpre, 2 * hh, 0, dtanh(dg, g_[t]));
+        setBlock(dpre, 3 * hh, 0, dsigmoid(do_, o_[t]));
+
+        setBlock(dzx, 0, t * batch_, dpre);
+
+        const MatrixF &h_prev =
+            t > 0 ? h_[t - 1] : MatrixF(hh, batch_);
+        gwh_ = add(gwh_, matmul(dpre, h_prev.transposed()));
+        dh = matmul(wh_.transposed(), dpre);
+        dc = dc_prev;
+    }
+    return input_map_->backward(dzx);
+}
+
+std::vector<ParamRef>
+LstmCell::params()
+{
+    std::vector<ParamRef> out = input_map_->params();
+    out.push_back({&wh_, &gwh_});
+    return out;
+}
+
+size_t
+LstmCell::paramCount()
+{
+    return input_map_->paramCount() + wh_.size();
+}
+
+GruCell::GruCell(std::unique_ptr<Layer> input_map, size_t hidden,
+                 Rng &rng)
+    : input_map_(std::move(input_map)), hidden_(hidden),
+      wh_(3 * hidden, hidden), gwh_(3 * hidden, hidden)
+{
+    TIE_CHECK_ARG(input_map_ != nullptr, "GRU needs an input map");
+    wh_.setNormal(rng, 0.0, 1.0 / std::sqrt(static_cast<double>(hidden)));
+}
+
+MatrixF
+GruCell::forward(const MatrixF &x_seq, size_t steps)
+{
+    TIE_CHECK_ARG(steps >= 1 && x_seq.cols() % steps == 0,
+                  "packed sequence length not divisible by steps");
+    steps_ = steps;
+    batch_ = x_seq.cols() / steps;
+
+    MatrixF zx = input_map_->forward(x_seq);
+    TIE_CHECK_ARG(zx.rows() == 3 * hidden_,
+                  "GRU input map must emit 3*hidden rows, got ",
+                  zx.rows());
+
+    z_.assign(steps, MatrixF());
+    r_.assign(steps, MatrixF());
+    n_.assign(steps, MatrixF());
+    h_.assign(steps, MatrixF());
+    hn_.assign(steps, MatrixF());
+
+    MatrixF h_prev(hidden_, batch_);
+    const size_t hh = hidden_;
+
+    for (size_t t = 0; t < steps; ++t) {
+        const MatrixF zxt = sliceCols(zx, t * batch_, batch_);
+        const MatrixF hhm = matmul(wh_, h_prev); // 3H x B
+
+        z_[t] = sigmoid(add(sliceRows(zxt, 0, hh),
+                            sliceRows(hhm, 0, hh)));
+        r_[t] = sigmoid(add(sliceRows(zxt, hh, hh),
+                            sliceRows(hhm, hh, hh)));
+        hn_[t] = sliceRows(hhm, 2 * hh, hh);
+        n_[t] = tanhm(add(sliceRows(zxt, 2 * hh, hh),
+                          hadamard(r_[t], hn_[t])));
+
+        // h = (1 - z) * n + z * h_prev
+        MatrixF one_minus_z = z_[t];
+        for (auto &v : one_minus_z.flat())
+            v = 1.0f - v;
+        h_[t] = add(hadamard(one_minus_z, n_[t]),
+                    hadamard(z_[t], h_prev));
+        h_prev = h_[t];
+    }
+    return h_.back();
+}
+
+MatrixF
+GruCell::backward(const MatrixF &dh_last)
+{
+    TIE_CHECK_ARG(dh_last.rows() == hidden_ && dh_last.cols() == batch_,
+                  "GRU backward shape mismatch");
+    const size_t hh = hidden_;
+    MatrixF dzx(3 * hh, steps_ * batch_);
+    MatrixF dh = dh_last;
+
+    for (size_t t = steps_; t-- > 0;) {
+        const MatrixF &h_prev =
+            t > 0 ? h_[t - 1] : MatrixF(hh, batch_);
+
+        // dz = dh * (h_prev - n); dn = dh * (1 - z).
+        MatrixF dz = dh;
+        MatrixF dn = dh;
+        for (size_t k = 0; k < dh.size(); ++k) {
+            dz.flat()[k] *= h_prev.flat()[k] - n_[t].flat()[k];
+            dn.flat()[k] *= 1.0f - z_[t].flat()[k];
+        }
+        MatrixF dh_direct = hadamard(dh, z_[t]);
+
+        // Through n = tanh(zx_n + r * hn).
+        MatrixF dpre_n = dn;
+        for (size_t k = 0; k < dpre_n.size(); ++k)
+            dpre_n.flat()[k] *=
+                1.0f - n_[t].flat()[k] * n_[t].flat()[k];
+        const MatrixF dhh_n = hadamard(dpre_n, r_[t]);
+        const MatrixF dr = hadamard(dpre_n, hn_[t]);
+
+        // Through the sigmoids.
+        MatrixF dpre_z = dz;
+        MatrixF dpre_r = dr;
+        for (size_t k = 0; k < dpre_z.size(); ++k) {
+            dpre_z.flat()[k] *=
+                z_[t].flat()[k] * (1.0f - z_[t].flat()[k]);
+            dpre_r.flat()[k] *=
+                r_[t].flat()[k] * (1.0f - r_[t].flat()[k]);
+        }
+
+        // Input-map gradient block.
+        MatrixF dzxt(3 * hh, batch_);
+        setBlock(dzxt, 0, 0, dpre_z);
+        setBlock(dzxt, hh, 0, dpre_r);
+        setBlock(dzxt, 2 * hh, 0, dpre_n);
+        setBlock(dzx, 0, t * batch_, dzxt);
+
+        // Recurrent gradient block (n-row uses dhh_n, not dpre_n).
+        MatrixF dhhm(3 * hh, batch_);
+        setBlock(dhhm, 0, 0, dpre_z);
+        setBlock(dhhm, hh, 0, dpre_r);
+        setBlock(dhhm, 2 * hh, 0, dhh_n);
+
+        gwh_ = add(gwh_, matmul(dhhm, h_prev.transposed()));
+        dh = add(matmul(wh_.transposed(), dhhm), dh_direct);
+    }
+    return input_map_->backward(dzx);
+}
+
+std::vector<ParamRef>
+GruCell::params()
+{
+    std::vector<ParamRef> out = input_map_->params();
+    out.push_back({&wh_, &gwh_});
+    return out;
+}
+
+size_t
+GruCell::paramCount()
+{
+    return input_map_->paramCount() + wh_.size();
+}
+
+} // namespace tie

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * LSTM and GRU cells with a pluggable input-to-hidden map — plug in a
+ * Dense layer for the plain baseline or a TtDense for the TT-LSTM /
+ * TT-GRU of paper Table 3 (Yang et al., ICML'17: only the
+ * input-to-hidden weights are in TT format, which is where virtually
+ * all parameters of a high-dimensional-input RNN live).
+ *
+ * Sequences are packed time-major: the input is a
+ * (features x T*batch) matrix whose column t*batch + b is frame t of
+ * sample b, so the input map runs once over all timesteps.
+ */
+
+#ifndef TIE_NN_RNN_HH
+#define TIE_NN_RNN_HH
+
+#include "nn/layer.hh"
+
+namespace tie {
+
+/** LSTM cell unrolled over a sequence; emits the final hidden state. */
+class LstmCell
+{
+  public:
+    /**
+     * @param input_map layer mapping input features -> 4*hidden
+     *                  (gate pre-activations i, f, g, o stacked).
+     * @param hidden hidden-state width H.
+     */
+    LstmCell(std::unique_ptr<Layer> input_map, size_t hidden, Rng &rng);
+
+    /** Run T steps over a (features x T*batch) packed sequence. */
+    MatrixF forward(const MatrixF &x_seq, size_t steps);
+
+    /** BPTT from the gradient of the final hidden state. */
+    MatrixF backward(const MatrixF &dh_last);
+
+    std::vector<ParamRef> params();
+    size_t paramCount();
+    size_t hiddenSize() const { return hidden_; }
+    Layer &inputMap() { return *input_map_; }
+
+  private:
+    std::unique_ptr<Layer> input_map_;
+    size_t hidden_;
+    MatrixF wh_;  ///< 4H x H recurrent weights
+    MatrixF gwh_;
+
+    // Per-step caches for BPTT.
+    size_t steps_ = 0;
+    size_t batch_ = 0;
+    std::vector<MatrixF> i_, f_, g_, o_, c_, h_;
+};
+
+/** GRU cell unrolled over a sequence; emits the final hidden state. */
+class GruCell
+{
+  public:
+    /** @param input_map maps input features -> 3*hidden (z, r, n). */
+    GruCell(std::unique_ptr<Layer> input_map, size_t hidden, Rng &rng);
+
+    MatrixF forward(const MatrixF &x_seq, size_t steps);
+    MatrixF backward(const MatrixF &dh_last);
+
+    std::vector<ParamRef> params();
+    size_t paramCount();
+    size_t hiddenSize() const { return hidden_; }
+    Layer &inputMap() { return *input_map_; }
+
+  private:
+    std::unique_ptr<Layer> input_map_;
+    size_t hidden_;
+    MatrixF wh_; ///< 3H x H recurrent weights
+    MatrixF gwh_;
+
+    size_t steps_ = 0;
+    size_t batch_ = 0;
+    std::vector<MatrixF> z_, r_, n_, h_, hn_; ///< hn_ = Wh_n-part * h
+};
+
+} // namespace tie
+
+#endif // TIE_NN_RNN_HH

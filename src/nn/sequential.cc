@@ -1,0 +1,63 @@
+#include "nn/sequential.hh"
+
+#include <sstream>
+
+namespace tie {
+
+void
+Sequential::push(std::unique_ptr<Layer> layer)
+{
+    TIE_CHECK_ARG(layer != nullptr, "cannot push a null layer");
+    layers_.push_back(std::move(layer));
+}
+
+MatrixF
+Sequential::forward(const MatrixF &x)
+{
+    MatrixF v = x;
+    for (auto &l : layers_)
+        v = l->forward(v);
+    return v;
+}
+
+MatrixF
+Sequential::backward(const MatrixF &dy)
+{
+    MatrixF g = dy;
+    for (size_t i = layers_.size(); i-- > 0;)
+        g = layers_[i]->backward(g);
+    return g;
+}
+
+std::vector<ParamRef>
+Sequential::params()
+{
+    std::vector<ParamRef> out;
+    for (auto &l : layers_) {
+        auto p = l->params();
+        out.insert(out.end(), p.begin(), p.end());
+    }
+    return out;
+}
+
+size_t
+Sequential::outFeatures(size_t in) const
+{
+    size_t f = in;
+    for (const auto &l : layers_)
+        f = l->outFeatures(f);
+    return f;
+}
+
+std::string
+Sequential::summary()
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        oss << (i ? " -> " : "") << layers_[i]->name() << "("
+            << layers_[i]->paramCount() << ")";
+    }
+    return oss.str();
+}
+
+} // namespace tie

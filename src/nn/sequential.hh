@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Layer container: forward/backward composition and parameter
+ * aggregation for feed-forward networks.
+ */
+
+#ifndef TIE_NN_SEQUENTIAL_HH
+#define TIE_NN_SEQUENTIAL_HH
+
+#include "nn/layer.hh"
+
+namespace tie {
+
+/** A feed-forward stack of layers. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer (takes ownership). */
+    void push(std::unique_ptr<Layer> layer);
+
+    /** Construct-and-append convenience. */
+    template <typename T, typename... Args>
+    T &
+    emplace(Args &&...args)
+    {
+        auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+        T &ref = *layer;
+        push(std::move(layer));
+        return ref;
+    }
+
+    MatrixF forward(const MatrixF &x) override;
+    MatrixF backward(const MatrixF &dy) override;
+    std::vector<ParamRef> params() override;
+    std::string name() const override { return "Sequential"; }
+    size_t outFeatures(size_t in) const override;
+
+    size_t size() const { return layers_.size(); }
+    Layer &layer(size_t i) { return *layers_[i]; }
+
+    /** One-line architecture summary. */
+    std::string summary();
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace tie
+
+#endif // TIE_NN_SEQUENTIAL_HH

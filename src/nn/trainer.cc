@@ -1,0 +1,66 @@
+#include "nn/trainer.hh"
+
+#include <iostream>
+
+#include "nn/loss.hh"
+
+namespace tie {
+
+double
+evaluate(Sequential &model, const Dataset &ds, size_t batch)
+{
+    size_t hits = 0;
+    for (size_t begin = 0; begin < ds.size(); begin += batch) {
+        const size_t count = std::min(batch, ds.size() - begin);
+        Dataset b = ds.slice(begin, count);
+        MatrixF logits = model.forward(b.x);
+        hits += static_cast<size_t>(
+            accuracy(logits, b.labels) * static_cast<double>(count) +
+            0.5);
+    }
+    return static_cast<double>(hits) / static_cast<double>(ds.size());
+}
+
+TrainHistory
+trainClassifier(Sequential &model, const Dataset &train,
+                const Dataset &test, const TrainConfig &cfg)
+{
+    TrainHistory hist;
+    SgdMomentum opt(cfg.lr, cfg.momentum);
+
+    for (size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        double epoch_loss = 0.0;
+        double epoch_acc = 0.0;
+        size_t batches = 0;
+
+        for (size_t begin = 0; begin < train.size();
+             begin += cfg.batch) {
+            const size_t count = std::min(cfg.batch,
+                                          train.size() - begin);
+            Dataset b = train.slice(begin, count);
+
+            MatrixF logits = model.forward(b.x);
+            MatrixF dlogits;
+            epoch_loss += softmaxCrossEntropy(logits, b.labels,
+                                              &dlogits);
+            epoch_acc += accuracy(logits, b.labels);
+            ++batches;
+
+            model.backward(dlogits);
+            opt.step(model.params());
+        }
+
+        hist.loss.push_back(epoch_loss / batches);
+        hist.train_acc.push_back(epoch_acc / batches);
+        hist.test_acc.push_back(evaluate(model, test));
+        if (cfg.verbose) {
+            std::cout << "epoch " << epoch + 1 << "/" << cfg.epochs
+                      << "  loss " << hist.loss.back() << "  train "
+                      << hist.train_acc.back() << "  test "
+                      << hist.test_acc.back() << std::endl;
+        }
+    }
+    return hist;
+}
+
+} // namespace tie

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Mini-batch training loop for feed-forward classifiers (the CNN
+ * accuracy experiments of Tables 1-2 use this; the RNN examples drive
+ * the cells directly for BPTT).
+ */
+
+#ifndef TIE_NN_TRAINER_HH
+#define TIE_NN_TRAINER_HH
+
+#include "nn/dataset.hh"
+#include "nn/optimizer.hh"
+#include "nn/sequential.hh"
+
+namespace tie {
+
+/** Knobs for the training loop. */
+struct TrainConfig
+{
+    size_t epochs = 10;
+    size_t batch = 32;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    bool verbose = false;
+};
+
+/** Per-epoch training trace. */
+struct TrainHistory
+{
+    std::vector<double> loss;
+    std::vector<double> train_acc;
+    std::vector<double> test_acc;
+
+    double finalTestAcc() const
+    {
+        return test_acc.empty() ? 0.0 : test_acc.back();
+    }
+};
+
+/** Classification accuracy of a model on a dataset. */
+double evaluate(Sequential &model, const Dataset &ds,
+                size_t batch = 64);
+
+/** Train with SGD+momentum; returns the per-epoch history. */
+TrainHistory trainClassifier(Sequential &model, const Dataset &train,
+                             const Dataset &test, const TrainConfig &cfg);
+
+} // namespace tie
+
+#endif // TIE_NN_TRAINER_HH

@@ -1,0 +1,92 @@
+#include "nn/tt_conv2d.hh"
+
+namespace tie {
+
+TtConv2D::TtConv2D(ConvShape shape, const TtLayerConfig &cfg, Rng &rng)
+    : shape_(shape)
+{
+    TIE_CHECK_ARG(cfg.outSize() == shape.c_out &&
+                  cfg.inSize() == shape.f * shape.f * shape.c_in,
+                  "TT config ", cfg.toString(),
+                  " does not factorise the conv GEMM ", shape.c_out, "x",
+                  shape.f * shape.f * shape.c_in);
+    tt_ = std::make_unique<TtDense>(cfg, rng, /*bias=*/true);
+}
+
+std::unique_ptr<TtConv2D>
+TtConv2D::fromDense(const MatrixF &w, ConvShape shape,
+                    const TtLayerConfig &cfg, Rng &rng)
+{
+    auto layer = std::make_unique<TtConv2D>(shape, cfg, rng);
+    layer->tt_ = TtDense::fromDense(w, cfg, rng, /*bias=*/true);
+    return layer;
+}
+
+MatrixF
+TtConv2D::forward(const MatrixF &x)
+{
+    TIE_CHECK_ARG(x.rows() == shape_.c_in * shape_.h * shape_.w,
+                  "TtConv2D input features mismatch");
+    const size_t batch = x.cols();
+    const size_t opix = shape_.outH() * shape_.outW();
+
+    // Assemble one big operand: every output pixel of every sample is a
+    // column of the TT GEMM (exactly how TIE batches CONV workloads).
+    MatrixF cols(shape_.f * shape_.f * shape_.c_in, opix * batch);
+    cols_.assign(batch, MatrixF());
+    std::vector<float> sample(x.rows());
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t i = 0; i < x.rows(); ++i)
+            sample[i] = x(i, n);
+        cols_[n] = im2col(sample.data(), shape_);
+        for (size_t r = 0; r < cols.rows(); ++r)
+            for (size_t p = 0; p < opix; ++p)
+                cols(r, n * opix + p) = cols_[n](r, p);
+    }
+
+    MatrixF y_flat = tt_->forward(cols); // c_out x (opix*batch)
+    MatrixF y(shape_.c_out * opix, batch);
+    for (size_t n = 0; n < batch; ++n)
+        for (size_t co = 0; co < shape_.c_out; ++co)
+            for (size_t p = 0; p < opix; ++p)
+                y(co * opix + p, n) = y_flat(co, n * opix + p);
+    return y;
+}
+
+MatrixF
+TtConv2D::backward(const MatrixF &dy)
+{
+    const size_t batch = cols_.size();
+    const size_t opix = shape_.outH() * shape_.outW();
+    TIE_CHECK_ARG(dy.rows() == shape_.c_out * opix && dy.cols() == batch,
+                  "TtConv2D backward shape mismatch");
+
+    MatrixF dy_flat(shape_.c_out, opix * batch);
+    for (size_t n = 0; n < batch; ++n)
+        for (size_t co = 0; co < shape_.c_out; ++co)
+            for (size_t p = 0; p < opix; ++p)
+                dy_flat(co, n * opix + p) = dy(co * opix + p, n);
+
+    MatrixF dcols = tt_->backward(dy_flat);
+
+    MatrixF dx(shape_.c_in * shape_.h * shape_.w, batch);
+    MatrixF dcol_n(dcols.rows(), opix);
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t r = 0; r < dcols.rows(); ++r)
+            for (size_t p = 0; p < opix; ++p)
+                dcol_n(r, p) = dcols(r, n * opix + p);
+        std::vector<float> dsample(dx.rows(), 0.0f);
+        col2im(dcol_n, shape_, dsample.data());
+        for (size_t i = 0; i < dx.rows(); ++i)
+            dx(i, n) = dsample[i];
+    }
+    return dx;
+}
+
+std::vector<ParamRef>
+TtConv2D::params()
+{
+    return tt_->params();
+}
+
+} // namespace tie

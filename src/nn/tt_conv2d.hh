@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Convolution layer whose im2col GEMM runs through a TT-format matrix
+ * (paper Sec. 2.2 / Fig. 3: "both the inference on FC layers and CONV
+ * layers can be executed on the same TT-format inference engine").
+ */
+
+#ifndef TIE_NN_TT_CONV2D_HH
+#define TIE_NN_TT_CONV2D_HH
+
+#include "nn/conv2d.hh"
+#include "nn/tt_dense.hh"
+
+namespace tie {
+
+/** CONV layer with TT-compressed weights. */
+class TtConv2D : public Layer
+{
+  public:
+    /**
+     * @param shape convolution geometry.
+     * @param cfg TT factorisation of the (c_out x f*f*c_in) GEMM;
+     *            outSize must equal c_out and inSize f*f*c_in.
+     */
+    TtConv2D(ConvShape shape, const TtLayerConfig &cfg, Rng &rng);
+
+    /** TT-SVD from a dense conv weight (c_out x f*f*c_in). */
+    static std::unique_ptr<TtConv2D> fromDense(const MatrixF &w,
+                                               ConvShape shape,
+                                               const TtLayerConfig &cfg,
+                                               Rng &rng);
+
+    MatrixF forward(const MatrixF &x) override;
+    MatrixF backward(const MatrixF &dy) override;
+    std::vector<ParamRef> params() override;
+    std::string name() const override { return "TtConv2D"; }
+    size_t
+    outFeatures(size_t) const override
+    {
+        return shape_.c_out * shape_.outH() * shape_.outW();
+    }
+
+    const ConvShape &shape() const { return shape_; }
+    const TtLayerConfig &ttConfig() const { return tt_->config(); }
+    TtDense &ttLayer() { return *tt_; }
+
+  private:
+    ConvShape shape_;
+    std::unique_ptr<TtDense> tt_;
+    std::vector<MatrixF> cols_;
+};
+
+} // namespace tie
+
+#endif // TIE_NN_TT_CONV2D_HH

@@ -1,0 +1,106 @@
+#include "signal/fft.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tie {
+
+bool
+isPowerOfTwo(size_t n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+void
+fftInPlace(std::vector<Cplx> &a, bool inverse)
+{
+    const size_t n = a.size();
+    TIE_CHECK_ARG(isPowerOfTwo(n), "FFT size must be a power of two, got ",
+                  n);
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+
+    const double sign = inverse ? 1.0 : -1.0;
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
+        const Cplx wlen(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            Cplx w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; ++k) {
+                const Cplx u = a[i + k];
+                const Cplx v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        for (auto &x : a)
+            x /= static_cast<double>(n);
+    }
+}
+
+std::vector<Cplx>
+fftReal(const std::vector<double> &x)
+{
+    std::vector<Cplx> a(x.begin(), x.end());
+    fftInPlace(a, false);
+    return a;
+}
+
+std::vector<double>
+ifftToReal(std::vector<Cplx> spectrum)
+{
+    fftInPlace(spectrum, true);
+    std::vector<double> out(spectrum.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = spectrum[i].real();
+    return out;
+}
+
+std::vector<double>
+circularConvolve(const std::vector<double> &a, const std::vector<double> &b)
+{
+    TIE_CHECK_ARG(a.size() == b.size() && !a.empty(),
+                  "circularConvolve length mismatch");
+    const size_t n = a.size();
+
+    if (isPowerOfTwo(n)) {
+        auto fa = fftReal(a);
+        auto fb = fftReal(b);
+        for (size_t i = 0; i < n; ++i)
+            fa[i] *= fb[i];
+        return ifftToReal(std::move(fa));
+    }
+
+    // Direct fallback for non-power-of-two circulant block sizes.
+    std::vector<double> out(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < n; ++j)
+            acc += a[(i + n - j) % n] * b[j];
+        out[i] = acc;
+    }
+    return out;
+}
+
+std::vector<double>
+circulantMatVec(const std::vector<double> &c, const std::vector<double> &x)
+{
+    return circularConvolve(c, x);
+}
+
+} // namespace tie

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Radix-2 FFT and circular convolution. Substrate for the CIRCNN
+ * baseline (block-circulant layers compute y = IFFT(FFT(w) ∘ FFT(x))).
+ */
+
+#ifndef TIE_SIGNAL_FFT_HH
+#define TIE_SIGNAL_FFT_HH
+
+#include <complex>
+#include <vector>
+
+namespace tie {
+
+using Cplx = std::complex<double>;
+
+/** True when @p n is a power of two (n >= 1). */
+bool isPowerOfTwo(size_t n);
+
+/** In-place iterative radix-2 FFT; size must be a power of two. */
+void fftInPlace(std::vector<Cplx> &a, bool inverse);
+
+/** Forward FFT of a real signal (size must be a power of two). */
+std::vector<Cplx> fftReal(const std::vector<double> &x);
+
+/** Inverse FFT returning the real part (imaginary parts discarded). */
+std::vector<double> ifftToReal(std::vector<Cplx> spectrum);
+
+/**
+ * Circular convolution of two equal-length real signals. Uses the FFT
+ * when the length is a power of two and a direct O(n^2) loop otherwise,
+ * so arbitrary circulant block sizes are supported.
+ */
+std::vector<double> circularConvolve(const std::vector<double> &a,
+                                     const std::vector<double> &b);
+
+/**
+ * y = C x where C is the circulant matrix whose first *column* is c:
+ * y[i] = sum_j c[(i - j) mod n] * x[j] — exactly circularConvolve(c, x).
+ */
+std::vector<double> circulantMatVec(const std::vector<double> &c,
+                                    const std::vector<double> &x);
+
+} // namespace tie
+
+#endif // TIE_SIGNAL_FFT_HH

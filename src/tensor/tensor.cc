@@ -1,0 +1,18 @@
+#include "tensor/tensor.hh"
+
+#include <sstream>
+
+namespace tie {
+
+std::string
+shapeToString(const std::vector<size_t> &shape)
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t k = 0; k < shape.size(); ++k)
+        oss << (k ? ", " : "") << shape[k];
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace tie

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * N-dimensional row-major tensor. This is the substrate for reshaping
+ * weight matrices / activations into the multi-index form TT operates on
+ * (paper Fig. 1 and Eqn. 2) and for im2col in the CONV path (Fig. 3).
+ */
+
+#ifndef TIE_TENSOR_TENSOR_HH
+#define TIE_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** Multiply the elements of a shape vector (1 for the empty shape). */
+inline size_t
+shapeNumel(const std::vector<size_t> &shape)
+{
+    size_t n = 1;
+    for (size_t d : shape)
+        n *= d;
+    return n;
+}
+
+/**
+ * Dense row-major N-d tensor (last index varies fastest).
+ *
+ * @tparam T element type.
+ */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    explicit Tensor(std::vector<size_t> shape, T init = T(0))
+        : shape_(std::move(shape)),
+          data_(shapeNumel(shape_), init)
+    {
+        computeStrides();
+    }
+
+    Tensor(std::vector<size_t> shape, std::vector<T> data)
+        : shape_(std::move(shape)), data_(std::move(data))
+    {
+        TIE_REQUIRE(data_.size() == shapeNumel(shape_),
+                    "tensor data size mismatch");
+        computeStrides();
+    }
+
+    const std::vector<size_t> &shape() const { return shape_; }
+    const std::vector<size_t> &strides() const { return strides_; }
+    size_t ndim() const { return shape_.size(); }
+    size_t numel() const { return data_.size(); }
+    size_t dim(size_t k) const { return shape_[k]; }
+
+    std::vector<T> &flat() { return data_; }
+    const std::vector<T> &flat() const { return data_; }
+
+    /** Linear offset of a multi-index. */
+    size_t
+    offset(const std::vector<size_t> &idx) const
+    {
+        TIE_REQUIRE(idx.size() == shape_.size(), "index rank mismatch");
+        size_t off = 0;
+        for (size_t k = 0; k < idx.size(); ++k) {
+            TIE_REQUIRE(idx[k] < shape_[k], "tensor index out of range");
+            off += idx[k] * strides_[k];
+        }
+        return off;
+    }
+
+    T &at(const std::vector<size_t> &idx) { return data_[offset(idx)]; }
+    const T &
+    at(const std::vector<size_t> &idx) const
+    {
+        return data_[offset(idx)];
+    }
+
+    /**
+     * Reinterpret with a new shape of identical element count. Data is
+     * shared by value semantics (copied with the tensor).
+     */
+    Tensor<T>
+    reshaped(std::vector<size_t> new_shape) const
+    {
+        TIE_CHECK_ARG(shapeNumel(new_shape) == numel(),
+                      "reshape element count mismatch");
+        return Tensor<T>(std::move(new_shape), data_);
+    }
+
+    /**
+     * Materialised dimension permutation: out[idx] = in[idx ∘ perm],
+     * i.e. output dimension k is input dimension perm[k].
+     */
+    Tensor<T>
+    permuted(const std::vector<size_t> &perm) const
+    {
+        TIE_CHECK_ARG(perm.size() == shape_.size(),
+                      "permutation rank mismatch");
+        std::vector<bool> seen(perm.size(), false);
+        for (size_t p : perm) {
+            TIE_CHECK_ARG(p < perm.size() && !seen[p],
+                          "invalid permutation");
+            seen[p] = true;
+        }
+
+        std::vector<size_t> new_shape(perm.size());
+        for (size_t k = 0; k < perm.size(); ++k)
+            new_shape[k] = shape_[perm[k]];
+
+        Tensor<T> out(new_shape);
+        std::vector<size_t> out_idx(perm.size(), 0);
+        std::vector<size_t> in_idx(perm.size(), 0);
+        const size_t total = numel();
+        for (size_t lin = 0; lin < total; ++lin) {
+            for (size_t k = 0; k < perm.size(); ++k)
+                in_idx[perm[k]] = out_idx[k];
+            out.flat()[lin] = at(in_idx);
+            // Row-major increment of out_idx.
+            for (size_t k = perm.size(); k-- > 0;) {
+                if (++out_idx[k] < new_shape[k])
+                    break;
+                out_idx[k] = 0;
+            }
+        }
+        return out;
+    }
+
+    /**
+     * Sequential matricisation: the first @p row_dims dimensions become
+     * rows, the rest become columns (both row-major). This is the
+     * unfolding TT-SVD sweeps over.
+     */
+    Matrix<T>
+    toMatrix(size_t row_dims) const
+    {
+        TIE_CHECK_ARG(row_dims <= shape_.size(),
+                      "toMatrix row_dims out of range");
+        size_t rows = 1, cols = 1;
+        for (size_t k = 0; k < row_dims; ++k)
+            rows *= shape_[k];
+        for (size_t k = row_dims; k < shape_.size(); ++k)
+            cols *= shape_[k];
+        return Matrix<T>(rows, cols, data_);
+    }
+
+    /** Build a tensor from a matrix given the full target shape. */
+    static Tensor<T>
+    fromMatrix(const Matrix<T> &m, std::vector<size_t> shape)
+    {
+        TIE_CHECK_ARG(shapeNumel(shape) == m.size(),
+                      "fromMatrix element count mismatch");
+        return Tensor<T>(std::move(shape), m.flat());
+    }
+
+  private:
+    void
+    computeStrides()
+    {
+        strides_.assign(shape_.size(), 1);
+        for (size_t k = shape_.size(); k-- > 1;)
+            strides_[k - 1] = strides_[k] * shape_[k];
+    }
+
+    std::vector<size_t> shape_;
+    std::vector<size_t> strides_;
+    std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorD = Tensor<double>;
+
+/** Pretty shape string like "[2, 7, 8]". */
+std::string shapeToString(const std::vector<size_t> &shape);
+
+} // namespace tie
+
+#endif // TIE_TENSOR_TENSOR_HH

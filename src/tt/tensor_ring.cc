@@ -1,0 +1,181 @@
+#include "tt/tensor_ring.hh"
+
+#include <cmath>
+
+#include "tt/cost_model.hh"
+
+namespace tie {
+
+size_t
+TrLayerConfig::outSize() const
+{
+    size_t p = 1;
+    for (size_t v : m)
+        p *= v;
+    return p;
+}
+
+size_t
+TrLayerConfig::inSize() const
+{
+    size_t p = 1;
+    for (size_t v : n)
+        p *= v;
+    return p;
+}
+
+size_t
+TrLayerConfig::trParamCount() const
+{
+    size_t total = 0;
+    for (size_t k = 0; k < d(); ++k)
+        total += r[k] * m[k] * n[k] * r[k + 1];
+    return total;
+}
+
+double
+TrLayerConfig::compressionRatio() const
+{
+    return static_cast<double>(outSize()) *
+           static_cast<double>(inSize()) /
+           static_cast<double>(trParamCount());
+}
+
+void
+TrLayerConfig::validate() const
+{
+    TIE_CHECK_ARG(!m.empty() && m.size() == n.size() &&
+                  r.size() == m.size() + 1,
+                  "malformed TR configuration");
+    TIE_CHECK_ARG(r.front() == r.back() && r.front() >= 1,
+                  "TR boundary ranks must match (the ring rank R)");
+    for (size_t k = 0; k < d(); ++k)
+        TIE_CHECK_ARG(m[k] >= 1 && n[k] >= 1 && r[k] >= 1,
+                      "TR factors and ranks must be positive");
+}
+
+TrLayerConfig
+TrLayerConfig::uniform(size_t d, size_t mf, size_t nf, size_t rank,
+                       size_t ring_rank)
+{
+    TrLayerConfig cfg;
+    cfg.m.assign(d, mf);
+    cfg.n.assign(d, nf);
+    cfg.r.assign(d + 1, rank);
+    cfg.r.front() = cfg.r.back() = ring_rank;
+    cfg.validate();
+    return cfg;
+}
+
+TrMatrix::TrMatrix(TrLayerConfig config) : config_(std::move(config))
+{
+    config_.validate();
+    cores_.reserve(config_.d());
+    for (size_t k = 0; k < config_.d(); ++k)
+        cores_.emplace_back(config_.r[k], config_.m[k], config_.n[k],
+                            config_.r[k + 1]);
+}
+
+const TtCore &
+TrMatrix::core(size_t h) const
+{
+    TIE_REQUIRE(h >= 1 && h <= cores_.size(), "TR core out of range");
+    return cores_[h - 1];
+}
+
+TtCore &
+TrMatrix::core(size_t h)
+{
+    TIE_REQUIRE(h >= 1 && h <= cores_.size(), "TR core out of range");
+    return cores_[h - 1];
+}
+
+size_t
+TrMatrix::paramCount() const
+{
+    size_t total = 0;
+    for (const auto &c : cores_)
+        total += c.paramCount();
+    return total;
+}
+
+TtMatrix
+TrMatrix::slice(size_t alpha) const
+{
+    const size_t R = config_.ringRank();
+    TIE_CHECK_ARG(alpha < R, "ring slice index out of range");
+
+    TtLayerConfig tc;
+    tc.m = config_.m;
+    tc.n = config_.n;
+    tc.r = config_.r;
+    tc.r.front() = tc.r.back() = 1;
+
+    TtMatrix tt(tc);
+    const size_t dd = config_.d();
+    for (size_t h = 1; h <= dd; ++h) {
+        const TtCore &src = cores_[h - 1];
+        TtCore &dst = tt.core(h);
+        const size_t rp = h == 1 ? 1 : src.rPrev();
+        const size_t rn = h == dd ? 1 : src.rNext();
+        for (size_t i = 0; i < src.m(); ++i)
+            for (size_t j = 0; j < src.n(); ++j)
+                for (size_t a = 0; a < rp; ++a)
+                    for (size_t b = 0; b < rn; ++b)
+                        dst.at(a, i, j, b) =
+                            src.at(h == 1 ? alpha : a, i, j,
+                                   h == dd ? alpha : b);
+    }
+    return tt;
+}
+
+MatrixD
+TrMatrix::toDense() const
+{
+    MatrixD w(config_.outSize(), config_.inSize());
+    for (size_t alpha = 0; alpha < config_.ringRank(); ++alpha)
+        w = add(w, slice(alpha).toDense());
+    return w;
+}
+
+MatrixD
+TrMatrix::infer(const MatrixD &x, InferStats *stats) const
+{
+    MatrixD y(config_.outSize(), x.cols());
+    size_t mults = 0;
+    for (size_t alpha = 0; alpha < config_.ringRank(); ++alpha) {
+        InferStats s;
+        y = add(y, compactInfer(slice(alpha), x, &s));
+        mults += s.mults;
+    }
+    if (stats)
+        stats->mults = mults;
+    return y;
+}
+
+TrMatrix
+TrMatrix::random(const TrLayerConfig &config, Rng &rng)
+{
+    TrMatrix tr(config);
+    const size_t dd = config.m.size();
+    for (size_t k = 1; k <= dd; ++k) {
+        const double fan =
+            static_cast<double>(config.n[k - 1] * config.r[k] *
+                                config.ringRank());
+        tr.core(k).setNormal(rng, 1.0 / std::sqrt(fan));
+    }
+    return tr;
+}
+
+size_t
+multTensorRing(const TrLayerConfig &cfg)
+{
+    TtLayerConfig tc;
+    tc.m = cfg.m;
+    tc.n = cfg.n;
+    tc.r = cfg.r;
+    tc.r.front() = tc.r.back() = 1;
+    return cfg.ringRank() * multCompact(tc);
+}
+
+} // namespace tie

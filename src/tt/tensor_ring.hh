@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tensor-ring (TR) weight matrices — the "TT ring" variant the paper
+ * cites ([81] Zhao et al.; [74] Wang et al.) as a verified extension
+ * of TT compression. A TR operator closes the chain:
+ *
+ *   W(y(i), x(j)) = Trace( G_1[i1,j1] G_2[i2,j2] ... G_d[id,jd] ),
+ *
+ * with r_0 = r_d = R >= 1 (TT is the R = 1 special case). Inference
+ * reuses the compact TT scheme: fixing the ring index alpha turns the
+ * TR operator into a sum of R TT operators whose first core takes row
+ * slice alpha and whose last core takes column slice alpha, so
+ *   y = sum_alpha compactInfer(slice_alpha, x).
+ */
+
+#ifndef TIE_TT_TENSOR_RING_HH
+#define TIE_TT_TENSOR_RING_HH
+
+#include "tt/tt_infer.hh"
+#include "tt/tt_matrix.hh"
+
+namespace tie {
+
+/** Shape/rank configuration of a tensor-ring layer. */
+struct TrLayerConfig
+{
+    std::vector<size_t> m; ///< output factors
+    std::vector<size_t> n; ///< input factors
+    std::vector<size_t> r; ///< d+1 ranks with r[0] == r[d] == R
+
+    size_t d() const { return m.size(); }
+    size_t ringRank() const { return r.front(); }
+    size_t outSize() const;
+    size_t inSize() const;
+    size_t trParamCount() const;
+    double compressionRatio() const;
+    void validate() const;
+
+    /** Uniform factors with ring rank R and interior rank. */
+    static TrLayerConfig uniform(size_t d, size_t mf, size_t nf,
+                                 size_t rank, size_t ring_rank);
+};
+
+/** Weight matrix in tensor-ring format. */
+class TrMatrix
+{
+  public:
+    TrMatrix() = default;
+    explicit TrMatrix(TrLayerConfig config);
+
+    const TrLayerConfig &config() const { return config_; }
+    size_t d() const { return config_.d(); }
+
+    /** Core G_h (1-based); boundary ranks are the ring rank R. */
+    const TtCore &core(size_t h) const;
+    TtCore &core(size_t h);
+
+    size_t paramCount() const;
+
+    /**
+     * The alpha-th TT slice: core 1 keeps only left-rank row alpha,
+     * core d keeps only right-rank column alpha. Summing the slices'
+     * operators over alpha reconstructs the TR operator.
+     */
+    TtMatrix slice(size_t alpha) const;
+
+    /** Dense reconstruction (small shapes / tests). */
+    MatrixD toDense() const;
+
+    /** y = W x via R compact TT inferences (batch columns). */
+    MatrixD infer(const MatrixD &x, InferStats *stats = nullptr) const;
+
+    /** Random TR matrix with Xavier-like scaling. */
+    static TrMatrix random(const TrLayerConfig &config, Rng &rng);
+
+  private:
+    TrLayerConfig config_;
+    std::vector<TtCore> cores_;
+};
+
+/** Multiplications of TR inference via the R-slice compact scheme. */
+size_t multTensorRing(const TrLayerConfig &cfg);
+
+} // namespace tie
+
+#endif // TIE_TT_TENSOR_RING_HH

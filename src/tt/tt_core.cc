@@ -1,0 +1,56 @@
+#include "tt/tt_core.hh"
+
+#include <cmath>
+
+namespace tie {
+
+TtCore::TtCore(size_t r_prev, size_t m, size_t n, size_t r_next)
+    : rPrev_(r_prev), m_(m), n_(n), rNext_(r_next),
+      unfolded_(m * r_prev, n * r_next)
+{}
+
+TtCore::TtCore(size_t r_prev, size_t m, size_t n, size_t r_next,
+               MatrixD unfolded)
+    : rPrev_(r_prev), m_(m), n_(n), rNext_(r_next),
+      unfolded_(std::move(unfolded))
+{
+    TIE_REQUIRE(unfolded_.rows() == m_ * rPrev_ &&
+                unfolded_.cols() == n_ * rNext_,
+                "unfolded core shape mismatch");
+}
+
+MatrixD
+TtCore::slice(size_t i, size_t j) const
+{
+    TIE_REQUIRE(i < m_ && j < n_, "core slice index out of range");
+    MatrixD s(rPrev_, rNext_);
+    for (size_t a = 0; a < rPrev_; ++a)
+        for (size_t b = 0; b < rNext_; ++b)
+            s(a, b) = at(a, i, j, b);
+    return s;
+}
+
+void
+TtCore::setNormal(Rng &rng, double stddev)
+{
+    unfolded_.setNormal(rng, 0.0, stddev);
+}
+
+TtCore
+TtCore::fromTtSvd3d(size_t r_prev, size_t m, size_t n, size_t r_next,
+                    const std::vector<double> &flat3d)
+{
+    TIE_REQUIRE(flat3d.size() == r_prev * m * n * r_next,
+                "3-D core buffer size mismatch");
+    TtCore core(r_prev, m, n, r_next);
+    // flat3d is (a, k, b) row-major with k = i * n + j.
+    for (size_t a = 0; a < r_prev; ++a)
+        for (size_t i = 0; i < m; ++i)
+            for (size_t j = 0; j < n; ++j)
+                for (size_t b = 0; b < r_next; ++b)
+                    core.at(a, i, j, b) =
+                        flat3d[(a * m * n + i * n + j) * r_next + b];
+    return core;
+}
+
+} // namespace tie

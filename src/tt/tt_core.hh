@@ -1,0 +1,82 @@
+/**
+ * @file
+ * One TT tensor core G_k in R^{r_{k-1} x m_k x n_k x r_k} (paper
+ * Sec. 2.2, 4-D representation).
+ *
+ * The primary storage is the *unfolded* matrix G~_k of shape
+ * (m_k * r_{k-1}) x (n_k * r_k) with
+ *   G~_k(i * r_{k-1} + a, j * r_k + b) = G_k[a, i, j, b],
+ * because that is the operand both the compact inference scheme
+ * (Eqn. 9/11) and the TIE datapath consume directly.
+ */
+
+#ifndef TIE_TT_TT_CORE_HH
+#define TIE_TT_TT_CORE_HH
+
+#include "linalg/matrix.hh"
+
+namespace tie {
+
+/** A single 4-D TT core, stored in unfolded matrix form. */
+class TtCore
+{
+  public:
+    TtCore() : rPrev_(0), m_(0), n_(0), rNext_(0) {}
+
+    /** Allocate a zero core with the given dimensions. */
+    TtCore(size_t r_prev, size_t m, size_t n, size_t r_next);
+
+    /** Wrap an existing unfolded matrix (shape must match). */
+    TtCore(size_t r_prev, size_t m, size_t n, size_t r_next,
+           MatrixD unfolded);
+
+    size_t rPrev() const { return rPrev_; }
+    size_t m() const { return m_; }
+    size_t n() const { return n_; }
+    size_t rNext() const { return rNext_; }
+
+    /** Element G_k[a, i, j, b]. */
+    double &
+    at(size_t a, size_t i, size_t j, size_t b)
+    {
+        return unfolded_(i * rPrev_ + a, j * rNext_ + b);
+    }
+    const double &
+    at(size_t a, size_t i, size_t j, size_t b) const
+    {
+        return unfolded_(i * rPrev_ + a, j * rNext_ + b);
+    }
+
+    /** The r_{k-1} x r_k slice G_k[i, j] used by Eqn. (2). */
+    MatrixD slice(size_t i, size_t j) const;
+
+    /** Unfolded matrix G~_k, (m * r_prev) x (n * r_next). */
+    const MatrixD &unfolded() const { return unfolded_; }
+    MatrixD &unfolded() { return unfolded_; }
+
+    /** Number of parameters r_prev * m * n * r_next. */
+    size_t paramCount() const { return rPrev_ * m_ * n_ * rNext_; }
+
+    /** Fill with normal random values (for train-from-scratch init). */
+    void setNormal(Rng &rng, double stddev);
+
+    /**
+     * Build from the 3-D core TT-SVD produces: shape
+     * (r_prev, m*n, r_next) flattened row-major, where the combined
+     * middle index is k = i * n + j.
+     */
+    static TtCore fromTtSvd3d(size_t r_prev, size_t m, size_t n,
+                              size_t r_next,
+                              const std::vector<double> &flat3d);
+
+  private:
+    size_t rPrev_;
+    size_t m_;
+    size_t n_;
+    size_t rNext_;
+    MatrixD unfolded_;
+};
+
+} // namespace tie
+
+#endif // TIE_TT_TT_CORE_HH

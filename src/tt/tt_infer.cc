@@ -1,0 +1,203 @@
+#include "tt/tt_infer.hh"
+
+namespace tie {
+
+std::vector<double>
+naiveInfer(const TtMatrix &tt, const std::vector<double> &x,
+           InferStats *stats)
+{
+    const TtLayerConfig &cfg = tt.config();
+    TIE_CHECK_ARG(x.size() == cfg.inSize(), "naiveInfer input length");
+
+    std::vector<double> y(cfg.outSize(), 0.0);
+    size_t mults = 0, adds = 0;
+
+    forEachIndex(cfg.m, [&](const std::vector<size_t> &i) {
+        const size_t row = cfg.yFlatIndex(i);
+        forEachIndex(cfg.n, [&](const std::vector<size_t> &j) {
+            // Chain right-to-left starting from the scalar X(j), exactly
+            // the d matrix-vector stages the paper's Eqn. 3 counts.
+            std::vector<double> vec{x[cfg.xFlatIndex(j)]};
+            for (size_t k = cfg.d(); k >= 1; --k) {
+                const TtCore &g = tt.core(k);
+                std::vector<double> next(g.rPrev(), 0.0);
+                for (size_t a = 0; a < g.rPrev(); ++a) {
+                    double acc = 0.0;
+                    for (size_t b = 0; b < g.rNext(); ++b) {
+                        acc += g.at(a, i[k - 1], j[k - 1], b) * vec[b];
+                        ++mults;
+                        ++adds;
+                    }
+                    next[a] = acc;
+                }
+                vec = std::move(next);
+            }
+            y[row] += vec[0];
+            ++adds;
+        });
+    });
+
+    if (stats) {
+        stats->mults = mults;
+        stats->adds = adds;
+    }
+    return y;
+}
+
+std::vector<double>
+partialParallelInfer(const TtMatrix &tt, const std::vector<double> &x,
+                     InferStats *stats)
+{
+    const TtLayerConfig &cfg = tt.config();
+    TIE_CHECK_ARG(x.size() == cfg.inSize(), "partialParallelInfer input");
+
+    const size_t dd = cfg.d();
+    const size_t r_last = cfg.r[dd - 1]; // r_{d-1}
+    const size_t md = cfg.m[dd - 1];
+
+    size_t mults = 0;
+
+    // Stage-1 (paper Fig. 5): parallelise over the d-th input dimension
+    // once — V_d = G~_d X'.
+    CompactPlan plan(cfg);
+    MatrixD xm(cfg.inSize(), 1, x);
+    MatrixD xp = plan.reshapeInput(xm);
+    MatrixD vd = matmul(tt.core(dd).unfolded(), xp);
+    mults += tt.core(dd).unfolded().rows() *
+             tt.core(dd).unfolded().cols() * xp.cols();
+
+    std::vector<double> y(cfg.outSize(), 0.0);
+
+    // Later stages remain per output-group: for every (i_1..i_{d-1})
+    // and every encoded (j_1..j_{d-1}) column, chain the slices down —
+    // recomputing shared products, which is the residual redundancy.
+    std::vector<size_t> outer_shape(cfg.m.begin(), cfg.m.end() - 1);
+    std::vector<size_t> jshape(cfg.n.begin(), cfg.n.end() - 1);
+
+    forEachIndex(outer_shape, [&](const std::vector<size_t> &i) {
+        forEachIndex(jshape, [&](const std::vector<size_t> &j) {
+            const size_t q = [&] {
+                size_t idx = 0, stride = 1;
+                for (size_t l = 0; l + 1 < dd; ++l) {
+                    idx += j[l] * stride;
+                    stride *= cfg.n[l];
+                }
+                return idx;
+            }();
+
+            // B(t, i_d) = V_d(i_d * r_{d-1} + t, q).
+            MatrixD b(r_last, md);
+            for (size_t t = 0; t < r_last; ++t)
+                for (size_t id = 0; id < md; ++id)
+                    b(t, id) = vd(id * r_last + t, q);
+
+            for (size_t k = dd - 1; k >= 1; --k) {
+                const MatrixD g = tt.core(k).slice(i[k - 1], j[k - 1]);
+                b = matmul(g, b);
+                mults += g.rows() * g.cols() * md;
+            }
+
+            // b is now 1 x m_d: accumulate into Y(i_1..i_{d-1}, :).
+            std::vector<size_t> full(dd, 0);
+            for (size_t l = 0; l + 1 < dd; ++l)
+                full[l] = i[l];
+            for (size_t id = 0; id < md; ++id) {
+                full[dd - 1] = id;
+                y[cfg.yFlatIndex(full)] += b(0, id);
+            }
+        });
+    });
+
+    if (stats)
+        stats->mults = mults;
+    return y;
+}
+
+MatrixD
+compactInfer(const TtMatrix &tt, const MatrixD &x, InferStats *stats)
+{
+    const TtLayerConfig &cfg = tt.config();
+    const size_t batch = x.cols();
+    CompactPlan plan(cfg);
+
+    MatrixD v = plan.reshapeInput(x);
+    size_t mults = 0;
+    std::vector<size_t> stage_mults;
+
+    for (size_t h = cfg.d(); h >= 1; --h) {
+        const MatrixD &g = tt.core(h).unfolded();
+        v = matmul(g, v);
+        const size_t sm = g.rows() * g.cols() * v.cols();
+        stage_mults.push_back(sm);
+        mults += sm;
+        if (h > 1)
+            v = applyTransformBatched(plan.transformAfter(h), v, batch);
+    }
+
+    if (stats) {
+        stats->mults = mults;
+        stats->stage_mults = std::move(stage_mults);
+    }
+    return plan.flattenOutput(v, batch);
+}
+
+std::vector<double>
+compactInferVec(const TtMatrix &tt, const std::vector<double> &x,
+                InferStats *stats)
+{
+    MatrixD xm(tt.config().inSize(), 1, x);
+    MatrixD y = compactInfer(tt, xm, stats);
+    return y.flat();
+}
+
+Matrix<int16_t>
+compactInferFxp(const TtMatrixFxp &tt, const Matrix<int16_t> &x,
+                InferStats *stats)
+{
+    const TtLayerConfig &cfg = tt.config;
+    const size_t batch = x.cols();
+    CompactPlan plan(cfg);
+
+    // Each stage's output format must feed the next stage's input.
+    for (size_t h = cfg.d(); h >= 2; --h) {
+        const MacFormat &cur = tt.stage_fmt[h - 1];
+        const MacFormat &next = tt.stage_fmt[h - 2];
+        TIE_CHECK_ARG(cur.act_out.frac_bits == next.act_in.frac_bits &&
+                      cur.act_out.total_bits == next.act_in.total_bits,
+                      "stage ", h, " act_out format does not match stage ",
+                      h - 1, " act_in format");
+    }
+
+    Matrix<int16_t> v = plan.reshapeInput(x);
+    size_t mults = 0;
+
+    for (size_t h = cfg.d(); h >= 1; --h) {
+        const Matrix<int16_t> &g = tt.cores[h - 1];
+        const MacFormat &fmt = tt.stage_fmt[h - 1];
+        v = fxpMatmul(g, v, fmt);
+        mults += g.rows() * g.cols() * v.cols();
+        if (h > 1)
+            v = applyTransformBatched(plan.transformAfter(h), v, batch);
+    }
+
+    if (stats)
+        stats->mults = mults;
+    return plan.flattenOutput(v, batch);
+}
+
+CompactPlan::CompactPlan(const TtLayerConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    transforms_.reserve(cfg_.d() >= 2 ? cfg_.d() - 1 : 0);
+    for (size_t h = 2; h <= cfg_.d(); ++h)
+        transforms_.push_back(makeStageTransform(cfg_, h));
+}
+
+const TransformSpec &
+CompactPlan::transformAfter(size_t h) const
+{
+    TIE_REQUIRE(h >= 2 && h <= cfg_.d(), "transformAfter h out of range");
+    return transforms_[h - 2];
+}
+
+} // namespace tie

@@ -1,0 +1,119 @@
+#include "tt/tt_io.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace tie {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x7474316d; // "tt1m"
+constexpr uint32_t kVersion = 1;
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+uint64_t
+readU64(std::istream &is)
+{
+    uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    TIE_CHECK_ARG(static_cast<bool>(is), "truncated TT model stream");
+    return v;
+}
+
+void
+writeVec(std::ostream &os, const std::vector<size_t> &v)
+{
+    writeU64(os, v.size());
+    for (size_t x : v)
+        writeU64(os, x);
+}
+
+std::vector<size_t>
+readVec(std::istream &is)
+{
+    const uint64_t n = readU64(is);
+    TIE_CHECK_ARG(n <= 64, "implausible TT dimension count ", n);
+    std::vector<size_t> v(n);
+    for (auto &x : v)
+        x = static_cast<size_t>(readU64(is));
+    return v;
+}
+
+} // namespace
+
+void
+saveTtMatrix(const TtMatrix &tt, std::ostream &os)
+{
+    writeU64(os, kMagic);
+    writeU64(os, kVersion);
+    const TtLayerConfig &cfg = tt.config();
+    writeVec(os, cfg.m);
+    writeVec(os, cfg.n);
+    writeVec(os, cfg.r);
+    for (size_t h = 1; h <= tt.d(); ++h) {
+        const MatrixD &g = tt.core(h).unfolded();
+        writeU64(os, g.rows());
+        writeU64(os, g.cols());
+        os.write(reinterpret_cast<const char *>(g.data()),
+                 static_cast<std::streamsize>(g.size() *
+                                              sizeof(double)));
+    }
+    TIE_CHECK_ARG(static_cast<bool>(os), "TT model write failed");
+}
+
+TtMatrix
+loadTtMatrix(std::istream &is)
+{
+    TIE_CHECK_ARG(readU64(is) == kMagic,
+                  "not a TT model stream (bad magic)");
+    TIE_CHECK_ARG(readU64(is) == kVersion,
+                  "unsupported TT model version");
+
+    TtLayerConfig cfg;
+    cfg.m = readVec(is);
+    cfg.n = readVec(is);
+    cfg.r = readVec(is);
+    cfg.validate();
+
+    TtMatrix tt(cfg);
+    for (size_t h = 1; h <= tt.d(); ++h) {
+        const size_t rows = static_cast<size_t>(readU64(is));
+        const size_t cols = static_cast<size_t>(readU64(is));
+        TIE_CHECK_ARG(rows == cfg.coreRows(h) && cols == cfg.coreCols(h),
+                      "core ", h, " shape mismatch in TT model stream");
+        MatrixD g(rows, cols);
+        is.read(reinterpret_cast<char *>(g.data()),
+                static_cast<std::streamsize>(g.size() *
+                                             sizeof(double)));
+        TIE_CHECK_ARG(static_cast<bool>(is),
+                      "truncated TT model stream (core ", h, ")");
+        tt.core(h) = TtCore(cfg.r[h - 1], cfg.m[h - 1], cfg.n[h - 1],
+                            cfg.r[h], std::move(g));
+    }
+    return tt;
+}
+
+void
+saveTtMatrixFile(const TtMatrix &tt, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    TIE_CHECK_ARG(os.is_open(), "cannot open ", path, " for writing");
+    saveTtMatrix(tt, os);
+}
+
+TtMatrix
+loadTtMatrixFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    TIE_CHECK_ARG(is.is_open(), "cannot open ", path, " for reading");
+    return loadTtMatrix(is);
+}
+
+} // namespace tie

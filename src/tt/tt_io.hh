@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Serialisation of TT models: a small versioned binary container
+ * (".ttm") so trained/decomposed models can be stored and re-deployed
+ * on the accelerator without re-running TT-SVD or training.
+ */
+
+#ifndef TIE_TT_TT_IO_HH
+#define TIE_TT_TT_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "tt/tt_matrix.hh"
+
+namespace tie {
+
+/** Write a TT matrix to a stream (binary, little-endian host order). */
+void saveTtMatrix(const TtMatrix &tt, std::ostream &os);
+
+/** Read a TT matrix back; fatal() on malformed input. */
+TtMatrix loadTtMatrix(std::istream &is);
+
+/** Convenience file wrappers. */
+void saveTtMatrixFile(const TtMatrix &tt, const std::string &path);
+TtMatrix loadTtMatrixFile(const std::string &path);
+
+} // namespace tie
+
+#endif // TIE_TT_TT_IO_HH

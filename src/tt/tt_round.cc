@@ -1,0 +1,143 @@
+#include "tt/tt_round.hh"
+
+#include "linalg/qr.hh"
+#include "linalg/svd.hh"
+
+namespace tie {
+
+namespace {
+
+/**
+ * 3-d view of one core over the combined index k = i * n + j: flat
+ * layout (a, k, b) row-major. The same buffer serves as both the left
+ * unfolding ((r_prev * s) x r_next) and the right unfolding
+ * (r_prev x (s * r_next)).
+ */
+struct Core3
+{
+    size_t rp = 0, s = 0, rn = 0;
+    std::vector<double> a;
+
+    MatrixD
+    leftUnfold() const
+    {
+        return MatrixD(rp * s, rn, a);
+    }
+    MatrixD
+    rightUnfold() const
+    {
+        return MatrixD(rp, s * rn, a);
+    }
+    static Core3
+    fromLeft(const MatrixD &m, size_t rp, size_t s, size_t rn)
+    {
+        TIE_REQUIRE(m.rows() == rp * s && m.cols() == rn,
+                    "left unfold shape");
+        return {rp, s, rn, m.flat()};
+    }
+    static Core3
+    fromRight(const MatrixD &m, size_t rp, size_t s, size_t rn)
+    {
+        TIE_REQUIRE(m.rows() == rp && m.cols() == s * rn,
+                    "right unfold shape");
+        return {rp, s, rn, m.flat()};
+    }
+};
+
+Core3
+toCore3(const TtCore &c)
+{
+    Core3 out;
+    out.rp = c.rPrev();
+    out.s = c.m() * c.n();
+    out.rn = c.rNext();
+    out.a.resize(out.rp * out.s * out.rn);
+    for (size_t ap = 0; ap < out.rp; ++ap)
+        for (size_t i = 0; i < c.m(); ++i)
+            for (size_t j = 0; j < c.n(); ++j)
+                for (size_t b = 0; b < out.rn; ++b)
+                    out.a[(ap * out.s + i * c.n() + j) * out.rn + b] =
+                        c.at(ap, i, j, b);
+    return out;
+}
+
+TtCore
+fromCore3(const Core3 &c, size_t m, size_t n)
+{
+    TIE_REQUIRE(c.s == m * n, "core3 combined index mismatch");
+    // Flat (a, k, b) is exactly what fromTtSvd3d consumes.
+    return TtCore::fromTtSvd3d(c.rp, m, n, c.rn, c.a);
+}
+
+} // namespace
+
+TtMatrix
+ttRound(const TtMatrix &tt, const std::vector<size_t> &max_ranks,
+        double rel_eps)
+{
+    const TtLayerConfig &cfg = tt.config();
+    const size_t dd = cfg.d();
+    TIE_CHECK_ARG(max_ranks.size() == dd + 1,
+                  "ttRound needs d+1 rank bounds");
+
+    std::vector<Core3> cores;
+    cores.reserve(dd);
+    for (size_t h = 1; h <= dd; ++h)
+        cores.push_back(toCore3(tt.core(h)));
+
+    // --- Right-to-left orthogonalisation sweep ---
+    for (size_t l = dd; l >= 2; --l) {
+        Core3 &c = cores[l - 1];
+        // QR of the transposed right unfolding.
+        QrResult qr = householderQr(c.rightUnfold().transposed());
+        const size_t q = qr.q.cols();
+        // New core l: Q^T, reshaped with r_prev = q.
+        cores[l - 1] = Core3::fromRight(qr.q.transposed(), q, c.s, c.rn);
+        // Absorb R^T into core l-1's right bond.
+        Core3 &prev = cores[l - 2];
+        MatrixD absorbed = matmul(prev.leftUnfold(), qr.r.transposed());
+        cores[l - 2] = Core3::fromLeft(absorbed, prev.rp, prev.s, q);
+    }
+
+    // --- Left-to-right truncation sweep ---
+    TtLayerConfig out_cfg = cfg;
+    for (size_t l = 1; l <= dd - 1; ++l) {
+        // Copy the dims: the slot is reassigned below and a reference
+        // would silently alias the *new* core.
+        const Core3 c = cores[l - 1];
+        const size_t cap = std::max<size_t>(1, max_ranks[l]);
+        TruncatedSvd svd = truncatedSvd(c.leftUnfold(), cap, rel_eps);
+        const size_t r = svd.rank;
+        out_cfg.r[l] = r;
+
+        cores[l - 1] = Core3::fromLeft(svd.u, c.rp, c.s, r);
+
+        // carry = diag(S) V^T (r x old_rn), pushed into core l+1.
+        MatrixD carry(r, c.rn);
+        for (size_t i = 0; i < r; ++i)
+            for (size_t j = 0; j < c.rn; ++j)
+                carry(i, j) = svd.s[i] * svd.v(j, i);
+
+        Core3 &next = cores[l];
+        MatrixD pushed = matmul(carry, next.rightUnfold());
+        cores[l] = Core3::fromRight(pushed, r, next.s, next.rn);
+    }
+    out_cfg.r[0] = out_cfg.r[dd] = 1;
+    out_cfg.validate();
+
+    TtMatrix out(out_cfg);
+    for (size_t h = 1; h <= dd; ++h)
+        out.core(h) = fromCore3(cores[h - 1], cfg.m[h - 1],
+                                cfg.n[h - 1]);
+    return out;
+}
+
+TtMatrix
+ttRound(const TtMatrix &tt, size_t max_rank, double rel_eps)
+{
+    std::vector<size_t> bounds(tt.d() + 1, max_rank);
+    bounds.front() = bounds.back() = 1;
+    return ttRound(tt, bounds, rel_eps);
+}
+
+} // namespace tie

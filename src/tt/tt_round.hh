@@ -1,0 +1,38 @@
+/**
+ * @file
+ * TT rounding (Oseledets 2011, Algorithm 2): compress an existing TT
+ * matrix to lower ranks without densifying — a right-to-left QR
+ * orthogonalisation sweep followed by a left-to-right truncated-SVD
+ * sweep. This enables the paper's "train, then tighten ranks,
+ * then fine-tune" deployment flow at paper scale, where toDense() is
+ * infeasible.
+ */
+
+#ifndef TIE_TT_TT_ROUND_HH
+#define TIE_TT_TT_ROUND_HH
+
+#include "tt/tt_matrix.hh"
+
+namespace tie {
+
+/**
+ * Round @p tt to ranks at most @p max_rank (every interior bond),
+ * additionally dropping singular values below rel_eps * s_max at each
+ * bond.
+ *
+ * @return a TT matrix whose config carries the achieved ranks.
+ */
+TtMatrix ttRound(const TtMatrix &tt, size_t max_rank,
+                 double rel_eps = 0.0);
+
+/**
+ * Round with a per-bond rank budget (@p max_ranks has d+1 entries,
+ * boundary entries ignored).
+ */
+TtMatrix ttRound(const TtMatrix &tt,
+                 const std::vector<size_t> &max_ranks,
+                 double rel_eps = 0.0);
+
+} // namespace tie
+
+#endif // TIE_TT_TT_ROUND_HH

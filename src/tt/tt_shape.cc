@@ -1,0 +1,210 @@
+#include "tt/tt_shape.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tie {
+
+size_t
+TtLayerConfig::outSize() const
+{
+    size_t p = 1;
+    for (size_t v : m)
+        p *= v;
+    return p;
+}
+
+size_t
+TtLayerConfig::inSize() const
+{
+    size_t p = 1;
+    for (size_t v : n)
+        p *= v;
+    return p;
+}
+
+size_t
+TtLayerConfig::ttParamCount() const
+{
+    size_t total = 0;
+    for (size_t k = 0; k < d(); ++k)
+        total += r[k] * m[k] * n[k] * r[k + 1];
+    return total;
+}
+
+size_t
+TtLayerConfig::denseParamCount() const
+{
+    return outSize() * inSize();
+}
+
+double
+TtLayerConfig::compressionRatio() const
+{
+    return static_cast<double>(denseParamCount()) /
+           static_cast<double>(ttParamCount());
+}
+
+void
+TtLayerConfig::validate() const
+{
+    TIE_CHECK_ARG(!m.empty(), "TT config needs at least one dimension");
+    TIE_CHECK_ARG(m.size() == n.size(),
+                  "m and n must have equal length, got ", m.size(), " and ",
+                  n.size());
+    TIE_CHECK_ARG(r.size() == m.size() + 1,
+                  "ranks must have length d+1 = ", m.size() + 1, ", got ",
+                  r.size());
+    TIE_CHECK_ARG(r.front() == 1 && r.back() == 1,
+                  "boundary ranks must be 1 (paper Sec. 2.1)");
+    for (size_t k = 0; k < d(); ++k)
+        TIE_CHECK_ARG(m[k] >= 1 && n[k] >= 1 && r[k] >= 1,
+                      "all factors and ranks must be positive");
+}
+
+size_t
+TtLayerConfig::nPrefixProd(size_t h) const
+{
+    TIE_REQUIRE(h >= 1 && h <= d() + 1, "nPrefixProd h out of range");
+    size_t p = 1;
+    for (size_t l = 1; l < h; ++l)
+        p *= n[l - 1];
+    return p;
+}
+
+size_t
+TtLayerConfig::mSuffixProd(size_t h) const
+{
+    TIE_REQUIRE(h <= d(), "mSuffixProd h out of range");
+    size_t p = 1;
+    for (size_t l = h + 1; l <= d(); ++l)
+        p *= m[l - 1];
+    return p;
+}
+
+size_t
+TtLayerConfig::stageCols(size_t h) const
+{
+    return nPrefixProd(h) * mSuffixProd(h);
+}
+
+size_t
+TtLayerConfig::coreRows(size_t h) const
+{
+    TIE_REQUIRE(h >= 1 && h <= d(), "coreRows h out of range");
+    return m[h - 1] * r[h - 1];
+}
+
+size_t
+TtLayerConfig::coreCols(size_t h) const
+{
+    TIE_REQUIRE(h >= 1 && h <= d(), "coreCols h out of range");
+    return n[h - 1] * r[h];
+}
+
+size_t
+TtLayerConfig::xFlatIndex(const std::vector<size_t> &j) const
+{
+    TIE_REQUIRE(j.size() == d(), "x multi-index rank mismatch");
+    size_t idx = 0;
+    size_t stride = 1;
+    for (size_t l = 0; l < d(); ++l) {
+        TIE_REQUIRE(j[l] < n[l], "x multi-index out of range");
+        idx += j[l] * stride;
+        stride *= n[l];
+    }
+    return idx;
+}
+
+size_t
+TtLayerConfig::yFlatIndex(const std::vector<size_t> &i) const
+{
+    TIE_REQUIRE(i.size() == d(), "y multi-index rank mismatch");
+    TIE_REQUIRE(i[0] < m[0], "y multi-index out of range");
+    // i_1 is the slowest index; i_2..i_d follow with i_2 fastest. This
+    // is the ordering the Transform chain produces at the final stage
+    // (see tt_transform.hh).
+    size_t rest = 0;
+    size_t stride = 1;
+    for (size_t l = 1; l < d(); ++l) {
+        TIE_REQUIRE(i[l] < m[l], "y multi-index out of range");
+        rest += i[l] * stride;
+        stride *= m[l];
+    }
+    return i[0] * stride + rest;
+}
+
+TtLayerConfig
+TtLayerConfig::uniform(size_t d, size_t mf, size_t nf, size_t rank)
+{
+    TtLayerConfig cfg;
+    cfg.m.assign(d, mf);
+    cfg.n.assign(d, nf);
+    cfg.r.assign(d + 1, rank);
+    cfg.r.front() = cfg.r.back() = 1;
+    cfg.validate();
+    return cfg;
+}
+
+TtLayerConfig
+TtLayerConfig::withRank(std::vector<size_t> m, std::vector<size_t> n,
+                        size_t rank)
+{
+    TtLayerConfig cfg;
+    cfg.m = std::move(m);
+    cfg.n = std::move(n);
+    cfg.r.assign(cfg.m.size() + 1, rank);
+    cfg.r.front() = cfg.r.back() = 1;
+    cfg.validate();
+    return cfg;
+}
+
+std::string
+TtLayerConfig::toString() const
+{
+    std::ostringstream oss;
+    auto list = [&](const std::vector<size_t> &v) {
+        oss << "[";
+        for (size_t k = 0; k < v.size(); ++k)
+            oss << (k ? "," : "") << v[k];
+        oss << "]";
+    };
+    oss << "TT(d=" << d() << ", m=";
+    list(m);
+    oss << ", n=";
+    list(n);
+    oss << ", r=";
+    list(r);
+    oss << ", " << outSize() << "x" << inSize() << ", CR="
+        << compressionRatio() << ")";
+    return oss.str();
+}
+
+void
+forEachIndex(const std::vector<size_t> &shape,
+             const std::function<void(const std::vector<size_t> &)> &fn)
+{
+    if (shape.empty()) {
+        fn({});
+        return;
+    }
+    for (size_t s : shape) {
+        if (s == 0)
+            return;
+    }
+    std::vector<size_t> idx(shape.size(), 0);
+    while (true) {
+        fn(idx);
+        size_t k = shape.size();
+        while (k-- > 0) {
+            if (++idx[k] < shape[k])
+                break;
+            idx[k] = 0;
+            if (k == 0)
+                return;
+        }
+    }
+}
+
+} // namespace tie

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * TT-layer shape configuration (paper Sec. 2.2).
+ *
+ * A TT-format FC layer y = Wx with W in R^{M x N} factorises M and N as
+ * M = prod(m_k), N = prod(n_k) and stores W as d tensor cores
+ * G_k in R^{r_{k-1} x m_k x n_k x r_k} with r_0 = r_d = 1.
+ *
+ * Index conventions (fixed for the whole library, matching the flow the
+ * paper's Transform induces — see tt_transform.hh):
+ *   x_flat = sum_l j_l * prod_{i<l} n_i           (j_1 fastest)
+ *   y_flat = i_1 * prod_{k>=2} m_k
+ *            + sum_{l>=2} i_l * prod_{2<=k<l} m_k (i_2 fastest among rest)
+ */
+
+#ifndef TIE_TT_TT_SHAPE_HH
+#define TIE_TT_TT_SHAPE_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tie {
+
+/** Shape/rank configuration of one TT-format layer. */
+struct TtLayerConfig
+{
+    std::vector<size_t> m; ///< output-side factors, length d
+    std::vector<size_t> n; ///< input-side factors, length d
+    std::vector<size_t> r; ///< ranks, length d+1, r[0] = r[d] = 1
+
+    /** Number of tensor dimensions d. */
+    size_t d() const { return m.size(); }
+
+    /** Output size M = prod(m). */
+    size_t outSize() const;
+
+    /** Input size N = prod(n). */
+    size_t inSize() const;
+
+    /** Parameters stored in TT format: sum_k r_{k-1} m_k n_k r_k. */
+    size_t ttParamCount() const;
+
+    /** Dense parameter count M * N. */
+    size_t denseParamCount() const;
+
+    /** Compression ratio M*N / ttParamCount (paper Sec. 1 / Table 4). */
+    double compressionRatio() const;
+
+    /** Abort with a diagnostic if the configuration is malformed. */
+    void validate() const;
+
+    /** prod_{l < h} n_l with 1-based h (empty product = 1). */
+    size_t nPrefixProd(size_t h) const;
+
+    /** prod_{l > h} m_l with 1-based h (empty product = 1). */
+    size_t mSuffixProd(size_t h) const;
+
+    /**
+     * Column count of the stage-h intermediate V_h in the compact
+     * scheme: prod_{k<h} n_k * prod_{k>h} m_k.
+     */
+    size_t stageCols(size_t h) const;
+
+    /** Rows of the unfolded core G~_h: m_h * r_{h-1} (1-based h). */
+    size_t coreRows(size_t h) const;
+
+    /** Columns of the unfolded core G~_h: n_h * r_h (1-based h). */
+    size_t coreCols(size_t h) const;
+
+    /** Flat input index of multi-index j (see file header). */
+    size_t xFlatIndex(const std::vector<size_t> &j) const;
+
+    /** Flat output index of multi-index i (see file header). */
+    size_t yFlatIndex(const std::vector<size_t> &i) const;
+
+    /** Uniform configuration: every m_k = mf, n_k = nf, rank = rank. */
+    static TtLayerConfig uniform(size_t d, size_t mf, size_t nf,
+                                 size_t rank);
+
+    /** Build from factor lists and a single interior rank value. */
+    static TtLayerConfig withRank(std::vector<size_t> m,
+                                  std::vector<size_t> n, size_t rank);
+
+    /** Human-readable summary. */
+    std::string toString() const;
+
+    bool operator==(const TtLayerConfig &) const = default;
+};
+
+/** Iterate all multi-indices of a shape; calls fn(idx) for each. */
+void forEachIndex(const std::vector<size_t> &shape,
+                  const std::function<void(const std::vector<size_t> &)> &fn);
+
+} // namespace tie
+
+#endif // TIE_TT_TT_SHAPE_HH

@@ -1,0 +1,194 @@
+#include "tt/tt_svd.hh"
+
+#include "linalg/svd.hh"
+
+namespace tie {
+
+namespace {
+
+/**
+ * Rearrange a dense weight matrix into the flat row-major buffer of the
+ * tensor A with combined dimensions s_l = m_l * n_l (k_1 slowest),
+ * where A(k_1, ..., k_d) = W(yFlat(i), xFlat(j)) and k_l = i_l*n_l + j_l.
+ */
+std::vector<double>
+weightToCombinedTensor(const MatrixD &w, const TtLayerConfig &cfg)
+{
+    const size_t dd = cfg.d();
+    std::vector<size_t> s(dd);
+    for (size_t l = 0; l < dd; ++l)
+        s[l] = cfg.m[l] * cfg.n[l];
+
+    std::vector<double> flat(shapeNumel(s));
+    std::vector<size_t> i(dd), j(dd);
+    forEachIndex(s, [&](const std::vector<size_t> &k) {
+        for (size_t l = 0; l < dd; ++l) {
+            i[l] = k[l] / cfg.n[l];
+            j[l] = k[l] % cfg.n[l];
+        }
+        // Row-major linearisation with k_1 slowest.
+        size_t lin = 0;
+        for (size_t l = 0; l < dd; ++l)
+            lin = lin * s[l] + k[l];
+        flat[lin] = w(cfg.yFlatIndex(i), cfg.xFlatIndex(j));
+    });
+    return flat;
+}
+
+} // namespace
+
+TtMatrix
+ttSvdMatrix(const MatrixD &w, const TtLayerConfig &config, double rel_eps)
+{
+    config.validate();
+    TIE_CHECK_ARG(w.rows() == config.outSize() &&
+                  w.cols() == config.inSize(),
+                  "weight shape ", w.rows(), "x", w.cols(),
+                  " does not match TT config ", config.toString());
+
+    const size_t dd = config.d();
+    std::vector<size_t> s(dd);
+    for (size_t l = 0; l < dd; ++l)
+        s[l] = config.m[l] * config.n[l];
+
+    std::vector<double> flat = weightToCombinedTensor(w, config);
+
+    // Sequential TT-SVD sweep (Oseledets 2011, Algorithm 1).
+    TtLayerConfig achieved = config;
+    std::vector<std::vector<double>> cores3d(dd);
+
+    size_t r_prev = 1;
+    size_t rest = shapeNumel(s);
+    MatrixD c(s[0], rest / s[0], std::move(flat));
+
+    for (size_t l = 0; l < dd - 1; ++l) {
+        // c is (r_prev * s_l) x rest_cols.
+        TruncatedSvd svd = truncatedSvd(c, config.r[l + 1], rel_eps);
+        const size_t rk = svd.rank;
+        achieved.r[l + 1] = rk;
+
+        // Core l: U reshaped to (r_prev, s_l, rk), row-major (a, k, b).
+        cores3d[l].assign(r_prev * s[l] * rk, 0.0);
+        for (size_t row = 0; row < r_prev * s[l]; ++row) {
+            const size_t a = row / s[l];
+            const size_t k = row % s[l];
+            for (size_t b = 0; b < rk; ++b)
+                cores3d[l][(a * s[l] + k) * rk + b] = svd.u(row, b);
+        }
+
+        // Remaining factor: diag(S) * V^T, shape rk x rest_cols, then
+        // reshaped so the next combined index joins the rows.
+        const size_t rest_cols = c.cols();
+        MatrixD sv(rk, rest_cols);
+        for (size_t a = 0; a < rk; ++a)
+            for (size_t q = 0; q < rest_cols; ++q)
+                sv(a, q) = svd.s[a] * svd.v(q, a);
+
+        const size_t next_s = s[l + 1];
+        const size_t next_cols = rest_cols / next_s;
+        MatrixD next(rk * next_s, next_cols);
+        for (size_t a = 0; a < rk; ++a)
+            for (size_t k = 0; k < next_s; ++k)
+                for (size_t q = 0; q < next_cols; ++q)
+                    next(a * next_s + k, q) = sv(a, k * next_cols + q);
+        c = std::move(next);
+        r_prev = rk;
+        rest = rest_cols;
+    }
+
+    // Last core: c is (r_prev * s_{d-1}) x 1.
+    achieved.r[dd] = 1;
+    cores3d[dd - 1].assign(r_prev * s[dd - 1], 0.0);
+    for (size_t row = 0; row < r_prev * s[dd - 1]; ++row)
+        cores3d[dd - 1][row] = c(row, 0);
+
+    TtMatrix out(achieved);
+    for (size_t l = 0; l < dd; ++l)
+        out.core(l + 1) = TtCore::fromTtSvd3d(
+            achieved.r[l], achieved.m[l], achieved.n[l], achieved.r[l + 1],
+            cores3d[l]);
+    return out;
+}
+
+double
+TtTensor::element(const std::vector<size_t> &idx) const
+{
+    TIE_CHECK_ARG(idx.size() == shape.size(), "TT tensor index rank");
+    std::vector<double> vec{1.0};
+    for (size_t k = 0; k < shape.size(); ++k) {
+        const size_t rp = ranks[k];
+        const size_t rn = ranks[k + 1];
+        std::vector<double> next(rn, 0.0);
+        for (size_t b = 0; b < rn; ++b) {
+            double acc = 0.0;
+            for (size_t a = 0; a < rp; ++a)
+                acc += vec[a] * cores[k](a * shape[k] + idx[k], b);
+            next[b] = acc;
+        }
+        vec = std::move(next);
+    }
+    return vec[0];
+}
+
+TensorD
+TtTensor::toTensor() const
+{
+    TensorD out(shape);
+    size_t lin = 0;
+    forEachIndex(shape, [&](const std::vector<size_t> &idx) {
+        out.flat()[lin++] = element(idx);
+    });
+    return out;
+}
+
+size_t
+TtTensor::paramCount() const
+{
+    size_t total = 0;
+    for (const auto &c : cores)
+        total += c.size();
+    return total;
+}
+
+TtTensor
+ttSvdTensor(const TensorD &a, size_t max_rank, double rel_eps)
+{
+    const auto &shape = a.shape();
+    const size_t dd = shape.size();
+    TIE_CHECK_ARG(dd >= 1, "cannot TT-decompose a 0-d tensor");
+
+    TtTensor out;
+    out.shape = shape;
+    out.ranks.assign(dd + 1, 1);
+    out.cores.resize(dd);
+
+    size_t r_prev = 1;
+    MatrixD c(shape[0], a.numel() / shape[0], a.flat());
+
+    for (size_t l = 0; l + 1 < dd; ++l) {
+        TruncatedSvd svd = truncatedSvd(c, max_rank, rel_eps);
+        const size_t rk = svd.rank;
+        out.ranks[l + 1] = rk;
+        out.cores[l] = MatrixD(r_prev * shape[l], rk, svd.u.flat());
+
+        const size_t rest_cols = c.cols();
+        MatrixD sv(rk, rest_cols);
+        for (size_t x = 0; x < rk; ++x)
+            for (size_t q = 0; q < rest_cols; ++q)
+                sv(x, q) = svd.s[x] * svd.v(q, x);
+
+        const size_t next_s = shape[l + 1];
+        const size_t next_cols = rest_cols / next_s;
+        MatrixD next(rk * next_s, next_cols);
+        for (size_t x = 0; x < rk; ++x)
+            for (size_t k = 0; k < next_s; ++k)
+                for (size_t q = 0; q < next_cols; ++q)
+                    next(x * next_s + k, q) = sv(x, k * next_cols + q);
+        c = std::move(next);
+        r_prev = rk;
+    }
+    out.cores[dd - 1] = c;
+    return out;
+}
+
+} // namespace tie

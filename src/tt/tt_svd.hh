@@ -1,0 +1,62 @@
+/**
+ * @file
+ * TT-SVD: convert dense weights to TT format (paper Sec. 2.2, "the
+ * standard TT decomposition in [52] is first applied to the weight
+ * matrix ... to form the initial values of tensor cores").
+ *
+ * Also provides plain tensor-train decomposition of an arbitrary
+ * N-d tensor (paper Fig. 1) used by the quickstart example and tests.
+ */
+
+#ifndef TIE_TT_TT_SVD_HH
+#define TIE_TT_TT_SVD_HH
+
+#include "tensor/tensor.hh"
+#include "tt/tt_matrix.hh"
+
+namespace tie {
+
+/**
+ * TT-SVD of a dense weight matrix.
+ *
+ * @param w dense M x N weights with M = prod(config.m),
+ *          N = prod(config.n), laid out with the library's flat-index
+ *          conventions (tt_shape.hh).
+ * @param config target factorisation; config.r gives *maximum* ranks.
+ * @param rel_eps optional extra truncation: drop singular values below
+ *                rel_eps * s_max at each sweep step.
+ * @return TT matrix whose config carries the achieved ranks
+ *         (<= requested).
+ */
+TtMatrix ttSvdMatrix(const MatrixD &w, const TtLayerConfig &config,
+                     double rel_eps = 0.0);
+
+/** Plain TT decomposition of an N-d tensor (paper Fig. 1 / Eqn. 1). */
+struct TtTensor
+{
+    std::vector<size_t> shape; ///< n_1 .. n_d
+    std::vector<size_t> ranks; ///< r_0 .. r_d (r_0 = r_d = 1)
+    /** Core k stored as matrix (r_{k-1} * n_k) x r_k, row-major in
+     *  (a, j) for the rows. */
+    std::vector<MatrixD> cores;
+
+    /** Element A(j_1, ..., j_d) via the chain product of Eqn. (1). */
+    double element(const std::vector<size_t> &idx) const;
+
+    /** Reconstruct the full tensor. */
+    TensorD toTensor() const;
+
+    /** Total number of stored parameters. */
+    size_t paramCount() const;
+};
+
+/**
+ * TT-SVD of an N-d tensor with rank cap @p max_rank (applied at every
+ * bond) and optional relative truncation threshold.
+ */
+TtTensor ttSvdTensor(const TensorD &a, size_t max_rank,
+                     double rel_eps = 0.0);
+
+} // namespace tie
+
+#endif // TIE_TT_TT_SVD_HH

@@ -1,0 +1,98 @@
+#include "tt/tt_transform.hh"
+
+namespace tie {
+
+TransformSpec
+makeStageTransform(const TtLayerConfig &cfg, size_t h)
+{
+    TIE_CHECK_ARG(h >= 2 && h <= cfg.d(),
+                  "stage transform defined for 2 <= h <= d, got ", h);
+
+    const size_t r = cfg.r[h - 1];          // r_{h-1}
+    const size_t mh = cfg.m[h - 1];         // m_h
+    const size_t nprev = cfg.n[h - 2];      // n_{h-1}
+    const size_t mblk = cfg.mSuffixProd(h); // prod_{k>h} m_k
+    const size_t jblk = cfg.nPrefixProd(h - 1); // prod_{l<h-1} n_l
+
+    TransformSpec spec;
+    spec.rows_in = mh * r;
+    spec.cols_in = cfg.stageCols(h);
+    spec.rows_out = nprev * r;
+    spec.cols_out = cfg.stageCols(h - 1);
+    spec.src_of_dst.resize(spec.rows_out * spec.cols_out);
+
+    // dst (p', q'): p' = j_{h-1} * r + t,
+    //               q' = jp' * (m_h * mblk) + ip * m_h + i_h
+    // src (p, q):   p  = i_h * r + t,
+    //               q  = (j_{h-1} * jblk + jp') * mblk + ip
+    for (size_t jprev = 0; jprev < nprev; ++jprev) {
+        for (size_t t = 0; t < r; ++t) {
+            const size_t prow = jprev * r + t;
+            for (size_t jp = 0; jp < jblk; ++jp) {
+                for (size_t ip = 0; ip < mblk; ++ip) {
+                    for (size_t ih = 0; ih < mh; ++ih) {
+                        const size_t qout =
+                            jp * (mh * mblk) + ip * mh + ih;
+                        const size_t qin =
+                            (jprev * jblk + jp) * mblk + ip;
+                        const size_t pin = ih * r + t;
+                        spec.src_of_dst[prow * spec.cols_out + qout] =
+                            pin * spec.cols_in + qin;
+                    }
+                }
+            }
+        }
+    }
+    return spec;
+}
+
+MatrixD
+transformFourStep(const TtLayerConfig &cfg, size_t h, const MatrixD &v)
+{
+    TIE_CHECK_ARG(h >= 2 && h <= cfg.d(),
+                  "stage transform defined for 2 <= h <= d, got ", h);
+    const size_t r = cfg.r[h - 1];
+    const size_t nprev = cfg.n[h - 2];
+
+    TIE_CHECK_ARG(v.rows() == cfg.m[h - 1] * r &&
+                  v.cols() == cfg.stageCols(h),
+                  "transformFourStep input shape mismatch");
+
+    // Step 1: transpose.
+    MatrixD w = v.transposed();
+
+    // Step 2: row-major reshape to n_{h-1} rows. The flat buffer is
+    // already row-major, so this is a reinterpretation.
+    const size_t total = w.size();
+    const size_t wide_cols = total / nprev;
+    MatrixD reshaped(nprev, wide_cols, w.flat());
+
+    // Steps 3+4: split into width-r column blocks; each block, read
+    // row-major, becomes one output column.
+    const size_t nblocks = wide_cols / r;
+    MatrixD out(nprev * r, nblocks);
+    for (size_t blk = 0; blk < nblocks; ++blk)
+        for (size_t row = 0; row < nprev; ++row)
+            for (size_t t = 0; t < r; ++t)
+                out(row * r + t, blk) = reshaped(row, blk * r + t);
+
+    TIE_REQUIRE(out.cols() == cfg.stageCols(h - 1),
+                "four-step transform produced unexpected column count");
+    return out;
+}
+
+TransformSpec
+invertTransform(const TransformSpec &spec)
+{
+    TransformSpec inv;
+    inv.rows_in = spec.rows_out;
+    inv.cols_in = spec.cols_out;
+    inv.rows_out = spec.rows_in;
+    inv.cols_out = spec.cols_in;
+    inv.src_of_dst.assign(spec.rows_in * spec.cols_in, 0);
+    for (size_t dst = 0; dst < spec.src_of_dst.size(); ++dst)
+        inv.src_of_dst[spec.src_of_dst[dst]] = dst;
+    return inv;
+}
+
+} // namespace tie

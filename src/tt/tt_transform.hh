@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The inter-stage Transform of the compact inference scheme (paper
+ * Eqn. 10 and Algorithm 1 lines 6-19).
+ *
+ * After stage h produces V_h ((m_h * r_{h-1}) x stageCols(h)), the next
+ * stage needs V'_h ((n_{h-1} * r_{h-1}) x stageCols(h-1)): the j_{h-1}
+ * index moves from the columns into the rows (paired with the rank
+ * index t_{h-1}) and the freshly produced i_h index moves into the
+ * columns as the fastest i-component.
+ *
+ * Two implementations are provided:
+ *  - an index permutation (TransformSpec), which is what the TIE
+ *    working-SRAM read scheme realises at zero cost, and
+ *  - the paper's literal 4-step transpose/reshape/split/assemble, which
+ *    a conventional engine would execute with extra buffers. Tests
+ *    assert both produce identical results; the ablation bench measures
+ *    the cost difference.
+ */
+
+#ifndef TIE_TT_TT_TRANSFORM_HH
+#define TIE_TT_TT_TRANSFORM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "tt/tt_shape.hh"
+
+namespace tie {
+
+/** Dense element permutation between two matrix layouts. */
+struct TransformSpec
+{
+    size_t rows_in = 0;
+    size_t cols_in = 0;
+    size_t rows_out = 0;
+    size_t cols_out = 0;
+    /** srcOfDst[row_out * cols_out + col_out] = linear input offset. */
+    std::vector<size_t> src_of_dst;
+
+    size_t numel() const { return rows_out * cols_out; }
+};
+
+/**
+ * Build the transform applied *after* stage h (2 <= h <= d): it maps
+ * V_h to V'_h, the operand of stage h-1.
+ */
+TransformSpec makeStageTransform(const TtLayerConfig &cfg, size_t h);
+
+/** Apply a transform to one matrix (single sample). */
+template <typename T>
+Matrix<T>
+applyTransform(const TransformSpec &spec, const Matrix<T> &in)
+{
+    TIE_CHECK_ARG(in.rows() == spec.rows_in && in.cols() == spec.cols_in,
+                  "transform input shape mismatch");
+    Matrix<T> out(spec.rows_out, spec.cols_out);
+    const T *src = in.data();
+    T *dst = out.data();
+    for (size_t k = 0; k < spec.src_of_dst.size(); ++k)
+        dst[k] = src[spec.src_of_dst[k]];
+    return out;
+}
+
+/**
+ * Apply a transform independently to each of @p batch column blocks:
+ * the input has batch * cols_in columns (sample b owns columns
+ * [b*cols_in, (b+1)*cols_in)), ditto the output.
+ */
+template <typename T>
+Matrix<T>
+applyTransformBatched(const TransformSpec &spec, const Matrix<T> &in,
+                      size_t batch)
+{
+    TIE_CHECK_ARG(in.rows() == spec.rows_in &&
+                  in.cols() == spec.cols_in * batch,
+                  "batched transform input shape mismatch");
+    Matrix<T> out(spec.rows_out, spec.cols_out * batch);
+    for (size_t p = 0; p < spec.rows_out; ++p) {
+        for (size_t q = 0; q < spec.cols_out; ++q) {
+            const size_t src = spec.src_of_dst[p * spec.cols_out + q];
+            const size_t sp = src / spec.cols_in;
+            const size_t sq = src % spec.cols_in;
+            for (size_t b = 0; b < batch; ++b)
+                out(p, b * spec.cols_out + q) =
+                    in(sp, b * spec.cols_in + sq);
+        }
+    }
+    return out;
+}
+
+/**
+ * The paper's literal 4-step Transform (Algorithm 1): transpose,
+ * row-major reshape to n_{h-1} rows, split into width-r_{h-1} column
+ * blocks, reshape each block to a column and assemble.
+ */
+MatrixD transformFourStep(const TtLayerConfig &cfg, size_t h,
+                          const MatrixD &v);
+
+/** Inverse permutation (used by TT-layer backpropagation). */
+TransformSpec invertTransform(const TransformSpec &spec);
+
+} // namespace tie
+
+#endif // TIE_TT_TT_TRANSFORM_HH

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Smoke test for tie_cli: synth -> info -> round -> simulate round trip.
+set -e
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" synth "$DIR/a.ttm" --m 4,4 --n 4,6 --rank 3 --seed 5
+"$CLI" info "$DIR/a.ttm" | grep -q "compression"
+"$CLI" round "$DIR/a.ttm" "$DIR/b.ttm" --rank 2
+"$CLI" info "$DIR/b.ttm" | grep -q "r=\[1,2,1\]"
+"$CLI" simulate "$DIR/a.ttm" --batch 2 | grep -q "bit-exact vs reference | yes"
+"$CLI" simulate "$DIR/b.ttm" --npe 8 --nmac 8 | grep -q "8 PE x 8 MAC"
+
+# decompose round trip through a raw dense file produced from a model.
+"$CLI" simulate "$DIR/a.ttm" >/dev/null
+echo "cli smoke ok"

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the common substrate: logging helpers, RNG, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+
+namespace tie {
+namespace {
+
+TEST(StrCat, ConcatenatesHeterogeneousArgs)
+{
+    EXPECT_EQ(strCat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(strCat(), "");
+}
+
+TEST(Require, PassesOnTrueCondition)
+{
+    EXPECT_NO_FATAL_FAILURE(TIE_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Require, AbortsOnFalseCondition)
+{
+    EXPECT_DEATH(TIE_REQUIRE(false, "boom"), "requirement failed");
+}
+
+TEST(CheckArg, ExitsOnFalseCondition)
+{
+    EXPECT_EXIT(TIE_CHECK_ARG(false, "bad arg"),
+                ::testing::ExitedWithCode(1), "invalid argument");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, IntInRespectsBoundsInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.intIn(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, PermutationIsBijection)
+{
+    Rng rng(9);
+    auto p = rng.permutation(64);
+    std::vector<bool> seen(64, false);
+    for (size_t v : p) {
+        ASSERT_LT(v, 64u);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Rng, NormalHasRoughlyCorrectMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(1.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(GlobalRng, ReseedResetsSequence)
+{
+    reseedGlobalRng(123);
+    double a = globalRng().uniform();
+    reseedGlobalRng(123);
+    double b = globalRng().uniform();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t("Demo");
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "2"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer | 2"), std::string::npos);
+}
+
+TEST(TextTable, PadsRaggedRows)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, NumAndRatioFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::ratio(7.216, 2), "7.22x");
+}
+
+} // namespace
+} // namespace tie

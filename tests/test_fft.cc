@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the FFT / circular-convolution substrate used by the
+ * CIRCNN baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "signal/fft.hh"
+
+namespace tie {
+namespace {
+
+TEST(Fft, PowerOfTwoPredicate)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(48));
+}
+
+TEST(Fft, ForwardInverseRoundTrip)
+{
+    Rng rng(1);
+    std::vector<Cplx> a(64);
+    for (auto &v : a)
+        v = Cplx(rng.normal(), rng.normal());
+    std::vector<Cplx> b = a;
+    fftInPlace(b, false);
+    fftInPlace(b, true);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(a[i].real(), b[i].real(), 1e-10);
+        EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum)
+{
+    std::vector<double> x(16, 0.0);
+    x[0] = 1.0;
+    auto spec = fftReal(x);
+    for (const auto &v : spec) {
+        EXPECT_NEAR(v.real(), 1.0, 1e-12);
+        EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, SingleToneLandsInOneBin)
+{
+    const size_t n = 32;
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = std::cos(2.0 * M_PI * 3.0 * i / n);
+    auto spec = fftReal(x);
+    EXPECT_NEAR(spec[3].real(), n / 2.0, 1e-9);
+    EXPECT_NEAR(spec[n - 3].real(), n / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(spec[5]), 0.0, 1e-9);
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    Rng rng(2);
+    const size_t n = 128;
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = rng.normal();
+    auto spec = fftReal(x);
+    double time_e = 0.0, freq_e = 0.0;
+    for (double v : x)
+        time_e += v * v;
+    for (const auto &c : spec)
+        freq_e += std::norm(c);
+    EXPECT_NEAR(time_e, freq_e / n, 1e-8);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo)
+{
+    std::vector<Cplx> a(6);
+    EXPECT_EXIT(fftInPlace(a, false), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+std::vector<double>
+directCircConv(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const size_t n = a.size();
+    std::vector<double> out(n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            out[i] += a[(i + n - j) % n] * b[j];
+    return out;
+}
+
+class CircConvTest : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(CircConvTest, MatchesDirectComputation)
+{
+    const size_t n = GetParam();
+    Rng rng(300 + n);
+    std::vector<double> a(n), b(n);
+    for (auto &v : a)
+        v = rng.normal();
+    for (auto &v : b)
+        v = rng.normal();
+    auto fast = circularConvolve(a, b);
+    auto slow = directCircConv(a, b);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(fast[i], slow[i], 1e-9) << "n=" << n << " i=" << i;
+}
+
+// Mix of power-of-two (FFT path) and other sizes (direct path).
+INSTANTIATE_TEST_SUITE_P(Sizes, CircConvTest,
+                         ::testing::Values(1, 2, 4, 8, 64, 3, 6, 12, 48));
+
+TEST(CircConv, IdentityKernel)
+{
+    std::vector<double> e{1, 0, 0, 0};
+    std::vector<double> x{1, 2, 3, 4};
+    auto y = circulantMatVec(e, x);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(CircConv, ShiftKernelRotates)
+{
+    // First column (0,1,0,0) — circulant is a cyclic down-shift.
+    std::vector<double> c{0, 1, 0, 0};
+    std::vector<double> x{1, 2, 3, 4};
+    auto y = circulantMatVec(c, x);
+    EXPECT_NEAR(y[0], 4.0, 1e-12);
+    EXPECT_NEAR(y[1], 1.0, 1e-12);
+    EXPECT_NEAR(y[2], 2.0, 1e-12);
+    EXPECT_NEAR(y[3], 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace tie

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Randomised property sweeps ("fuzz") across many generated TT
+ * configurations: scheme equivalence, cost-model exactness, transform
+ * permutation validity, simulator bit-exactness and cycle accounting.
+ * Catches corner cases hand-written configs miss (unit factors, rank
+ * spikes, prime factors, tall/wide extremes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/tie_sim.hh"
+#include "tt/cost_model.hh"
+#include "tt/tt_infer.hh"
+
+namespace tie {
+namespace {
+
+/** Random but bounded TT configuration. */
+TtLayerConfig
+randomConfig(Rng &rng)
+{
+    const size_t d = static_cast<size_t>(rng.intIn(1, 4));
+    TtLayerConfig cfg;
+    cfg.m.resize(d);
+    cfg.n.resize(d);
+    cfg.r.assign(d + 1, 1);
+    for (size_t k = 0; k < d; ++k) {
+        cfg.m[k] = static_cast<size_t>(rng.intIn(1, 5));
+        cfg.n[k] = static_cast<size_t>(rng.intIn(1, 5));
+    }
+    for (size_t k = 1; k < d; ++k)
+        cfg.r[k] = static_cast<size_t>(rng.intIn(1, 4));
+    cfg.validate();
+    return cfg;
+}
+
+class FuzzCase : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FuzzCase, SchemesAgreeAndCountsMatch)
+{
+    Rng rng(10000 + GetParam());
+    TtLayerConfig cfg = randomConfig(rng);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+
+    std::vector<double> x(cfg.inSize());
+    for (auto &v : x)
+        v = rng.normal();
+
+    InferStats sn, sp, sc;
+    auto yn = naiveInfer(tt, x, &sn);
+    auto yp = partialParallelInfer(tt, x, &sp);
+    auto yc = compactInferVec(tt, x, &sc);
+    auto yd = matVec(tt.toDense(), x);
+
+    for (size_t i = 0; i < yd.size(); ++i) {
+        EXPECT_NEAR(yn[i], yd[i], 1e-8) << cfg.toString();
+        EXPECT_NEAR(yp[i], yd[i], 1e-8) << cfg.toString();
+        EXPECT_NEAR(yc[i], yd[i], 1e-8) << cfg.toString();
+    }
+
+    EXPECT_EQ(sn.mults, multNaive(cfg)) << cfg.toString();
+    EXPECT_EQ(sp.mults, multPartialParallel(cfg)) << cfg.toString();
+    EXPECT_EQ(sc.mults, multCompact(cfg)) << cfg.toString();
+    EXPECT_GE(sc.mults, multTheoreticalMin(cfg)) << cfg.toString();
+}
+
+TEST_P(FuzzCase, TransformsArePermutationsAndMatchFourStep)
+{
+    Rng rng(20000 + GetParam());
+    TtLayerConfig cfg = randomConfig(rng);
+    for (size_t h = 2; h <= cfg.d(); ++h) {
+        TransformSpec spec = makeStageTransform(cfg, h);
+        std::vector<bool> seen(spec.src_of_dst.size(), false);
+        for (size_t src : spec.src_of_dst) {
+            ASSERT_LT(src, seen.size()) << cfg.toString();
+            ASSERT_FALSE(seen[src]) << cfg.toString();
+            seen[src] = true;
+        }
+
+        MatrixD v(spec.rows_in, spec.cols_in);
+        v.setNormal(rng);
+        EXPECT_LT(maxAbsDiff(applyTransform(spec, v),
+                             transformFourStep(cfg, h, v)),
+                  1e-12)
+            << cfg.toString() << " h=" << h;
+    }
+}
+
+TEST_P(FuzzCase, SimulatorBitExactAndCycleExact)
+{
+    Rng rng(30000 + GetParam());
+    TtLayerConfig cfg = randomConfig(rng);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    TtMatrixFxp ttq = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 10},
+                                                6);
+
+    const size_t batch = static_cast<size_t>(rng.intIn(1, 3));
+    MatrixF xf(cfg.inSize(), batch);
+    xf.setUniform(rng, -1, 1);
+    Matrix<int16_t> xq = quantizeMatrix(xf, FxpFormat{16, 10});
+
+    TieSimulator sim;
+    TieSimResult res = sim.runLayer(ttq, xq);
+    Matrix<int16_t> ref = compactInferFxp(ttq, xq);
+
+    ASSERT_EQ(res.output.rows(), ref.rows()) << cfg.toString();
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(res.output.flat()[i], ref.flat()[i])
+            << cfg.toString();
+
+    // Cycles are the closed form plus reported stalls — never silent.
+    size_t analytic = 0;
+    for (size_t h = cfg.d(); h >= 1; --h) {
+        const size_t rb =
+            (cfg.coreRows(h) + sim.config().n_mac - 1) /
+            sim.config().n_mac;
+        const size_t cb =
+            (cfg.stageCols(h) * batch + sim.config().n_pe - 1) /
+            sim.config().n_pe;
+        analytic += rb * cb * cfg.coreCols(h) +
+                    sim.config().stage_switch_cycles;
+    }
+    EXPECT_EQ(res.stats.cycles, analytic + res.stats.stall_cycles)
+        << cfg.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FuzzCase, ::testing::Range(0, 25));
+
+} // namespace
+} // namespace tie

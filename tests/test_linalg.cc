@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit and property tests for the dense linear-algebra substrate:
+ * Matrix ops, Householder QR and the one-sided Jacobi SVD.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hh"
+#include "linalg/qr.hh"
+#include "linalg/svd.hh"
+
+namespace tie {
+namespace {
+
+TEST(Matrix, ConstructAndIndex)
+{
+    MatrixD m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, AtBoundsChecked)
+{
+    MatrixD m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "out of");
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(1);
+    MatrixD m(4, 7);
+    m.setNormal(rng);
+    EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed)
+{
+    MatrixD a(2, 3, {1, 2, 3, 4, 5, 6});
+    MatrixD b(3, 2, {7, 8, 9, 10, 11, 12});
+    MatrixD c = matmul(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MatmulIdentity)
+{
+    Rng rng(2);
+    MatrixD a(5, 5);
+    a.setNormal(rng);
+    EXPECT_LT(maxAbsDiff(matmul(a, MatrixD::identity(5)), a), 1e-12);
+    EXPECT_LT(maxAbsDiff(matmul(MatrixD::identity(5), a), a), 1e-12);
+}
+
+TEST(Matrix, MatmulAssociativity)
+{
+    Rng rng(3);
+    MatrixD a(3, 4), b(4, 5), c(5, 2);
+    a.setNormal(rng);
+    b.setNormal(rng);
+    c.setNormal(rng);
+    MatrixD lhs = matmul(matmul(a, b), c);
+    MatrixD rhs = matmul(a, matmul(b, c));
+    EXPECT_LT(maxAbsDiff(lhs, rhs), 1e-10);
+}
+
+TEST(Matrix, MatVecMatchesMatmul)
+{
+    Rng rng(4);
+    MatrixD a(6, 3);
+    a.setNormal(rng);
+    std::vector<double> x{1.0, -2.0, 0.5};
+    auto y = matVec(a, x);
+    MatrixD xm(3, 1, x);
+    MatrixD ym = matmul(a, xm);
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], ym(i, 0), 1e-12);
+}
+
+TEST(Matrix, AddSubScale)
+{
+    MatrixD a(1, 2, {1, 2});
+    MatrixD b(1, 2, {3, 5});
+    EXPECT_DOUBLE_EQ(add(a, b)(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(sub(b, a)(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(scale(a, 3.0)(0, 1), 6.0);
+}
+
+TEST(Matrix, FrobeniusNorm)
+{
+    MatrixD a(1, 2, {3, 4});
+    EXPECT_DOUBLE_EQ(frobeniusNorm(a), 5.0);
+}
+
+TEST(Matrix, RelativeError)
+{
+    MatrixD a(1, 1, {1.1});
+    MatrixD b(1, 1, {1.0});
+    EXPECT_NEAR(relativeError(a, b), 0.1, 1e-12);
+}
+
+TEST(Matrix, CastRoundTrip)
+{
+    Rng rng(5);
+    MatrixD a(3, 3);
+    a.setUniform(rng, -1, 1);
+    MatrixF f = a.cast<float>();
+    MatrixD back = f.cast<double>();
+    EXPECT_LT(maxAbsDiff(a, back), 1e-6);
+}
+
+class QrParamTest : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(QrParamTest, ReconstructsAndOrthonormal)
+{
+    auto [m, n] = GetParam();
+    Rng rng(100 + m * 13 + n);
+    MatrixD a(m, n);
+    a.setNormal(rng);
+
+    QrResult qr = householderQr(a);
+    const size_t k = std::min(m, n);
+    ASSERT_EQ(qr.q.rows(), static_cast<size_t>(m));
+    ASSERT_EQ(qr.q.cols(), k);
+    ASSERT_EQ(qr.r.rows(), k);
+    ASSERT_EQ(qr.r.cols(), static_cast<size_t>(n));
+
+    // Q^T Q = I.
+    MatrixD qtq = matmul(qr.q.transposed(), qr.q);
+    EXPECT_LT(maxAbsDiff(qtq, MatrixD::identity(k)), 1e-10);
+
+    // R upper triangular.
+    for (size_t i = 0; i < qr.r.rows(); ++i)
+        for (size_t j = 0; j < i && j < qr.r.cols(); ++j)
+            EXPECT_NEAR(qr.r(i, j), 0.0, 1e-12);
+
+    // QR = A.
+    EXPECT_LT(maxAbsDiff(matmul(qr.q, qr.r), a), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrParamTest,
+                         ::testing::Values(std::pair{4, 4},
+                                           std::pair{8, 3},
+                                           std::pair{3, 8},
+                                           std::pair{16, 16},
+                                           std::pair{1, 5},
+                                           std::pair{5, 1}));
+
+TEST(Qr, HandlesRankDeficientInput)
+{
+    // Two identical columns.
+    MatrixD a(3, 2, {1, 1, 2, 2, 3, 3});
+    QrResult qr = householderQr(a);
+    EXPECT_LT(maxAbsDiff(matmul(qr.q, qr.r), a), 1e-10);
+}
+
+class SvdParamTest : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(SvdParamTest, ReconstructsAndOrthonormal)
+{
+    auto [m, n] = GetParam();
+    Rng rng(200 + m * 17 + n);
+    MatrixD a(m, n);
+    a.setNormal(rng);
+
+    SvdResult svd = jacobiSvd(a);
+    const size_t k = std::min(m, n);
+    ASSERT_EQ(svd.s.size(), k);
+
+    // Singular values sorted descending and non-negative.
+    for (size_t i = 0; i + 1 < k; ++i)
+        EXPECT_GE(svd.s[i], svd.s[i + 1]);
+    for (double s : svd.s)
+        EXPECT_GE(s, 0.0);
+
+    // Orthonormality.
+    EXPECT_LT(maxAbsDiff(matmul(svd.u.transposed(), svd.u),
+                         MatrixD::identity(k)), 1e-8);
+    EXPECT_LT(maxAbsDiff(matmul(svd.v.transposed(), svd.v),
+                         MatrixD::identity(k)), 1e-8);
+
+    // Reconstruction.
+    MatrixD rec = svdReconstruct(svd.u, svd.s, svd.v);
+    EXPECT_LT(maxAbsDiff(rec, a), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdParamTest,
+                         ::testing::Values(std::pair{5, 5},
+                                           std::pair{10, 4},
+                                           std::pair{4, 10},
+                                           std::pair{20, 20},
+                                           std::pair{1, 6},
+                                           std::pair{6, 1},
+                                           std::pair{32, 8}));
+
+TEST(Svd, KnownSingularValuesOfDiagonal)
+{
+    MatrixD a(3, 3);
+    a(0, 0) = 3.0;
+    a(1, 1) = -2.0; // sign goes to U/V; singular value is 2
+    a(2, 2) = 0.5;
+    SvdResult svd = jacobiSvd(a);
+    EXPECT_NEAR(svd.s[0], 3.0, 1e-10);
+    EXPECT_NEAR(svd.s[1], 2.0, 1e-10);
+    EXPECT_NEAR(svd.s[2], 0.5, 1e-10);
+}
+
+TEST(Svd, RankOneMatrix)
+{
+    // a = u v^T has exactly one nonzero singular value |u||v|.
+    MatrixD a(4, 3);
+    std::vector<double> u{1, 2, 3, 4}, v{1, 0, -1};
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            a(i, j) = u[i] * v[j];
+    SvdResult svd = jacobiSvd(a);
+    const double expect = std::sqrt(30.0) * std::sqrt(2.0);
+    EXPECT_NEAR(svd.s[0], expect, 1e-9);
+    for (size_t i = 1; i < svd.s.size(); ++i)
+        EXPECT_NEAR(svd.s[i], 0.0, 1e-9);
+}
+
+TEST(Svd, TruncationCapsRank)
+{
+    Rng rng(42);
+    MatrixD a(12, 9);
+    a.setNormal(rng);
+    TruncatedSvd t = truncatedSvd(a, 4);
+    EXPECT_EQ(t.rank, 4u);
+    EXPECT_EQ(t.u.cols(), 4u);
+    EXPECT_EQ(t.v.cols(), 4u);
+}
+
+TEST(Svd, TruncatedErrorMatchesDroppedSingularValues)
+{
+    Rng rng(43);
+    MatrixD a(10, 10);
+    a.setNormal(rng);
+    SvdResult full = jacobiSvd(a);
+    TruncatedSvd t = truncatedSvd(a, 6);
+    MatrixD rec = svdReconstruct(t.u, t.s, t.v);
+    double err = frobeniusNorm(sub(a, rec));
+    double expect = 0.0;
+    for (size_t i = 6; i < full.s.size(); ++i)
+        expect += full.s[i] * full.s[i];
+    EXPECT_NEAR(err, std::sqrt(expect), 1e-8);
+}
+
+TEST(Svd, RelEpsDropsSmallComponents)
+{
+    // Diagonal with a tiny trailing value.
+    MatrixD a(4, 4);
+    a(0, 0) = 1.0;
+    a(1, 1) = 0.5;
+    a(2, 2) = 0.25;
+    a(3, 3) = 1e-9;
+    TruncatedSvd t = truncatedSvd(a, 4, 1e-6);
+    EXPECT_EQ(t.rank, 3u);
+}
+
+} // namespace
+} // namespace tie

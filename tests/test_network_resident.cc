@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for whole-network execution with resident intermediates
+ * (paper Sec. 4.4's inter-layer transform): bit-exact equivalence with
+ * per-layer runs and with the functional fixed-point chain, correct
+ * per-layer statistics, and format/shape chaining diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/tie_sim.hh"
+
+namespace tie {
+namespace {
+
+TtMatrixFxp
+quantLayer(const TtLayerConfig &cfg, uint64_t seed, FxpFormat act)
+{
+    Rng rng(seed);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    return TtMatrixFxp::quantizeAuto(tt, act, 6);
+}
+
+struct TwoLayerNet
+{
+    TtMatrixFxp l1, l2;
+    Matrix<int16_t> x;
+};
+
+TwoLayerNet
+makeNet(uint64_t seed)
+{
+    TtLayerConfig c1;
+    c1.m = {4, 4};  // 16
+    c1.n = {4, 6};  // 24
+    c1.r = {1, 3, 1};
+    TtLayerConfig c2;
+    c2.m = {2, 3};  // 6
+    c2.n = {4, 4};  // 16
+    c2.r = {1, 2, 1};
+
+    const FxpFormat act{16, 9};
+    TwoLayerNet net{quantLayer(c1, seed, act),
+                    quantLayer(c2, seed + 1, act),
+                    Matrix<int16_t>(c1.inSize(), 2)};
+    Rng rng(seed + 2);
+    MatrixF xf(c1.inSize(), 2);
+    xf.setUniform(rng, -1, 1);
+    net.x = quantizeMatrix(xf, act);
+    return net;
+}
+
+TEST(RunNetwork, BitExactVsPerLayerRuns)
+{
+    TwoLayerNet net = makeNet(500);
+    TieSimulator sim;
+
+    TieSimulator::NetworkResult chained = sim.runNetwork(
+        {{&net.l1, true}, {&net.l2, false}}, net.x);
+
+    Matrix<int16_t> v = sim.runLayer(net.l1, net.x, true).output;
+    Matrix<int16_t> y = sim.runLayer(net.l2, v, false).output;
+
+    ASSERT_EQ(chained.output.rows(), y.rows());
+    ASSERT_EQ(chained.output.cols(), y.cols());
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_EQ(chained.output.flat()[i], y.flat()[i]);
+}
+
+TEST(RunNetwork, BitExactVsFunctionalChain)
+{
+    TwoLayerNet net = makeNet(510);
+    TieSimulator sim;
+    TieSimulator::NetworkResult res = sim.runNetwork(
+        {{&net.l1, true}, {&net.l2, false}}, net.x);
+
+    Matrix<int16_t> ref = compactInferFxp(net.l1, net.x);
+    ref = fxpRelu(ref);
+    ref = compactInferFxp(net.l2, ref);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(res.output.flat()[i], ref.flat()[i]);
+}
+
+TEST(RunNetwork, ResidentChainingAddsNoCycles)
+{
+    // The inter-layer transform is free: total cycles equal the sum of
+    // the per-layer analytic counts (plus any stalls, which must also
+    // match the per-layer runs).
+    TwoLayerNet net = makeNet(520);
+    TieSimulator sim;
+    TieSimulator::NetworkResult res = sim.runNetwork(
+        {{&net.l1, true}, {&net.l2, false}}, net.x);
+
+    const size_t l1 = sim.runLayer(net.l1, net.x, true).stats.cycles;
+    Matrix<int16_t> v = sim.runLayer(net.l1, net.x, true).output;
+    const size_t l2 = sim.runLayer(net.l2, v, false).stats.cycles;
+    EXPECT_EQ(res.total.cycles, l1 + l2);
+}
+
+TEST(RunNetwork, PerLayerStatsSumToTotal)
+{
+    TwoLayerNet net = makeNet(530);
+    TieSimulator sim;
+    TieSimulator::NetworkResult res = sim.runNetwork(
+        {{&net.l1, true}, {&net.l2, false}}, net.x);
+
+    ASSERT_EQ(res.per_layer.size(), 2u);
+    size_t cycles = 0, macs = 0, wreads = 0, reads = 0, writes = 0;
+    for (const auto &s : res.per_layer) {
+        cycles += s.cycles;
+        macs += s.mac_ops;
+        wreads += s.weight_sram_reads;
+        reads += s.working_sram_reads;
+        writes += s.working_sram_writes;
+    }
+    EXPECT_EQ(cycles, res.total.cycles);
+    EXPECT_EQ(macs, res.total.mac_ops);
+    EXPECT_EQ(wreads, res.total.weight_sram_reads);
+    EXPECT_EQ(reads, res.total.working_sram_reads);
+    EXPECT_EQ(writes, res.total.working_sram_writes);
+    EXPECT_GT(macs, 0u);
+}
+
+TEST(RunNetwork, ThreeLayerDeepChain)
+{
+    const FxpFormat act{16, 9};
+    TtLayerConfig c1 = TtLayerConfig::uniform(3, 2, 3, 2); // 27 -> 8
+    TtLayerConfig c2;
+    c2.m = {3, 3}; // 9
+    c2.n = {2, 4}; // 8
+    c2.r = {1, 2, 1};
+    TtLayerConfig c3;
+    c3.m = {2, 2}; // 4
+    c3.n = {3, 3}; // 9
+    c3.r = {1, 2, 1};
+
+    TtMatrixFxp l1 = quantLayer(c1, 540, act);
+    TtMatrixFxp l2 = quantLayer(c2, 541, act);
+    TtMatrixFxp l3 = quantLayer(c3, 542, act);
+
+    Rng rng(543);
+    MatrixF xf(c1.inSize(), 3);
+    xf.setUniform(rng, -1, 1);
+    Matrix<int16_t> x = quantizeMatrix(xf, act);
+
+    TieSimulator sim;
+    TieSimulator::NetworkResult res = sim.runNetwork(
+        {{&l1, true}, {&l2, true}, {&l3, false}}, x);
+
+    Matrix<int16_t> ref = fxpRelu(compactInferFxp(l1, x));
+    ref = fxpRelu(compactInferFxp(l2, ref));
+    ref = compactInferFxp(l3, ref);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(res.output.flat()[i], ref.flat()[i]);
+}
+
+TEST(RunNetwork, ShapeMismatchIsFatal)
+{
+    TwoLayerNet net = makeNet(550);
+    TieSimulator sim;
+    // l2 before l1: 6-wide output cannot feed the 24-wide input.
+    EXPECT_EXIT(sim.runNetwork({{&net.l2, true}, {&net.l1, false}},
+                               Matrix<int16_t>(16, 1)),
+                ::testing::ExitedWithCode(1), "does not feed");
+}
+
+TEST(RunNetwork, FormatMismatchIsFatal)
+{
+    TwoLayerNet net = makeNet(560);
+    TtMatrixFxp bad = net.l2;
+    for (auto &f : bad.stage_fmt) {
+        f.act_in.frac_bits = 4;
+        f.act_out.frac_bits = 4;
+    }
+    TieSimulator sim;
+    EXPECT_EXIT(sim.runNetwork({{&net.l1, true}, {&bad, false}}, net.x),
+                ::testing::ExitedWithCode(1), "format does not chain");
+}
+
+TEST(RunNetwork, CombinedWeightFootprintIsChecked)
+{
+    // Each layer alone fits 16 KB, but two dozen together do not: the
+    // whole-network residency check must catch it.
+    const FxpFormat act{16, 9};
+    TtLayerConfig cfg = TtLayerConfig::uniform(4, 4, 4, 4); // FC7-like
+    std::vector<TtMatrixFxp> layers;
+    for (int i = 0; i < 24; ++i)
+        layers.push_back(quantLayer(cfg, 600 + i, act));
+
+    std::vector<TieSimulator::NetworkLayer> net;
+    for (auto &l : layers)
+        net.push_back({&l, true});
+
+    TieSimulator sim;
+    Matrix<int16_t> x(cfg.inSize(), 1);
+    EXPECT_EXIT(sim.runNetwork(net, x), ::testing::ExitedWithCode(1),
+                "all layers");
+}
+
+TEST(RunNetwork, EmptyNetworkIsFatal)
+{
+    TieSimulator sim;
+    EXPECT_EXIT(sim.runNetwork({}, Matrix<int16_t>(4, 1)),
+                ::testing::ExitedWithCode(1), "empty network");
+}
+
+} // namespace
+} // namespace tie

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * Tests for the NN substrate: layer forward semantics, analytic
+ * gradients vs. finite differences (including through the TT stage
+ * chain), loss, optimiser, datasets and the training loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hh"
+#include "nn/conv2d.hh"
+#include "nn/dataset.hh"
+#include "nn/dense.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+#include "nn/sequential.hh"
+#include "nn/trainer.hh"
+#include "nn/tt_conv2d.hh"
+#include "nn/tt_dense.hh"
+
+namespace tie {
+namespace {
+
+/** Scalar objective: 0.5 * ||forward(x)||^2. */
+double
+objective(Layer &layer, const MatrixF &x)
+{
+    MatrixF y = layer.forward(x);
+    double s = 0.0;
+    for (float v : y.flat())
+        s += 0.5 * double(v) * double(v);
+    return s;
+}
+
+/** Run backward of the 0.5||y||^2 objective (dy = y). */
+MatrixF
+backwardOfObjective(Layer &layer, const MatrixF &x)
+{
+    MatrixF y = layer.forward(x);
+    return layer.backward(y);
+}
+
+/** Max relative error between analytic and numeric input gradients. */
+double
+checkInputGradient(Layer &layer, MatrixF x, double eps = 1e-3)
+{
+    MatrixF dx = backwardOfObjective(layer, x);
+    double worst = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const float keep = x.flat()[i];
+        x.flat()[i] = keep + static_cast<float>(eps);
+        const double up = objective(layer, x);
+        x.flat()[i] = keep - static_cast<float>(eps);
+        const double dn = objective(layer, x);
+        x.flat()[i] = keep;
+        const double num = (up - dn) / (2.0 * eps);
+        const double ana = dx.flat()[i];
+        const double denom = std::max({std::abs(num), std::abs(ana),
+                                       1e-3});
+        worst = std::max(worst, std::abs(num - ana) / denom);
+    }
+    return worst;
+}
+
+/** Max relative error on every parameter gradient. */
+double
+checkParamGradients(Layer &layer, const MatrixF &x, double eps = 1e-3)
+{
+    layer.zeroGrads();
+    backwardOfObjective(layer, x);
+    double worst = 0.0;
+    for (ParamRef p : layer.params()) {
+        for (size_t i = 0; i < p.value->size(); ++i) {
+            const float keep = p.value->flat()[i];
+            p.value->flat()[i] = keep + static_cast<float>(eps);
+            const double up = objective(layer, x);
+            p.value->flat()[i] = keep - static_cast<float>(eps);
+            const double dn = objective(layer, x);
+            p.value->flat()[i] = keep;
+            const double num = (up - dn) / (2.0 * eps);
+            const double ana = p.grad->flat()[i];
+            const double denom = std::max({std::abs(num), std::abs(ana),
+                                           1e-3});
+            worst = std::max(worst, std::abs(num - ana) / denom);
+        }
+    }
+    return worst;
+}
+
+TEST(DenseLayer, ForwardMatchesMatVecPlusBias)
+{
+    Rng rng(1);
+    Dense d(3, 2, rng);
+    MatrixF x(3, 2);
+    x.setUniform(rng, -1, 1);
+    MatrixF y = d.forward(x);
+    for (size_t b = 0; b < 2; ++b)
+        for (size_t i = 0; i < 2; ++i) {
+            float expect = d.bias()(i, 0);
+            for (size_t j = 0; j < 3; ++j)
+                expect += d.weights()(i, j) * x(j, b);
+            EXPECT_NEAR(y(i, b), expect, 1e-5);
+        }
+}
+
+TEST(DenseLayer, GradientsMatchFiniteDifferences)
+{
+    Rng rng(2);
+    Dense d(4, 3, rng);
+    MatrixF x(4, 5);
+    x.setUniform(rng, -1, 1);
+    EXPECT_LT(checkInputGradient(d, x), 2e-2);
+    EXPECT_LT(checkParamGradients(d, x), 2e-2);
+}
+
+TEST(TtDenseLayer, ForwardMatchesDensifiedOperator)
+{
+    Rng rng(3);
+    TtLayerConfig cfg;
+    cfg.m = {2, 3, 2};
+    cfg.n = {3, 2, 2};
+    cfg.r = {1, 2, 2, 1};
+    TtDense tt(cfg, rng, /*bias=*/false);
+    MatrixD w = tt.toDense();
+
+    MatrixF x(cfg.inSize(), 3);
+    x.setUniform(rng, -1, 1);
+    MatrixF y = tt.forward(x);
+    MatrixD y_ref = matmul(w, x.cast<double>());
+    EXPECT_LT(maxAbsDiff(y.cast<double>(), y_ref), 1e-4);
+}
+
+TEST(TtDenseLayer, GradientsMatchFiniteDifferences)
+{
+    Rng rng(4);
+    TtLayerConfig cfg;
+    cfg.m = {2, 2, 2};
+    cfg.n = {2, 3, 2};
+    cfg.r = {1, 2, 2, 1};
+    TtDense tt(cfg, rng);
+    MatrixF x(cfg.inSize(), 2);
+    x.setUniform(rng, -1, 1);
+    EXPECT_LT(checkInputGradient(tt, x), 2e-2);
+    EXPECT_LT(checkParamGradients(tt, x), 2e-2);
+}
+
+TEST(TtDenseLayer, FromDenseApproximatesOriginal)
+{
+    Rng rng(5);
+    // A genuinely low-TT-rank operator is recovered exactly.
+    TtLayerConfig cfg;
+    cfg.m = {2, 2, 3};
+    cfg.n = {2, 3, 2};
+    cfg.r = {1, 2, 2, 1};
+    TtDense gen(cfg, rng, false);
+    MatrixF w = gen.toDense().cast<float>();
+
+    auto dec = TtDense::fromDense(w, cfg, rng, false);
+    EXPECT_LT(relativeError(dec->toDense(), w.cast<double>()), 1e-4);
+}
+
+TEST(TtDenseLayer, ParamCountMatchesCompressionMath)
+{
+    Rng rng(6);
+    TtLayerConfig cfg = TtLayerConfig::uniform(4, 4, 4, 4);
+    TtDense tt(cfg, rng, false);
+    EXPECT_EQ(tt.paramCount(), cfg.ttParamCount());
+    Dense d(cfg.inSize(), cfg.outSize(), rng);
+    EXPECT_GT(d.paramCount() / tt.paramCount(), 50u);
+}
+
+TEST(ReluLayer, ForwardAndGradient)
+{
+    Relu r;
+    MatrixF x(2, 2, {1.0f, -2.0f, 0.0f, 3.0f});
+    MatrixF y = r.forward(x);
+    EXPECT_FLOAT_EQ(y(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(y(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(y(1, 1), 3.0f);
+
+    MatrixF dy(2, 2, {5.0f, 5.0f, 5.0f, 5.0f});
+    MatrixF dx = r.backward(dy);
+    EXPECT_FLOAT_EQ(dx(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(dx(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(dx(1, 0), 0.0f);
+}
+
+TEST(Conv2DLayer, Im2colGemmMatchesDirectConv)
+{
+    Rng rng(7);
+    ConvShape s{5, 6, 2, 3, 3, 0, 1};
+    Conv2D conv(s, rng);
+    MatrixF x(s.c_in * s.h * s.w, 2);
+    x.setUniform(rng, -1, 1);
+    MatrixF y = conv.forward(x);
+    MatrixF y_ref = directConv(x, conv.weights(), conv.bias(), s);
+    EXPECT_LT(maxAbsDiff(y, y_ref), 1e-4);
+}
+
+TEST(Conv2DLayer, PaddedConvMatchesDirect)
+{
+    Rng rng(8);
+    ConvShape s{4, 4, 2, 2, 3, 1, 1};
+    Conv2D conv(s, rng);
+    EXPECT_EQ(s.outH(), 4u);
+    MatrixF x(s.c_in * s.h * s.w, 1);
+    x.setUniform(rng, -1, 1);
+    EXPECT_LT(maxAbsDiff(conv.forward(x),
+                         directConv(x, conv.weights(), conv.bias(), s)),
+              1e-4);
+}
+
+TEST(Conv2DLayer, StridedConvMatchesDirect)
+{
+    Rng rng(9);
+    ConvShape s{7, 7, 1, 2, 3, 0, 2};
+    Conv2D conv(s, rng);
+    EXPECT_EQ(s.outH(), 3u);
+    MatrixF x(s.c_in * s.h * s.w, 2);
+    x.setUniform(rng, -1, 1);
+    EXPECT_LT(maxAbsDiff(conv.forward(x),
+                         directConv(x, conv.weights(), conv.bias(), s)),
+              1e-4);
+}
+
+TEST(Conv2DLayer, GradientsMatchFiniteDifferences)
+{
+    Rng rng(10);
+    ConvShape s{4, 4, 1, 2, 3, 0, 1};
+    Conv2D conv(s, rng);
+    MatrixF x(s.c_in * s.h * s.w, 2);
+    x.setUniform(rng, -1, 1);
+    EXPECT_LT(checkInputGradient(conv, x), 2e-2);
+    EXPECT_LT(checkParamGradients(conv, x), 2e-2);
+}
+
+TEST(TtConv2DLayer, MatchesDenseConvWithSameWeights)
+{
+    Rng rng(11);
+    ConvShape s{5, 5, 4, 8, 3, 0, 1};
+    // GEMM is 8 x 36: factor 8 = 2*4, 36 = 6*6.
+    TtLayerConfig cfg;
+    cfg.m = {2, 4};
+    cfg.n = {6, 6};
+    cfg.r = {1, 12, 1}; // full-ish rank for near-exact recovery
+    Conv2D dense(s, rng);
+    auto tt = TtConv2D::fromDense(dense.weights(), s, cfg, rng);
+
+    MatrixF x(s.c_in * s.h * s.w, 2);
+    x.setUniform(rng, -1, 1);
+    MatrixF y_tt = tt->forward(x);
+    MatrixF y_dense = directConv(x, dense.weights(),
+                                 MatrixF(s.c_out, 1), s);
+    EXPECT_LT(maxAbsDiff(y_tt, y_dense), 1e-3);
+}
+
+TEST(TtConv2DLayer, GradientsMatchFiniteDifferences)
+{
+    Rng rng(12);
+    ConvShape s{4, 4, 2, 4, 3, 0, 1};
+    TtLayerConfig cfg;
+    cfg.m = {2, 2};
+    cfg.n = {6, 3};
+    cfg.r = {1, 2, 1};
+    TtConv2D conv(s, cfg, rng);
+    MatrixF x(s.c_in * s.h * s.w, 2);
+    x.setUniform(rng, -1, 1);
+    EXPECT_LT(checkInputGradient(conv, x), 2e-2);
+    EXPECT_LT(checkParamGradients(conv, x), 2e-2);
+}
+
+TEST(Loss, SoftmaxColumnsSumToOne)
+{
+    Rng rng(13);
+    MatrixF logits(5, 3);
+    logits.setUniform(rng, -4, 4);
+    MatrixF p = softmax(logits);
+    for (size_t b = 0; b < 3; ++b) {
+        double s = 0.0;
+        for (size_t i = 0; i < 5; ++i) {
+            EXPECT_GE(p(i, b), 0.0f);
+            s += p(i, b);
+        }
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+}
+
+TEST(Loss, CrossEntropyGradientMatchesFiniteDifferences)
+{
+    Rng rng(14);
+    MatrixF logits(4, 3);
+    logits.setUniform(rng, -2, 2);
+    std::vector<int> labels{1, 3, 0};
+
+    MatrixF grad;
+    softmaxCrossEntropy(logits, labels, &grad);
+
+    const double eps = 1e-3;
+    for (size_t i = 0; i < logits.size(); ++i) {
+        MatrixF lp = logits, lm = logits;
+        lp.flat()[i] += static_cast<float>(eps);
+        lm.flat()[i] -= static_cast<float>(eps);
+        const double num = (softmaxCrossEntropy(lp, labels) -
+                            softmaxCrossEntropy(lm, labels)) /
+                           (2 * eps);
+        EXPECT_NEAR(grad.flat()[i], num, 1e-3);
+    }
+}
+
+TEST(Loss, PerfectLogitsGiveZeroLossAndFullAccuracy)
+{
+    MatrixF logits(3, 2);
+    logits(0, 0) = 100.0f;
+    logits(2, 1) = 100.0f;
+    std::vector<int> labels{0, 2};
+    EXPECT_NEAR(softmaxCrossEntropy(logits, labels), 0.0, 1e-6);
+    EXPECT_DOUBLE_EQ(accuracy(logits, labels), 1.0);
+}
+
+TEST(Optimizer, SgdStepReducesQuadratic)
+{
+    // Minimise 0.5 w^2 by SGD: w must decay toward zero.
+    MatrixF w(1, 1, {4.0f});
+    MatrixF g(1, 1);
+    SgdMomentum opt(0.1f, 0.0f);
+    for (int i = 0; i < 100; ++i) {
+        g(0, 0) = w(0, 0); // gradient of 0.5 w^2
+        opt.step({{&w, &g}});
+    }
+    EXPECT_LT(std::abs(w(0, 0)), 1e-3);
+}
+
+TEST(Optimizer, MomentumAcceleratesDescent)
+{
+    MatrixF w1(1, 1, {4.0f}), g1(1, 1);
+    MatrixF w2(1, 1, {4.0f}), g2(1, 1);
+    SgdMomentum plain(0.01f, 0.0f), heavy(0.01f, 0.9f);
+    for (int i = 0; i < 40; ++i) {
+        g1(0, 0) = w1(0, 0);
+        plain.step({{&w1, &g1}});
+        g2(0, 0) = w2(0, 0);
+        heavy.step({{&w2, &g2}});
+    }
+    EXPECT_LT(std::abs(w2(0, 0)), std::abs(w1(0, 0)));
+}
+
+TEST(SequentialModel, ComposesForwardAndBackward)
+{
+    Rng rng(15);
+    Sequential model;
+    model.emplace<Dense>(6, 8, rng);
+    model.emplace<Relu>();
+    model.emplace<Dense>(8, 3, rng);
+
+    MatrixF x(6, 4);
+    x.setUniform(rng, -1, 1);
+    EXPECT_LT(checkInputGradient(model, x), 2e-2);
+    EXPECT_GT(model.paramCount(), 0u);
+    EXPECT_EQ(model.outFeatures(6), 3u);
+}
+
+TEST(Datasets, ClusteredImagesAreLearnable)
+{
+    Rng rng(16);
+    // Generate once and slice so train and test share class templates.
+    Dataset all = makeClusteredImages(384, 4, 32, 0.3, rng);
+    Dataset train = all.slice(0, 256);
+    Dataset test = all.slice(256, 128);
+
+    Sequential model;
+    model.emplace<Dense>(32, 16, rng);
+    model.emplace<Relu>();
+    model.emplace<Dense>(16, 4, rng);
+
+    TrainConfig cfg;
+    cfg.epochs = 15;
+    cfg.batch = 32;
+    cfg.lr = 0.05f;
+    TrainHistory hist = trainClassifier(model, train, test, cfg);
+    EXPECT_GT(hist.finalTestAcc(), 0.9);
+    EXPECT_LT(hist.loss.back(), hist.loss.front());
+}
+
+TEST(Datasets, SliceIsConsistent)
+{
+    Rng rng(17);
+    Dataset ds = makeClusteredImages(10, 2, 4, 0.1, rng);
+    Dataset s = ds.slice(3, 4);
+    EXPECT_EQ(s.size(), 4u);
+    for (size_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(s.labels[j], ds.labels[3 + j]);
+        for (size_t i = 0; i < 4; ++i)
+            EXPECT_FLOAT_EQ(s.x(i, j), ds.x(i, 3 + j));
+    }
+}
+
+TEST(Datasets, SyntheticVideoPacksTimeMajor)
+{
+    Rng rng(18);
+    SeqDataset ds = makeSyntheticVideo(6, 3, 10, 5, 0.1, rng);
+    EXPECT_EQ(ds.size(), 6u);
+    MatrixF packed = ds.packBatch(1, 2);
+    EXPECT_EQ(packed.rows(), 10u);
+    EXPECT_EQ(packed.cols(), 10u); // steps * count = 5 * 2
+    // Column t*count + b must be frame t of sample begin+b.
+    for (size_t t = 0; t < 5; ++t)
+        for (size_t b = 0; b < 2; ++b)
+            for (size_t i = 0; i < 10; ++i)
+                EXPECT_FLOAT_EQ(packed(i, t * 2 + b), ds.x[1 + b](i, t));
+}
+
+TEST(TrainingFlow, TtDenseTrainsToSameRegimeAsDense)
+{
+    // The qualitative Table-1 claim: a TT layer with a fraction of the
+    // parameters reaches accuracy comparable to the dense layer.
+    Rng rng(19);
+    Dataset all = makeClusteredImages(512, 4, 64, 0.5, rng);
+    Dataset train = all.slice(0, 384);
+    Dataset test = all.slice(384, 128);
+
+    TrainConfig cfg;
+    cfg.epochs = 20;
+    cfg.batch = 32;
+    cfg.lr = 0.03f;
+
+    Sequential dense_model;
+    dense_model.emplace<Dense>(64, 64, rng);
+    dense_model.emplace<Relu>();
+    dense_model.emplace<Dense>(64, 4, rng);
+    double dense_acc =
+        trainClassifier(dense_model, train, test, cfg).finalTestAcc();
+
+    Sequential tt_model;
+    TtLayerConfig ttc;
+    ttc.m = {4, 4, 4};
+    ttc.n = {4, 4, 4};
+    ttc.r = {1, 3, 3, 1};
+    tt_model.emplace<TtDense>(ttc, rng);
+    tt_model.emplace<Relu>();
+    tt_model.emplace<Dense>(64, 4, rng);
+    double tt_acc =
+        trainClassifier(tt_model, train, test, cfg).finalTestAcc();
+
+    EXPECT_GT(dense_acc, 0.85);
+    EXPECT_GT(tt_acc, dense_acc - 0.1);
+}
+
+} // namespace
+} // namespace tie

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the NN-substrate extensions: MaxPool2D (forward semantics
+ * and subgradient routing), the Adam optimiser, activation-format
+ * calibration, and the Sequential -> TieEngine conversion including
+ * the end-to-end fine-tune-after-rounding flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tie_engine.hh"
+#include "nn/activations.hh"
+#include "nn/dense.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+#include "nn/pooling.hh"
+#include "nn/sequential.hh"
+#include "nn/trainer.hh"
+#include "nn/tt_dense.hh"
+#include "tt/tt_round.hh"
+
+namespace tie {
+namespace {
+
+TEST(MaxPool, ForwardPicksWindowMaxima)
+{
+    MaxPool2D pool(1, 4, 4, 2);
+    MatrixF x(16, 1);
+    for (size_t i = 0; i < 16; ++i)
+        x(i, 0) = static_cast<float>(i);
+    MatrixF y = pool.forward(x);
+    ASSERT_EQ(y.rows(), 4u);
+    // Row-major 4x4: windows' maxima are 5, 7, 13, 15.
+    EXPECT_FLOAT_EQ(y(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(y(1, 0), 7.0f);
+    EXPECT_FLOAT_EQ(y(2, 0), 13.0f);
+    EXPECT_FLOAT_EQ(y(3, 0), 15.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmaxOnly)
+{
+    MaxPool2D pool(1, 2, 2, 2);
+    MatrixF x(4, 2);
+    x(0, 0) = 3.0f; // max of sample 0
+    x(3, 1) = 5.0f; // max of sample 1
+    pool.forward(x);
+    MatrixF dy(1, 2);
+    dy(0, 0) = 1.5f;
+    dy(0, 1) = 2.5f;
+    MatrixF dx = pool.backward(dy);
+    EXPECT_FLOAT_EQ(dx(0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(dx(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(dx(3, 1), 2.5f);
+    EXPECT_FLOAT_EQ(dx(0, 1), 0.0f);
+}
+
+TEST(MaxPool, MultiChannelShapes)
+{
+    MaxPool2D pool(3, 8, 8, 2);
+    EXPECT_EQ(pool.outFeatures(0), 3u * 4 * 4);
+    Rng rng(1);
+    MatrixF x(3 * 64, 4);
+    x.setNormal(rng);
+    MatrixF y = pool.forward(x);
+    EXPECT_EQ(y.rows(), 48u);
+    // Pooling never invents values.
+    float xmax = -1e9f;
+    for (float v : x.flat())
+        xmax = std::max(xmax, v);
+    for (float v : y.flat())
+        EXPECT_LE(v, xmax);
+}
+
+TEST(MaxPool, RejectsNonDividingWindow)
+{
+    EXPECT_EXIT(MaxPool2D(1, 5, 4, 2), ::testing::ExitedWithCode(1),
+                "must divide");
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    MatrixF w(1, 1, {4.0f});
+    MatrixF g(1, 1);
+    Adam opt(0.1f);
+    for (int i = 0; i < 300; ++i) {
+        g(0, 0) = w(0, 0);
+        opt.step({{&w, &g}});
+    }
+    EXPECT_LT(std::abs(w(0, 0)), 1e-2);
+}
+
+TEST(Adam, AdaptsToGradientScales)
+{
+    // Two parameters with gradients differing by 1e3: Adam moves both
+    // at comparable rates; plain SGD barely moves the small one.
+    MatrixF w(2, 1, {1.0f, 1.0f});
+    MatrixF g(2, 1);
+    Adam opt(0.05f);
+    for (int i = 0; i < 50; ++i) {
+        g(0, 0) = 1000.0f * w(0, 0);
+        g(1, 0) = 0.001f * w(1, 0);
+        opt.step({{&w, &g}});
+    }
+    EXPECT_LT(w(0, 0), 0.5f);
+    EXPECT_LT(w(1, 0), 0.5f);
+}
+
+TEST(Adam, TrainsAClassifier)
+{
+    Rng rng(2);
+    Dataset all = makeClusteredImages(300, 3, 16, 0.4, rng);
+    Sequential model;
+    model.emplace<Dense>(16, 12, rng);
+    model.emplace<Relu>();
+    model.emplace<Dense>(12, 3, rng);
+
+    Adam opt(0.01f);
+    for (int epoch = 0; epoch < 20; ++epoch) {
+        for (size_t b0 = 0; b0 < 240; b0 += 30) {
+            Dataset b = all.slice(b0, 30);
+            MatrixF dlogits;
+            softmaxCrossEntropy(model.forward(b.x), b.labels,
+                                &dlogits);
+            model.backward(dlogits);
+            opt.step(model.params());
+        }
+    }
+    Dataset test = all.slice(240, 60);
+    EXPECT_GT(accuracy(model.forward(test.x), test.labels), 0.9);
+}
+
+TEST(Calibration, MaxPercentileEqualsChooseFormat)
+{
+    MatrixF s(2, 2, {0.5f, -3.0f, 1.0f, 2.0f});
+    FxpFormat a = calibrateFormat(s, 1.0);
+    FxpFormat b = chooseFormat(3.0);
+    EXPECT_EQ(a.frac_bits, b.frac_bits);
+}
+
+TEST(Calibration, LowerPercentileBuysFractionBits)
+{
+    Rng rng(3);
+    MatrixF s(64, 64);
+    s.setNormal(rng); // a few outliers near 4 sigma
+    FxpFormat tight = calibrateFormat(s, 0.99);
+    FxpFormat loose = calibrateFormat(s, 1.0);
+    EXPECT_GE(tight.frac_bits, loose.frac_bits);
+}
+
+TEST(Calibration, RejectsBadArgs)
+{
+    MatrixF s(1, 1, {1.0f});
+    EXPECT_EXIT(calibrateFormat(s, 0.0), ::testing::ExitedWithCode(1),
+                "percentile");
+    MatrixF empty;
+    EXPECT_EXIT(calibrateFormat(empty), ::testing::ExitedWithCode(1),
+                "no samples");
+}
+
+TEST(FromSequential, ConvertsTtMlpAndMatchesHostModel)
+{
+    Rng rng(4);
+    TtLayerConfig l1;
+    l1.m = {4, 4};
+    l1.n = {4, 6};
+    l1.r = {1, 3, 1};
+    TtLayerConfig l2;
+    l2.m = {2, 3};
+    l2.n = {4, 4};
+    l2.r = {1, 2, 1};
+
+    Sequential model;
+    model.emplace<TtDense>(l1, rng, /*bias=*/false);
+    model.emplace<Relu>();
+    model.emplace<TtDense>(l2, rng, /*bias=*/false);
+
+    TieEngine engine = TieEngine::fromSequential(model);
+    ASSERT_EQ(engine.layerCount(), 2u);
+
+    MatrixF x(l1.inSize(), 1);
+    x.setUniform(rng, -1, 1);
+    const FxpFormat act{16, 8};
+    EngineRunReport rep = engine.simulate(quantizeMatrix(x, act));
+    MatrixF y_host = model.forward(x);
+    MatrixF y_sim = dequantizeMatrix(rep.output, act);
+    EXPECT_LT(maxAbsDiff(y_host, y_sim), 0.1);
+}
+
+TEST(FromSequential, RejectsUnsupportedLayers)
+{
+    Rng rng(5);
+    Sequential model;
+    model.emplace<Dense>(8, 4, rng);
+    EXPECT_EXIT(TieEngine::fromSequential(model),
+                ::testing::ExitedWithCode(1), "cannot run on TIE");
+}
+
+TEST(FromSequential, RejectsDanglingRelu)
+{
+    Sequential model;
+    model.emplace<Relu>();
+    EXPECT_EXIT(TieEngine::fromSequential(model),
+                ::testing::ExitedWithCode(1), "does not follow");
+}
+
+TEST(FineTuneFlow, RoundingThenTrainingRecoversAccuracy)
+{
+    // The deployment pipeline the paper describes in Sec. 2.2: train,
+    // tighten ranks (here via ttRound), fine-tune, deploy.
+    Rng rng(6);
+    Dataset all = makeClusteredImages(400, 4, 36, 0.8, rng);
+    Dataset train = all.slice(0, 300);
+    Dataset test = all.slice(300, 100);
+
+    TtLayerConfig cfg;
+    cfg.m = {4, 4};  // 16
+    cfg.n = {6, 6};  // 36
+    cfg.r = {1, 6, 1};
+
+    Sequential model;
+    model.emplace<TtDense>(cfg, rng);
+    model.emplace<Relu>();
+    model.emplace<Dense>(16, 4, rng);
+
+    TrainConfig tc;
+    tc.epochs = 15;
+    tc.batch = 30;
+    tc.lr = 0.05f;
+    const double base_acc =
+        trainClassifier(model, train, test, tc).finalTestAcc();
+    EXPECT_GT(base_acc, 0.85);
+
+    // Round the trained TT layer to rank 2 and rebuild the model.
+    auto &tt = dynamic_cast<TtDense &>(model.layer(0));
+    TtMatrix rounded = ttRound(tt.toTtMatrix(), 2);
+    EXPECT_LE(rounded.config().r[1], 2u);
+
+    Sequential tightened;
+    auto compact = std::make_unique<TtDense>(rounded.config(), rng,
+                                             /*bias=*/true);
+    for (size_t h = 1; h <= rounded.d(); ++h)
+        compact->stageCore(h) =
+            rounded.core(h).unfolded().cast<float>();
+    tightened.push(std::move(compact));
+    tightened.emplace<Relu>();
+    // Fresh head (biases/head are cheap; the TT layer is the point).
+    tightened.emplace<Dense>(16, 4, rng);
+
+    TrainConfig ft = tc;
+    ft.epochs = 15;
+    const double tuned_acc =
+        trainClassifier(tightened, train, test, ft).finalTestAcc();
+    EXPECT_GT(tuned_acc, base_acc - 0.08);
+}
+
+} // namespace
+} // namespace tie

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The reproduction contract: every headline number this repository
+ * claims to reproduce (EXPERIMENTS.md) is pinned here, so a regression
+ * anywhere in the stack — kernels, simulator, technology model,
+ * baselines — trips a test instead of silently corrupting the story.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/tie_sim.hh"
+#include "baselines/circnn/circnn_model.hh"
+#include "baselines/eie/eie_model.hh"
+#include "baselines/eyeriss/eyeriss_model.hh"
+#include "core/tie_engine.hh"
+#include "core/workloads.hh"
+#include "tt/cost_model.hh"
+
+namespace tie {
+namespace {
+
+// ---- Sec. 3.1: redundancy ----
+
+TEST(PaperNumbers, RedundancyRatios)
+{
+    auto ratio = [](const TtLayerConfig &c) {
+        return double(multNaive(c)) / double(multTheoreticalMin(c));
+    };
+    EXPECT_NEAR(ratio(workloads::vggFc7()), 1058.2, 1.0);
+    EXPECT_NEAR(ratio(workloads::vggFc6()), 2158.0, 2.0);
+}
+
+// ---- Table 4: compression ----
+
+TEST(PaperNumbers, Table4CompressionRatios)
+{
+    EXPECT_NEAR(workloads::vggFc6().compressionRatio(), 50972.4, 0.2);
+    EXPECT_NEAR(workloads::vggFc7().compressionRatio(), 14563.6, 0.2);
+    EXPECT_NEAR(workloads::lstmUcf11().compressionRatio(), 4954.8, 0.2);
+    EXPECT_NEAR(workloads::lstmYoutube().compressionRatio(), 4608.0,
+                0.2);
+}
+
+// ---- Table 5/6: the chip ----
+
+TEST(PaperNumbers, ChipAreaBreakdown)
+{
+    TieFloorplan fp =
+        TieFloorplan::build(TieArchConfig{}, TechModel::cmos28());
+    EXPECT_NEAR(fp.totalAreaMm2(), 1.744, 0.01);
+}
+
+// ---- Latency on the paper configuration ----
+
+TEST(PaperNumbers, BenchmarkCyclesOnThePaperChip)
+{
+    TieArchConfig cfg;
+    EXPECT_EQ(TieSimulator::analyticCycles(workloads::vggFc6(), cfg),
+              14648u);
+    EXPECT_EQ(TieSimulator::analyticCycles(workloads::vggFc7(), cfg),
+              5400u);
+    EXPECT_EQ(TieSimulator::analyticCycles(workloads::lstmUcf11(), cfg),
+              7584u);
+    EXPECT_EQ(TieSimulator::analyticCycles(workloads::lstmYoutube(),
+                                           cfg),
+              5600u);
+    // And the real machinery agrees with the closed form (no stalls).
+    for (const auto &b : workloads::table4Benchmarks()) {
+        SimStats s = TieSimulator::analyticStats(b.config, cfg);
+        EXPECT_EQ(s.stall_cycles, 0u) << b.name;
+    }
+}
+
+TEST(PaperNumbers, EffectiveThroughputRegime)
+{
+    // Mean effective throughput over the benchmark suite: the paper
+    // reports 7.64 TOPS; our measured value is ~7.3.
+    TieArchConfig cfg;
+    TechModel tech = TechModel::cmos28();
+    double tops = 0.0;
+    for (const auto &b : workloads::table4Benchmarks()) {
+        SimStats s = TieSimulator::analyticStats(b.config, cfg);
+        PerfReport p = makePerfReport(s, b.config.outSize(),
+                                      b.config.inSize(), cfg, tech);
+        tops += p.effective_gops / 1000.0;
+    }
+    tops /= 4.0;
+    EXPECT_GT(tops, 6.5);
+    EXPECT_LT(tops, 8.5);
+}
+
+// ---- Table 7 / Fig. 12: vs EIE ----
+
+TEST(PaperNumbers, EieComparisonShape)
+{
+    // Deterministic re-run of the bench's computation with its seeds.
+    TieArchConfig tie_cfg;
+    TechModel tech = TechModel::cmos28();
+    EieModel eie;
+    Rng rng(12);
+
+    std::vector<double> thr, area_eff, energy_eff;
+    for (const auto &w : workloads::eieWorkloads()) {
+        const TtLayerConfig layer = w.name == "VGG-FC6"
+                                        ? workloads::vggFc6()
+                                        : workloads::vggFc7();
+        TtMatrix tt = TtMatrix::random(layer, rng);
+        TtMatrixFxp ttq =
+            TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+        MatrixF xf(layer.inSize(), 1);
+        xf.setUniform(rng, -1, 1);
+        TieSimulator sim(tie_cfg, tech);
+        TieSimResult res =
+            sim.runLayer(ttq, quantizeMatrix(xf, FxpFormat{16, 8}));
+        PerfReport tp = makePerfReport(res.stats, layer.outSize(),
+                                       layer.inSize(), tie_cfg, tech);
+
+        CscMatrix csc =
+            randomCsc(w.rows, w.cols, w.weight_density, rng);
+        std::vector<float> x =
+            randomSparseActivations(w.cols, w.act_density, rng);
+        EieRunResult er = eie.run(csc, x);
+        const double lat =
+            er.latencyUs(eie.config().projectedFreqMhz());
+        const double gops =
+            2.0 * double(w.rows) * double(w.cols) / (lat * 1e3);
+        thr.push_back(tp.effective_gops / gops);
+        area_eff.push_back(
+            tp.gopsPerMm2() /
+            (gops / eie.config().projectedAreaMm2()));
+        energy_eff.push_back(
+            tp.gopsPerWatt() /
+            (gops / (eie.config().projectedPowerMw() / 1000.0)));
+    }
+
+    for (double t : thr) {  // "comparable throughput"
+        EXPECT_GT(t, 0.5);
+        EXPECT_LT(t, 2.0);
+    }
+    for (double a : area_eff) { // paper: 7.22x - 10.66x
+        EXPECT_GT(a, 6.0);
+        EXPECT_LT(a, 14.0);
+    }
+    for (double e : energy_eff) { // paper: 3.03x - 4.48x
+        EXPECT_GT(e, 2.5);
+        EXPECT_LT(e, 6.0);
+    }
+}
+
+// ---- Table 8: vs CIRCNN ----
+
+TEST(PaperNumbers, CircnnComparisonShape)
+{
+    CircnnModel circnn;
+    const double circ_tops = circnn.effectiveTops(
+        4096, 4096, circnn.config().projectedFreqMhz());
+    // Paper: TIE 7.64 TOPS vs projected CIRCNN 1.28 -> 5.96x.
+    TieArchConfig cfg;
+    TechModel tech = TechModel::cmos28();
+    double tie_tops = 0.0;
+    for (const auto &b : workloads::table4Benchmarks()) {
+        SimStats s = TieSimulator::analyticStats(b.config, cfg);
+        tie_tops += makePerfReport(s, b.config.outSize(),
+                                   b.config.inSize(), cfg, tech)
+                        .effective_gops /
+                    1000.0;
+    }
+    tie_tops /= 4.0;
+    const double ratio = tie_tops / circ_tops;
+    EXPECT_GT(ratio, 4.5); // paper 5.96x, ours ~6.1x
+    EXPECT_LT(ratio, 7.5);
+}
+
+// ---- Table 9: vs Eyeriss ----
+
+TEST(PaperNumbers, EyerissComparisonDirection)
+{
+    EyerissModel eye;
+    const double eye_fps = eye.framesPerSecond(
+        vgg16ConvLayers(), eye.config().projectedFreqMhz());
+    EXPECT_NEAR(eye_fps, 1.88, 0.1); // paper projects 1.86
+
+    TieArchConfig cfg;
+    size_t cycles = 0;
+    for (const auto &l : workloads::vgg16TtConvLayers())
+        cycles += analyticBatchedCycles(l.config, l.shape.gemmBatch(),
+                                        cfg);
+    const double tie_fps = cfg.freq_mhz * 1e6 / double(cycles);
+    // Direction: TIE strictly faster. Factor: ours ~8x vs the paper's
+    // 3.61x (rank choice documented in EXPERIMENTS.md).
+    EXPECT_GT(tie_fps / eye_fps, 3.0);
+    EXPECT_LT(tie_fps / eye_fps, 12.0);
+}
+
+// ---- Fig. 13: flexibility ----
+
+TEST(PaperNumbers, RankSweepMonotoneArithmetic)
+{
+    // Multiplications grow monotonically with rank for every
+    // benchmark shape (the throughput trend of Fig. 13).
+    for (const auto &b : workloads::table4Benchmarks()) {
+        size_t prev = 0;
+        for (size_t r : {1u, 2u, 4u, 8u}) {
+            TtLayerConfig cfg = b.config;
+            for (size_t k = 1; k < cfg.r.size() - 1; ++k)
+                cfg.r[k] = r;
+            const size_t mults = multCompact(cfg);
+            EXPECT_GT(mults, prev) << b.name << " r=" << r;
+            prev = mults;
+        }
+    }
+}
+
+// ---- Tables 1-3 ----
+
+TEST(PaperNumbers, ModelCompressionHeadlines)
+{
+    auto fcs = workloads::fcDominatedCnnLayers();
+    auto budget = workloads::vgg16Params();
+    size_t tt_fc = 0;
+    for (const auto &c : fcs)
+        tt_fc += c.ttParamCount();
+    const double fc_dense =
+        double(budget.fc6 + budget.fc7 + budget.fc8);
+    EXPECT_NEAR(fc_dense / double(tt_fc + budget.fc8), 30.2, 0.3);
+
+    auto conv = workloads::convDominatedCnnLayers();
+    size_t dense = 0, tt = 0;
+    for (const auto &c : conv) {
+        dense += c.denseParamCount();
+        tt += c.ttParamCount();
+    }
+    EXPECT_NEAR(double(dense) / double(tt), 3.29, 0.02);
+}
+
+} // namespace
+} // namespace tie

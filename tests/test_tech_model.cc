@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the 28 nm technology model: the floorplan must reproduce
+ * the paper's Table 5/6 area numbers, SRAM curves must be monotone, and
+ * the node-projection rules must match Sec. 5.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/stats.hh"
+#include "arch/tech_model.hh"
+
+namespace tie {
+namespace {
+
+TEST(TechModel, SramAreaScalesLinearlyWithCapacity)
+{
+    TechModel t = TechModel::cmos28();
+    EXPECT_NEAR(t.sramAreaMm2(2 * 1024) / t.sramAreaMm2(1024), 2.0, 1e-9);
+}
+
+TEST(TechModel, SramAccessEnergyGrowsWithCapacity)
+{
+    TechModel t = TechModel::cmos28();
+    EXPECT_LT(t.sramAccessPj(16 * 1024, 16),
+              t.sramAccessPj(384 * 1024, 16));
+    EXPECT_GT(t.sramAccessPj(1024, 16), 0.0);
+}
+
+TEST(TechModel, SramAccessEnergyScalesWithWordWidth)
+{
+    TechModel t = TechModel::cmos28();
+    EXPECT_NEAR(t.sramAccessPj(4096, 32), 2.0 * t.sramAccessPj(4096, 16),
+                1e-12);
+}
+
+TEST(NodeProjection, MatchesPaperRules)
+{
+    // Paper Sec. 5.3: EIE 800 MHz @45nm -> 1285 MHz @28nm,
+    // 40.8 mm^2 -> 15.7 mm^2, power constant.
+    EXPECT_NEAR(NodeProjection::frequencyMhz(800, 45, 28), 1285.0, 2.0);
+    EXPECT_NEAR(NodeProjection::areaMm2(40.8, 45, 28), 15.7, 0.2);
+    EXPECT_DOUBLE_EQ(NodeProjection::powerMw(590, 45, 28), 590.0);
+    // Eyeriss: 200 MHz @65nm -> 464 MHz @28nm, 12.25 -> 2.27 mm^2.
+    EXPECT_NEAR(NodeProjection::frequencyMhz(200, 65, 28), 464.0, 1.0);
+    EXPECT_NEAR(NodeProjection::areaMm2(12.25, 65, 28), 2.27, 0.02);
+}
+
+TEST(TieFloorplan, ReproducesPaperTable6Areas)
+{
+    TieArchConfig cfg; // defaults are the paper's Table 5 design
+    TieFloorplan fp = TieFloorplan::build(cfg, TechModel::cmos28());
+
+    // Paper Table 6: memory 1.29, register 0.019, combinational 0.082,
+    // clock 0.0035, other 0.35, total 1.744 mm^2.
+    EXPECT_NEAR(fp.area_memory_mm2, 1.29, 0.03);
+    EXPECT_NEAR(fp.area_register_mm2, 0.019, 0.002);
+    EXPECT_NEAR(fp.area_combinational_mm2, 0.082, 0.002);
+    EXPECT_NEAR(fp.area_clock_mm2, 0.0035, 1e-6);
+    EXPECT_NEAR(fp.area_other_mm2, 0.35, 0.02);
+    EXPECT_NEAR(fp.totalAreaMm2(), 1.744, 0.03);
+}
+
+TEST(TieFloorplan, AreaGrowsWithPeCount)
+{
+    TechModel t = TechModel::cmos28();
+    TieArchConfig small;
+    TieArchConfig big;
+    big.n_pe = 32;
+    EXPECT_GT(TieFloorplan::build(big, t).totalAreaMm2(),
+              TieFloorplan::build(small, t).totalAreaMm2());
+}
+
+TEST(TieArchConfig, DefaultsMatchPaperTable5)
+{
+    TieArchConfig cfg;
+    EXPECT_EQ(cfg.n_pe, 16u);
+    EXPECT_EQ(cfg.n_mac, 16u);
+    EXPECT_EQ(cfg.weight_sram_bytes, 16u * 1024);
+    EXPECT_EQ(cfg.working_sram_bytes, 384u * 1024);
+    EXPECT_DOUBLE_EQ(cfg.freq_mhz, 1000.0);
+    EXPECT_EQ(cfg.data_bits, 16);
+    EXPECT_EQ(cfg.acc_bits, 24);
+    EXPECT_EQ(cfg.macsTotal(), 256u);
+}
+
+TEST(PowerModel, FullUtilisationLandsNearPaperTable6)
+{
+    // Synthesize one "fully busy" cycle's worth of events: 256 MACs,
+    // 16 weight reads, ~16 operand reads + ~9 amortised writes, 512
+    // register writes — the steady-state of Fig. 7's schedule.
+    TieArchConfig cfg;
+    TechModel tech = TechModel::cmos28();
+
+    SimStats s;
+    s.cycles = 1000;
+    s.mac_ops = 256 * s.cycles;
+    s.reg_writes = 512 * s.cycles;
+    s.weight_sram_reads = 16 * s.cycles;
+    s.working_sram_reads = 16 * s.cycles;
+    s.working_sram_writes = 9 * s.cycles;
+
+    PowerReport p = computePower(s, cfg, tech);
+    // Paper Table 6: 60.8 / 10.9 / 54 / 29.1 mW, total 154.8 mW.
+    EXPECT_NEAR(p.memory_mw, 60.8, 6.0);
+    EXPECT_NEAR(p.register_mw, 10.9, 1.0);
+    EXPECT_NEAR(p.combinational_mw, 54.0, 3.0);
+    EXPECT_NEAR(p.clock_mw, 29.1, 1.5);
+    EXPECT_NEAR(p.totalMw(), 154.8, 9.0);
+}
+
+TEST(PowerModel, ZeroCyclesYieldsZeroPower)
+{
+    SimStats s;
+    PowerReport p = computePower(s, TieArchConfig{}, TechModel::cmos28());
+    EXPECT_DOUBLE_EQ(p.totalMw(), 0.0);
+}
+
+TEST(PowerModel, EnergyEqualsPowerTimesTime)
+{
+    TieArchConfig cfg;
+    TechModel tech = TechModel::cmos28();
+    SimStats s;
+    s.cycles = 2000;
+    s.mac_ops = 256 * s.cycles;
+    s.reg_writes = 512 * s.cycles;
+    s.weight_sram_reads = 16 * s.cycles;
+    s.working_sram_reads = 16 * s.cycles;
+
+    const double e_nj = computeEnergyNj(s, cfg, tech);
+    const double p_mw = computePower(s, cfg, tech).totalMw();
+    const double seconds = s.cycles / (cfg.freq_mhz * 1e6);
+    EXPECT_NEAR(e_nj, p_mw * 1e-3 * seconds * 1e9, 1e-9);
+}
+
+TEST(PerfReport, EffectiveThroughputUsesDenseEquivalentOps)
+{
+    TieArchConfig cfg;
+    SimStats s;
+    s.cycles = 1000; // 1 us at 1 GHz
+    PerfReport r = makePerfReport(s, 4096, 4096, cfg, TechModel::cmos28());
+    EXPECT_NEAR(r.latency_us, 1.0, 1e-12);
+    // 2 * 4096 * 4096 ops in 1 us = 33554 GOPS.
+    EXPECT_NEAR(r.effective_gops, 2.0 * 4096 * 4096 / 1e3, 1.0);
+    EXPECT_GT(r.area_mm2, 1.0);
+}
+
+TEST(PerfReport, EfficiencyRatiosConsistent)
+{
+    TieArchConfig cfg;
+    SimStats s;
+    s.cycles = 500;
+    s.mac_ops = 256 * s.cycles;
+    PerfReport r = makePerfReport(s, 256, 57600, cfg, TechModel::cmos28());
+    EXPECT_NEAR(r.gopsPerWatt(),
+                r.effective_gops / (r.power_mw / 1000.0), 1e-9);
+    EXPECT_NEAR(r.gopsPerMm2(), r.effective_gops / r.area_mm2, 1e-9);
+}
+
+TEST(SimStats, AddAccumulates)
+{
+    SimStats a, b;
+    a.cycles = 10;
+    a.mac_ops = 100;
+    b.cycles = 5;
+    b.mac_ops = 50;
+    b.stages.push_back({1, 5, 50, 0});
+    a.add(b);
+    EXPECT_EQ(a.cycles, 15u);
+    EXPECT_EQ(a.mac_ops, 150u);
+    EXPECT_EQ(a.stages.size(), 1u);
+}
+
+TEST(TechModel, FlopCountTracksDatapathState)
+{
+    TieArchConfig cfg;
+    // 256 MACs x (24b acc + 16b operand + 8b control) = 12288 flops.
+    EXPECT_EQ(tieFlopCount(cfg), 12288u);
+}
+
+} // namespace
+} // namespace tie

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the N-d tensor substrate: indexing, reshape, permute,
+ * matricisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+
+namespace tie {
+namespace {
+
+TensorD
+iotaTensor(std::vector<size_t> shape)
+{
+    TensorD t(std::move(shape));
+    for (size_t i = 0; i < t.numel(); ++i)
+        t.flat()[i] = static_cast<double>(i);
+    return t;
+}
+
+TEST(Tensor, ShapeAndStrides)
+{
+    TensorD t({2, 3, 4});
+    EXPECT_EQ(t.numel(), 24u);
+    EXPECT_EQ(t.strides(), (std::vector<size_t>{12, 4, 1}));
+}
+
+TEST(Tensor, RowMajorIndexing)
+{
+    TensorD t = iotaTensor({2, 3, 4});
+    EXPECT_DOUBLE_EQ(t.at({0, 0, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(t.at({0, 0, 3}), 3.0);
+    EXPECT_DOUBLE_EQ(t.at({0, 1, 0}), 4.0);
+    EXPECT_DOUBLE_EQ(t.at({1, 0, 0}), 12.0);
+    EXPECT_DOUBLE_EQ(t.at({1, 2, 3}), 23.0);
+}
+
+TEST(Tensor, OutOfRangeIndexAborts)
+{
+    TensorD t({2, 2});
+    EXPECT_DEATH(t.at({2, 0}), "out of range");
+    EXPECT_DEATH(t.at({0, 0, 0}), "rank mismatch");
+}
+
+TEST(Tensor, ReshapePreservesFlatOrder)
+{
+    TensorD t = iotaTensor({2, 6});
+    TensorD r = t.reshaped({3, 4});
+    EXPECT_EQ(r.shape(), (std::vector<size_t>{3, 4}));
+    EXPECT_DOUBLE_EQ(r.at({1, 1}), 5.0);
+    EXPECT_EQ(r.flat(), t.flat());
+}
+
+TEST(Tensor, ReshapeRejectsWrongCount)
+{
+    TensorD t({2, 3});
+    EXPECT_EXIT(t.reshaped({4, 2}), ::testing::ExitedWithCode(1),
+                "element count");
+}
+
+TEST(Tensor, PermuteTransposesMatrix)
+{
+    TensorD t = iotaTensor({2, 3});
+    TensorD p = t.permuted({1, 0});
+    EXPECT_EQ(p.shape(), (std::vector<size_t>{3, 2}));
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(p.at({j, i}), t.at({i, j}));
+}
+
+TEST(Tensor, PermuteThreeWay)
+{
+    TensorD t = iotaTensor({2, 3, 4});
+    TensorD p = t.permuted({2, 0, 1});
+    EXPECT_EQ(p.shape(), (std::vector<size_t>{4, 2, 3}));
+    for (size_t a = 0; a < 2; ++a)
+        for (size_t b = 0; b < 3; ++b)
+            for (size_t c = 0; c < 4; ++c)
+                EXPECT_DOUBLE_EQ(p.at({c, a, b}), t.at({a, b, c}));
+}
+
+TEST(Tensor, PermuteInverseRoundTrip)
+{
+    TensorD t = iotaTensor({2, 3, 4, 5});
+    std::vector<size_t> perm{3, 1, 0, 2};
+    // inverse[perm[k]] = k
+    std::vector<size_t> inv(perm.size());
+    for (size_t k = 0; k < perm.size(); ++k)
+        inv[perm[k]] = k;
+    TensorD round = t.permuted(perm).permuted(inv);
+    EXPECT_EQ(round.shape(), t.shape());
+    EXPECT_EQ(round.flat(), t.flat());
+}
+
+TEST(Tensor, PermuteRejectsInvalid)
+{
+    TensorD t({2, 3});
+    EXPECT_EXIT(t.permuted({0, 0}), ::testing::ExitedWithCode(1),
+                "invalid permutation");
+}
+
+TEST(Tensor, ToMatrixSplitsDimensions)
+{
+    TensorD t = iotaTensor({2, 3, 4});
+    MatrixD m = t.toMatrix(2);
+    EXPECT_EQ(m.rows(), 6u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_DOUBLE_EQ(m(1, 2), t.at({0, 1, 2}));
+    EXPECT_DOUBLE_EQ(m(5, 3), t.at({1, 2, 3}));
+}
+
+TEST(Tensor, FromMatrixRoundTrip)
+{
+    TensorD t = iotaTensor({3, 2, 2});
+    MatrixD m = t.toMatrix(1);
+    TensorD back = TensorD::fromMatrix(m, {3, 2, 2});
+    EXPECT_EQ(back.flat(), t.flat());
+}
+
+TEST(Tensor, ShapeNumelOfEmptyShapeIsOne)
+{
+    EXPECT_EQ(shapeNumel({}), 1u);
+}
+
+TEST(Tensor, ShapeToStringFormats)
+{
+    EXPECT_EQ(shapeToString({2, 7, 8}), "[2, 7, 8]");
+    EXPECT_EQ(shapeToString({}), "[]");
+}
+
+} // namespace
+} // namespace tie

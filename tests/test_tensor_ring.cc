@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the tensor-ring extension: slice decomposition, dense
+ * reconstruction, inference equivalence, TT as the R=1 special case,
+ * and the compression/cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tt/cost_model.hh"
+#include "tt/tensor_ring.hh"
+
+namespace tie {
+namespace {
+
+TrLayerConfig
+smallTr()
+{
+    TrLayerConfig cfg;
+    cfg.m = {2, 3, 2};
+    cfg.n = {3, 2, 2};
+    cfg.r = {3, 2, 2, 3}; // ring rank 3
+    return cfg;
+}
+
+TEST(TensorRing, ConfigArithmetic)
+{
+    TrLayerConfig cfg = smallTr();
+    EXPECT_EQ(cfg.outSize(), 12u);
+    EXPECT_EQ(cfg.inSize(), 12u);
+    EXPECT_EQ(cfg.ringRank(), 3u);
+    // params: 3*2*3*2 + 2*3*2*2 + 2*2*2*3 = 36 + 24 + 24.
+    EXPECT_EQ(cfg.trParamCount(), 84u);
+}
+
+TEST(TensorRing, ValidateRejectsMismatchedRing)
+{
+    TrLayerConfig cfg = smallTr();
+    cfg.r.back() = 2;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "ring rank");
+}
+
+TEST(TensorRing, DenseEqualsSumOfSlices)
+{
+    Rng rng(1);
+    TrMatrix tr = TrMatrix::random(smallTr(), rng);
+    MatrixD sum(tr.config().outSize(), tr.config().inSize());
+    for (size_t a = 0; a < tr.config().ringRank(); ++a)
+        sum = add(sum, tr.slice(a).toDense());
+    EXPECT_LT(maxAbsDiff(tr.toDense(), sum), 1e-12);
+}
+
+TEST(TensorRing, DenseMatchesTraceDefinition)
+{
+    Rng rng(2);
+    TrLayerConfig cfg = smallTr();
+    TrMatrix tr = TrMatrix::random(cfg, rng);
+    MatrixD w = tr.toDense();
+
+    // Spot-check a handful of entries against the literal trace of the
+    // slice chain product.
+    TtLayerConfig tshape;
+    tshape.m = cfg.m;
+    tshape.n = cfg.n;
+    tshape.r = cfg.r;
+    tshape.r.front() = tshape.r.back() = 1;
+
+    std::vector<std::vector<size_t>> is = {{0, 0, 0}, {1, 2, 1}};
+    std::vector<std::vector<size_t>> js = {{0, 0, 0}, {2, 1, 1}};
+    for (const auto &i : is) {
+        for (const auto &j : js) {
+            MatrixD chain = MatrixD::identity(cfg.ringRank());
+            for (size_t h = 1; h <= cfg.d(); ++h)
+                chain = matmul(chain,
+                               tr.core(h).slice(i[h - 1], j[h - 1]));
+            double trace = 0.0;
+            for (size_t a = 0; a < cfg.ringRank(); ++a)
+                trace += chain(a, a);
+            EXPECT_NEAR(w(tshape.yFlatIndex(i), tshape.xFlatIndex(j)),
+                        trace, 1e-10);
+        }
+    }
+}
+
+TEST(TensorRing, InferMatchesDense)
+{
+    Rng rng(3);
+    TrMatrix tr = TrMatrix::random(smallTr(), rng);
+    MatrixD w = tr.toDense();
+
+    MatrixD x(tr.config().inSize(), 3);
+    x.setNormal(rng);
+    MatrixD y = tr.infer(x);
+    MatrixD y_ref = matmul(w, x);
+    EXPECT_LT(maxAbsDiff(y, y_ref), 1e-9);
+}
+
+TEST(TensorRing, RingRankOneIsTt)
+{
+    Rng rng(4);
+    TrLayerConfig cfg = smallTr();
+    cfg.r.front() = cfg.r.back() = 1;
+    TrMatrix tr = TrMatrix::random(cfg, rng);
+    // With R = 1 the single slice IS the operator.
+    EXPECT_LT(maxAbsDiff(tr.toDense(), tr.slice(0).toDense()), 1e-12);
+}
+
+TEST(TensorRing, MultCountMatchesModel)
+{
+    Rng rng(5);
+    TrLayerConfig cfg = smallTr();
+    TrMatrix tr = TrMatrix::random(cfg, rng);
+    MatrixD x(cfg.inSize(), 1);
+    x.setNormal(rng);
+    InferStats stats;
+    tr.infer(x, &stats);
+    EXPECT_EQ(stats.mults, multTensorRing(cfg));
+}
+
+TEST(TensorRing, CompressionTradeoffVsTt)
+{
+    // At matched interior rank, TR costs R^... more parameters on the
+    // boundary cores but R x the multiplications — the known tradeoff
+    // the bench quantifies.
+    TrLayerConfig tr = TrLayerConfig::uniform(4, 4, 4, 4, 2);
+    TtLayerConfig tt = TtLayerConfig::uniform(4, 4, 4, 4);
+    EXPECT_GT(tr.trParamCount(), tt.ttParamCount());
+    EXPECT_EQ(multTensorRing(tr), 2 * multCompact(tt));
+}
+
+TEST(TensorRing, SliceIndexOutOfRangeIsFatal)
+{
+    Rng rng(6);
+    TrMatrix tr = TrMatrix::random(smallTr(), rng);
+    EXPECT_EXIT(tr.slice(3), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace tie

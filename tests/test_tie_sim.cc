@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the cycle-accurate TIE simulator: bit-exactness against the
+ * functional fixed-point reference, cycle counts against the closed
+ * form of Sec. 4.1, the zero-cost transform (no stalls on the paper's
+ * workloads), SRAM access accounting, and the memory subsystems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/tie_sim.hh"
+#include "tt/cost_model.hh"
+
+namespace tie {
+namespace {
+
+TtMatrixFxp
+makeQuantLayer(const TtLayerConfig &cfg, uint64_t seed)
+{
+    Rng rng(seed);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    return TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 10}, 6);
+}
+
+Matrix<int16_t>
+makeQuantInput(const TtLayerConfig &cfg, uint64_t seed)
+{
+    Rng rng(seed);
+    MatrixF x(cfg.inSize(), 1);
+    x.setUniform(rng, -1.0, 1.0);
+    return quantizeMatrix(x, FxpFormat{16, 10});
+}
+
+std::vector<TtLayerConfig>
+simConfigs()
+{
+    std::vector<TtLayerConfig> v;
+    {
+        TtLayerConfig c;
+        c.m = {2, 3};
+        c.n = {3, 2};
+        c.r = {1, 2, 1};
+        v.push_back(c);
+    }
+    {
+        TtLayerConfig c;
+        c.m = {3, 2, 4};
+        c.n = {2, 4, 3};
+        c.r = {1, 3, 2, 1};
+        v.push_back(c);
+    }
+    v.push_back(TtLayerConfig::uniform(4, 4, 4, 4));
+    {
+        TtLayerConfig c; // odd factors exercise padding lanes
+        c.m = {5, 3};
+        c.n = {7, 5};
+        c.r = {1, 3, 1};
+        v.push_back(c);
+    }
+    return v;
+}
+
+class TieSimBitExact : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(TieSimBitExact, MatchesFunctionalFixedPointReference)
+{
+    TtLayerConfig cfg = simConfigs()[GetParam()];
+    TtMatrixFxp tt = makeQuantLayer(cfg, 900 + GetParam());
+    Matrix<int16_t> x = makeQuantInput(cfg, 901 + GetParam());
+
+    TieSimulator sim;
+    TieSimResult res = sim.runLayer(tt, x);
+    Matrix<int16_t> ref = compactInferFxp(tt, x);
+
+    ASSERT_EQ(res.output.rows(), ref.rows());
+    for (size_t i = 0; i < ref.rows(); ++i)
+        EXPECT_EQ(res.output(i, 0), ref(i, 0)) << "row " << i;
+}
+
+TEST_P(TieSimBitExact, CycleCountMatchesClosedFormPlusStalls)
+{
+    TtLayerConfig cfg = simConfigs()[GetParam()];
+    TtMatrixFxp tt = makeQuantLayer(cfg, 910 + GetParam());
+    Matrix<int16_t> x = makeQuantInput(cfg, 911 + GetParam());
+
+    TieSimulator sim;
+    TieSimResult res = sim.runLayer(tt, x);
+    const size_t analytic =
+        TieSimulator::analyticCycles(cfg, sim.config());
+    EXPECT_EQ(res.stats.cycles, analytic + res.stats.stall_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, TieSimBitExact,
+                         ::testing::Range<size_t>(0, 4));
+
+TEST(TieSim, ReluAppliesOnlyAtFinalStage)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(2, 2, 3, 2);
+    TtMatrixFxp tt = makeQuantLayer(cfg, 77);
+    Matrix<int16_t> x = makeQuantInput(cfg, 78);
+
+    TieSimulator sim;
+    Matrix<int16_t> plain = sim.runLayer(tt, x, false).output;
+    Matrix<int16_t> relu = sim.runLayer(tt, x, true).output;
+
+    bool saw_negative = false;
+    for (size_t i = 0; i < plain.rows(); ++i) {
+        EXPECT_EQ(relu(i, 0), plain(i, 0) < 0 ? 0 : plain(i, 0));
+        saw_negative |= plain(i, 0) < 0;
+    }
+    EXPECT_TRUE(saw_negative); // otherwise the test proves nothing
+}
+
+TEST(TieSim, PaperBenchmarksRunStallFree)
+{
+    // The working-SRAM read scheme must deliver the transform at zero
+    // cycle cost (Sec. 4.4) for all four Table-4 benchmark layers.
+    std::vector<TtLayerConfig> layers;
+    {
+        TtLayerConfig fc6;
+        fc6.m = {4, 4, 4, 4, 4, 4};
+        fc6.n = {2, 7, 8, 8, 7, 4};
+        fc6.r = {1, 4, 4, 4, 4, 4, 1};
+        layers.push_back(fc6);
+    }
+    layers.push_back(TtLayerConfig::uniform(6, 4, 4, 4)); // FC7
+    {
+        TtLayerConfig ucf;
+        ucf.m = {4, 4, 4, 4};
+        ucf.n = {8, 20, 20, 18};
+        ucf.r = {1, 4, 4, 4, 1};
+        layers.push_back(ucf);
+    }
+    {
+        TtLayerConfig yt;
+        yt.m = {4, 4, 4, 4};
+        yt.n = {4, 20, 20, 36};
+        yt.r = {1, 4, 4, 4, 1};
+        layers.push_back(yt);
+    }
+
+    TieArchConfig cfg;
+    for (const auto &layer : layers) {
+        SimStats s = TieSimulator::analyticStats(layer, cfg);
+        EXPECT_EQ(s.stall_cycles, 0u) << layer.toString();
+        EXPECT_EQ(s.cycles, TieSimulator::analyticCycles(layer, cfg))
+            << layer.toString();
+    }
+}
+
+TEST(TieSim, Fc7LatencyMatchesHandModel)
+{
+    // FC7 (uniform 4/4/4, d=6): per-stage cycles
+    //   h=6: 1 * 64 * 4 = 256        h=5..2: 1 * blocks * 16
+    TtLayerConfig fc7 = TtLayerConfig::uniform(6, 4, 4, 4);
+    TieArchConfig cfg;
+    size_t expect = 0;
+    for (size_t h = 6; h >= 1; --h) {
+        const size_t rb = (fc7.coreRows(h) + 15) / 16;
+        const size_t cb = (fc7.stageCols(h) + 15) / 16;
+        expect += rb * cb * fc7.coreCols(h) + cfg.stage_switch_cycles;
+    }
+    EXPECT_EQ(TieSimulator::analyticCycles(fc7, cfg), expect);
+    // Sanity: a few thousand cycles, i.e. microseconds at 1 GHz —
+    // the regime the paper's throughput numbers live in.
+    EXPECT_GT(expect, 1000u);
+    EXPECT_LT(expect, 20000u);
+}
+
+TEST(TieSim, MacOpsMatchOccupiedSchedule)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(3, 2, 2, 2);
+    TtMatrixFxp tt = makeQuantLayer(cfg, 33);
+    Matrix<int16_t> x = makeQuantInput(cfg, 34);
+
+    TieSimulator sim;
+    TieSimResult res = sim.runLayer(tt, x);
+    // Every non-stall, non-switch cycle issues all NPE*NMAC MACs.
+    const size_t switch_total =
+        sim.config().stage_switch_cycles * cfg.d();
+    const size_t busy =
+        res.stats.cycles - switch_total - res.stats.stall_cycles;
+    EXPECT_EQ(res.stats.mac_ops, busy * sim.config().macsTotal());
+}
+
+TEST(TieSim, WeightReadsOncePerCycle)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(3, 2, 2, 2);
+    TtMatrixFxp tt = makeQuantLayer(cfg, 35);
+    Matrix<int16_t> x = makeQuantInput(cfg, 36);
+
+    TieSimulator sim;
+    TieSimResult res = sim.runLayer(tt, x);
+    const size_t switch_total =
+        sim.config().stage_switch_cycles * cfg.d();
+    const size_t busy =
+        res.stats.cycles - switch_total - res.stats.stall_cycles;
+    EXPECT_EQ(res.stats.weight_sram_reads, busy * sim.config().n_mac);
+}
+
+TEST(TieSim, WorkingSramWritesCoverAllIntermediates)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(3, 2, 2, 2);
+    TtMatrixFxp tt = makeQuantLayer(cfg, 37);
+    Matrix<int16_t> x = makeQuantInput(cfg, 38);
+
+    TieSimulator sim;
+    TieSimResult res = sim.runLayer(tt, x);
+    size_t expect = 0;
+    for (size_t h = 1; h <= cfg.d(); ++h)
+        expect += cfg.coreRows(h) * cfg.stageCols(h);
+    EXPECT_EQ(res.stats.working_sram_writes, expect);
+}
+
+TEST(TieSim, OversizedLayerIsUserFatal)
+{
+    // d=2 with huge factors: cores alone exceed the 16 KB weight SRAM.
+    TtLayerConfig cfg;
+    cfg.m = {64, 64};
+    cfg.n = {64, 64};
+    cfg.r = {1, 16, 1};
+    TtMatrixFxp tt = makeQuantLayer(cfg, 39);
+    Matrix<int16_t> x(cfg.inSize(), 1);
+    TieSimulator sim;
+    EXPECT_EXIT(sim.runLayer(tt, x), ::testing::ExitedWithCode(1),
+                "weight SRAM");
+}
+
+TEST(TieSim, SmallerPeArrayTakesProportionallyLonger)
+{
+    TtLayerConfig layer = TtLayerConfig::uniform(4, 4, 4, 4);
+    TieArchConfig big;
+    TieArchConfig small;
+    small.n_pe = 4;
+    const size_t c_big = TieSimulator::analyticCycles(layer, big);
+    const size_t c_small = TieSimulator::analyticCycles(layer, small);
+    EXPECT_GT(c_small, 2 * c_big);
+    EXPECT_LE(c_small, 4 * c_big + 64);
+}
+
+TEST(WorkingSramUnit, GatherDetectsBankConflicts)
+{
+    WorkingSram ws(1024, 4, 4); // 4 banks, 4-word rows
+    ws.configure(8, 8);
+    std::vector<int16_t> vals{1, 2, 3, 4};
+    for (size_t p = 0; p < 8; ++p) {
+        ws.writeRow(p, 0, vals);
+        ws.writeRow(p, 4, vals);
+    }
+
+    // Rows 0 and 4 share bank 0: same-bank different physical rows.
+    auto conflicted = ws.gather({{0, 0}, {4, 0}});
+    EXPECT_EQ(conflicted.cycles, 2u);
+
+    // Rows 0-3 are in distinct banks: parallel.
+    auto parallel = ws.gather({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+    EXPECT_EQ(parallel.cycles, 1u);
+    EXPECT_EQ(parallel.row_reads, 4u);
+}
+
+TEST(WorkingSramUnit, PaddingLanesReadZeroAndCostNothing)
+{
+    WorkingSram ws(1024, 4, 4);
+    ws.configure(4, 4);
+    ws.writeRow(0, 0, {5, 6, 7, 8});
+    auto g = ws.gather({{0, 0}, {99, 0}, {0, 99}});
+    EXPECT_EQ(g.values[0], 5);
+    EXPECT_EQ(g.values[1], 0);
+    EXPECT_EQ(g.values[2], 0);
+    EXPECT_EQ(g.row_reads, 1u);
+}
+
+TEST(WorkingSramUnit, CapacityOverflowIsUserFatal)
+{
+    WorkingSram ws(256, 4, 4); // 128 words total, 32 per bank
+    EXPECT_EXIT(ws.configure(64, 64), ::testing::ExitedWithCode(1),
+                "exceeds");
+}
+
+TEST(WeightSramUnit, InterleavedLayoutRoundTrips)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(2, 3, 2, 2);
+    TtMatrixFxp tt = makeQuantLayer(cfg, 41);
+
+    WeightSram ws(16 * 1024, 4);
+    ws.loadLayer(tt);
+    for (size_t h = 1; h <= cfg.d(); ++h) {
+        const auto &g = tt.cores[h - 1];
+        const size_t blocks = (g.rows() + 3) / 4;
+        for (size_t rb = 0; rb < blocks; ++rb) {
+            for (size_t k = 0; k < g.cols(); ++k) {
+                const auto &col = ws.readColumn(h, rb, k);
+                for (size_t i = 0; i < 4; ++i) {
+                    const size_t row = rb * 4 + i;
+                    const int16_t expect =
+                        row < g.rows() ? g(row, k) : int16_t(0);
+                    EXPECT_EQ(col[i], expect)
+                        << "h=" << h << " rb=" << rb << " k=" << k;
+                }
+            }
+        }
+    }
+}
+
+TEST(PeArrayUnit, AccumulatesOuterProducts)
+{
+    PeArray pes(2, 3);
+    MacFormat fmt;
+    fmt.product_shift = 0;
+    pes.resetAccumulators();
+    pes.step({1, 2, 3}, {10, 20}, fmt);
+    pes.step({1, 1, 1}, {5, 5}, fmt);
+    // MAC (i, p): w_i * a_p summed over steps.
+    MacFormat out_fmt = fmt;
+    out_fmt.act_out.frac_bits = fmt.accFracBits();
+    EXPECT_EQ(pes.result(0, 0, out_fmt, false), 15); // 1*10 + 1*5
+    EXPECT_EQ(pes.result(2, 1, out_fmt, false), 65); // 3*20 + 1*5
+    EXPECT_EQ(pes.macOps(), 12u);
+}
+
+} // namespace
+} // namespace tie

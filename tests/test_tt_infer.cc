@@ -1,0 +1,344 @@
+/**
+ * @file
+ * The core correctness properties of the paper's contribution: the
+ * naive (Eqn. 2), partially-parallel (Fig. 5) and compact (Algorithm 1)
+ * schemes all compute the same function, the compact scheme's measured
+ * multiplication counts match the analytical model, the inter-stage
+ * Transform equals the paper's 4-step procedure, and the fixed-point
+ * path stays close to float.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tt/cost_model.hh"
+#include "tt/tt_infer.hh"
+#include "tt/tt_svd.hh"
+
+namespace tie {
+namespace {
+
+struct Case
+{
+    TtLayerConfig cfg;
+    const char *name;
+};
+
+std::vector<Case>
+smallConfigs()
+{
+    std::vector<Case> cases;
+    {
+        TtLayerConfig c;
+        c.m = {2, 3};
+        c.n = {3, 2};
+        c.r = {1, 2, 1};
+        cases.push_back({c, "d2_asym"});
+    }
+    {
+        TtLayerConfig c;
+        c.m = {2, 2, 2};
+        c.n = {2, 2, 2};
+        c.r = {1, 2, 3, 1};
+        cases.push_back({c, "d3_mixed_rank"});
+    }
+    {
+        TtLayerConfig c;
+        c.m = {3, 2, 4};
+        c.n = {2, 4, 3};
+        c.r = {1, 3, 2, 1};
+        cases.push_back({c, "d3_asym"});
+    }
+    {
+        TtLayerConfig c = TtLayerConfig::uniform(4, 2, 2, 2);
+        cases.push_back({c, "d4_uniform"});
+    }
+    {
+        TtLayerConfig c;
+        c.m = {5};
+        c.n = {7};
+        c.r = {1, 1};
+        cases.push_back({c, "d1_degenerate"});
+    }
+    {
+        TtLayerConfig c;
+        c.m = {1, 4};
+        c.n = {6, 1};
+        c.r = {1, 3, 1};
+        cases.push_back({c, "unit_factors"});
+    }
+    return cases;
+}
+
+class SchemeEquivalence : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(SchemeEquivalence, AllSchemesMatchDense)
+{
+    Case c = smallConfigs()[GetParam()];
+    Rng rng(1000 + GetParam());
+    TtMatrix tt = TtMatrix::random(c.cfg, rng);
+    MatrixD w = tt.toDense();
+
+    std::vector<double> x(c.cfg.inSize());
+    for (auto &v : x)
+        v = rng.normal();
+
+    auto y_dense = matVec(w, x);
+    auto y_naive = naiveInfer(tt, x);
+    auto y_partial = partialParallelInfer(tt, x);
+    auto y_compact = compactInferVec(tt, x);
+
+    ASSERT_EQ(y_naive.size(), y_dense.size());
+    for (size_t i = 0; i < y_dense.size(); ++i) {
+        EXPECT_NEAR(y_naive[i], y_dense[i], 1e-9) << c.name << " i=" << i;
+        EXPECT_NEAR(y_partial[i], y_dense[i], 1e-9)
+            << c.name << " i=" << i;
+        EXPECT_NEAR(y_compact[i], y_dense[i], 1e-9)
+            << c.name << " i=" << i;
+    }
+}
+
+TEST_P(SchemeEquivalence, MeasuredMultCountsMatchModel)
+{
+    Case c = smallConfigs()[GetParam()];
+    Rng rng(2000 + GetParam());
+    TtMatrix tt = TtMatrix::random(c.cfg, rng);
+    std::vector<double> x(c.cfg.inSize(), 1.0);
+
+    InferStats naive_stats, partial_stats, compact_stats;
+    naiveInfer(tt, x, &naive_stats);
+    partialParallelInfer(tt, x, &partial_stats);
+    compactInferVec(tt, x, &compact_stats);
+
+    EXPECT_EQ(naive_stats.mults, multNaive(c.cfg)) << c.name;
+    EXPECT_EQ(partial_stats.mults, multPartialParallel(c.cfg)) << c.name;
+    EXPECT_EQ(compact_stats.mults, multCompact(c.cfg)) << c.name;
+
+    // Per-stage breakdown agrees too.
+    auto per = multCompactPerStage(c.cfg);
+    ASSERT_EQ(compact_stats.stage_mults.size(), per.size());
+    for (size_t i = 0; i < per.size(); ++i)
+        EXPECT_EQ(compact_stats.stage_mults[i], per[i]) << c.name;
+}
+
+TEST_P(SchemeEquivalence, CompactNeverUsesMoreMultsThanOthers)
+{
+    Case c = smallConfigs()[GetParam()];
+    EXPECT_LE(multCompact(c.cfg), multNaive(c.cfg)) << c.name;
+    EXPECT_LE(multCompact(c.cfg), multPartialParallel(c.cfg)) << c.name;
+    EXPECT_GE(multCompact(c.cfg), multTheoreticalMin(c.cfg)) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SchemeEquivalence,
+                         ::testing::Range<size_t>(0, 6));
+
+TEST(CompactInfer, BatchedEqualsPerSample)
+{
+    TtLayerConfig cfg;
+    cfg.m = {2, 3, 2};
+    cfg.n = {3, 2, 2};
+    cfg.r = {1, 2, 2, 1};
+    Rng rng(31);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+
+    const size_t batch = 5;
+    MatrixD x(cfg.inSize(), batch);
+    x.setNormal(rng);
+
+    MatrixD y_batch = compactInfer(tt, x);
+    for (size_t b = 0; b < batch; ++b) {
+        std::vector<double> xb(cfg.inSize());
+        for (size_t i = 0; i < xb.size(); ++i)
+            xb[i] = x(i, b);
+        auto yb = compactInferVec(tt, xb);
+        for (size_t i = 0; i < yb.size(); ++i)
+            EXPECT_NEAR(y_batch(i, b), yb[i], 1e-10);
+    }
+}
+
+TEST(Transform, FourStepMatchesIndexMap)
+{
+    TtLayerConfig cfg;
+    cfg.m = {2, 3, 2, 2};
+    cfg.n = {3, 2, 2, 3};
+    cfg.r = {1, 2, 3, 2, 1};
+    Rng rng(37);
+
+    for (size_t h = 2; h <= cfg.d(); ++h) {
+        MatrixD v(cfg.m[h - 1] * cfg.r[h - 1], cfg.stageCols(h));
+        v.setNormal(rng);
+        TransformSpec spec = makeStageTransform(cfg, h);
+        MatrixD by_map = applyTransform(spec, v);
+        MatrixD by_steps = transformFourStep(cfg, h, v);
+        EXPECT_EQ(by_map.rows(), by_steps.rows()) << "h=" << h;
+        EXPECT_EQ(by_map.cols(), by_steps.cols()) << "h=" << h;
+        EXPECT_LT(maxAbsDiff(by_map, by_steps), 1e-12) << "h=" << h;
+    }
+}
+
+TEST(Transform, SpecIsAPermutation)
+{
+    TtLayerConfig cfg;
+    cfg.m = {3, 2, 4};
+    cfg.n = {2, 3, 2};
+    cfg.r = {1, 3, 2, 1};
+    for (size_t h = 2; h <= cfg.d(); ++h) {
+        TransformSpec spec = makeStageTransform(cfg, h);
+        ASSERT_EQ(spec.src_of_dst.size(), spec.rows_in * spec.cols_in);
+        std::vector<bool> seen(spec.src_of_dst.size(), false);
+        for (size_t src : spec.src_of_dst) {
+            ASSERT_LT(src, seen.size());
+            EXPECT_FALSE(seen[src]);
+            seen[src] = true;
+        }
+    }
+}
+
+TEST(Transform, InverseUndoesTransform)
+{
+    TtLayerConfig cfg;
+    cfg.m = {2, 2, 3};
+    cfg.n = {3, 2, 2};
+    cfg.r = {1, 2, 2, 1};
+    Rng rng(41);
+    for (size_t h = 2; h <= cfg.d(); ++h) {
+        TransformSpec spec = makeStageTransform(cfg, h);
+        TransformSpec inv = invertTransform(spec);
+        MatrixD v(spec.rows_in, spec.cols_in);
+        v.setNormal(rng);
+        MatrixD round = applyTransform(inv, applyTransform(spec, v));
+        EXPECT_LT(maxAbsDiff(round, v), 1e-15);
+    }
+}
+
+TEST(Transform, BatchedMatchesBlockwise)
+{
+    TtLayerConfig cfg;
+    cfg.m = {2, 3};
+    cfg.n = {3, 2};
+    cfg.r = {1, 2, 1};
+    Rng rng(43);
+    TransformSpec spec = makeStageTransform(cfg, 2);
+
+    const size_t batch = 3;
+    MatrixD big(spec.rows_in, spec.cols_in * batch);
+    big.setNormal(rng);
+    MatrixD out = applyTransformBatched(spec, big, batch);
+
+    for (size_t b = 0; b < batch; ++b) {
+        MatrixD blk(spec.rows_in, spec.cols_in);
+        for (size_t r = 0; r < spec.rows_in; ++r)
+            for (size_t c = 0; c < spec.cols_in; ++c)
+                blk(r, c) = big(r, b * spec.cols_in + c);
+        MatrixD ref = applyTransform(spec, blk);
+        for (size_t r = 0; r < ref.rows(); ++r)
+            for (size_t c = 0; c < ref.cols(); ++c)
+                EXPECT_DOUBLE_EQ(out(r, b * spec.cols_out + c),
+                                 ref(r, c));
+    }
+}
+
+TEST(CompactInferFxp, TracksFloatWithinQuantisationError)
+{
+    TtLayerConfig cfg;
+    cfg.m = {2, 2, 2};
+    cfg.n = {2, 3, 2};
+    cfg.r = {1, 2, 2, 1};
+    Rng rng(47);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+
+    FxpFormat act{16, 10};
+    TtMatrixFxp ttq = TtMatrixFxp::quantizeAuto(tt, act, 6);
+
+    MatrixF xf(cfg.inSize(), 2);
+    xf.setUniform(rng, -1.0, 1.0);
+    Matrix<int16_t> xq = quantizeMatrix(xf, act);
+
+    Matrix<int16_t> yq = compactInferFxp(ttq, xq);
+    MatrixF y = dequantizeMatrix(yq, act);
+    MatrixD y_ref = compactInfer(tt, xf.cast<double>());
+
+    EXPECT_LT(maxAbsDiff(y.cast<double>(), y_ref), 0.05);
+}
+
+TEST(CompactInferFxp, MultCountMatchesModel)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(3, 2, 3, 2);
+    Rng rng(53);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    TtMatrixFxp ttq = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 10});
+    Matrix<int16_t> x(cfg.inSize(), 1);
+
+    InferStats stats;
+    compactInferFxp(ttq, x, &stats);
+    EXPECT_EQ(stats.mults, multCompact(cfg));
+}
+
+TEST(CompactInferFxp, MismatchedStageFormatsAreFatal)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(2, 2, 2, 2);
+    Rng rng(59);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    TtMatrixFxp ttq = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 10});
+    ttq.stage_fmt[1].act_out.frac_bits = 4; // break the chain
+    Matrix<int16_t> x(cfg.inSize(), 1);
+    EXPECT_EXIT(compactInferFxp(ttq, x), ::testing::ExitedWithCode(1),
+                "act_out format");
+}
+
+TEST(CompactInfer, LinearityInInput)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(3, 2, 2, 2);
+    Rng rng(61);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    std::vector<double> x1(cfg.inSize()), x2(cfg.inSize());
+    for (auto &v : x1)
+        v = rng.normal();
+    for (auto &v : x2)
+        v = rng.normal();
+
+    std::vector<double> x_sum(cfg.inSize());
+    for (size_t i = 0; i < x_sum.size(); ++i)
+        x_sum[i] = 2.0 * x1[i] - 3.0 * x2[i];
+
+    auto y1 = compactInferVec(tt, x1);
+    auto y2 = compactInferVec(tt, x2);
+    auto ys = compactInferVec(tt, x_sum);
+    for (size_t i = 0; i < ys.size(); ++i)
+        EXPECT_NEAR(ys[i], 2.0 * y1[i] - 3.0 * y2[i], 1e-9);
+}
+
+TEST(CompactInfer, WrongInputSizeIsFatal)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(2, 2, 2, 2);
+    Rng rng(67);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    MatrixD x(cfg.inSize() + 1, 1);
+    EXPECT_EXIT(compactInfer(tt, x), ::testing::ExitedWithCode(1),
+                "input rows");
+}
+
+TEST(CompactInfer, PaperScaleLayerAgainstDenseSpotChecks)
+{
+    // A mid-size layer where densifying is still feasible: checks the
+    // compact scheme end-to-end at realistic d and mixed factors.
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4};
+    cfg.n = {4, 8, 8};
+    cfg.r = {1, 4, 4, 1};
+    Rng rng(71);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    MatrixD w = tt.toDense();
+
+    std::vector<double> x(cfg.inSize());
+    for (auto &v : x)
+        v = rng.normal();
+    auto y = compactInferVec(tt, x);
+    auto y_ref = matVec(w, x);
+    ASSERT_EQ(y.size(), 64u);
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], y_ref[i], 1e-8);
+}
+
+} // namespace
+} // namespace tie

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for TT model serialisation: lossless round trips, corruption
+ * detection, and file-level wrappers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tt/tt_infer.hh"
+#include "tt/tt_io.hh"
+
+namespace tie {
+namespace {
+
+TtMatrix
+sample(uint64_t seed)
+{
+    Rng rng(seed);
+    TtLayerConfig cfg;
+    cfg.m = {3, 2, 4};
+    cfg.n = {2, 4, 3};
+    cfg.r = {1, 3, 2, 1};
+    return TtMatrix::random(cfg, rng);
+}
+
+TEST(TtIo, StreamRoundTripIsLossless)
+{
+    TtMatrix tt = sample(1);
+    std::stringstream ss;
+    saveTtMatrix(tt, ss);
+    TtMatrix back = loadTtMatrix(ss);
+
+    EXPECT_EQ(back.config(), tt.config());
+    for (size_t h = 1; h <= tt.d(); ++h)
+        EXPECT_EQ(back.core(h).unfolded(), tt.core(h).unfolded());
+}
+
+TEST(TtIo, FileRoundTrip)
+{
+    TtMatrix tt = sample(2);
+    const std::string path = "/tmp/tie_test_model.ttm";
+    saveTtMatrixFile(tt, path);
+    TtMatrix back = loadTtMatrixFile(path);
+    EXPECT_LT(maxAbsDiff(back.toDense(), tt.toDense()), 0.0 + 1e-15);
+    std::remove(path.c_str());
+}
+
+TEST(TtIo, BadMagicIsFatal)
+{
+    std::stringstream ss;
+    uint64_t junk = 0xdeadbeef;
+    ss.write(reinterpret_cast<const char *>(&junk), sizeof(junk));
+    ss.write(reinterpret_cast<const char *>(&junk), sizeof(junk));
+    EXPECT_EXIT(loadTtMatrix(ss), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TtIo, TruncatedStreamIsFatal)
+{
+    TtMatrix tt = sample(3);
+    std::stringstream ss;
+    saveTtMatrix(tt, ss);
+    std::string full = ss.str();
+    std::stringstream cut(full.substr(0, full.size() / 2));
+    EXPECT_EXIT(loadTtMatrix(cut), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(TtIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadTtMatrixFile("/nonexistent/dir/x.ttm"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TtIo, RoundTripPreservesInference)
+{
+    TtMatrix tt = sample(4);
+    std::stringstream ss;
+    saveTtMatrix(tt, ss);
+    TtMatrix back = loadTtMatrix(ss);
+
+    Rng rng(5);
+    std::vector<double> x(tt.config().inSize());
+    for (auto &v : x)
+        v = rng.normal();
+    auto y1 = compactInferVec(tt, x);
+    auto y2 = compactInferVec(back, x);
+    for (size_t i = 0; i < y1.size(); ++i)
+        EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+} // namespace
+} // namespace tie

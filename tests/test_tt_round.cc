@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for TT rounding: exactness when ranks suffice, quasi-optimal
+ * error versus re-decomposition when they don't, and monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tt/tt_infer.hh"
+#include "tt/tt_round.hh"
+#include "tt/tt_svd.hh"
+
+namespace tie {
+namespace {
+
+TtLayerConfig
+cfg323()
+{
+    TtLayerConfig cfg;
+    cfg.m = {3, 2, 3};
+    cfg.n = {2, 3, 2};
+    cfg.r = {1, 4, 4, 1};
+    return cfg;
+}
+
+TEST(TtRound, IdentityWhenRanksSuffice)
+{
+    Rng rng(1);
+    TtMatrix tt = TtMatrix::random(cfg323(), rng);
+    TtMatrix rounded = ttRound(tt, 8); // >= existing ranks
+    EXPECT_LT(maxAbsDiff(rounded.toDense(), tt.toDense()), 1e-9);
+    // Ranks can only have shrunk (maximal TT ranks of the shape).
+    for (size_t k = 0; k <= tt.d(); ++k)
+        EXPECT_LE(rounded.config().r[k], 8u);
+}
+
+TEST(TtRound, DetectsArtificiallyInflatedRanks)
+{
+    // Build a rank-2 operator, embed it in rank-4 cores (zero padding),
+    // and round: the true rank must be recovered exactly.
+    Rng rng(2);
+    TtLayerConfig low = cfg323();
+    low.r = {1, 2, 2, 1};
+    TtMatrix gen = TtMatrix::random(low, rng);
+
+    TtLayerConfig high = cfg323();
+    TtMatrix padded(high);
+    for (size_t h = 1; h <= 3; ++h) {
+        const TtCore &src = gen.core(h);
+        TtCore &dst = padded.core(h);
+        for (size_t a = 0; a < src.rPrev(); ++a)
+            for (size_t i = 0; i < src.m(); ++i)
+                for (size_t j = 0; j < src.n(); ++j)
+                    for (size_t b = 0; b < src.rNext(); ++b)
+                        dst.at(a, i, j, b) = src.at(a, i, j, b);
+    }
+    EXPECT_LT(maxAbsDiff(padded.toDense(), gen.toDense()), 1e-12);
+
+    TtMatrix rounded = ttRound(padded, 4, 1e-10);
+    EXPECT_EQ(rounded.config().r, low.r);
+    EXPECT_LT(maxAbsDiff(rounded.toDense(), gen.toDense()), 1e-9);
+}
+
+TEST(TtRound, TruncationErrorMatchesFreshDecomposition)
+{
+    // Rounding a full-rank TT to rank r should be about as good as
+    // TT-SVD of the dense operator at rank r (both are quasi-optimal).
+    Rng rng(3);
+    TtLayerConfig full = cfg323();
+    full.r = {1, 6, 6, 1};
+    TtMatrix tt = TtMatrix::random(full, rng);
+    MatrixD w = tt.toDense();
+
+    TtLayerConfig capped = cfg323();
+    capped.r = {1, 2, 2, 1};
+
+    TtMatrix rounded = ttRound(tt, 2);
+    TtMatrix fresh = ttSvdMatrix(w, capped);
+
+    const double err_rounded = relativeError(rounded.toDense(), w);
+    const double err_fresh = relativeError(fresh.toDense(), w);
+    EXPECT_LT(err_rounded, err_fresh * 1.05 + 1e-12);
+}
+
+TEST(TtRound, ErrorDecreasesWithRank)
+{
+    Rng rng(4);
+    TtLayerConfig full = cfg323();
+    full.r = {1, 6, 6, 1};
+    TtMatrix tt = TtMatrix::random(full, rng);
+    MatrixD w = tt.toDense();
+
+    double prev = 1e9;
+    for (size_t r : {1u, 2u, 3u, 4u, 6u}) {
+        double err = relativeError(ttRound(tt, r).toDense(), w);
+        EXPECT_LE(err, prev + 1e-12) << "rank " << r;
+        prev = err;
+    }
+    EXPECT_LT(prev, 1e-9);
+}
+
+TEST(TtRound, PerBondBudgets)
+{
+    Rng rng(5);
+    TtLayerConfig full = cfg323();
+    full.r = {1, 5, 5, 1};
+    TtMatrix tt = TtMatrix::random(full, rng);
+    TtMatrix rounded = ttRound(tt, {1, 3, 2, 1});
+    EXPECT_LE(rounded.config().r[1], 3u);
+    EXPECT_LE(rounded.config().r[2], 2u);
+}
+
+TEST(TtRound, RoundedModelStillInfersCorrectly)
+{
+    Rng rng(6);
+    TtLayerConfig full = cfg323();
+    full.r = {1, 6, 6, 1};
+    TtMatrix tt = TtMatrix::random(full, rng);
+    TtMatrix rounded = ttRound(tt, 3);
+
+    std::vector<double> x(full.inSize());
+    for (auto &v : x)
+        v = rng.normal();
+    auto y = compactInferVec(rounded, x);
+    auto y_ref = matVec(rounded.toDense(), x);
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], y_ref[i], 1e-9);
+}
+
+} // namespace
+} // namespace tie

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for TT shape/rank configuration, the paper's compression-ratio
+ * numbers (Table 4) and the analytical cost model (Eqns. 3 and 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tt/cost_model.hh"
+#include "tt/tt_shape.hh"
+
+namespace tie {
+namespace {
+
+TtLayerConfig
+vggFc6()
+{
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4, 4, 4, 4};
+    cfg.n = {2, 7, 8, 8, 7, 4};
+    cfg.r = {1, 4, 4, 4, 4, 4, 1};
+    return cfg;
+}
+
+TtLayerConfig
+vggFc7()
+{
+    return TtLayerConfig::uniform(6, 4, 4, 4);
+}
+
+TtLayerConfig
+lstmUcf11()
+{
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4, 4};
+    cfg.n = {8, 20, 20, 18};
+    cfg.r = {1, 4, 4, 4, 1};
+    return cfg;
+}
+
+TtLayerConfig
+lstmYoutube()
+{
+    TtLayerConfig cfg;
+    cfg.m = {4, 4, 4, 4};
+    cfg.n = {4, 20, 20, 36};
+    cfg.r = {1, 4, 4, 4, 1};
+    return cfg;
+}
+
+TEST(TtShape, SizesOfPaperBenchmarks)
+{
+    EXPECT_EQ(vggFc6().outSize(), 4096u);
+    EXPECT_EQ(vggFc6().inSize(), 25088u);
+    EXPECT_EQ(vggFc7().outSize(), 4096u);
+    EXPECT_EQ(vggFc7().inSize(), 4096u);
+    EXPECT_EQ(lstmUcf11().inSize(), 57600u);
+    EXPECT_EQ(lstmUcf11().outSize(), 256u);
+    EXPECT_EQ(lstmYoutube().inSize(), 57600u);
+}
+
+TEST(TtShape, TtParamCounts)
+{
+    // Hand-computed: sum_k r_{k-1} m_k n_k r_k.
+    EXPECT_EQ(vggFc6().ttParamCount(), 2016u);
+    EXPECT_EQ(vggFc7().ttParamCount(), 1152u);
+    EXPECT_EQ(lstmUcf11().ttParamCount(), 2976u);
+    EXPECT_EQ(lstmYoutube().ttParamCount(), 3200u);
+}
+
+TEST(TtShape, CompressionRatiosMatchPaperTable4)
+{
+    // Table 4 reports 50972x, 14564x, 4954x, 4608x.
+    EXPECT_NEAR(vggFc6().compressionRatio(), 50972.0, 1.0);
+    EXPECT_NEAR(vggFc7().compressionRatio(), 14564.0, 1.0);
+    EXPECT_NEAR(lstmUcf11().compressionRatio(), 4954.0, 1.0);
+    EXPECT_NEAR(lstmYoutube().compressionRatio(), 4608.0, 0.5);
+}
+
+TEST(TtShape, ValidateRejectsBadConfigs)
+{
+    TtLayerConfig bad = vggFc7();
+    bad.r.front() = 2;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "boundary ranks");
+
+    TtLayerConfig bad2 = vggFc7();
+    bad2.n.pop_back();
+    EXPECT_EXIT(bad2.validate(), ::testing::ExitedWithCode(1),
+                "equal length");
+
+    TtLayerConfig bad3 = vggFc7();
+    bad3.r.pop_back();
+    EXPECT_EXIT(bad3.validate(), ::testing::ExitedWithCode(1), "d\\+1");
+}
+
+TEST(TtShape, PrefixSuffixProducts)
+{
+    TtLayerConfig cfg = vggFc6();
+    EXPECT_EQ(cfg.nPrefixProd(1), 1u);
+    EXPECT_EQ(cfg.nPrefixProd(2), 2u);
+    EXPECT_EQ(cfg.nPrefixProd(6), 2u * 7 * 8 * 8 * 7);
+    EXPECT_EQ(cfg.nPrefixProd(7), 25088u);
+    EXPECT_EQ(cfg.mSuffixProd(6), 1u);
+    EXPECT_EQ(cfg.mSuffixProd(5), 4u);
+    EXPECT_EQ(cfg.mSuffixProd(0), 4096u);
+}
+
+TEST(TtShape, StageOperandShapes)
+{
+    TtLayerConfig cfg = vggFc6();
+    // Stage h = d = 6: G~ is (m6 r5) x (n6 r6) = 16 x 4, operand has
+    // prod n_{1..5} = 6272 columns.
+    EXPECT_EQ(cfg.coreRows(6), 16u);
+    EXPECT_EQ(cfg.coreCols(6), 4u);
+    EXPECT_EQ(cfg.stageCols(6), 6272u);
+    // Stage h = 1: G~ is (m1 r0) x (n1 r1) = 4 x 8.
+    EXPECT_EQ(cfg.coreRows(1), 4u);
+    EXPECT_EQ(cfg.coreCols(1), 8u);
+    EXPECT_EQ(cfg.stageCols(1), 1024u);
+}
+
+TEST(TtShape, FlatIndexBijections)
+{
+    TtLayerConfig cfg;
+    cfg.m = {2, 3, 2};
+    cfg.n = {3, 2, 4};
+    cfg.r = {1, 2, 2, 1};
+
+    std::vector<bool> seen_x(cfg.inSize(), false);
+    forEachIndex(cfg.n, [&](const std::vector<size_t> &j) {
+        size_t idx = cfg.xFlatIndex(j);
+        ASSERT_LT(idx, cfg.inSize());
+        EXPECT_FALSE(seen_x[idx]);
+        seen_x[idx] = true;
+    });
+
+    std::vector<bool> seen_y(cfg.outSize(), false);
+    forEachIndex(cfg.m, [&](const std::vector<size_t> &i) {
+        size_t idx = cfg.yFlatIndex(i);
+        ASSERT_LT(idx, cfg.outSize());
+        EXPECT_FALSE(seen_y[idx]);
+        seen_y[idx] = true;
+    });
+}
+
+TEST(TtShape, UniformFactory)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(4, 4, 8, 6);
+    EXPECT_EQ(cfg.d(), 4u);
+    EXPECT_EQ(cfg.outSize(), 256u);
+    EXPECT_EQ(cfg.inSize(), 4096u);
+    EXPECT_EQ(cfg.r, (std::vector<size_t>{1, 6, 6, 6, 1}));
+}
+
+TEST(TtShape, ForEachIndexVisitsAllInOrder)
+{
+    std::vector<std::vector<size_t>> seen;
+    forEachIndex({2, 3}, [&](const std::vector<size_t> &idx) {
+        seen.push_back(idx);
+    });
+    ASSERT_EQ(seen.size(), 6u);
+    EXPECT_EQ(seen.front(), (std::vector<size_t>{0, 0}));
+    EXPECT_EQ(seen[1], (std::vector<size_t>{0, 1}));
+    EXPECT_EQ(seen.back(), (std::vector<size_t>{1, 2}));
+}
+
+TEST(CostModel, NaiveCountMatchesEqn3ByHand)
+{
+    // FC7: M*N = 16777216, sum r_i r_{i-1} = 4+16*4+4 = 72.
+    EXPECT_EQ(multNaive(vggFc7()), 16777216ull * 72);
+}
+
+TEST(CostModel, TheoreticalMinimumFc7)
+{
+    // Hand-computed from Eqn. 7 (see DESIGN.md): 1,141,488.
+    EXPECT_EQ(multTheoreticalMin(vggFc7()), 1141488u);
+}
+
+TEST(CostModel, RedundancyRatioOrderOfMagnitude)
+{
+    // Paper Sec. 3.1 quotes ~1073x for the d=6, r=4 VGG layer; our
+    // exact evaluation of Eqns. 3/7 gives ~1058x for FC7.
+    double ratio = static_cast<double>(multNaive(vggFc7())) /
+                   static_cast<double>(multTheoreticalMin(vggFc7()));
+    EXPECT_GT(ratio, 1000.0);
+    EXPECT_LT(ratio, 1100.0);
+}
+
+TEST(CostModel, CompactWithinABoundaryTermOfMinimum)
+{
+    for (const auto &cfg : {vggFc6(), vggFc7(), lstmUcf11(),
+                            lstmYoutube()}) {
+        const double compact = static_cast<double>(multCompact(cfg));
+        const double minimum =
+            static_cast<double>(multTheoreticalMin(cfg));
+        EXPECT_GE(compact, minimum);
+        // Compact reaches the limit up to low-order boundary terms;
+        // those terms matter most when M is small (the LSTM layers,
+        // M = 256, land at ~1.17-1.22x of the Eqn.-7 bound).
+        EXPECT_LT(compact / minimum, 1.25) << cfg.toString();
+    }
+}
+
+TEST(CostModel, CompactOrdersOfMagnitudeBelowNaive)
+{
+    for (const auto &cfg : {vggFc6(), vggFc7(), lstmUcf11(),
+                            lstmYoutube()}) {
+        EXPECT_GT(multNaive(cfg) / multCompact(cfg), 100u)
+            << cfg.toString();
+    }
+}
+
+TEST(CostModel, PartialParallelBetweenNaiveAndCompact)
+{
+    for (const auto &cfg : {vggFc7(), lstmUcf11()}) {
+        EXPECT_LT(multPartialParallel(cfg), multNaive(cfg));
+        EXPECT_GT(multPartialParallel(cfg), multCompact(cfg));
+    }
+}
+
+TEST(CostModel, PerStageSumsToTotal)
+{
+    auto per = multCompactPerStage(vggFc6());
+    size_t total = 0;
+    for (size_t v : per)
+        total += v;
+    EXPECT_EQ(total, multCompact(vggFc6()));
+    EXPECT_EQ(per.size(), 6u);
+}
+
+TEST(CostModel, WorkingBufferCoversAllIntermediates)
+{
+    TtLayerConfig cfg = vggFc6();
+    size_t buf = workingBufferElems(cfg);
+    EXPECT_GE(buf, cfg.inSize());
+    for (size_t h = 1; h <= cfg.d(); ++h)
+        EXPECT_GE(buf, cfg.coreRows(h) * cfg.stageCols(h));
+}
+
+TEST(CostModel, DenseCount)
+{
+    EXPECT_EQ(multDense(vggFc7()), 4096u * 4096u);
+}
+
+} // namespace
+} // namespace tie

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for TT-SVD (dense -> TT conversion), TT reconstruction, and the
+ * plain tensor-train decomposition of Fig. 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/svd.hh"
+#include "tt/tt_infer.hh"
+#include "tt/tt_svd.hh"
+
+namespace tie {
+namespace {
+
+/** Full-rank chain for exact reconstruction on small shapes. */
+TtLayerConfig
+fullRankConfig(std::vector<size_t> m, std::vector<size_t> n)
+{
+    TtLayerConfig cfg;
+    cfg.m = std::move(m);
+    cfg.n = std::move(n);
+    const size_t d = cfg.m.size();
+    cfg.r.assign(d + 1, 1);
+    // Maximal TT ranks: r_k <= min(prod_{<=k} s, prod_{>k} s).
+    std::vector<size_t> s(d);
+    for (size_t k = 0; k < d; ++k)
+        s[k] = cfg.m[k] * cfg.n[k];
+    for (size_t k = 1; k < d; ++k) {
+        size_t left = 1, right = 1;
+        for (size_t t = 0; t < k; ++t)
+            left *= s[t];
+        for (size_t t = k; t < d; ++t)
+            right *= s[t];
+        cfg.r[k] = std::min(left, right);
+    }
+    return cfg;
+}
+
+TEST(TtCore, SliceAndUnfoldedConsistent)
+{
+    Rng rng(1);
+    TtCore core(2, 3, 4, 5);
+    core.setNormal(rng, 1.0);
+    for (size_t i = 0; i < 3; ++i) {
+        for (size_t j = 0; j < 4; ++j) {
+            MatrixD s = core.slice(i, j);
+            for (size_t a = 0; a < 2; ++a)
+                for (size_t b = 0; b < 5; ++b) {
+                    EXPECT_DOUBLE_EQ(s(a, b), core.at(a, i, j, b));
+                    EXPECT_DOUBLE_EQ(s(a, b),
+                                     core.unfolded()(i * 2 + a,
+                                                     j * 5 + b));
+                }
+        }
+    }
+}
+
+TEST(TtMatrix, ParamCountMatchesConfig)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(4, 4, 4, 3);
+    TtMatrix tt(cfg);
+    EXPECT_EQ(tt.paramCount(), cfg.ttParamCount());
+}
+
+TEST(TtMatrix, ToDenseOfRankOneSeparableCores)
+{
+    // With all ranks 1, W(y(i), x(j)) = prod_k G_k[i_k, j_k] — check a
+    // hand-built separable example.
+    TtLayerConfig cfg;
+    cfg.m = {2, 2};
+    cfg.n = {2, 2};
+    cfg.r = {1, 1, 1};
+    TtMatrix tt(cfg);
+    // Core values: G_1[i,j] = 1 + i + 2j, G_2[i,j] = 1 + 3i + j.
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 2; ++j) {
+            tt.core(1).at(0, i, j, 0) = 1.0 + i + 2.0 * j;
+            tt.core(2).at(0, i, j, 0) = 1.0 + 3.0 * i + j;
+        }
+    MatrixD w = tt.toDense();
+    std::vector<size_t> iv(2), jv(2);
+    forEachIndex(cfg.m, [&](const std::vector<size_t> &i) {
+        forEachIndex(cfg.n, [&](const std::vector<size_t> &j) {
+            double expect = (1.0 + i[0] + 2.0 * j[0]) *
+                            (1.0 + 3.0 * i[1] + j[1]);
+            EXPECT_DOUBLE_EQ(w(cfg.yFlatIndex(i), cfg.xFlatIndex(j)),
+                             expect);
+        });
+    });
+}
+
+class TtSvdRoundTrip
+    : public ::testing::TestWithParam<
+          std::pair<std::vector<size_t>, std::vector<size_t>>>
+{};
+
+TEST_P(TtSvdRoundTrip, FullRankReconstructsExactly)
+{
+    auto [m, n] = GetParam();
+    TtLayerConfig cfg = fullRankConfig(m, n);
+    Rng rng(500 + cfg.outSize());
+    MatrixD w(cfg.outSize(), cfg.inSize());
+    w.setNormal(rng);
+
+    TtMatrix tt = ttSvdMatrix(w, cfg);
+    MatrixD rec = tt.toDense();
+    EXPECT_LT(maxAbsDiff(rec, w), 1e-8) << cfg.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TtSvdRoundTrip,
+    ::testing::Values(
+        std::pair{std::vector<size_t>{2, 2}, std::vector<size_t>{2, 2}},
+        std::pair{std::vector<size_t>{2, 3}, std::vector<size_t>{3, 2}},
+        std::pair{std::vector<size_t>{2, 2, 2},
+                  std::vector<size_t>{2, 2, 2}},
+        std::pair{std::vector<size_t>{3, 2, 2},
+                  std::vector<size_t>{2, 2, 3}},
+        std::pair{std::vector<size_t>{4, 4}, std::vector<size_t>{4, 4}}));
+
+TEST(TtSvd, ExactRecoveryOfLowRankOperator)
+{
+    // Build a random TT matrix with small ranks, densify, decompose
+    // with the same rank budget: reconstruction must be exact.
+    TtLayerConfig cfg;
+    cfg.m = {3, 2, 2};
+    cfg.n = {2, 3, 2};
+    cfg.r = {1, 2, 2, 1};
+    Rng rng(7);
+    TtMatrix gen = TtMatrix::random(cfg, rng);
+    MatrixD w = gen.toDense();
+
+    TtMatrix dec = ttSvdMatrix(w, cfg);
+    EXPECT_LT(maxAbsDiff(dec.toDense(), w), 1e-9);
+    // Achieved ranks never exceed requested.
+    for (size_t k = 0; k <= cfg.d(); ++k)
+        EXPECT_LE(dec.config().r[k], cfg.r[k]);
+}
+
+TEST(TtSvd, TruncationErrorDecreasesWithRank)
+{
+    TtLayerConfig base;
+    base.m = {4, 4};
+    base.n = {4, 4};
+    base.r = {1, 1, 1};
+    Rng rng(11);
+    MatrixD w(16, 16);
+    w.setNormal(rng);
+
+    double prev_err = 1e9;
+    for (size_t rank : {1u, 2u, 4u, 8u, 16u}) {
+        TtLayerConfig cfg = base;
+        cfg.r[1] = rank;
+        TtMatrix tt = ttSvdMatrix(w, cfg);
+        double err = relativeError(tt.toDense(), w);
+        EXPECT_LE(err, prev_err + 1e-12) << "rank " << rank;
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 1e-9); // full rank = exact
+}
+
+TEST(TtSvd, RejectsMismatchedWeights)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(2, 2, 2, 2);
+    MatrixD w(3, 4);
+    EXPECT_EXIT(ttSvdMatrix(w, cfg), ::testing::ExitedWithCode(1),
+                "does not match");
+}
+
+TEST(TtSvd, DecomposedInferenceMatchesDenseProduct)
+{
+    TtLayerConfig cfg = fullRankConfig({2, 2, 2}, {2, 3, 2});
+    Rng rng(13);
+    MatrixD w(cfg.outSize(), cfg.inSize());
+    w.setNormal(rng);
+    TtMatrix tt = ttSvdMatrix(w, cfg);
+
+    std::vector<double> x(cfg.inSize());
+    for (auto &v : x)
+        v = rng.normal();
+    auto y_tt = compactInferVec(tt, x);
+    auto y_ref = matVec(w, x);
+    for (size_t i = 0; i < y_ref.size(); ++i)
+        EXPECT_NEAR(y_tt[i], y_ref[i], 1e-8);
+}
+
+// --- Plain tensor-train decomposition (paper Fig. 1) ---
+
+TEST(TtTensor, Fig1ExampleParameterCount)
+{
+    // Paper Fig. 1: a 5x12 matrix reshaped to 3x4x5 is stored with
+    // cores (1x3x2), (2x4x2), (2x5x1): 6 + 16 + 10 = 32 params vs 60.
+    Rng rng(17);
+    // Build a tensor that genuinely has TT ranks (2, 2).
+    TtTensor gen;
+    gen.shape = {3, 4, 5};
+    gen.ranks = {1, 2, 2, 1};
+    gen.cores = {MatrixD(3, 2), MatrixD(8, 2), MatrixD(10, 1)};
+    for (auto &c : gen.cores)
+        c.setNormal(rng);
+
+    TensorD full = gen.toTensor();
+    EXPECT_EQ(full.numel(), 60u);
+
+    TtTensor dec = ttSvdTensor(full, 2);
+    EXPECT_EQ(dec.ranks, (std::vector<size_t>{1, 2, 2, 1}));
+    EXPECT_EQ(dec.paramCount(), 32u);
+
+    TensorD rec = dec.toTensor();
+    for (size_t i = 0; i < full.numel(); ++i)
+        EXPECT_NEAR(rec.flat()[i], full.flat()[i], 1e-9);
+}
+
+TEST(TtTensor, FullRankReconstructsArbitraryTensor)
+{
+    Rng rng(19);
+    TensorD t({2, 3, 4});
+    for (auto &v : t.flat())
+        v = rng.normal();
+    TtTensor dec = ttSvdTensor(t, 64); // effectively unbounded
+    TensorD rec = dec.toTensor();
+    for (size_t i = 0; i < t.numel(); ++i)
+        EXPECT_NEAR(rec.flat()[i], t.flat()[i], 1e-9);
+}
+
+TEST(TtTensor, ElementMatchesChainProduct)
+{
+    Rng rng(23);
+    TtTensor gen;
+    gen.shape = {2, 2};
+    gen.ranks = {1, 3, 1};
+    gen.cores = {MatrixD(2, 3), MatrixD(6, 1)};
+    for (auto &c : gen.cores)
+        c.setNormal(rng);
+
+    for (size_t a = 0; a < 2; ++a)
+        for (size_t b = 0; b < 2; ++b) {
+            double expect = 0.0;
+            for (size_t t = 0; t < 3; ++t)
+                expect += gen.cores[0](a, t) * gen.cores[1](t * 2 + b, 0);
+            EXPECT_NEAR(gen.element({a, b}), expect, 1e-12);
+        }
+}
+
+TEST(TtMatrix, RandomInitHasReasonableOperatorScale)
+{
+    TtLayerConfig cfg = TtLayerConfig::uniform(3, 4, 4, 4);
+    Rng rng(29);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    MatrixD w = tt.toDense();
+    double rms = frobeniusNorm(w) /
+                 std::sqrt(static_cast<double>(w.size()));
+    // Xavier-like: element RMS within a couple orders of 1/sqrt(N).
+    EXPECT_GT(rms, 1e-4);
+    EXPECT_LT(rms, 1.0);
+}
+
+} // namespace
+} // namespace tie

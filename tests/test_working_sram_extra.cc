@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Additional working-SRAM properties: balanced bank occupancy for
+ * few-row matrices, unaligned (batched) row writes, write-read round
+ * trips under the slot layout, and counter accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/working_sram.hh"
+#include "common/random.hh"
+
+namespace tie {
+namespace {
+
+TEST(WorkingSramExtra, FewRowMatrixSpreadsAcrossBanks)
+{
+    // A 4 x 1024 matrix (an X' with n_d = 4) must not overflow: with
+    // per-row banking it would concentrate in 4 of 16 banks; the slot
+    // layout spreads it.
+    WorkingSram ws(16 * 1024, 16, 16); // 512 words per bank
+    EXPECT_NO_FATAL_FAILURE(ws.configure(4, 1024)); // 4096 words total
+}
+
+TEST(WorkingSramExtra, RoundTripThroughUnalignedWrites)
+{
+    WorkingSram ws(4096, 4, 4);
+    ws.configure(6, 20);
+    Rng rng(1);
+
+    // Write every element via unaligned 3-wide chunks.
+    std::vector<std::vector<int16_t>> ref(
+        6, std::vector<int16_t>(20, 0));
+    for (size_t p = 0; p < 6; ++p) {
+        for (size_t q0 = 0; q0 < 20; q0 += 3) {
+            std::vector<int16_t> vals;
+            for (size_t i = 0; i < 3 && q0 + i < 20; ++i) {
+                vals.push_back(
+                    static_cast<int16_t>(rng.intIn(-999, 999)));
+                ref[p][q0 + i] = vals.back();
+            }
+            ws.writeRow(p, q0, vals);
+        }
+    }
+    for (size_t p = 0; p < 6; ++p)
+        for (size_t q = 0; q < 20; ++q)
+            EXPECT_EQ(ws.peek(p, q), ref[p][q]) << p << "," << q;
+}
+
+TEST(WorkingSramExtra, GatherValuesMatchPeek)
+{
+    WorkingSram ws(4096, 4, 4);
+    ws.configure(8, 12);
+    for (size_t p = 0; p < 8; ++p) {
+        std::vector<int16_t> vals;
+        for (size_t i = 0; i < 4; ++i)
+            vals.push_back(static_cast<int16_t>(p * 100 + i));
+        ws.writeRow(p, 0, vals);
+        for (auto &v : vals)
+            v += 10;
+        ws.writeRow(p, 4, vals);
+    }
+    auto g = ws.gather({{0, 0}, {3, 5}, {7, 4}});
+    EXPECT_EQ(g.values[0], ws.peek(0, 0));
+    EXPECT_EQ(g.values[1], ws.peek(3, 5));
+    EXPECT_EQ(g.values[2], ws.peek(7, 4));
+}
+
+TEST(WorkingSramExtra, CountersTrackWordsExactly)
+{
+    WorkingSram ws(4096, 4, 4);
+    ws.configure(4, 8);
+    ws.writeRow(0, 0, {1, 2, 3, 4});
+    ws.writeRow(1, 4, {5, 6});
+    EXPECT_EQ(ws.wordWrites(), 6u);
+
+    ws.gather({{0, 0}, {0, 1}, {1, 5}});
+    EXPECT_EQ(ws.wordReads(), 3u);
+
+    ws.resetCounters();
+    EXPECT_EQ(ws.wordWrites(), 0u);
+    EXPECT_EQ(ws.wordReads(), 0u);
+}
+
+TEST(WorkingSramExtra, TailColumnsBeyondMatrixAreDropped)
+{
+    WorkingSram ws(4096, 4, 4);
+    ws.configure(2, 5); // 5 columns: last block is ragged
+    ws.writeRow(0, 4, {7, 8, 9, 10}); // only column 4 exists
+    EXPECT_EQ(ws.wordWrites(), 1u);
+    EXPECT_EQ(ws.peek(0, 4), 7);
+}
+
+TEST(WorkingSramExtra, ReconfigureReusesStorage)
+{
+    WorkingSram ws(4096, 4, 4);
+    ws.configure(4, 16);
+    ws.writeRow(0, 0, {1, 2, 3, 4});
+    // A new stage reconfigures the same physical arrays.
+    ws.configure(8, 8);
+    ws.writeRow(7, 4, {9});
+    EXPECT_EQ(ws.peek(7, 4), 9);
+}
+
+TEST(WorkingSramExtra, RowWriteWiderThanRowIsABug)
+{
+    WorkingSram ws(4096, 4, 4);
+    ws.configure(4, 8);
+    EXPECT_DEATH(ws.writeRow(0, 0, {1, 2, 3, 4, 5}),
+                 "wider than a row");
+}
+
+} // namespace
+} // namespace tie

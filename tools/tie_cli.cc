@@ -1,0 +1,286 @@
+/**
+ * @file
+ * tie_cli — command-line front end for the library, the workflow a
+ * deployment engineer would script:
+ *
+ *   tie_cli synth out.ttm --m 4,4,4 --n 4,8,8 --rank 4 [--seed 1]
+ *       create a random TT model (train-from-scratch stand-in)
+ *   tie_cli decompose dense.f64 out.ttm --m .. --n .. --rank ..
+ *       TT-SVD a dense row-major float64 weight file
+ *   tie_cli info model.ttm
+ *       shapes, compression, multiplication counts, SRAM fit
+ *   tie_cli round in.ttm out.ttm --rank 2 [--eps 1e-4]
+ *       re-rank an existing model (tt rounding)
+ *   tie_cli simulate model.ttm [--npe 16 --nmac 16 --freq 1000]
+ *                    [--batch 1] [--relu]
+ *       run the cycle-accurate simulator, print the full report
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/tie_sim.hh"
+#include "common/table.hh"
+#include "tt/cost_model.hh"
+#include "tt/tt_io.hh"
+#include "tt/tt_round.hh"
+#include "tt/tt_svd.hh"
+
+using namespace tie;
+
+namespace {
+
+/** Minimal "--key value" / "--flag" option parser. */
+struct Options
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> named;
+    std::map<std::string, bool> flags;
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = named.find(key);
+        return it == named.end() ? fallback : it->second;
+    }
+    bool
+    has(const std::string &key) const
+    {
+        return flags.count(key) > 0 || named.count(key) > 0;
+    }
+};
+
+Options
+parseArgs(int argc, char **argv, int first)
+{
+    Options opt;
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const std::string key = arg.substr(2);
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                != 0) {
+                opt.named[key] = argv[++i];
+            } else {
+                opt.flags[key] = true;
+            }
+        } else {
+            opt.positional.push_back(arg);
+        }
+    }
+    return opt;
+}
+
+std::vector<size_t>
+parseFactors(const std::string &csv)
+{
+    std::vector<size_t> out;
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        out.push_back(static_cast<size_t>(std::stoul(tok)));
+    TIE_CHECK_ARG(!out.empty(), "empty factor list");
+    return out;
+}
+
+TtLayerConfig
+configFrom(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.has("m") && opt.has("n"),
+                  "--m and --n factor lists are required");
+    TtLayerConfig cfg;
+    cfg.m = parseFactors(opt.get("m"));
+    cfg.n = parseFactors(opt.get("n"));
+    const size_t rank =
+        static_cast<size_t>(std::stoul(opt.get("rank", "4")));
+    cfg.r.assign(cfg.m.size() + 1, rank);
+    cfg.r.front() = cfg.r.back() = 1;
+    cfg.validate();
+    return cfg;
+}
+
+int
+cmdSynth(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.positional.size() == 1,
+                  "usage: tie_cli synth <out.ttm> --m .. --n .. "
+                  "[--rank r] [--seed s]");
+    TtLayerConfig cfg = configFrom(opt);
+    Rng rng(std::stoull(opt.get("seed", "1")));
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    saveTtMatrixFile(tt, opt.positional[0]);
+    std::cout << "wrote " << opt.positional[0] << ": "
+              << cfg.toString() << "\n";
+    return 0;
+}
+
+int
+cmdDecompose(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.positional.size() == 2,
+                  "usage: tie_cli decompose <dense.f64> <out.ttm> "
+                  "--m .. --n .. [--rank r] [--eps e]");
+    TtLayerConfig cfg = configFrom(opt);
+
+    std::ifstream is(opt.positional[0], std::ios::binary);
+    TIE_CHECK_ARG(is.is_open(), "cannot open ", opt.positional[0]);
+    MatrixD w(cfg.outSize(), cfg.inSize());
+    is.read(reinterpret_cast<char *>(w.data()),
+            static_cast<std::streamsize>(w.size() * sizeof(double)));
+    TIE_CHECK_ARG(static_cast<bool>(is), "dense file too small: need ",
+                  w.size() * sizeof(double), " bytes");
+
+    const double eps = std::stod(opt.get("eps", "0"));
+    TtMatrix tt = ttSvdMatrix(w, cfg, eps);
+    saveTtMatrixFile(tt, opt.positional[1]);
+
+    std::cout << "wrote " << opt.positional[1] << ": "
+              << tt.config().toString() << "\nreconstruction error "
+              << relativeError(tt.toDense(), w) << "\n";
+    return 0;
+}
+
+int
+cmdInfo(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.positional.size() == 1,
+                  "usage: tie_cli info <model.ttm>");
+    TtMatrix tt = loadTtMatrixFile(opt.positional[0]);
+    const TtLayerConfig &cfg = tt.config();
+
+    TextTable t(opt.positional[0]);
+    t.header({"property", "value"});
+    t.row({"config", cfg.toString()});
+    t.row({"dense params", std::to_string(cfg.denseParamCount())});
+    t.row({"TT params", std::to_string(cfg.ttParamCount())});
+    t.row({"compression", TextTable::ratio(cfg.compressionRatio(), 1)});
+    t.row({"mults (naive, Eqn. 3)", std::to_string(multNaive(cfg))});
+    t.row({"mults (compact)", std::to_string(multCompact(cfg))});
+    t.row({"mults (minimum, Eqn. 7)",
+           std::to_string(multTheoreticalMin(cfg))});
+    const double wkb = cfg.ttParamCount() * 2.0 / 1024.0;
+    const double ikb = workingBufferElems(cfg) * 2.0 / 1024.0;
+    t.row({"weight footprint", TextTable::num(wkb, 2) + " KB" +
+                                   (wkb <= 16 ? " (fits 16 KB)"
+                                              : " (exceeds 16 KB)")});
+    t.row({"peak intermediate", TextTable::num(ikb, 1) + " KB" +
+                                    (ikb <= 384 ? " (fits 384 KB)"
+                                                : " (exceeds 384 KB)")});
+    t.print();
+    return 0;
+}
+
+int
+cmdRound(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.positional.size() == 2,
+                  "usage: tie_cli round <in.ttm> <out.ttm> --rank r "
+                  "[--eps e]");
+    TtMatrix tt = loadTtMatrixFile(opt.positional[0]);
+    const size_t rank =
+        static_cast<size_t>(std::stoul(opt.get("rank", "4")));
+    const double eps = std::stod(opt.get("eps", "0"));
+    TtMatrix rounded = ttRound(tt, rank, eps);
+    saveTtMatrixFile(rounded, opt.positional[1]);
+    std::cout << "rounded " << tt.config().toString() << "\n  ->    "
+              << rounded.config().toString() << "\n";
+    return 0;
+}
+
+int
+cmdSimulate(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.positional.size() == 1,
+                  "usage: tie_cli simulate <model.ttm> [--npe N] "
+                  "[--nmac M] [--freq MHz] [--batch B] [--relu] "
+                  "[--seed s]");
+    TtMatrix tt = loadTtMatrixFile(opt.positional[0]);
+
+    TieArchConfig cfg;
+    cfg.n_pe = static_cast<size_t>(std::stoul(opt.get("npe", "16")));
+    cfg.n_mac = static_cast<size_t>(std::stoul(opt.get("nmac", "16")));
+    cfg.freq_mhz = std::stod(opt.get("freq", "1000"));
+    const size_t batch =
+        static_cast<size_t>(std::stoul(opt.get("batch", "1")));
+
+    Rng rng(std::stoull(opt.get("seed", "7")));
+    const FxpFormat act{16, 8};
+    TtMatrixFxp ttq = TtMatrixFxp::quantizeAuto(tt, act);
+    MatrixF xf(tt.config().inSize(), batch);
+    xf.setUniform(rng, -1, 1);
+
+    TieSimulator sim(cfg);
+    TieSimResult res = sim.runLayer(ttq, quantizeMatrix(xf, act),
+                                    opt.has("relu"));
+
+    // Cross-check against the functional reference before reporting.
+    Matrix<int16_t> ref = compactInferFxp(ttq, quantizeMatrix(xf, act));
+    bool exact = !opt.has("relu");
+    if (exact)
+        for (size_t i = 0; i < ref.size(); ++i)
+            exact &= res.output.flat()[i] == ref.flat()[i];
+
+    PerfReport perf =
+        makePerfReport(res.stats, tt.config().outSize(),
+                       tt.config().inSize(), cfg, sim.tech());
+    TextTable t("simulation report");
+    t.header({"metric", "value"});
+    t.row({"hardware", std::to_string(cfg.n_pe) + " PE x " +
+                           std::to_string(cfg.n_mac) + " MAC @ " +
+                           TextTable::num(cfg.freq_mhz, 0) + " MHz"});
+    t.row({"batch", std::to_string(batch)});
+    t.row({"cycles", std::to_string(res.stats.cycles)});
+    t.row({"stall cycles", std::to_string(res.stats.stall_cycles)});
+    t.row({"latency", TextTable::num(perf.latency_us, 3) + " us"});
+    t.row({"effective throughput",
+           TextTable::num(perf.effective_gops * batch, 1) + " GOPS"});
+    t.row({"power", TextTable::num(perf.power_mw, 1) + " mW"});
+    t.row({"area", TextTable::num(perf.area_mm2, 2) + " mm^2"});
+    if (!opt.has("relu"))
+        t.row({"bit-exact vs reference", exact ? "yes" : "NO"});
+    t.print();
+    return exact || opt.has("relu") ? 0 : 2;
+}
+
+void
+usage()
+{
+    std::cout
+        << "tie_cli — TT-format model tool\n"
+           "  synth <out.ttm> --m 4,4,4 --n 4,8,8 [--rank 4] [--seed]\n"
+           "  decompose <dense.f64> <out.ttm> --m .. --n .. [--rank]\n"
+           "  info <model.ttm>\n"
+           "  round <in.ttm> <out.ttm> --rank r [--eps e]\n"
+           "  simulate <model.ttm> [--npe][--nmac][--freq][--batch]"
+           "[--relu]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    Options opt = parseArgs(argc, argv, 2);
+    if (cmd == "synth")
+        return cmdSynth(opt);
+    if (cmd == "decompose")
+        return cmdDecompose(opt);
+    if (cmd == "info")
+        return cmdInfo(opt);
+    if (cmd == "round")
+        return cmdRound(opt);
+    if (cmd == "simulate")
+        return cmdSimulate(opt);
+    usage();
+    return 1;
+}
