@@ -5,10 +5,16 @@
  * (index-map vs the paper's literal 4-step), the fixed-point GEMM, and
  * TT-SVD. These measure host wall-clock, complementing the simulator's
  * cycle counts.
+ *
+ * The *_Threads benchmarks sweep the pool size over the same input so
+ * the parallel layer's speedup is measured, not asserted: compare e.g.
+ * BM_CompactInfer_Batch32_Threads/1 against .../4 (the kernels are
+ * deterministic, so outputs are bit-identical across the sweep).
  */
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.hh"
 #include "core/workloads.hh"
 #include "linalg/svd.hh"
 #include "tt/cost_model.hh"
@@ -119,6 +125,59 @@ BM_FxpMatmul(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_FxpMatmul)->Arg(16)->Arg(64);
+
+void
+BM_Matmul_Threads(benchmark::State &state)
+{
+    const size_t ambient = threadCount();
+    setThreadCount(state.range(0));
+    Rng rng(6);
+    MatrixD a(256, 256), b(256, 256);
+    a.setNormal(rng);
+    b.setNormal(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(matmul(a, b));
+    state.SetItemsProcessed(state.iterations() * 256 * 256 * 256);
+    setThreadCount(ambient);
+}
+BENCHMARK(BM_Matmul_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_CompactInfer_Batch32_Threads(benchmark::State &state)
+{
+    const size_t ambient = threadCount();
+    setThreadCount(state.range(0));
+    Rng rng(7);
+    const TtLayerConfig cfg = workloads::vggFc6();
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    MatrixD x(cfg.inSize(), 32);
+    x.setNormal(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compactInfer(tt, x));
+    state.SetItemsProcessed(state.iterations() * multCompact(cfg) * 32);
+    setThreadCount(ambient);
+}
+BENCHMARK(BM_CompactInfer_Batch32_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_FxpMatmul_Threads(benchmark::State &state)
+{
+    const size_t ambient = threadCount();
+    setThreadCount(state.range(0));
+    Rng rng(8);
+    const size_t m = 64, k = 64, n = 2048; // short/wide like a TT stage
+    MatrixF wf(m, k), xf(k, n);
+    wf.setUniform(rng, -1, 1);
+    xf.setUniform(rng, -1, 1);
+    MacFormat fmt;
+    auto w = quantizeMatrix(wf, fmt.weight);
+    auto x = quantizeMatrix(xf, fmt.act_in);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fxpMatmul(w, x, fmt));
+    state.SetItemsProcessed(state.iterations() * m * k * n);
+    setThreadCount(ambient);
+}
+BENCHMARK(BM_FxpMatmul_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void
 BM_TtSvd(benchmark::State &state)

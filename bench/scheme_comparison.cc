@@ -35,10 +35,18 @@ main()
     for (auto &v : x)
         v = rng.normal();
 
-    InferStats sn, sp, sc;
-    auto yn = naiveInfer(tt, x, &sn);
-    auto yp = partialParallelInfer(tt, x, &sp);
-    auto yc = compactInferVec(tt, x, &sc);
+    // One stats struct reused across all three schemes — every infer
+    // path resets it at entry, so no field can leak between rows.
+    InferStats stats;
+    auto yn = naiveInfer(tt, x, &stats);
+    const size_t naive_mults = stats.mults;
+    const size_t naive_adds = stats.adds;
+    auto yp = partialParallelInfer(tt, x, &stats);
+    const size_t partial_mults = stats.mults;
+    const size_t partial_adds = stats.adds;
+    auto yc = compactInferVec(tt, x, &stats);
+    const size_t compact_mults = stats.mults;
+    const size_t compact_adds = stats.adds;
 
     double max_diff = 0.0;
     for (size_t i = 0; i < yn.size(); ++i) {
@@ -47,13 +55,19 @@ main()
     }
 
     TextTable t("executed schemes on " + cfg.toString());
-    t.header({"scheme", "measured multiplies", "vs compact"});
-    t.row({"naive (Fig. 4 / Eqn. 2)", std::to_string(sn.mults),
-           TextTable::ratio(double(sn.mults) / double(sc.mults), 2)});
-    t.row({"partially parallel (Fig. 5)", std::to_string(sp.mults),
-           TextTable::ratio(double(sp.mults) / double(sc.mults), 2)});
-    t.row({"compact (Fig. 6 / Alg. 1)", std::to_string(sc.mults),
-           "1.00x"});
+    t.header({"scheme", "measured multiplies", "measured adds",
+              "vs compact"});
+    t.row({"naive (Fig. 4 / Eqn. 2)", std::to_string(naive_mults),
+           std::to_string(naive_adds),
+           TextTable::ratio(double(naive_mults) / double(compact_mults),
+                            2)});
+    t.row({"partially parallel (Fig. 5)", std::to_string(partial_mults),
+           std::to_string(partial_adds),
+           TextTable::ratio(double(partial_mults) /
+                                double(compact_mults),
+                            2)});
+    t.row({"compact (Fig. 6 / Alg. 1)", std::to_string(compact_mults),
+           std::to_string(compact_adds), "1.00x"});
     t.print();
     std::cout << "all schemes agree to max |diff| = " << max_diff
               << "\n\n";

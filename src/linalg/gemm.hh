@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Blocked, multithreaded GEMM/GEMV kernels on raw row-major buffers.
+ * matmul / matVec (linalg) and fxpMatmul (quant) dispatch here, so
+ * every GEMM-shaped stage in the library shares one execution layer.
+ *
+ * Determinism: work is partitioned over *output* rows or columns, so
+ * each output element is produced by exactly one chunk and its k-loop
+ * runs in the same ascending order as the serial kernel. Results are
+ * bit-identical for every thread count (see docs/performance.md).
+ *
+ * The TT compact-scheme stages are short and wide (tens of rows, tens
+ * of thousands of batched columns), so the kernels split whichever
+ * output axis is larger rather than always splitting rows.
+ */
+
+#ifndef TIE_LINALG_GEMM_HH
+#define TIE_LINALG_GEMM_HH
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/thread_pool.hh"
+
+namespace tie {
+namespace gemm {
+
+/** Rows of C per parallel chunk when splitting the row axis. */
+inline constexpr size_t kRowBlock = 16;
+/** Columns of C per parallel chunk when splitting the column axis. */
+inline constexpr size_t kColBlock = 256;
+/** k-panel width; one panel of B rows stays hot across an i-block. */
+inline constexpr size_t kDepthBlock = 128;
+/** Below this many multiply-adds the serial kernel is always used. */
+inline constexpr size_t kParallelMinWork = size_t(1) << 15;
+
+/**
+ * C[i0:i1, j0:j1) += A[i0:i1, :] * B[:, j0:j1) with A (m x k), B
+ * (k x n), C (m x n) row-major. The k loop is tiled but still ascends
+ * monotonically per output element, matching the naive i-k-j loop
+ * bit-for-bit.
+ */
+template <typename T>
+inline void
+gemmTile(size_t n, size_t k, const T *a, const T *b, T *c, size_t i0,
+         size_t i1, size_t j0, size_t j1)
+{
+    for (size_t k0 = 0; k0 < k; k0 += kDepthBlock) {
+        const size_t k1 = std::min(k, k0 + kDepthBlock);
+        for (size_t i = i0; i < i1; ++i) {
+            const T *arow = a + i * k;
+            T *crow = c + i * n;
+            for (size_t kk = k0; kk < k1; ++kk) {
+                const T aik = arow[kk];
+                const T *brow = b + kk * n;
+                for (size_t j = j0; j < j1; ++j)
+                    crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/**
+ * C = A * B (C must be zero-initialised; m x n row-major), parallelised
+ * over blocks of the larger output axis.
+ */
+template <typename T>
+void
+gemmBlocked(size_t m, size_t n, size_t k, const T *a, const T *b, T *c)
+{
+    if (m == 0 || n == 0 || k == 0)
+        return;
+    if (m * n * k < kParallelMinWork) {
+        gemmTile(n, k, a, b, c, 0, m, 0, n);
+        return;
+    }
+    if (m >= n) {
+        parallelFor(0, m, kRowBlock, [&](size_t i0, size_t i1) {
+            gemmTile(n, k, a, b, c, i0, i1, 0, n);
+        });
+    } else {
+        parallelFor(0, n, kColBlock, [&](size_t j0, size_t j1) {
+            gemmTile(n, k, a, b, c, 0, m, j0, j1);
+        });
+    }
+}
+
+/** y = A * x with A (m x n) row-major, parallelised over rows. */
+template <typename T>
+void
+gemvBlocked(size_t m, size_t n, const T *a, const T *x, T *y)
+{
+    auto rows = [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+            const T *row = a + i * n;
+            T acc = T(0);
+            for (size_t j = 0; j < n; ++j)
+                acc += row[j] * x[j];
+            y[i] = acc;
+        }
+    };
+    if (m * n < kParallelMinWork) {
+        rows(0, m);
+        return;
+    }
+    parallelFor(0, m, kRowBlock, rows);
+}
+
+} // namespace gemm
+} // namespace tie
+
+#endif // TIE_LINALG_GEMM_HH

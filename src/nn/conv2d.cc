@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_pool.hh"
+
 namespace tie {
 
 namespace {
@@ -132,17 +134,22 @@ Conv2D::forward(const MatrixF &x)
     const size_t opix = shape_.outH() * shape_.outW();
     MatrixF y(shape_.c_out * opix, batch);
     cols_.assign(batch, MatrixF());
-    for (size_t n = 0; n < batch; ++n) {
-        // Column n of x is one sample (copy to get a contiguous view).
-        std::vector<float> sample(x.rows());
-        for (size_t i = 0; i < x.rows(); ++i)
-            sample[i] = x(i, n);
-        cols_[n] = im2col(sample.data(), shape_);
-        MatrixF yn = matmul(w_, cols_[n]); // c_out x opix
-        for (size_t co = 0; co < shape_.c_out; ++co)
-            for (size_t p = 0; p < opix; ++p)
-                y(co * opix + p, n) = yn(co, p) + b_(co, 0);
-    }
+    // Samples are independent: each writes its own cols_ slot and its
+    // own column of y, so the per-image loop distributes over the pool
+    // (the nested matmul then runs serially inside each worker).
+    parallelFor(0, batch, 1, [&](size_t lo, size_t hi) {
+        for (size_t n = lo; n < hi; ++n) {
+            // Column n of x is one sample (copy for a contiguous view).
+            std::vector<float> sample(x.rows());
+            for (size_t i = 0; i < x.rows(); ++i)
+                sample[i] = x(i, n);
+            cols_[n] = im2col(sample.data(), shape_);
+            MatrixF yn = matmul(w_, cols_[n]); // c_out x opix
+            for (size_t co = 0; co < shape_.c_out; ++co)
+                for (size_t p = 0; p < opix; ++p)
+                    y(co * opix + p, n) = yn(co, p) + b_(co, 0);
+        }
+    });
     return y;
 }
 

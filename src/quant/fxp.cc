@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.hh"
+#include "linalg/gemm.hh"
+
 namespace tie {
 
 int64_t
@@ -123,14 +126,36 @@ fxpMatmul(const Matrix<int16_t> &w, const Matrix<int16_t> &x,
     TIE_CHECK_ARG(w.cols() == x.rows(), "fxpMatmul shape mismatch: ",
                   w.rows(), "x", w.cols(), " * ", x.rows(), "x", x.cols());
     Matrix<int16_t> out(w.rows(), x.cols());
-    for (size_t i = 0; i < w.rows(); ++i) {
-        for (size_t j = 0; j < x.cols(); ++j) {
-            int64_t acc = 0;
-            for (size_t k = 0; k < w.cols(); ++k)
-                accumulate(acc, macProduct(w(i, k), x(k, j), fmt),
-                           fmt.acc_bits);
-            out(i, j) = requantizeAcc(acc, fmt);
+
+    // Each output element owns a full sequential MAC chain (the
+    // saturating accumulator makes the k order semantically
+    // significant), so the work is distributed over disjoint blocks of
+    // the larger output axis — exact and deterministic for any thread
+    // count. The TT stages are short and wide, hence the column split.
+    auto block = [&](size_t i0, size_t i1, size_t j0, size_t j1) {
+        for (size_t i = i0; i < i1; ++i) {
+            for (size_t j = j0; j < j1; ++j) {
+                int64_t acc = 0;
+                for (size_t k = 0; k < w.cols(); ++k)
+                    accumulate(acc, macProduct(w(i, k), x(k, j), fmt),
+                               fmt.acc_bits);
+                out(i, j) = requantizeAcc(acc, fmt);
+            }
         }
+    };
+    const size_t work = w.rows() * w.cols() * x.cols();
+    if (work < gemm::kParallelMinWork) {
+        block(0, w.rows(), 0, x.cols());
+    } else if (w.rows() >= x.cols()) {
+        parallelFor(0, w.rows(), gemm::kRowBlock,
+                    [&](size_t i0, size_t i1) {
+                        block(i0, i1, 0, x.cols());
+                    });
+    } else {
+        parallelFor(0, x.cols(), gemm::kColBlock,
+                    [&](size_t j0, size_t j1) {
+                        block(0, w.rows(), j0, j1);
+                    });
     }
     return out;
 }

@@ -142,14 +142,18 @@ MatrixD
 TrMatrix::infer(const MatrixD &x, InferStats *stats) const
 {
     MatrixD y(config_.outSize(), x.cols());
-    size_t mults = 0;
+    size_t mults = 0, adds = 0;
     for (size_t alpha = 0; alpha < config_.ringRank(); ++alpha) {
         InferStats s;
         y = add(y, compactInfer(slice(alpha), x, &s));
         mults += s.mults;
+        adds += s.adds + y.size(); // slice accumulation into y
     }
-    if (stats)
+    if (stats) {
+        *stats = InferStats{};
         stats->mults = mults;
+        stats->adds = adds;
+    }
     return y;
 }
 

@@ -8,6 +8,8 @@ naiveInfer(const TtMatrix &tt, const std::vector<double> &x,
 {
     const TtLayerConfig &cfg = tt.config();
     TIE_CHECK_ARG(x.size() == cfg.inSize(), "naiveInfer input length");
+    if (stats)
+        *stats = InferStats{};
 
     std::vector<double> y(cfg.outSize(), 0.0);
     size_t mults = 0, adds = 0;
@@ -50,12 +52,14 @@ partialParallelInfer(const TtMatrix &tt, const std::vector<double> &x,
 {
     const TtLayerConfig &cfg = tt.config();
     TIE_CHECK_ARG(x.size() == cfg.inSize(), "partialParallelInfer input");
+    if (stats)
+        *stats = InferStats{};
 
     const size_t dd = cfg.d();
     const size_t r_last = cfg.r[dd - 1]; // r_{d-1}
     const size_t md = cfg.m[dd - 1];
 
-    size_t mults = 0;
+    size_t mults = 0, adds = 0;
 
     // Stage-1 (paper Fig. 5): parallelise over the d-th input dimension
     // once — V_d = G~_d X'.
@@ -63,8 +67,10 @@ partialParallelInfer(const TtMatrix &tt, const std::vector<double> &x,
     MatrixD xm(cfg.inSize(), 1, x);
     MatrixD xp = plan.reshapeInput(xm);
     MatrixD vd = matmul(tt.core(dd).unfolded(), xp);
-    mults += tt.core(dd).unfolded().rows() *
-             tt.core(dd).unfolded().cols() * xp.cols();
+    const size_t stage_d_ops = tt.core(dd).unfolded().rows() *
+                               tt.core(dd).unfolded().cols() * xp.cols();
+    mults += stage_d_ops;
+    adds += stage_d_ops;
 
     std::vector<double> y(cfg.outSize(), 0.0);
 
@@ -95,6 +101,7 @@ partialParallelInfer(const TtMatrix &tt, const std::vector<double> &x,
                 const MatrixD g = tt.core(k).slice(i[k - 1], j[k - 1]);
                 b = matmul(g, b);
                 mults += g.rows() * g.cols() * md;
+                adds += g.rows() * g.cols() * md;
             }
 
             // b is now 1 x m_d: accumulate into Y(i_1..i_{d-1}, :).
@@ -104,12 +111,15 @@ partialParallelInfer(const TtMatrix &tt, const std::vector<double> &x,
             for (size_t id = 0; id < md; ++id) {
                 full[dd - 1] = id;
                 y[cfg.yFlatIndex(full)] += b(0, id);
+                ++adds;
             }
         });
     });
 
-    if (stats)
+    if (stats) {
         stats->mults = mults;
+        stats->adds = adds;
+    }
     return y;
 }
 
@@ -119,6 +129,8 @@ compactInfer(const TtMatrix &tt, const MatrixD &x, InferStats *stats)
     const TtLayerConfig &cfg = tt.config();
     const size_t batch = x.cols();
     CompactPlan plan(cfg);
+    if (stats)
+        *stats = InferStats{};
 
     MatrixD v = plan.reshapeInput(x);
     size_t mults = 0;
@@ -136,6 +148,7 @@ compactInfer(const TtMatrix &tt, const MatrixD &x, InferStats *stats)
 
     if (stats) {
         stats->mults = mults;
+        stats->adds = mults; // one accumulation per executed product
         stats->stage_mults = std::move(stage_mults);
     }
     return plan.flattenOutput(v, batch);
@@ -157,6 +170,8 @@ compactInferFxp(const TtMatrixFxp &tt, const Matrix<int16_t> &x,
     const TtLayerConfig &cfg = tt.config;
     const size_t batch = x.cols();
     CompactPlan plan(cfg);
+    if (stats)
+        *stats = InferStats{};
 
     // Each stage's output format must feed the next stage's input.
     for (size_t h = cfg.d(); h >= 2; --h) {
@@ -170,18 +185,24 @@ compactInferFxp(const TtMatrixFxp &tt, const Matrix<int16_t> &x,
 
     Matrix<int16_t> v = plan.reshapeInput(x);
     size_t mults = 0;
+    std::vector<size_t> stage_mults;
 
     for (size_t h = cfg.d(); h >= 1; --h) {
         const Matrix<int16_t> &g = tt.cores[h - 1];
         const MacFormat &fmt = tt.stage_fmt[h - 1];
         v = fxpMatmul(g, v, fmt);
-        mults += g.rows() * g.cols() * v.cols();
+        const size_t sm = g.rows() * g.cols() * v.cols();
+        stage_mults.push_back(sm);
+        mults += sm;
         if (h > 1)
             v = applyTransformBatched(plan.transformAfter(h), v, batch);
     }
 
-    if (stats)
+    if (stats) {
         stats->mults = mults;
+        stats->adds = mults; // one MAC accumulation per product
+        stats->stage_mults = std::move(stage_mults);
+    }
     return plan.flattenOutput(v, batch);
 }
 

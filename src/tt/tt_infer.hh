@@ -27,12 +27,18 @@
 
 namespace tie {
 
-/** Operation counters for one inference call. */
+/**
+ * Operation counters for one inference call. Every infer path resets
+ * the struct at entry, so one instance can be reused across schemes
+ * (as the bench binaries do) without stale fields leaking through.
+ * `adds` counts one accumulation per executed product plus any final
+ * output accumulations, in every scheme.
+ */
 struct InferStats
 {
     size_t mults = 0;
     size_t adds = 0;
-    /** Per-stage multiplication counts (compact scheme only), h=d..1. */
+    /** Per-stage multiplication counts (compact schemes only), h=d..1. */
     std::vector<size_t> stage_mults;
 };
 

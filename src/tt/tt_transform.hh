@@ -67,6 +67,10 @@ applyTransform(const TransformSpec &spec, const Matrix<T> &in)
  * Apply a transform independently to each of @p batch column blocks:
  * the input has batch * cols_in columns (sample b owns columns
  * [b*cols_in, (b+1)*cols_in)), ditto the output.
+ *
+ * The permutation is a pure gather — every destination element is
+ * written exactly once — so the (p, q) space is distributed over the
+ * thread pool with bit-identical results for any thread count.
  */
 template <typename T>
 Matrix<T>
@@ -77,16 +81,23 @@ applyTransformBatched(const TransformSpec &spec, const Matrix<T> &in,
                   in.cols() == spec.cols_in * batch,
                   "batched transform input shape mismatch");
     Matrix<T> out(spec.rows_out, spec.cols_out * batch);
-    for (size_t p = 0; p < spec.rows_out; ++p) {
-        for (size_t q = 0; q < spec.cols_out; ++q) {
-            const size_t src = spec.src_of_dst[p * spec.cols_out + q];
+    auto gather = [&](size_t lo, size_t hi) {
+        for (size_t e = lo; e < hi; ++e) {
+            const size_t p = e / spec.cols_out;
+            const size_t q = e % spec.cols_out;
+            const size_t src = spec.src_of_dst[e];
             const size_t sp = src / spec.cols_in;
             const size_t sq = src % spec.cols_in;
             for (size_t b = 0; b < batch; ++b)
                 out(p, b * spec.cols_out + q) =
                     in(sp, b * spec.cols_in + sq);
         }
-    }
+    };
+    const size_t elems = spec.numel();
+    if (elems * batch < gemm::kParallelMinWork)
+        gather(0, elems);
+    else
+        parallelFor(0, elems, 0, gather);
     return out;
 }
 
