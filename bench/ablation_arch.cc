@@ -16,6 +16,8 @@
 #include "common/table.hh"
 #include "core/workloads.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 namespace {
@@ -75,8 +77,12 @@ serialWeightCycles(const TtLayerConfig &cfg, const TieArchConfig &a)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("ablation_arch", &argc, argv);
+
     std::cout << "== architecture ablations ==\n\n";
 
     TieArchConfig cfg;

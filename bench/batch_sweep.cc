@@ -12,11 +12,17 @@
 #include "core/tie_engine.hh"
 #include "core/workloads.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("batch_sweep", &argc, argv);
+
     std::cout << "== batch-size sweep on TIE ==\n\n";
 
     TieArchConfig cfg;

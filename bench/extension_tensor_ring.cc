@@ -14,11 +14,17 @@
 #include "tt/cost_model.hh"
 #include "tt/tensor_ring.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("extension_tensor_ring", &argc, argv);
+
     std::cout << "== extension: tensor-ring (TT-ring) vs tensor-train "
                  "==\n\n";
 

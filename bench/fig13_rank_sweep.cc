@@ -13,6 +13,8 @@
 #include "common/table.hh"
 #include "core/workloads.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 namespace {
@@ -42,8 +44,12 @@ interleavedWeightBytes(const TtLayerConfig &cfg, const TieArchConfig &a)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("fig13_rank_sweep", &argc, argv);
+
     std::cout << "== Fig. 13: throughput across decomposition ranks "
                  "==\n\n";
 

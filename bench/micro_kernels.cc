@@ -10,11 +10,21 @@
  * the parallel layer's speedup is measured, not asserted: compare e.g.
  * BM_CompactInfer_Batch32_Threads/1 against .../4 (the kernels are
  * deterministic, so outputs are bit-identical across the sweep).
+ *
+ * Unless --benchmark_out is given, results are also written to
+ * BENCH_micro.json (google-benchmark's JSON format) so every run
+ * leaves a machine-readable perf record; --stats-json/--trace-out add
+ * the obs registry and Chrome-trace outputs on top.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/thread_pool.hh"
+#include "obs/report.hh"
 #include "core/workloads.hh"
 #include "linalg/svd.hh"
 #include "tt/cost_model.hh"
@@ -196,4 +206,31 @@ BENCHMARK(BM_TtSvd);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    obs::Session obs_session("micro_kernels", &argc, argv);
+
+    // Default a JSON results file so perf history accumulates without
+    // anyone remembering the flag; explicit --benchmark_out wins.
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        has_out |= std::strncmp(argv[i], "--benchmark_out",
+                                std::strlen("--benchmark_out")) == 0;
+    std::string out_flag = "--benchmark_out=BENCH_micro.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    args.push_back(nullptr);
+
+    int bargc = static_cast<int>(args.size()) - 1;
+    benchmark::Initialize(&bargc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

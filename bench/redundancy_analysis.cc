@@ -13,11 +13,17 @@
 #include "core/workloads.hh"
 #include "tt/cost_model.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("redundancy_analysis", &argc, argv);
+
     std::cout << "== Sec. 3.1: computational redundancy of TT-format "
                  "inference ==\n\n";
 

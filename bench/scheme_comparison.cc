@@ -14,11 +14,17 @@
 #include "tt/cost_model.hh"
 #include "tt/tt_infer.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("scheme_comparison", &argc, argv);
+
     std::cout << "== Figs. 4-6: naive vs partially-parallel vs compact "
                  "==\n\n";
 

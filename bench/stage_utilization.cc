@@ -15,11 +15,17 @@
 #include "core/workloads.hh"
 #include "tt/cost_model.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("stage_utilization", &argc, argv);
+
     std::cout << "== per-stage profile of the compact scheme on TIE "
                  "==\n\n";
 

@@ -17,11 +17,17 @@
 #include "common/table.hh"
 #include "core/workloads.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("table1_3_compression", &argc, argv);
+
     std::cout << "== Tables 1-3: TT compression ratios ==\n\n";
 
     // ---- Table 1: FC-dominated CNN (VGG-16) ----

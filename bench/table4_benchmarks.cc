@@ -11,6 +11,8 @@
 #include "core/workloads.hh"
 #include "tt/cost_model.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 namespace {
@@ -27,8 +29,12 @@ vec(const std::vector<size_t> &v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("table4_benchmarks", &argc, argv);
+
     std::cout << "== Table 4: evaluated benchmarks ==\n\n";
 
     TextTable t("benchmark layers");

@@ -13,11 +13,17 @@
 #include "common/table.hh"
 #include "core/workloads.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("table5_6_area_power", &argc, argv);
+
     std::cout << "== Tables 5/6 + Fig. 11: TIE design configuration, "
                  "area and power ==\n\n";
 

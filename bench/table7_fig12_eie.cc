@@ -16,11 +16,17 @@
 #include "common/table.hh"
 #include "core/workloads.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("table7_fig12_eie", &argc, argv);
+
     std::cout << "== Table 7 + Fig. 12: TIE vs EIE ==\n\n";
 
     TieArchConfig tie_cfg;

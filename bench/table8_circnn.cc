@@ -18,11 +18,17 @@
 #include "common/table.hh"
 #include "core/workloads.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("table8_circnn", &argc, argv);
+
     std::cout << "== Table 8: TIE vs CIRCNN (synthesis level) ==\n\n";
 
     TieArchConfig cfg;

@@ -17,11 +17,17 @@
 #include "core/tie_engine.hh"
 #include "core/workloads.hh"
 
+#include "obs/report.hh"
+
 using namespace tie;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE: emit
+    // every printed table (and any trace) machine-readably.
+    obs::Session obs_session("table9_eyeriss", &argc, argv);
+
     std::cout << "== Table 9: TIE vs Eyeriss on VGG-16 CONV ==\n\n";
 
     TieArchConfig cfg;

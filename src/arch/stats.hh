@@ -18,7 +18,8 @@ namespace tie {
 /** Per-stage slice of a layer simulation. */
 struct StageStats
 {
-    size_t core_index = 0; ///< h (1-based, executed d..1)
+    size_t layer_index = 0; ///< network layer this stage belongs to
+    size_t core_index = 0;  ///< h (1-based, executed d..1)
     size_t cycles = 0;
     size_t mac_ops = 0;
     size_t stall_cycles = 0; ///< working-SRAM bank-conflict stalls

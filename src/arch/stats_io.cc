@@ -1,0 +1,201 @@
+#include "arch/stats_io.hh"
+
+#include "obs/trace.hh"
+
+namespace tie {
+
+namespace {
+
+void
+writeStage(obs::JsonWriter &w, const StageStats &st)
+{
+    w.beginObject();
+    w.field("layer_index", static_cast<uint64_t>(st.layer_index));
+    w.field("core_index", static_cast<uint64_t>(st.core_index));
+    w.field("cycles", static_cast<uint64_t>(st.cycles));
+    w.field("mac_ops", static_cast<uint64_t>(st.mac_ops));
+    w.field("stall_cycles", static_cast<uint64_t>(st.stall_cycles));
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+stageStatsJson(const StageStats &st)
+{
+    obs::JsonWriter w;
+    writeStage(w, st);
+    return w.str();
+}
+
+std::string
+simStatsJson(const SimStats &s)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("cycles", static_cast<uint64_t>(s.cycles));
+    w.field("mac_ops", static_cast<uint64_t>(s.mac_ops));
+    w.field("weight_sram_reads",
+            static_cast<uint64_t>(s.weight_sram_reads));
+    w.field("working_sram_reads",
+            static_cast<uint64_t>(s.working_sram_reads));
+    w.field("working_sram_writes",
+            static_cast<uint64_t>(s.working_sram_writes));
+    w.field("reg_writes", static_cast<uint64_t>(s.reg_writes));
+    w.field("stall_cycles", static_cast<uint64_t>(s.stall_cycles));
+    w.key("stages").beginArray();
+    for (const StageStats &st : s.stages)
+        writeStage(w, st);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+simStatsCsv(const SimStats &s)
+{
+    std::string out =
+        "layer_index,core_index,cycles,mac_ops,stall_cycles\n";
+    for (const StageStats &st : s.stages)
+        out += std::to_string(st.layer_index) + "," +
+               std::to_string(st.core_index) + "," +
+               std::to_string(st.cycles) + "," +
+               std::to_string(st.mac_ops) + "," +
+               std::to_string(st.stall_cycles) + "\n";
+    return out;
+}
+
+std::string
+powerReportJson(const PowerReport &p)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("memory_mw", p.memory_mw);
+    w.field("register_mw", p.register_mw);
+    w.field("combinational_mw", p.combinational_mw);
+    w.field("clock_mw", p.clock_mw);
+    w.field("total_mw", p.totalMw());
+    w.endObject();
+    return w.str();
+}
+
+std::string
+perfReportJson(const PerfReport &r)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("latency_us", r.latency_us);
+    w.field("energy_nj", r.energy_nj);
+    w.field("power_mw", r.power_mw);
+    w.field("effective_gops", r.effective_gops);
+    w.field("area_mm2", r.area_mm2);
+    w.field("gops_per_watt", r.gopsPerWatt());
+    w.field("gops_per_mm2", r.gopsPerMm2());
+    w.endObject();
+    return w.str();
+}
+
+std::string
+perfReportCsv(const PerfReport &r)
+{
+    std::string out = "metric,value\n";
+    out += "latency_us," + obs::jsonNumber(r.latency_us) + "\n";
+    out += "energy_nj," + obs::jsonNumber(r.energy_nj) + "\n";
+    out += "power_mw," + obs::jsonNumber(r.power_mw) + "\n";
+    out += "effective_gops," + obs::jsonNumber(r.effective_gops) + "\n";
+    out += "area_mm2," + obs::jsonNumber(r.area_mm2) + "\n";
+    out += "gops_per_watt," + obs::jsonNumber(r.gopsPerWatt()) + "\n";
+    out += "gops_per_mm2," + obs::jsonNumber(r.gopsPerMm2()) + "\n";
+    return out;
+}
+
+StageStats
+stageStatsFromJson(const obs::JsonValue &v)
+{
+    StageStats st;
+    st.layer_index = v.u64("layer_index");
+    st.core_index = v.u64("core_index");
+    st.cycles = v.u64("cycles");
+    st.mac_ops = v.u64("mac_ops");
+    st.stall_cycles = v.u64("stall_cycles");
+    return st;
+}
+
+SimStats
+simStatsFromJson(const obs::JsonValue &v)
+{
+    SimStats s;
+    s.cycles = v.u64("cycles");
+    s.mac_ops = v.u64("mac_ops");
+    s.weight_sram_reads = v.u64("weight_sram_reads");
+    s.working_sram_reads = v.u64("working_sram_reads");
+    s.working_sram_writes = v.u64("working_sram_writes");
+    s.reg_writes = v.u64("reg_writes");
+    s.stall_cycles = v.u64("stall_cycles");
+    if (const obs::JsonValue *stages = v.find("stages"))
+        for (const obs::JsonValue &e : stages->array)
+            s.stages.push_back(stageStatsFromJson(e));
+    return s;
+}
+
+PowerReport
+powerReportFromJson(const obs::JsonValue &v)
+{
+    PowerReport p;
+    p.memory_mw = v.num("memory_mw");
+    p.register_mw = v.num("register_mw");
+    p.combinational_mw = v.num("combinational_mw");
+    p.clock_mw = v.num("clock_mw");
+    return p;
+}
+
+PerfReport
+perfReportFromJson(const obs::JsonValue &v)
+{
+    PerfReport r;
+    r.latency_us = v.num("latency_us");
+    r.energy_nj = v.num("energy_nj");
+    r.power_mw = v.num("power_mw");
+    r.effective_gops = v.num("effective_gops");
+    r.area_mm2 = v.num("area_mm2");
+    return r;
+}
+
+void
+traceSimLayer(const SimStats &layer, size_t layer_index,
+              size_t stage_switch_cycles)
+{
+    obs::Trace &tr = obs::Trace::instance();
+    if (!tr.simOn())
+        return;
+
+    tr.setSimTrackName(0, "layers");
+    tr.setSimTrackName(1, "stages (core h)");
+    tr.setSimTrackName(2, "stalls / switch");
+
+    const uint64_t base = tr.simCursor();
+    tr.simSpan("layer " + std::to_string(layer_index), base,
+               layer.cycles, 0,
+               {{"cycles", layer.cycles},
+                {"mac_ops", layer.mac_ops},
+                {"stall_cycles", layer.stall_cycles}});
+
+    uint64_t t = base;
+    for (const StageStats &st : layer.stages) {
+        tr.simSpan("stage h=" + std::to_string(st.core_index), t,
+                   st.cycles, 1,
+                   {{"layer_index", st.layer_index},
+                    {"mac_ops", st.mac_ops},
+                    {"stall_cycles", st.stall_cycles}});
+        if (st.stall_cycles > 0)
+            tr.simSpan("stalls", t, st.stall_cycles, 2,
+                       {{"stall_cycles", st.stall_cycles}});
+        if (stage_switch_cycles > 0 && st.cycles >= stage_switch_cycles)
+            tr.simSpan("switch", t + st.cycles - stage_switch_cycles,
+                       stage_switch_cycles, 2);
+        t += st.cycles;
+    }
+    tr.advanceSimCursor(layer.cycles);
+}
+
+} // namespace tie

@@ -1,6 +1,7 @@
 #include "arch/tie_sim.hh"
 
 #include "arch/program.hh"
+#include "arch/stats_io.hh"
 
 namespace tie {
 
@@ -220,11 +221,13 @@ TieSimulator::runLayer(const TtMatrixFxp &tt, const Matrix<int16_t> &x,
                       stats);
     // Every non-stall, non-switch stage cycle issues the full array.
     for (auto &st : stats.stages) {
+        st.layer_index = 0;
         const size_t busy = st.cycles - cfg_.stage_switch_cycles -
                             st.stall_cycles;
         st.mac_ops = busy * cfg_.macsTotal();
     }
     finalizeCounters(stats, pes, weights, ws0, ws1);
+    traceSimLayer(stats, 0, cfg_.stage_switch_cycles);
 
     Matrix<int16_t> y =
         readoutResident(*src, in, layer.outSize(), batch);
@@ -294,10 +297,12 @@ TieSimulator::runNetwork(const std::vector<NetworkLayer> &net,
         const size_t rd0 = ws0.wordReads() + ws1.wordReads();
         const size_t wt0 = ws0.wordWrites() + ws1.wordWrites();
 
+        const size_t layer_index = res.per_layer.size();
         SimStats layer_stats;
         runStagesResident(cfg_, *l.weights, l.relu, batch, weights, src,
                           dst, pes, in, layer_stats);
         for (auto &st : layer_stats.stages) {
+            st.layer_index = layer_index;
             const size_t busy = st.cycles - cfg_.stage_switch_cycles -
                                 st.stall_cycles;
             st.mac_ops = busy * cfg_.macsTotal();
@@ -309,6 +314,8 @@ TieSimulator::runNetwork(const std::vector<NetworkLayer> &net,
             ws0.wordReads() + ws1.wordReads() - rd0;
         layer_stats.working_sram_writes =
             ws0.wordWrites() + ws1.wordWrites() - wt0;
+        traceSimLayer(layer_stats, layer_index,
+                      cfg_.stage_switch_cycles);
         res.per_layer.push_back(layer_stats);
         res.total.cycles += layer_stats.cycles;
         res.total.stall_cycles += layer_stats.stall_cycles;

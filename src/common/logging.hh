@@ -9,15 +9,28 @@
  *            an error code.
  * warn()   — something works but is suspicious or approximated.
  * inform() — plain status output.
+ *
+ * Diagnostics are thread-safe: one process-wide mutex serialises
+ * writers and each message is one write, so pool-thread warnings never
+ * interleave. The TIE_LOG_LEVEL environment variable (silent|warn|info,
+ * default info) filters warn()/inform(); panic()/fatal() always print.
+ * TIE_WARN_ONCE fires at most once per call site for the process.
  */
 
 #ifndef TIE_COMMON_LOGGING_HH
 #define TIE_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
 namespace tie {
+
+/** Verbosity classes ordered by severity (lower = always shown). */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2 };
+
+/** True when messages of class @p lvl pass the TIE_LOG_LEVEL filter. */
+bool logLevelEnabled(LogLevel lvl);
 
 /** Terminate with an internal-bug diagnostic (calls std::abort). */
 [[noreturn]] void panicImpl(const char *file, int line,
@@ -56,6 +69,16 @@ strCat(const Args &...args)
 
 #define TIE_WARN(...) \
     ::tie::warnImpl(__FILE__, __LINE__, ::tie::strCat(__VA_ARGS__))
+
+/** Like TIE_WARN, but this call site fires at most once per process. */
+#define TIE_WARN_ONCE(...)                                              \
+    do {                                                                \
+        static std::atomic<bool> tie_warned_once_{false};               \
+        if (!tie_warned_once_.exchange(true,                            \
+                                       std::memory_order_relaxed)) {    \
+            TIE_WARN(__VA_ARGS__);                                      \
+        }                                                               \
+    } while (0)
 
 #define TIE_INFORM(...) ::tie::informImpl(::tie::strCat(__VA_ARGS__))
 

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/report.hh"
+
 namespace tie {
 
 void
@@ -66,6 +68,10 @@ void
 TextTable::print() const
 {
     std::cout << render() << std::endl;
+    // While an obs::Session collects a machine-readable report, every
+    // printed table is also captured verbatim.
+    if (obs::tableRecordingActive())
+        obs::recordTable({title_, header_, rows_});
 }
 
 std::string

@@ -4,8 +4,40 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 
 namespace tie {
+
+namespace {
+
+/** Pool stats; references are cached so updates never lock the registry. */
+struct PoolStats
+{
+    obs::Counter &jobs;
+    obs::Counter &chunks;
+    obs::Counter &serial_jobs;
+    obs::Distribution &chunk_us;
+
+    static PoolStats &
+    get()
+    {
+        static PoolStats s{
+            obs::StatRegistry::instance().counter(
+                "pool.jobs", "parallelFor jobs fanned out"),
+            obs::StatRegistry::instance().counter(
+                "pool.chunks", "chunks executed across all jobs"),
+            obs::StatRegistry::instance().counter(
+                "pool.serial_jobs",
+                "parallelFor calls taking the inline serial path"),
+            obs::StatRegistry::instance().distribution(
+                "pool.chunk_us", "wall-clock microseconds per chunk"),
+        };
+        return s;
+    }
+};
+
+} // namespace
 
 namespace {
 
@@ -118,7 +150,15 @@ ThreadPool::runChunks()
         const size_t lo = job_begin_ + c * job_grain_;
         const size_t hi = std::min(job_end_, lo + job_grain_);
         try {
-            (*job_body_)(lo, hi);
+            if (obs::enabled()) {
+                PoolStats &ps = PoolStats::get();
+                ps.chunks.add();
+                obs::ScopedTimer timer(ps.chunk_us);
+                obs::HostSpan span("pool.chunk");
+                (*job_body_)(lo, hi);
+            } else {
+                (*job_body_)(lo, hi);
+            }
         } catch (...) {
             std::lock_guard<std::mutex> lk(mu_);
             if (!job_error_)
@@ -140,9 +180,15 @@ ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
     // Serial fast path: single-thread pool, nested call, or a range
     // that fits in one chunk anyway.
     if (n_threads_ == 1 || t_in_parallel_region || n <= grain) {
+        if (obs::enabled())
+            PoolStats::get().serial_jobs.add();
         body(begin, end);
         return;
     }
+
+    if (obs::enabled())
+        PoolStats::get().jobs.add();
+    obs::HostSpan job_span("pool.job");
 
     // One job at a time: concurrent parallelFor calls from distinct
     // user threads queue here instead of clobbering the job state.

@@ -1,5 +1,6 @@
 #include "core/tie_engine.hh"
 
+#include "arch/stats_io.hh"
 #include "nn/activations.hh"
 #include "nn/sequential.hh"
 #include "nn/tt_dense.hh"
@@ -99,10 +100,15 @@ TieEngine::simulate(const Matrix<int16_t> &x) const
     TieSimulator::NetworkResult r = sim.runNetwork(net, x);
 
     EngineRunReport rep;
-    for (size_t i = 0; i < layers_.size(); ++i)
-        rep.per_layer.push_back(
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        EngineLayerReport lr;
+        lr.layer_index = i;
+        lr.perf =
             makePerfReport(r.per_layer[i], layers_[i].config.outSize(),
-                           layers_[i].config.inSize(), cfg_, tech_));
+                           layers_[i].config.inSize(), cfg_, tech_);
+        lr.stats = std::move(r.per_layer[i]);
+        rep.per_layer.push_back(std::move(lr));
+    }
     rep.stats = std::move(r.total);
     rep.output = std::move(r.output);
 
@@ -112,6 +118,26 @@ TieEngine::simulate(const Matrix<int16_t> &x) const
         denseEquivalentOps() /
         (rep.perf.latency_us * 1.0e3); // ops per ns = GOPS
     return rep;
+}
+
+std::string
+engineReportJson(const EngineRunReport &rep)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("totals").raw(simStatsJson(rep.stats));
+    w.key("perf").raw(perfReportJson(rep.perf));
+    w.key("per_layer").beginArray();
+    for (const EngineLayerReport &lr : rep.per_layer) {
+        w.beginObject();
+        w.field("layer_index", static_cast<uint64_t>(lr.layer_index));
+        w.key("stats").raw(simStatsJson(lr.stats));
+        w.key("perf").raw(perfReportJson(lr.perf));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 double

@@ -18,14 +18,28 @@
 
 namespace tie {
 
+/** One layer's slice of a simulated run, with attribution. */
+struct EngineLayerReport
+{
+    size_t layer_index = 0;
+    SimStats stats;
+    PerfReport perf;
+};
+
 /** A full inference run's outputs and reports. */
 struct EngineRunReport
 {
     Matrix<int16_t> output;
     SimStats stats;
     PerfReport perf;
-    std::vector<PerfReport> per_layer;
+    std::vector<EngineLayerReport> per_layer;
 };
+
+/**
+ * Serialize a run report as JSON: totals, aggregate perf, and the
+ * per-layer breakdown; stable key order (see arch/stats_io.hh).
+ */
+std::string engineReportJson(const EngineRunReport &rep);
 
 class Sequential;
 

@@ -21,9 +21,39 @@
 #include <cstddef>
 
 #include "common/thread_pool.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 
 namespace tie {
 namespace gemm {
+
+/** Cached references to the kernel-layer stats (see obs/). */
+struct KernelStats
+{
+    obs::Counter &gemm_calls;
+    obs::Counter &gemm_madds; ///< multiply-adds issued (m*n*k)
+    obs::Counter &gemv_calls;
+    obs::Counter &gemv_madds;
+    obs::Distribution &gemm_us;
+
+    static KernelStats &
+    get()
+    {
+        static KernelStats s{
+            obs::StatRegistry::instance().counter(
+                "gemm.calls", "blocked GEMM invocations"),
+            obs::StatRegistry::instance().counter(
+                "gemm.madds", "GEMM multiply-adds issued"),
+            obs::StatRegistry::instance().counter(
+                "gemv.calls", "blocked GEMV invocations"),
+            obs::StatRegistry::instance().counter(
+                "gemv.madds", "GEMV multiply-adds issued"),
+            obs::StatRegistry::instance().distribution(
+                "gemm.call_us", "wall-clock microseconds per GEMM"),
+        };
+        return s;
+    }
+};
 
 /** Rows of C per parallel chunk when splitting the row axis. */
 inline constexpr size_t kRowBlock = 16;
@@ -70,16 +100,25 @@ gemmBlocked(size_t m, size_t n, size_t k, const T *a, const T *b, T *c)
 {
     if (m == 0 || n == 0 || k == 0)
         return;
+    if (obs::enabled()) {
+        KernelStats &ks = KernelStats::get();
+        ks.gemm_calls.add();
+        ks.gemm_madds.add(m * n * k);
+    }
+    obs::ScopedTimer timer(KernelStats::get().gemm_us);
+    obs::HostSpan span("gemm");
     if (m * n * k < kParallelMinWork) {
         gemmTile(n, k, a, b, c, 0, m, 0, n);
         return;
     }
     if (m >= n) {
         parallelFor(0, m, kRowBlock, [&](size_t i0, size_t i1) {
+            obs::HostSpan tile("gemm.tile");
             gemmTile(n, k, a, b, c, i0, i1, 0, n);
         });
     } else {
         parallelFor(0, n, kColBlock, [&](size_t j0, size_t j1) {
+            obs::HostSpan tile("gemm.tile");
             gemmTile(n, k, a, b, c, 0, m, j0, j1);
         });
     }
@@ -90,6 +129,11 @@ template <typename T>
 void
 gemvBlocked(size_t m, size_t n, const T *a, const T *x, T *y)
 {
+    if (obs::enabled()) {
+        KernelStats &ks = KernelStats::get();
+        ks.gemv_calls.add();
+        ks.gemv_madds.add(m * n);
+    }
     auto rows = [&](size_t i0, size_t i1) {
         for (size_t i = i0; i < i1; ++i) {
             const T *row = a + i * n;

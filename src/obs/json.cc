@@ -1,0 +1,398 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tie {
+namespace obs {
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+void
+JsonWriter::separate()
+{
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!first_.empty()) {
+        if (!first_.back())
+            out_.push_back(',');
+        first_.back() = false;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_.push_back('{');
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_.push_back('}');
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_.push_back('[');
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_.push_back(']');
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    separate();
+    out_ += jsonQuote(k);
+    out_.push_back(':');
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    out_ += jsonQuote(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    out_ += jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(std::string_view json)
+{
+    separate();
+    out_ += json;
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &kv : object)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+double
+JsonValue::num(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    return v != nullptr && v->type == Type::Number ? v->number : 0.0;
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view. */
+struct Parser
+{
+    std::string_view s;
+    size_t i = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(i);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' ||
+                                s[i] == '\n' || s[i] == '\r'))
+            ++i;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != c)
+            return false;
+        ++i;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (s.compare(i, word.size(), word) != 0)
+            return fail("bad literal");
+        i += word.size();
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        while (i < s.size() && s[i] != '"') {
+            char c = s[i];
+            if (c == '\\') {
+                if (++i >= s.size())
+                    return fail("truncated escape");
+                switch (s[i]) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': {
+                    if (i + 4 >= s.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = s[++i];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u digit");
+                    }
+                    appendUtf8(out, cp);
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+                ++i;
+            } else {
+                out.push_back(c);
+                ++i;
+            }
+        }
+        if (i >= s.size())
+            return fail("unterminated string");
+        ++i; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (i >= s.size())
+            return fail("unexpected end of input");
+        const char c = s[i];
+        if (c == '{') {
+            ++i;
+            out.type = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue member;
+                if (!parseValue(member))
+                    return false;
+                out.object.emplace_back(std::move(key),
+                                        std::move(member));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++i;
+            out.type = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                JsonValue elem;
+                if (!parseValue(elem))
+                    return false;
+                out.array.push_back(std::move(elem));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return parseString(out.string);
+        }
+        if (c == 't') {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.type = JsonValue::Type::Null;
+            return literal("null");
+        }
+        // Number: delegate to strtod on a bounded copy.
+        size_t j = i;
+        while (j < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[j])) ||
+                s[j] == '-' || s[j] == '+' || s[j] == '.' ||
+                s[j] == 'e' || s[j] == 'E'))
+            ++j;
+        if (j == i)
+            return fail("unexpected character");
+        const std::string text(s.substr(i, j - i));
+        char *end = nullptr;
+        out.number = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size())
+            return fail("bad number");
+        out.type = JsonValue::Type::Number;
+        i = j;
+        return true;
+    }
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text, std::string *err)
+{
+    Parser p{text, 0, {}};
+    JsonValue v;
+    bool ok = p.parseValue(v);
+    if (ok) {
+        p.skipWs();
+        if (p.i != text.size())
+            ok = p.fail("trailing data");
+    }
+    if (!ok) {
+        if (err != nullptr)
+            *err = p.err;
+        return JsonValue{};
+    }
+    if (err != nullptr)
+        err->clear();
+    return v;
+}
+
+} // namespace obs
+} // namespace tie

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * with explicit key order (so every serialized report is byte-stable
+ * for fixed inputs) and a small recursive-descent parser used by tests
+ * and tools to round-trip the emitted documents.
+ *
+ * Numbers are formatted with std::to_chars (shortest round-trip form),
+ * so re-parsing a document reproduces the exact source values and the
+ * text never depends on locale or stream state.
+ */
+
+#ifndef TIE_OBS_JSON_HH
+#define TIE_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tie {
+namespace obs {
+
+/** Escape and quote @p s as a JSON string literal. */
+std::string jsonQuote(std::string_view s);
+
+/** Shortest round-trip decimal form; non-finite values become null. */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming JSON writer. Commas and nesting are tracked internally;
+ * the caller provides keys/values in the order they should appear.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key (must be inside an object). */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &value(double v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &
+    value(unsigned v)
+    {
+        return value(static_cast<uint64_t>(v));
+    }
+    /** Splice an already-serialized JSON fragment in value position. */
+    JsonWriter &raw(std::string_view json);
+
+    template <typename T>
+    JsonWriter &
+    field(std::string_view k, T &&v)
+    {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void separate();
+
+    std::string out_;
+    std::vector<bool> first_; ///< per nesting level: no element emitted yet
+    bool after_key_ = false;
+};
+
+/** Parsed JSON document (tests / report round-trips). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return type == Type::Null; }
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+    /** Convenience: member's number (0 when absent). */
+    double num(std::string_view key) const;
+    uint64_t
+    u64(std::string_view key) const
+    {
+        return static_cast<uint64_t>(num(key));
+    }
+};
+
+/**
+ * Parse @p text. On failure returns Null and, if @p err is non-null,
+ * stores a diagnostic. Trailing garbage after the document is an error.
+ */
+JsonValue parseJson(std::string_view text, std::string *err = nullptr);
+
+} // namespace obs
+} // namespace tie
+
+#endif // TIE_OBS_JSON_HH

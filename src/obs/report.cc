@@ -1,0 +1,204 @@
+#include "obs/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
+namespace tie {
+namespace obs {
+
+namespace {
+
+Session *g_session = nullptr;
+std::mutex g_tables_mu;
+std::vector<TableData> g_tables;
+
+/**
+ * Match "--<flag>" or "--<flag>=<value>". Returns false when @p arg is
+ * unrelated; otherwise sets @p value ("" for the bare form).
+ */
+bool
+matchFlag(const char *arg, const char *flag, std::string *value)
+{
+    if (std::strncmp(arg, "--", 2) != 0)
+        return false;
+    const char *body = arg + 2;
+    const size_t n = std::strlen(flag);
+    if (std::strncmp(body, flag, n) != 0)
+        return false;
+    if (body[n] == '\0') {
+        value->clear();
+        return true;
+    }
+    if (body[n] == '=') {
+        *value = body + n + 1;
+        return true;
+    }
+    return false;
+}
+
+std::string
+envPath(const char *var)
+{
+    const char *s = std::getenv(var);
+    return s != nullptr ? std::string(s) : std::string();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) {
+        std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+        return;
+    }
+    os << content << "\n";
+}
+
+} // namespace
+
+bool
+tableRecordingActive()
+{
+    return g_session != nullptr;
+}
+
+void
+recordTable(TableData t)
+{
+    if (g_session == nullptr)
+        return;
+    std::lock_guard<std::mutex> lk(g_tables_mu);
+    g_tables.push_back(std::move(t));
+}
+
+Session::Session(std::string name, int *argc, char **argv)
+    : name_(std::move(name))
+{
+    bool stats_flag = false, trace_flag = false;
+    std::string stats_value, trace_value;
+
+    if (argc != nullptr && argv != nullptr) {
+        int out = 1;
+        for (int i = 1; i < *argc; ++i) {
+            std::string v;
+            if (matchFlag(argv[i], "stats-json", &v)) {
+                stats_flag = true;
+                stats_value = v;
+            } else if (matchFlag(argv[i], "trace-out", &v)) {
+                trace_flag = true;
+                trace_value = v;
+            } else {
+                argv[out++] = argv[i];
+            }
+        }
+        *argc = out;
+        argv[out] = nullptr;
+    }
+
+    if (!stats_flag) {
+        stats_value = envPath("TIE_STATS_JSON");
+        stats_flag = !stats_value.empty();
+    }
+    if (!trace_flag) {
+        trace_value = envPath("TIE_TRACE");
+        trace_flag = !trace_value.empty();
+    }
+
+    if (stats_flag)
+        stats_path_ = stats_value.empty() ? "BENCH_" + name_ + ".json"
+                                          : stats_value;
+    if (trace_flag)
+        trace_path_ = trace_value.empty() ? name_ + ".trace.json"
+                                          : trace_value;
+
+    if (statsRequested() || traceRequested())
+        setEnabled(true);
+
+    {
+        std::lock_guard<std::mutex> lk(g_tables_mu);
+        g_tables.clear();
+    }
+    g_session = this;
+}
+
+Session::~Session()
+{
+    flush();
+    if (g_session == this)
+        g_session = nullptr;
+}
+
+Session *
+Session::current()
+{
+    return g_session;
+}
+
+void
+Session::setExtra(const std::string &key, std::string raw_json)
+{
+    for (auto &kv : extra_) {
+        if (kv.first == key) {
+            kv.second = std::move(raw_json);
+            return;
+        }
+    }
+    extra_.emplace_back(key, std::move(raw_json));
+}
+
+std::string
+Session::statsJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", name_);
+    for (const auto &kv : extra_)
+        w.key(kv.first).raw(kv.second);
+    w.key("tables").beginArray();
+    {
+        std::lock_guard<std::mutex> lk(g_tables_mu);
+        for (const TableData &t : g_tables) {
+            w.beginObject();
+            w.field("title", t.title);
+            w.key("columns").beginArray();
+            for (const auto &c : t.columns)
+                w.value(c);
+            w.endArray();
+            w.key("rows").beginArray();
+            for (const auto &row : t.rows) {
+                w.beginArray();
+                for (const auto &cell : row)
+                    w.value(cell);
+                w.endArray();
+            }
+            w.endArray();
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.key("stats").raw(StatRegistry::instance().toJson());
+    w.endObject();
+    return w.str();
+}
+
+void
+Session::flush()
+{
+    if (flushed_)
+        return;
+    flushed_ = true;
+    if (statsRequested())
+        writeFile(stats_path_, statsJson());
+    if (traceRequested())
+        writeFile(trace_path_, Trace::instance().toJson());
+}
+
+} // namespace obs
+} // namespace tie

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Machine-readable report plumbing shared by every bench binary and
+ * tie_cli:
+ *
+ *  - a table-recording hook: while a Session is active, every
+ *    TextTable printed to stdout is also captured, so the same numbers
+ *    that render as the paper's tables land in the JSON report;
+ *  - Session: parses --stats-json[=path] / --trace-out[=path] from
+ *    argv (stripping them so the binary's own parser never sees them)
+ *    with TIE_STATS_JSON / TIE_TRACE environment fallbacks, enables
+ *    observability when either output is requested, and writes the
+ *    files on flush()/destruction.
+ *
+ * Default paths: BENCH_<name>.json for stats, <name>.trace.json for
+ * the Chrome trace.
+ */
+
+#ifndef TIE_OBS_REPORT_HH
+#define TIE_OBS_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tie {
+namespace obs {
+
+/** Captured copy of one printed TextTable. */
+struct TableData
+{
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** True while a Session is collecting printed tables. */
+bool tableRecordingActive();
+
+/** Record a printed table (no-op unless a Session is active). */
+void recordTable(TableData t);
+
+/** Flag/env-driven report writer; at most one active per process. */
+class Session
+{
+  public:
+    /**
+     * @param name   report identity; also names the default files.
+     * @param argc   if non-null, recognized --stats-json / --trace-out
+     *               arguments are consumed from argv and *argc shrinks.
+     */
+    explicit Session(std::string name, int *argc = nullptr,
+                     char **argv = nullptr);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** The active session, or nullptr. */
+    static Session *current();
+
+    bool statsRequested() const { return !stats_path_.empty(); }
+    bool traceRequested() const { return !trace_path_.empty(); }
+    const std::string &statsPath() const { return stats_path_; }
+    const std::string &tracePath() const { return trace_path_; }
+
+    /**
+     * Attach an already-serialized JSON value under @p key at the top
+     * level of the stats report (e.g. a simulation report).
+     */
+    void setExtra(const std::string &key, std::string raw_json);
+
+    /** Write the requested files now (idempotent). */
+    void flush();
+
+  private:
+    std::string statsJson() const;
+
+    std::string name_;
+    std::string stats_path_;
+    std::string trace_path_;
+    std::vector<std::pair<std::string, std::string>> extra_;
+    bool flushed_ = false;
+};
+
+} // namespace obs
+} // namespace tie
+
+#endif // TIE_OBS_REPORT_HH

@@ -1,0 +1,157 @@
+#include "obs/stat_registry.hh"
+
+#include "obs/json.hh"
+
+namespace tie {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_obs_enabled{false};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_obs_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+Distribution::record(double v)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (s_.count == 0) {
+        s_.min = s_.max = v;
+    } else {
+        if (v < s_.min)
+            s_.min = v;
+        if (v > s_.max)
+            s_.max = v;
+    }
+    ++s_.count;
+    s_.sum += v;
+}
+
+Distribution::Snapshot
+Distribution::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return s_;
+}
+
+void
+Distribution::reset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    s_ = Snapshot{};
+}
+
+StatRegistry &
+StatRegistry::instance()
+{
+    static StatRegistry reg;
+    return reg;
+}
+
+Counter &
+StatRegistry::counter(const std::string &name, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &e = counters_[name];
+    if (!e.stat) {
+        e.stat = std::make_unique<Counter>();
+        e.desc = desc;
+    }
+    return *e.stat;
+}
+
+Gauge &
+StatRegistry::gauge(const std::string &name, const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &e = gauges_[name];
+    if (!e.stat) {
+        e.stat = std::make_unique<Gauge>();
+        e.desc = desc;
+    }
+    return *e.stat;
+}
+
+Distribution &
+StatRegistry::distribution(const std::string &name,
+                           const std::string &desc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto &e = dists_[name];
+    if (!e.stat) {
+        e.stat = std::make_unique<Distribution>();
+        e.desc = desc;
+    }
+    return *e.stat;
+}
+
+void
+StatRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &kv : counters_)
+        kv.second.stat->reset();
+    for (auto &kv : gauges_)
+        kv.second.stat->reset();
+    for (auto &kv : dists_)
+        kv.second.stat->reset();
+}
+
+std::string
+StatRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    JsonWriter w;
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &kv : counters_)
+        w.field(kv.first, kv.second.stat->value());
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &kv : gauges_)
+        w.field(kv.first, kv.second.stat->value());
+    w.endObject();
+    w.key("distributions").beginObject();
+    for (const auto &kv : dists_) {
+        const Distribution::Snapshot s = kv.second.stat->snapshot();
+        w.key(kv.first).beginObject();
+        w.field("count", s.count);
+        w.field("sum", s.sum);
+        w.field("min", s.min);
+        w.field("max", s.max);
+        w.field("mean", s.mean());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+StatRegistry::toCsv() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::string out = "name,type,value,sum,min,max\n";
+    for (const auto &kv : counters_)
+        out += kv.first + ",counter," +
+               std::to_string(kv.second.stat->value()) + ",,,\n";
+    for (const auto &kv : gauges_)
+        out += kv.first + ",gauge," +
+               std::to_string(kv.second.stat->value()) + ",,,\n";
+    for (const auto &kv : dists_) {
+        const Distribution::Snapshot s = kv.second.stat->snapshot();
+        out += kv.first + ",distribution," + std::to_string(s.count) +
+               "," + jsonNumber(s.sum) + "," + jsonNumber(s.min) + "," +
+               jsonNumber(s.max) + "\n";
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace tie

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * gem5-style statistics registry: named counters, gauges and
+ * distributions that instrumented code registers once (the returned
+ * reference stays valid for the process lifetime) and bumps from any
+ * thread.
+ *
+ * The whole layer is gated by one process-wide flag (obs::enabled):
+ * when observability is off — the default — every hot-path update is a
+ * single relaxed atomic load plus a branch, so instrumented kernels
+ * run at full speed and simulation results are bit-identical either
+ * way.
+ *
+ * Serialization (toJson / toCsv) iterates the registry in name order,
+ * so the output has a stable key order for fixed inputs.
+ */
+
+#ifndef TIE_OBS_STAT_REGISTRY_HH
+#define TIE_OBS_STAT_REGISTRY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tie {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_obs_enabled;
+} // namespace detail
+
+/** Master switch for stat collection and trace recording. */
+inline bool
+enabled()
+{
+    return detail::g_obs_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn observability on/off (off by default). */
+void setEnabled(bool on);
+
+/** Monotonically increasing event count (thread-safe). */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        if (enabled())
+            v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Last-written value (thread-safe). */
+class Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        if (enabled())
+            v_.store(v, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Sample distribution: count / sum / min / max (thread-safe). */
+class Distribution
+{
+  public:
+    struct Snapshot
+    {
+        uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+
+        double mean() const { return count > 0 ? sum / double(count) : 0.0; }
+    };
+
+    void record(double v);
+    Snapshot snapshot() const;
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    Snapshot s_;
+};
+
+/**
+ * Process-wide registry. Stats are created on first lookup and live
+ * forever; call sites typically cache the reference in a function-local
+ * static so steady-state updates never touch the registry lock.
+ */
+class StatRegistry
+{
+  public:
+    static StatRegistry &instance();
+
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    Counter &counter(const std::string &name,
+                     const std::string &desc = "");
+    Gauge &gauge(const std::string &name, const std::string &desc = "");
+    Distribution &distribution(const std::string &name,
+                               const std::string &desc = "");
+
+    /** Zero every registered stat (tests, between bench repetitions). */
+    void resetAll();
+
+    /**
+     * {"counters":{...},"gauges":{...},"distributions":{...}} with
+     * names in sorted order. Distributions serialize their snapshot
+     * (count/sum/min/max/mean).
+     */
+    std::string toJson() const;
+
+    /** "name,type,value[,sum,min,max]" lines, names sorted. */
+    std::string toCsv() const;
+
+  private:
+    StatRegistry() = default;
+
+    template <typename T>
+    struct Entry
+    {
+        std::unique_ptr<T> stat;
+        std::string desc;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry<Counter>> counters_;
+    std::map<std::string, Entry<Gauge>> gauges_;
+    std::map<std::string, Entry<Distribution>> dists_;
+};
+
+/**
+ * RAII wall-clock timer recording elapsed microseconds into a
+ * Distribution on destruction. When observability is disabled at
+ * construction the clock is never read.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Distribution &d)
+        : d_(&d), active_(enabled())
+    {
+        if (active_)
+            t0_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (active_) {
+            const auto dt = std::chrono::steady_clock::now() - t0_;
+            d_->record(std::chrono::duration<double, std::micro>(dt)
+                           .count());
+        }
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Distribution *d_;
+    bool active_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace obs
+} // namespace tie
+
+#endif // TIE_OBS_STAT_REGISTRY_HH

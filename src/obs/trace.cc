@@ -1,0 +1,198 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.hh"
+
+namespace tie {
+namespace obs {
+
+uint32_t
+hostThreadId()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+uint64_t
+hostNowUs()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(dt)
+            .count());
+}
+
+Trace &
+Trace::instance()
+{
+    static Trace t;
+    return t;
+}
+
+void
+Trace::setCategories(bool sim, bool host)
+{
+    sim_on_.store(sim, std::memory_order_relaxed);
+    host_on_.store(host, std::memory_order_relaxed);
+}
+
+void
+Trace::simSpan(std::string name, uint64_t ts_cycles,
+               uint64_t dur_cycles, uint32_t tid, std::vector<Arg> args)
+{
+    if (!simOn())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    sim_events_.push_back(Event{std::move(name), ts_cycles, dur_cycles,
+                                tid, std::move(args)});
+}
+
+void
+Trace::hostSpan(std::string name, uint64_t ts_us, uint64_t dur_us,
+                uint32_t tid)
+{
+    if (!hostOn())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    host_events_.push_back(Event{std::move(name), ts_us, dur_us, tid,
+                                 {}});
+}
+
+void
+Trace::setSimTrackName(uint32_t tid, std::string name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    sim_track_names_.emplace(tid, std::move(name));
+}
+
+uint64_t
+Trace::simCursor() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return sim_cursor_;
+}
+
+void
+Trace::advanceSimCursor(uint64_t cycles)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    sim_cursor_ += cycles;
+}
+
+void
+Trace::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    sim_events_.clear();
+    host_events_.clear();
+    sim_track_names_.clear();
+    sim_cursor_ = 0;
+}
+
+size_t
+Trace::simEventCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return sim_events_.size();
+}
+
+size_t
+Trace::hostEventCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return host_events_.size();
+}
+
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kHostPid = 2;
+
+void
+writeMeta(JsonWriter &w, const char *name, int pid, int tid,
+          const std::string &value)
+{
+    w.beginObject();
+    w.field("name", name);
+    w.field("ph", "M");
+    w.field("pid", pid);
+    if (tid >= 0)
+        w.field("tid", tid);
+    w.key("args").beginObject().field("name", value).endObject();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+Trace::toJson() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    // Metadata: process names, then any named sim tracks.
+    if (!sim_events_.empty())
+        writeMeta(w, "process_name", kSimPid, -1,
+                  "TIE simulator (cycles)");
+    if (!host_events_.empty())
+        writeMeta(w, "process_name", kHostPid, -1, "host (wall-clock)");
+    if (!sim_events_.empty())
+        for (const auto &kv : sim_track_names_)
+            writeMeta(w, "thread_name", kSimPid,
+                      static_cast<int>(kv.first), kv.second);
+
+    auto emit = [&w](const Event &e, int pid, const char *cat) {
+        w.beginObject();
+        w.field("name", e.name);
+        w.field("cat", cat);
+        w.field("ph", "X");
+        w.field("pid", pid);
+        w.field("tid", e.tid);
+        w.field("ts", e.ts);
+        w.field("dur", e.dur);
+        if (!e.args.empty()) {
+            w.key("args").beginObject();
+            for (const auto &a : e.args)
+                w.field(a.key, a.value);
+            w.endObject();
+        }
+        w.endObject();
+    };
+
+    for (const Event &e : sim_events_)
+        emit(e, kSimPid, "sim");
+
+    // Host events arrive from racing threads in nondeterministic
+    // order; sort for a canonical (though still timing-dependent)
+    // layout.
+    std::vector<const Event *> host;
+    host.reserve(host_events_.size());
+    for (const Event &e : host_events_)
+        host.push_back(&e);
+    std::stable_sort(host.begin(), host.end(),
+                     [](const Event *a, const Event *b) {
+                         if (a->ts != b->ts)
+                             return a->ts < b->ts;
+                         if (a->tid != b->tid)
+                             return a->tid < b->tid;
+                         return a->name < b->name;
+                     });
+    for (const Event *e : host)
+        emit(*e, kHostPid, "host");
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace obs
+} // namespace tie

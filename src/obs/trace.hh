@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Chrome trace-event recorder (open the output in chrome://tracing or
+ * https://ui.perfetto.dev). Two clock domains share one file as two
+ * trace "processes":
+ *
+ *  - pid 1, category "sim": the cycle-accurate simulator's timeline in
+ *    *simulated cycles* (ts/dur are cycle counts, no wall-clock). The
+ *    simulator records these on the calling thread in program order,
+ *    so for fixed inputs the serialized sim events are byte-identical
+ *    across runs and across any TIE_THREADS setting.
+ *  - pid 2, category "host": wall-clock spans of host-side work (pool
+ *    chunks, GEMM tiles, TT-SVD) in microseconds since the first
+ *    observation. These are inherently non-deterministic.
+ *
+ * Recording is gated by obs::enabled() plus a per-category switch;
+ * when off, a HostSpan construction is two relaxed atomic loads.
+ */
+
+#ifndef TIE_OBS_TRACE_HH
+#define TIE_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stat_registry.hh"
+
+namespace tie {
+namespace obs {
+
+/** Stable small integer identifying the calling thread in traces. */
+uint32_t hostThreadId();
+
+/** Microseconds of steady clock since the process's first call. */
+uint64_t hostNowUs();
+
+/** Process-wide trace-event buffer. */
+class Trace
+{
+  public:
+    static Trace &instance();
+
+    Trace(const Trace &) = delete;
+    Trace &operator=(const Trace &) = delete;
+
+    /** Numeric event argument (numeric-only keeps output deterministic). */
+    struct Arg
+    {
+        std::string key;
+        uint64_t value;
+    };
+
+    /** Enable/disable the two categories (both on by default). */
+    void setCategories(bool sim, bool host);
+
+    bool
+    simOn() const
+    {
+        return enabled() && sim_on_.load(std::memory_order_relaxed);
+    }
+    bool
+    hostOn() const
+    {
+        return enabled() && host_on_.load(std::memory_order_relaxed);
+    }
+
+    /** Complete event on the simulated-cycle timeline (pid 1). */
+    void simSpan(std::string name, uint64_t ts_cycles,
+                 uint64_t dur_cycles, uint32_t tid,
+                 std::vector<Arg> args = {});
+
+    /** Complete event on the host wall-clock timeline (pid 2). */
+    void hostSpan(std::string name, uint64_t ts_us, uint64_t dur_us,
+                  uint32_t tid);
+
+    /** Name a simulated-timeline track (idempotent). */
+    void setSimTrackName(uint32_t tid, std::string name);
+
+    /**
+     * Global cursor on the simulated timeline: successive layers /
+     * networks are appended here so one process produces one
+     * continuous trace.
+     */
+    uint64_t simCursor() const;
+    void advanceSimCursor(uint64_t cycles);
+
+    /** Drop all recorded events and reset the sim cursor. */
+    void clear();
+
+    size_t simEventCount() const;
+    size_t hostEventCount() const;
+
+    /**
+     * Serialize as a Chrome trace JSON object. Metadata first, then
+     * sim events in record order, then host events sorted by
+     * (ts, tid, name); key order inside each event is fixed.
+     */
+    std::string toJson() const;
+
+  private:
+    Trace() = default;
+
+    struct Event
+    {
+        std::string name;
+        uint64_t ts = 0;
+        uint64_t dur = 0;
+        uint32_t tid = 0;
+        std::vector<Arg> args;
+    };
+
+    mutable std::mutex mu_;
+    std::atomic<bool> sim_on_{true};
+    std::atomic<bool> host_on_{true};
+    uint64_t sim_cursor_ = 0;
+    std::vector<Event> sim_events_;
+    std::vector<Event> host_events_;
+    std::map<uint32_t, std::string> sim_track_names_;
+};
+
+/**
+ * RAII host wall-clock span: records a pid-2 trace event covering its
+ * lifetime. Near-zero cost when tracing is off.
+ */
+class HostSpan
+{
+  public:
+    explicit HostSpan(const char *name)
+        : name_(name), active_(Trace::instance().hostOn())
+    {
+        if (active_)
+            t0_ = hostNowUs();
+    }
+
+    ~HostSpan()
+    {
+        if (active_) {
+            const uint64_t t1 = hostNowUs();
+            Trace::instance().hostSpan(name_, t0_, t1 - t0_,
+                                       hostThreadId());
+        }
+    }
+
+    HostSpan(const HostSpan &) = delete;
+    HostSpan &operator=(const HostSpan &) = delete;
+
+  private:
+    const char *name_;
+    bool active_;
+    uint64_t t0_ = 0;
+};
+
+} // namespace obs
+} // namespace tie
+
+#endif // TIE_OBS_TRACE_HH

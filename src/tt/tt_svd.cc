@@ -1,6 +1,8 @@
 #include "tt/tt_svd.hh"
 
 #include "linalg/svd.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 
 namespace tie {
 
@@ -40,6 +42,15 @@ weightToCombinedTensor(const MatrixD &w, const TtLayerConfig &cfg)
 TtMatrix
 ttSvdMatrix(const MatrixD &w, const TtLayerConfig &config, double rel_eps)
 {
+    static obs::Distribution &svd_us =
+        obs::StatRegistry::instance().distribution(
+            "ttsvd.matrix_us", "wall-clock microseconds per TT-SVD");
+    obs::StatRegistry::instance()
+        .counter("ttsvd.calls", "TT-SVD decompositions run")
+        .add();
+    obs::ScopedTimer timer(svd_us);
+    obs::HostSpan span("ttsvd.matrix");
+
     config.validate();
     TIE_CHECK_ARG(w.rows() == config.outSize() &&
                   w.cols() == config.inSize(),

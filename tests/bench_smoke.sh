@@ -1,0 +1,27 @@
+#!/bin/sh
+# Smoke test for the bench binaries' observability outputs: each binary
+# passed in $@ must accept --stats-json/--trace-out, write valid JSON
+# (validated with python3 -m json.tool), capture at least one printed
+# table, and produce identical table contents across repeat runs (the
+# paper numbers are deterministic; only host wall-clock stats may vary).
+set -e
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+for BENCH in "$@"; do
+    NAME="$(basename "$BENCH")"
+    "$BENCH" --stats-json="$DIR/$NAME.1.json" \
+             --trace-out="$DIR/$NAME.1.trace.json" >/dev/null
+    "$BENCH" --stats-json="$DIR/$NAME.2.json" >/dev/null
+    python3 -m json.tool "$DIR/$NAME.1.json" >/dev/null
+    python3 -m json.tool "$DIR/$NAME.1.trace.json" >/dev/null
+    python3 -m json.tool "$DIR/$NAME.2.json" >/dev/null
+    python3 - "$DIR/$NAME.1.json" "$DIR/$NAME.2.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert a["tables"], "no tables captured"
+assert a["tables"] == b["tables"], "tables differ between runs"
+EOF
+    echo "bench smoke ok: $NAME"
+done

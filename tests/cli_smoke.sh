@@ -14,4 +14,30 @@ trap 'rm -rf "$DIR"' EXIT
 
 # decompose round trip through a raw dense file produced from a model.
 "$CLI" simulate "$DIR/a.ttm" >/dev/null
+
+# Observability: --stats-json / --trace-out must write valid JSON, and
+# the TIE_STATS_JSON / TIE_TRACE env fallbacks must do the same.
+"$CLI" simulate "$DIR/a.ttm" \
+    --stats-json="$DIR/s.json" --trace-out="$DIR/t.json" >/dev/null
+python3 -m json.tool "$DIR/s.json" >/dev/null
+python3 -m json.tool "$DIR/t.json" >/dev/null
+grep -q '"simulate"' "$DIR/s.json"
+grep -q '"traceEvents"' "$DIR/t.json"
+TIE_STATS_JSON="$DIR/s2.json" TIE_TRACE="$DIR/t2.json" \
+    "$CLI" simulate "$DIR/a.ttm" >/dev/null
+python3 -m json.tool "$DIR/s2.json" >/dev/null
+python3 -m json.tool "$DIR/t2.json" >/dev/null
+
+# The simulated-cycle timeline (pid 1) is deterministic: the same model
+# must trace identically whether requested by flag or by env var.
+python3 - "$DIR/t.json" "$DIR/t2.json" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+sim_a = [e for e in a["traceEvents"] if e.get("pid") == 1]
+sim_b = [e for e in b["traceEvents"] if e.get("pid") == 1]
+assert sim_a, "no sim events traced"
+assert sim_a == sim_b, "sim trace is not deterministic"
+EOF
+
 echo "cli smoke ok"

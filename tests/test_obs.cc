@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Tests for the observability layer: stat-registry semantics under the
+ * thread pool, deterministic Chrome-trace output for the simulated
+ * timeline, JSON writer/parser round trips, report serializers, and —
+ * crucially — that turning observability on changes *nothing* about
+ * the simulation itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+
+#include "arch/stats_io.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/tie_engine.hh"
+#include "obs/json.hh"
+#include "obs/report.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
+namespace tie {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::parseJson;
+using obs::StatRegistry;
+using obs::Trace;
+
+/** Every test starts and ends with observability off and state clean. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::setEnabled(false);
+        StatRegistry::instance().resetAll();
+        Trace::instance().clear();
+        Trace::instance().setCategories(true, true);
+    }
+
+    void
+    TearDown() override
+    {
+        obs::setEnabled(false);
+        StatRegistry::instance().resetAll();
+        Trace::instance().clear();
+        Trace::instance().setCategories(true, true);
+    }
+};
+
+// ---------------------------------------------------------------- stats
+
+TEST_F(ObsTest, CounterCountsExactlyOnceUnderParallelFor)
+{
+    obs::setEnabled(true);
+    auto &c = StatRegistry::instance().counter("test.par_counter");
+    const size_t ambient = threadCount();
+    setThreadCount(4);
+    const size_t n = 1000;
+    parallelFor(0, n, 7, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            c.add();
+    });
+    setThreadCount(ambient);
+    EXPECT_EQ(c.value(), n);
+}
+
+TEST_F(ObsTest, DisabledStatsStayZero)
+{
+    ASSERT_FALSE(obs::enabled());
+    auto &c = StatRegistry::instance().counter("test.off_counter");
+    auto &g = StatRegistry::instance().gauge("test.off_gauge");
+    auto &d = StatRegistry::instance().distribution("test.off_dist");
+    c.add(5);
+    g.set(42);
+    d.record(1.5);
+    {
+        obs::ScopedTimer t(d); // must not read the clock or record
+    }
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(d.snapshot().count, 0u);
+}
+
+TEST_F(ObsTest, DistributionSnapshotAndScopedTimer)
+{
+    obs::setEnabled(true);
+    auto &d = StatRegistry::instance().distribution("test.dist");
+    d.record(2.0);
+    d.record(8.0);
+    d.record(5.0);
+    auto s = d.snapshot();
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_DOUBLE_EQ(s.sum, 15.0);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 8.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+
+    auto &t = StatRegistry::instance().distribution("test.timer");
+    {
+        obs::ScopedTimer timer(t);
+    }
+    EXPECT_EQ(t.snapshot().count, 1u);
+    EXPECT_GE(t.snapshot().min, 0.0);
+}
+
+TEST_F(ObsTest, RegistryJsonIsSortedAndParses)
+{
+    obs::setEnabled(true);
+    StatRegistry::instance().counter("test.zz").add(1);
+    StatRegistry::instance().counter("test.aa").add(2);
+    StatRegistry::instance().distribution("test.mm").record(3.0);
+    const std::string json = StatRegistry::instance().toJson();
+
+    // Sorted iteration => "test.aa" serialized before "test.zz".
+    EXPECT_LT(json.find("test.aa"), json.find("test.zz"));
+
+    std::string err;
+    JsonValue doc = parseJson(json, &err);
+    ASSERT_EQ(doc.type, JsonValue::Type::Object) << err;
+    const JsonValue *counters = doc.find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->u64("test.aa"), 2u);
+    EXPECT_EQ(counters->u64("test.zz"), 1u);
+    const JsonValue *dists = doc.find("distributions");
+    ASSERT_NE(dists, nullptr);
+    const JsonValue *mm = dists->find("test.mm");
+    ASSERT_NE(mm, nullptr);
+    EXPECT_EQ(mm->u64("count"), 1u);
+    EXPECT_DOUBLE_EQ(mm->num("sum"), 3.0);
+
+    const std::string csv = StatRegistry::instance().toCsv();
+    EXPECT_NE(csv.find("test.aa,counter,2"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- json
+
+TEST_F(ObsTest, JsonWriterRoundTripsThroughParser)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("str", "a \"quoted\"\nline");
+    w.field("num", 0.1);
+    w.field("neg", int64_t(-7));
+    w.field("big", uint64_t(1) << 53);
+    w.field("flag", true);
+    w.key("arr").beginArray().value(1).value(2.5).endArray();
+    w.key("obj").beginObject().field("k", "v").endObject();
+    w.endObject();
+
+    std::string err;
+    JsonValue doc = parseJson(w.str(), &err);
+    ASSERT_EQ(doc.type, JsonValue::Type::Object) << err;
+    EXPECT_EQ(doc.find("str")->string, "a \"quoted\"\nline");
+    EXPECT_DOUBLE_EQ(doc.num("num"), 0.1);
+    EXPECT_DOUBLE_EQ(doc.num("neg"), -7.0);
+    EXPECT_EQ(doc.u64("big"), uint64_t(1) << 53);
+    EXPECT_TRUE(doc.find("flag")->boolean);
+    ASSERT_EQ(doc.find("arr")->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(doc.find("arr")->array[1].number, 2.5);
+    EXPECT_EQ(doc.find("obj")->find("k")->string, "v");
+}
+
+TEST_F(ObsTest, JsonParserRejectsGarbage)
+{
+    std::string err;
+    EXPECT_TRUE(parseJson("{", &err).isNull());
+    EXPECT_TRUE(parseJson("[1,2,]", &err).isNull());
+    EXPECT_TRUE(parseJson("{} trailing", &err).isNull());
+    EXPECT_TRUE(parseJson("", &err).isNull());
+    EXPECT_FALSE(parseJson("null", &err).type == JsonValue::Type::Bool);
+}
+
+TEST_F(ObsTest, JsonNumberIsShortestRoundTrip)
+{
+    EXPECT_EQ(obs::jsonNumber(0.1), "0.1");
+    EXPECT_EQ(obs::jsonNumber(1.0), "1");
+    EXPECT_EQ(obs::jsonNumber(-2.5), "-2.5");
+    // Non-finite values have no JSON form.
+    EXPECT_EQ(obs::jsonNumber(1.0 / 0.0), "null");
+}
+
+// ---------------------------------------------------------------- trace
+
+TtMatrixFxp
+smallQuantLayer(uint64_t seed)
+{
+    TtLayerConfig cfg;
+    cfg.m = {3, 2, 4};
+    cfg.n = {2, 4, 3};
+    cfg.r = {1, 3, 2, 1};
+    Rng rng(seed);
+    return TtMatrixFxp::quantizeAuto(TtMatrix::random(cfg, rng),
+                                     FxpFormat{16, 10}, 6);
+}
+
+Matrix<int16_t>
+smallQuantInput(uint64_t seed)
+{
+    Rng rng(seed);
+    MatrixF x(24, 1);
+    x.setUniform(rng, -1.0, 1.0);
+    return quantizeMatrix(x, FxpFormat{16, 10});
+}
+
+std::string
+traceOneSimLayer()
+{
+    Trace::instance().clear();
+    TieSimulator sim;
+    sim.runLayer(smallQuantLayer(7), smallQuantInput(8));
+    return Trace::instance().toJson();
+}
+
+TEST_F(ObsTest, SimTraceIsByteIdenticalAcrossRunsAndThreadCounts)
+{
+    obs::setEnabled(true);
+    Trace::instance().setCategories(/*sim=*/true, /*host=*/false);
+
+    const size_t ambient = threadCount();
+    setThreadCount(1);
+    const std::string a = traceOneSimLayer();
+    const std::string b = traceOneSimLayer();
+    setThreadCount(4);
+    const std::string c = traceOneSimLayer();
+    setThreadCount(ambient);
+
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "sim trace differs across identical runs";
+    EXPECT_EQ(a, c) << "sim trace depends on the pool size";
+
+    std::string err;
+    JsonValue doc = parseJson(a, &err);
+    ASSERT_EQ(doc.type, JsonValue::Type::Object) << err;
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->type, JsonValue::Type::Array);
+    // At least: 1 process meta + 3 track metas + layer + 3 stages.
+    EXPECT_GE(events->array.size(), 8u);
+
+    // Stage spans tile the layer span exactly (no gaps on track 1
+    // beyond the configured switch overhead, no wall-clock anywhere).
+    const JsonValue *layer = nullptr;
+    uint64_t stage_cycles = 0;
+    size_t stage_count = 0;
+    for (const JsonValue &e : events->array) {
+        const JsonValue *name = e.find("name");
+        if (name == nullptr)
+            continue;
+        if (name->string == "layer 0")
+            layer = &e;
+        if (name->string.rfind("stage h=", 0) == 0) {
+            stage_cycles += e.u64("dur");
+            ++stage_count;
+        }
+        EXPECT_EQ(e.u64("pid"), 1u) << "host event leaked into sim trace";
+    }
+    ASSERT_NE(layer, nullptr);
+    EXPECT_EQ(stage_count, 3u);
+    EXPECT_LE(stage_cycles, layer->u64("dur"));
+}
+
+TEST_F(ObsTest, SimCursorAppendsAcrossLayersAndClearResets)
+{
+    obs::setEnabled(true);
+    Trace::instance().setCategories(true, false);
+    Trace::instance().clear();
+    EXPECT_EQ(Trace::instance().simCursor(), 0u);
+
+    TieSimulator sim;
+    TieSimResult r1 = sim.runLayer(smallQuantLayer(7), smallQuantInput(8));
+    const uint64_t after_one = Trace::instance().simCursor();
+    EXPECT_EQ(after_one, r1.stats.cycles);
+
+    sim.runLayer(smallQuantLayer(7), smallQuantInput(8));
+    EXPECT_EQ(Trace::instance().simCursor(), 2 * after_one);
+
+    Trace::instance().clear();
+    EXPECT_EQ(Trace::instance().simCursor(), 0u);
+    EXPECT_EQ(Trace::instance().simEventCount(), 0u);
+}
+
+TEST_F(ObsTest, SimulationIsBitIdenticalWithObservabilityOnOrOff)
+{
+    // Baseline with observability fully off.
+    ASSERT_FALSE(obs::enabled());
+    TieSimulator sim;
+    const TieSimResult off =
+        sim.runLayer(smallQuantLayer(3), smallQuantInput(4));
+
+    // Same run with stats + both trace categories on.
+    obs::setEnabled(true);
+    Trace::instance().setCategories(true, true);
+    const TieSimResult on =
+        sim.runLayer(smallQuantLayer(3), smallQuantInput(4));
+
+    EXPECT_EQ(on.stats.cycles, off.stats.cycles);
+    EXPECT_EQ(on.stats.mac_ops, off.stats.mac_ops);
+    EXPECT_EQ(on.stats.stall_cycles, off.stats.stall_cycles);
+    EXPECT_EQ(on.stats.weight_sram_reads, off.stats.weight_sram_reads);
+    ASSERT_EQ(on.output.rows(), off.output.rows());
+    for (size_t i = 0; i < off.output.rows(); ++i)
+        EXPECT_EQ(on.output(i, 0), off.output(i, 0)) << "row " << i;
+}
+
+// ------------------------------------------------------------- stats_io
+
+TEST_F(ObsTest, SimStatsJsonRoundTrips)
+{
+    TieSimulator sim;
+    TieSimResult r = sim.runLayer(smallQuantLayer(5), smallQuantInput(6));
+    const std::string json = simStatsJson(r.stats);
+
+    std::string err;
+    JsonValue doc = parseJson(json, &err);
+    ASSERT_EQ(doc.type, JsonValue::Type::Object) << err;
+    SimStats back = simStatsFromJson(doc);
+
+    EXPECT_EQ(back.cycles, r.stats.cycles);
+    EXPECT_EQ(back.mac_ops, r.stats.mac_ops);
+    EXPECT_EQ(back.weight_sram_reads, r.stats.weight_sram_reads);
+    EXPECT_EQ(back.working_sram_reads, r.stats.working_sram_reads);
+    EXPECT_EQ(back.working_sram_writes, r.stats.working_sram_writes);
+    EXPECT_EQ(back.reg_writes, r.stats.reg_writes);
+    EXPECT_EQ(back.stall_cycles, r.stats.stall_cycles);
+    ASSERT_EQ(back.stages.size(), r.stats.stages.size());
+    for (size_t i = 0; i < back.stages.size(); ++i) {
+        EXPECT_EQ(back.stages[i].layer_index,
+                  r.stats.stages[i].layer_index);
+        EXPECT_EQ(back.stages[i].core_index,
+                  r.stats.stages[i].core_index);
+        EXPECT_EQ(back.stages[i].cycles, r.stats.stages[i].cycles);
+        EXPECT_EQ(back.stages[i].mac_ops, r.stats.stages[i].mac_ops);
+        EXPECT_EQ(back.stages[i].stall_cycles,
+                  r.stats.stages[i].stall_cycles);
+    }
+
+    // Serialization is deterministic for equal inputs.
+    EXPECT_EQ(json, simStatsJson(back));
+
+    const std::string csv = simStatsCsv(r.stats);
+    EXPECT_NE(csv.find("layer_index,core_index,cycles"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, PowerAndPerfReportsRoundTrip)
+{
+    PowerReport p;
+    p.memory_mw = 12.5;
+    p.register_mw = 3.25;
+    p.combinational_mw = 7.75;
+    p.clock_mw = 1.125;
+    std::string err;
+    JsonValue pd = parseJson(powerReportJson(p), &err);
+    ASSERT_EQ(pd.type, JsonValue::Type::Object) << err;
+    PowerReport pb = powerReportFromJson(pd);
+    EXPECT_DOUBLE_EQ(pb.memory_mw, p.memory_mw);
+    EXPECT_DOUBLE_EQ(pb.register_mw, p.register_mw);
+    EXPECT_DOUBLE_EQ(pb.combinational_mw, p.combinational_mw);
+    EXPECT_DOUBLE_EQ(pb.clock_mw, p.clock_mw);
+    EXPECT_DOUBLE_EQ(pd.num("total_mw"), p.totalMw());
+
+    PerfReport r;
+    r.latency_us = 1.5;
+    r.energy_nj = 250.0;
+    r.power_mw = 100.0;
+    r.effective_gops = 2000.0;
+    r.area_mm2 = 1.74;
+    JsonValue rd = parseJson(perfReportJson(r), &err);
+    ASSERT_EQ(rd.type, JsonValue::Type::Object) << err;
+    PerfReport rb = perfReportFromJson(rd);
+    EXPECT_DOUBLE_EQ(rb.latency_us, r.latency_us);
+    EXPECT_DOUBLE_EQ(rb.energy_nj, r.energy_nj);
+    EXPECT_DOUBLE_EQ(rb.power_mw, r.power_mw);
+    EXPECT_DOUBLE_EQ(rb.effective_gops, r.effective_gops);
+    EXPECT_DOUBLE_EQ(rb.area_mm2, r.area_mm2);
+    EXPECT_DOUBLE_EQ(rd.num("gops_per_watt"), r.gopsPerWatt());
+
+    EXPECT_NE(perfReportCsv(r).find("latency_us,1.5"),
+              std::string::npos);
+}
+
+// --------------------------------------------------- layer attribution
+
+TEST_F(ObsTest, EngineReportCarriesLayerIndices)
+{
+    Rng rng(2);
+    TtLayerConfig cfg = TtLayerConfig::uniform(3, 2, 2, 2);
+    TieEngine engine;
+    engine.addLayer(TtMatrix::random(cfg, rng));
+    engine.addLayer(TtMatrix::random(cfg, rng));
+
+    Matrix<int16_t> x(cfg.inSize(), 1);
+    EngineRunReport rep = engine.simulate(x);
+
+    ASSERT_EQ(rep.per_layer.size(), 2u);
+    for (size_t i = 0; i < rep.per_layer.size(); ++i) {
+        EXPECT_EQ(rep.per_layer[i].layer_index, i);
+        for (const StageStats &st : rep.per_layer[i].stats.stages)
+            EXPECT_EQ(st.layer_index, i);
+    }
+    // The totals keep per-stage attribution too.
+    bool saw_layer1 = false;
+    for (const StageStats &st : rep.stats.stages)
+        saw_layer1 |= st.layer_index == 1;
+    EXPECT_TRUE(saw_layer1);
+
+    std::string err;
+    JsonValue doc = parseJson(engineReportJson(rep), &err);
+    ASSERT_EQ(doc.type, JsonValue::Type::Object) << err;
+    const JsonValue *layers = doc.find("per_layer");
+    ASSERT_NE(layers, nullptr);
+    ASSERT_EQ(layers->array.size(), 2u);
+    EXPECT_EQ(layers->array[1].u64("layer_index"), 1u);
+}
+
+// -------------------------------------------------------------- logging
+
+TEST_F(ObsTest, WarnOnceFiresExactlyOnce)
+{
+    ::testing::internal::CaptureStderr();
+    for (int i = 0; i < 3; ++i)
+        TIE_WARN_ONCE("only once please");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    size_t n = 0;
+    for (size_t pos = err.find("only once please");
+         pos != std::string::npos;
+         pos = err.find("only once please", pos + 1))
+        ++n;
+    EXPECT_LE(n, 1u); // 0 allowed when TIE_LOG_LEVEL=silent
+    if (std::getenv("TIE_LOG_LEVEL") == nullptr) {
+        EXPECT_EQ(n, 1u);
+    }
+}
+
+TEST_F(ObsTest, LogLevelsAreOrdered)
+{
+    // Whatever TIE_LOG_LEVEL says, enabling Info implies enabling Warn.
+    if (logLevelEnabled(LogLevel::Info)) {
+        EXPECT_TRUE(logLevelEnabled(LogLevel::Warn));
+    }
+    EXPECT_TRUE(logLevelEnabled(LogLevel::Silent));
+}
+
+// ------------------------------------------------------------- session
+
+TEST_F(ObsTest, SessionStripsFlagsAndWritesFiles)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string stats = dir + "/obs_session_stats.json";
+    const std::string trace = dir + "/obs_session_trace.json";
+    const std::string stats_flag = "--stats-json=" + stats;
+    const std::string trace_flag = "--trace-out=" + trace;
+
+    const char *argv_in[] = {"prog", stats_flag.c_str(), "positional",
+                             trace_flag.c_str(), nullptr};
+    char *argv[5];
+    for (int i = 0; i < 5; ++i)
+        argv[i] = const_cast<char *>(argv_in[i]);
+    int argc = 4;
+
+    {
+        obs::Session s("unittest", &argc, argv);
+        EXPECT_EQ(argc, 2);
+        EXPECT_STREQ(argv[1], "positional");
+        EXPECT_TRUE(obs::enabled());
+        ASSERT_EQ(obs::Session::current(), &s);
+        s.setExtra("answer", "42");
+        StatRegistry::instance().counter("test.session").add(3);
+    } // destructor flushes
+
+    std::string err;
+    std::ifstream is(stats);
+    ASSERT_TRUE(is.is_open());
+    std::string json((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    JsonValue doc = parseJson(json, &err);
+    ASSERT_EQ(doc.type, JsonValue::Type::Object) << err;
+    EXPECT_EQ(doc.find("name")->string, "unittest");
+    EXPECT_DOUBLE_EQ(doc.num("answer"), 42.0);
+    const JsonValue *st = doc.find("stats");
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->find("counters")->u64("test.session"), 3u);
+
+    std::ifstream ts(trace);
+    ASSERT_TRUE(ts.is_open());
+    std::string tjson((std::istreambuf_iterator<char>(ts)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_EQ(parseJson(tjson, &err).type, JsonValue::Type::Object)
+        << err;
+
+    std::remove(stats.c_str());
+    std::remove(trace.c_str());
+}
+
+} // namespace
+} // namespace tie

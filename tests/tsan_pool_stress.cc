@@ -5,6 +5,11 @@
  * Exercises the patterns the kernels use — disjoint writes, back-to-back
  * jobs, nested parallelFor, pool resizing, concurrent submitters — and
  * exits nonzero on any coverage error; TSan aborts on any race.
+ *
+ * Observability (stat registry + host tracing) is enabled throughout so
+ * the instrumented pool paths — counter bumps, scoped timers, trace
+ * appends — are race-checked too, and both serializers run at the end
+ * while the pool is still alive.
  */
 
 #include <atomic>
@@ -15,6 +20,8 @@
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 
 namespace {
 
@@ -48,6 +55,10 @@ disjointWrites(size_t n, size_t grain)
 int
 main()
 {
+    // Race-check the instrumented paths, not just the bare pool.
+    tie::obs::setEnabled(true);
+    tie::obs::Trace::instance().setCategories(false, true);
+
     tie::setThreadCount(4);
 
     // Back-to-back jobs with adversarial grains.
@@ -79,6 +90,21 @@ main()
         submitters.emplace_back([] { disjointWrites(500, 9); });
     for (auto &t : submitters)
         t.join();
+
+    // Serialize while workers may still be between jobs: the readers
+    // (snapshot under mutex, relaxed counter loads) must be race-free
+    // against live writers too.
+    auto &reg = tie::obs::StatRegistry::instance();
+    expect(reg.counter("pool.jobs").value() > 0, "pool jobs counted");
+    expect(reg.counter("pool.chunks").value() > 0, "pool chunks counted");
+    const std::string stats_json = reg.toJson();
+    const std::string trace_json = tie::obs::Trace::instance().toJson();
+    expect(!stats_json.empty() && stats_json.front() == '{',
+           "stats serialize to an object");
+    expect(!trace_json.empty() && trace_json.front() == '{',
+           "trace serializes to an object");
+    expect(tie::obs::Trace::instance().hostEventCount() > 0,
+           "host spans recorded");
 
     if (failures.load() != 0) {
         std::fprintf(stderr, "%d failure(s)\n", failures.load());

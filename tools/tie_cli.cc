@@ -14,6 +14,14 @@
  *   tie_cli simulate model.ttm [--npe 16 --nmac 16 --freq 1000]
  *                    [--batch 1] [--relu]
  *       run the cycle-accurate simulator, print the full report
+ *
+ * Every command additionally accepts --stats-json[=path] and
+ * --trace-out[=path] (or the TIE_STATS_JSON / TIE_TRACE environment
+ * variables): the first dumps a machine-readable JSON report of every
+ * table printed plus, for simulate, the full SimStats/PerfReport/
+ * PowerReport; the second writes a Chrome trace (chrome://tracing,
+ * Perfetto) of the simulated-cycle timeline and host-side spans. See
+ * docs/observability.md.
  */
 
 #include <cstdlib>
@@ -24,8 +32,10 @@
 #include <string>
 #include <vector>
 
+#include "arch/stats_io.hh"
 #include "arch/tie_sim.hh"
 #include "common/table.hh"
+#include "obs/report.hh"
 #include "tt/cost_model.hh"
 #include "tt/tt_io.hh"
 #include "tt/tt_round.hh"
@@ -62,12 +72,15 @@ parseArgs(int argc, char **argv, int first)
     for (int i = first; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
-            const std::string key = arg.substr(2);
-            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
-                != 0) {
-                opt.named[key] = argv[++i];
+            const std::string body = arg.substr(2);
+            const size_t eq = body.find('=');
+            if (eq != std::string::npos) {
+                opt.named[body.substr(0, eq)] = body.substr(eq + 1);
+            } else if (i + 1 < argc &&
+                       std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                opt.named[body] = argv[++i];
             } else {
-                opt.flags[key] = true;
+                opt.flags[body] = true;
             }
         } else {
             opt.positional.push_back(arg);
@@ -228,6 +241,28 @@ cmdSimulate(const Options &opt)
     PerfReport perf =
         makePerfReport(res.stats, tt.config().outSize(),
                        tt.config().inSize(), cfg, sim.tech());
+
+    // Machine-readable twin of the table below (--stats-json).
+    if (obs::Session *s = obs::Session::current();
+        s != nullptr && s->statsRequested()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.field("model", opt.positional[0]);
+        w.key("arch").beginObject();
+        w.field("n_pe", static_cast<uint64_t>(cfg.n_pe));
+        w.field("n_mac", static_cast<uint64_t>(cfg.n_mac));
+        w.field("freq_mhz", cfg.freq_mhz);
+        w.field("batch", static_cast<uint64_t>(batch));
+        w.endObject();
+        w.key("sim").raw(simStatsJson(res.stats));
+        w.key("power").raw(powerReportJson(
+            computePower(res.stats, cfg, sim.tech())));
+        w.key("perf").raw(perfReportJson(perf));
+        w.field("bit_exact", exact);
+        w.endObject();
+        s->setExtra("simulate", w.str());
+    }
+
     TextTable t("simulation report");
     t.header({"metric", "value"});
     t.row({"hardware", std::to_string(cfg.n_pe) + " PE x " +
@@ -257,7 +292,11 @@ usage()
            "  info <model.ttm>\n"
            "  round <in.ttm> <out.ttm> --rank r [--eps e]\n"
            "  simulate <model.ttm> [--npe][--nmac][--freq][--batch]"
-           "[--relu]\n";
+           "[--relu]\n"
+           "observability (any command; also TIE_STATS_JSON/TIE_TRACE"
+           " env):\n"
+           "  --stats-json[=path]   machine-readable JSON report\n"
+           "  --trace-out[=path]    Chrome trace (chrome://tracing)\n";
 }
 
 } // namespace
@@ -265,6 +304,11 @@ usage()
 int
 main(int argc, char **argv)
 {
+    // Strips --stats-json/--trace-out and enables observability when
+    // either (or the matching env var) requests output; the files are
+    // written when the session goes out of scope.
+    obs::Session obs_session("tie_cli", &argc, argv);
+
     if (argc < 2) {
         usage();
         return 1;
