@@ -28,6 +28,7 @@
 #include "core/workloads.hh"
 #include "linalg/svd.hh"
 #include "tt/cost_model.hh"
+#include "tt/infer_session.hh"
 #include "tt/tt_infer.hh"
 #include "tt/tt_svd.hh"
 
@@ -188,6 +189,110 @@ BM_FxpMatmul_Threads(benchmark::State &state)
     setThreadCount(ambient);
 }
 BENCHMARK(BM_FxpMatmul_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------
+// Per-call vs. session inference: the per-call path rebuilds the plan
+// and reallocates working buffers every run; the session amortises both
+// and fuses the inter-stage transforms. Same layer, same inputs,
+// bit-identical outputs — only the setup/allocation cost differs.
+// ---------------------------------------------------------------------
+
+void
+BM_TtInfer_PerCall(benchmark::State &state)
+{
+    const size_t batch = state.range(0);
+    Rng rng(9);
+    const TtLayerConfig cfg = workloads::vggFc6();
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    MatrixD x(cfg.inSize(), batch);
+    x.setNormal(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compactInfer(tt, x));
+    state.SetItemsProcessed(state.iterations() * multCompact(cfg) *
+                            batch);
+}
+BENCHMARK(BM_TtInfer_PerCall)->Arg(1)->Arg(32);
+
+void
+BM_TtInfer_Session(benchmark::State &state)
+{
+    const size_t batch = state.range(0);
+    Rng rng(9);
+    const TtLayerConfig cfg = workloads::vggFc6();
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    MatrixD x(cfg.inSize(), batch), y;
+    x.setNormal(rng);
+    InferSessionD session = makeSession(tt);
+    session.runInto(x, y); // warm-up: arena + gather tables
+    for (auto _ : state) {
+        session.runInto(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * multCompact(cfg) *
+                            batch);
+}
+BENCHMARK(BM_TtInfer_Session)->Arg(1)->Arg(32);
+
+void
+BM_TtInfer_Session_Materialized(benchmark::State &state)
+{
+    const size_t batch = state.range(0);
+    Rng rng(9);
+    const TtLayerConfig cfg = workloads::vggFc6();
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    MatrixD x(cfg.inSize(), batch), y;
+    x.setNormal(rng);
+    InferSessionD session = makeSession(tt, SessionOptions{false});
+    session.runInto(x, y);
+    for (auto _ : state) {
+        session.runInto(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * multCompact(cfg) *
+                            batch);
+}
+BENCHMARK(BM_TtInfer_Session_Materialized)->Arg(1)->Arg(32);
+
+void
+BM_TtInferFxp_PerCall(benchmark::State &state)
+{
+    const size_t batch = state.range(0);
+    Rng rng(10);
+    const TtLayerConfig cfg = workloads::vggFc6();
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    TtMatrixFxp fxp = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+    MatrixF xf(cfg.inSize(), batch);
+    xf.setUniform(rng, -1, 1);
+    Matrix<int16_t> x = quantizeMatrix(xf, FxpFormat{16, 8});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compactInferFxp(fxp, x));
+    state.SetItemsProcessed(state.iterations() * multCompact(cfg) *
+                            batch);
+}
+BENCHMARK(BM_TtInferFxp_PerCall)->Arg(1)->Arg(32);
+
+void
+BM_TtInferFxp_Session(benchmark::State &state)
+{
+    const size_t batch = state.range(0);
+    Rng rng(10);
+    const TtLayerConfig cfg = workloads::vggFc6();
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    TtMatrixFxp fxp = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+    MatrixF xf(cfg.inSize(), batch);
+    xf.setUniform(rng, -1, 1);
+    Matrix<int16_t> x = quantizeMatrix(xf, FxpFormat{16, 8});
+    Matrix<int16_t> y;
+    InferSessionFxp session(fxp);
+    session.runInto(x, y);
+    for (auto _ : state) {
+        session.runInto(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * multCompact(cfg) *
+                            batch);
+}
+BENCHMARK(BM_TtInferFxp_Session)->Arg(1)->Arg(32);
 
 void
 BM_TtSvd(benchmark::State &state)

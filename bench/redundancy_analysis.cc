@@ -86,13 +86,12 @@ main(int argc, char **argv)
               "multiplies"});
     const TtLayerConfig fc6 = workloads::vggFc6();
     auto per = multCompactPerStage(fc6);
-    size_t idx = 0;
-    for (size_t h = fc6.d(); h >= 1; --h, ++idx) {
+    for (size_t h = fc6.d(); h >= 1; --h) {
         s.row({std::to_string(h),
                std::to_string(fc6.coreRows(h)) + " x " +
                    std::to_string(fc6.coreCols(h)),
                std::to_string(fc6.stageCols(h)),
-               std::to_string(per[idx])});
+               std::to_string(per[h - 1])});
     }
     s.print();
     return 0;

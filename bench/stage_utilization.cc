@@ -38,11 +38,10 @@ main(int argc, char **argv)
         t.header({"stage (core h)", "G~ shape", "operand cols",
                   "cycles", "cycle share %", "useful mults",
                   "MAC utilisation %"});
-        size_t idx = 0;
         for (const StageStats &st : stats.stages) {
             const size_t h = st.core_index;
             const double util =
-                100.0 * double(per[idx]) /
+                100.0 * double(per[h - 1]) /
                 (double(st.mac_ops) + 1e-9);
             t.row({std::to_string(h),
                    std::to_string(b.config.coreRows(h)) + " x " +
@@ -52,9 +51,8 @@ main(int argc, char **argv)
                    TextTable::num(100.0 * double(st.cycles) /
                                       double(stats.cycles),
                                   1),
-                   std::to_string(per[idx]),
+                   std::to_string(per[h - 1]),
                    TextTable::num(util, 1)});
-            ++idx;
         }
         t.print();
         std::cout << "\n";

@@ -169,7 +169,7 @@ ThreadPool::runChunks()
 
 void
 ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
-                        const std::function<void(size_t, size_t)> &body)
+                        LoopBody body)
 {
     if (end <= begin)
         return;
@@ -239,8 +239,7 @@ setThreadCount(size_t n)
 }
 
 void
-parallelFor(size_t begin, size_t end, size_t grain,
-            const std::function<void(size_t, size_t)> &body)
+parallelFor(size_t begin, size_t end, size_t grain, LoopBody body)
 {
     ThreadPool::instance().parallelFor(begin, end, grain, body);
 }

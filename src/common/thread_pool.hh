@@ -22,12 +22,42 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace tie {
+
+/**
+ * Non-owning reference to a callable(size_t lo, size_t hi).
+ *
+ * parallelFor blocks until the whole loop has run, so the referenced
+ * callable always outlives the job; unlike std::function, binding one
+ * never heap-allocates — a requirement of the zero-allocation
+ * steady-state inference path (tt/infer_session.hh).
+ */
+class LoopBody
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, LoopBody>>>
+    LoopBody(F &&f)
+        : obj_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(f)))),
+          call_([](void *o, size_t lo, size_t hi) {
+              (*static_cast<std::remove_reference_t<F> *>(o))(lo, hi);
+          })
+    {}
+
+    void operator()(size_t lo, size_t hi) const { call_(obj_, lo, hi); }
+
+  private:
+    void *obj_;
+    void (*call_)(void *, size_t, size_t);
+};
 
 /**
  * A persistent pool of worker threads executing one chunked loop at a
@@ -63,7 +93,7 @@ class ThreadPool
      * exception thrown by a body is rethrown on the calling thread.
      */
     void parallelFor(size_t begin, size_t end, size_t grain,
-                     const std::function<void(size_t, size_t)> &body);
+                     LoopBody body);
 
   private:
     explicit ThreadPool(size_t n_threads);
@@ -90,7 +120,7 @@ class ThreadPool
     size_t job_grain_ = 1;
     size_t job_nchunks_ = 0;
     std::atomic<size_t> next_chunk_{0};
-    const std::function<void(size_t, size_t)> *job_body_ = nullptr;
+    const LoopBody *job_body_ = nullptr;
     std::exception_ptr job_error_;
 };
 
@@ -101,8 +131,7 @@ size_t threadCount();
 void setThreadCount(size_t n);
 
 /** Chunked parallel loop on the global pool (see ThreadPool). */
-void parallelFor(size_t begin, size_t end, size_t grain,
-                 const std::function<void(size_t, size_t)> &body);
+void parallelFor(size_t begin, size_t end, size_t grain, LoopBody body);
 
 } // namespace tie
 

@@ -71,12 +71,29 @@ MatrixD
 TieEngine::infer(const MatrixD &x) const
 {
     TIE_CHECK_ARG(!layers_.empty(), "no layers registered");
+
+    // (Re)build the session cache when the layer storage moved: layers
+    // were added (vector growth relocates the TtMatrix objects the
+    // sessions point into) or this engine is a copy of another.
+    if (sessions_.size() != layers_float_.size() ||
+        sessions_base_ != layers_float_.data()) {
+        sessions_.clear();
+        sessions_.reserve(layers_float_.size());
+        for (const TtMatrix &lf : layers_float_) {
+            if (lf.d() > 0)
+                sessions_.emplace_back(makeSession(lf));
+            else
+                sessions_.emplace_back(std::nullopt);
+        }
+        sessions_base_ = layers_float_.data();
+    }
+
     MatrixD v = x;
     for (size_t i = 0; i < layers_.size(); ++i) {
-        TIE_CHECK_ARG(layers_float_[i].d() > 0,
+        TIE_CHECK_ARG(sessions_[i].has_value(),
                       "layer ", i, " was added pre-quantised; float "
                       "inference is unavailable for it");
-        v = compactInfer(layers_float_[i], v);
+        v = sessions_[i]->run(v);
         if (relu_[i]) {
             for (auto &e : v.flat())
                 e = e > 0.0 ? e : 0.0;

@@ -14,7 +14,10 @@
 #ifndef TIE_CORE_TIE_ENGINE_HH
 #define TIE_CORE_TIE_ENGINE_HH
 
+#include <optional>
+
 #include "arch/tie_sim.hh"
+#include "tt/infer_session.hh"
 
 namespace tie {
 
@@ -81,7 +84,14 @@ class TieEngine
     size_t layerCount() const { return layers_.size(); }
     const TtMatrixFxp &layer(size_t i) const { return layers_[i]; }
 
-    /** Host-side float inference (compact scheme), batch columns. */
+    /**
+     * Host-side float inference (compact scheme), batch columns. Each
+     * layer's InferSession is built on first use and reused across
+     * calls, so repeat inference performs no per-call plan building
+     * and no steady-state heap allocation beyond the result. Not safe
+     * to call concurrently from multiple threads (the session cache is
+     * shared).
+     */
     MatrixD infer(const MatrixD &x) const;
 
     /**
@@ -108,6 +118,16 @@ class TieEngine
     std::vector<TtMatrixFxp> layers_;
     std::vector<TtMatrix> layers_float_;
     std::vector<bool> relu_;
+
+    /**
+     * Per-layer inference sessions (nullopt for pre-quantised layers
+     * with no float twin), rebuilt whenever layers_float_ changed —
+     * detected via its size and data address, which also invalidates
+     * the cache of a copied engine whose sessions would otherwise
+     * point into the source's layer storage.
+     */
+    mutable std::vector<std::optional<InferSessionD>> sessions_;
+    mutable const TtMatrix *sessions_base_ = nullptr;
 };
 
 /**

@@ -124,6 +124,94 @@ gemmBlocked(size_t m, size_t n, size_t k, const T *a, const T *b, T *c)
     }
 }
 
+/**
+ * Gather view of a GEMM B operand, used to fuse the TT inter-stage
+ * Transform (a pure permutation) into the next stage's operand read so
+ * the transformed matrix is never materialized (tt/infer_session.hh).
+ *
+ * The virtual B has batch column blocks of cols_out columns each;
+ * element (kk, b * cols_out + q) is read from the source buffer at
+ * offset[kk * cols_out + q] + b * block_stride. The offset table is
+ * precomputed once per (permutation, batch) by the caller.
+ */
+struct GatherB
+{
+    const size_t *offset = nullptr; ///< k x cols_out base offsets
+    size_t cols_out = 0;            ///< columns per batch block
+    size_t block_stride = 0;        ///< source offset step per block
+    size_t batch = 1;
+};
+
+/**
+ * C[i0:i1, j0:j1) += A[i0:i1, :] * B[:, j0:j1) where B is the gathered
+ * view @p g over the source buffer @p v. Loop structure and k order are
+ * identical to gemmTile, so fusing the gather changes no result bit.
+ */
+template <typename T>
+inline void
+gemmTileGathered(size_t n, size_t k, const T *a, const T *v,
+                 const GatherB &g, T *c, size_t i0, size_t i1,
+                 size_t j0, size_t j1)
+{
+    for (size_t k0 = 0; k0 < k; k0 += kDepthBlock) {
+        const size_t k1 = std::min(k, k0 + kDepthBlock);
+        for (size_t i = i0; i < i1; ++i) {
+            const T *arow = a + i * k;
+            T *crow = c + i * n;
+            for (size_t kk = k0; kk < k1; ++kk) {
+                const T aik = arow[kk];
+                const size_t *off = g.offset + kk * g.cols_out;
+                size_t q = j0 % g.cols_out;
+                const T *vb = v + (j0 / g.cols_out) * g.block_stride;
+                for (size_t j = j0; j < j1; ++j) {
+                    crow[j] += aik * vb[off[q]];
+                    if (++q == g.cols_out) {
+                        q = 0;
+                        vb += g.block_stride;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * C = A * gather(B) (C must be zero-initialised; m x cols_out*batch
+ * row-major), parallelised like gemmBlocked. Bit-identical to
+ * materializing the permutation and calling gemmBlocked.
+ */
+template <typename T>
+void
+gemmGatheredBlocked(size_t m, size_t k, const T *a, const T *v,
+                    const GatherB &g, T *c)
+{
+    const size_t n = g.cols_out * g.batch;
+    if (m == 0 || n == 0 || k == 0)
+        return;
+    if (obs::enabled()) {
+        KernelStats &ks = KernelStats::get();
+        ks.gemm_calls.add();
+        ks.gemm_madds.add(m * n * k);
+    }
+    obs::ScopedTimer timer(KernelStats::get().gemm_us);
+    obs::HostSpan span("gemm.gathered");
+    if (m * n * k < kParallelMinWork) {
+        gemmTileGathered(n, k, a, v, g, c, 0, m, 0, n);
+        return;
+    }
+    if (m >= n) {
+        parallelFor(0, m, kRowBlock, [&](size_t i0, size_t i1) {
+            obs::HostSpan tile("gemm.tile");
+            gemmTileGathered(n, k, a, v, g, c, i0, i1, 0, n);
+        });
+    } else {
+        parallelFor(0, n, kColBlock, [&](size_t j0, size_t j1) {
+            obs::HostSpan tile("gemm.tile");
+            gemmTileGathered(n, k, a, v, g, c, 0, m, j0, j1);
+        });
+    }
+}
+
 /** y = A * x with A (m x n) row-major, parallelised over rows. */
 template <typename T>
 void

@@ -3,7 +3,7 @@
 namespace tie {
 
 TtDense::TtDense(const TtLayerConfig &cfg, Rng &rng, bool bias)
-    : cfg_(cfg), plan_(cfg), has_bias_(bias), b_(cfg.outSize(), 1),
+    : cfg_(cfg), has_bias_(bias), b_(cfg.outSize(), 1),
       gb_(cfg.outSize(), 1)
 {
     TtMatrix init = TtMatrix::random(cfg_, rng);
@@ -14,6 +14,12 @@ TtDense::TtDense(const TtLayerConfig &cfg, Rng &rng, bool bias)
         gcores_.emplace_back(cores_.back().rows(), cores_.back().cols());
     }
     stage_in_.resize(cfg_.d());
+    std::vector<const MatrixF *> core_ptrs;
+    core_ptrs.reserve(cores_.size());
+    for (const MatrixF &c : cores_)
+        core_ptrs.push_back(&c);
+    session_ =
+        std::make_unique<InferSessionF>(cfg_, std::move(core_ptrs));
 }
 
 std::unique_ptr<TtDense>
@@ -33,14 +39,8 @@ TtDense::forward(const MatrixF &x)
     TIE_CHECK_ARG(x.rows() == cfg_.inSize(), "TtDense input features ",
                   x.rows(), " != ", cfg_.inSize());
     batch_ = x.cols();
-    MatrixF v = plan_.reshapeInput(x);
-    for (size_t h = cfg_.d(); h >= 1; --h) {
-        stage_in_[h - 1] = v; // operand consumed by stage h
-        v = matmul(cores_[h - 1], v);
-        if (h > 1)
-            v = applyTransformBatched(plan_.transformAfter(h), v, batch_);
-    }
-    MatrixF y = plan_.flattenOutput(v, batch_);
+    MatrixF y;
+    session_->runCapture(x, y, stage_in_);
     if (has_bias_) {
         for (size_t i = 0; i < y.rows(); ++i)
             for (size_t b = 0; b < y.cols(); ++b)
@@ -85,8 +85,8 @@ TtDense::backward(const MatrixF &dy)
         MatrixF dop = matmul(cores_[h - 1].transposed(), dv);
         if (h < cfg_.d()) {
             dv = applyTransformBatched(
-                invertTransform(plan_.transformAfter(h + 1)), dop,
-                batch_);
+                invertTransform(session_->plan().transformAfter(h + 1)),
+                dop, batch_);
         } else {
             // dO_d is dX': invert CompactPlan::reshapeInput.
             const size_t nd = cfg_.n.back();

@@ -12,7 +12,7 @@
 #define TIE_NN_TT_DENSE_HH
 
 #include "nn/layer.hh"
-#include "tt/tt_infer.hh"
+#include "tt/infer_session.hh"
 #include "tt/tt_svd.hh"
 
 namespace tie {
@@ -60,13 +60,19 @@ class TtDense : public Layer
 
   private:
     TtLayerConfig cfg_;
-    CompactPlan plan_;
     bool has_bias_;
     std::vector<MatrixF> cores_;  ///< unfolded, index h-1
     std::vector<MatrixF> gcores_;
     MatrixF b_;
     MatrixF gb_;
-    std::vector<MatrixF> stage_in_; ///< cached operand per stage
+    /**
+     * Session over cores_ (built after cores_; the Matrix objects are
+     * stable, so training updates flow through automatically). Forward
+     * runs in capture mode so stage_in_ holds each stage's operand for
+     * backward.
+     */
+    std::unique_ptr<InferSessionF> session_;
+    std::vector<MatrixF> stage_in_; ///< captured operand per stage
     size_t batch_ = 0;
 };
 

@@ -11,6 +11,9 @@ namespace tie {
 int64_t
 saturate(int64_t v, int bits)
 {
+    TIE_CHECK_ARG(bits >= 1 && bits <= 63,
+                  "saturate container width ", bits,
+                  " outside the representable range [1, 63]");
     const int64_t hi = (int64_t(1) << (bits - 1)) - 1;
     const int64_t lo = -(int64_t(1) << (bits - 1));
     if (v > hi)
@@ -119,14 +122,10 @@ requantizeAcc(int64_t acc, const MacFormat &fmt)
     return static_cast<int16_t>(saturate(v, fmt.act_out.total_bits));
 }
 
-Matrix<int16_t>
-fxpMatmul(const Matrix<int16_t> &w, const Matrix<int16_t> &x,
-          const MacFormat &fmt)
+void
+fxpMatmulRaw(size_t m, size_t k, size_t n, const int16_t *w,
+             const int16_t *x, const MacFormat &fmt, int16_t *out)
 {
-    TIE_CHECK_ARG(w.cols() == x.rows(), "fxpMatmul shape mismatch: ",
-                  w.rows(), "x", w.cols(), " * ", x.rows(), "x", x.cols());
-    Matrix<int16_t> out(w.rows(), x.cols());
-
     // Each output element owns a full sequential MAC chain (the
     // saturating accumulator makes the k order semantically
     // significant), so the work is distributed over disjoint blocks of
@@ -134,29 +133,79 @@ fxpMatmul(const Matrix<int16_t> &w, const Matrix<int16_t> &x,
     // count. The TT stages are short and wide, hence the column split.
     auto block = [&](size_t i0, size_t i1, size_t j0, size_t j1) {
         for (size_t i = i0; i < i1; ++i) {
+            const int16_t *wrow = w + i * k;
             for (size_t j = j0; j < j1; ++j) {
                 int64_t acc = 0;
-                for (size_t k = 0; k < w.cols(); ++k)
-                    accumulate(acc, macProduct(w(i, k), x(k, j), fmt),
+                for (size_t kk = 0; kk < k; ++kk)
+                    accumulate(acc,
+                               macProduct(wrow[kk], x[kk * n + j], fmt),
                                fmt.acc_bits);
-                out(i, j) = requantizeAcc(acc, fmt);
+                out[i * n + j] = requantizeAcc(acc, fmt);
             }
         }
     };
-    const size_t work = w.rows() * w.cols() * x.cols();
-    if (work < gemm::kParallelMinWork) {
-        block(0, w.rows(), 0, x.cols());
-    } else if (w.rows() >= x.cols()) {
-        parallelFor(0, w.rows(), gemm::kRowBlock,
-                    [&](size_t i0, size_t i1) {
-                        block(i0, i1, 0, x.cols());
-                    });
+    if (m * k * n < gemm::kParallelMinWork) {
+        block(0, m, 0, n);
+    } else if (m >= n) {
+        parallelFor(0, m, gemm::kRowBlock, [&](size_t i0, size_t i1) {
+            block(i0, i1, 0, n);
+        });
     } else {
-        parallelFor(0, x.cols(), gemm::kColBlock,
-                    [&](size_t j0, size_t j1) {
-                        block(0, w.rows(), j0, j1);
-                    });
+        parallelFor(0, n, gemm::kColBlock, [&](size_t j0, size_t j1) {
+            block(0, m, j0, j1);
+        });
     }
+}
+
+void
+fxpMatmulGathered(size_t m, size_t k, const int16_t *w, const int16_t *v,
+                  const gemm::GatherB &g, const MacFormat &fmt,
+                  int16_t *out)
+{
+    const size_t n = g.cols_out * g.batch;
+    // Same partitioning and per-element MAC order as fxpMatmulRaw; the
+    // gathered operand read changes no result bit.
+    auto block = [&](size_t i0, size_t i1, size_t j0, size_t j1) {
+        for (size_t i = i0; i < i1; ++i) {
+            const int16_t *wrow = w + i * k;
+            for (size_t j = j0; j < j1; ++j) {
+                const size_t b = j / g.cols_out;
+                const size_t q = j - b * g.cols_out;
+                const int16_t *vb = v + b * g.block_stride;
+                int64_t acc = 0;
+                for (size_t kk = 0; kk < k; ++kk)
+                    accumulate(
+                        acc,
+                        macProduct(wrow[kk],
+                                   vb[g.offset[kk * g.cols_out + q]],
+                                   fmt),
+                        fmt.acc_bits);
+                out[i * n + j] = requantizeAcc(acc, fmt);
+            }
+        }
+    };
+    if (m * k * n < gemm::kParallelMinWork) {
+        block(0, m, 0, n);
+    } else if (m >= n) {
+        parallelFor(0, m, gemm::kRowBlock, [&](size_t i0, size_t i1) {
+            block(i0, i1, 0, n);
+        });
+    } else {
+        parallelFor(0, n, gemm::kColBlock, [&](size_t j0, size_t j1) {
+            block(0, m, j0, j1);
+        });
+    }
+}
+
+Matrix<int16_t>
+fxpMatmul(const Matrix<int16_t> &w, const Matrix<int16_t> &x,
+          const MacFormat &fmt)
+{
+    TIE_CHECK_ARG(w.cols() == x.rows(), "fxpMatmul shape mismatch: ",
+                  w.rows(), "x", w.cols(), " * ", x.rows(), "x", x.cols());
+    Matrix<int16_t> out(w.rows(), x.cols());
+    fxpMatmulRaw(w.rows(), w.cols(), x.cols(), w.data(), x.data(), fmt,
+                 out.data());
     return out;
 }
 

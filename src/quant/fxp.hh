@@ -30,7 +30,11 @@ struct FxpFormat
     int64_t minRaw() const { return -(int64_t(1) << (total_bits - 1)); }
 };
 
-/** Saturate @p v into a signed @p bits-wide container. */
+/**
+ * Saturate @p v into a signed @p bits-wide container. @p bits must be
+ * in [1, 63]; anything else cannot be represented by the int64 shift
+ * and is rejected as a user error.
+ */
 int64_t saturate(int64_t v, int bits);
 
 /** Round-to-nearest quantisation of @p v with saturation. */
@@ -101,6 +105,24 @@ int16_t requantizeAcc(int64_t acc, const MacFormat &fmt);
  */
 Matrix<int16_t> fxpMatmul(const Matrix<int16_t> &w,
                           const Matrix<int16_t> &x, const MacFormat &fmt);
+
+/**
+ * fxpMatmul on raw row-major buffers: out (m x n) = w (m x k) * x
+ * (k x n). The allocation-free kernel behind fxpMatmul and the
+ * fixed-point InferSession stages.
+ */
+void fxpMatmulRaw(size_t m, size_t k, size_t n, const int16_t *w,
+                  const int16_t *x, const MacFormat &fmt, int16_t *out);
+
+/**
+ * out (m x cols_out*batch) = w (m x k) * gather(v) with the gathered
+ * operand view @p g (see linalg/gemm.hh) — the TT inter-stage Transform
+ * fused into the operand read. Bit-identical to materializing the
+ * permutation and calling fxpMatmulRaw.
+ */
+void fxpMatmulGathered(size_t m, size_t k, const int16_t *w,
+                       const int16_t *v, const gemm::GatherB &g,
+                       const MacFormat &fmt, int16_t *out);
 
 /** Fixed-point ReLU (negative raw values clamp to zero). */
 Matrix<int16_t> fxpRelu(const Matrix<int16_t> &m);

@@ -38,7 +38,7 @@ multCompactPerStage(const TtLayerConfig &cfg)
 {
     std::vector<size_t> per;
     per.reserve(cfg.d());
-    for (size_t h = cfg.d(); h >= 1; --h)
+    for (size_t h = 1; h <= cfg.d(); ++h)
         per.push_back(cfg.coreRows(h) * cfg.coreCols(h) *
                       cfg.stageCols(h));
     return per;

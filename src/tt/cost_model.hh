@@ -31,7 +31,10 @@ size_t multTheoreticalMin(const TtLayerConfig &cfg);
  */
 size_t multCompact(const TtLayerConfig &cfg);
 
-/** Per-stage compact counts, index 0 = stage for core h = d. */
+/**
+ * Per-stage compact counts, index h-1 = the stage using core G~_h —
+ * the same stage-first order as InferStats::stage_mults.
+ */
 std::vector<size_t> multCompactPerStage(const TtLayerConfig &cfg);
 
 /**

@@ -1,0 +1,500 @@
+#include "tt/infer_session.hh"
+
+#include <algorithm>
+
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
+namespace tie {
+
+namespace {
+
+/** Cached references to the session-layer stats (see obs/). */
+struct SessionStats
+{
+    obs::Counter &runs;
+    obs::Counter &plan_builds;
+    obs::Counter &plan_cache_hits;
+    obs::Counter &stages_fused;
+    obs::Counter &stages_materialized;
+    obs::Gauge &arena_bytes;
+
+    static SessionStats &
+    get()
+    {
+        static SessionStats s{
+            obs::StatRegistry::instance().counter(
+                "session.runs", "InferSession inference calls"),
+            obs::StatRegistry::instance().counter(
+                "session.plan_builds",
+                "arena/offset-table (re)builds on batch change"),
+            obs::StatRegistry::instance().counter(
+                "session.plan_cache_hits",
+                "runs reusing the cached arena and offset tables"),
+            obs::StatRegistry::instance().counter(
+                "session.stages_fused",
+                "Transforms fused into the next stage's GEMM read"),
+            obs::StatRegistry::instance().counter(
+                "session.stages_materialized",
+                "Transforms materialized through a buffer"),
+            obs::StatRegistry::instance().gauge(
+                "session.arena_bytes",
+                "ping-pong arena bytes after the last (re)build"),
+        };
+        return s;
+    }
+};
+
+/**
+ * Rebuild the per-stage gather tables for @p batch and return the
+ * element count one ping-pong half must hold: the largest of the
+ * reshaped input (N) and every stage output coreRows(h) * stageCols(h),
+ * times the batch — workingBufferElems scaled to the batch, i.e. the
+ * capacity of one of the paper's dual working SRAMs.
+ */
+size_t
+rebuildTables(const CompactPlan &plan, size_t batch,
+              std::vector<std::vector<size_t>> &offsets)
+{
+    const TtLayerConfig &cfg = plan.config();
+    const size_t d = cfg.d();
+    offsets.resize(d >= 1 ? d - 1 : 0);
+    for (size_t h = 1; h + 1 <= d; ++h) {
+        const TransformSpec &spec = plan.transformAfter(h + 1);
+        std::vector<size_t> &tab = offsets[h - 1];
+        tab.resize(spec.numel());
+        for (size_t e = 0; e < spec.numel(); ++e) {
+            const size_t src = spec.src_of_dst[e];
+            const size_t sp = src / spec.cols_in;
+            const size_t sq = src - sp * spec.cols_in;
+            tab[e] = sp * (spec.cols_in * batch) + sq;
+        }
+    }
+    size_t max_elems = cfg.inSize();
+    for (size_t h = 1; h <= d; ++h)
+        max_elems =
+            std::max(max_elems, cfg.coreRows(h) * cfg.stageCols(h));
+    return max_elems * batch;
+}
+
+template <typename T>
+void
+ensureShape(Matrix<T> &m, size_t r, size_t c)
+{
+    if (m.rows() != r || m.cols() != c)
+        m = Matrix<T>(r, c);
+}
+
+/**
+ * Materialize the batched permutation @p spec of @p src into @p dst
+ * using a prebuilt offset table — element-for-element the same copy as
+ * applyTransformBatched, writing caller storage instead of allocating.
+ */
+template <typename T>
+void
+gatherInto(const TransformSpec &spec, const std::vector<size_t> &tab,
+           size_t batch, const T *src, T *dst)
+{
+    if (batch == 0)
+        return;
+    const size_t cols_out = spec.cols_out;
+    const size_t cols_in = spec.cols_in;
+    const size_t elems = spec.numel();
+    auto body = [&](size_t lo, size_t hi) {
+        for (size_t e = lo; e < hi; ++e) {
+            const size_t p = e / cols_out;
+            const size_t q = e - p * cols_out;
+            T *drow = dst + p * cols_out * batch + q;
+            const T *s = src + tab[e];
+            for (size_t b = 0; b < batch; ++b)
+                drow[b * cols_out] = s[b * cols_in];
+        }
+    };
+    if (elems * batch < gemm::kParallelMinWork)
+        body(0, elems);
+    else
+        parallelFor(0, elems, 0, body);
+}
+
+/** CompactPlan::reshapeInput into caller storage (x is N x batch). */
+template <typename T>
+void
+reshapeInputInto(const TtLayerConfig &cfg, const T *x, size_t batch,
+                 T *out)
+{
+    const size_t nd = cfg.n.back();
+    const size_t cols = cfg.stageCols(cfg.d());
+    for (size_t b = 0; b < batch; ++b)
+        for (size_t p = 0; p < nd; ++p)
+            for (size_t q = 0; q < cols; ++q)
+                out[p * cols * batch + b * cols + q] =
+                    x[(p * cols + q) * batch + b];
+}
+
+/** CompactPlan::flattenOutput into caller storage (y is M x batch). */
+template <typename T>
+void
+flattenOutputInto(const TtLayerConfig &cfg, const T *v1, size_t batch,
+                  T *y)
+{
+    const size_t m1 = cfg.m.front();
+    const size_t cols = cfg.stageCols(1);
+    for (size_t b = 0; b < batch; ++b)
+        for (size_t i1 = 0; i1 < m1; ++i1)
+            for (size_t q = 0; q < cols; ++q)
+                y[(i1 * cols + q) * batch + b] =
+                    v1[i1 * cols * batch + b * cols + q];
+}
+
+} // namespace
+
+template <typename T>
+InferSessionT<T>::InferSessionT(const TtLayerConfig &cfg,
+                                std::vector<const Matrix<T> *> cores,
+                                SessionOptions opts)
+    : plan_(cfg), cores_(std::move(cores)), opts_(opts)
+{
+    const TtLayerConfig &c = plan_.config();
+    TIE_CHECK_ARG(cores_.size() == c.d(), "InferSession needs ", c.d(),
+                  " stage cores, got ", cores_.size());
+    for (size_t h = 1; h <= c.d(); ++h)
+        TIE_CHECK_ARG(cores_[h - 1]->rows() == c.coreRows(h) &&
+                          cores_[h - 1]->cols() == c.coreCols(h),
+                      "stage ", h, " core is ", cores_[h - 1]->rows(),
+                      "x", cores_[h - 1]->cols(), ", expected ",
+                      c.coreRows(h), "x", c.coreCols(h));
+}
+
+template <typename T>
+void
+InferSessionT<T>::ensureBatch(size_t batch)
+{
+    if (has_batch_ && batch == batch_) {
+        SessionStats::get().plan_cache_hits.add();
+        return;
+    }
+    half_ = rebuildTables(plan_, batch, offsets_);
+    if (arena_.size() < 2 * half_)
+        arena_.resize(2 * half_);
+    has_batch_ = true;
+    batch_ = batch;
+    if (obs::enabled()) {
+        SessionStats &ss = SessionStats::get();
+        ss.plan_builds.add();
+        ss.arena_bytes.set(static_cast<int64_t>(arenaBytes()));
+    }
+}
+
+template <typename T>
+void
+InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
+                         Matrix<T> *ymat,
+                         std::vector<Matrix<T>> *capture,
+                         InferStats *stats)
+{
+    const TtLayerConfig &cfg = plan_.config();
+    const size_t d = cfg.d();
+    ensureBatch(batch);
+    if (obs::enabled())
+        SessionStats::get().runs.add();
+    obs::HostSpan span("session.run");
+
+    const bool fused = opts_.fuse_transforms && capture == nullptr;
+    if (capture)
+        capture->resize(d);
+
+    T *const half0 = arena_.data();
+    T *const half1 = arena_.data() + half_;
+
+    // GEMM operand for the upcoming stage; `live` is the arena half it
+    // occupies (-1: caller input / capture storage outside the arena).
+    const T *op = nullptr;
+    int live = -1;
+
+    if (capture) {
+        Matrix<T> &cap = (*capture)[d - 1];
+        ensureShape(cap, cfg.n.back(), cfg.stageCols(d) * batch);
+        reshapeInputInto(cfg, x, batch, cap.data());
+        op = cap.data();
+    } else if (batch == 1) {
+        op = x; // reshapeInput is the identity map for one sample
+    } else {
+        reshapeInputInto(cfg, x, batch, half0);
+        op = half0;
+        live = 0;
+    }
+
+    size_t mults = 0;
+    if (stats)
+        stats->stage_mults.resize(d);
+
+    for (size_t h = d; h >= 1; --h) {
+        const Matrix<T> &g = *cores_[h - 1];
+        const size_t m = g.rows();
+        const size_t k = g.cols();
+        const size_t ncols = cfg.stageCols(h) * batch;
+
+        bool gather = false;
+        if (h < d) {
+            const TransformSpec &spec = plan_.transformAfter(h + 1);
+            if (fused) {
+                gather = true;
+                if (obs::enabled())
+                    SessionStats::get().stages_fused.add();
+            } else {
+                T *dst;
+                if (capture) {
+                    Matrix<T> &cap = (*capture)[h - 1];
+                    ensureShape(cap, spec.rows_out,
+                                spec.cols_out * batch);
+                    dst = cap.data();
+                } else {
+                    dst = live == 0 ? half1 : half0;
+                }
+                gatherInto(spec, offsets_[h - 1], batch, op, dst);
+                live = capture ? -1 : (live == 0 ? 1 : 0);
+                op = dst;
+                if (obs::enabled())
+                    SessionStats::get().stages_materialized.add();
+            }
+        }
+
+        T *out = (h == 1 && ydirect != nullptr)
+                     ? ydirect
+                     : (live == 0 ? half1 : half0);
+        std::fill_n(out, m * ncols, T(0));
+        if (gather) {
+            const TransformSpec &spec = plan_.transformAfter(h + 1);
+            gemm::GatherB gb;
+            gb.offset = offsets_[h - 1].data();
+            gb.cols_out = spec.cols_out;
+            gb.block_stride = spec.cols_in;
+            gb.batch = batch;
+            gemm::gemmGatheredBlocked(m, k, g.data(), op, gb, out);
+        } else {
+            gemm::gemmBlocked(m, ncols, k, g.data(), op, out);
+        }
+
+        const size_t sm = m * k * ncols;
+        mults += sm;
+        if (stats)
+            stats->stage_mults[h - 1] = sm;
+        op = out;
+        live = out == half0 ? 0 : (out == half1 ? 1 : -1);
+    }
+
+    if (ydirect == nullptr)
+        flattenOutputInto(cfg, op, batch, ymat->data());
+    if (stats) {
+        stats->mults = mults;
+        stats->adds = mults; // one accumulation per executed product
+    }
+}
+
+template <typename T>
+Matrix<T>
+InferSessionT<T>::run(const Matrix<T> &x, InferStats *stats)
+{
+    Matrix<T> y;
+    runInto(x, y, stats);
+    return y;
+}
+
+template <typename T>
+void
+InferSessionT<T>::runInto(const Matrix<T> &x, Matrix<T> &y,
+                          InferStats *stats)
+{
+    const TtLayerConfig &cfg = plan_.config();
+    TIE_CHECK_ARG(x.rows() == cfg.inSize(), "input rows ", x.rows(),
+                  " != N = ", cfg.inSize());
+    const size_t batch = x.cols();
+    ensureShape(y, cfg.outSize(), batch);
+    runRaw(x.data(), batch, batch == 1 ? y.data() : nullptr, &y,
+           nullptr, stats);
+}
+
+template <typename T>
+void
+InferSessionT<T>::runVec(const std::vector<T> &x, std::vector<T> &y,
+                         InferStats *stats)
+{
+    const TtLayerConfig &cfg = plan_.config();
+    TIE_CHECK_ARG(x.size() == cfg.inSize(), "input rows ", x.size(),
+                  " != N = ", cfg.inSize());
+    y.resize(cfg.outSize());
+    runRaw(x.data(), 1, y.data(), nullptr, nullptr, stats);
+}
+
+template <typename T>
+void
+InferSessionT<T>::runCapture(const Matrix<T> &x, Matrix<T> &y,
+                             std::vector<Matrix<T>> &capture,
+                             InferStats *stats)
+{
+    const TtLayerConfig &cfg = plan_.config();
+    TIE_CHECK_ARG(x.rows() == cfg.inSize(), "input rows ", x.rows(),
+                  " != N = ", cfg.inSize());
+    const size_t batch = x.cols();
+    ensureShape(y, cfg.outSize(), batch);
+    runRaw(x.data(), batch, batch == 1 ? y.data() : nullptr, &y,
+           &capture, stats);
+}
+
+template class InferSessionT<double>;
+template class InferSessionT<float>;
+
+InferSessionD
+makeSession(const TtMatrix &tt, SessionOptions opts)
+{
+    std::vector<const MatrixD *> cores;
+    cores.reserve(tt.d());
+    for (size_t h = 1; h <= tt.d(); ++h)
+        cores.push_back(&tt.core(h).unfolded());
+    return InferSessionD(tt.config(), std::move(cores), opts);
+}
+
+InferSessionFxp::InferSessionFxp(const TtMatrixFxp &tt,
+                                 SessionOptions opts)
+    : plan_(tt.config), tt_(&tt), opts_(opts)
+{
+    const TtLayerConfig &cfg = plan_.config();
+    TIE_CHECK_ARG(tt.cores.size() == cfg.d() &&
+                      tt.stage_fmt.size() == cfg.d(),
+                  "TtMatrixFxp has ", tt.cores.size(), " cores / ",
+                  tt.stage_fmt.size(), " formats for d = ", cfg.d());
+    for (size_t h = 1; h <= cfg.d(); ++h)
+        TIE_CHECK_ARG(tt.cores[h - 1].rows() == cfg.coreRows(h) &&
+                          tt.cores[h - 1].cols() == cfg.coreCols(h),
+                      "stage ", h, " core is ", tt.cores[h - 1].rows(),
+                      "x", tt.cores[h - 1].cols(), ", expected ",
+                      cfg.coreRows(h), "x", cfg.coreCols(h));
+    // Each stage's output format must feed the next stage's input.
+    for (size_t h = cfg.d(); h >= 2; --h) {
+        const MacFormat &cur = tt.stage_fmt[h - 1];
+        const MacFormat &next = tt.stage_fmt[h - 2];
+        TIE_CHECK_ARG(cur.act_out.frac_bits == next.act_in.frac_bits &&
+                          cur.act_out.total_bits ==
+                              next.act_in.total_bits,
+                      "stage ", h,
+                      " act_out format does not match stage ", h - 1,
+                      " act_in format");
+    }
+}
+
+void
+InferSessionFxp::ensureBatch(size_t batch)
+{
+    if (has_batch_ && batch == batch_) {
+        SessionStats::get().plan_cache_hits.add();
+        return;
+    }
+    half_ = rebuildTables(plan_, batch, offsets_);
+    if (arena_.size() < 2 * half_)
+        arena_.resize(2 * half_);
+    has_batch_ = true;
+    batch_ = batch;
+    if (obs::enabled()) {
+        SessionStats &ss = SessionStats::get();
+        ss.plan_builds.add();
+        ss.arena_bytes.set(static_cast<int64_t>(arenaBytes()));
+    }
+}
+
+Matrix<int16_t>
+InferSessionFxp::run(const Matrix<int16_t> &x, InferStats *stats)
+{
+    Matrix<int16_t> y;
+    runInto(x, y, stats);
+    return y;
+}
+
+void
+InferSessionFxp::runInto(const Matrix<int16_t> &x, Matrix<int16_t> &y,
+                         InferStats *stats)
+{
+    const TtLayerConfig &cfg = plan_.config();
+    TIE_CHECK_ARG(x.rows() == cfg.inSize(), "input rows ", x.rows(),
+                  " != N = ", cfg.inSize());
+    const size_t batch = x.cols();
+    const size_t d = cfg.d();
+    ensureShape(y, cfg.outSize(), batch);
+    ensureBatch(batch);
+    if (obs::enabled())
+        SessionStats::get().runs.add();
+    obs::HostSpan span("session.run_fxp");
+
+    const bool fused = opts_.fuse_transforms;
+    int16_t *const half0 = arena_.data();
+    int16_t *const half1 = arena_.data() + half_;
+
+    const int16_t *op = nullptr;
+    int live = -1;
+    if (batch == 1) {
+        op = x.data(); // reshapeInput is the identity for one sample
+    } else {
+        reshapeInputInto(cfg, x.data(), batch, half0);
+        op = half0;
+        live = 0;
+    }
+
+    size_t mults = 0;
+    if (stats)
+        stats->stage_mults.resize(d);
+
+    for (size_t h = d; h >= 1; --h) {
+        const Matrix<int16_t> &g = tt_->cores[h - 1];
+        const MacFormat &fmt = tt_->stage_fmt[h - 1];
+        const size_t m = g.rows();
+        const size_t k = g.cols();
+        const size_t ncols = cfg.stageCols(h) * batch;
+
+        bool gather = false;
+        if (h < d) {
+            const TransformSpec &spec = plan_.transformAfter(h + 1);
+            if (fused) {
+                gather = true;
+                if (obs::enabled())
+                    SessionStats::get().stages_fused.add();
+            } else {
+                int16_t *dst = live == 0 ? half1 : half0;
+                gatherInto(spec, offsets_[h - 1], batch, op, dst);
+                live = live == 0 ? 1 : 0;
+                op = dst;
+                if (obs::enabled())
+                    SessionStats::get().stages_materialized.add();
+            }
+        }
+
+        int16_t *out = (h == 1 && batch == 1)
+                           ? y.data()
+                           : (live == 0 ? half1 : half0);
+        if (gather) {
+            const TransformSpec &spec = plan_.transformAfter(h + 1);
+            gemm::GatherB gb;
+            gb.offset = offsets_[h - 1].data();
+            gb.cols_out = spec.cols_out;
+            gb.block_stride = spec.cols_in;
+            gb.batch = batch;
+            fxpMatmulGathered(m, k, g.data(), op, gb, fmt, out);
+        } else {
+            fxpMatmulRaw(m, k, ncols, g.data(), op, fmt, out);
+        }
+
+        const size_t sm = m * k * ncols;
+        mults += sm;
+        if (stats)
+            stats->stage_mults[h - 1] = sm;
+        op = out;
+        live = out == half0 ? 0 : (out == half1 ? 1 : -1);
+    }
+
+    if (batch != 1)
+        flattenOutputInto(cfg, op, batch, y.data());
+    if (stats) {
+        stats->mults = mults;
+        stats->adds = mults; // one MAC accumulation per product
+    }
+}
+
+} // namespace tie

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Reusable compact-scheme inference sessions — paper Algorithm 1 as a
+ * persistent object instead of a per-call pipeline.
+ *
+ * A session is built once per TT matrix: the CompactPlan (every
+ * inter-stage TransformSpec) is constructed at that point, and a single
+ * arena sized to the maximum per-stage working set backs two ping-pong
+ * buffers, mirroring the paper's dual working SRAMs (Sec. 3.2 / 4.4).
+ * After the first run() at a given batch size, steady-state calls
+ * perform **zero heap allocations**: the arena, the per-stage gather
+ * offset tables and the caller's output storage are all reused.
+ *
+ * The inter-stage Transform is a pure permutation, so by default it is
+ * fused into the next stage's GEMM operand read (gemm::GatherB /
+ * fxpMatmulGathered) and the transformed matrix is never materialized.
+ * Fusion preserves the per-element k-loop order of the unfused kernels,
+ * so results are bit-identical to compactInfer / compactInferFxp for
+ * every shape, batch and thread count — tests assert exact equality.
+ *
+ * compactInfer, compactInferVec and compactInferFxp (tt_infer.hh) are
+ * thin wrappers over a transient session; long-lived callers
+ * (TieEngine, TtDense, the simulator-facing benches) hold one.
+ */
+
+#ifndef TIE_TT_INFER_SESSION_HH
+#define TIE_TT_INFER_SESSION_HH
+
+#include <vector>
+
+#include "tt/tt_infer.hh"
+
+namespace tie {
+
+/** Session construction knobs. */
+struct SessionOptions
+{
+    /**
+     * Fuse each inter-stage Transform into the next stage's GEMM
+     * operand read (the TIE working-SRAM read scheme). When false every
+     * stage operand is materialized through the arena — identical bits,
+     * one extra memory pass per stage; the micro bench measures the
+     * difference and capture-mode runs always materialize.
+     */
+    bool fuse_transforms = true;
+};
+
+/**
+ * Float-path inference session over externally-owned unfolded stage
+ * cores (index h-1, shapes coreRows(h) x coreCols(h)). The referenced
+ * matrices must outlive the session; their *values* may change between
+ * runs (training updates them in place).
+ */
+template <typename T>
+class InferSessionT
+{
+  public:
+    InferSessionT(const TtLayerConfig &cfg,
+                  std::vector<const Matrix<T> *> cores,
+                  SessionOptions opts = {});
+
+    const TtLayerConfig &config() const { return plan_.config(); }
+    const CompactPlan &plan() const { return plan_; }
+    const SessionOptions &options() const { return opts_; }
+
+    /** Infer a batch: x is N x B, returns M x B (allocates the result). */
+    Matrix<T> run(const Matrix<T> &x, InferStats *stats = nullptr);
+
+    /**
+     * Allocation-free variant: y is reshaped only when its dimensions
+     * differ from M x B, so steady-state calls reuse its storage.
+     */
+    void runInto(const Matrix<T> &x, Matrix<T> &y,
+                 InferStats *stats = nullptr);
+
+    /**
+     * Single-sample variant reading x and writing y in place (y is
+     * resized to M); neither vector is copied through a Matrix.
+     */
+    void runVec(const std::vector<T> &x, std::vector<T> &y,
+                InferStats *stats = nullptr);
+
+    /**
+     * runInto that additionally materializes the operand consumed by
+     * each stage h into capture[h-1] (resized as needed) — what
+     * TtDense::backward needs to form weight gradients. Capture runs
+     * take the materialized path but produce identical outputs.
+     */
+    void runCapture(const Matrix<T> &x, Matrix<T> &y,
+                    std::vector<Matrix<T>> &capture,
+                    InferStats *stats = nullptr);
+
+    /** Current arena footprint in bytes (both ping-pong halves). */
+    size_t arenaBytes() const { return arena_.size() * sizeof(T); }
+
+  private:
+    void ensureBatch(size_t batch);
+    void runRaw(const T *x, size_t batch, T *ydirect, Matrix<T> *ymat,
+                std::vector<Matrix<T>> *capture, InferStats *stats);
+
+    CompactPlan plan_;
+    std::vector<const Matrix<T> *> cores_; ///< unfolded, index h-1
+    SessionOptions opts_;
+
+    bool has_batch_ = false;
+    size_t batch_ = 0;
+    size_t half_ = 0;     ///< elements per ping-pong half
+    std::vector<T> arena_; ///< 2 * half_ elements (grow-only)
+    /**
+     * Per-stage gather tables, index h-1 for stage h (1 <= h < d):
+     * offsets_[h-1][p * stageCols(h) + q] is the linear offset of
+     * operand element (p, q) of batch block 0 inside the V_{h+1}
+     * buffer; block b adds b * stageCols(h+1).
+     */
+    std::vector<std::vector<size_t>> offsets_;
+};
+
+using InferSessionD = InferSessionT<double>;
+using InferSessionF = InferSessionT<float>;
+
+/** Session over a TtMatrix's unfolded cores (tt must outlive it). */
+InferSessionD makeSession(const TtMatrix &tt, SessionOptions opts = {});
+
+/**
+ * Fixed-point session over a TtMatrixFxp (which must outlive it); the
+ * bit-exact sibling of InferSessionT using the 16-bit MAC datapath.
+ * Construction validates that every stage's act_out format feeds the
+ * next stage's act_in format, as compactInferFxp did per call.
+ */
+class InferSessionFxp
+{
+  public:
+    explicit InferSessionFxp(const TtMatrixFxp &tt,
+                             SessionOptions opts = {});
+
+    const TtLayerConfig &config() const { return plan_.config(); }
+    const CompactPlan &plan() const { return plan_; }
+
+    Matrix<int16_t> run(const Matrix<int16_t> &x,
+                        InferStats *stats = nullptr);
+    void runInto(const Matrix<int16_t> &x, Matrix<int16_t> &y,
+                 InferStats *stats = nullptr);
+
+    size_t arenaBytes() const
+    {
+        return arena_.size() * sizeof(int16_t);
+    }
+
+  private:
+    void ensureBatch(size_t batch);
+
+    CompactPlan plan_;
+    const TtMatrixFxp *tt_;
+    SessionOptions opts_;
+
+    bool has_batch_ = false;
+    size_t batch_ = 0;
+    size_t half_ = 0;
+    std::vector<int16_t> arena_;
+    std::vector<std::vector<size_t>> offsets_; ///< as in InferSessionT
+};
+
+} // namespace tie
+
+#endif // TIE_TT_INFER_SESSION_HH

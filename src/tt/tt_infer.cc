@@ -1,5 +1,7 @@
 #include "tt/tt_infer.hh"
 
+#include "tt/infer_session.hh"
+
 namespace tie {
 
 std::vector<double>
@@ -126,84 +128,28 @@ partialParallelInfer(const TtMatrix &tt, const std::vector<double> &x,
 MatrixD
 compactInfer(const TtMatrix &tt, const MatrixD &x, InferStats *stats)
 {
-    const TtLayerConfig &cfg = tt.config();
-    const size_t batch = x.cols();
-    CompactPlan plan(cfg);
-    if (stats)
-        *stats = InferStats{};
-
-    MatrixD v = plan.reshapeInput(x);
-    size_t mults = 0;
-    std::vector<size_t> stage_mults;
-
-    for (size_t h = cfg.d(); h >= 1; --h) {
-        const MatrixD &g = tt.core(h).unfolded();
-        v = matmul(g, v);
-        const size_t sm = g.rows() * g.cols() * v.cols();
-        stage_mults.push_back(sm);
-        mults += sm;
-        if (h > 1)
-            v = applyTransformBatched(plan.transformAfter(h), v, batch);
-    }
-
-    if (stats) {
-        stats->mults = mults;
-        stats->adds = mults; // one accumulation per executed product
-        stats->stage_mults = std::move(stage_mults);
-    }
-    return plan.flattenOutput(v, batch);
+    // A transient session: identical bits and stats, amortised plan
+    // construction for repeat callers lives in InferSession itself.
+    InferSessionD session = makeSession(tt);
+    return session.run(x, stats);
 }
 
 std::vector<double>
 compactInferVec(const TtMatrix &tt, const std::vector<double> &x,
                 InferStats *stats)
 {
-    MatrixD xm(tt.config().inSize(), 1, x);
-    MatrixD y = compactInfer(tt, xm, stats);
-    return y.flat();
+    InferSessionD session = makeSession(tt);
+    std::vector<double> y;
+    session.runVec(x, y, stats);
+    return y;
 }
 
 Matrix<int16_t>
 compactInferFxp(const TtMatrixFxp &tt, const Matrix<int16_t> &x,
                 InferStats *stats)
 {
-    const TtLayerConfig &cfg = tt.config;
-    const size_t batch = x.cols();
-    CompactPlan plan(cfg);
-    if (stats)
-        *stats = InferStats{};
-
-    // Each stage's output format must feed the next stage's input.
-    for (size_t h = cfg.d(); h >= 2; --h) {
-        const MacFormat &cur = tt.stage_fmt[h - 1];
-        const MacFormat &next = tt.stage_fmt[h - 2];
-        TIE_CHECK_ARG(cur.act_out.frac_bits == next.act_in.frac_bits &&
-                      cur.act_out.total_bits == next.act_in.total_bits,
-                      "stage ", h, " act_out format does not match stage ",
-                      h - 1, " act_in format");
-    }
-
-    Matrix<int16_t> v = plan.reshapeInput(x);
-    size_t mults = 0;
-    std::vector<size_t> stage_mults;
-
-    for (size_t h = cfg.d(); h >= 1; --h) {
-        const Matrix<int16_t> &g = tt.cores[h - 1];
-        const MacFormat &fmt = tt.stage_fmt[h - 1];
-        v = fxpMatmul(g, v, fmt);
-        const size_t sm = g.rows() * g.cols() * v.cols();
-        stage_mults.push_back(sm);
-        mults += sm;
-        if (h > 1)
-            v = applyTransformBatched(plan.transformAfter(h), v, batch);
-    }
-
-    if (stats) {
-        stats->mults = mults;
-        stats->adds = mults; // one MAC accumulation per product
-        stats->stage_mults = std::move(stage_mults);
-    }
-    return plan.flattenOutput(v, batch);
+    InferSessionFxp session(tt);
+    return session.run(x, stats);
 }
 
 CompactPlan::CompactPlan(const TtLayerConfig &cfg) : cfg_(cfg)

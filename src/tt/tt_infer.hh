@@ -38,7 +38,13 @@ struct InferStats
 {
     size_t mults = 0;
     size_t adds = 0;
-    /** Per-stage multiplication counts (compact schemes only), h=d..1. */
+    /**
+     * Per-stage multiplication counts (compact schemes only), indexed
+     * stage-first: stage_mults[h-1] is the count of the GEMM using core
+     * G~_h. Execution still runs h = d..1; the storage order matches
+     * multCompactPerStage (cost_model.hh) and every other per-stage
+     * array in the library.
+     */
     std::vector<size_t> stage_mults;
 };
 

@@ -4,9 +4,31 @@
 # (validated with python3 -m json.tool), capture at least one printed
 # table, and produce identical table contents across repeat runs (the
 # paper numbers are deterministic; only host wall-clock stats may vary).
+#
+# With --micro BIN, instead smoke-tests the google-benchmark micro
+# binary: runs the session-vs-per-call inference family briefly and
+# validates the BENCH_micro.json report it writes by default.
 set -e
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
+
+if [ "$1" = "--micro" ]; then
+    BIN="$2"
+    (cd "$DIR" && "$BIN" --benchmark_filter='BM_TtInfer' \
+                         --benchmark_min_time=0.01 >/dev/null 2>&1)
+    python3 -m json.tool "$DIR/BENCH_micro.json" >/dev/null
+    python3 - "$DIR/BENCH_micro.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+names = {b["name"] for b in r["benchmarks"]}
+for want in ("BM_TtInfer_PerCall/1", "BM_TtInfer_Session/1",
+             "BM_TtInfer_Session_Materialized/1",
+             "BM_TtInferFxp_PerCall/1", "BM_TtInferFxp_Session/1"):
+    assert want in names, f"missing {want}: {sorted(names)}"
+EOF
+    echo "micro bench smoke ok"
+    exit 0
+fi
 
 for BENCH in "$@"; do
     NAME="$(basename "$BENCH")"

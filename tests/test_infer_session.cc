@@ -1,0 +1,408 @@
+/**
+ * @file
+ * InferSession tests: bit-identity against the pre-session compact
+ * pipeline (rebuilt here from the public primitives it was made of),
+ * fused vs. materialized equality, capture-mode operands, the
+ * stage-first InferStats convention, arena sizing, observability
+ * counters, and — via a global operator new/delete hook — the
+ * zero-heap-allocation guarantee of steady-state runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+#include "obs/stat_registry.hh"
+#include "tt/cost_model.hh"
+#include "tt/infer_session.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation hook. Counting is off by default; tests flip it on
+// around steady-state regions only, so gtest's own allocations between
+// assertions are not counted.
+// ---------------------------------------------------------------------
+
+static std::atomic<bool> g_count_allocs{false};
+static std::atomic<uint64_t> g_alloc_count{0};
+
+static void *
+countedAlloc(std::size_t sz)
+{
+    if (g_count_allocs.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(sz ? sz : 1);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t sz)
+{
+    return countedAlloc(sz);
+}
+
+void *
+operator new[](std::size_t sz)
+{
+    return countedAlloc(sz);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace tie {
+namespace {
+
+// The compact pipeline exactly as the entry points executed it before
+// InferSession existed: materialized transforms via the public
+// primitives. The session must match this bit for bit.
+MatrixD
+referenceCompact(const TtMatrix &tt, const MatrixD &x)
+{
+    const TtLayerConfig &cfg = tt.config();
+    const size_t batch = x.cols();
+    CompactPlan plan(cfg);
+    MatrixD v = plan.reshapeInput(x);
+    for (size_t h = cfg.d(); h >= 1; --h) {
+        v = matmul(tt.core(h).unfolded(), v);
+        if (h > 1)
+            v = applyTransformBatched(plan.transformAfter(h), v, batch);
+    }
+    return plan.flattenOutput(v, batch);
+}
+
+Matrix<int16_t>
+referenceCompactFxp(const TtMatrixFxp &tt, const Matrix<int16_t> &x)
+{
+    const TtLayerConfig &cfg = tt.config;
+    const size_t batch = x.cols();
+    CompactPlan plan(cfg);
+    Matrix<int16_t> v = plan.reshapeInput(x);
+    for (size_t h = cfg.d(); h >= 1; --h) {
+        v = fxpMatmul(tt.cores[h - 1], v, tt.stage_fmt[h - 1]);
+        if (h > 1)
+            v = applyTransformBatched(plan.transformAfter(h), v, batch);
+    }
+    return plan.flattenOutput(v, batch);
+}
+
+std::vector<TtLayerConfig>
+testConfigs()
+{
+    TtLayerConfig d2;
+    d2.m = {3, 4};
+    d2.n = {2, 5};
+    d2.r = {1, 3, 1};
+
+    TtLayerConfig d3; // asymmetric ranks
+    d3.m = {2, 3, 4};
+    d3.n = {4, 3, 2};
+    d3.r = {1, 2, 5, 1};
+
+    TtLayerConfig d4;
+    d4.m = {2, 3, 2, 3};
+    d4.n = {3, 2, 3, 2};
+    d4.r = {1, 3, 2, 4, 1};
+
+    return {d2, d3, d4};
+}
+
+/** Restores the ambient pool size when a test rescales it. */
+struct ThreadCountGuard
+{
+    size_t ambient = threadCount();
+    ~ThreadCountGuard() { setThreadCount(ambient); }
+};
+
+TEST(InferSession, BitIdenticalToReferenceAcrossShapesBatchesThreads)
+{
+    ThreadCountGuard guard;
+    Rng rng(42);
+    for (const TtLayerConfig &cfg : testConfigs()) {
+        TtMatrix tt = TtMatrix::random(cfg, rng);
+        InferSessionD fused = makeSession(tt);
+        InferSessionD materialized =
+            makeSession(tt, SessionOptions{false});
+        for (size_t batch : {size_t(1), size_t(7), size_t(64)}) {
+            MatrixD x(cfg.inSize(), batch);
+            x.setUniform(rng);
+            const MatrixD ref = referenceCompact(tt, x);
+            for (size_t threads : {size_t(1), size_t(4)}) {
+                setThreadCount(threads);
+                MatrixD y;
+                fused.runInto(x, y);
+                EXPECT_TRUE(y == ref)
+                    << cfg.toString() << " batch " << batch
+                    << " threads " << threads;
+                MatrixD ym;
+                materialized.runInto(x, ym);
+                EXPECT_TRUE(ym == ref) << "materialized path";
+                EXPECT_TRUE(compactInfer(tt, x) == ref)
+                    << "compactInfer wrapper";
+            }
+        }
+    }
+}
+
+TEST(InferSession, FxpBitIdenticalToReference)
+{
+    ThreadCountGuard guard;
+    Rng rng(7);
+    for (const TtLayerConfig &cfg : testConfigs()) {
+        TtMatrix tt = TtMatrix::random(cfg, rng);
+        TtMatrixFxp fxp = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+        InferSessionFxp fused(fxp);
+        InferSessionFxp materialized(fxp, SessionOptions{false});
+        for (size_t batch : {size_t(1), size_t(7), size_t(64)}) {
+            MatrixF xf(cfg.inSize(), batch);
+            xf.setUniform(rng);
+            Matrix<int16_t> x = quantizeMatrix(xf, FxpFormat{16, 8});
+            const Matrix<int16_t> ref = referenceCompactFxp(fxp, x);
+            for (size_t threads : {size_t(1), size_t(4)}) {
+                setThreadCount(threads);
+                Matrix<int16_t> y;
+                fused.runInto(x, y);
+                EXPECT_TRUE(y == ref)
+                    << cfg.toString() << " batch " << batch
+                    << " threads " << threads;
+                Matrix<int16_t> ym;
+                materialized.runInto(x, ym);
+                EXPECT_TRUE(ym == ref) << "materialized path";
+                EXPECT_TRUE(compactInferFxp(fxp, x) == ref)
+                    << "compactInferFxp wrapper";
+            }
+        }
+    }
+}
+
+TEST(InferSession, RunVecMatchesBatchedColumn)
+{
+    Rng rng(3);
+    const TtLayerConfig cfg = testConfigs()[1];
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    std::vector<double> x(cfg.inSize());
+    for (auto &v : x)
+        v = rng.uniform(-1.0, 1.0);
+
+    InferSessionD session = makeSession(tt);
+    std::vector<double> y;
+    session.runVec(x, y, nullptr);
+
+    const std::vector<double> ref = compactInferVec(tt, x);
+    ASSERT_EQ(y.size(), cfg.outSize());
+    EXPECT_EQ(y, ref);
+
+    MatrixD xm(cfg.inSize(), 1, x);
+    EXPECT_TRUE(MatrixD(cfg.outSize(), 1, y) ==
+                referenceCompact(tt, xm));
+}
+
+TEST(InferSession, CaptureReproducesStageOperands)
+{
+    Rng rng(11);
+    const TtLayerConfig cfg = testConfigs()[2]; // d = 4
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    const size_t batch = 5;
+    MatrixD x(cfg.inSize(), batch);
+    x.setUniform(rng);
+
+    InferSessionD session = makeSession(tt);
+    MatrixD y;
+    std::vector<MatrixD> capture;
+    session.runCapture(x, y, capture);
+
+    EXPECT_TRUE(y == referenceCompact(tt, x));
+    ASSERT_EQ(capture.size(), cfg.d());
+
+    // Expected operands, walked exactly as the reference pipeline.
+    CompactPlan plan(cfg);
+    MatrixD op = plan.reshapeInput(x);
+    for (size_t h = cfg.d(); h >= 1; --h) {
+        EXPECT_TRUE(capture[h - 1] == op) << "stage " << h;
+        MatrixD v = matmul(tt.core(h).unfolded(), op);
+        if (h > 1)
+            op = applyTransformBatched(plan.transformAfter(h), v, batch);
+    }
+}
+
+TEST(InferStatsConvention, StageMultsAreStageFirst)
+{
+    Rng rng(5);
+    const TtLayerConfig cfg = testConfigs()[1]; // asymmetric, d = 3
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    const size_t batch = 7;
+    MatrixD x(cfg.inSize(), batch);
+    x.setUniform(rng);
+
+    InferStats stats;
+    compactInfer(tt, x, &stats);
+    const std::vector<size_t> per = multCompactPerStage(cfg);
+    ASSERT_EQ(stats.stage_mults.size(), cfg.d());
+    ASSERT_EQ(per.size(), cfg.d());
+    size_t total = 0;
+    for (size_t h = 1; h <= cfg.d(); ++h) {
+        // stage_mults[h-1] belongs to the GEMM using core G~_h.
+        EXPECT_EQ(stats.stage_mults[h - 1],
+                  cfg.coreRows(h) * cfg.coreCols(h) *
+                      cfg.stageCols(h) * batch)
+            << "stage " << h;
+        EXPECT_EQ(stats.stage_mults[h - 1], per[h - 1] * batch);
+        total += stats.stage_mults[h - 1];
+    }
+    EXPECT_EQ(stats.mults, total);
+    EXPECT_EQ(stats.adds, total);
+}
+
+TEST(InferSession, ArenaMatchesWorkingBufferModel)
+{
+    Rng rng(9);
+    for (const TtLayerConfig &cfg : testConfigs()) {
+        TtMatrix tt = TtMatrix::random(cfg, rng);
+        for (size_t batch : {size_t(1), size_t(13)}) {
+            InferSessionD session = makeSession(tt);
+            MatrixD x(cfg.inSize(), batch), y;
+            x.setUniform(rng);
+            session.runInto(x, y);
+            // Two ping-pong halves, each one working-SRAM capacity
+            // (cost_model.hh) scaled by the batch.
+            EXPECT_EQ(session.arenaBytes(),
+                      2 * workingBufferElems(cfg) * batch *
+                          sizeof(double))
+                << cfg.toString() << " batch " << batch;
+        }
+    }
+}
+
+TEST(InferSession, SteadyStateRunsDoNotHeapAllocate)
+{
+    ThreadCountGuard guard;
+    setThreadCount(4); // exercise the pool's LoopBody path too
+    Rng rng(17);
+    const TtLayerConfig cfg = TtLayerConfig::uniform(3, 4, 4, 3);
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    InferSessionD session = makeSession(tt);
+
+    const size_t batch = 64; // big enough to engage parallel kernels
+    MatrixD x(cfg.inSize(), batch);
+    x.setUniform(rng);
+    MatrixD y;
+    InferStats stats;
+    std::vector<double> xv(cfg.inSize(), 0.25), yv;
+
+    // Warm-up: arena + offset tables, y/yv shaping, stats capacity,
+    // pool worker startup, registry lazy init.
+    session.runInto(x, y, &stats);
+    session.runInto(x, y, &stats);
+    session.runVec(xv, yv, &stats);
+
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 5; ++i)
+        session.runInto(x, y, &stats);
+    session.runVec(xv, yv, &stats);
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "steady-state float runs must not touch the heap";
+
+    // Same guarantee on the fixed-point datapath.
+    TtMatrixFxp fxp = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+    InferSessionFxp fsession(fxp);
+    MatrixF xf(cfg.inSize(), batch);
+    xf.setUniform(rng);
+    Matrix<int16_t> xq = quantizeMatrix(xf, FxpFormat{16, 8});
+    Matrix<int16_t> yq;
+    fsession.runInto(xq, yq, &stats);
+    fsession.runInto(xq, yq, &stats);
+
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int i = 0; i < 5; ++i)
+        fsession.runInto(xq, yq, &stats);
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "steady-state fxp runs must not touch the heap";
+}
+
+TEST(InferSession, ObservabilityCountersTrackRuns)
+{
+    Rng rng(23);
+    const TtLayerConfig cfg = testConfigs()[1]; // d = 3
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    InferSessionD session = makeSession(tt);
+
+    obs::StatRegistry &reg = obs::StatRegistry::instance();
+    obs::setEnabled(true);
+    reg.resetAll();
+
+    MatrixD x3(cfg.inSize(), 3), x5(cfg.inSize(), 5), y;
+    x3.setUniform(rng);
+    x5.setUniform(rng);
+    session.runInto(x3, y); // build (batch 3)
+    session.runInto(x3, y); // cache hit
+    session.runInto(x5, y); // rebuild (batch 5)
+    obs::setEnabled(false);
+
+    EXPECT_EQ(reg.counter("session.runs").value(), 3u);
+    EXPECT_EQ(reg.counter("session.plan_builds").value(), 2u);
+    EXPECT_EQ(reg.counter("session.plan_cache_hits").value(), 1u);
+    // d-1 fused transforms per run, nothing materialized.
+    EXPECT_EQ(reg.counter("session.stages_fused").value(),
+              3 * (cfg.d() - 1));
+    EXPECT_EQ(reg.counter("session.stages_materialized").value(), 0u);
+    EXPECT_EQ(static_cast<size_t>(
+                  reg.gauge("session.arena_bytes").value()),
+              session.arenaBytes());
+    reg.resetAll();
+}
+
+TEST(InferSessionFatal, InputRowsMismatchDies)
+{
+    Rng rng(1);
+    const TtLayerConfig cfg = testConfigs()[0];
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    InferSessionD session = makeSession(tt);
+    MatrixD bad(cfg.inSize() + 1, 2), y;
+    EXPECT_EXIT(session.runInto(bad, y), ::testing::ExitedWithCode(1),
+                "input rows");
+}
+
+TEST(InferSessionFatal, MismatchedStageFormatsDie)
+{
+    Rng rng(2);
+    const TtLayerConfig cfg = testConfigs()[1];
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    TtMatrixFxp fxp = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+    fxp.stage_fmt[1].act_out.frac_bits += 1; // break the stage chain
+    EXPECT_EXIT(InferSessionFxp bad(fxp), ::testing::ExitedWithCode(1),
+                "act_out format");
+}
+
+} // namespace
+} // namespace tie

@@ -24,6 +24,23 @@ TEST(Fxp, SaturateClampsToContainer)
     EXPECT_EQ(saturate(1 << 30, 24), (1 << 23) - 1);
 }
 
+TEST(Fxp, SaturateRejectsUnrepresentableWidths)
+{
+    // bits <= 0 and bits >= 64 would shift by a negative / full-width
+    // amount (undefined behaviour); they must die, not wrap.
+    EXPECT_EXIT(saturate(0, 0), ::testing::ExitedWithCode(1),
+                "outside the representable range");
+    EXPECT_EXIT(saturate(1, -3), ::testing::ExitedWithCode(1),
+                "outside the representable range");
+    EXPECT_EXIT(saturate(1, 64), ::testing::ExitedWithCode(1),
+                "outside the representable range");
+    // The boundary widths stay usable.
+    EXPECT_EQ(saturate(5, 1), 0);
+    EXPECT_EQ(saturate(-5, 1), -1);
+    EXPECT_EQ(saturate(INT64_MAX, 63), (int64_t(1) << 62) - 1);
+    EXPECT_EQ(saturate(INT64_MIN, 63), -(int64_t(1) << 62));
+}
+
 TEST(Fxp, QuantizeRoundTripExactForGridValues)
 {
     FxpFormat fmt{16, 8};
