@@ -222,7 +222,7 @@ BM_TtInfer_Session(benchmark::State &state)
     TtMatrix tt = TtMatrix::random(cfg, rng);
     MatrixD x(cfg.inSize(), batch), y;
     x.setNormal(rng);
-    InferSessionD session = makeSession(tt);
+    InferSessionD session = makeSession(tt, SessionOptions{FuseMode::On});
     session.runInto(x, y); // warm-up: arena + gather tables
     for (auto _ : state) {
         session.runInto(x, y);
@@ -242,7 +242,7 @@ BM_TtInfer_Session_Materialized(benchmark::State &state)
     TtMatrix tt = TtMatrix::random(cfg, rng);
     MatrixD x(cfg.inSize(), batch), y;
     x.setNormal(rng);
-    InferSessionD session = makeSession(tt, SessionOptions{false});
+    InferSessionD session = makeSession(tt, SessionOptions{FuseMode::Off});
     session.runInto(x, y);
     for (auto _ : state) {
         session.runInto(x, y);
@@ -283,7 +283,7 @@ BM_TtInferFxp_Session(benchmark::State &state)
     xf.setUniform(rng, -1, 1);
     Matrix<int16_t> x = quantizeMatrix(xf, FxpFormat{16, 8});
     Matrix<int16_t> y;
-    InferSessionFxp session(fxp);
+    InferSessionFxp session(fxp, SessionOptions{FuseMode::On});
     session.runInto(x, y);
     for (auto _ : state) {
         session.runInto(x, y);

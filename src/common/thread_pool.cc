@@ -51,18 +51,25 @@ thread_local bool t_in_parallel_region = false;
 size_t
 defaultThreadCount()
 {
-    if (const char *s = std::getenv("TIE_THREADS")) {
-        char *end = nullptr;
-        const long v = std::strtol(s, &end, 10);
-        if (end != s && *end == '\0' && v >= 1)
-            return static_cast<size_t>(v);
-        TIE_WARN("ignoring invalid TIE_THREADS='", s, "'");
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    return resolveThreadCount(std::getenv("TIE_THREADS"),
+                              std::thread::hardware_concurrency());
 }
 
 } // namespace
+
+size_t
+resolveThreadCount(const char *env_value, unsigned hardware)
+{
+    if (env_value != nullptr) {
+        char *end = nullptr;
+        const long v = std::strtol(env_value, &end, 10);
+        TIE_CHECK_ARG(end != env_value && *end == '\0' && v >= 1,
+                      "TIE_THREADS='", env_value,
+                      "' is not an integer >= 1");
+        return static_cast<size_t>(v);
+    }
+    return hardware > 0 ? hardware : 1;
+}
 
 ThreadPool &
 ThreadPool::instance()

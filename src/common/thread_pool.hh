@@ -124,6 +124,17 @@ class ThreadPool
     std::exception_ptr job_error_;
 };
 
+/**
+ * Resolve the pool size from a TIE_THREADS value and the reported
+ * hardware concurrency: a valid TIE_THREADS (integer >= 1) wins; a
+ * malformed or out-of-range value is a user error (fatal); with the
+ * variable unset the hardware count is used, falling back to 1 worker
+ * when the implementation reports 0 (hardware_concurrency is allowed
+ * to). Exposed separately from the pool singleton so tests can cover
+ * the env parsing without constructing threads.
+ */
+size_t resolveThreadCount(const char *env_value, unsigned hardware);
+
 /** Threads the global pool will use (TIE_THREADS / hardware). */
 size_t threadCount();
 

@@ -1,5 +1,8 @@
 #include "obs/stat_registry.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/json.hh"
 
 namespace tie {
@@ -13,6 +16,30 @@ void
 setEnabled(bool on)
 {
     detail::g_obs_enabled.store(on, std::memory_order_relaxed);
+}
+
+int
+Distribution::bucketOf(double v)
+{
+    if (!(v > 0.0) || std::isinf(v))
+        return v > 0.0 ? kBuckets - 1 : 0;
+    int e = std::ilogb(v); // v in [2^e, 2^(e+1))
+    if (e < kMinExp)
+        return 0;
+    if (e >= kMaxExp)
+        return kBuckets - 1;
+    const double rel = std::ldexp(v, -e) - 1.0; // [0, 1)
+    const int sub = std::min(kSubBuckets - 1,
+                             static_cast<int>(rel * kSubBuckets));
+    return (e - kMinExp) * kSubBuckets + sub;
+}
+
+double
+Distribution::bucketValue(int idx)
+{
+    const int e = kMinExp + idx / kSubBuckets;
+    const int sub = idx % kSubBuckets;
+    return std::ldexp(1.0 + (sub + 0.5) / kSubBuckets, e);
 }
 
 void
@@ -31,6 +58,29 @@ Distribution::record(double v)
     }
     ++s_.count;
     s_.sum += v;
+    ++buckets_[static_cast<size_t>(bucketOf(v))];
+}
+
+double
+Distribution::percentile(double p) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (s_.count == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return s_.min;
+    if (p >= 100.0)
+        return s_.max;
+    const uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(p / 100.0 * double(s_.count))));
+    uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        cum += buckets_[static_cast<size_t>(i)];
+        if (cum >= target)
+            return std::clamp(bucketValue(i), s_.min, s_.max);
+    }
+    return s_.max; // unreachable: buckets cover every sample
 }
 
 Distribution::Snapshot
@@ -45,6 +95,7 @@ Distribution::reset()
 {
     std::lock_guard<std::mutex> lk(mu_);
     s_ = Snapshot{};
+    buckets_.fill(0);
 }
 
 StatRegistry &
@@ -119,13 +170,17 @@ StatRegistry::toJson() const
     w.endObject();
     w.key("distributions").beginObject();
     for (const auto &kv : dists_) {
-        const Distribution::Snapshot s = kv.second.stat->snapshot();
+        const Distribution &d = *kv.second.stat;
+        const Distribution::Snapshot s = d.snapshot();
         w.key(kv.first).beginObject();
         w.field("count", s.count);
         w.field("sum", s.sum);
         w.field("min", s.min);
         w.field("max", s.max);
         w.field("mean", s.mean());
+        w.field("p50", d.percentile(50));
+        w.field("p95", d.percentile(95));
+        w.field("p99", d.percentile(99));
         w.endObject();
     }
     w.endObject();

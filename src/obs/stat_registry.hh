@@ -18,6 +18,7 @@
 #ifndef TIE_OBS_STAT_REGISTRY_HH
 #define TIE_OBS_STAT_REGISTRY_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -79,7 +80,16 @@ class Gauge
     std::atomic<int64_t> v_{0};
 };
 
-/** Sample distribution: count / sum / min / max (thread-safe). */
+/**
+ * Sample distribution: count / sum / min / max plus approximate
+ * percentiles (thread-safe). Percentiles come from a fixed log-linear
+ * histogram — kSubBuckets sub-buckets per power of two — so record()
+ * never allocates (a requirement of the zero-allocation serving hot
+ * path) and percentile(p) is exact to within one sub-bucket, a relative
+ * error of at most 1/(2*kSubBuckets) ≈ 6.25%. Results are clamped to
+ * the exact [min, max], so single-valued and edge percentiles are
+ * exact.
+ */
 class Distribution
 {
   public:
@@ -97,9 +107,33 @@ class Distribution
     Snapshot snapshot() const;
     void reset();
 
+    /** Exact smallest / largest recorded sample (0 when empty). */
+    double min() const { return snapshot().min; }
+    double max() const { return snapshot().max; }
+
+    /**
+     * Approximate p-th percentile (p in [0, 100]) of every sample
+     * recorded so far: the smallest histogram bucket whose cumulative
+     * count reaches ceil(p/100 * count). p <= 0 returns the exact min,
+     * p >= 100 the exact max, and an empty distribution returns 0.
+     */
+    double percentile(double p) const;
+
   private:
+    /** Sub-buckets per octave; bucket width = 2^e / kSubBuckets. */
+    static constexpr int kSubBuckets = 8;
+    /** Smallest / largest finite octave tracked: [2^-16, 2^48). */
+    static constexpr int kMinExp = -16;
+    static constexpr int kMaxExp = 48;
+    static constexpr int kBuckets =
+        (kMaxExp - kMinExp) * kSubBuckets;
+
+    static int bucketOf(double v);
+    static double bucketValue(int idx);
+
     mutable std::mutex mu_;
     Snapshot s_;
+    std::array<uint64_t, kBuckets> buckets_{};
 };
 
 /**

@@ -1,0 +1,315 @@
+#include "serve/load_gen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace tie {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedS(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+void
+fillRequestInput(uint64_t seed, size_t index, std::vector<double> &x)
+{
+    // Mix the index into the seed (splitmix-style odd constant) so
+    // consecutive requests draw unrelated streams.
+    Rng rng(seed + 0x9e3779b97f4a7c15ull * (index + 1));
+    for (double &v : x)
+        v = rng.uniform(-1.0, 1.0);
+}
+
+bool
+bitIdentical(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(),
+                        a.size() * sizeof(double)) == 0);
+}
+
+/** Per-request outcome record, merged into the report at the end. */
+struct ClientTally
+{
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t rejected = 0;
+    size_t timed_out = 0;
+    size_t mismatched = 0;
+    std::vector<double> latency_us;
+    std::vector<double> queue_wait_us;
+    std::vector<double> service_us;
+
+    void
+    reserve(size_t n)
+    {
+        latency_us.reserve(n);
+        queue_wait_us.reserve(n);
+        service_us.reserve(n);
+    }
+};
+
+void
+mergeTallies(std::vector<ClientTally> &tallies, LoadGenReport &rep,
+             std::vector<double> &latency, std::vector<double> &qwait,
+             std::vector<double> &service)
+{
+    for (ClientTally &t : tallies) {
+        rep.submitted += t.submitted;
+        rep.completed += t.completed;
+        rep.rejected += t.rejected;
+        rep.timed_out += t.timed_out;
+        rep.mismatched += t.mismatched;
+        latency.insert(latency.end(), t.latency_us.begin(),
+                       t.latency_us.end());
+        qwait.insert(qwait.end(), t.queue_wait_us.begin(),
+                     t.queue_wait_us.end());
+        service.insert(service.end(), t.service_us.begin(),
+                       t.service_us.end());
+    }
+}
+
+LoadGenReport
+runClosedLoop(Server &server, const LoadGenOptions &opts,
+              const std::vector<std::vector<double>> *expected)
+{
+    const size_t clients = std::max<size_t>(1, opts.clients);
+    std::vector<ClientTally> tallies(clients);
+    for (ClientTally &t : tallies)
+        t.reserve(opts.requests / clients + 1);
+
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            ClientTally &tally = tallies[c];
+            std::vector<double> x(server.inSize());
+            std::vector<double> y;
+            for (size_t i = c; i < opts.requests; i += clients) {
+                fillRequestInput(opts.seed, i, x);
+                const Clock::time_point t0 = Clock::now();
+                const Ticket t = server.submit(x.data(),
+                                               opts.deadline_us);
+                ++tally.submitted;
+                if (!t.valid()) {
+                    ++tally.rejected;
+                    continue;
+                }
+                RequestTiming timing;
+                const RequestStatus st = server.wait(t, &y, &timing);
+                if (st == RequestStatus::TimedOut) {
+                    ++tally.timed_out;
+                    continue;
+                }
+                TIE_REQUIRE(st == RequestStatus::Done,
+                            "closed-loop wait returned ", toString(st));
+                ++tally.completed;
+                tally.latency_us.push_back(
+                    std::chrono::duration<double, std::micro>(
+                        Clock::now() - t0)
+                        .count());
+                tally.queue_wait_us.push_back(timing.queue_wait_us);
+                tally.service_us.push_back(timing.service_us);
+                if (expected != nullptr &&
+                    !bitIdentical(y, (*expected)[i]))
+                    ++tally.mismatched;
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double wall_s = elapsedS(start, Clock::now());
+
+    LoadGenReport rep;
+    rep.open_loop = false;
+    rep.wall_s = wall_s;
+    std::vector<double> latency, qwait, service;
+    mergeTallies(tallies, rep, latency, qwait, service);
+    rep.achieved_qps = wall_s > 0 ? rep.completed / wall_s : 0;
+    rep.latency = summarize(latency);
+    rep.queue_wait = summarize(qwait);
+    rep.service = summarize(service);
+    return rep;
+}
+
+LoadGenReport
+runOpenLoop(Server &server, const LoadGenOptions &opts,
+            const std::vector<std::vector<double>> *expected)
+{
+    TIE_CHECK_ARG(opts.offered_qps > 0,
+                  "open loop needs offered_qps > 0");
+    std::vector<Ticket> tickets(opts.requests);
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t produced = 0;
+
+    const Clock::time_point start = Clock::now();
+    std::thread pacer([&] {
+        Rng rng(opts.seed ^ 0xa5a5a5a55a5a5a5aull);
+        std::vector<double> x(server.inSize());
+        Clock::time_point next = Clock::now();
+        for (size_t i = 0; i < opts.requests; ++i) {
+            // Poisson arrivals: exponential inter-arrival gaps at the
+            // offered rate, independent of completions.
+            const double gap_s =
+                -std::log(1.0 - rng.uniform()) / opts.offered_qps;
+            next += std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(gap_s));
+            std::this_thread::sleep_until(next);
+            fillRequestInput(opts.seed, i, x);
+            const Ticket t = server.submit(x.data(), opts.deadline_us);
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                tickets[i] = t;
+                produced = i + 1;
+            }
+            cv.notify_one();
+        }
+    });
+
+    ClientTally tally;
+    tally.reserve(opts.requests);
+    std::vector<double> y;
+    for (size_t i = 0; i < opts.requests; ++i) {
+        Ticket t;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] { return produced > i; });
+            t = tickets[i];
+        }
+        ++tally.submitted;
+        if (!t.valid()) {
+            ++tally.rejected;
+            continue;
+        }
+        RequestTiming timing;
+        const RequestStatus st = server.wait(t, &y, &timing);
+        if (st == RequestStatus::TimedOut) {
+            ++tally.timed_out;
+            continue;
+        }
+        TIE_REQUIRE(st == RequestStatus::Done,
+                    "open-loop wait returned ", toString(st));
+        ++tally.completed;
+        // Server-side latency: a collector that falls behind the
+        // arrival rate would inflate client-measured numbers, so the
+        // open-loop summary uses the per-request timing instead.
+        tally.latency_us.push_back(timing.queue_wait_us +
+                                   timing.service_us);
+        tally.queue_wait_us.push_back(timing.queue_wait_us);
+        tally.service_us.push_back(timing.service_us);
+        if (expected != nullptr && !bitIdentical(y, (*expected)[i]))
+            ++tally.mismatched;
+    }
+    pacer.join();
+    const double wall_s = elapsedS(start, Clock::now());
+
+    LoadGenReport rep;
+    rep.open_loop = true;
+    rep.offered_qps = opts.offered_qps;
+    rep.wall_s = wall_s;
+    std::vector<ClientTally> tallies;
+    tallies.push_back(std::move(tally));
+    std::vector<double> latency, qwait, service;
+    mergeTallies(tallies, rep, latency, qwait, service);
+    rep.achieved_qps = wall_s > 0 ? rep.completed / wall_s : 0;
+    rep.latency = summarize(latency);
+    rep.queue_wait = summarize(qwait);
+    rep.service = summarize(service);
+    return rep;
+}
+
+} // namespace
+
+std::vector<double>
+makeRequestInput(uint64_t seed, size_t index, size_t n)
+{
+    std::vector<double> x(n);
+    fillRequestInput(seed, index, x);
+    return x;
+}
+
+std::vector<std::vector<double>>
+referenceOutputs(const std::vector<const TtMatrix *> &model,
+                 uint64_t seed, size_t requests, SessionOptions session)
+{
+    TIE_CHECK_ARG(!model.empty(),
+                  "referenceOutputs needs at least one layer");
+    std::vector<InferSessionD> sessions;
+    sessions.reserve(model.size());
+    for (const TtMatrix *layer : model)
+        sessions.push_back(makeSession(*layer, session));
+
+    std::vector<std::vector<double>> out(requests);
+    std::vector<double> cur(model.front()->config().inSize());
+    std::vector<double> nxt;
+    for (size_t i = 0; i < requests; ++i) {
+        fillRequestInput(seed, i, cur);
+        std::vector<double> *a = &cur;
+        std::vector<double> *b = &nxt;
+        for (InferSessionD &s : sessions) {
+            b->resize(s.config().outSize());
+            s.runPtr(a->data(), 1, b->data());
+            std::swap(a, b);
+        }
+        out[i] = *a;
+        cur.resize(model.front()->config().inSize());
+    }
+    return out;
+}
+
+LatencySummary
+summarize(std::vector<double> &samples)
+{
+    LatencySummary s;
+    if (samples.empty())
+        return s;
+    std::sort(samples.begin(), samples.end());
+    double sum = 0;
+    for (double v : samples)
+        sum += v;
+    const size_t n = samples.size();
+    auto at = [&](double p) {
+        const size_t rank = static_cast<size_t>(
+            std::ceil(p / 100.0 * static_cast<double>(n)));
+        return samples[std::min(n - 1, rank > 0 ? rank - 1 : 0)];
+    };
+    s.mean = sum / static_cast<double>(n);
+    s.p50 = at(50);
+    s.p95 = at(95);
+    s.p99 = at(99);
+    s.max = samples.back();
+    return s;
+}
+
+LoadGenReport
+runLoadGen(Server &server, const LoadGenOptions &opts,
+           const std::vector<std::vector<double>> *expected)
+{
+    TIE_CHECK_ARG(opts.requests >= 1, "load gen needs requests >= 1");
+    if (expected != nullptr)
+        TIE_CHECK_ARG(expected->size() >= opts.requests,
+                      "expected outputs (", expected->size(),
+                      ") must cover all ", opts.requests, " requests");
+    return opts.offered_qps > 0 ? runOpenLoop(server, opts, expected)
+                                : runClosedLoop(server, opts, expected);
+}
+
+} // namespace serve
+} // namespace tie

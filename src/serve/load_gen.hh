@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic load generators for the serving layer.
+ *
+ * Two client models, both driving a Server with the same seeded
+ * request stream so runs are reproducible and verifiable:
+ *
+ *  - **Closed loop**: @p clients threads each keep exactly one
+ *    request outstanding (submit, wait, repeat). Throughput is
+ *    whatever the server sustains; the latency summary is the
+ *    client-observed end-to-end time (submit to wait-return).
+ *  - **Open loop**: a pacer thread submits at @p offered_qps with
+ *    exponentially-distributed (seeded) inter-arrival gaps,
+ *    regardless of completions — the arrival process does not slow
+ *    down when the server backs up, so queueing, deadline expiry and
+ *    admission rejection actually show. The latency summary is the
+ *    server-side time (queue wait + service) reported per request,
+ *    which a lagging collector thread cannot distort.
+ *
+ * Request i's input is makeRequestInput(seed, i, N) in both models;
+ * when the caller supplies expected outputs (referenceOutputs), every
+ * Done request is compared **bit-exactly** and mismatches counted.
+ */
+
+#ifndef TIE_SERVE_LOAD_GEN_HH
+#define TIE_SERVE_LOAD_GEN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.hh"
+
+namespace tie {
+namespace serve {
+
+struct LoadGenOptions
+{
+    size_t requests = 256; ///< total requests across all clients
+    size_t clients = 4;    ///< closed-loop client threads
+    double offered_qps = 0; ///< > 0 selects the open-loop generator
+    uint64_t deadline_us = 0; ///< enqueue deadline per request (0: none)
+    uint64_t seed = 1;        ///< request-stream seed
+};
+
+/** Exact sample statistics (sorted-sample percentiles, not binned). */
+struct LatencySummary
+{
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double max = 0;
+};
+
+struct LoadGenReport
+{
+    bool open_loop = false;
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t rejected = 0;
+    size_t timed_out = 0;
+    size_t mismatched = 0; ///< Done outputs differing from reference
+    double wall_s = 0;
+    double offered_qps = 0;  ///< 0 for closed loop
+    double achieved_qps = 0; ///< completed / wall_s
+    LatencySummary latency;  ///< e2e (closed) / server-side (open)
+    LatencySummary queue_wait; ///< RequestTiming.queue_wait_us
+    LatencySummary service;    ///< RequestTiming.service_us
+};
+
+/** Deterministic input for request @p index: N uniform [-1, 1). */
+std::vector<double> makeRequestInput(uint64_t seed, size_t index,
+                                     size_t n);
+
+/**
+ * Batch-1 reference outputs for requests [0, requests) through the
+ * layer chain — the oracle the generators compare Done outputs
+ * against bit-exactly.
+ */
+std::vector<std::vector<double>>
+referenceOutputs(const std::vector<const TtMatrix *> &model,
+                 uint64_t seed, size_t requests,
+                 SessionOptions session = {});
+
+/** Exact summary of @p samples (sorted in place); zeros when empty. */
+LatencySummary summarize(std::vector<double> &samples);
+
+/**
+ * Run the generator selected by opts.offered_qps against @p server.
+ * @p expected (optional) must hold one reference output per request.
+ */
+LoadGenReport runLoadGen(
+    Server &server, const LoadGenOptions &opts,
+    const std::vector<std::vector<double>> *expected = nullptr);
+
+} // namespace serve
+} // namespace tie
+
+#endif // TIE_SERVE_LOAD_GEN_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared vocabulary of the serving layer: request lifecycle states,
+ * the ticket handle a submitter holds while a request is in flight,
+ * and the per-request timing the server reports back for SLO
+ * accounting. See docs/serving.md.
+ */
+
+#ifndef TIE_SERVE_REQUEST_HH
+#define TIE_SERVE_REQUEST_HH
+
+#include <cstdint>
+
+namespace tie {
+namespace serve {
+
+/**
+ * Lifecycle of one request. Free is internal (an unused slot);
+ * submitters only ever observe the other five. Rejected and TimedOut
+ * are the two load-shedding outcomes: Rejected requests never entered
+ * the queue (admission control), TimedOut ones expired in the queue
+ * before a batcher picked them up (deadline enforcement).
+ */
+enum class RequestStatus : uint8_t
+{
+    Free,     ///< slot not in use (never visible through the API)
+    Pending,  ///< accepted, waiting in the queue
+    Running,  ///< picked into a batch, executing
+    Done,     ///< completed; output available
+    TimedOut, ///< enqueue deadline expired before execution
+    Rejected, ///< refused at admission (queue or slot table full)
+};
+
+/** Human-readable status name (stable, used in tables and JSON). */
+const char *toString(RequestStatus s);
+
+/** True for the three states a request can end in. */
+inline bool
+isTerminal(RequestStatus s)
+{
+    return s == RequestStatus::Done || s == RequestStatus::TimedOut ||
+           s == RequestStatus::Rejected;
+}
+
+/**
+ * Handle to one in-flight request. An invalid ticket (returned when
+ * admission control rejects the submit) waits as Rejected without
+ * blocking. The generation counter guards against a ticket being
+ * collected twice: each collect recycles the slot and bumps the
+ * generation.
+ */
+struct Ticket
+{
+    static constexpr uint32_t kInvalidId = UINT32_MAX;
+
+    uint32_t id = kInvalidId;
+    uint32_t gen = 0;
+
+    bool valid() const { return id != kInvalidId; }
+};
+
+/** Server-side timing of one completed request (microseconds). */
+struct RequestTiming
+{
+    double queue_wait_us = 0; ///< enqueue -> picked into a batch
+    double service_us = 0;    ///< its batch's inference wall time
+};
+
+} // namespace serve
+} // namespace tie
+
+#endif // TIE_SERVE_REQUEST_HH

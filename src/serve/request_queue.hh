@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Bounded, pre-allocated request queue with admission control,
+ * enqueue deadlines and dynamic-batch dequeue.
+ *
+ * All request storage lives in a slot slab sized at construction:
+ * each slot owns a pre-sized input vector (N elements) and output
+ * vector (M elements), so the steady-state submit -> dequeue ->
+ * complete -> collect cycle performs **zero heap allocations** —
+ * slots are recycled through a free list and the FIFO is a fixed
+ * ring of slot ids. tests/test_serve.cc asserts this with the same
+ * global operator-new hook used for InferSession.
+ *
+ * Concurrency: one mutex guards all queue state; work_cv_ wakes
+ * batchers (dequeueBatch), done_cv_ wakes collectors (wait). Slot
+ * payload (input/output data) is written lock-free by exactly one
+ * side at a time — the submitter before publishing Pending, the
+ * owning worker while Running — and every handover happens through a
+ * status change under the mutex, which provides the happens-before
+ * edge for the payload bytes.
+ */
+
+#ifndef TIE_SERVE_REQUEST_QUEUE_HH
+#define TIE_SERVE_REQUEST_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace tie {
+namespace serve {
+
+class RequestQueue
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * @param n_slots   total request slots (queue capacity plus the
+     *                  requests that may be Running or Done-awaiting-
+     *                  collection at once; the Server sizes this as
+     *                  capacity + workers * max_batch + in-flight
+     *                  collector margin)
+     * @param capacity  admission bound on *queued* (Pending) requests
+     * @param in_elems  input vector length N (pre-sized per slot)
+     * @param out_elems output vector length M (pre-sized per slot)
+     */
+    RequestQueue(size_t n_slots, size_t capacity, size_t in_elems,
+                 size_t out_elems);
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Admission-controlled submit: copies @p x (in_elems values) into
+     * a free slot and enqueues it. Returns an invalid ticket — the
+     * Rejected outcome — when the queue holds @p capacity pending
+     * requests, no free slot remains, or the queue is stopped.
+     * @p deadline_us > 0 arms an enqueue deadline: a batcher that
+     * finds the request still queued after that many microseconds
+     * drops it as TimedOut instead of running it.
+     */
+    Ticket trySubmit(const double *x, uint64_t deadline_us = 0);
+
+    /**
+     * Block until the request reaches a terminal state, then release
+     * its slot. For Done requests the output (out_elems values) is
+     * copied into @p out (resized; reusing the same vector across
+     * calls keeps steady-state collection allocation-free) and
+     * @p timing receives the server-side latency split. Invalid
+     * tickets return Rejected immediately. Each ticket may be waited
+     * exactly once; a second wait on the same ticket is a fatal
+     * usage error (the generation counter catches it).
+     */
+    RequestStatus wait(Ticket t, std::vector<double> *out = nullptr,
+                       RequestTiming *timing = nullptr);
+
+    /**
+     * Dynamic batcher dequeue: blocks until work is available, then
+     * returns up to @p max_batch request ids in @p ids (caller array
+     * of at least max_batch). If fewer than max_batch requests are
+     * queued and @p timeout_us > 0, waits for the batch to fill until
+     * the *oldest* queued request is timeout_us old — so batching
+     * adds at most timeout_us to any request's queue wait. Requests
+     * whose enqueue deadline has expired are marked TimedOut and
+     * skipped. Returns 0 only when the queue is stopped AND drained;
+     * after stop() remaining requests are still handed out so workers
+     * drain the backlog.
+     */
+    size_t dequeueBatch(size_t max_batch, uint64_t timeout_us,
+                        uint32_t *ids);
+
+    /**
+     * Input / output payload of a dequeued (Running) slot. Only the
+     * worker that dequeued the id may touch these, and only until it
+     * calls completeBatch.
+     */
+    const std::vector<double> &input(uint32_t id) const;
+    std::vector<double> &output(uint32_t id);
+
+    /**
+     * Publish a finished batch: every id becomes Done with the given
+     * per-batch service time and its waiting collector is woken.
+     */
+    void completeBatch(const uint32_t *ids, size_t n,
+                       double service_us);
+
+    /**
+     * Stop admitting; wakes every batcher and collector. Requests
+     * already queued remain dequeuable (drain-on-shutdown).
+     */
+    void stop();
+
+    bool stopped() const;
+
+    /** Pending (queued, not yet dequeued) requests right now. */
+    size_t depth() const;
+
+    size_t slotCount() const { return slots_.size(); }
+    size_t capacity() const { return capacity_; }
+    size_t inElems() const { return in_elems_; }
+    size_t outElems() const { return out_elems_; }
+
+  private:
+    struct Slot
+    {
+        std::vector<double> input;  ///< pre-sized to in_elems
+        std::vector<double> output; ///< pre-sized to out_elems
+        RequestStatus status = RequestStatus::Free;
+        uint32_t gen = 0;
+        Clock::time_point enqueued_at{};
+        uint64_t deadline_us = 0;
+        RequestTiming timing{};
+    };
+
+    const size_t capacity_;
+    const size_t in_elems_;
+    const size_t out_elems_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_; ///< wakes dequeueBatch
+    std::condition_variable done_cv_; ///< wakes wait
+    bool stop_ = false;
+
+    std::vector<Slot> slots_;
+    std::vector<uint32_t> free_; ///< free slot ids (stack, reserved)
+    std::vector<uint32_t> ring_; ///< FIFO of pending ids (fixed size)
+    size_t head_ = 0;            ///< ring read index
+    size_t size_ = 0;            ///< pending count
+};
+
+} // namespace serve
+} // namespace tie
+
+#endif // TIE_SERVE_REQUEST_QUEUE_HH

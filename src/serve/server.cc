@@ -1,0 +1,193 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hh"
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+#include "serve/serve_stats.hh"
+
+namespace tie {
+namespace serve {
+
+namespace {
+
+/** Validate the layer chain once, before any member reads it. */
+std::vector<const TtMatrix *>
+validatedModel(std::vector<const TtMatrix *> model)
+{
+    TIE_CHECK_ARG(!model.empty(), "Server needs at least one layer");
+    for (size_t i = 0; i < model.size(); ++i)
+        TIE_CHECK_ARG(model[i] != nullptr, "Server layer ", i,
+                      " is null");
+    for (size_t i = 0; i + 1 < model.size(); ++i)
+        TIE_CHECK_ARG(model[i]->config().outSize() ==
+                          model[i + 1]->config().inSize(),
+                      "Server layer ", i, " outputs ",
+                      model[i]->config().outSize(), " values but layer ",
+                      i + 1, " consumes ",
+                      model[i + 1]->config().inSize());
+    return model;
+}
+
+ServerOptions
+validatedOptions(ServerOptions opts)
+{
+    TIE_CHECK_ARG(opts.max_batch >= 1, "max_batch must be >= 1");
+    TIE_CHECK_ARG(opts.workers >= 1, "workers must be >= 1");
+    TIE_CHECK_ARG(opts.queue_capacity >= 1,
+                  "queue_capacity must be >= 1");
+    return opts;
+}
+
+/**
+ * Slots must cover every place a request can live at once: the queue,
+ * each worker's in-flight batch, and completed-but-uncollected
+ * requests up to the collect margin.
+ */
+size_t
+slotCount(const ServerOptions &opts)
+{
+    return opts.queue_capacity + opts.workers * opts.max_batch +
+           opts.collect_margin;
+}
+
+} // namespace
+
+Server::Server(std::vector<const TtMatrix *> model, ServerOptions opts)
+    : model_(validatedModel(std::move(model))),
+      opts_(validatedOptions(opts)),
+      in_size_(model_.front()->config().inSize()),
+      out_size_(model_.back()->config().outSize()),
+      queue_(slotCount(opts_), opts_.queue_capacity, in_size_,
+             out_size_)
+{
+    // The staging buffers carry every inter-layer interface, so size
+    // them for the widest one.
+    size_t max_width = in_size_;
+    for (const TtMatrix *layer : model_)
+        max_width = std::max(max_width, layer->config().outSize());
+
+    workers_.reserve(opts_.workers);
+    for (size_t w = 0; w < opts_.workers; ++w) {
+        auto wk = std::make_unique<Worker>();
+        wk->sessions.reserve(model_.size());
+        for (const TtMatrix *layer : model_)
+            wk->sessions.push_back(makeSession(*layer, opts_.session));
+        wk->buf_a.assign(max_width * opts_.max_batch, 0.0);
+        wk->buf_b.assign(max_width * opts_.max_batch, 0.0);
+        wk->ids.resize(opts_.max_batch);
+
+        // Warm the whole chain at max_batch: the session arenas and
+        // gather tables are grow-only and batch-count-independent in
+        // element count, so every batch size 1..max_batch is
+        // allocation-free from here on.
+        double *cur = wk->buf_a.data();
+        double *nxt = wk->buf_b.data();
+        for (InferSessionD &s : wk->sessions) {
+            s.runPtr(cur, opts_.max_batch, nxt);
+            std::swap(cur, nxt);
+        }
+        workers_.push_back(std::move(wk));
+    }
+    for (auto &wk : workers_)
+        wk->thread = std::thread([this, w = wk.get()] {
+            workerLoop(*w);
+        });
+}
+
+Server::Server(const TtMatrix &model, ServerOptions opts)
+    : Server(std::vector<const TtMatrix *>{&model}, opts)
+{}
+
+Server::~Server()
+{
+    stop();
+}
+
+Ticket
+Server::submit(const double *x, uint64_t deadline_us)
+{
+    return queue_.trySubmit(x, deadline_us);
+}
+
+Ticket
+Server::submit(const std::vector<double> &x, uint64_t deadline_us)
+{
+    TIE_CHECK_ARG(x.size() == in_size_, "submit got ", x.size(),
+                  " values, expected ", in_size_);
+    return queue_.trySubmit(x.data(), deadline_us);
+}
+
+RequestStatus
+Server::wait(Ticket t, std::vector<double> *out, RequestTiming *timing)
+{
+    return queue_.wait(t, out, timing);
+}
+
+void
+Server::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    queue_.stop();
+    for (auto &wk : workers_)
+        if (wk->thread.joinable())
+            wk->thread.join();
+}
+
+void
+Server::workerLoop(Worker &w)
+{
+    using Clock = RequestQueue::Clock;
+    const size_t n_in = in_size_;
+    const size_t n_out = out_size_;
+    for (;;) {
+        const size_t n = queue_.dequeueBatch(
+            opts_.max_batch, opts_.batch_timeout_us, w.ids.data());
+        if (n == 0)
+            return; // stopped and drained
+        obs::HostSpan span("serve.batch");
+
+        // Gather: request b becomes column b of the row-major
+        // N x n staging block — the layout under which batched TT
+        // inference is column-wise bit-identical to batch-1 runs.
+        double *cur = w.buf_a.data();
+        double *nxt = w.buf_b.data();
+        for (size_t b = 0; b < n; ++b) {
+            const std::vector<double> &in = queue_.input(w.ids[b]);
+            for (size_t r = 0; r < n_in; ++r)
+                cur[r * n + b] = in[r];
+        }
+
+        const Clock::time_point t0 = Clock::now();
+        for (InferSessionD &s : w.sessions) {
+            s.runPtr(cur, n, nxt);
+            std::swap(cur, nxt);
+        }
+        const double service_us =
+            std::chrono::duration<double, std::micro>(Clock::now() -
+                                                      t0)
+                .count();
+
+        for (size_t b = 0; b < n; ++b) {
+            std::vector<double> &out = queue_.output(w.ids[b]);
+            for (size_t r = 0; r < n_out; ++r)
+                out[r] = cur[r * n + b];
+        }
+
+        if (obs::enabled()) {
+            detail::ServeStats &ss = detail::ServeStats::get();
+            ss.batches.add();
+            ss.batch_size.record(static_cast<double>(n));
+            ss.service_us.record(service_us);
+        }
+        queue_.completeBatch(w.ids.data(), n, service_us);
+    }
+}
+
+} // namespace serve
+} // namespace tie

@@ -1,11 +1,46 @@
 #include "tt/infer_session.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
 
 namespace tie {
+
+FuseMode
+resolveFuseMode(FuseMode requested)
+{
+    if (requested != FuseMode::Env)
+        return requested;
+    const char *s = std::getenv("TIE_FUSE");
+    if (s == nullptr || *s == '\0')
+        return FuseMode::Auto;
+    if (std::strcmp(s, "auto") == 0)
+        return FuseMode::Auto;
+    if (std::strcmp(s, "on") == 0)
+        return FuseMode::On;
+    if (std::strcmp(s, "off") == 0)
+        return FuseMode::Off;
+    TIE_FATAL("TIE_FUSE='", s, "' must be auto, on or off");
+}
+
+bool
+fuseStage(FuseMode resolved, size_t ncols)
+{
+    switch (resolved) {
+      case FuseMode::On:
+        return true;
+      case FuseMode::Off:
+        return false;
+      case FuseMode::Auto:
+        return ncols < kAutoFuseMaxCols;
+      case FuseMode::Env:
+        break;
+    }
+    TIE_PANIC("fuseStage called with an unresolved FuseMode");
+}
 
 namespace {
 
@@ -152,7 +187,8 @@ template <typename T>
 InferSessionT<T>::InferSessionT(const TtLayerConfig &cfg,
                                 std::vector<const Matrix<T> *> cores,
                                 SessionOptions opts)
-    : plan_(cfg), cores_(std::move(cores)), opts_(opts)
+    : plan_(cfg), cores_(std::move(cores)), opts_(opts),
+      mode_(resolveFuseMode(opts.fuse))
 {
     const TtLayerConfig &c = plan_.config();
     TIE_CHECK_ARG(cores_.size() == c.d(), "InferSession needs ", c.d(),
@@ -188,7 +224,7 @@ InferSessionT<T>::ensureBatch(size_t batch)
 template <typename T>
 void
 InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
-                         Matrix<T> *ymat,
+                         T *yflat,
                          std::vector<Matrix<T>> *capture,
                          InferStats *stats)
 {
@@ -199,7 +235,6 @@ InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
         SessionStats::get().runs.add();
     obs::HostSpan span("session.run");
 
-    const bool fused = opts_.fuse_transforms && capture == nullptr;
     if (capture)
         capture->resize(d);
 
@@ -237,7 +272,7 @@ InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
         bool gather = false;
         if (h < d) {
             const TransformSpec &spec = plan_.transformAfter(h + 1);
-            if (fused) {
+            if (capture == nullptr && fuseStage(mode_, ncols)) {
                 gather = true;
                 if (obs::enabled())
                     SessionStats::get().stages_fused.add();
@@ -284,7 +319,7 @@ InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
     }
 
     if (ydirect == nullptr)
-        flattenOutputInto(cfg, op, batch, ymat->data());
+        flattenOutputInto(cfg, op, batch, yflat);
     if (stats) {
         stats->mults = mults;
         stats->adds = mults; // one accumulation per executed product
@@ -310,7 +345,7 @@ InferSessionT<T>::runInto(const Matrix<T> &x, Matrix<T> &y,
                   " != N = ", cfg.inSize());
     const size_t batch = x.cols();
     ensureShape(y, cfg.outSize(), batch);
-    runRaw(x.data(), batch, batch == 1 ? y.data() : nullptr, &y,
+    runRaw(x.data(), batch, batch == 1 ? y.data() : nullptr, y.data(),
            nullptr, stats);
 }
 
@@ -328,6 +363,16 @@ InferSessionT<T>::runVec(const std::vector<T> &x, std::vector<T> &y,
 
 template <typename T>
 void
+InferSessionT<T>::runPtr(const T *x, size_t batch, T *y,
+                         InferStats *stats)
+{
+    TIE_CHECK_ARG(x != nullptr && y != nullptr && batch >= 1,
+                  "runPtr needs non-null buffers and batch >= 1");
+    runRaw(x, batch, batch == 1 ? y : nullptr, y, nullptr, stats);
+}
+
+template <typename T>
+void
 InferSessionT<T>::runCapture(const Matrix<T> &x, Matrix<T> &y,
                              std::vector<Matrix<T>> &capture,
                              InferStats *stats)
@@ -337,7 +382,7 @@ InferSessionT<T>::runCapture(const Matrix<T> &x, Matrix<T> &y,
                   " != N = ", cfg.inSize());
     const size_t batch = x.cols();
     ensureShape(y, cfg.outSize(), batch);
-    runRaw(x.data(), batch, batch == 1 ? y.data() : nullptr, &y,
+    runRaw(x.data(), batch, batch == 1 ? y.data() : nullptr, y.data(),
            &capture, stats);
 }
 
@@ -356,7 +401,8 @@ makeSession(const TtMatrix &tt, SessionOptions opts)
 
 InferSessionFxp::InferSessionFxp(const TtMatrixFxp &tt,
                                  SessionOptions opts)
-    : plan_(tt.config), tt_(&tt), opts_(opts)
+    : plan_(tt.config), tt_(&tt), opts_(opts),
+      mode_(resolveFuseMode(opts.fuse))
 {
     const TtLayerConfig &cfg = plan_.config();
     TIE_CHECK_ARG(tt.cores.size() == cfg.d() &&
@@ -424,7 +470,6 @@ InferSessionFxp::runInto(const Matrix<int16_t> &x, Matrix<int16_t> &y,
         SessionStats::get().runs.add();
     obs::HostSpan span("session.run_fxp");
 
-    const bool fused = opts_.fuse_transforms;
     int16_t *const half0 = arena_.data();
     int16_t *const half1 = arena_.data() + half_;
 
@@ -452,7 +497,7 @@ InferSessionFxp::runInto(const Matrix<int16_t> &x, Matrix<int16_t> &y,
         bool gather = false;
         if (h < d) {
             const TransformSpec &spec = plan_.transformAfter(h + 1);
-            if (fused) {
+            if (fuseStage(mode_, ncols)) {
                 gather = true;
                 if (obs::enabled())
                     SessionStats::get().stages_fused.add();

@@ -32,17 +32,53 @@
 
 namespace tie {
 
+/**
+ * Inter-stage Transform execution policy. Fusing reads the permuted
+ * operand directly out of the previous stage's buffer during the GEMM
+ * (the TIE working-SRAM read scheme, no intermediate storage);
+ * materializing copies it through the arena first — identical bits,
+ * one extra memory pass, but a contiguous (vectorizable) B operand.
+ * docs/performance.md measures the tradeoff: on host CPUs the
+ * materialized path wins on wide stages because the indirect
+ * per-element read defeats vectorization.
+ */
+enum class FuseMode
+{
+    Env,  ///< resolve from TIE_FUSE (auto|on|off) at construction;
+          ///< unset means Auto. A malformed value is a fatal error.
+    Auto, ///< per stage: fuse narrow stages, materialize wide ones
+    On,   ///< always fuse (the TIE hardware read scheme)
+    Off,  ///< always materialize through the arena
+};
+
+/**
+ * Resolve Env against the TIE_FUSE environment variable; any other
+ * mode passes through. fatal() on a TIE_FUSE value that is not
+ * "auto", "on" or "off".
+ */
+FuseMode resolveFuseMode(FuseMode requested);
+
+/**
+ * Batched stage widths (stageCols(h) * batch) at or above this many
+ * columns are materialized under FuseMode::Auto; narrower stages are
+ * fused. Sits between the regimes measured in docs/performance.md:
+ * fusion's saved memory pass wins on short/narrow stages, contiguous
+ * vectorizable reads win on wide ones.
+ */
+inline constexpr size_t kAutoFuseMaxCols = 512;
+
+/** True when a stage of @p ncols batched columns should fuse. */
+bool fuseStage(FuseMode resolved, size_t ncols);
+
 /** Session construction knobs. */
 struct SessionOptions
 {
     /**
-     * Fuse each inter-stage Transform into the next stage's GEMM
-     * operand read (the TIE working-SRAM read scheme). When false every
-     * stage operand is materialized through the arena — identical bits,
-     * one extra memory pass per stage; the micro bench measures the
-     * difference and capture-mode runs always materialize.
+     * Transform policy; the default defers to TIE_FUSE and falls back
+     * to Auto. Capture-mode runs always materialize regardless (the
+     * backward pass needs the operands). Every mode is bit-identical.
      */
-    bool fuse_transforms = true;
+    FuseMode fuse = FuseMode::Env;
 };
 
 /**
@@ -81,6 +117,15 @@ class InferSessionT
                 InferStats *stats = nullptr);
 
     /**
+     * Raw-pointer variant for callers that own both buffers (the
+     * serving layer's pre-allocated slabs): x is row-major N x batch,
+     * y row-major M x batch, batch >= 1. Steady-state calls are
+     * zero-allocation like runInto, with no Matrix bookkeeping at all.
+     */
+    void runPtr(const T *x, size_t batch, T *y,
+                InferStats *stats = nullptr);
+
+    /**
      * runInto that additionally materializes the operand consumed by
      * each stage h into capture[h-1] (resized as needed) — what
      * TtDense::backward needs to form weight gradients. Capture runs
@@ -95,12 +140,13 @@ class InferSessionT
 
   private:
     void ensureBatch(size_t batch);
-    void runRaw(const T *x, size_t batch, T *ydirect, Matrix<T> *ymat,
+    void runRaw(const T *x, size_t batch, T *ydirect, T *yflat,
                 std::vector<Matrix<T>> *capture, InferStats *stats);
 
     CompactPlan plan_;
     std::vector<const Matrix<T> *> cores_; ///< unfolded, index h-1
     SessionOptions opts_;
+    FuseMode mode_ = FuseMode::Auto; ///< opts_.fuse resolved (never Env)
 
     bool has_batch_ = false;
     size_t batch_ = 0;
@@ -152,6 +198,7 @@ class InferSessionFxp
     CompactPlan plan_;
     const TtMatrixFxp *tt_;
     SessionOptions opts_;
+    FuseMode mode_ = FuseMode::Auto; ///< opts_.fuse resolved (never Env)
 
     bool has_batch_ = false;
     size_t batch_ = 0;

@@ -8,6 +8,11 @@
 # With --micro BIN, instead smoke-tests the google-benchmark micro
 # binary: runs the session-vs-per-call inference family briefly and
 # validates the BENCH_micro.json report it writes by default.
+#
+# With --serve BIN, runs the serving sweep (serve_sweep --quick) and
+# validates the BENCH_serve.json schema: the structured per-point
+# records, the serve.* counters, and the queue-wait/batch-size/service
+# distributions with ordered p50 <= p95 <= p99.
 set -e
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
@@ -27,6 +32,48 @@ for want in ("BM_TtInfer_PerCall/1", "BM_TtInfer_Session/1",
     assert want in names, f"missing {want}: {sorted(names)}"
 EOF
     echo "micro bench smoke ok"
+    exit 0
+fi
+
+if [ "$1" = "--serve" ]; then
+    BIN="$2"
+    (cd "$DIR" && "$BIN" --quick --stats-json >/dev/null)
+    python3 -m json.tool "$DIR/BENCH_serve.json" >/dev/null
+    python3 - "$DIR/BENCH_serve.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["name"] == "serve", r.get("name")
+assert r["tables"], "no tables captured"
+
+points = r["serve"]["points"]
+assert points, "no sweep points recorded"
+for p in points:
+    for key in ("mode", "workers", "max_batch", "batch_timeout_us",
+                "requests", "completed", "rejected", "timed_out",
+                "mismatched", "achieved_qps", "latency_p50_us",
+                "latency_p95_us", "latency_p99_us",
+                "queue_wait_p50_us", "service_p50_us"):
+        assert key in p, f"point missing {key}: {p}"
+    assert p["mismatched"] == 0, f"served outputs mismatched: {p}"
+    assert p["completed"] + p["rejected"] + p["timed_out"] \
+        == p["requests"], f"requests unaccounted for: {p}"
+    assert p["latency_p50_us"] <= p["latency_p95_us"] \
+        <= p["latency_p99_us"], f"percentiles out of order: {p}"
+assert {p["mode"] for p in points} == {"open", "closed"}
+
+counters = r["stats"]["counters"]
+assert counters["serve.accepted"] > 0
+assert counters["serve.completed"] > 0
+assert counters["serve.batches"] > 0
+
+dists = r["stats"]["distributions"]
+for name in ("serve.queue_wait_us", "serve.batch_size",
+             "serve.service_us"):
+    d = dists[name]
+    assert d["count"] > 0, f"{name} never recorded"
+    assert d["p50"] <= d["p95"] <= d["p99"] <= d["max"], (name, d)
+EOF
+    echo "serve bench smoke ok"
     exit 0
 fi
 

@@ -13,7 +13,9 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <new>
+#include <string>
 
 #include "common/random.hh"
 #include "common/thread_pool.hh"
@@ -149,7 +151,7 @@ TEST(InferSession, BitIdenticalToReferenceAcrossShapesBatchesThreads)
         TtMatrix tt = TtMatrix::random(cfg, rng);
         InferSessionD fused = makeSession(tt);
         InferSessionD materialized =
-            makeSession(tt, SessionOptions{false});
+            makeSession(tt, SessionOptions{FuseMode::Off});
         for (size_t batch : {size_t(1), size_t(7), size_t(64)}) {
             MatrixD x(cfg.inSize(), batch);
             x.setUniform(rng);
@@ -179,7 +181,7 @@ TEST(InferSession, FxpBitIdenticalToReference)
         TtMatrix tt = TtMatrix::random(cfg, rng);
         TtMatrixFxp fxp = TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
         InferSessionFxp fused(fxp);
-        InferSessionFxp materialized(fxp, SessionOptions{false});
+        InferSessionFxp materialized(fxp, SessionOptions{FuseMode::Off});
         for (size_t batch : {size_t(1), size_t(7), size_t(64)}) {
             MatrixF xf(cfg.inSize(), batch);
             xf.setUniform(rng);
@@ -222,6 +224,27 @@ TEST(InferSession, RunVecMatchesBatchedColumn)
     MatrixD xm(cfg.inSize(), 1, x);
     EXPECT_TRUE(MatrixD(cfg.outSize(), 1, y) ==
                 referenceCompact(tt, xm));
+}
+
+TEST(InferSession, RunPtrMatchesRunInto)
+{
+    Rng rng(19);
+    for (const TtLayerConfig &cfg : testConfigs()) {
+        TtMatrix tt = TtMatrix::random(cfg, rng);
+        InferSessionD session = makeSession(tt);
+        for (size_t batch : {size_t(1), size_t(9)}) {
+            MatrixD x(cfg.inSize(), batch);
+            x.setUniform(rng);
+            MatrixD y;
+            session.runInto(x, y);
+            std::vector<double> flat(cfg.outSize() * batch, -1.0);
+            session.runPtr(x.data(), batch, flat.data());
+            ASSERT_EQ(y.rows() * y.cols(), flat.size());
+            EXPECT_EQ(0, std::memcmp(flat.data(), y.data(),
+                                     flat.size() * sizeof(double)))
+                << cfg.toString() << " batch " << batch;
+        }
+    }
 }
 
 TEST(InferSession, CaptureReproducesStageOperands)
@@ -380,6 +403,99 @@ TEST(InferSession, ObservabilityCountersTrackRuns)
                   reg.gauge("session.arena_bytes").value()),
               session.arenaBytes());
     reg.resetAll();
+}
+
+/** Saves and restores TIE_FUSE around a test. */
+struct FuseEnvGuard
+{
+    std::string saved;
+    bool was_set = false;
+
+    FuseEnvGuard()
+    {
+        const char *v = std::getenv("TIE_FUSE");
+        if (v != nullptr) {
+            was_set = true;
+            saved = v;
+        }
+    }
+
+    ~FuseEnvGuard()
+    {
+        if (was_set)
+            setenv("TIE_FUSE", saved.c_str(), 1);
+        else
+            unsetenv("TIE_FUSE");
+    }
+};
+
+TEST(FuseMode, EnvResolutionAndPassThrough)
+{
+    FuseEnvGuard guard;
+    unsetenv("TIE_FUSE");
+    EXPECT_EQ(resolveFuseMode(FuseMode::Env), FuseMode::Auto);
+
+    setenv("TIE_FUSE", "on", 1);
+    EXPECT_EQ(resolveFuseMode(FuseMode::Env), FuseMode::On);
+    setenv("TIE_FUSE", "off", 1);
+    EXPECT_EQ(resolveFuseMode(FuseMode::Env), FuseMode::Off);
+    setenv("TIE_FUSE", "auto", 1);
+    EXPECT_EQ(resolveFuseMode(FuseMode::Env), FuseMode::Auto);
+
+    // Explicit modes ignore the environment.
+    setenv("TIE_FUSE", "off", 1);
+    EXPECT_EQ(resolveFuseMode(FuseMode::On), FuseMode::On);
+    EXPECT_EQ(resolveFuseMode(FuseMode::Auto), FuseMode::Auto);
+}
+
+TEST(FuseMode, AutoFusesNarrowStagesOnly)
+{
+    EXPECT_TRUE(fuseStage(FuseMode::On, 1 << 20));
+    EXPECT_FALSE(fuseStage(FuseMode::Off, 1));
+    EXPECT_TRUE(fuseStage(FuseMode::Auto, kAutoFuseMaxCols - 1));
+    EXPECT_FALSE(fuseStage(FuseMode::Auto, kAutoFuseMaxCols));
+    EXPECT_FALSE(fuseStage(FuseMode::Auto, kAutoFuseMaxCols + 1));
+}
+
+TEST(FuseMode, AllModesBitIdentical)
+{
+    FuseEnvGuard guard;
+    unsetenv("TIE_FUSE");
+    Rng rng(29);
+    for (const TtLayerConfig &cfg : testConfigs()) {
+        TtMatrix tt = TtMatrix::random(cfg, rng);
+        InferSessionD fused = makeSession(tt, SessionOptions{FuseMode::On});
+        InferSessionD mat = makeSession(tt, SessionOptions{FuseMode::Off});
+        InferSessionD autos =
+            makeSession(tt, SessionOptions{FuseMode::Auto});
+        setenv("TIE_FUSE", "auto", 1);
+        InferSessionD env = makeSession(tt); // default: FuseMode::Env
+        unsetenv("TIE_FUSE");
+        // Batch 64 pushes stage widths across kAutoFuseMaxCols, so the
+        // Auto sessions mix fused and materialized stages in one run.
+        for (size_t batch : {size_t(1), size_t(64)}) {
+            MatrixD x(cfg.inSize(), batch);
+            x.setUniform(rng);
+            const MatrixD ref = referenceCompact(tt, x);
+            MatrixD y;
+            fused.runInto(x, y);
+            EXPECT_TRUE(y == ref) << "on";
+            mat.runInto(x, y);
+            EXPECT_TRUE(y == ref) << "off";
+            autos.runInto(x, y);
+            EXPECT_TRUE(y == ref) << "auto";
+            env.runInto(x, y);
+            EXPECT_TRUE(y == ref) << "env";
+        }
+    }
+}
+
+TEST(FuseModeFatal, MalformedEnvValueDies)
+{
+    FuseEnvGuard guard;
+    setenv("TIE_FUSE", "sometimes", 1);
+    EXPECT_EXIT(resolveFuseMode(FuseMode::Env),
+                ::testing::ExitedWithCode(1), "TIE_FUSE");
 }
 
 TEST(InferSessionFatal, InputRowsMismatchDies)

@@ -111,6 +111,83 @@ TEST_F(ObsTest, DistributionSnapshotAndScopedTimer)
     EXPECT_GE(t.snapshot().min, 0.0);
 }
 
+TEST_F(ObsTest, DistributionPercentilesWithinHistogramError)
+{
+    obs::setEnabled(true);
+    auto &d = StatRegistry::instance().distribution("test.pct");
+    for (int v = 1; v <= 1000; ++v)
+        d.record(static_cast<double>(v));
+
+    // The log-linear histogram guarantees <= 1/(2*8) relative error;
+    // allow a little slack for bucket-edge effects.
+    const double tol = 0.08;
+    EXPECT_NEAR(d.percentile(50), 500.0, 500.0 * tol);
+    EXPECT_NEAR(d.percentile(95), 950.0, 950.0 * tol);
+    EXPECT_NEAR(d.percentile(99), 990.0, 990.0 * tol);
+
+    // Edges are exact: clamped to the tracked min/max.
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 1000.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1000.0);
+
+    // Percentiles are monotone in p.
+    double prev = 0.0;
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+        EXPECT_GE(d.percentile(p), prev) << "p" << p;
+        prev = d.percentile(p);
+    }
+}
+
+TEST_F(ObsTest, DistributionPercentileEdgeCases)
+{
+    obs::setEnabled(true);
+    auto &empty = StatRegistry::instance().distribution("test.pct_e");
+    EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0); // no samples
+
+    // A single value answers every percentile exactly.
+    auto &one = StatRegistry::instance().distribution("test.pct_1");
+    one.record(37.5);
+    EXPECT_DOUBLE_EQ(one.percentile(1), 37.5);
+    EXPECT_DOUBLE_EQ(one.percentile(50), 37.5);
+    EXPECT_DOUBLE_EQ(one.percentile(99), 37.5);
+
+    // Zero and negative samples land in the bottom bucket and the
+    // clamp keeps the answer exact for all-equal samples.
+    auto &zero = StatRegistry::instance().distribution("test.pct_0");
+    zero.record(0.0);
+    zero.record(0.0);
+    EXPECT_DOUBLE_EQ(zero.percentile(50), 0.0);
+
+    // reset() clears the histogram, not just the summary.
+    one.reset();
+    EXPECT_DOUBLE_EQ(one.percentile(50), 0.0);
+    one.record(2.0);
+    EXPECT_DOUBLE_EQ(one.percentile(50), 2.0);
+}
+
+TEST_F(ObsTest, DistributionJsonCarriesPercentiles)
+{
+    obs::setEnabled(true);
+    auto &d = StatRegistry::instance().distribution("test.pct_json");
+    for (int v = 1; v <= 100; ++v)
+        d.record(static_cast<double>(v));
+    const std::string json = StatRegistry::instance().toJson();
+    std::string err;
+    JsonValue doc = parseJson(json, &err);
+    ASSERT_EQ(doc.type, JsonValue::Type::Object) << err;
+    const JsonValue *dist =
+        doc.find("distributions")->find("test.pct_json");
+    ASSERT_NE(dist, nullptr);
+    const double p50 = dist->num("p50");
+    const double p95 = dist->num("p95");
+    const double p99 = dist->num("p99");
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, dist->num("max"));
+}
+
 TEST_F(ObsTest, RegistryJsonIsSortedAndParses)
 {
     obs::setEnabled(true);

@@ -45,6 +45,35 @@ smallCfg()
 
 } // namespace
 
+TEST(ResolveThreadCount, EnvWinsAndHardwareZeroFallsBackToOne)
+{
+    // Unset env: use the hardware count, but never 0 — some
+    // implementations legitimately report hardware_concurrency() == 0.
+    EXPECT_EQ(resolveThreadCount(nullptr, 8), 8u);
+    EXPECT_EQ(resolveThreadCount(nullptr, 1), 1u);
+    EXPECT_EQ(resolveThreadCount(nullptr, 0), 1u);
+
+    // A valid TIE_THREADS overrides the hardware count entirely.
+    EXPECT_EQ(resolveThreadCount("3", 8), 3u);
+    EXPECT_EQ(resolveThreadCount("16", 0), 16u);
+}
+
+TEST(ResolveThreadCountFatal, MalformedEnvValueDies)
+{
+    // Silently ignoring a typo'd TIE_THREADS used to mask misconfigured
+    // runs; it is a user error now.
+    EXPECT_EXIT(resolveThreadCount("abc", 4),
+                ::testing::ExitedWithCode(1), "TIE_THREADS");
+    EXPECT_EXIT(resolveThreadCount("0", 4),
+                ::testing::ExitedWithCode(1), "TIE_THREADS");
+    EXPECT_EXIT(resolveThreadCount("-2", 4),
+                ::testing::ExitedWithCode(1), "TIE_THREADS");
+    EXPECT_EXIT(resolveThreadCount("4x", 4),
+                ::testing::ExitedWithCode(1), "TIE_THREADS");
+    EXPECT_EXIT(resolveThreadCount("", 4),
+                ::testing::ExitedWithCode(1), "TIE_THREADS");
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)
 {
     ThreadCountGuard guard;

@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Serving-layer tests: request-queue lifecycle and misuse fatals,
+ * admission control, enqueue deadlines, batching invariance (outputs
+ * bit-identical across every coalescing policy), drain-on-shutdown,
+ * both load generators against bit-exact references, serve.* stat
+ * wiring, and — via the same global operator new/delete hook as
+ * test_infer_session.cc — the zero-heap-allocation guarantee of the
+ * steady-state serving cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "common/random.hh"
+#include "obs/stat_registry.hh"
+#include "serve/load_gen.hh"
+#include "serve/request_queue.hh"
+#include "serve/server.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation hook (counting off by default; flipped on only
+// around steady-state regions).
+// ---------------------------------------------------------------------
+
+static std::atomic<bool> g_count_allocs{false};
+static std::atomic<uint64_t> g_alloc_count{0};
+
+static void *
+countedAlloc(std::size_t sz)
+{
+    if (g_count_allocs.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(sz ? sz : 1);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t sz)
+{
+    return countedAlloc(sz);
+}
+
+void *
+operator new[](std::size_t sz)
+{
+    return countedAlloc(sz);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace tie {
+namespace serve {
+namespace {
+
+/** Two chained layers: 10 -> 12 -> 10. */
+struct TestModel
+{
+    TtMatrix layer1;
+    TtMatrix layer2;
+
+    explicit TestModel(uint64_t seed)
+        : layer1(makeLayer(config1(), seed)),
+          layer2(makeLayer(config2(), seed + 1))
+    {}
+
+    static TtLayerConfig
+    config1()
+    {
+        TtLayerConfig c;
+        c.m = {3, 4};
+        c.n = {2, 5};
+        c.r = {1, 3, 1};
+        return c;
+    }
+
+    static TtLayerConfig
+    config2()
+    {
+        TtLayerConfig c;
+        c.m = {2, 5};
+        c.n = {3, 4};
+        c.r = {1, 2, 1};
+        return c;
+    }
+
+    static TtMatrix
+    makeLayer(const TtLayerConfig &cfg, uint64_t seed)
+    {
+        Rng rng(seed);
+        return TtMatrix::random(cfg, rng);
+    }
+
+    std::vector<const TtMatrix *>
+    chain() const
+    {
+        return {&layer1, &layer2};
+    }
+};
+
+// -------------------------------------------------------------------
+// RequestQueue, single-threaded: the full lifecycle without a server.
+// -------------------------------------------------------------------
+
+TEST(RequestQueue, SingleThreadedLifecycle)
+{
+    RequestQueue q(/*n_slots=*/4, /*capacity=*/4, /*in=*/3, /*out=*/2);
+    EXPECT_EQ(q.depth(), 0u);
+
+    const double x[3] = {1.0, 2.0, 3.0};
+    const Ticket t = q.trySubmit(x);
+    ASSERT_TRUE(t.valid());
+    EXPECT_EQ(q.depth(), 1u);
+
+    uint32_t ids[4];
+    ASSERT_EQ(q.dequeueBatch(4, /*timeout_us=*/0, ids), 1u);
+    EXPECT_EQ(q.depth(), 0u);
+    EXPECT_EQ(q.input(ids[0]),
+              (std::vector<double>{1.0, 2.0, 3.0}));
+    q.output(ids[0]) = {7.0, 8.0};
+    q.completeBatch(ids, 1, /*service_us=*/42.0);
+
+    std::vector<double> y;
+    RequestTiming timing;
+    EXPECT_EQ(q.wait(t, &y, &timing), RequestStatus::Done);
+    EXPECT_EQ(y, (std::vector<double>{7.0, 8.0}));
+    EXPECT_EQ(timing.service_us, 42.0);
+    EXPECT_GE(timing.queue_wait_us, 0.0);
+}
+
+TEST(RequestQueue, AdmissionControlRejectsBeyondCapacity)
+{
+    RequestQueue q(/*n_slots=*/8, /*capacity=*/2, /*in=*/1, /*out=*/1);
+    const double x[1] = {0.5};
+    const Ticket a = q.trySubmit(x);
+    const Ticket b = q.trySubmit(x);
+    const Ticket c = q.trySubmit(x);
+    EXPECT_TRUE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_FALSE(c.valid());
+    // Waiting on a rejected ticket is non-blocking and explicit.
+    EXPECT_EQ(q.wait(c), RequestStatus::Rejected);
+
+    // Draining the queue frees capacity again.
+    uint32_t ids[2];
+    ASSERT_EQ(q.dequeueBatch(2, 0, ids), 2u);
+    q.completeBatch(ids, 2, 1.0);
+    EXPECT_EQ(q.wait(a), RequestStatus::Done);
+    EXPECT_EQ(q.wait(b), RequestStatus::Done);
+    EXPECT_TRUE(q.trySubmit(x).valid());
+}
+
+TEST(RequestQueue, ExpiredDeadlineBecomesTimedOut)
+{
+    RequestQueue q(/*n_slots=*/4, /*capacity=*/4, /*in=*/1, /*out=*/1);
+    const double x[1] = {0.25};
+    const Ticket stale = q.trySubmit(x, /*deadline_us=*/1);
+    const Ticket fresh = q.trySubmit(x, /*deadline_us=*/0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+    uint32_t ids[4];
+    ASSERT_EQ(q.dequeueBatch(4, 0, ids), 1u); // stale one was dropped
+    EXPECT_EQ(q.wait(stale), RequestStatus::TimedOut);
+    q.completeBatch(ids, 1, 1.0);
+    EXPECT_EQ(q.wait(fresh), RequestStatus::Done);
+}
+
+TEST(RequestQueue, StopDrainsThenReportsEmpty)
+{
+    RequestQueue q(/*n_slots=*/4, /*capacity=*/4, /*in=*/1, /*out=*/1);
+    const double x[1] = {1.5};
+    const Ticket t = q.trySubmit(x);
+    q.stop();
+    EXPECT_FALSE(q.trySubmit(x).valid()); // no admission after stop
+
+    // The backlog is still handed out (drain-on-shutdown) ...
+    uint32_t ids[4];
+    ASSERT_EQ(q.dequeueBatch(4, /*timeout_us=*/5000, ids), 1u);
+    q.completeBatch(ids, 1, 1.0);
+    EXPECT_EQ(q.wait(t), RequestStatus::Done);
+    // ... and only then do batchers see "stopped and drained".
+    EXPECT_EQ(q.dequeueBatch(4, 0, ids), 0u);
+}
+
+TEST(RequestQueueFatal, CollectingATicketTwiceDies)
+{
+    EXPECT_EXIT(
+        {
+            RequestQueue q(2, 2, 1, 1);
+            const double x[1] = {1.0};
+            const Ticket t = q.trySubmit(x);
+            uint32_t ids[1];
+            q.dequeueBatch(1, 0, ids);
+            q.completeBatch(ids, 1, 1.0);
+            q.wait(t);
+            q.wait(t); // fatal: slot was recycled
+        },
+        ::testing::ExitedWithCode(1), "already collected");
+}
+
+// -------------------------------------------------------------------
+// Server: batching invariance, shedding, shutdown, zero allocation.
+// -------------------------------------------------------------------
+
+TEST(Server, BatchingInvarianceAcrossPoliciesAndWorkers)
+{
+    const TestModel model(11);
+    const uint64_t seed = 77;
+    const size_t requests = 40;
+    const std::vector<std::vector<double>> expected =
+        referenceOutputs(model.chain(), seed, requests);
+
+    for (size_t max_batch : {size_t(1), size_t(8), size_t(64)}) {
+        for (uint64_t timeout_us : {uint64_t(0), uint64_t(1000)}) {
+            for (size_t workers : {size_t(1), size_t(4)}) {
+                ServerOptions opts;
+                opts.max_batch = max_batch;
+                opts.batch_timeout_us = timeout_us;
+                opts.workers = workers;
+                opts.queue_capacity = 64;
+                Server server(model.chain(), opts);
+
+                // Submit everything up front so the batcher actually
+                // coalesces, then collect and compare bit-exactly.
+                std::vector<Ticket> tickets(requests);
+                for (size_t i = 0; i < requests; ++i)
+                    tickets[i] = server.submit(
+                        makeRequestInput(seed, i, server.inSize()));
+                std::vector<double> y;
+                for (size_t i = 0; i < requests; ++i) {
+                    ASSERT_TRUE(tickets[i].valid());
+                    ASSERT_EQ(server.wait(tickets[i], &y),
+                              RequestStatus::Done);
+                    ASSERT_EQ(y.size(), expected[i].size());
+                    EXPECT_EQ(0, std::memcmp(y.data(),
+                                             expected[i].data(),
+                                             y.size() * sizeof(double)))
+                        << "request " << i << " max_batch " << max_batch
+                        << " timeout_us " << timeout_us << " workers "
+                        << workers;
+                }
+            }
+        }
+    }
+}
+
+TEST(Server, AdmissionControlShedsExplicitly)
+{
+    const TestModel model(13);
+    ServerOptions opts;
+    opts.max_batch = 16;
+    opts.batch_timeout_us = 200000; // hold the batch open 200 ms
+    opts.queue_capacity = 2;
+    opts.workers = 1;
+    Server server(model.chain(), opts);
+
+    // The worker waits for its batch window, so the queue holds at
+    // most queue_capacity pending requests; the rest are rejected.
+    const std::vector<double> x =
+        makeRequestInput(1, 0, server.inSize());
+    std::vector<Ticket> tickets;
+    size_t rejected = 0;
+    for (size_t i = 0; i < 6; ++i) {
+        const Ticket t = server.submit(x);
+        if (t.valid())
+            tickets.push_back(t);
+        else
+            ++rejected;
+    }
+    EXPECT_EQ(tickets.size(), 2u);
+    EXPECT_EQ(rejected, 4u);
+    for (const Ticket t : tickets)
+        EXPECT_EQ(server.wait(t), RequestStatus::Done);
+}
+
+TEST(Server, EnqueueDeadlineTimesOutStaleRequests)
+{
+    const TestModel model(17);
+    ServerOptions opts;
+    opts.max_batch = 64;
+    opts.batch_timeout_us = 100000; // 100 ms batch window
+    opts.queue_capacity = 8;
+    opts.workers = 1;
+    Server server(model.chain(), opts);
+
+    const std::vector<double> x =
+        makeRequestInput(2, 0, server.inSize());
+    // Both sit queued for the 100 ms window; by then the 1 us
+    // deadline has long expired while the undeadlined one runs.
+    const Ticket stale = server.submit(x, /*deadline_us=*/1);
+    const Ticket fresh = server.submit(x);
+    ASSERT_TRUE(stale.valid());
+    ASSERT_TRUE(fresh.valid());
+
+    RequestTiming timing;
+    EXPECT_EQ(server.wait(stale, nullptr, &timing),
+              RequestStatus::TimedOut);
+    EXPECT_GT(timing.queue_wait_us, 1.0);
+    std::vector<double> y;
+    EXPECT_EQ(server.wait(fresh, &y), RequestStatus::Done);
+    EXPECT_EQ(y.size(), server.outSize());
+}
+
+TEST(Server, StopDrainsQueuedRequests)
+{
+    const TestModel model(19);
+    const uint64_t seed = 5;
+    const size_t requests = 12;
+    const std::vector<std::vector<double>> expected =
+        referenceOutputs(model.chain(), seed, requests);
+
+    ServerOptions opts;
+    opts.max_batch = 4;
+    opts.batch_timeout_us = 500000; // would idle half a second...
+    opts.queue_capacity = 16;
+    opts.workers = 2;
+    Server server(model.chain(), opts);
+
+    std::vector<Ticket> tickets(requests);
+    for (size_t i = 0; i < requests; ++i)
+        tickets[i] = server.submit(
+            makeRequestInput(seed, i, server.inSize()));
+    server.stop(); // ...but shutdown drains immediately
+
+    EXPECT_FALSE(
+        server.submit(makeRequestInput(seed, 0, server.inSize()))
+            .valid());
+    std::vector<double> y;
+    for (size_t i = 0; i < requests; ++i) {
+        ASSERT_EQ(server.wait(tickets[i], &y), RequestStatus::Done);
+        EXPECT_EQ(0, std::memcmp(y.data(), expected[i].data(),
+                                 y.size() * sizeof(double)))
+            << "request " << i;
+    }
+}
+
+TEST(ServerFatal, MismatchedLayerChainDies)
+{
+    EXPECT_EXIT(
+        {
+            const TestModel model(23);
+            // layer1 twice: its 12-wide output cannot feed its own
+            // 10-wide input.
+            Server bad({&model.layer1, &model.layer1});
+        },
+        ::testing::ExitedWithCode(1), "consumes");
+}
+
+TEST(Server, SteadyStateServingDoesNotHeapAllocate)
+{
+    const TestModel model(29);
+    ServerOptions opts;
+    opts.max_batch = 8;
+    opts.batch_timeout_us = 0; // latency-greedy keeps the test fast
+    opts.queue_capacity = 64;
+    opts.workers = 1;
+    Server server(model.chain(), opts);
+
+    Rng rng(31);
+    std::vector<double> x(server.inSize());
+    std::vector<double> y;
+    std::vector<Ticket> tickets(16);
+    RequestTiming timing;
+
+    auto burst = [&] {
+        for (size_t i = 0; i < tickets.size(); ++i) {
+            for (double &v : x)
+                v = rng.uniform(-1.0, 1.0);
+            tickets[i] = server.submit(x.data());
+        }
+        for (const Ticket t : tickets) {
+            ASSERT_TRUE(t.valid());
+            ASSERT_EQ(server.wait(t, &y, &timing),
+                      RequestStatus::Done);
+        }
+    };
+
+    // Warm-up: collector output shaping and any lazy init. The
+    // server's own sessions were already warmed at max_batch in the
+    // constructor.
+    for (int round = 0; round < 3; ++round)
+        burst();
+
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int round = 0; round < 4; ++round)
+        burst();
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "steady-state submit/serve/collect cycle must not touch "
+           "the heap (either side)";
+}
+
+// -------------------------------------------------------------------
+// Load generators.
+// -------------------------------------------------------------------
+
+TEST(LoadGen, ClosedLoopCompletesAndVerifiesBitExactly)
+{
+    const TestModel model(37);
+    ServerOptions sopts;
+    sopts.max_batch = 8;
+    sopts.batch_timeout_us = 200;
+    sopts.queue_capacity = 64;
+    sopts.workers = 2;
+    Server server(model.chain(), sopts);
+
+    LoadGenOptions lopts;
+    lopts.requests = 96;
+    lopts.clients = 4;
+    lopts.seed = 9;
+    const std::vector<std::vector<double>> expected =
+        referenceOutputs(model.chain(), lopts.seed, lopts.requests);
+
+    const LoadGenReport rep = runLoadGen(server, lopts, &expected);
+    EXPECT_FALSE(rep.open_loop);
+    EXPECT_EQ(rep.submitted, lopts.requests);
+    // Closed-loop clients never outrun the queue: nothing is shed.
+    EXPECT_EQ(rep.completed, lopts.requests);
+    EXPECT_EQ(rep.rejected, 0u);
+    EXPECT_EQ(rep.timed_out, 0u);
+    EXPECT_EQ(rep.mismatched, 0u);
+    EXPECT_GT(rep.achieved_qps, 0.0);
+    EXPECT_LE(rep.latency.p50, rep.latency.p95);
+    EXPECT_LE(rep.latency.p95, rep.latency.p99);
+    EXPECT_LE(rep.latency.p99, rep.latency.max);
+    EXPECT_GT(rep.service.max, 0.0);
+}
+
+TEST(LoadGen, OpenLoopAccountsForEveryRequest)
+{
+    const TestModel model(41);
+    ServerOptions sopts;
+    sopts.max_batch = 16;
+    sopts.batch_timeout_us = 500;
+    sopts.queue_capacity = 32;
+    sopts.workers = 1;
+    Server server(model.chain(), sopts);
+
+    LoadGenOptions lopts;
+    lopts.requests = 64;
+    lopts.offered_qps = 20000; // well into the batching regime
+    lopts.seed = 15;
+    const std::vector<std::vector<double>> expected =
+        referenceOutputs(model.chain(), lopts.seed, lopts.requests);
+
+    const LoadGenReport rep = runLoadGen(server, lopts, &expected);
+    EXPECT_TRUE(rep.open_loop);
+    EXPECT_EQ(rep.submitted, lopts.requests);
+    EXPECT_EQ(rep.completed + rep.rejected + rep.timed_out,
+              lopts.requests);
+    EXPECT_EQ(rep.mismatched, 0u);
+    EXPECT_GT(rep.completed, 0u);
+    EXPECT_LE(rep.latency.p50, rep.latency.p99);
+}
+
+// -------------------------------------------------------------------
+// serve.* observability wiring.
+// -------------------------------------------------------------------
+
+TEST(ServeObs, StatsAccumulateWhenEnabled)
+{
+    obs::StatRegistry &reg = obs::StatRegistry::instance();
+    obs::setEnabled(true);
+    reg.resetAll();
+    {
+        const TestModel model(43);
+        ServerOptions opts;
+        opts.max_batch = 8;
+        opts.batch_timeout_us = 0;
+        opts.queue_capacity = 4;
+        opts.workers = 1;
+        Server server(model.chain(), opts);
+
+        const std::vector<double> x =
+            makeRequestInput(3, 0, server.inSize());
+        std::vector<Ticket> ok;
+        size_t rejected = 0;
+        for (size_t i = 0; i < 24; ++i) {
+            const Ticket t = server.submit(x);
+            if (t.valid())
+                ok.push_back(t);
+            else
+                ++rejected;
+        }
+        for (const Ticket t : ok)
+            EXPECT_EQ(server.wait(t), RequestStatus::Done);
+
+        EXPECT_EQ(reg.counter("serve.accepted").value(), ok.size());
+        EXPECT_EQ(reg.counter("serve.rejected").value(), rejected);
+        EXPECT_EQ(reg.counter("serve.completed").value(), ok.size());
+        EXPECT_EQ(reg.counter("serve.timed_out").value(), 0u);
+        EXPECT_GE(reg.counter("serve.batches").value(), 1u);
+
+        const auto waits =
+            reg.distribution("serve.queue_wait_us").snapshot();
+        EXPECT_EQ(waits.count, ok.size());
+        const auto sizes =
+            reg.distribution("serve.batch_size").snapshot();
+        EXPECT_EQ(sizes.count,
+                  reg.counter("serve.batches").value());
+        EXPECT_GE(sizes.max, 1.0);
+        EXPECT_GT(
+            reg.distribution("serve.service_us").snapshot().count, 0u);
+        EXPECT_LE(reg.distribution("serve.service_us").percentile(50),
+                  reg.distribution("serve.service_us").percentile(99));
+    }
+    obs::setEnabled(false);
+    reg.resetAll();
+}
+
+} // namespace
+} // namespace serve
+} // namespace tie

@@ -14,6 +14,12 @@
  *   tie_cli simulate model.ttm [--npe 16 --nmac 16 --freq 1000]
  *                    [--batch 1] [--relu]
  *       run the cycle-accurate simulator, print the full report
+ *   tie_cli serve-bench model.ttm [--workers 1 --max-batch 8
+ *                    --timeout-us 200 --queue-cap 256] [--requests 256]
+ *                    [--clients 4 | --qps Q] [--deadline-us D] [--seed]
+ *       drive the dynamic-batching server with the closed-loop
+ *       (--clients) or open-loop (--qps) load generator, verify every
+ *       completed output bit-exactly, print the latency/SLO report
  *
  * Every command additionally accepts --stats-json[=path] and
  * --trace-out[=path] (or the TIE_STATS_JSON / TIE_TRACE environment
@@ -36,6 +42,8 @@
 #include "arch/tie_sim.hh"
 #include "common/table.hh"
 #include "obs/report.hh"
+#include "serve/load_gen.hh"
+#include "serve/server.hh"
 #include "tt/cost_model.hh"
 #include "tt/tt_io.hh"
 #include "tt/tt_round.hh"
@@ -282,6 +290,101 @@ cmdSimulate(const Options &opt)
     return exact || opt.has("relu") ? 0 : 2;
 }
 
+int
+cmdServeBench(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.positional.size() == 1,
+                  "usage: tie_cli serve-bench <model.ttm> [--workers W]"
+                  " [--max-batch B] [--timeout-us T] [--queue-cap C]"
+                  " [--requests R] [--clients K | --qps Q]"
+                  " [--deadline-us D] [--seed s]");
+    TtMatrix tt = loadTtMatrixFile(opt.positional[0]);
+
+    serve::ServerOptions sopts;
+    sopts.workers =
+        static_cast<size_t>(std::stoul(opt.get("workers", "1")));
+    sopts.max_batch =
+        static_cast<size_t>(std::stoul(opt.get("max-batch", "8")));
+    sopts.batch_timeout_us = std::stoull(opt.get("timeout-us", "200"));
+    sopts.queue_capacity =
+        static_cast<size_t>(std::stoul(opt.get("queue-cap", "256")));
+
+    serve::LoadGenOptions lopts;
+    lopts.requests =
+        static_cast<size_t>(std::stoul(opt.get("requests", "256")));
+    lopts.clients =
+        static_cast<size_t>(std::stoul(opt.get("clients", "4")));
+    lopts.offered_qps = std::stod(opt.get("qps", "0"));
+    lopts.deadline_us = std::stoull(opt.get("deadline-us", "0"));
+    lopts.seed = std::stoull(opt.get("seed", "1"));
+
+    const std::vector<const TtMatrix *> model{&tt};
+    const std::vector<std::vector<double>> expected =
+        serve::referenceOutputs(model, lopts.seed, lopts.requests);
+
+    serve::Server server(model, sopts);
+    const serve::LoadGenReport rep =
+        serve::runLoadGen(server, lopts, &expected);
+
+    if (obs::Session *s = obs::Session::current();
+        s != nullptr && s->statsRequested()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.field("model", opt.positional[0]);
+        w.field("open_loop", rep.open_loop);
+        w.field("workers", static_cast<uint64_t>(sopts.workers));
+        w.field("max_batch", static_cast<uint64_t>(sopts.max_batch));
+        w.field("batch_timeout_us", sopts.batch_timeout_us);
+        w.field("requests", static_cast<uint64_t>(lopts.requests));
+        w.field("completed", static_cast<uint64_t>(rep.completed));
+        w.field("rejected", static_cast<uint64_t>(rep.rejected));
+        w.field("timed_out", static_cast<uint64_t>(rep.timed_out));
+        w.field("mismatched", static_cast<uint64_t>(rep.mismatched));
+        w.field("achieved_qps", rep.achieved_qps);
+        w.field("latency_p50_us", rep.latency.p50);
+        w.field("latency_p95_us", rep.latency.p95);
+        w.field("latency_p99_us", rep.latency.p99);
+        w.endObject();
+        s->setExtra("serve_bench", w.str());
+    }
+
+    TextTable t("serve-bench report");
+    t.header({"metric", "value"});
+    t.row({"model", tt.config().toString()});
+    t.row({"policy", std::to_string(sopts.workers) + " worker(s), "
+                         "max batch " +
+                         std::to_string(sopts.max_batch) + ", window " +
+                         std::to_string(sopts.batch_timeout_us) +
+                         " us"});
+    t.row({"load", rep.open_loop
+                       ? "open loop @ " +
+                             TextTable::num(rep.offered_qps, 0) + " qps"
+                       : "closed loop, " +
+                             std::to_string(lopts.clients) +
+                             " client(s)"});
+    t.row({"requests", std::to_string(rep.submitted)});
+    t.row({"completed / rejected / timed out",
+           std::to_string(rep.completed) + " / " +
+               std::to_string(rep.rejected) + " / " +
+               std::to_string(rep.timed_out)});
+    t.row({"throughput", TextTable::num(rep.achieved_qps, 0) + " req/s"});
+    t.row({"latency p50 / p95 / p99",
+           TextTable::num(rep.latency.p50, 1) + " / " +
+               TextTable::num(rep.latency.p95, 1) + " / " +
+               TextTable::num(rep.latency.p99, 1) + " us"});
+    t.row({"queue wait p50 / p99",
+           TextTable::num(rep.queue_wait.p50, 1) + " / " +
+               TextTable::num(rep.queue_wait.p99, 1) + " us"});
+    t.row({"service p50 / p99", TextTable::num(rep.service.p50, 1) +
+                                    " / " +
+                                    TextTable::num(rep.service.p99, 1) +
+                                    " us"});
+    t.row({"bit-exact vs reference",
+           rep.mismatched == 0 ? "yes" : "NO"});
+    t.print();
+    return rep.mismatched == 0 ? 0 : 2;
+}
+
 void
 usage()
 {
@@ -293,6 +396,10 @@ usage()
            "  round <in.ttm> <out.ttm> --rank r [--eps e]\n"
            "  simulate <model.ttm> [--npe][--nmac][--freq][--batch]"
            "[--relu]\n"
+           "  serve-bench <model.ttm> [--workers][--max-batch]"
+           "[--timeout-us]\n"
+           "              [--queue-cap][--requests][--clients|--qps]"
+           "[--deadline-us]\n"
            "observability (any command; also TIE_STATS_JSON/TIE_TRACE"
            " env):\n"
            "  --stats-json[=path]   machine-readable JSON report\n"
@@ -325,6 +432,8 @@ main(int argc, char **argv)
         return cmdRound(opt);
     if (cmd == "simulate")
         return cmdSimulate(opt);
+    if (cmd == "serve-bench")
+        return cmdServeBench(opt);
     usage();
     return 1;
 }
