@@ -26,7 +26,9 @@
 #include "common/thread_pool.hh"
 #include "obs/report.hh"
 #include "core/workloads.hh"
+#include "linalg/simd.hh"
 #include "linalg/svd.hh"
+#include "quant/fxp_simd.hh"
 #include "tt/cost_model.hh"
 #include "tt/infer_session.hh"
 #include "tt/tt_infer.hh"
@@ -309,12 +311,104 @@ BM_TtSvd(benchmark::State &state)
 }
 BENCHMARK(BM_TtSvd);
 
+// ---------------------------------------------------------------------
+// Per-ISA kernel sweeps: the explicit-Isa entry points of the SIMD
+// layer on a short/wide TT-stage shape, one registration per ISA the
+// host supports (registered from main; BENCHMARK() can't enumerate the
+// host's ISAs statically). Compare e.g. BM_GemmF32_Isa/scalar against
+// .../avx2 — the outputs are bit-identical across the sweep, only the
+// wall-clock differs.
+// ---------------------------------------------------------------------
+
+constexpr size_t kIsaM = 64, kIsaK = 64, kIsaN = 4096;
+
+void
+BM_GemmF32_Isa(benchmark::State &state, simd::Isa isa)
+{
+    Rng rng(11);
+    MatrixF a(kIsaM, kIsaK), b(kIsaK, kIsaN), c(kIsaM, kIsaN);
+    a.setUniform(rng, -1, 1);
+    b.setUniform(rng, -1, 1);
+    for (auto _ : state) {
+        c.fill(0.0f);
+        simd::gemmTileF32(isa, kIsaN, kIsaK, a.data(), b.data(),
+                          c.data(), 0, kIsaM, 0, kIsaN);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kIsaM * kIsaK * kIsaN);
+}
+
+void
+BM_GemmGatheredF32_Isa(benchmark::State &state, simd::Isa isa)
+{
+    Rng rng(12);
+    const size_t cols_out = kIsaN / 8; // 8 batch blocks
+    MatrixF a(kIsaM, kIsaK), v(kIsaK, kIsaN), c(kIsaM, kIsaN);
+    a.setUniform(rng, -1, 1);
+    v.setUniform(rng, -1, 1);
+    std::vector<size_t> offset(kIsaK * cols_out);
+    for (auto &o : offset)
+        o = static_cast<size_t>(
+            rng.intIn(0, static_cast<int64_t>(kIsaK * cols_out) - 1));
+    for (auto _ : state) {
+        c.fill(0.0f);
+        simd::gemmTileGatheredF32(isa, kIsaN, kIsaK, a.data(), v.data(),
+                                  offset.data(), cols_out,
+                                  kIsaK * cols_out, c.data(), 0, kIsaM,
+                                  0, kIsaN);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kIsaM * kIsaK * kIsaN);
+}
+
+void
+BM_FxpMatmul_Isa(benchmark::State &state, simd::Isa isa)
+{
+    Rng rng(13);
+    MatrixF wf(kIsaM, kIsaK), xf(kIsaK, kIsaN);
+    wf.setUniform(rng, -1, 1);
+    xf.setUniform(rng, -1, 1);
+    MacFormat fmt;
+    auto w = quantizeMatrix(wf, fmt.weight);
+    auto x = quantizeMatrix(xf, fmt.act_in);
+    Matrix<int16_t> out(kIsaM, kIsaN);
+    for (auto _ : state) {
+        fxpBlock(isa, kIsaK, kIsaN, w.data(), x.data(), fmt, out.data(),
+                 0, kIsaM, 0, kIsaN);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kIsaM * kIsaK * kIsaN);
+}
+
+void
+registerIsaSweeps()
+{
+    for (simd::Isa isa : {simd::Isa::Scalar, simd::Isa::Sse42,
+                          simd::Isa::Avx2, simd::Isa::Neon}) {
+        if (!simd::isaSupported(isa))
+            continue;
+        const std::string name = simd::isaName(isa);
+        benchmark::RegisterBenchmark(
+            ("BM_GemmF32_Isa/" + name).c_str(),
+            [isa](benchmark::State &s) { BM_GemmF32_Isa(s, isa); });
+        benchmark::RegisterBenchmark(
+            ("BM_GemmGatheredF32_Isa/" + name).c_str(),
+            [isa](benchmark::State &s) {
+                BM_GemmGatheredF32_Isa(s, isa);
+            });
+        benchmark::RegisterBenchmark(
+            ("BM_FxpMatmul_Isa/" + name).c_str(),
+            [isa](benchmark::State &s) { BM_FxpMatmul_Isa(s, isa); });
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     obs::Session obs_session("micro_kernels", &argc, argv);
+    registerIsaSweeps();
 
     // Default a JSON results file so perf history accumulates without
     // anyone remembering the flag; explicit --benchmark_out wins.

@@ -12,6 +12,11 @@
  * The TT compact-scheme stages are short and wide (tens of rows, tens
  * of thousands of batched columns), so the kernels split whichever
  * output axis is larger rather than always splitting rows.
+ *
+ * Float and double tiles dispatch to the SIMD kernel layer
+ * (linalg/simd.hh): lanes run across output columns only, so the SIMD
+ * paths are bit-identical to the scalar reference for every ISA and
+ * the determinism guarantee above is ISA-independent.
  */
 
 #ifndef TIE_LINALG_GEMM_HH
@@ -19,8 +24,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <type_traits>
 
 #include "common/thread_pool.hh"
+#include "linalg/simd.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
 
@@ -35,6 +42,7 @@ struct KernelStats
     obs::Counter &gemv_calls;
     obs::Counter &gemv_madds;
     obs::Distribution &gemm_us;
+    obs::Gauge &simd_isa; ///< active dispatch path (simd::Isa ordinal)
 
     static KernelStats &
     get()
@@ -50,6 +58,9 @@ struct KernelStats
                 "gemv.madds", "GEMV multiply-adds issued"),
             obs::StatRegistry::instance().distribution(
                 "gemm.call_us", "wall-clock microseconds per GEMM"),
+            obs::StatRegistry::instance().gauge(
+                "simd.isa",
+                "active SIMD path (0=scalar 1=sse 2=avx2 3=neon)"),
         };
         return s;
     }
@@ -65,26 +76,45 @@ inline constexpr size_t kDepthBlock = 128;
 inline constexpr size_t kParallelMinWork = size_t(1) << 15;
 
 /**
+ * Vector lane count of the active float GEMM path (1 when the
+ * dispatcher resolved to scalar); tests pin expectations against it.
+ */
+inline size_t
+simdWidth()
+{
+    return simd::floatLanes(simd::activeIsa());
+}
+
+/**
  * C[i0:i1, j0:j1) += A[i0:i1, :] * B[:, j0:j1) with A (m x k), B
  * (k x n), C (m x n) row-major. The k loop is tiled but still ascends
  * monotonically per output element, matching the naive i-k-j loop
- * bit-for-bit.
+ * bit-for-bit. float/double tiles run the SIMD kernel layer
+ * (linalg/simd.hh), which preserves exactly that per-element chain.
  */
 template <typename T>
 inline void
 gemmTile(size_t n, size_t k, const T *a, const T *b, T *c, size_t i0,
          size_t i1, size_t j0, size_t j1)
 {
-    for (size_t k0 = 0; k0 < k; k0 += kDepthBlock) {
-        const size_t k1 = std::min(k, k0 + kDepthBlock);
-        for (size_t i = i0; i < i1; ++i) {
-            const T *arow = a + i * k;
-            T *crow = c + i * n;
-            for (size_t kk = k0; kk < k1; ++kk) {
-                const T aik = arow[kk];
-                const T *brow = b + kk * n;
-                for (size_t j = j0; j < j1; ++j)
-                    crow[j] += aik * brow[j];
+    if constexpr (std::is_same_v<T, float>) {
+        simd::gemmTileF32(simd::activeIsa(), n, k, a, b, c, i0, i1, j0,
+                          j1);
+    } else if constexpr (std::is_same_v<T, double>) {
+        simd::gemmTileF64(simd::activeIsa(), n, k, a, b, c, i0, i1, j0,
+                          j1);
+    } else {
+        for (size_t k0 = 0; k0 < k; k0 += kDepthBlock) {
+            const size_t k1 = std::min(k, k0 + kDepthBlock);
+            for (size_t i = i0; i < i1; ++i) {
+                const T *arow = a + i * k;
+                T *crow = c + i * n;
+                for (size_t kk = k0; kk < k1; ++kk) {
+                    const T aik = arow[kk];
+                    const T *brow = b + kk * n;
+                    for (size_t j = j0; j < j1; ++j)
+                        crow[j] += aik * brow[j];
+                }
             }
         }
     }
@@ -104,6 +134,7 @@ gemmBlocked(size_t m, size_t n, size_t k, const T *a, const T *b, T *c)
         KernelStats &ks = KernelStats::get();
         ks.gemm_calls.add();
         ks.gemm_madds.add(m * n * k);
+        ks.simd_isa.set(static_cast<int64_t>(simd::activeIsa()));
     }
     obs::ScopedTimer timer(KernelStats::get().gemm_us);
     obs::HostSpan span("gemm");
@@ -153,21 +184,32 @@ gemmTileGathered(size_t n, size_t k, const T *a, const T *v,
                  const GatherB &g, T *c, size_t i0, size_t i1,
                  size_t j0, size_t j1)
 {
-    for (size_t k0 = 0; k0 < k; k0 += kDepthBlock) {
-        const size_t k1 = std::min(k, k0 + kDepthBlock);
-        for (size_t i = i0; i < i1; ++i) {
-            const T *arow = a + i * k;
-            T *crow = c + i * n;
-            for (size_t kk = k0; kk < k1; ++kk) {
-                const T aik = arow[kk];
-                const size_t *off = g.offset + kk * g.cols_out;
-                size_t q = j0 % g.cols_out;
-                const T *vb = v + (j0 / g.cols_out) * g.block_stride;
-                for (size_t j = j0; j < j1; ++j) {
-                    crow[j] += aik * vb[off[q]];
-                    if (++q == g.cols_out) {
-                        q = 0;
-                        vb += g.block_stride;
+    if constexpr (std::is_same_v<T, float>) {
+        simd::gemmTileGatheredF32(simd::activeIsa(), n, k, a, v,
+                                  g.offset, g.cols_out, g.block_stride,
+                                  c, i0, i1, j0, j1);
+    } else if constexpr (std::is_same_v<T, double>) {
+        simd::gemmTileGatheredF64(simd::activeIsa(), n, k, a, v,
+                                  g.offset, g.cols_out, g.block_stride,
+                                  c, i0, i1, j0, j1);
+    } else {
+        for (size_t k0 = 0; k0 < k; k0 += kDepthBlock) {
+            const size_t k1 = std::min(k, k0 + kDepthBlock);
+            for (size_t i = i0; i < i1; ++i) {
+                const T *arow = a + i * k;
+                T *crow = c + i * n;
+                for (size_t kk = k0; kk < k1; ++kk) {
+                    const T aik = arow[kk];
+                    const size_t *off = g.offset + kk * g.cols_out;
+                    size_t q = j0 % g.cols_out;
+                    const T *vb =
+                        v + (j0 / g.cols_out) * g.block_stride;
+                    for (size_t j = j0; j < j1; ++j) {
+                        crow[j] += aik * vb[off[q]];
+                        if (++q == g.cols_out) {
+                            q = 0;
+                            vb += g.block_stride;
+                        }
                     }
                 }
             }
@@ -192,6 +234,7 @@ gemmGatheredBlocked(size_t m, size_t k, const T *a, const T *v,
         KernelStats &ks = KernelStats::get();
         ks.gemm_calls.add();
         ks.gemm_madds.add(m * n * k);
+        ks.simd_isa.set(static_cast<int64_t>(simd::activeIsa()));
     }
     obs::ScopedTimer timer(KernelStats::get().gemm_us);
     obs::HostSpan span("gemm.gathered");

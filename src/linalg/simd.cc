@@ -1,0 +1,793 @@
+#include "linalg/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "linalg/gemm.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define TIE_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define TIE_SIMD_X86 0
+#endif
+
+#if defined(__aarch64__)
+#define TIE_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define TIE_SIMD_NEON 0
+#endif
+
+namespace tie {
+namespace simd {
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        return "scalar";
+      case Isa::Sse42:
+        return "sse";
+      case Isa::Avx2:
+        return "avx2";
+      case Isa::Neon:
+        return "neon";
+    }
+    TIE_PANIC("isaName called with invalid Isa ",
+              static_cast<int>(isa));
+}
+
+bool
+isaSupported(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        return true;
+#if TIE_SIMD_X86
+      case Isa::Sse42:
+        return __builtin_cpu_supports("sse4.2");
+      case Isa::Avx2:
+        return __builtin_cpu_supports("avx2");
+#endif
+#if TIE_SIMD_NEON
+      case Isa::Neon:
+        return true;
+#endif
+      default:
+        return false;
+    }
+}
+
+unsigned
+supportedMask()
+{
+    unsigned mask = 0;
+    for (Isa isa : {Isa::Scalar, Isa::Sse42, Isa::Avx2, Isa::Neon})
+        if (isaSupported(isa))
+            mask |= 1u << static_cast<unsigned>(isa);
+    return mask;
+}
+
+Isa
+resolveIsa(const char *env_value, unsigned supported_mask)
+{
+    auto ok = [&](Isa isa) {
+        return (supported_mask >> static_cast<unsigned>(isa)) & 1u;
+    };
+    if (env_value == nullptr || *env_value == '\0') {
+        for (Isa isa : {Isa::Avx2, Isa::Sse42, Isa::Neon})
+            if (ok(isa))
+                return isa;
+        return Isa::Scalar;
+    }
+    for (Isa isa :
+         {Isa::Scalar, Isa::Sse42, Isa::Avx2, Isa::Neon}) {
+        if (std::strcmp(env_value, isaName(isa)) != 0)
+            continue;
+        if (!ok(isa))
+            TIE_FATAL("TIE_SIMD='", env_value, "' requested but ",
+                      isaName(isa),
+                      " is not supported on this host");
+        return isa;
+    }
+    TIE_FATAL("TIE_SIMD='", env_value,
+              "' must be scalar, sse, avx2 or neon");
+}
+
+Isa
+activeIsa()
+{
+    static const Isa isa =
+        resolveIsa(std::getenv("TIE_SIMD"), supportedMask());
+    return isa;
+}
+
+size_t
+floatLanes(Isa isa)
+{
+    switch (isa) {
+      case Isa::Avx2:
+        return 8;
+      case Isa::Sse42:
+      case Isa::Neon:
+        return 4;
+      case Isa::Scalar:
+        return 1;
+    }
+    return 1;
+}
+
+size_t
+doubleLanes(Isa isa)
+{
+    switch (isa) {
+      case Isa::Avx2:
+        return 4;
+      case Isa::Sse42:
+      case Isa::Neon:
+        return 2;
+      case Isa::Scalar:
+        return 1;
+    }
+    return 1;
+}
+
+size_t
+fxpLanes(Isa isa)
+{
+    return floatLanes(isa);
+}
+
+namespace {
+
+/**
+ * Scalar reference tiles — byte-for-byte the loops gemm::gemmBlocked
+ * ran before the SIMD layer existed (k-panel, then rows, then the
+ * ascending k / ascending j inner loops). Every vector kernel below
+ * must produce identical bits.
+ */
+template <typename T>
+void
+tileScalar(size_t n, size_t k, const T *a, const T *b, T *c, size_t i0,
+           size_t i1, size_t j0, size_t j1)
+{
+    for (size_t k0 = 0; k0 < k; k0 += gemm::kDepthBlock) {
+        const size_t k1 = std::min(k, k0 + gemm::kDepthBlock);
+        for (size_t i = i0; i < i1; ++i) {
+            const T *arow = a + i * k;
+            T *crow = c + i * n;
+            for (size_t kk = k0; kk < k1; ++kk) {
+                const T aik = arow[kk];
+                const T *brow = b + kk * n;
+                for (size_t j = j0; j < j1; ++j)
+                    crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+template <typename T>
+void
+tileGatheredScalar(size_t n, size_t k, const T *a, const T *v,
+                   const size_t *offset, size_t cols_out,
+                   size_t block_stride, T *c, size_t i0, size_t i1,
+                   size_t j0, size_t j1)
+{
+    for (size_t k0 = 0; k0 < k; k0 += gemm::kDepthBlock) {
+        const size_t k1 = std::min(k, k0 + gemm::kDepthBlock);
+        for (size_t i = i0; i < i1; ++i) {
+            const T *arow = a + i * k;
+            T *crow = c + i * n;
+            for (size_t kk = k0; kk < k1; ++kk) {
+                const T aik = arow[kk];
+                const size_t *off = offset + kk * cols_out;
+                size_t q = j0 % cols_out;
+                const T *vb = v + (j0 / cols_out) * block_stride;
+                for (size_t j = j0; j < j1; ++j) {
+                    crow[j] += aik * vb[off[q]];
+                    if (++q == cols_out) {
+                        q = 0;
+                        vb += block_stride;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Scalar tail shared by every vector kernel: finishes columns
+ * [j, j1) of row i with the same ascending-k chain the vector lanes
+ * run, keeping the partial sum in a register like the lanes do.
+ */
+template <typename T>
+inline void
+rowTail(size_t n, size_t k, const T *arow, const T *b, T *crow,
+        size_t j, size_t j1)
+{
+    for (; j < j1; ++j) {
+        T cj = crow[j];
+        for (size_t kk = 0; kk < k; ++kk)
+            cj += arow[kk] * b[kk * n + j];
+        crow[j] = cj;
+    }
+}
+
+template <typename T>
+inline void
+rowTailGathered(size_t k, const T *arow, const T *v,
+                const size_t *offset, size_t cols_out,
+                size_t block_stride, T *crow, size_t j, size_t j1)
+{
+    for (; j < j1; ++j) {
+        const size_t blk = j / cols_out;
+        const size_t q = j - blk * cols_out;
+        const T *vb = v + blk * block_stride;
+        T cj = crow[j];
+        for (size_t kk = 0; kk < k; ++kk)
+            cj += arow[kk] * vb[offset[kk * cols_out + q]];
+        crow[j] = cj;
+    }
+}
+
+#if TIE_SIMD_X86
+
+__attribute__((target("avx2"))) void
+tileF32Avx2(size_t n, size_t k, const float *a, const float *b,
+            float *c, size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t W = 8;
+    for (size_t i = i0; i < i1; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m256 c0 = _mm256_loadu_ps(crow + j);
+            __m256 c1 = _mm256_loadu_ps(crow + j + W);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const __m256 av = _mm256_set1_ps(arow[kk]);
+                const float *brow = b + kk * n + j;
+                c0 = _mm256_add_ps(
+                    c0, _mm256_mul_ps(av, _mm256_loadu_ps(brow)));
+                c1 = _mm256_add_ps(
+                    c1, _mm256_mul_ps(av, _mm256_loadu_ps(brow + W)));
+            }
+            _mm256_storeu_ps(crow + j, c0);
+            _mm256_storeu_ps(crow + j + W, c1);
+        }
+        for (; j + W <= j1; j += W) {
+            __m256 c0 = _mm256_loadu_ps(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const __m256 av = _mm256_set1_ps(arow[kk]);
+                c0 = _mm256_add_ps(
+                    c0,
+                    _mm256_mul_ps(av, _mm256_loadu_ps(b + kk * n + j)));
+            }
+            _mm256_storeu_ps(crow + j, c0);
+        }
+        rowTail(n, k, arow, b, crow, j, j1);
+    }
+}
+
+__attribute__((target("avx2"))) void
+tileF64Avx2(size_t n, size_t k, const double *a, const double *b,
+            double *c, size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t W = 4;
+    for (size_t i = i0; i < i1; ++i) {
+        const double *arow = a + i * k;
+        double *crow = c + i * n;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m256d c0 = _mm256_loadu_pd(crow + j);
+            __m256d c1 = _mm256_loadu_pd(crow + j + W);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const __m256d av = _mm256_set1_pd(arow[kk]);
+                const double *brow = b + kk * n + j;
+                c0 = _mm256_add_pd(
+                    c0, _mm256_mul_pd(av, _mm256_loadu_pd(brow)));
+                c1 = _mm256_add_pd(
+                    c1, _mm256_mul_pd(av, _mm256_loadu_pd(brow + W)));
+            }
+            _mm256_storeu_pd(crow + j, c0);
+            _mm256_storeu_pd(crow + j + W, c1);
+        }
+        for (; j + W <= j1; j += W) {
+            __m256d c0 = _mm256_loadu_pd(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const __m256d av = _mm256_set1_pd(arow[kk]);
+                c0 = _mm256_add_pd(
+                    c0,
+                    _mm256_mul_pd(av, _mm256_loadu_pd(b + kk * n + j)));
+            }
+            _mm256_storeu_pd(crow + j, c0);
+        }
+        rowTail(n, k, arow, b, crow, j, j1);
+    }
+}
+
+__attribute__((target("sse4.2"))) void
+tileF32Sse(size_t n, size_t k, const float *a, const float *b, float *c,
+           size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t W = 4;
+    for (size_t i = i0; i < i1; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m128 c0 = _mm_loadu_ps(crow + j);
+            __m128 c1 = _mm_loadu_ps(crow + j + W);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const __m128 av = _mm_set1_ps(arow[kk]);
+                const float *brow = b + kk * n + j;
+                c0 = _mm_add_ps(c0, _mm_mul_ps(av, _mm_loadu_ps(brow)));
+                c1 = _mm_add_ps(c1,
+                                _mm_mul_ps(av, _mm_loadu_ps(brow + W)));
+            }
+            _mm_storeu_ps(crow + j, c0);
+            _mm_storeu_ps(crow + j + W, c1);
+        }
+        for (; j + W <= j1; j += W) {
+            __m128 c0 = _mm_loadu_ps(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const __m128 av = _mm_set1_ps(arow[kk]);
+                c0 = _mm_add_ps(
+                    c0, _mm_mul_ps(av, _mm_loadu_ps(b + kk * n + j)));
+            }
+            _mm_storeu_ps(crow + j, c0);
+        }
+        rowTail(n, k, arow, b, crow, j, j1);
+    }
+}
+
+__attribute__((target("sse4.2"))) void
+tileF64Sse(size_t n, size_t k, const double *a, const double *b,
+           double *c, size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t W = 2;
+    for (size_t i = i0; i < i1; ++i) {
+        const double *arow = a + i * k;
+        double *crow = c + i * n;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m128d c0 = _mm_loadu_pd(crow + j);
+            __m128d c1 = _mm_loadu_pd(crow + j + W);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const __m128d av = _mm_set1_pd(arow[kk]);
+                const double *brow = b + kk * n + j;
+                c0 = _mm_add_pd(c0, _mm_mul_pd(av, _mm_loadu_pd(brow)));
+                c1 = _mm_add_pd(c1,
+                                _mm_mul_pd(av, _mm_loadu_pd(brow + W)));
+            }
+            _mm_storeu_pd(crow + j, c0);
+            _mm_storeu_pd(crow + j + W, c1);
+        }
+        for (; j + W <= j1; j += W) {
+            __m128d c0 = _mm_loadu_pd(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const __m128d av = _mm_set1_pd(arow[kk]);
+                c0 = _mm_add_pd(
+                    c0, _mm_mul_pd(av, _mm_loadu_pd(b + kk * n + j)));
+            }
+            _mm_storeu_pd(crow + j, c0);
+        }
+        rowTail(n, k, arow, b, crow, j, j1);
+    }
+}
+
+/**
+ * Gathered x86 tiles: the lane -> source-block geometry is k-invariant,
+ * so it is computed once per column block; the per-kk gather itself is
+ * a lane-wise load (the offsets are arbitrary size_t, too wide for the
+ * hardware gather's 32-bit fast path). The arithmetic chain and C
+ * traffic are vectorized exactly like the dense tiles.
+ */
+__attribute__((target("avx2"))) void
+tileGatheredF32Avx2(size_t n, size_t k, const float *a, const float *v,
+                    const size_t *offset, size_t cols_out,
+                    size_t block_stride, float *c, size_t i0, size_t i1,
+                    size_t j0, size_t j1)
+{
+    constexpr size_t W = 8;
+    for (size_t i = i0; i < i1; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        size_t j = j0;
+        for (; j + W <= j1; j += W) {
+            const float *base[W];
+            size_t q[W];
+            for (size_t l = 0; l < W; ++l) {
+                const size_t blk = (j + l) / cols_out;
+                q[l] = (j + l) - blk * cols_out;
+                base[l] = v + blk * block_stride;
+            }
+            __m256 acc = _mm256_loadu_ps(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const size_t *off = offset + kk * cols_out;
+                alignas(32) float tmp[W];
+                for (size_t l = 0; l < W; ++l)
+                    tmp[l] = base[l][off[q[l]]];
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_set1_ps(arow[kk]),
+                                       _mm256_load_ps(tmp)));
+            }
+            _mm256_storeu_ps(crow + j, acc);
+        }
+        rowTailGathered(k, arow, v, offset, cols_out, block_stride,
+                        crow, j, j1);
+    }
+}
+
+__attribute__((target("avx2"))) void
+tileGatheredF64Avx2(size_t n, size_t k, const double *a,
+                    const double *v, const size_t *offset,
+                    size_t cols_out, size_t block_stride, double *c,
+                    size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t W = 4;
+    for (size_t i = i0; i < i1; ++i) {
+        const double *arow = a + i * k;
+        double *crow = c + i * n;
+        size_t j = j0;
+        for (; j + W <= j1; j += W) {
+            const double *base[W];
+            size_t q[W];
+            for (size_t l = 0; l < W; ++l) {
+                const size_t blk = (j + l) / cols_out;
+                q[l] = (j + l) - blk * cols_out;
+                base[l] = v + blk * block_stride;
+            }
+            __m256d acc = _mm256_loadu_pd(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const size_t *off = offset + kk * cols_out;
+                alignas(32) double tmp[W];
+                for (size_t l = 0; l < W; ++l)
+                    tmp[l] = base[l][off[q[l]]];
+                acc = _mm256_add_pd(
+                    acc, _mm256_mul_pd(_mm256_set1_pd(arow[kk]),
+                                       _mm256_load_pd(tmp)));
+            }
+            _mm256_storeu_pd(crow + j, acc);
+        }
+        rowTailGathered(k, arow, v, offset, cols_out, block_stride,
+                        crow, j, j1);
+    }
+}
+
+__attribute__((target("sse4.2"))) void
+tileGatheredF32Sse(size_t n, size_t k, const float *a, const float *v,
+                   const size_t *offset, size_t cols_out,
+                   size_t block_stride, float *c, size_t i0, size_t i1,
+                   size_t j0, size_t j1)
+{
+    constexpr size_t W = 4;
+    for (size_t i = i0; i < i1; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        size_t j = j0;
+        for (; j + W <= j1; j += W) {
+            const float *base[W];
+            size_t q[W];
+            for (size_t l = 0; l < W; ++l) {
+                const size_t blk = (j + l) / cols_out;
+                q[l] = (j + l) - blk * cols_out;
+                base[l] = v + blk * block_stride;
+            }
+            __m128 acc = _mm_loadu_ps(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const size_t *off = offset + kk * cols_out;
+                alignas(16) float tmp[W];
+                for (size_t l = 0; l < W; ++l)
+                    tmp[l] = base[l][off[q[l]]];
+                acc = _mm_add_ps(acc,
+                                 _mm_mul_ps(_mm_set1_ps(arow[kk]),
+                                            _mm_load_ps(tmp)));
+            }
+            _mm_storeu_ps(crow + j, acc);
+        }
+        rowTailGathered(k, arow, v, offset, cols_out, block_stride,
+                        crow, j, j1);
+    }
+}
+
+__attribute__((target("sse4.2"))) void
+tileGatheredF64Sse(size_t n, size_t k, const double *a, const double *v,
+                   const size_t *offset, size_t cols_out,
+                   size_t block_stride, double *c, size_t i0, size_t i1,
+                   size_t j0, size_t j1)
+{
+    constexpr size_t W = 2;
+    for (size_t i = i0; i < i1; ++i) {
+        const double *arow = a + i * k;
+        double *crow = c + i * n;
+        size_t j = j0;
+        for (; j + W <= j1; j += W) {
+            const double *base[W];
+            size_t q[W];
+            for (size_t l = 0; l < W; ++l) {
+                const size_t blk = (j + l) / cols_out;
+                q[l] = (j + l) - blk * cols_out;
+                base[l] = v + blk * block_stride;
+            }
+            __m128d acc = _mm_loadu_pd(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const size_t *off = offset + kk * cols_out;
+                alignas(16) double tmp[W];
+                for (size_t l = 0; l < W; ++l)
+                    tmp[l] = base[l][off[q[l]]];
+                acc = _mm_add_pd(acc,
+                                 _mm_mul_pd(_mm_set1_pd(arow[kk]),
+                                            _mm_load_pd(tmp)));
+            }
+            _mm_storeu_pd(crow + j, acc);
+        }
+        rowTailGathered(k, arow, v, offset, cols_out, block_stride,
+                        crow, j, j1);
+    }
+}
+
+#endif // TIE_SIMD_X86
+
+#if TIE_SIMD_NEON
+
+void
+tileF32Neon(size_t n, size_t k, const float *a, const float *b,
+            float *c, size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t W = 4;
+    for (size_t i = i0; i < i1; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            float32x4_t c0 = vld1q_f32(crow + j);
+            float32x4_t c1 = vld1q_f32(crow + j + W);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float32x4_t av = vdupq_n_f32(arow[kk]);
+                const float *brow = b + kk * n + j;
+                c0 = vaddq_f32(c0, vmulq_f32(av, vld1q_f32(brow)));
+                c1 = vaddq_f32(c1, vmulq_f32(av, vld1q_f32(brow + W)));
+            }
+            vst1q_f32(crow + j, c0);
+            vst1q_f32(crow + j + W, c1);
+        }
+        for (; j + W <= j1; j += W) {
+            float32x4_t c0 = vld1q_f32(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float32x4_t av = vdupq_n_f32(arow[kk]);
+                c0 = vaddq_f32(c0,
+                               vmulq_f32(av, vld1q_f32(b + kk * n + j)));
+            }
+            vst1q_f32(crow + j, c0);
+        }
+        rowTail(n, k, arow, b, crow, j, j1);
+    }
+}
+
+void
+tileF64Neon(size_t n, size_t k, const double *a, const double *b,
+            double *c, size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t W = 2;
+    for (size_t i = i0; i < i1; ++i) {
+        const double *arow = a + i * k;
+        double *crow = c + i * n;
+        size_t j = j0;
+        for (; j + W <= j1; j += W) {
+            float64x2_t c0 = vld1q_f64(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float64x2_t av = vdupq_n_f64(arow[kk]);
+                c0 = vaddq_f64(c0,
+                               vmulq_f64(av, vld1q_f64(b + kk * n + j)));
+            }
+            vst1q_f64(crow + j, c0);
+        }
+        rowTail(n, k, arow, b, crow, j, j1);
+    }
+}
+
+void
+tileGatheredF32Neon(size_t n, size_t k, const float *a, const float *v,
+                    const size_t *offset, size_t cols_out,
+                    size_t block_stride, float *c, size_t i0, size_t i1,
+                    size_t j0, size_t j1)
+{
+    constexpr size_t W = 4;
+    for (size_t i = i0; i < i1; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        size_t j = j0;
+        for (; j + W <= j1; j += W) {
+            const float *base[W];
+            size_t q[W];
+            for (size_t l = 0; l < W; ++l) {
+                const size_t blk = (j + l) / cols_out;
+                q[l] = (j + l) - blk * cols_out;
+                base[l] = v + blk * block_stride;
+            }
+            float32x4_t acc = vld1q_f32(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const size_t *off = offset + kk * cols_out;
+                float tmp[W];
+                for (size_t l = 0; l < W; ++l)
+                    tmp[l] = base[l][off[q[l]]];
+                acc = vaddq_f32(acc, vmulq_f32(vdupq_n_f32(arow[kk]),
+                                               vld1q_f32(tmp)));
+            }
+            vst1q_f32(crow + j, acc);
+        }
+        rowTailGathered(k, arow, v, offset, cols_out, block_stride,
+                        crow, j, j1);
+    }
+}
+
+void
+tileGatheredF64Neon(size_t n, size_t k, const double *a,
+                    const double *v, const size_t *offset,
+                    size_t cols_out, size_t block_stride, double *c,
+                    size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t W = 2;
+    for (size_t i = i0; i < i1; ++i) {
+        const double *arow = a + i * k;
+        double *crow = c + i * n;
+        size_t j = j0;
+        for (; j + W <= j1; j += W) {
+            const double *base[W];
+            size_t q[W];
+            for (size_t l = 0; l < W; ++l) {
+                const size_t blk = (j + l) / cols_out;
+                q[l] = (j + l) - blk * cols_out;
+                base[l] = v + blk * block_stride;
+            }
+            float64x2_t acc = vld1q_f64(crow + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const size_t *off = offset + kk * cols_out;
+                double tmp[W];
+                for (size_t l = 0; l < W; ++l)
+                    tmp[l] = base[l][off[q[l]]];
+                acc = vaddq_f64(acc, vmulq_f64(vdupq_n_f64(arow[kk]),
+                                               vld1q_f64(tmp)));
+            }
+            vst1q_f64(crow + j, acc);
+        }
+        rowTailGathered(k, arow, v, offset, cols_out, block_stride,
+                        crow, j, j1);
+    }
+}
+
+#endif // TIE_SIMD_NEON
+
+} // namespace
+
+void
+gemmTileF32(Isa isa, size_t n, size_t k, const float *a, const float *b,
+            float *c, size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        tileScalar(n, k, a, b, c, i0, i1, j0, j1);
+        return;
+#if TIE_SIMD_X86
+      case Isa::Avx2:
+        tileF32Avx2(n, k, a, b, c, i0, i1, j0, j1);
+        return;
+      case Isa::Sse42:
+        tileF32Sse(n, k, a, b, c, i0, i1, j0, j1);
+        return;
+#endif
+#if TIE_SIMD_NEON
+      case Isa::Neon:
+        tileF32Neon(n, k, a, b, c, i0, i1, j0, j1);
+        return;
+#endif
+      default:
+        break;
+    }
+    TIE_PANIC("gemmTileF32 dispatched to ", isaName(isa),
+              ", which this build cannot execute");
+}
+
+void
+gemmTileF64(Isa isa, size_t n, size_t k, const double *a,
+            const double *b, double *c, size_t i0, size_t i1, size_t j0,
+            size_t j1)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        tileScalar(n, k, a, b, c, i0, i1, j0, j1);
+        return;
+#if TIE_SIMD_X86
+      case Isa::Avx2:
+        tileF64Avx2(n, k, a, b, c, i0, i1, j0, j1);
+        return;
+      case Isa::Sse42:
+        tileF64Sse(n, k, a, b, c, i0, i1, j0, j1);
+        return;
+#endif
+#if TIE_SIMD_NEON
+      case Isa::Neon:
+        tileF64Neon(n, k, a, b, c, i0, i1, j0, j1);
+        return;
+#endif
+      default:
+        break;
+    }
+    TIE_PANIC("gemmTileF64 dispatched to ", isaName(isa),
+              ", which this build cannot execute");
+}
+
+void
+gemmTileGatheredF32(Isa isa, size_t n, size_t k, const float *a,
+                    const float *v, const size_t *offset,
+                    size_t cols_out, size_t block_stride, float *c,
+                    size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        tileGatheredScalar(n, k, a, v, offset, cols_out, block_stride,
+                           c, i0, i1, j0, j1);
+        return;
+#if TIE_SIMD_X86
+      case Isa::Avx2:
+        tileGatheredF32Avx2(n, k, a, v, offset, cols_out, block_stride,
+                            c, i0, i1, j0, j1);
+        return;
+      case Isa::Sse42:
+        tileGatheredF32Sse(n, k, a, v, offset, cols_out, block_stride,
+                           c, i0, i1, j0, j1);
+        return;
+#endif
+#if TIE_SIMD_NEON
+      case Isa::Neon:
+        tileGatheredF32Neon(n, k, a, v, offset, cols_out, block_stride,
+                            c, i0, i1, j0, j1);
+        return;
+#endif
+      default:
+        break;
+    }
+    TIE_PANIC("gemmTileGatheredF32 dispatched to ", isaName(isa),
+              ", which this build cannot execute");
+}
+
+void
+gemmTileGatheredF64(Isa isa, size_t n, size_t k, const double *a,
+                    const double *v, const size_t *offset,
+                    size_t cols_out, size_t block_stride, double *c,
+                    size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        tileGatheredScalar(n, k, a, v, offset, cols_out, block_stride,
+                           c, i0, i1, j0, j1);
+        return;
+#if TIE_SIMD_X86
+      case Isa::Avx2:
+        tileGatheredF64Avx2(n, k, a, v, offset, cols_out, block_stride,
+                            c, i0, i1, j0, j1);
+        return;
+      case Isa::Sse42:
+        tileGatheredF64Sse(n, k, a, v, offset, cols_out, block_stride,
+                           c, i0, i1, j0, j1);
+        return;
+#endif
+#if TIE_SIMD_NEON
+      case Isa::Neon:
+        tileGatheredF64Neon(n, k, a, v, offset, cols_out, block_stride,
+                            c, i0, i1, j0, j1);
+        return;
+#endif
+      default:
+        break;
+    }
+    TIE_PANIC("gemmTileGatheredF64 dispatched to ", isaName(isa),
+              ", which this build cannot execute");
+}
+
+} // namespace simd
+} // namespace tie

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Portable SIMD kernel layer with runtime dispatch.
+ *
+ * The host-side analogue of TIE's 16x16 parallel MAC array is explicit
+ * data parallelism in the GEMM inner loops. This header exposes one
+ * ISA enum and a set of kernel entry points that take the ISA as an
+ * explicit argument; the process-wide path is resolved exactly once
+ * (activeIsa) from cpuid-style feature detection, overridable with the
+ * TIE_SIMD environment variable (scalar|sse|avx2|neon) for testing.
+ *
+ * Determinism contract (see docs/performance.md):
+ *  - Every kernel vectorizes across *output columns* only: each output
+ *    element keeps its own full k-ascending reduction chain, exactly as
+ *    the scalar reference runs it, and the SIMD code uses separate
+ *    multiply and add (never FMA). Float and double results are
+ *    therefore bit-identical to the scalar path for every ISA, every
+ *    shape (including remainder columns), and every thread count.
+ *  - The fixed-point kernels replay the saturating 24-bit MAC chain in
+ *    32-bit lanes (quant/fxp_simd.hh) and are bit-identical to the
+ *    scalar chain by construction.
+ *
+ * Kernels for ISAs the host cannot execute are never dispatched to:
+ * requesting one via TIE_SIMD is a fatal user error.
+ */
+
+#ifndef TIE_LINALG_SIMD_HH
+#define TIE_LINALG_SIMD_HH
+
+#include <cstddef>
+
+namespace tie {
+namespace simd {
+
+/** Dispatchable instruction sets, ordered by preference (desc). */
+enum class Isa
+{
+    Scalar = 0, ///< portable reference loops
+    Sse42 = 1,  ///< x86 SSE4.2 (128-bit lanes)
+    Avx2 = 2,   ///< x86 AVX2 (256-bit lanes)
+    Neon = 3,   ///< AArch64 NEON (128-bit lanes)
+};
+
+/** Stable lowercase name, matching the TIE_SIMD spelling. */
+const char *isaName(Isa isa);
+
+/** True when this build can execute @p isa on the current host. */
+bool isaSupported(Isa isa);
+
+/** Bit per Isa value; bit 0 (Scalar) is always set. */
+unsigned supportedMask();
+
+/**
+ * Resolve the dispatch path from a TIE_SIMD value and a support mask
+ * (supportedMask() in production; tests pass synthetic masks). An
+ * unset/empty value picks the best supported ISA (AVX2 > SSE4.2 >
+ * NEON > scalar); a recognised value must be supported by the mask and
+ * anything else is a fatal user error. Exposed separately from
+ * activeIsa so tests can cover the parsing without forking processes
+ * per ISA.
+ */
+Isa resolveIsa(const char *env_value, unsigned supported_mask);
+
+/**
+ * The process-wide dispatch path, resolved once on first use from
+ * TIE_SIMD and the host CPU. Stable for the process lifetime; use the
+ * explicit-Isa kernel entry points below to exercise other paths in
+ * tests and benches.
+ */
+Isa activeIsa();
+
+/** Float lanes per vector op: 8 (AVX2), 4 (SSE4.2/NEON), 1 (scalar). */
+size_t floatLanes(Isa isa);
+
+/** Double lanes per vector op: 4 (AVX2), 2 (SSE4.2/NEON), 1 (scalar). */
+size_t doubleLanes(Isa isa);
+
+/** int32 accumulator lanes of the fxp MAC chain (same as floatLanes). */
+size_t fxpLanes(Isa isa);
+
+/**
+ * C[i0:i1, j0:j1) += A[i0:i1, :] * B[:, j0:j1) with A (m x k), B
+ * (k x n), C (m x n) row-major — the inner tile of gemm::gemmBlocked.
+ * Remainder columns (j1 - j0 not a lane multiple) run the scalar tail
+ * of the same chain; results are bit-identical to Isa::Scalar for
+ * every isa.
+ */
+void gemmTileF32(Isa isa, size_t n, size_t k, const float *a,
+                 const float *b, float *c, size_t i0, size_t i1,
+                 size_t j0, size_t j1);
+void gemmTileF64(Isa isa, size_t n, size_t k, const double *a,
+                 const double *b, double *c, size_t i0, size_t i1,
+                 size_t j0, size_t j1);
+
+/**
+ * Gathered-operand variants backing gemm::gemmGatheredBlocked (the
+ * fused inter-stage Transform read of tt/infer_session). The gather
+ * offsets are applied per lane; the arithmetic chain is identical to
+ * gemmTileF32/F64, so fusing changes no result bit.
+ *
+ * The gather geometry mirrors gemm::GatherB: virtual element
+ * (kk, b * cols_out + q) reads v[offset[kk * cols_out + q] +
+ * b * block_stride].
+ */
+void gemmTileGatheredF32(Isa isa, size_t n, size_t k, const float *a,
+                         const float *v, const size_t *offset,
+                         size_t cols_out, size_t block_stride, float *c,
+                         size_t i0, size_t i1, size_t j0, size_t j1);
+void gemmTileGatheredF64(Isa isa, size_t n, size_t k, const double *a,
+                         const double *v, const size_t *offset,
+                         size_t cols_out, size_t block_stride, double *c,
+                         size_t i0, size_t i1, size_t j0, size_t j1);
+
+} // namespace simd
+} // namespace tie
+
+#endif // TIE_LINALG_SIMD_HH

@@ -5,6 +5,8 @@
 
 #include "common/thread_pool.hh"
 #include "linalg/gemm.hh"
+#include "linalg/simd.hh"
+#include "quant/fxp_simd.hh"
 
 namespace tie {
 
@@ -131,18 +133,14 @@ fxpMatmulRaw(size_t m, size_t k, size_t n, const int16_t *w,
     // significant), so the work is distributed over disjoint blocks of
     // the larger output axis — exact and deterministic for any thread
     // count. The TT stages are short and wide, hence the column split.
+    // Within a block the chain runs in SIMD lanes across columns
+    // (quant/fxp_simd.hh), bit-identical to the scalar chain.
+    const simd::Isa isa = simd::activeIsa();
+    if (obs::enabled())
+        gemm::KernelStats::get().simd_isa.set(
+            static_cast<int64_t>(isa));
     auto block = [&](size_t i0, size_t i1, size_t j0, size_t j1) {
-        for (size_t i = i0; i < i1; ++i) {
-            const int16_t *wrow = w + i * k;
-            for (size_t j = j0; j < j1; ++j) {
-                int64_t acc = 0;
-                for (size_t kk = 0; kk < k; ++kk)
-                    accumulate(acc,
-                               macProduct(wrow[kk], x[kk * n + j], fmt),
-                               fmt.acc_bits);
-                out[i * n + j] = requantizeAcc(acc, fmt);
-            }
-        }
+        fxpBlock(isa, k, n, w, x, fmt, out, i0, i1, j0, j1);
     };
     if (m * k * n < gemm::kParallelMinWork) {
         block(0, m, 0, n);
@@ -165,24 +163,12 @@ fxpMatmulGathered(size_t m, size_t k, const int16_t *w, const int16_t *v,
     const size_t n = g.cols_out * g.batch;
     // Same partitioning and per-element MAC order as fxpMatmulRaw; the
     // gathered operand read changes no result bit.
+    const simd::Isa isa = simd::activeIsa();
+    if (obs::enabled())
+        gemm::KernelStats::get().simd_isa.set(
+            static_cast<int64_t>(isa));
     auto block = [&](size_t i0, size_t i1, size_t j0, size_t j1) {
-        for (size_t i = i0; i < i1; ++i) {
-            const int16_t *wrow = w + i * k;
-            for (size_t j = j0; j < j1; ++j) {
-                const size_t b = j / g.cols_out;
-                const size_t q = j - b * g.cols_out;
-                const int16_t *vb = v + b * g.block_stride;
-                int64_t acc = 0;
-                for (size_t kk = 0; kk < k; ++kk)
-                    accumulate(
-                        acc,
-                        macProduct(wrow[kk],
-                                   vb[g.offset[kk * g.cols_out + q]],
-                                   fmt),
-                        fmt.acc_bits);
-                out[i * n + j] = requantizeAcc(acc, fmt);
-            }
-        }
+        fxpBlockGathered(isa, k, w, v, g, fmt, out, i0, i1, j0, j1);
     };
     if (m * k * n < gemm::kParallelMinWork) {
         block(0, m, 0, n);

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SIMD implementation of the TIE fixed-point MAC chain.
+ *
+ * The datapath semantics (quant/fxp.hh) make the k order of every
+ * output element significant: each product is pre-shifted with
+ * rounding, then accumulated with saturation into a 24-bit register.
+ * The SIMD kernels therefore vectorize across *output columns* only —
+ * each int32 lane replays one element's full sequential chain
+ * (multiply, rounding shift, saturating accumulate, requantize) with
+ * the exact integer semantics of macProduct / accumulate /
+ * requantizeAcc — so every ISA is bit-identical to the scalar chain by
+ * construction, including remainder columns, which run the scalar
+ * code.
+ *
+ * Lane math runs in 32-bit registers, which is exact only when the
+ * intermediate |acc + product| cannot exceed int32 (fxpSimdEligible);
+ * the TIE datapath (16-bit operands, 24-bit accumulator, 8-bit product
+ * shift) qualifies with a wide margin. Ineligible formats always take
+ * the scalar chain, on every ISA.
+ */
+
+#ifndef TIE_QUANT_FXP_SIMD_HH
+#define TIE_QUANT_FXP_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/simd.hh"
+
+namespace tie {
+
+struct MacFormat;
+namespace gemm {
+struct GatherB;
+}
+
+/**
+ * True when @p fmt's MAC chain is exact in 32-bit lanes: accumulator
+ * and shifts narrow enough that no intermediate exceeds int32, and a
+ * non-negative requantize shift (the datapath never widens on output).
+ */
+bool fxpSimdEligible(const MacFormat &fmt);
+
+/**
+ * out[i0:i1, j0:j1) of the m x n fixed-point GEMM out = w (m x k) *
+ * x (k x n), all row-major int16 raw values — the block kernel behind
+ * fxpMatmulRaw. Isa::Scalar (or an ineligible @p fmt) runs the
+ * reference chain; every other ISA is bit-identical to it.
+ */
+void fxpBlock(simd::Isa isa, size_t k, size_t n, const int16_t *w,
+              const int16_t *x, const MacFormat &fmt, int16_t *out,
+              size_t i0, size_t i1, size_t j0, size_t j1);
+
+/**
+ * Gathered-operand variant behind fxpMatmulGathered: the B operand is
+ * read through the gemm::GatherB view @p g (the fused inter-stage
+ * Transform of tt/infer_session). n is g.cols_out * g.batch.
+ */
+void fxpBlockGathered(simd::Isa isa, size_t k, const int16_t *w,
+                      const int16_t *v, const gemm::GatherB &g,
+                      const MacFormat &fmt, int16_t *out, size_t i0,
+                      size_t i1, size_t j0, size_t j1);
+
+} // namespace tie
+
+#endif // TIE_QUANT_FXP_SIMD_HH

@@ -18,6 +18,12 @@
  * so results are bit-identical to compactInfer / compactInferFxp for
  * every shape, batch and thread count — tests assert exact equality.
  *
+ * Both the fused and materialized stage loops execute on the SIMD
+ * kernel layer (linalg/simd.hh) through gemmBlocked /
+ * gemmGatheredBlocked / fxpMatmulRaw / fxpMatmulGathered, so session
+ * outputs are additionally bit-identical across dispatch ISAs
+ * (TIE_SIMD); the active path is reported by the simd.isa gauge.
+ *
  * compactInfer, compactInferVec and compactInferFxp (tt_infer.hh) are
  * thin wrappers over a transient session; long-lived callers
  * (TieEngine, TtDense, the simulator-facing benches) hold one.

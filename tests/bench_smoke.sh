@@ -19,7 +19,7 @@ trap 'rm -rf "$DIR"' EXIT
 
 if [ "$1" = "--micro" ]; then
     BIN="$2"
-    (cd "$DIR" && "$BIN" --benchmark_filter='BM_TtInfer' \
+    (cd "$DIR" && "$BIN" --benchmark_filter='BM_TtInfer|_Isa' \
                          --benchmark_min_time=0.01 >/dev/null 2>&1)
     python3 -m json.tool "$DIR/BENCH_micro.json" >/dev/null
     python3 - "$DIR/BENCH_micro.json" <<'EOF'
@@ -28,7 +28,10 @@ r = json.load(open(sys.argv[1]))
 names = {b["name"] for b in r["benchmarks"]}
 for want in ("BM_TtInfer_PerCall/1", "BM_TtInfer_Session/1",
              "BM_TtInfer_Session_Materialized/1",
-             "BM_TtInferFxp_PerCall/1", "BM_TtInferFxp_Session/1"):
+             "BM_TtInferFxp_PerCall/1", "BM_TtInferFxp_Session/1",
+             # the per-ISA SIMD sweeps always include the scalar path
+             "BM_GemmF32_Isa/scalar", "BM_GemmGatheredF32_Isa/scalar",
+             "BM_FxpMatmul_Isa/scalar"):
     assert want in names, f"missing {want}: {sorted(names)}"
 EOF
     echo "micro bench smoke ok"
@@ -65,6 +68,10 @@ counters = r["stats"]["counters"]
 assert counters["serve.accepted"] > 0
 assert counters["serve.completed"] > 0
 assert counters["serve.batches"] > 0
+
+# Every report must record which SIMD path served the kernels.
+assert "simd.isa" in r["stats"]["gauges"], r["stats"]["gauges"]
+assert r["stats"]["gauges"]["simd.isa"] in (0, 1, 2, 3)
 
 dists = r["stats"]["distributions"]
 for name in ("serve.queue_wait_us", "serve.batch_size",

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the SIMD kernel layer (linalg/simd.hh, quant/fxp_simd.hh):
+ * TIE_SIMD resolution, and the determinism contract — every supported
+ * ISA must be bit-identical to the scalar reference for the float,
+ * double and fixed-point kernels, including remainder columns and
+ * unaligned block starts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "linalg/gemm.hh"
+#include "linalg/simd.hh"
+#include "quant/fxp.hh"
+#include "quant/fxp_simd.hh"
+
+namespace tie {
+namespace {
+
+using simd::Isa;
+
+/** Every ISA this build + host can actually execute. */
+std::vector<Isa>
+supportedIsas()
+{
+    std::vector<Isa> out;
+    for (Isa isa : {Isa::Scalar, Isa::Sse42, Isa::Avx2, Isa::Neon}) {
+        if (simd::isaSupported(isa))
+            out.push_back(isa);
+    }
+    return out;
+}
+
+constexpr unsigned kAll = 0xf; // synthetic mask: everything supported
+constexpr unsigned
+bit(Isa isa)
+{
+    return 1u << static_cast<unsigned>(isa);
+}
+
+TEST(SimdResolve, EmptyPicksBestSupported)
+{
+    EXPECT_EQ(simd::resolveIsa(nullptr, kAll), Isa::Avx2);
+    EXPECT_EQ(simd::resolveIsa("", kAll), Isa::Avx2);
+    EXPECT_EQ(simd::resolveIsa(nullptr, bit(Isa::Scalar) | bit(Isa::Sse42)),
+              Isa::Sse42);
+    EXPECT_EQ(simd::resolveIsa(nullptr, bit(Isa::Scalar) | bit(Isa::Neon)),
+              Isa::Neon);
+    EXPECT_EQ(simd::resolveIsa(nullptr, bit(Isa::Scalar)), Isa::Scalar);
+}
+
+TEST(SimdResolve, ExplicitNamesResolve)
+{
+    EXPECT_EQ(simd::resolveIsa("scalar", kAll), Isa::Scalar);
+    EXPECT_EQ(simd::resolveIsa("sse", kAll), Isa::Sse42);
+    EXPECT_EQ(simd::resolveIsa("avx2", kAll), Isa::Avx2);
+    EXPECT_EQ(simd::resolveIsa("neon", kAll), Isa::Neon);
+    // scalar is always supported, even with a bare mask.
+    EXPECT_EQ(simd::resolveIsa("scalar", bit(Isa::Scalar)), Isa::Scalar);
+}
+
+TEST(SimdResolve, UnsupportedRequestIsFatal)
+{
+    EXPECT_EXIT(simd::resolveIsa("avx2", bit(Isa::Scalar)),
+                ::testing::ExitedWithCode(1), "not supported");
+    EXPECT_EXIT(simd::resolveIsa("neon", bit(Isa::Scalar) | bit(Isa::Avx2)),
+                ::testing::ExitedWithCode(1), "not supported");
+}
+
+TEST(SimdResolve, MalformedValueIsFatal)
+{
+    EXPECT_EXIT(simd::resolveIsa("avx512", kAll),
+                ::testing::ExitedWithCode(1),
+                "must be scalar, sse, avx2 or neon");
+    EXPECT_EXIT(simd::resolveIsa("AVX2", kAll),
+                ::testing::ExitedWithCode(1),
+                "must be scalar, sse, avx2 or neon");
+}
+
+TEST(SimdResolve, ActiveIsaIsSupportedAndStable)
+{
+    const Isa isa = simd::activeIsa();
+    EXPECT_TRUE(simd::isaSupported(isa));
+    EXPECT_EQ(simd::activeIsa(), isa);
+    EXPECT_EQ(gemm::simdWidth(), simd::floatLanes(isa));
+}
+
+TEST(SimdResolve, MaskAndLanesAreConsistent)
+{
+    EXPECT_TRUE(simd::supportedMask() & bit(Isa::Scalar));
+    EXPECT_EQ(simd::floatLanes(Isa::Scalar), 1u);
+    EXPECT_EQ(simd::doubleLanes(Isa::Scalar), 1u);
+    EXPECT_EQ(simd::floatLanes(Isa::Avx2), 8u);
+    EXPECT_EQ(simd::doubleLanes(Isa::Avx2), 4u);
+    EXPECT_EQ(simd::floatLanes(Isa::Sse42), 4u);
+    EXPECT_EQ(simd::fxpLanes(Isa::Neon), 4u);
+    for (Isa isa : supportedIsas())
+        EXPECT_STRNE(simd::isaName(isa), "");
+}
+
+// ---------------------------------------------------------------------
+// Float / double GEMM bit-identity vs the scalar reference.
+// ---------------------------------------------------------------------
+
+template <typename T>
+std::vector<T>
+randomBuf(size_t count, Rng &rng)
+{
+    std::vector<T> out(count);
+    for (auto &v : out)
+        v = static_cast<T>(rng.uniform(-2.0, 2.0));
+    return out;
+}
+
+// Shapes chosen to exercise full vectors, remainder columns for every
+// lane width (8/4/1) and degenerate edges.
+struct Shape
+{
+    size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},  {2, 3, 5},   {4, 8, 7},  {3, 16, 8},   {5, 7, 9},
+    {8, 4, 16}, {2, 130, 33}, {16, 9, 64}, {1, 5, 257},
+};
+
+template <typename T>
+void
+checkGemmBitIdentity()
+{
+    Rng rng(0x51a11);
+    for (const Shape &s : kShapes) {
+        const auto a = randomBuf<T>(s.m * s.k, rng);
+        const auto b = randomBuf<T>(s.k * s.n, rng);
+        std::vector<T> ref(s.m * s.n, T(0));
+        simd::Isa scalar = Isa::Scalar;
+        if constexpr (std::is_same_v<T, float>)
+            simd::gemmTileF32(scalar, s.n, s.k, a.data(), b.data(),
+                              ref.data(), 0, s.m, 0, s.n);
+        else
+            simd::gemmTileF64(scalar, s.n, s.k, a.data(), b.data(),
+                              ref.data(), 0, s.m, 0, s.n);
+        for (Isa isa : supportedIsas()) {
+            std::vector<T> c(s.m * s.n, T(0));
+            if constexpr (std::is_same_v<T, float>)
+                simd::gemmTileF32(isa, s.n, s.k, a.data(), b.data(),
+                                  c.data(), 0, s.m, 0, s.n);
+            else
+                simd::gemmTileF64(isa, s.n, s.k, a.data(), b.data(),
+                                  c.data(), 0, s.m, 0, s.n);
+            EXPECT_EQ(std::memcmp(c.data(), ref.data(),
+                                  c.size() * sizeof(T)),
+                      0)
+                << simd::isaName(isa) << " " << s.m << "x" << s.k << "x"
+                << s.n;
+        }
+    }
+}
+
+TEST(SimdGemm, F32BitIdenticalToScalarOnEveryIsa)
+{
+    checkGemmBitIdentity<float>();
+}
+
+TEST(SimdGemm, F64BitIdenticalToScalarOnEveryIsa)
+{
+    checkGemmBitIdentity<double>();
+}
+
+TEST(SimdGemm, UnalignedColumnWindowMatchesScalar)
+{
+    // j0 not a lane multiple and j1 short of one: both the leading
+    // partial block and the tail must match the scalar chain, and
+    // nothing outside [j0, j1) may be written.
+    Rng rng(0xbeef);
+    const size_t m = 3, k = 11, n = 37;
+    const auto a = randomBuf<float>(m * k, rng);
+    const auto b = randomBuf<float>(k * n, rng);
+    for (size_t j0 : {size_t(1), size_t(5), size_t(13)}) {
+        const size_t j1 = n - 2;
+        std::vector<float> ref(m * n, -7.0f), c(m * n, -7.0f);
+        simd::gemmTileF32(Isa::Scalar, n, k, a.data(), b.data(),
+                          ref.data(), 0, m, j0, j1);
+        for (Isa isa : supportedIsas()) {
+            std::fill(c.begin(), c.end(), -7.0f);
+            simd::gemmTileF32(isa, n, k, a.data(), b.data(), c.data(),
+                              0, m, j0, j1);
+            EXPECT_EQ(std::memcmp(c.data(), ref.data(),
+                                  c.size() * sizeof(float)),
+                      0)
+                << simd::isaName(isa) << " j0=" << j0;
+        }
+    }
+}
+
+TEST(SimdGemm, GatheredMatchesMaterializedOnEveryIsa)
+{
+    Rng rng(0x6a7);
+    const size_t m = 4, k = 12, cols_out = 21, batch = 3;
+    const size_t n = cols_out * batch;
+    const auto a = randomBuf<float>(m * k, rng);
+    const auto v = randomBuf<float>(k * n, rng);
+
+    // Random gather table over one batch block of v.
+    std::vector<size_t> offset(k * cols_out);
+    for (auto &o : offset)
+        o = static_cast<size_t>(rng.intIn(0, k * cols_out - 1));
+    const size_t block_stride = k * cols_out;
+
+    // Materialize B explicitly, then compare every ISA's gathered
+    // kernel against scalar-dense on the materialized operand.
+    std::vector<float> bmat(k * n);
+    for (size_t kk = 0; kk < k; ++kk)
+        for (size_t bb = 0; bb < batch; ++bb)
+            for (size_t q = 0; q < cols_out; ++q)
+                bmat[kk * n + bb * cols_out + q] =
+                    v[offset[kk * cols_out + q] + bb * block_stride];
+    std::vector<float> ref(m * n, 0.0f);
+    simd::gemmTileF32(Isa::Scalar, n, k, a.data(), bmat.data(),
+                      ref.data(), 0, m, 0, n);
+
+    for (Isa isa : supportedIsas()) {
+        std::vector<float> c(m * n, 0.0f);
+        simd::gemmTileGatheredF32(isa, n, k, a.data(), v.data(),
+                                  offset.data(), cols_out, block_stride,
+                                  c.data(), 0, m, 0, n);
+        EXPECT_EQ(std::memcmp(c.data(), ref.data(),
+                              c.size() * sizeof(float)),
+                  0)
+            << simd::isaName(isa);
+    }
+
+    std::vector<double> ad(a.begin(), a.end()), vd(v.begin(), v.end());
+    std::vector<double> refd(m * n, 0.0);
+    std::vector<double> bmatd(bmat.begin(), bmat.end());
+    simd::gemmTileF64(Isa::Scalar, n, k, ad.data(), bmatd.data(),
+                      refd.data(), 0, m, 0, n);
+    for (Isa isa : supportedIsas()) {
+        std::vector<double> c(m * n, 0.0);
+        simd::gemmTileGatheredF64(isa, n, k, ad.data(), vd.data(),
+                                  offset.data(), cols_out, block_stride,
+                                  c.data(), 0, m, 0, n);
+        EXPECT_EQ(std::memcmp(c.data(), refd.data(),
+                              c.size() * sizeof(double)),
+                  0)
+            << simd::isaName(isa);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixed-point MAC chain bit-identity.
+// ---------------------------------------------------------------------
+
+std::vector<int16_t>
+randomI16(size_t count, Rng &rng, int16_t lo = -32768, int16_t hi = 32767)
+{
+    std::vector<int16_t> out(count);
+    for (auto &v : out)
+        v = static_cast<int16_t>(rng.intIn(lo, hi));
+    return out;
+}
+
+void
+checkFxpBitIdentity(const MacFormat &fmt, uint64_t seed)
+{
+    Rng rng(seed);
+    for (const Shape &s : kShapes) {
+        const auto w = randomI16(s.m * s.k, rng);
+        const auto x = randomI16(s.k * s.n, rng);
+        std::vector<int16_t> ref(s.m * s.n, 0);
+        fxpBlock(Isa::Scalar, s.k, s.n, w.data(), x.data(), fmt,
+                 ref.data(), 0, s.m, 0, s.n);
+        for (Isa isa : supportedIsas()) {
+            std::vector<int16_t> out(s.m * s.n, 0);
+            fxpBlock(isa, s.k, s.n, w.data(), x.data(), fmt, out.data(),
+                     0, s.m, 0, s.n);
+            EXPECT_EQ(out, ref)
+                << simd::isaName(isa) << " " << s.m << "x" << s.k << "x"
+                << s.n;
+        }
+    }
+}
+
+TEST(SimdFxp, DefaultFormatBitIdenticalOnEveryIsa)
+{
+    MacFormat fmt; // the TIE datapath: 24-bit acc, 8-bit product shift
+    ASSERT_TRUE(fxpSimdEligible(fmt));
+    checkFxpBitIdentity(fmt, 0xf1);
+}
+
+TEST(SimdFxp, SaturatingFormatsBitIdenticalOnEveryIsa)
+{
+    // Narrow accumulator + no product shift: saturation fires
+    // constantly, the harshest test of the lane-wise clamp chain.
+    MacFormat fmt;
+    fmt.acc_bits = 12;
+    fmt.product_shift = 0;
+    fmt.act_out = FxpFormat{8, 2};
+    ASSERT_TRUE(fxpSimdEligible(fmt));
+    checkFxpBitIdentity(fmt, 0xf2);
+
+    // Widening requantize shift (negative rshift) is ineligible and
+    // must still be bit-identical via the scalar fallback.
+    MacFormat widen;
+    widen.act_out = FxpFormat{16, 14};
+    ASSERT_LT(widen.accFracBits(), widen.act_out.frac_bits);
+    EXPECT_FALSE(fxpSimdEligible(widen));
+    checkFxpBitIdentity(widen, 0xf3);
+
+    // Widest still-eligible accumulator.
+    MacFormat wide;
+    wide.acc_bits = 30;
+    ASSERT_TRUE(fxpSimdEligible(wide));
+    checkFxpBitIdentity(wide, 0xf4);
+}
+
+TEST(SimdFxp, UnalignedColumnWindowMatchesScalar)
+{
+    MacFormat fmt;
+    Rng rng(0xaced);
+    const size_t m = 2, k = 9, n = 29;
+    const auto w = randomI16(m * k, rng);
+    const auto x = randomI16(k * n, rng);
+    for (size_t j0 : {size_t(1), size_t(3), size_t(11)}) {
+        const size_t j1 = n - 1;
+        std::vector<int16_t> ref(m * n, 99), out(m * n, 99);
+        fxpBlock(Isa::Scalar, k, n, w.data(), x.data(), fmt, ref.data(),
+                 0, m, j0, j1);
+        for (Isa isa : supportedIsas()) {
+            std::fill(out.begin(), out.end(), int16_t(99));
+            fxpBlock(isa, k, n, w.data(), x.data(), fmt, out.data(),
+                     0, m, j0, j1);
+            EXPECT_EQ(out, ref) << simd::isaName(isa) << " j0=" << j0;
+        }
+    }
+}
+
+TEST(SimdFxp, GatheredMatchesMaterializedOnEveryIsa)
+{
+    MacFormat fmt;
+    Rng rng(0x9a7);
+    const size_t m = 3, k = 10, cols_out = 13, batch = 4;
+    const size_t n = cols_out * batch;
+    const auto w = randomI16(m * k, rng);
+    const auto v = randomI16(k * n, rng);
+
+    std::vector<size_t> offset(k * cols_out);
+    for (auto &o : offset)
+        o = static_cast<size_t>(rng.intIn(0, k * cols_out - 1));
+    gemm::GatherB g;
+    g.offset = offset.data();
+    g.cols_out = cols_out;
+    g.block_stride = k * cols_out;
+    g.batch = batch;
+
+    std::vector<int16_t> xmat(k * n);
+    for (size_t kk = 0; kk < k; ++kk)
+        for (size_t bb = 0; bb < batch; ++bb)
+            for (size_t q = 0; q < cols_out; ++q)
+                xmat[kk * n + bb * cols_out + q] =
+                    v[offset[kk * cols_out + q] + bb * g.block_stride];
+    std::vector<int16_t> ref(m * n, 0);
+    fxpBlock(Isa::Scalar, k, n, w.data(), xmat.data(), fmt, ref.data(),
+             0, m, 0, n);
+
+    for (Isa isa : supportedIsas()) {
+        std::vector<int16_t> out(m * n, 0);
+        fxpBlockGathered(isa, k, w.data(), v.data(), g, fmt, out.data(),
+                         0, m, 0, n);
+        EXPECT_EQ(out, ref) << simd::isaName(isa);
+    }
+}
+
+TEST(SimdFxp, PublicMatmulMatchesPerElementChain)
+{
+    // The public entry point (whatever ISA is active) must equal the
+    // documented per-element scalar chain computed with the public
+    // scalar helpers.
+    MacFormat fmt;
+    Rng rng(0x77);
+    const size_t m = 5, k = 17, n = 23;
+    Matrix<int16_t> w(m, k), x(k, n);
+    for (auto &v : w.flat())
+        v = static_cast<int16_t>(rng.intIn(-32768, 32767));
+    for (auto &v : x.flat())
+        v = static_cast<int16_t>(rng.intIn(-32768, 32767));
+    Matrix<int16_t> out = fxpMatmul(w, x, fmt);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            int64_t acc = 0;
+            for (size_t kk = 0; kk < k; ++kk)
+                accumulate(acc, macProduct(w.at(i, kk), x.at(kk, j), fmt),
+                           fmt.acc_bits);
+            ASSERT_EQ(out.at(i, j), requantizeAcc(acc, fmt))
+                << i << "," << j;
+        }
+    }
+}
+
+} // namespace
+} // namespace tie
