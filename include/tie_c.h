@@ -1,0 +1,141 @@
+/**
+ * @file
+ * C FFI over the TIE inference engine: save/load .tie model
+ * artifacts, run inference sessions, and serve models through the
+ * hot-swap registry — from C (or anything with a C FFI).
+ *
+ * Conventions:
+ *  - Every object is an opaque handle freed with its tie_*_free().
+ *    Freeing NULL is a no-op.
+ *  - Functions return a tie_status; on anything but TIE_OK a
+ *    diagnostic is available from tie_last_error() (thread-local,
+ *    valid until the same thread's next failing call).
+ *  - Recoverable problems — unreadable/corrupt artifacts, unknown
+ *    model names, bad dimensions — come back as statuses. Invariant
+ *    violations deep inside the engine remain fail-stop (the process
+ *    exits with a diagnostic), matching the C++ library's contract.
+ *
+ * The full artifact format and the registry's hot-swap semantics are
+ * documented in docs/serialization.md.
+ */
+
+#ifndef TIE_C_H
+#define TIE_C_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef enum tie_status
+{
+    TIE_OK = 0,
+    TIE_ERR_ARG = 1,   /* bad argument (NULL handle, size mismatch) */
+    TIE_ERR_IO = 2,    /* unreadable, corrupt or truncated artifact */
+    TIE_ERR_STATE = 3, /* bad state (unknown model, rejected request) */
+} tie_status;
+
+/** Last failure diagnostic of the calling thread ("" if none). */
+const char *tie_last_error(void);
+
+/* ------------------------------------------------------------------ */
+/* Models                                                             */
+/* ------------------------------------------------------------------ */
+
+/** A loaded (or synthesized) TT model: a chain of >= 1 TT layers. */
+typedef struct tie_model tie_model;
+
+/** Load and fully validate a .tie artifact (mmap, zero-copy). */
+tie_status tie_model_load(const char *path, tie_model **out);
+
+/**
+ * Synthesize a random single-layer TT model for testing: d factors
+ * m[i] x n[i], uniform interior rank, deterministic in seed.
+ */
+tie_status tie_model_synth(const size_t *m, const size_t *n, size_t d,
+                           size_t rank, uint64_t seed, tie_model **out);
+
+/** Save a model as a .tie artifact (atomic tmp-file + rename). */
+tie_status tie_model_save(const tie_model *model, const char *path);
+
+void tie_model_free(tie_model *model);
+
+size_t tie_model_layer_count(const tie_model *model);
+size_t tie_model_in_size(const tie_model *model);
+size_t tie_model_out_size(const tie_model *model);
+/** 1 when the artifact carries a quantized fixed-point twin. */
+int tie_model_has_fxp(const tie_model *model);
+
+/* ------------------------------------------------------------------ */
+/* Inference sessions                                                 */
+/* ------------------------------------------------------------------ */
+
+/**
+ * A reusable single-thread inference session over a model's layer
+ * chain. Creation warms every buffer for batches up to max_batch;
+ * tie_session_infer is allocation-free after that. Not thread-safe;
+ * create one per thread (cheap — weights are shared).
+ */
+typedef struct tie_session tie_session;
+
+tie_status tie_session_create(const tie_model *model, size_t max_batch,
+                              tie_session **out);
+
+/**
+ * Run @p batch inputs through the chain. @p x holds in_size * batch
+ * doubles (request b is column b, row-major in_size x batch); @p y
+ * receives out_size * batch doubles in the same layout. Outputs are
+ * bit-identical across batch sizes and ISAs.
+ */
+tie_status tie_session_infer(tie_session *session, const double *x,
+                             size_t batch, double *y);
+
+void tie_session_free(tie_session *session);
+
+/* ------------------------------------------------------------------ */
+/* Registry                                                           */
+/* ------------------------------------------------------------------ */
+
+/**
+ * A hot-swap model registry: N named models, each behind a warmed
+ * dynamic-batching server. Re-publishing a name atomically swaps in
+ * the new version and drains the old — no accepted request is lost.
+ * Thread-safe.
+ */
+typedef struct tie_registry tie_registry;
+
+tie_status tie_registry_create(tie_registry **out);
+
+/**
+ * Publish (or hot-swap) @p model under @p name. The registry keeps
+ * its own reference; the caller still owns and must free @p model.
+ * @p version_out (optional) receives the new version, starting at 1.
+ */
+tie_status tie_registry_publish(tie_registry *reg, const char *name,
+                                const tie_model *model,
+                                uint64_t *version_out);
+
+/** Remove a model and drain its server. */
+tie_status tie_registry_unload(tie_registry *reg, const char *name);
+
+/**
+ * Synchronous single-request inference against the current version
+ * of @p name: submit, wait, copy the output. TIE_ERR_STATE for
+ * unknown names and shed (rejected / timed-out) requests.
+ */
+tie_status tie_registry_infer(tie_registry *reg, const char *name,
+                              const double *x, size_t in_size,
+                              double *y, size_t out_size);
+
+/** Current version of @p name (0 when unknown). */
+uint64_t tie_registry_version(tie_registry *reg, const char *name);
+
+void tie_registry_free(tie_registry *reg);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* TIE_C_H */

@@ -1,0 +1,37 @@
+#include "io/crc32.hh"
+
+#include <array>
+
+namespace tie {
+namespace io {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t crc)
+{
+    static const std::array<uint32_t, 256> table = makeTable();
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace io
+} // namespace tie

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3: polynomial 0xEDB88320, reflected, init/final
+ * xor 0xFFFFFFFF) — the per-section integrity check of the .tie model
+ * artifact (tie_format.hh). Self-contained table-driven
+ * implementation; matches zlib's crc32() bit for bit.
+ */
+
+#ifndef TIE_IO_CRC32_HH
+#define TIE_IO_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tie {
+namespace io {
+
+/**
+ * Checksum @p len bytes at @p data. @p crc chains calls: pass the
+ * previous return value to continue a running checksum over
+ * discontiguous pieces; start (and one-shot callers stay) at 0.
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t crc = 0);
+
+} // namespace io
+} // namespace tie
+
+#endif // TIE_IO_CRC32_HH

@@ -249,15 +249,29 @@ std::vector<std::vector<double>>
 referenceOutputs(const std::vector<const TtMatrix *> &model,
                  uint64_t seed, size_t requests, SessionOptions session)
 {
+    std::vector<TtLayerViewD> views;
+    views.reserve(model.size());
+    for (const TtMatrix *layer : model) {
+        TIE_CHECK_ARG(layer != nullptr,
+                      "referenceOutputs got a null layer");
+        views.push_back(layerView(*layer));
+    }
+    return referenceOutputs(views, seed, requests, session);
+}
+
+std::vector<std::vector<double>>
+referenceOutputs(const std::vector<TtLayerViewD> &model, uint64_t seed,
+                 size_t requests, SessionOptions session)
+{
     TIE_CHECK_ARG(!model.empty(),
                   "referenceOutputs needs at least one layer");
     std::vector<InferSessionD> sessions;
     sessions.reserve(model.size());
-    for (const TtMatrix *layer : model)
-        sessions.push_back(makeSession(*layer, session));
+    for (const TtLayerViewD &layer : model)
+        sessions.push_back(InferSessionD(layer, session));
 
     std::vector<std::vector<double>> out(requests);
-    std::vector<double> cur(model.front()->config().inSize());
+    std::vector<double> cur(model.front().cfg.inSize());
     std::vector<double> nxt;
     for (size_t i = 0; i < requests; ++i) {
         fillRequestInput(seed, i, cur);
@@ -269,7 +283,7 @@ referenceOutputs(const std::vector<const TtMatrix *> &model,
             std::swap(a, b);
         }
         out[i] = *a;
-        cur.resize(model.front()->config().inSize());
+        cur.resize(model.front().cfg.inSize());
     }
     return out;
 }

@@ -83,6 +83,11 @@ referenceOutputs(const std::vector<const TtMatrix *> &model,
                  uint64_t seed, size_t requests,
                  SessionOptions session = {});
 
+/** View-chain overload (e.g. layers of a mapped io::TieModel). */
+std::vector<std::vector<double>>
+referenceOutputs(const std::vector<TtLayerViewD> &model, uint64_t seed,
+                 size_t requests, SessionOptions session = {});
+
 /** Exact summary of @p samples (sorted in place); zeros when empty. */
 LatencySummary summarize(std::vector<double> &samples);
 

@@ -1,0 +1,220 @@
+#include "serve/model_registry.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace tie {
+namespace serve {
+
+/**
+ * One published (name, version): the weights — owned matrices or a
+ * mapped artifact — plus the warmed server over them. Tickets and the
+ * registry map share the entry; the last reference drops the server
+ * (already stopped by then) and with it the weight storage.
+ */
+struct ModelRegistry::Entry
+{
+    uint64_t version = 0;
+    io::TieModel artifact;      ///< keeps the mmap alive (may be empty)
+    std::vector<TtMatrix> owned; ///< owned-weights alternative
+    std::unique_ptr<Server> server;
+};
+
+ModelRegistry::ModelRegistry(ServerOptions opts) : opts_(opts) {}
+
+ModelRegistry::~ModelRegistry()
+{
+    // Collect under the lock, drain outside it: stop() blocks on
+    // worker joins and must not hold mu_ while tickets complete.
+    std::map<std::string, std::shared_ptr<Entry>> all;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        all.swap(models_);
+    }
+    for (auto &kv : all)
+        kv.second->server->stop();
+}
+
+uint64_t
+ModelRegistry::publishEntry(const std::string &name,
+                            std::shared_ptr<Entry> entry)
+{
+    std::shared_ptr<Entry> displaced;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::shared_ptr<Entry> &slot = models_[name];
+        entry->version = slot != nullptr ? slot->version + 1 : 1;
+        displaced = std::move(slot);
+        slot = entry;
+    }
+    // The new version is live; drain the old one. Requests that raced
+    // the swap onto the displaced server were *accepted* and are run
+    // to completion here — their tickets pin the entry.
+    if (displaced != nullptr)
+        displaced->server->stop();
+    return entry->version;
+}
+
+uint64_t
+ModelRegistry::publish(const std::string &name, io::TieModel model)
+{
+    TIE_CHECK_ARG(model.valid(),
+                  "cannot publish an empty TieModel as '", name, "'");
+    auto entry = std::make_shared<Entry>();
+    entry->artifact = std::move(model);
+    // The server's views alias the mapping the entry keeps alive.
+    entry->server = std::make_unique<Server>(entry->artifact.layers(),
+                                             opts_);
+    return publishEntry(name, std::move(entry));
+}
+
+uint64_t
+ModelRegistry::publish(const std::string &name,
+                       std::vector<TtMatrix> model)
+{
+    TIE_CHECK_ARG(!model.empty(), "cannot publish an empty chain as '",
+                  name, "'");
+    auto entry = std::make_shared<Entry>();
+    entry->owned = std::move(model);
+    std::vector<TtLayerViewD> views;
+    views.reserve(entry->owned.size());
+    for (const TtMatrix &tt : entry->owned)
+        views.push_back(layerView(tt));
+    entry->server = std::make_unique<Server>(std::move(views), opts_);
+    return publishEntry(name, std::move(entry));
+}
+
+uint64_t
+ModelRegistry::publish(const std::string &name, const TtMatrix &model)
+{
+    std::vector<TtMatrix> chain;
+    chain.push_back(model);
+    return publish(name, std::move(chain));
+}
+
+bool
+ModelRegistry::unload(const std::string &name)
+{
+    std::shared_ptr<Entry> displaced;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = models_.find(name);
+        if (it == models_.end())
+            return false;
+        displaced = std::move(it->second);
+        models_.erase(it);
+    }
+    displaced->server->stop();
+    return true;
+}
+
+std::shared_ptr<ModelRegistry::Entry>
+ModelRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = models_.find(name);
+    return it != models_.end() ? it->second : nullptr;
+}
+
+RegistryTicket
+ModelRegistry::submit(const std::string &name, const double *x,
+                      uint64_t deadline_us)
+{
+    RegistryTicket t;
+    TIE_CHECK_ARG(trySubmit(name, x, deadline_us, &t),
+                  "no model named '", name, "' is registered");
+    return t;
+}
+
+bool
+ModelRegistry::trySubmit(const std::string &name, const double *x,
+                         uint64_t deadline_us, RegistryTicket *out)
+{
+    std::shared_ptr<Entry> entry = find(name);
+    if (entry == nullptr)
+        return false;
+    out->ticket_ = entry->server->submit(x, deadline_us);
+    out->server_ = entry->server.get();
+    out->version_ = entry->version;
+    out->entry_ = std::move(entry);
+    return true;
+}
+
+RegistryTicket
+ModelRegistry::submit(const std::string &name,
+                      const std::vector<double> &x, uint64_t deadline_us)
+{
+    std::shared_ptr<Entry> entry = find(name);
+    TIE_CHECK_ARG(entry != nullptr, "no model named '", name,
+                  "' is registered");
+    RegistryTicket t;
+    t.ticket_ = entry->server->submit(x, deadline_us);
+    t.server_ = entry->server.get();
+    t.version_ = entry->version;
+    t.entry_ = std::move(entry);
+    return t;
+}
+
+RequestStatus
+ModelRegistry::wait(RegistryTicket &t, std::vector<double> *out,
+                    RequestTiming *timing)
+{
+    TIE_CHECK_ARG(t.valid(), "wait on an invalid RegistryTicket");
+    return t.server_->wait(t.ticket_, out, timing);
+}
+
+bool
+ModelRegistry::has(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+ModelInfo
+ModelRegistry::info(const std::string &name) const
+{
+    ModelInfo mi;
+    TIE_CHECK_ARG(tryInfo(name, &mi), "no model named '", name,
+                  "' is registered");
+    return mi;
+}
+
+bool
+ModelRegistry::tryInfo(const std::string &name, ModelInfo *out) const
+{
+    std::shared_ptr<Entry> entry = find(name);
+    if (entry == nullptr)
+        return false;
+    ModelInfo mi;
+    mi.name = name;
+    mi.version = entry->version;
+    mi.layers = entry->artifact.valid() ? entry->artifact.layerCount()
+                                        : entry->owned.size();
+    mi.in_size = entry->server->inSize();
+    mi.out_size = entry->server->outSize();
+    mi.from_artifact = entry->artifact.valid();
+    *out = mi;
+    return true;
+}
+
+std::vector<ModelInfo>
+ModelRegistry::list() const
+{
+    std::vector<std::string> names;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (const auto &kv : models_)
+            names.push_back(kv.first);
+    }
+    std::vector<ModelInfo> out;
+    out.reserve(names.size());
+    for (const std::string &n : names) {
+        ModelInfo mi;
+        if (tryInfo(n, &mi)) // racing unloads just drop the row
+            out.push_back(mi);
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace tie

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A registry serving N named, versioned models behind one interface,
+ * with atomic hot-swap.
+ *
+ * Each publish() builds a fully warmed serve::Server over the new
+ * model *before* anything is swapped, then atomically replaces the
+ * entry under the registry lock and finally drains the old server.
+ * The drain ordering is the whole correctness story: stop() on the
+ * displaced server refuses new admissions but runs every already
+ * accepted request to a terminal state, so across a swap **no
+ * accepted request is lost** — submits that race the swap either
+ * land on the old server (and are drained) or on the new one.
+ * In-flight tickets pin their entry via shared_ptr, so waiting on a
+ * ticket after its model was replaced (or unloaded) is safe.
+ *
+ * Models come either from owned TT matrices or from a mapped .tie
+ * artifact (io::TieModel) — the entry keeps the mapping alive while
+ * any server or ticket still references it. See docs/serialization.md
+ * for the artifact side and docs/serving.md for the server semantics.
+ */
+
+#ifndef TIE_SERVE_MODEL_REGISTRY_HH
+#define TIE_SERVE_MODEL_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/tie_format.hh"
+#include "serve/server.hh"
+
+namespace tie {
+namespace serve {
+
+/** Identity + shape summary of one registered model. */
+struct ModelInfo
+{
+    std::string name;
+    uint64_t version = 0; ///< bumps by 1 on every publish
+    size_t layers = 0;
+    size_t in_size = 0;
+    size_t out_size = 0;
+    bool from_artifact = false; ///< backed by a mapped .tie file
+};
+
+/** A submit() outcome: the ticket plus the entry that owns it. */
+class RegistryTicket
+{
+  public:
+    RegistryTicket() = default;
+
+    bool valid() const { return entry_ != nullptr; }
+
+    /** Model version that took the request. */
+    uint64_t version() const { return version_; }
+
+  private:
+    friend class ModelRegistry;
+    std::shared_ptr<void> entry_; ///< pins server + weights
+    Ticket ticket_;
+    Server *server_ = nullptr;
+    uint64_t version_ = 0;
+};
+
+class ModelRegistry
+{
+  public:
+    /** @p opts applies to every server the registry builds. */
+    explicit ModelRegistry(ServerOptions opts = {});
+    ~ModelRegistry(); ///< unloads (drains) every model
+
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
+
+    /**
+     * Publish a mapped artifact under @p name: build + warm a new
+     * server, swap it in atomically, then drain the displaced one
+     * (if any). Returns the new version (1 for a first publish).
+     */
+    uint64_t publish(const std::string &name, io::TieModel model);
+
+    /** Publish an owned matrix chain (copied into the entry). */
+    uint64_t publish(const std::string &name,
+                     std::vector<TtMatrix> model);
+
+    /** Single-layer convenience (copies the matrix). */
+    uint64_t publish(const std::string &name, const TtMatrix &model);
+
+    /**
+     * Remove @p name: unmap it from lookups immediately, then drain
+     * its server. Accepted requests still complete; their tickets
+     * stay collectable. False when the name is unknown.
+     */
+    bool unload(const std::string &name);
+
+    /** Admission-controlled submit to the current version of
+        @p name. fatal() on unknown names — routing to a model that
+        was never published is a caller bug, unlike transient
+        queue-full rejection. */
+    RegistryTicket submit(const std::string &name, const double *x,
+                          uint64_t deadline_us = 0);
+    RegistryTicket submit(const std::string &name,
+                          const std::vector<double> &x,
+                          uint64_t deadline_us = 0);
+
+    /** Non-fatal submit (the C FFI path): false when @p name is
+        unknown, leaving *out invalid. */
+    bool trySubmit(const std::string &name, const double *x,
+                   uint64_t deadline_us, RegistryTicket *out);
+
+    /** Collect; valid even after the model was swapped or unloaded. */
+    RequestStatus wait(RegistryTicket &t,
+                       std::vector<double> *out = nullptr,
+                       RequestTiming *timing = nullptr);
+
+    bool has(const std::string &name) const;
+
+    /** Info for @p name; fatal() when unknown. */
+    ModelInfo info(const std::string &name) const;
+
+    /** Non-fatal info: false when @p name is unknown. */
+    bool tryInfo(const std::string &name, ModelInfo *out) const;
+
+    /** All registered models, name-sorted. */
+    std::vector<ModelInfo> list() const;
+
+  private:
+    struct Entry;
+
+    std::shared_ptr<Entry> find(const std::string &name) const;
+    uint64_t publishEntry(const std::string &name,
+                          std::shared_ptr<Entry> entry);
+
+    ServerOptions opts_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<Entry>> models_;
+};
+
+} // namespace serve
+} // namespace tie
+
+#endif // TIE_SERVE_MODEL_REGISTRY_HH

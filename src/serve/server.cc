@@ -15,21 +15,31 @@ namespace serve {
 namespace {
 
 /** Validate the layer chain once, before any member reads it. */
-std::vector<const TtMatrix *>
-validatedModel(std::vector<const TtMatrix *> model)
+std::vector<TtLayerViewD>
+validatedModel(std::vector<TtLayerViewD> model)
 {
     TIE_CHECK_ARG(!model.empty(), "Server needs at least one layer");
-    for (size_t i = 0; i < model.size(); ++i)
+    for (size_t i = 0; i + 1 < model.size(); ++i)
+        TIE_CHECK_ARG(model[i].cfg.outSize() ==
+                          model[i + 1].cfg.inSize(),
+                      "Server layer ", i, " outputs ",
+                      model[i].cfg.outSize(), " values but layer ",
+                      i + 1, " consumes ", model[i + 1].cfg.inSize());
+    return model;
+}
+
+/** Lift an owned-matrix chain into the view representation. */
+std::vector<TtLayerViewD>
+viewsOfModel(const std::vector<const TtMatrix *> &model)
+{
+    std::vector<TtLayerViewD> views;
+    views.reserve(model.size());
+    for (size_t i = 0; i < model.size(); ++i) {
         TIE_CHECK_ARG(model[i] != nullptr, "Server layer ", i,
                       " is null");
-    for (size_t i = 0; i + 1 < model.size(); ++i)
-        TIE_CHECK_ARG(model[i]->config().outSize() ==
-                          model[i + 1]->config().inSize(),
-                      "Server layer ", i, " outputs ",
-                      model[i]->config().outSize(), " values but layer ",
-                      i + 1, " consumes ",
-                      model[i + 1]->config().inSize());
-    return model;
+        views.push_back(layerView(*model[i]));
+    }
+    return views;
 }
 
 ServerOptions
@@ -56,26 +66,26 @@ slotCount(const ServerOptions &opts)
 
 } // namespace
 
-Server::Server(std::vector<const TtMatrix *> model, ServerOptions opts)
+Server::Server(std::vector<TtLayerViewD> model, ServerOptions opts)
     : model_(validatedModel(std::move(model))),
       opts_(validatedOptions(opts)),
-      in_size_(model_.front()->config().inSize()),
-      out_size_(model_.back()->config().outSize()),
+      in_size_(model_.front().cfg.inSize()),
+      out_size_(model_.back().cfg.outSize()),
       queue_(slotCount(opts_), opts_.queue_capacity, in_size_,
              out_size_)
 {
     // The staging buffers carry every inter-layer interface, so size
     // them for the widest one.
     size_t max_width = in_size_;
-    for (const TtMatrix *layer : model_)
-        max_width = std::max(max_width, layer->config().outSize());
+    for (const TtLayerViewD &layer : model_)
+        max_width = std::max(max_width, layer.cfg.outSize());
 
     workers_.reserve(opts_.workers);
     for (size_t w = 0; w < opts_.workers; ++w) {
         auto wk = std::make_unique<Worker>();
         wk->sessions.reserve(model_.size());
-        for (const TtMatrix *layer : model_)
-            wk->sessions.push_back(makeSession(*layer, opts_.session));
+        for (const TtLayerViewD &layer : model_)
+            wk->sessions.push_back(InferSessionD(layer, opts_.session));
         wk->buf_a.assign(max_width * opts_.max_batch, 0.0);
         wk->buf_b.assign(max_width * opts_.max_batch, 0.0);
         wk->ids.resize(opts_.max_batch);
@@ -97,6 +107,10 @@ Server::Server(std::vector<const TtMatrix *> model, ServerOptions opts)
             workerLoop(*w);
         });
 }
+
+Server::Server(std::vector<const TtMatrix *> model, ServerOptions opts)
+    : Server(viewsOfModel(model), opts)
+{}
 
 Server::Server(const TtMatrix &model, ServerOptions opts)
     : Server(std::vector<const TtMatrix *>{&model}, opts)

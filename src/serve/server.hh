@@ -74,10 +74,15 @@ class Server
   public:
     /**
      * Serve a chain of TT layers applied in order (layer i's output
-     * feeds layer i+1; interface sizes are validated). The matrices
-     * must outlive the server. Workers and their warmed sessions are
-     * started before the constructor returns.
+     * feeds layer i+1; interface sizes are validated). The layer
+     * views' core storage must outlive the server — owned matrices,
+     * or a mapped io::TieModel artifact (kept alive by whoever built
+     * the views, e.g. a ModelRegistry entry). Workers and their
+     * warmed sessions are started before the constructor returns.
      */
+    Server(std::vector<TtLayerViewD> model, ServerOptions opts = {});
+
+    /** Chain of owned TT matrices (must outlive the server). */
     Server(std::vector<const TtMatrix *> model, ServerOptions opts = {});
 
     /** Single-layer convenience. */
@@ -122,7 +127,7 @@ class Server
 
     void workerLoop(Worker &w);
 
-    std::vector<const TtMatrix *> model_;
+    std::vector<TtLayerViewD> model_;
     ServerOptions opts_;
     size_t in_size_ = 0;
     size_t out_size_ = 0;

@@ -183,22 +183,83 @@ flattenOutputInto(const TtLayerConfig &cfg, const T *v1, size_t batch,
 
 } // namespace
 
+namespace {
+
+/** Shared shape validation for the view-based session constructors. */
+template <typename T>
+void
+checkCoreViews(const TtLayerConfig &c,
+               const std::vector<CoreView<T>> &cores)
+{
+    TIE_CHECK_ARG(cores.size() == c.d(), "InferSession needs ", c.d(),
+                  " stage cores, got ", cores.size());
+    for (size_t h = 1; h <= c.d(); ++h) {
+        const CoreView<T> &v = cores[h - 1];
+        TIE_CHECK_ARG(v.data != nullptr, "stage ", h,
+                      " core view is null");
+        TIE_CHECK_ARG(v.rows == c.coreRows(h) && v.cols == c.coreCols(h),
+                      "stage ", h, " core is ", v.rows, "x", v.cols,
+                      ", expected ", c.coreRows(h), "x", c.coreCols(h));
+    }
+}
+
+template <typename T>
+std::vector<CoreView<T>>
+viewsOf(const std::vector<const Matrix<T> *> &cores)
+{
+    std::vector<CoreView<T>> v;
+    v.reserve(cores.size());
+    for (const Matrix<T> *g : cores) {
+        TIE_CHECK_ARG(g != nullptr, "InferSession got a null core");
+        v.push_back({g->data(), g->rows(), g->cols()});
+    }
+    return v;
+}
+
+} // namespace
+
+TtLayerViewD
+layerView(const TtMatrix &tt)
+{
+    TtLayerViewD v;
+    v.cfg = tt.config();
+    v.cores.reserve(tt.d());
+    for (size_t h = 1; h <= tt.d(); ++h) {
+        const MatrixD &g = tt.core(h).unfolded();
+        v.cores.push_back({g.data(), g.rows(), g.cols()});
+    }
+    return v;
+}
+
+TtFxpLayerView
+layerView(const TtMatrixFxp &tt)
+{
+    TtFxpLayerView v;
+    v.cfg = tt.config;
+    v.cores.reserve(tt.cores.size());
+    for (const Matrix<int16_t> &g : tt.cores)
+        v.cores.push_back({g.data(), g.rows(), g.cols()});
+    v.fmt = tt.stage_fmt;
+    return v;
+}
+
 template <typename T>
 InferSessionT<T>::InferSessionT(const TtLayerConfig &cfg,
                                 std::vector<const Matrix<T> *> cores,
                                 SessionOptions opts)
-    : plan_(cfg), cores_(std::move(cores)), opts_(opts),
+    : InferSessionT(TtLayerView<T>{cfg, viewsOf(cores)}, opts)
+{
+    // Matrix-backed sessions stay late-bound: the views are refreshed
+    // from these objects at every run (see bound_ in the header).
+    bound_ = std::move(cores);
+}
+
+template <typename T>
+InferSessionT<T>::InferSessionT(TtLayerView<T> layer, SessionOptions opts)
+    : plan_(layer.cfg), cores_(std::move(layer.cores)), opts_(opts),
       mode_(resolveFuseMode(opts.fuse))
 {
-    const TtLayerConfig &c = plan_.config();
-    TIE_CHECK_ARG(cores_.size() == c.d(), "InferSession needs ", c.d(),
-                  " stage cores, got ", cores_.size());
-    for (size_t h = 1; h <= c.d(); ++h)
-        TIE_CHECK_ARG(cores_[h - 1]->rows() == c.coreRows(h) &&
-                          cores_[h - 1]->cols() == c.coreCols(h),
-                      "stage ", h, " core is ", cores_[h - 1]->rows(),
-                      "x", cores_[h - 1]->cols(), ", expected ",
-                      c.coreRows(h), "x", c.coreCols(h));
+    checkCoreViews(plan_.config(), cores_);
 }
 
 template <typename T>
@@ -230,6 +291,16 @@ InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
 {
     const TtLayerConfig &cfg = plan_.config();
     const size_t d = cfg.d();
+    // Matrix-backed cores may have been replaced (and reallocated)
+    // since the last run — training updates, TieEngine cache reuse —
+    // so re-bind the views before touching any weight bytes.
+    if (!bound_.empty()) {
+        for (size_t i = 0; i < bound_.size(); ++i) {
+            const Matrix<T> &g = *bound_[i];
+            cores_[i] = {g.data(), g.rows(), g.cols()};
+        }
+        checkCoreViews(cfg, cores_);
+    }
     ensureBatch(batch);
     if (obs::enabled())
         SessionStats::get().runs.add();
@@ -264,9 +335,9 @@ InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
         stats->stage_mults.resize(d);
 
     for (size_t h = d; h >= 1; --h) {
-        const Matrix<T> &g = *cores_[h - 1];
-        const size_t m = g.rows();
-        const size_t k = g.cols();
+        const CoreView<T> &g = cores_[h - 1];
+        const size_t m = g.rows;
+        const size_t k = g.cols;
         const size_t ncols = cfg.stageCols(h) * batch;
 
         bool gather = false;
@@ -305,9 +376,9 @@ InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
             gb.cols_out = spec.cols_out;
             gb.block_stride = spec.cols_in;
             gb.batch = batch;
-            gemm::gemmGatheredBlocked(m, k, g.data(), op, gb, out);
+            gemm::gemmGatheredBlocked(m, k, g.data, op, gb, out);
         } else {
-            gemm::gemmBlocked(m, ncols, k, g.data(), op, out);
+            gemm::gemmBlocked(m, ncols, k, g.data, op, out);
         }
 
         const size_t sm = m * k * ncols;
@@ -392,6 +463,8 @@ template class InferSessionT<float>;
 InferSessionD
 makeSession(const TtMatrix &tt, SessionOptions opts)
 {
+    // Bind to the core Matrix objects, not a pointer snapshot, so the
+    // session tracks in-place weight updates (TieEngine's cache).
     std::vector<const MatrixD *> cores;
     cores.reserve(tt.d());
     for (size_t h = 1; h <= tt.d(); ++h)
@@ -401,24 +474,25 @@ makeSession(const TtMatrix &tt, SessionOptions opts)
 
 InferSessionFxp::InferSessionFxp(const TtMatrixFxp &tt,
                                  SessionOptions opts)
-    : plan_(tt.config), tt_(&tt), opts_(opts),
+    : InferSessionFxp(layerView(tt), opts)
+{
+    bound_ = &tt; // stay late-bound, like InferSessionT over Matrix
+}
+
+InferSessionFxp::InferSessionFxp(TtFxpLayerView layer,
+                                 SessionOptions opts)
+    : plan_(layer.cfg), cores_(std::move(layer.cores)),
+      fmt_(std::move(layer.fmt)), opts_(opts),
       mode_(resolveFuseMode(opts.fuse))
 {
     const TtLayerConfig &cfg = plan_.config();
-    TIE_CHECK_ARG(tt.cores.size() == cfg.d() &&
-                      tt.stage_fmt.size() == cfg.d(),
-                  "TtMatrixFxp has ", tt.cores.size(), " cores / ",
-                  tt.stage_fmt.size(), " formats for d = ", cfg.d());
-    for (size_t h = 1; h <= cfg.d(); ++h)
-        TIE_CHECK_ARG(tt.cores[h - 1].rows() == cfg.coreRows(h) &&
-                          tt.cores[h - 1].cols() == cfg.coreCols(h),
-                      "stage ", h, " core is ", tt.cores[h - 1].rows(),
-                      "x", tt.cores[h - 1].cols(), ", expected ",
-                      cfg.coreRows(h), "x", cfg.coreCols(h));
+    TIE_CHECK_ARG(fmt_.size() == cfg.d(), "fxp layer has ",
+                  fmt_.size(), " stage formats for d = ", cfg.d());
+    checkCoreViews(cfg, cores_);
     // Each stage's output format must feed the next stage's input.
     for (size_t h = cfg.d(); h >= 2; --h) {
-        const MacFormat &cur = tt.stage_fmt[h - 1];
-        const MacFormat &next = tt.stage_fmt[h - 2];
+        const MacFormat &cur = fmt_[h - 1];
+        const MacFormat &next = fmt_[h - 2];
         TIE_CHECK_ARG(cur.act_out.frac_bits == next.act_in.frac_bits &&
                           cur.act_out.total_bits ==
                               next.act_in.total_bits,
@@ -464,6 +538,19 @@ InferSessionFxp::runInto(const Matrix<int16_t> &x, Matrix<int16_t> &y,
                   " != N = ", cfg.inSize());
     const size_t batch = x.cols();
     const size_t d = cfg.d();
+    // Re-bind TtMatrixFxp-backed cores/formats (see runRaw): the
+    // owner may have requantized or replaced them since the last run.
+    if (bound_) {
+        TIE_CHECK_ARG(bound_->cores.size() == cores_.size() &&
+                          bound_->stage_fmt.size() == fmt_.size(),
+                      "bound TtMatrixFxp changed stage count");
+        for (size_t i = 0; i < cores_.size(); ++i) {
+            const Matrix<int16_t> &g = bound_->cores[i];
+            cores_[i] = {g.data(), g.rows(), g.cols()};
+            fmt_[i] = bound_->stage_fmt[i];
+        }
+        checkCoreViews(cfg, cores_);
+    }
     ensureShape(y, cfg.outSize(), batch);
     ensureBatch(batch);
     if (obs::enabled())
@@ -488,10 +575,10 @@ InferSessionFxp::runInto(const Matrix<int16_t> &x, Matrix<int16_t> &y,
         stats->stage_mults.resize(d);
 
     for (size_t h = d; h >= 1; --h) {
-        const Matrix<int16_t> &g = tt_->cores[h - 1];
-        const MacFormat &fmt = tt_->stage_fmt[h - 1];
-        const size_t m = g.rows();
-        const size_t k = g.cols();
+        const CoreView<int16_t> &g = cores_[h - 1];
+        const MacFormat &fmt = fmt_[h - 1];
+        const size_t m = g.rows;
+        const size_t k = g.cols;
         const size_t ncols = cfg.stageCols(h) * batch;
 
         bool gather = false;
@@ -521,9 +608,9 @@ InferSessionFxp::runInto(const Matrix<int16_t> &x, Matrix<int16_t> &y,
             gb.cols_out = spec.cols_out;
             gb.block_stride = spec.cols_in;
             gb.batch = batch;
-            fxpMatmulGathered(m, k, g.data(), op, gb, fmt, out);
+            fxpMatmulGathered(m, k, g.data, op, gb, fmt, out);
         } else {
-            fxpMatmulRaw(m, k, ncols, g.data(), op, fmt, out);
+            fxpMatmulRaw(m, k, ncols, g.data, op, fmt, out);
         }
 
         const size_t sm = m * k * ncols;

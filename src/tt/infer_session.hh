@@ -88,6 +88,53 @@ struct SessionOptions
 };
 
 /**
+ * Non-owning view of one unfolded stage core: a raw pointer into
+ * whatever owns the weights — a Matrix, an mmap'd .tie artifact
+ * (io/tie_format.hh), or an FFI caller's buffer. The data must stay
+ * alive and 8-byte (f64) / 2-byte (i16) aligned while the view is
+ * used; row-major rows x cols.
+ */
+template <typename T>
+struct CoreView
+{
+    const T *data = nullptr;
+    size_t rows = 0;
+    size_t cols = 0;
+};
+
+/**
+ * Non-owning description of one TT layer: the shape/rank config plus a
+ * core view per stage (index h-1). This is the common currency between
+ * weight owners (TtMatrix, mmap'd artifacts) and weight consumers
+ * (InferSession, serve::Server).
+ */
+template <typename T>
+struct TtLayerView
+{
+    TtLayerConfig cfg;
+    std::vector<CoreView<T>> cores; ///< unfolded, index h-1
+};
+
+using TtLayerViewD = TtLayerView<double>;
+
+/** View of a TtMatrix's unfolded cores (tt must outlive the view). */
+TtLayerViewD layerView(const TtMatrix &tt);
+
+/**
+ * Fixed-point sibling: int16 core views plus the per-stage MAC
+ * formats (copied by value — they are a few ints per stage).
+ */
+struct TtFxpLayerView
+{
+    TtLayerConfig cfg;
+    std::vector<CoreView<int16_t>> cores; ///< unfolded, index h-1
+    std::vector<MacFormat> fmt;           ///< arithmetic, index h-1
+};
+
+/** View of a TtMatrixFxp's cores/formats (tt must outlive it). */
+TtFxpLayerView layerView(const TtMatrixFxp &tt);
+
+/**
  * Float-path inference session over externally-owned unfolded stage
  * cores (index h-1, shapes coreRows(h) x coreCols(h)). The referenced
  * matrices must outlive the session; their *values* may change between
@@ -100,6 +147,15 @@ class InferSessionT
     InferSessionT(const TtLayerConfig &cfg,
                   std::vector<const Matrix<T> *> cores,
                   SessionOptions opts = {});
+
+    /**
+     * Construct over non-owning core views — the zero-copy path for
+     * mmap-backed artifacts: the view pointers (e.g. into the mapped
+     * file) are consumed by the stage GEMMs directly, no weight bytes
+     * are ever copied. The viewed storage must outlive the session.
+     */
+    explicit InferSessionT(TtLayerView<T> layer,
+                           SessionOptions opts = {});
 
     const TtLayerConfig &config() const { return plan_.config(); }
     const CompactPlan &plan() const { return plan_; }
@@ -150,7 +206,16 @@ class InferSessionT
                 std::vector<Matrix<T>> *capture, InferStats *stats);
 
     CompactPlan plan_;
-    std::vector<const Matrix<T> *> cores_; ///< unfolded, index h-1
+    std::vector<CoreView<T>> cores_; ///< unfolded views, index h-1
+    /**
+     * Non-empty when constructed over Matrix objects: the views in
+     * cores_ are refreshed from these pointers at every run, so
+     * callers (training layers, optimizers, TieEngine's cache) may
+     * replace a core Matrix's value — reallocating its storage —
+     * between runs. Empty for view-constructed sessions (mmap'd
+     * artifacts), whose weight bytes are immutable by contract.
+     */
+    std::vector<const Matrix<T> *> bound_;
     SessionOptions opts_;
     FuseMode mode_ = FuseMode::Auto; ///< opts_.fuse resolved (never Env)
 
@@ -185,6 +250,10 @@ class InferSessionFxp
     explicit InferSessionFxp(const TtMatrixFxp &tt,
                              SessionOptions opts = {});
 
+    /** View-based twin of InferSessionT's view constructor. */
+    explicit InferSessionFxp(TtFxpLayerView layer,
+                             SessionOptions opts = {});
+
     const TtLayerConfig &config() const { return plan_.config(); }
     const CompactPlan &plan() const { return plan_; }
 
@@ -202,7 +271,11 @@ class InferSessionFxp
     void ensureBatch(size_t batch);
 
     CompactPlan plan_;
-    const TtMatrixFxp *tt_;
+    std::vector<CoreView<int16_t>> cores_; ///< unfolded, index h-1
+    std::vector<MacFormat> fmt_;           ///< per stage, index h-1
+    /** Like InferSessionT::bound_: re-read tt's cores/formats each
+        run when constructed over a TtMatrixFxp. */
+    const TtMatrixFxp *bound_ = nullptr;
     SessionOptions opts_;
     FuseMode mode_ = FuseMode::Auto; ///< opts_.fuse resolved (never Env)
 

@@ -1,5 +1,6 @@
 #include "tt/tt_io.hh"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <istream>
@@ -9,8 +10,14 @@ namespace tie {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x7474316d; // "tt1m"
-constexpr uint32_t kVersion = 1;
+// Every header field of the legacy .ttm stream — including magic and
+// version — is serialized as a 64-bit little-endian word, so the
+// constants are declared at the width they occupy on disk. (They were
+// historically uint32_t, which contradicted the actual layout; the
+// bytes written never changed.) The .tie artifact (io/tie_format.hh)
+// is the format with an explicitly documented byte-for-byte header.
+constexpr uint64_t kMagic = 0x7474316d; // "tt1m"
+constexpr uint64_t kVersion = 1;
 
 void
 writeU64(std::ostream &os, uint64_t v)
@@ -94,9 +101,22 @@ loadTtMatrix(std::istream &is)
                                              sizeof(double)));
         TIE_CHECK_ARG(static_cast<bool>(is),
                       "truncated TT model stream (core ", h, ")");
+        // A bit flip in the payload has no checksum to catch it here
+        // (the .tie format adds CRCs); at minimum refuse weights that
+        // cannot be valid, instead of silently skewing every output.
+        for (const double v : g.flat())
+            TIE_CHECK_ARG(std::isfinite(v), "core ", h,
+                          " contains a non-finite value — corrupt "
+                          "TT model stream");
         tt.core(h) = TtCore(cfg.r[h - 1], cfg.m[h - 1], cfg.n[h - 1],
                             cfg.r[h], std::move(g));
     }
+    // The stream must end exactly after the last core: trailing bytes
+    // mean a corrupt tail or two concatenated models, and loading the
+    // prefix silently would serve the wrong artifact.
+    TIE_CHECK_ARG(is.peek() == std::istream::traits_type::eof(),
+                  "trailing bytes after the last core in TT model "
+                  "stream");
     return tt;
 }
 

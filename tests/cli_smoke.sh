@@ -15,6 +15,26 @@ trap 'rm -rf "$DIR"' EXIT
 # decompose round trip through a raw dense file produced from a model.
 "$CLI" simulate "$DIR/a.ttm" >/dev/null
 
+# .tie artifact round trip: package, inspect, serve off the mapping.
+# serve-bench verifies every completed output bit-exactly against the
+# in-process reference, so a zero-mismatch run proves the reloaded
+# artifact computes identically.
+"$CLI" save-model "$DIR/a.tie" --from "$DIR/a.ttm" --fxp
+"$CLI" info "$DIR/a.tie" | grep -q "fxp twin  | yes"
+"$CLI" info "$DIR/a.tie" | grep -q ".tie v1"
+"$CLI" serve-bench "$DIR/a.tie" --requests 64 --clients 2 \
+    | grep -q "bit-exact vs reference.*| yes"
+"$CLI" save-model "$DIR/s.tie" --m 4,4 --n 4,6 --rank 3 --seed 5
+"$CLI" info "$DIR/s.tie" | grep -q "layers    | 1"
+# Corrupting one payload byte must be rejected with a diagnostic.
+cp "$DIR/a.tie" "$DIR/bad.tie"
+printf '\xff' | dd of="$DIR/bad.tie" bs=1 seek=200 conv=notrunc 2>/dev/null
+if "$CLI" info "$DIR/bad.tie" 2>"$DIR/err.txt"; then
+    echo "corrupt artifact was accepted" >&2
+    exit 1
+fi
+grep -q "tie" "$DIR/err.txt"
+
 # Observability: --stats-json / --trace-out must write valid JSON, and
 # the TIE_STATS_JSON / TIE_TRACE env fallbacks must do the same.
 "$CLI" simulate "$DIR/a.ttm" \

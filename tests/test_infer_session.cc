@@ -204,6 +204,36 @@ TEST(InferSession, FxpBitIdenticalToReference)
     }
 }
 
+TEST(InferSession, MatrixBackedSessionsTrackWeightUpdates)
+{
+    // Sessions built over Matrix objects (makeSession, TtDense, the
+    // TieEngine cache) are late-bound: replacing a core Matrix's
+    // value — which reallocates its storage — between runs must be
+    // picked up, not served from a stale pointer snapshot. This is
+    // the contract training loops rely on.
+    Rng rng(17);
+    const TtLayerConfig cfg = testConfigs()[1];
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    InferSessionD session = makeSession(tt);
+
+    MatrixD x(cfg.inSize(), 3);
+    x.setUniform(rng);
+    MatrixD y0;
+    session.runInto(x, y0); // bind + warm on the original weights
+
+    const TtMatrix updated = TtMatrix::random(cfg, rng);
+    for (size_t h = 1; h <= cfg.d(); ++h) {
+        // Value-assign through the same TtCore objects the session is
+        // bound to; the fresh unfolded Matrix has fresh storage.
+        tt.core(h) = updated.core(h);
+    }
+    MatrixD y1;
+    session.runInto(x, y1);
+    EXPECT_TRUE(y1 == referenceCompact(updated, x))
+        << "session served stale weights after an in-place update";
+    EXPECT_FALSE(y1 == y0);
+}
+
 TEST(InferSession, RunVecMatchesBatchedColumn)
 {
     Rng rng(3);

@@ -373,7 +373,8 @@ TEST(ServerFatal, MismatchedLayerChainDies)
             const TestModel model(23);
             // layer1 twice: its 12-wide output cannot feed its own
             // 10-wide input.
-            Server bad({&model.layer1, &model.layer1});
+            Server bad(std::vector<const TtMatrix *>(
+                {&model.layer1, &model.layer1}));
         },
         ::testing::ExitedWithCode(1), "consumes");
 }

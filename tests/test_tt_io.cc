@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "tt/tt_infer.hh"
@@ -67,6 +68,49 @@ TEST(TtIo, TruncatedStreamIsFatal)
     std::stringstream cut(full.substr(0, full.size() / 2));
     EXPECT_EXIT(loadTtMatrix(cut), ::testing::ExitedWithCode(1),
                 "truncated");
+}
+
+TEST(TtIo, TrailingGarbageIsFatal)
+{
+    TtMatrix tt = sample(7);
+    std::stringstream ss;
+    saveTtMatrix(tt, ss);
+    ss << "tail"; // corrupt tail after the last core
+    EXPECT_EXIT(loadTtMatrix(ss), ::testing::ExitedWithCode(1),
+                "trailing bytes");
+}
+
+TEST(TtIo, ConcatenatedModelsAreFatal)
+{
+    // Two models in one stream: loading the first silently would hand
+    // back half the artifact. loadTtMatrix owns the whole stream.
+    std::stringstream ss;
+    saveTtMatrix(sample(8), ss);
+    saveTtMatrix(sample(9), ss);
+    EXPECT_EXIT(loadTtMatrix(ss), ::testing::ExitedWithCode(1),
+                "trailing bytes");
+}
+
+TEST(TtIo, NonFiniteCoreIsFatal)
+{
+    TtMatrix tt = sample(10);
+    tt.core(2).unfolded()(0, 1) =
+        std::numeric_limits<double>::quiet_NaN();
+    std::stringstream ss;
+    saveTtMatrix(tt, ss); // the writer does not validate values
+    EXPECT_EXIT(loadTtMatrix(ss), ::testing::ExitedWithCode(1),
+                "non-finite");
+}
+
+TEST(TtIo, InfiniteCoreIsFatal)
+{
+    TtMatrix tt = sample(11);
+    tt.core(1).unfolded()(0, 0) =
+        -std::numeric_limits<double>::infinity();
+    std::stringstream ss;
+    saveTtMatrix(tt, ss);
+    EXPECT_EXIT(loadTtMatrix(ss), ::testing::ExitedWithCode(1),
+                "non-finite");
 }
 
 TEST(TtIo, MissingFileIsFatal)

@@ -14,12 +14,19 @@
  *   tie_cli simulate model.ttm [--npe 16 --nmac 16 --freq 1000]
  *                    [--batch 1] [--relu]
  *       run the cycle-accurate simulator, print the full report
- *   tie_cli serve-bench model.ttm [--workers 1 --max-batch 8
+ *   tie_cli serve-bench model.{ttm,tie} [--workers 1 --max-batch 8
  *                    --timeout-us 200 --queue-cap 256] [--requests 256]
  *                    [--clients 4 | --qps Q] [--deadline-us D] [--seed]
  *       drive the dynamic-batching server with the closed-loop
  *       (--clients) or open-loop (--qps) load generator, verify every
  *       completed output bit-exactly, print the latency/SLO report
+ *   tie_cli save-model out.tie (--from a.ttm[,b.ttm..] |
+ *                    --m .. --n .. [--rank r] [--seed s]) [--fxp]
+ *       package a layer chain as a versioned .tie artifact
+ *       (docs/serialization.md); --fxp embeds the quantized twin
+ *
+ * info and serve-bench sniff the artifact kind by magic, so both
+ * accept legacy single-layer .ttm streams and .tie containers.
  *
  * Every command additionally accepts --stats-json[=path] and
  * --trace-out[=path] (or the TIE_STATS_JSON / TIE_TRACE environment
@@ -41,6 +48,7 @@
 #include "arch/stats_io.hh"
 #include "arch/tie_sim.hh"
 #include "common/table.hh"
+#include "io/tie_format.hh"
 #include "obs/report.hh"
 #include "serve/load_gen.hh"
 #include "serve/server.hh"
@@ -166,11 +174,88 @@ cmdDecompose(const Options &opt)
     return 0;
 }
 
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (!tok.empty())
+            out.push_back(tok);
+    return out;
+}
+
+int
+cmdSaveModel(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.positional.size() == 1,
+                  "usage: tie_cli save-model <out.tie> "
+                  "(--from a.ttm[,b.ttm..] | --m .. --n .. [--rank r] "
+                  "[--seed s]) [--fxp]");
+    std::vector<TtMatrix> layers;
+    if (opt.has("from")) {
+        for (const std::string &p : splitCsv(opt.get("from")))
+            layers.push_back(loadTtMatrixFile(p));
+        TIE_CHECK_ARG(!layers.empty(), "--from lists no files");
+    } else {
+        TtLayerConfig cfg = configFrom(opt);
+        Rng rng(std::stoull(opt.get("seed", "1")));
+        layers.push_back(TtMatrix::random(cfg, rng));
+    }
+
+    // Quantized twins must outlive the view-holding specs below.
+    std::vector<TtMatrixFxp> quant;
+    if (opt.has("fxp")) {
+        const FxpFormat act{16, 8};
+        quant.reserve(layers.size());
+        for (const TtMatrix &tt : layers)
+            quant.push_back(TtMatrixFxp::quantizeAuto(tt, act));
+    }
+    std::vector<io::TieLayerSpec> specs;
+    specs.reserve(layers.size());
+    for (size_t i = 0; i < layers.size(); ++i)
+        specs.push_back(opt.has("fxp")
+                            ? io::makeLayerSpec(layers[i], quant[i])
+                            : io::makeLayerSpec(layers[i]));
+    io::saveTieModel(specs, opt.positional[0]);
+
+    // Reload through the real loader so what we report is what a
+    // consumer will actually see (and the artifact is proven valid).
+    io::TieModel m = io::TieModel::load(opt.positional[0]);
+    std::cout << "wrote " << opt.positional[0] << ": "
+              << m.layerCount() << " layer(s), " << m.inSize()
+              << " -> " << m.outSize() << (m.hasFxp() ? ", fxp" : "")
+              << ", " << m.sizeBytes() << " bytes\n";
+    return 0;
+}
+
+int
+infoTie(const std::string &path)
+{
+    io::TieModel m = io::TieModel::load(path);
+    TextTable t(path);
+    t.header({"property", "value"});
+    t.row({"format", ".tie v" + std::to_string(io::kTieVersion)});
+    t.row({"size", std::to_string(m.sizeBytes()) + " bytes (mmap)"});
+    t.row({"layers", std::to_string(m.layerCount())});
+    t.row({"interface", std::to_string(m.inSize()) + " -> " +
+                            std::to_string(m.outSize())});
+    t.row({"fxp twin", m.hasFxp() ? "yes" : "no"});
+    for (size_t i = 0; i < m.layerCount(); ++i)
+        t.row({"layer " + std::to_string(i),
+               m.config(i).toString()});
+    t.print();
+    return 0;
+}
+
 int
 cmdInfo(const Options &opt)
 {
     TIE_CHECK_ARG(opt.positional.size() == 1,
-                  "usage: tie_cli info <model.ttm>");
+                  "usage: tie_cli info <model.{ttm,tie}>");
+    if (io::isTieArtifact(opt.positional[0]))
+        return infoTie(opt.positional[0]);
     TtMatrix tt = loadTtMatrixFile(opt.positional[0]);
     const TtLayerConfig &cfg = tt.config();
 
@@ -294,11 +379,24 @@ int
 cmdServeBench(const Options &opt)
 {
     TIE_CHECK_ARG(opt.positional.size() == 1,
-                  "usage: tie_cli serve-bench <model.ttm> [--workers W]"
+                  "usage: tie_cli serve-bench <model.{ttm,tie}>"
+                  " [--workers W]"
                   " [--max-batch B] [--timeout-us T] [--queue-cap C]"
                   " [--requests R] [--clients K | --qps Q]"
                   " [--deadline-us D] [--seed s]");
-    TtMatrix tt = loadTtMatrixFile(opt.positional[0]);
+
+    // Either artifact kind serves through the same view chain; the
+    // owning object (matrix or mapped model) just has to stay alive.
+    TtMatrix tt;
+    io::TieModel artifact;
+    std::vector<TtLayerViewD> views;
+    if (io::isTieArtifact(opt.positional[0])) {
+        artifact = io::TieModel::load(opt.positional[0]);
+        views = artifact.layers();
+    } else {
+        tt = loadTtMatrixFile(opt.positional[0]);
+        views.push_back(layerView(tt));
+    }
 
     serve::ServerOptions sopts;
     sopts.workers =
@@ -318,11 +416,10 @@ cmdServeBench(const Options &opt)
     lopts.deadline_us = std::stoull(opt.get("deadline-us", "0"));
     lopts.seed = std::stoull(opt.get("seed", "1"));
 
-    const std::vector<const TtMatrix *> model{&tt};
     const std::vector<std::vector<double>> expected =
-        serve::referenceOutputs(model, lopts.seed, lopts.requests);
+        serve::referenceOutputs(views, lopts.seed, lopts.requests);
 
-    serve::Server server(model, sopts);
+    serve::Server server(views, sopts);
     const serve::LoadGenReport rep =
         serve::runLoadGen(server, lopts, &expected);
 
@@ -348,9 +445,16 @@ cmdServeBench(const Options &opt)
         s->setExtra("serve_bench", w.str());
     }
 
+    std::string model_desc = views.front().cfg.toString();
+    if (views.size() > 1)
+        model_desc = std::to_string(views.size()) + " layers, " +
+                     std::to_string(views.front().cfg.inSize()) +
+                     " -> " +
+                     std::to_string(views.back().cfg.outSize());
+
     TextTable t("serve-bench report");
     t.header({"metric", "value"});
-    t.row({"model", tt.config().toString()});
+    t.row({"model", model_desc});
     t.row({"policy", std::to_string(sopts.workers) + " worker(s), "
                          "max batch " +
                          std::to_string(sopts.max_batch) + ", window " +
@@ -392,11 +496,13 @@ usage()
         << "tie_cli — TT-format model tool\n"
            "  synth <out.ttm> --m 4,4,4 --n 4,8,8 [--rank 4] [--seed]\n"
            "  decompose <dense.f64> <out.ttm> --m .. --n .. [--rank]\n"
-           "  info <model.ttm>\n"
+           "  save-model <out.tie> (--from a.ttm[,b.ttm..] |"
+           " --m .. --n ..) [--fxp]\n"
+           "  info <model.{ttm,tie}>\n"
            "  round <in.ttm> <out.ttm> --rank r [--eps e]\n"
            "  simulate <model.ttm> [--npe][--nmac][--freq][--batch]"
            "[--relu]\n"
-           "  serve-bench <model.ttm> [--workers][--max-batch]"
+           "  serve-bench <model.{ttm,tie}> [--workers][--max-batch]"
            "[--timeout-us]\n"
            "              [--queue-cap][--requests][--clients|--qps]"
            "[--deadline-us]\n"
@@ -424,6 +530,8 @@ main(int argc, char **argv)
     Options opt = parseArgs(argc, argv, 2);
     if (cmd == "synth")
         return cmdSynth(opt);
+    if (cmd == "save-model")
+        return cmdSaveModel(opt);
     if (cmd == "decompose")
         return cmdDecompose(opt);
     if (cmd == "info")
