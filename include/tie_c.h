@@ -123,7 +123,12 @@ tie_status tie_registry_unload(tie_registry *reg, const char *name);
 /**
  * Synchronous single-request inference against the current version
  * of @p name: submit, wait, copy the output. TIE_ERR_STATE for
- * unknown names and shed (rejected / timed-out) requests.
+ * unknown names and shed (rejected / timed-out) requests;
+ * TIE_ERR_ARG when in_size/out_size mismatch the model's interface.
+ * The size check is made against the exact version the request is
+ * submitted to, so a concurrent hot-swap to a model with a different
+ * interface yields TIE_ERR_ARG — never a read past the caller's
+ * buffers.
  */
 tie_status tie_registry_infer(tie_registry *reg, const char *name,
                               const double *x, size_t in_size,

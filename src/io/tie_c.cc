@@ -324,29 +324,30 @@ tie_registry_infer(tie_registry *reg, const char *name, const double *x,
     if (reg == nullptr || name == nullptr || x == nullptr ||
         y == nullptr)
         return fail(TIE_ERR_ARG, "tie_registry_infer: NULL argument");
+    // The sized trySubmit validates in/out against the entry it
+    // actually submits to, so a hot-swap racing this call can never
+    // make the queue read past the caller's in_size doubles.
+    serve::RegistryTicket t;
     serve::ModelInfo mi;
-    if (!reg->reg.tryInfo(name, &mi))
-        return fail(TIE_ERR_STATE,
-                    strCat("no model named '", name, "' is registered"));
-    if (in_size != mi.in_size || out_size != mi.out_size)
+    if (!reg->reg.trySubmit(name, x, in_size, out_size, 0, &t, &mi)) {
+        if (mi.name.empty())
+            return fail(TIE_ERR_STATE,
+                        strCat("no model named '", name,
+                               "' is registered"));
         return fail(TIE_ERR_ARG,
                     strCat("tie_registry_infer: '", name, "' is ",
                            mi.in_size, " -> ", mi.out_size, ", got ",
                            in_size, " -> ", out_size));
-    serve::RegistryTicket t;
-    if (!reg->reg.trySubmit(name, x, 0, &t))
-        return fail(TIE_ERR_STATE,
-                    strCat("no model named '", name, "' is registered"));
+    }
     std::vector<double> out;
     const serve::RequestStatus st = reg->reg.wait(t, &out);
     if (st != serve::RequestStatus::Done)
         return fail(TIE_ERR_STATE,
                     "tie_registry_infer: request was shed "
                     "(queue full or deadline expired)");
-    if (out.size() != out_size)
-        return fail(TIE_ERR_STATE,
-                    "tie_registry_infer: interface changed during a "
-                    "concurrent hot-swap");
+    TIE_REQUIRE(out.size() == out_size,
+                "registry returned a mismatched output size despite "
+                "the size-checked submit");
     std::memcpy(y, out.data(), out_size * sizeof(double));
     return TIE_OK;
 }

@@ -200,6 +200,11 @@ std::vector<uint8_t>
 serializeTieModel(const std::vector<TieLayerSpec> &layers)
 {
     TIE_CHECK_ARG(!layers.empty(), "a .tie model needs >= 1 layer");
+    // Mirror the reader's cap: a save must never produce an artifact
+    // its own loader refuses (the meta field is also only uint32).
+    TIE_CHECK_ARG(layers.size() <= (size_t(1) << 16),
+                  "a .tie model holds at most 65536 layers (got ",
+                  layers.size(), ")");
     const size_t n_layers = layers.size();
 
     const bool fxp = !layers.front().fxp_cores.empty();
@@ -460,8 +465,11 @@ TieModel::Rep::parse(std::string *err)
     const uint64_t table_off = getLe<uint64_t>(base + 32);
     if (n_sections == 0 || n_sections > (uint64_t(1) << 20))
         return fail("implausible section count");
-    if (table_off < kTieHeaderSize ||
-        table_off + n_sections * kTieSectionEntrySize > size)
+    // Overflow-safe: table_off is attacker-controlled 64-bit, so the
+    // sum form `table_off + n_sections * entry > size` could wrap.
+    // n_sections is capped above, so the product alone cannot.
+    if (table_off < kTieHeaderSize || table_off > size ||
+        n_sections * kTieSectionEntrySize > size - table_off)
         return fail("section table out of bounds");
     const uint64_t table_end =
         table_off + n_sections * kTieSectionEntrySize;

@@ -141,6 +141,30 @@ ModelRegistry::trySubmit(const std::string &name, const double *x,
     return true;
 }
 
+bool
+ModelRegistry::trySubmit(const std::string &name, const double *x,
+                         size_t in_size, size_t out_size,
+                         uint64_t deadline_us, RegistryTicket *out,
+                         ModelInfo *info)
+{
+    std::shared_ptr<Entry> entry = find(name);
+    if (entry == nullptr)
+        return false;
+    if (info != nullptr)
+        *info = infoOf(name, *entry);
+    // Checked against the entry we are about to submit to, not a
+    // separate earlier lookup: a concurrent publish() of a model with
+    // a different interface must reject, never over-read x.
+    if (entry->server->inSize() != in_size ||
+        entry->server->outSize() != out_size)
+        return false;
+    out->ticket_ = entry->server->submit(x, deadline_us);
+    out->server_ = entry->server.get();
+    out->version_ = entry->version;
+    out->entry_ = std::move(entry);
+    return true;
+}
+
 RegistryTicket
 ModelRegistry::submit(const std::string &name,
                       const std::vector<double> &x, uint64_t deadline_us)
@@ -179,21 +203,27 @@ ModelRegistry::info(const std::string &name) const
     return mi;
 }
 
+ModelInfo
+ModelRegistry::infoOf(const std::string &name, const Entry &e)
+{
+    ModelInfo mi;
+    mi.name = name;
+    mi.version = e.version;
+    mi.layers =
+        e.artifact.valid() ? e.artifact.layerCount() : e.owned.size();
+    mi.in_size = e.server->inSize();
+    mi.out_size = e.server->outSize();
+    mi.from_artifact = e.artifact.valid();
+    return mi;
+}
+
 bool
 ModelRegistry::tryInfo(const std::string &name, ModelInfo *out) const
 {
     std::shared_ptr<Entry> entry = find(name);
     if (entry == nullptr)
         return false;
-    ModelInfo mi;
-    mi.name = name;
-    mi.version = entry->version;
-    mi.layers = entry->artifact.valid() ? entry->artifact.layerCount()
-                                        : entry->owned.size();
-    mi.in_size = entry->server->inSize();
-    mi.out_size = entry->server->outSize();
-    mi.from_artifact = entry->artifact.valid();
-    *out = mi;
+    *out = infoOf(name, *entry);
     return true;
 }
 

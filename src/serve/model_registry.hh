@@ -107,10 +107,25 @@ class ModelRegistry
                           const std::vector<double> &x,
                           uint64_t deadline_us = 0);
 
-    /** Non-fatal submit (the C FFI path): false when @p name is
-        unknown, leaving *out invalid. */
+    /** Non-fatal submit: false when @p name is unknown, leaving
+        *out invalid. */
     bool trySubmit(const std::string &name, const double *x,
                    uint64_t deadline_us, RegistryTicket *out);
+
+    /**
+     * Size-checked non-fatal submit (the C FFI path): @p in_size and
+     * @p out_size are validated against the entry actually submitted
+     * to — under the same entry reference — so a hot-swap racing the
+     * caller's own lookup can never make the queue read more input
+     * than the caller's buffer holds. False, without submitting, when
+     * @p name is unknown or the interface mismatches; when @p info is
+     * non-null it is filled whenever the model exists (for error
+     * reporting) and left default — empty name — when it does not.
+     */
+    bool trySubmit(const std::string &name, const double *x,
+                   size_t in_size, size_t out_size,
+                   uint64_t deadline_us, RegistryTicket *out,
+                   ModelInfo *info = nullptr);
 
     /** Collect; valid even after the model was swapped or unloaded. */
     RequestStatus wait(RegistryTicket &t,
@@ -132,6 +147,7 @@ class ModelRegistry
     struct Entry;
 
     std::shared_ptr<Entry> find(const std::string &name) const;
+    static ModelInfo infoOf(const std::string &name, const Entry &e);
     uint64_t publishEntry(const std::string &name,
                           std::shared_ptr<Entry> entry);
 

@@ -82,10 +82,17 @@ class Server
      */
     Server(std::vector<TtLayerViewD> model, ServerOptions opts = {});
 
-    /** Chain of owned TT matrices (must outlive the server). */
+    /**
+     * Chain of owned TT matrices (must outlive the server). Worker
+     * sessions late-bind to the Matrix objects, makeSession-style:
+     * core *values* may be updated — even reallocated — between runs
+     * (e.g. by training) and workers pick up the new weights; the
+     * shapes/ranks must stay fixed. Use the view constructor for
+     * immutable-weight serving (mmap'd artifacts).
+     */
     Server(std::vector<const TtMatrix *> model, ServerOptions opts = {});
 
-    /** Single-layer convenience. */
+    /** Single-layer convenience (late-bound, as above). */
     explicit Server(const TtMatrix &model, ServerOptions opts = {});
 
     ~Server(); ///< stop(), drain the queue, join the workers
@@ -125,9 +132,15 @@ class Server
         std::thread thread;
     };
 
+    Server(std::vector<TtLayerViewD> model,
+           std::vector<const TtMatrix *> bound, ServerOptions opts);
+
     void workerLoop(Worker &w);
 
-    std::vector<TtLayerViewD> model_;
+    std::vector<TtLayerViewD> model_; ///< cfg authority; data may be stale when bound_ is set
+    /** Non-empty for the matrix-pointer constructors: sessions bind
+        to these Matrix objects and re-read them every run. */
+    std::vector<const TtMatrix *> bound_;
     ServerOptions opts_;
     size_t in_size_ = 0;
     size_t out_size_ = 0;

@@ -127,6 +127,47 @@ TEST(ModelRegistry, UnknownNameIsFatalTrySubmitIsNot)
                 "no model named");
 }
 
+TEST(ModelRegistry, SizedTrySubmitRejectsInterfaceMismatch)
+{
+    // The C FFI path: sizes are validated against the entry actually
+    // submitted to (not an earlier lookup's snapshot), so a hot-swap
+    // racing the caller can never make the queue over-read the input.
+    ModelRegistry reg;
+    TtMatrix tt = sampleModel(6);
+    reg.publish("m", tt);
+    const size_t n_in = tt.config().inSize();
+    const size_t n_out = tt.config().outSize();
+    std::vector<double> x(n_in, 0.5);
+
+    RegistryTicket t;
+    serve::ModelInfo mi;
+    ASSERT_TRUE(reg.trySubmit("m", x.data(), n_in, n_out, 0, &t, &mi));
+    EXPECT_EQ(mi.in_size, n_in);
+    EXPECT_EQ(mi.out_size, n_out);
+    std::vector<double> y;
+    ASSERT_EQ(reg.wait(t, &y), RequestStatus::Done);
+    EXPECT_EQ(y.size(), n_out);
+
+    // A mismatch rejects without submitting — x is never read — and
+    // still fills info with the actual interface for error reporting.
+    RegistryTicket t2;
+    serve::ModelInfo mi2;
+    EXPECT_FALSE(
+        reg.trySubmit("m", x.data(), n_in + 1, n_out, 0, &t2, &mi2));
+    EXPECT_FALSE(t2.valid());
+    EXPECT_EQ(mi2.name, "m");
+    EXPECT_EQ(mi2.in_size, n_in);
+    EXPECT_FALSE(
+        reg.trySubmit("m", x.data(), n_in, n_out + 1, 0, &t2, &mi2));
+    EXPECT_FALSE(t2.valid());
+
+    // Unknown name: false with info left default (empty name).
+    serve::ModelInfo mi3;
+    EXPECT_FALSE(
+        reg.trySubmit("ghost", x.data(), n_in, n_out, 0, &t2, &mi3));
+    EXPECT_TRUE(mi3.name.empty());
+}
+
 TEST(ModelRegistry, UnloadDrainsAndTicketsStayCollectable)
 {
     ModelRegistry reg;

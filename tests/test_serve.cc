@@ -366,6 +366,43 @@ TEST(Server, StopDrainsQueuedRequests)
     }
 }
 
+TEST(Server, MatrixBackedServerLateBindsWeightUpdates)
+{
+    // The matrix-pointer constructor late-binds, makeSession-style: a
+    // caller may update — even reallocate — core storage between
+    // runs, and workers serve the new weights instead of chasing a
+    // stale pointer snapshot.
+    TestModel model(41);
+    Server server(model.chain());
+    const uint64_t seed = 7;
+    const std::vector<double> x =
+        makeRequestInput(seed, 0, server.inSize());
+
+    std::vector<double> y;
+    Ticket t = server.submit(x);
+    ASSERT_EQ(server.wait(t, &y), RequestStatus::Done);
+    EXPECT_EQ(y, referenceOutputs(model.chain(), seed, 1)[0]);
+
+    // Replace every core's storage: move-assigning a fresh Matrix
+    // steals its newly allocated buffer, so a snapshotted data
+    // pointer would dangle. No request is in flight, matching the
+    // "values may change between runs" session contract.
+    const TestModel updated(43);
+    for (TtMatrix *dst : {&model.layer1, &model.layer2}) {
+        const TtMatrix &src =
+            dst == &model.layer1 ? updated.layer1 : updated.layer2;
+        for (size_t h = 1; h <= dst->d(); ++h) {
+            MatrixD fresh = src.core(h).unfolded();
+            dst->core(h).unfolded() = std::move(fresh);
+        }
+    }
+
+    Ticket t2 = server.submit(x);
+    std::vector<double> y2;
+    ASSERT_EQ(server.wait(t2, &y2), RequestStatus::Done);
+    EXPECT_EQ(y2, referenceOutputs(updated.chain(), seed, 1)[0]);
+}
+
 TEST(ServerFatal, MismatchedLayerChainDies)
 {
     EXPECT_EXIT(

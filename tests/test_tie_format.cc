@@ -357,6 +357,42 @@ TEST(TieFormat, DiagnosticsNameTheFailure)
     EXPECT_NE(err.find("checksum mismatch"), std::string::npos) << err;
 }
 
+TEST(TieFormat, HostileSectionTableOffsetCannotWrapBoundsCheck)
+{
+    // A crafted artifact (header CRC recomputed, as any attacker can)
+    // with table_off near 2^64: the additive bounds check
+    // `table_off + n_sections * entry_size > size` would wrap to a
+    // tiny sum and pass, sending the entry loop out of bounds. The
+    // loader must reject every wrap-prone offset cleanly.
+    const std::vector<uint8_t> img = image({sampleLayer(15)});
+    TieModel m;
+    std::string err;
+    for (uint64_t off : {~uint64_t(0) - 31, // +1 entry wraps to 0
+                         ~uint64_t(0), ~uint64_t(0) - 4096,
+                         uint64_t(1) << 63}) {
+        std::vector<uint8_t> bad = img;
+        std::memcpy(bad.data() + 32, &off, 8);
+        const uint32_t crc = io::crc32(bad.data(), 40);
+        std::memcpy(bad.data() + 40, &crc, 4);
+        EXPECT_FALSE(TieModel::tryParse(std::move(bad), &m, &err))
+            << "table_off " << off << " parsed";
+        EXPECT_NE(err.find("section table out of bounds"),
+                  std::string::npos)
+            << err;
+    }
+}
+
+TEST(TieFormat, SaveRejectsMoreLayersThanTheReaderAccepts)
+{
+    // The reader caps n_layers at 65536; a save beyond that must fail
+    // instead of producing an artifact its own loader refuses.
+    TtMatrix a = sampleLayer(16); // 24 -> 24, chains with itself
+    const std::vector<TieLayerSpec> specs((size_t(1) << 16) + 1,
+                                          io::makeLayerSpec(a));
+    EXPECT_EXIT(io::serializeTieModel(specs),
+                ::testing::ExitedWithCode(1), "at most 65536 layers");
+}
+
 TEST(TieFormat, FatalWrappersExitCleanly)
 {
     EXPECT_EXIT(TieModel::load("/nonexistent/dir/x.tie"),
