@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/json.hh"
 #include "obs/report.hh"
 #include "serve/load_gen.hh"
@@ -42,6 +43,18 @@ struct SweepPoint
     ServerOptions server;
     LoadGenOptions load;
     LoadGenReport report;
+};
+
+/**
+ * Run the whole sweep under the flight recorder so the report's
+ * serve.phase.* distributions carry per-phase (queue / batch / gather
+ * / infer / scatter) p50/p95/p99 attribution. stop() drains before
+ * the obs::Session flushes the stats JSON.
+ */
+struct FlightScope
+{
+    FlightScope() { obs::FlightRecorder::instance().start(); }
+    ~FlightScope() { obs::FlightRecorder::instance().stop(); }
 };
 
 void
@@ -107,6 +120,9 @@ main(int argc, char **argv)
     // --stats-json / --trace-out / TIE_STATS_JSON / TIE_TRACE; the
     // session name makes the default stats path BENCH_serve.json.
     obs::Session obs_session("serve", &argc, argv);
+    // Constructed after the session: its destructor (final recorder
+    // drain) runs before the session flushes the report.
+    FlightScope flight;
     bool quick = false;
     for (int i = 1; i < argc; ++i)
         quick |= std::strcmp(argv[i], "--quick") == 0;

@@ -1,0 +1,457 @@
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/stat_registry.hh"
+#include "obs/trace.hh"
+
+namespace tie {
+namespace obs {
+
+namespace detail {
+std::atomic<bool> g_flight_enabled{false};
+} // namespace detail
+
+namespace {
+
+std::atomic<uint64_t> g_trace_id{0};
+std::atomic<uint32_t> g_batch_id{0};
+
+/**
+ * Ring-claim epoch: bumped on every start() so a thread_local ring
+ * pointer from a previous recorder lifetime is never reused (the old
+ * rings are retired, not freed, so a straggling producer mid-record
+ * writes into a buffer nobody reads instead of freed memory).
+ */
+std::atomic<uint64_t> g_epoch{0};
+
+struct ThreadRingSlot
+{
+    uint64_t epoch = 0;
+    void *ring = nullptr;
+    bool exhausted = false;
+};
+
+thread_local ThreadRingSlot t_ring_slot;
+
+/** Batches reassembling at once before the oldest is discarded. */
+constexpr size_t kMaxPendingBatches = 4096;
+
+/**
+ * Cached references to the flight.* / serve.phase.* registry stats so
+ * the drain loop never touches the registry lock (same pattern as
+ * serve::detail::ServeStats).
+ */
+struct FlightStats
+{
+    Counter &events;
+    Counter &spans;
+    Gauge &dropped;
+    Distribution &queue_us;
+    Distribution &batch_us;
+    Distribution &gather_us;
+    Distribution &infer_us;
+    Distribution &scatter_us;
+    Distribution &complete_us;
+
+    static FlightStats &
+    get()
+    {
+        auto &reg = StatRegistry::instance();
+        static FlightStats s{
+            reg.counter("flight.events",
+                        "flight-recorder events drained"),
+            reg.counter("flight.spans",
+                        "per-request spans assembled"),
+            reg.gauge("flight.dropped",
+                      "events dropped on the hot path (ring full)"),
+            reg.distribution(
+                "serve.phase.queue_us",
+                "per request: enqueue to batch pickup"),
+            reg.distribution(
+                "serve.phase.batch_us",
+                "per batch: worker wait forming the batch"),
+            reg.distribution("serve.phase.gather_us",
+                             "per request: its batch's input gather"),
+            reg.distribution("serve.phase.infer_us",
+                             "per request: its batch's inference"),
+            reg.distribution(
+                "serve.phase.scatter_us",
+                "per request: its batch's output scatter"),
+            reg.distribution(
+                "serve.phase.complete_us",
+                "per batch: publishing Done + waking collectors"),
+        };
+        return s;
+    }
+};
+
+} // namespace
+
+const char *
+toString(FlightPhase p)
+{
+    switch (p) {
+    case FlightPhase::Enqueue:
+        return "enqueue";
+    case FlightPhase::Queue:
+        return "queue";
+    case FlightPhase::BatchForm:
+        return "batch_form";
+    case FlightPhase::Gather:
+        return "gather";
+    case FlightPhase::Infer:
+        return "infer";
+    case FlightPhase::Scatter:
+        return "scatter";
+    case FlightPhase::Complete:
+        return "complete";
+    }
+    return "?";
+}
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder *r = new FlightRecorder(); // never destroyed
+    return *r;
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+uint64_t
+FlightRecorder::nextTraceId()
+{
+    return g_trace_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint32_t
+FlightRecorder::nextBatchId()
+{
+    return g_batch_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void
+FlightRecorder::start()
+{
+    start(Options{});
+}
+
+void
+FlightRecorder::start(Options opts)
+{
+    std::lock_guard<std::mutex> lk(life_mu_);
+    if (started_)
+        return;
+
+    // Power-of-two capacity so the producer masks instead of dividing.
+    size_t cap = 64;
+    while (cap < opts.ring_capacity)
+        cap <<= 1;
+    opts.ring_capacity = cap;
+    if (opts.max_rings == 0)
+        opts.max_rings = 1;
+    opts_ = opts;
+
+    // Retire (never free) any previous lifetime's rings: a producer
+    // caught mid-record keeps a valid buffer, and the epoch bump stops
+    // every thread from writing to them again.
+    static std::vector<std::unique_ptr<Ring>> *graveyard =
+        new std::vector<std::unique_ptr<Ring>>();
+    for (auto &r : rings_)
+        graveyard->push_back(std::move(r));
+    rings_.clear();
+    rings_.reserve(opts_.max_rings);
+    for (size_t i = 0; i < opts_.max_rings; ++i) {
+        auto r = std::make_unique<Ring>();
+        r->buf.resize(opts_.ring_capacity);
+        rings_.push_back(std::move(r));
+    }
+    claimed_.store(0, std::memory_order_relaxed);
+    no_ring_drops_.store(0, std::memory_order_relaxed);
+    drained_.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> dlk(drain_mu_);
+        pending_.clear();
+    }
+    g_epoch.fetch_add(1, std::memory_order_release);
+
+    stop_requested_ = false;
+    started_ = true;
+    detail::g_flight_enabled.store(true, std::memory_order_relaxed);
+    drain_thread_ = std::thread([this] { drainLoop(); });
+}
+
+void
+FlightRecorder::stop()
+{
+    std::lock_guard<std::mutex> lk(life_mu_);
+    if (!started_)
+        return;
+    detail::g_flight_enabled.store(false, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> wlk(wake_mu_);
+        stop_requested_ = true;
+    }
+    drain_cv_.notify_all();
+    if (drain_thread_.joinable())
+        drain_thread_.join();
+    // Final sweep for events recorded after the thread's last pass.
+    {
+        std::lock_guard<std::mutex> dlk(drain_mu_);
+        drainLocked();
+    }
+    started_ = false;
+}
+
+bool
+FlightRecorder::started() const
+{
+    std::lock_guard<std::mutex> lk(life_mu_);
+    return started_;
+}
+
+FlightRecorder::Ring *
+FlightRecorder::claimRing()
+{
+    const uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+    ThreadRingSlot &slot = t_ring_slot;
+    if (slot.epoch == epoch) {
+        if (slot.exhausted)
+            return nullptr;
+        return static_cast<Ring *>(slot.ring);
+    }
+    slot.epoch = epoch;
+    slot.exhausted = false;
+    slot.ring = nullptr;
+    const size_t idx =
+        claimed_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= rings_.size()) {
+        slot.exhausted = true;
+        return nullptr;
+    }
+    slot.ring = rings_[idx].get();
+    return static_cast<Ring *>(slot.ring);
+}
+
+void
+FlightRecorder::record(const FlightEvent &e)
+{
+    if (!enabled())
+        return;
+    Ring *r = claimRing();
+    if (r == nullptr) {
+        no_ring_drops_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const uint64_t tail = r->tail.load(std::memory_order_relaxed);
+    const uint64_t head = r->head.load(std::memory_order_acquire);
+    if (tail - head >= r->buf.size()) {
+        // Full: drop-and-count, never block the serving hot path.
+        r->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    r->buf[tail & (r->buf.size() - 1)] = e;
+    r->tail.store(tail + 1, std::memory_order_release);
+}
+
+void
+FlightRecorder::drainNow()
+{
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    drainLocked();
+}
+
+void
+FlightRecorder::drainLocked()
+{
+    const size_t n_rings =
+        std::min(claimed_.load(std::memory_order_acquire),
+                 rings_.size());
+    uint64_t drained = 0;
+    for (size_t i = 0; i < n_rings; ++i) {
+        Ring &r = *rings_[i];
+        uint64_t head = r.head.load(std::memory_order_relaxed);
+        const uint64_t tail = r.tail.load(std::memory_order_acquire);
+        while (head != tail) {
+            const FlightEvent e = r.buf[head & (r.buf.size() - 1)];
+            ++head;
+            // Free the slot before the (possibly allocating) event
+            // processing so producers regain space promptly.
+            r.head.store(head, std::memory_order_release);
+            processEvent(e, static_cast<uint32_t>(i));
+            ++drained;
+        }
+    }
+    if (drained > 0) {
+        drained_.fetch_add(drained, std::memory_order_relaxed);
+        FlightStats::get().events.add(drained);
+    }
+    FlightStats::get().dropped.set(
+        static_cast<int64_t>(dropped()));
+}
+
+void
+FlightRecorder::processEvent(const FlightEvent &e, uint32_t ring_idx)
+{
+    const auto phase = static_cast<FlightPhase>(e.phase);
+    if (phase == FlightPhase::Enqueue)
+        return; // admission instant; the Queue event carries its t0
+
+    if (pending_.size() >= kMaxPendingBatches)
+        pending_.erase(pending_.begin()); // stale batch; drop oldest
+
+    PendingBatch &b = pending_[e.batch_id];
+    b.ring = ring_idx;
+    switch (phase) {
+    case FlightPhase::Queue: {
+        FlightSpan s;
+        s.trace_id = e.trace_id;
+        s.batch_id = e.batch_id;
+        s.model_id = e.model_id;
+        s.model_version = e.model_version;
+        s.enqueue_us = e.t0_us;
+        s.queue_us = static_cast<double>(e.t1_us - e.t0_us);
+        b.members.push_back(s);
+        FlightStats::get().queue_us.record(s.queue_us);
+        break;
+    }
+    case FlightPhase::BatchForm:
+        b.seen_batch_form = true;
+        b.batch_form_us = static_cast<double>(e.t1_us - e.t0_us);
+        FlightStats::get().batch_us.record(b.batch_form_us);
+        if (opts_.emit_trace)
+            Trace::instance().serveSpan(
+                "batch_form", e.t0_us, e.t1_us - e.t0_us, ring_idx,
+                {{"batch", e.batch_id}});
+        break;
+    case FlightPhase::Gather:
+    case FlightPhase::Infer:
+    case FlightPhase::Scatter: {
+        const double dur = static_cast<double>(e.t1_us - e.t0_us);
+        for (FlightSpan &s : b.members) {
+            if (phase == FlightPhase::Gather)
+                s.gather_us = dur;
+            else if (phase == FlightPhase::Infer)
+                s.infer_us = dur;
+            else
+                s.scatter_us = dur;
+        }
+        // Per-request attribution: every member of the batch paid
+        // this phase, so each records a sample.
+        Distribution &d =
+            phase == FlightPhase::Gather
+                ? FlightStats::get().gather_us
+                : phase == FlightPhase::Infer
+                      ? FlightStats::get().infer_us
+                      : FlightStats::get().scatter_us;
+        const size_t times = std::max<size_t>(1, b.members.size());
+        for (size_t i = 0; i < times; ++i)
+            d.record(dur);
+        if (opts_.emit_trace)
+            Trace::instance().serveSpan(
+                toString(phase), e.t0_us, e.t1_us - e.t0_us, ring_idx,
+                {{"batch", e.batch_id},
+                 {"requests", b.members.size()}});
+        break;
+    }
+    case FlightPhase::Complete:
+        finishBatch(e.batch_id, b, e);
+        pending_.erase(e.batch_id);
+        break;
+    case FlightPhase::Enqueue:
+        break; // handled above
+    }
+}
+
+void
+FlightRecorder::finishBatch(uint32_t batch_id, PendingBatch &b,
+                            const FlightEvent &complete)
+{
+    FlightStats::get().complete_us.record(
+        static_cast<double>(complete.t1_us - complete.t0_us));
+    if (opts_.emit_trace) {
+        Trace::instance().serveSpan(
+            "complete", complete.t0_us,
+            complete.t1_us - complete.t0_us, b.ring,
+            {{"batch", batch_id}});
+        for (const FlightSpan &s : b.members)
+            Trace::instance().serveSpan(
+                "queue", s.enqueue_us,
+                static_cast<uint64_t>(s.queue_us), b.ring,
+                {{"trace", s.trace_id}, {"batch", batch_id}});
+    }
+    if (b.members.empty())
+        return;
+    std::lock_guard<std::mutex> lk(spans_mu_);
+    for (const FlightSpan &s : b.members) {
+        if (spans_.size() >= opts_.max_spans)
+            break; // keep the oldest records under the cap
+        spans_.push_back(s);
+        FlightStats::get().spans.add();
+    }
+}
+
+void
+FlightRecorder::drainLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(wake_mu_);
+            drain_cv_.wait_for(
+                lk, std::chrono::microseconds(opts_.drain_period_us),
+                [this] { return stop_requested_; });
+            if (stop_requested_)
+                return; // stop() runs the final drain after the join
+        }
+        std::lock_guard<std::mutex> lk(drain_mu_);
+        drainLocked();
+    }
+}
+
+std::vector<FlightSpan>
+FlightRecorder::spans() const
+{
+    std::lock_guard<std::mutex> lk(spans_mu_);
+    return spans_;
+}
+
+uint64_t
+FlightRecorder::dropped() const
+{
+    uint64_t n = no_ring_drops_.load(std::memory_order_relaxed);
+    const size_t n_rings =
+        std::min(claimed_.load(std::memory_order_acquire),
+                 rings_.size());
+    for (size_t i = 0; i < n_rings; ++i)
+        n += rings_[i]->dropped.load(std::memory_order_relaxed);
+    return n;
+}
+
+uint64_t
+FlightRecorder::drained() const
+{
+    return drained_.load(std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::reset()
+{
+    std::lock_guard<std::mutex> llk(life_mu_);
+    std::lock_guard<std::mutex> dlk(drain_mu_);
+    std::lock_guard<std::mutex> slk(spans_mu_);
+    pending_.clear();
+    spans_.clear();
+    no_ring_drops_.store(0, std::memory_order_relaxed);
+    drained_.store(0, std::memory_order_relaxed);
+    const size_t n_rings =
+        std::min(claimed_.load(std::memory_order_acquire),
+                 rings_.size());
+    for (size_t i = 0; i < n_rings; ++i)
+        rings_[i]->dropped.store(0, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace tie

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Request-scoped flight recorder for the serving hot path.
+ *
+ * Producers (queue submitters and server workers) write fixed-size
+ * binary FlightEvents into per-thread lock-free SPSC ring buffers that
+ * are preallocated at start(), so recording from the serving hot path
+ * performs **zero heap allocations** and never blocks: when a ring is
+ * full (or every ring is claimed) the event is *dropped and counted*,
+ * never waited for. The whole layer sits behind one relaxed-atomic
+ * gate (FlightRecorder::enabled(), same shape as obs::enabled()); when
+ * off, instrumented call sites cost a single relaxed load + branch.
+ *
+ * A background drain thread empties the rings periodically and
+ *  - assembles per-request span records (trace id, batch id, model,
+ *    queue/gather/infer/scatter attribution),
+ *  - feeds the serve.phase.* Distributions so every JSON report
+ *    carries per-phase p50/p95/p99 latency attribution, and
+ *  - emits the pid-3 "serve" timeline into the Chrome trace
+ *    (obs::Trace::serveSpan).
+ *
+ * Event flow per accepted request: trySubmit assigns a process-unique
+ * trace id and records Enqueue; the worker that dequeues it records a
+ * Queue event joining the trace id to a batch id, then batch-scoped
+ * BatchForm / Gather / Infer / Scatter / Complete spans. Because each
+ * worker owns one ring, its events are drained in program order, so
+ * the drain thread can reassemble batches without timestamps having
+ * to be globally ordered. See docs/observability.md.
+ */
+
+#ifndef TIE_OBS_FLIGHT_RECORDER_HH
+#define TIE_OBS_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tie {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+} // namespace detail
+
+/** Phase of one flight-recorder event. */
+enum class FlightPhase : uint8_t
+{
+    Enqueue = 0,   ///< request accepted (submitter thread; instant)
+    Queue = 1,     ///< per request: enqueue -> picked into a batch
+    BatchForm = 2, ///< per batch: worker waiting in dequeueBatch
+    Gather = 3,    ///< per batch: staging inputs into columns
+    Infer = 4,     ///< per batch: the session chain
+    Scatter = 5,   ///< per batch: staging outputs back to slots
+    Complete = 6,  ///< per batch: publishing Done + waking collectors
+};
+
+/** Stable phase name ("queue", "gather", ...). */
+const char *toString(FlightPhase p);
+
+/**
+ * One fixed-size binary event. Batch-scoped events (BatchForm, Gather,
+ * Infer, Scatter, Complete) carry trace_id 0; Enqueue carries batch_id
+ * 0. Written by exactly one thread into its own ring, read by the
+ * drain thread after an acquire on the ring tail.
+ */
+struct FlightEvent
+{
+    uint64_t t0_us = 0;   ///< span start, hostNowUs domain
+    uint64_t t1_us = 0;   ///< span end (== t0_us for instants)
+    uint64_t trace_id = 0; ///< request identity (0: batch-scoped)
+    uint32_t batch_id = 0; ///< batch identity (0: not yet batched)
+    uint16_t model_id = 0; ///< serving model (registry-assigned)
+    uint16_t model_version = 0; ///< model version at execution
+    uint8_t phase = 0;    ///< FlightPhase
+    uint8_t pad[7] = {};  ///< keep the record size fixed + aligned
+};
+
+static_assert(sizeof(FlightEvent) == 40,
+              "flight events are fixed-size binary records");
+
+/** Fully assembled per-request span record (drain output). */
+struct FlightSpan
+{
+    uint64_t trace_id = 0;
+    uint32_t batch_id = 0;
+    uint16_t model_id = 0;
+    uint16_t model_version = 0;
+    uint64_t enqueue_us = 0; ///< hostNowUs at admission
+    double queue_us = 0;     ///< enqueue -> batch pickup
+    double gather_us = 0;    ///< its batch's gather span
+    double infer_us = 0;     ///< its batch's inference span
+    double scatter_us = 0;   ///< its batch's scatter span
+};
+
+class FlightRecorder
+{
+  public:
+    struct Options
+    {
+        /** Events per ring; rounded up to a power of two. */
+        size_t ring_capacity = 4096;
+        /** Producer threads that can claim a ring; later threads
+            drop (and count) their events instead of blocking. */
+        size_t max_rings = 32;
+        /** Drain-thread wakeup period. */
+        uint64_t drain_period_us = 10000;
+        /** Retained per-request span records (oldest kept). */
+        size_t max_spans = 65536;
+        /** Also emit pid-3 "serve" spans into obs::Trace. */
+        bool emit_trace = true;
+    };
+
+    static FlightRecorder &instance();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Recording gate: one relaxed atomic load. */
+    static bool
+    enabled()
+    {
+        return detail::g_flight_enabled.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Allocate the rings and start the drain thread. No-op when
+     * already started (stop() first to change options).
+     */
+    void start(Options opts);
+    void start(); ///< start with default Options
+
+
+    /**
+     * Disable recording, drain every ring a final time and join the
+     * drain thread. Idempotent; safe when never started. Assembled
+     * spans and drop counts stay readable after stop.
+     */
+    void stop();
+
+    bool started() const;
+
+    /**
+     * Record one event (lock-free, allocation-free, never blocks).
+     * Drops — a full ring, or more producer threads than rings — are
+     * counted in dropped(), never waited out.
+     */
+    void record(const FlightEvent &e);
+
+    /** Drain all rings synchronously (tests; also used by stop()). */
+    void drainNow();
+
+    /** Copy of the assembled per-request spans, oldest first. */
+    std::vector<FlightSpan> spans() const;
+
+    /** Events dropped on the hot path (ring full / no ring). */
+    uint64_t dropped() const;
+
+    /** Events successfully drained so far. */
+    uint64_t drained() const;
+
+    /** Drop every assembled span and zero the counters (tests). */
+    void reset();
+
+    /** Process-unique trace id (relaxed atomic; starts at 1). */
+    static uint64_t nextTraceId();
+
+    /** Process-unique batch id (relaxed atomic; starts at 1). */
+    static uint32_t nextBatchId();
+
+  private:
+    FlightRecorder() = default;
+    ~FlightRecorder();
+
+    /** SPSC ring: one producer thread, the drain thread consumes. */
+    struct Ring
+    {
+        alignas(64) std::atomic<uint64_t> head{0}; ///< consumer
+        alignas(64) std::atomic<uint64_t> tail{0}; ///< producer
+        std::atomic<uint64_t> dropped{0};
+        std::vector<FlightEvent> buf;
+    };
+
+    /** Batch being reassembled by the drain thread. */
+    struct PendingBatch
+    {
+        std::vector<FlightSpan> members;
+        uint32_t ring = 0;
+        double batch_form_us = 0;
+        bool seen_batch_form = false;
+    };
+
+    Ring *claimRing();
+    void drainLocked();
+    void processEvent(const FlightEvent &e, uint32_t ring_idx);
+    void finishBatch(uint32_t batch_id, PendingBatch &b,
+                     const FlightEvent &complete);
+    void drainLoop();
+
+    mutable std::mutex life_mu_; ///< start/stop transitions
+    std::mutex drain_mu_;        ///< drain thread vs drainNow()
+    std::condition_variable drain_cv_;
+    std::mutex wake_mu_;
+    bool stop_requested_ = false;
+    bool started_ = false;
+    Options opts_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+    std::atomic<size_t> claimed_{0};
+    std::atomic<uint64_t> no_ring_drops_{0};
+    std::atomic<uint64_t> drained_{0};
+    std::thread drain_thread_;
+
+    /** Drain-thread state (guarded by drain_mu_). */
+    std::map<uint32_t, PendingBatch> pending_;
+
+    mutable std::mutex spans_mu_;
+    std::vector<FlightSpan> spans_;
+};
+
+} // namespace obs
+} // namespace tie
+
+#endif // TIE_OBS_FLIGHT_RECORDER_HH

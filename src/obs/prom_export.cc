@@ -1,0 +1,109 @@
+#include "obs/prom_export.hh"
+
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/stat_registry.hh"
+
+namespace tie {
+namespace obs {
+
+namespace {
+
+bool
+promNameChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+/** Escape a HELP text: backslash and newline per the exposition spec. */
+std::string
+promEscapeHelp(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+struct PromVisitor : StatRegistry::Visitor
+{
+    std::string counters, gauges, summaries;
+
+    static void
+    help(std::string &out, const std::string &metric,
+         const std::string &desc, const char *type)
+    {
+        if (!desc.empty())
+            out += "# HELP " + metric + " " + promEscapeHelp(desc) +
+                   "\n";
+        out += "# TYPE " + metric + " " + type + "\n";
+    }
+
+    void
+    onCounter(const std::string &name, const std::string &desc,
+              const Counter &c) override
+    {
+        const std::string metric = promMetricName(name);
+        help(counters, metric, desc, "counter");
+        counters += metric + " " + std::to_string(c.value()) + "\n";
+    }
+
+    void
+    onGauge(const std::string &name, const std::string &desc,
+            const Gauge &g) override
+    {
+        const std::string metric = promMetricName(name);
+        help(gauges, metric, desc, "gauge");
+        gauges += metric + " " + std::to_string(g.value()) + "\n";
+    }
+
+    void
+    onDistribution(const std::string &name, const std::string &desc,
+                   const Distribution &d) override
+    {
+        const std::string metric = promMetricName(name);
+        const Distribution::Snapshot s = d.snapshot();
+        help(summaries, metric, desc, "summary");
+        summaries += metric + "{quantile=\"0.5\"} " +
+                     jsonNumber(d.percentile(50)) + "\n";
+        summaries += metric + "{quantile=\"0.95\"} " +
+                     jsonNumber(d.percentile(95)) + "\n";
+        summaries += metric + "{quantile=\"0.99\"} " +
+                     jsonNumber(d.percentile(99)) + "\n";
+        summaries += metric + "_sum " + jsonNumber(s.sum) + "\n";
+        summaries +=
+            metric + "_count " + std::to_string(s.count) + "\n";
+    }
+};
+
+} // namespace
+
+std::string
+promMetricName(const std::string &stat_name)
+{
+    std::string out = "tie_";
+    out.reserve(stat_name.size() + 4);
+    for (char c : stat_name)
+        out += promNameChar(c) ? c : '_';
+    return out;
+}
+
+std::string
+prometheusText()
+{
+    PromVisitor v;
+    StatRegistry::instance().visit(v);
+    return v.counters + v.gauges + v.summaries;
+}
+
+} // namespace obs
+} // namespace tie

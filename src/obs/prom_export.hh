@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) rendering of the whole
+ * StatRegistry. Mapping:
+ *
+ *  - Counter      -> `# TYPE tie_<name> counter` + one sample
+ *  - Gauge        -> `# TYPE tie_<name> gauge` + one sample
+ *  - Distribution -> `# TYPE tie_<name> summary`: quantile samples
+ *    (0.5 / 0.95 / 0.99), then `tie_<name>_sum` and `tie_<name>_count`
+ *    with Prometheus summary semantics (sum of all observed values,
+ *    number of observations).
+ *
+ * Stat names are sanitized ('.' and any other non-[a-zA-Z0-9_] become
+ * '_') and prefixed with `tie_`; a `# HELP` line carries the registry
+ * description when one was given. Families appear counters first, then
+ * gauges, then summaries, each in sorted name order, so the exposition
+ * is stable for fixed stat values. See docs/observability.md.
+ */
+
+#ifndef TIE_OBS_PROM_EXPORT_HH
+#define TIE_OBS_PROM_EXPORT_HH
+
+#include <string>
+
+namespace tie {
+namespace obs {
+
+/** Render one metric name the way prometheusText() will ("tie_" +
+ * sanitized name). Exposed for tests and endpoint smoke checks. */
+std::string promMetricName(const std::string &stat_name);
+
+/** The full StatRegistry as Prometheus text exposition format. */
+std::string prometheusText();
+
+} // namespace obs
+} // namespace tie
+
+#endif // TIE_OBS_PROM_EXPORT_HH

@@ -188,6 +188,18 @@ StatRegistry::toJson() const
     return w.str();
 }
 
+void
+StatRegistry::visit(Visitor &v) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &kv : counters_)
+        v.onCounter(kv.first, kv.second.desc, *kv.second.stat);
+    for (const auto &kv : gauges_)
+        v.onGauge(kv.first, kv.second.desc, *kv.second.stat);
+    for (const auto &kv : dists_)
+        v.onDistribution(kv.first, kv.second.desc, *kv.second.stat);
+}
+
 std::string
 StatRegistry::toCsv() const
 {

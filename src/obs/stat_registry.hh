@@ -168,6 +168,28 @@ class StatRegistry
     /** "name,type,value[,sum,min,max]" lines, names sorted. */
     std::string toCsv() const;
 
+    /**
+     * Read-only visitor over every registered stat, each family in
+     * sorted name order (the Prometheus exporter's iteration API).
+     * The registry lock is held for the whole walk, so callbacks must
+     * not call back into the registry.
+     */
+    struct Visitor
+    {
+        virtual ~Visitor() = default;
+        virtual void onCounter(const std::string &name,
+                               const std::string &desc,
+                               const Counter &c) = 0;
+        virtual void onGauge(const std::string &name,
+                             const std::string &desc,
+                             const Gauge &g) = 0;
+        virtual void onDistribution(const std::string &name,
+                                    const std::string &desc,
+                                    const Distribution &d) = 0;
+    };
+
+    void visit(Visitor &v) const;
+
   private:
     StatRegistry() = default;
 

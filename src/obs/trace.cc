@@ -64,6 +64,23 @@ Trace::hostSpan(std::string name, uint64_t ts_us, uint64_t dur_us,
 }
 
 void
+Trace::setServeCategory(bool serve)
+{
+    serve_on_.store(serve, std::memory_order_relaxed);
+}
+
+void
+Trace::serveSpan(std::string name, uint64_t ts_us, uint64_t dur_us,
+                 uint32_t tid, std::vector<Arg> args)
+{
+    if (!serveOn())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    serve_events_.push_back(Event{std::move(name), ts_us, dur_us, tid,
+                                  std::move(args)});
+}
+
+void
 Trace::setSimTrackName(uint32_t tid, std::string name)
 {
     std::lock_guard<std::mutex> lk(mu_);
@@ -90,6 +107,7 @@ Trace::clear()
     std::lock_guard<std::mutex> lk(mu_);
     sim_events_.clear();
     host_events_.clear();
+    serve_events_.clear();
     sim_track_names_.clear();
     sim_cursor_ = 0;
 }
@@ -108,10 +126,18 @@ Trace::hostEventCount() const
     return host_events_.size();
 }
 
+size_t
+Trace::serveEventCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return serve_events_.size();
+}
+
 namespace {
 
 constexpr int kSimPid = 1;
 constexpr int kHostPid = 2;
+constexpr int kServePid = 3;
 
 void
 writeMeta(JsonWriter &w, const char *name, int pid, int tid,
@@ -145,6 +171,9 @@ Trace::toJson() const
                   "TIE simulator (cycles)");
     if (!host_events_.empty())
         writeMeta(w, "process_name", kHostPid, -1, "host (wall-clock)");
+    if (!serve_events_.empty())
+        writeMeta(w, "process_name", kServePid, -1,
+                  "serve (wall-clock)");
     if (!sim_events_.empty())
         for (const auto &kv : sim_track_names_)
             writeMeta(w, "thread_name", kSimPid,
@@ -171,23 +200,28 @@ Trace::toJson() const
     for (const Event &e : sim_events_)
         emit(e, kSimPid, "sim");
 
-    // Host events arrive from racing threads in nondeterministic
+    // Host/serve events arrive from racing threads in nondeterministic
     // order; sort for a canonical (though still timing-dependent)
     // layout.
-    std::vector<const Event *> host;
-    host.reserve(host_events_.size());
-    for (const Event &e : host_events_)
-        host.push_back(&e);
-    std::stable_sort(host.begin(), host.end(),
-                     [](const Event *a, const Event *b) {
-                         if (a->ts != b->ts)
-                             return a->ts < b->ts;
-                         if (a->tid != b->tid)
-                             return a->tid < b->tid;
-                         return a->name < b->name;
-                     });
-    for (const Event *e : host)
+    auto sorted = [](const std::vector<Event> &events) {
+        std::vector<const Event *> out;
+        out.reserve(events.size());
+        for (const Event &e : events)
+            out.push_back(&e);
+        std::stable_sort(out.begin(), out.end(),
+                         [](const Event *a, const Event *b) {
+                             if (a->ts != b->ts)
+                                 return a->ts < b->ts;
+                             if (a->tid != b->tid)
+                                 return a->tid < b->tid;
+                             return a->name < b->name;
+                         });
+        return out;
+    };
+    for (const Event *e : sorted(host_events_))
         emit(*e, kHostPid, "host");
+    for (const Event *e : sorted(serve_events_))
+        emit(*e, kServePid, "serve");
 
     w.endArray();
     w.endObject();

@@ -12,6 +12,10 @@
  *  - pid 2, category "host": wall-clock spans of host-side work (pool
  *    chunks, GEMM tiles, TT-SVD) in microseconds since the first
  *    observation. These are inherently non-deterministic.
+ *  - pid 3, category "serve": the request-serving timeline emitted by
+ *    the flight-recorder drain thread (obs/flight_recorder.hh) —
+ *    per-batch batch_form/gather/infer/scatter/complete spans and
+ *    per-request queue spans, one track per recorder ring.
  *
  * Recording is gated by obs::enabled() plus a per-category switch;
  * when off, a HostSpan construction is two relaxed atomic loads.
@@ -55,8 +59,11 @@ class Trace
         uint64_t value;
     };
 
-    /** Enable/disable the two categories (both on by default). */
+    /** Enable/disable the sim/host categories (both on by default). */
     void setCategories(bool sim, bool host);
+
+    /** Enable/disable the serve category (on by default). */
+    void setServeCategory(bool serve);
 
     bool
     simOn() const
@@ -68,6 +75,11 @@ class Trace
     {
         return enabled() && host_on_.load(std::memory_order_relaxed);
     }
+    bool
+    serveOn() const
+    {
+        return enabled() && serve_on_.load(std::memory_order_relaxed);
+    }
 
     /** Complete event on the simulated-cycle timeline (pid 1). */
     void simSpan(std::string name, uint64_t ts_cycles,
@@ -77,6 +89,10 @@ class Trace
     /** Complete event on the host wall-clock timeline (pid 2). */
     void hostSpan(std::string name, uint64_t ts_us, uint64_t dur_us,
                   uint32_t tid);
+
+    /** Complete event on the serve timeline (pid 3). */
+    void serveSpan(std::string name, uint64_t ts_us, uint64_t dur_us,
+                   uint32_t tid, std::vector<Arg> args = {});
 
     /** Name a simulated-timeline track (idempotent). */
     void setSimTrackName(uint32_t tid, std::string name);
@@ -94,6 +110,7 @@ class Trace
 
     size_t simEventCount() const;
     size_t hostEventCount() const;
+    size_t serveEventCount() const;
 
     /**
      * Serialize as a Chrome trace JSON object. Metadata first, then
@@ -117,9 +134,11 @@ class Trace
     mutable std::mutex mu_;
     std::atomic<bool> sim_on_{true};
     std::atomic<bool> host_on_{true};
+    std::atomic<bool> serve_on_{true};
     uint64_t sim_cursor_ = 0;
     std::vector<Event> sim_events_;
     std::vector<Event> host_events_;
+    std::vector<Event> serve_events_;
     std::map<uint32_t, std::string> sim_track_names_;
 };
 

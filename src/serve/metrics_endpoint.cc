@@ -1,0 +1,191 @@
+#include "serve/metrics_endpoint.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/prom_export.hh"
+
+namespace tie {
+namespace serve {
+
+namespace {
+
+/** Write all of @p s to @p fd, retrying on short writes / EINTR. */
+void
+writeAll(int fd, const std::string &s)
+{
+    size_t off = 0;
+    while (off < s.size()) {
+        const ssize_t n =
+            ::send(fd, s.data() + off, s.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // client went away; nothing to clean up
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+std::string
+httpResponse(const std::string &body)
+{
+    std::string r = "HTTP/1.0 200 OK\r\n";
+    r += "Content-Type: text/plain; version=0.0.4; "
+         "charset=utf-8\r\n";
+    r += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    r += "Connection: close\r\n\r\n";
+    r += body;
+    return r;
+}
+
+} // namespace
+
+MetricsEndpoint::~MetricsEndpoint()
+{
+    stop();
+}
+
+bool
+MetricsEndpoint::start(MetricsEndpointOptions opts)
+{
+    if (running_)
+        return true;
+    opts_ = std::move(opts);
+    stop_flag_.store(false, std::memory_order_relaxed);
+    port_ = 0;
+    listen_fd_ = -1;
+
+    if (opts_.port >= 0) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            TIE_WARN("metrics endpoint: socket() failed: ",
+                     std::strerror(errno));
+            return false;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<uint16_t>(opts_.port));
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 16) != 0) {
+            TIE_WARN("metrics endpoint: cannot listen on 127.0.0.1:",
+                     opts_.port, ": ", std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            port_ = static_cast<int>(ntohs(bound.sin_port));
+        listen_fd_ = fd;
+        accept_thread_ = std::thread([this] { acceptLoop(); });
+    }
+
+    if (!opts_.snapshot_path.empty())
+        snapshot_thread_ = std::thread([this] { snapshotLoop(); });
+
+    running_ = listen_fd_ >= 0 || !opts_.snapshot_path.empty();
+    return running_;
+}
+
+void
+MetricsEndpoint::stop()
+{
+    if (!running_)
+        return;
+    stop_flag_.store(true, std::memory_order_relaxed);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (snapshot_thread_.joinable())
+        snapshot_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    if (!opts_.snapshot_path.empty())
+        writeSnapshot(); // final state survives the process
+    running_ = false;
+}
+
+void
+MetricsEndpoint::acceptLoop()
+{
+    for (;;) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, /*timeout_ms=*/50);
+        if (stop_flag_.load(std::memory_order_relaxed))
+            return;
+        if (r <= 0)
+            continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        // Read (and ignore) the request line + headers; the endpoint
+        // serves exactly one document. A short poll keeps a stuck
+        // client from wedging the loop.
+        pollfd cfd{};
+        cfd.fd = client;
+        cfd.events = POLLIN;
+        if (::poll(&cfd, 1, /*timeout_ms=*/1000) > 0) {
+            char buf[4096];
+            (void)::recv(client, buf, sizeof(buf), 0);
+        }
+        writeAll(client, httpResponse(obs::prometheusText()));
+        ::close(client);
+    }
+}
+
+void
+MetricsEndpoint::snapshotLoop()
+{
+    const auto period =
+        std::chrono::milliseconds(opts_.snapshot_period_ms);
+    auto next = std::chrono::steady_clock::now();
+    for (;;) {
+        writeSnapshot();
+        next += period;
+        while (std::chrono::steady_clock::now() < next) {
+            if (stop_flag_.load(std::memory_order_relaxed))
+                return;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        if (stop_flag_.load(std::memory_order_relaxed))
+            return;
+    }
+}
+
+void
+MetricsEndpoint::writeSnapshot() const
+{
+    const std::string tmp = opts_.snapshot_path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        if (!f)
+            return;
+        f << obs::prometheusText();
+    }
+    // Atomic replace: a reader never sees a torn exposition.
+    std::rename(tmp.c_str(), opts_.snapshot_path.c_str());
+}
+
+} // namespace serve
+} // namespace tie

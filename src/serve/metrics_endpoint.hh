@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal live-metrics endpoint: a blocking loopback TCP listener that
+ * answers every HTTP GET with the current Prometheus text exposition
+ * of the StatRegistry (obs/prom_export.hh), plus an optional periodic
+ * file-snapshot mode for no-network CI.
+ *
+ * This is deliberately the repo's first socket code — a minimal,
+ * single-threaded accept loop (one request per connection, HTTP/1.0
+ * close semantics) that the ROADMAP cluster transport can later grow
+ * out of. The accept loop runs on a dedicated thread; poll(2) with a
+ * short timeout keeps stop() prompt without signals.
+ */
+
+#ifndef TIE_SERVE_METRICS_ENDPOINT_HH
+#define TIE_SERVE_METRICS_ENDPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace tie {
+namespace serve {
+
+struct MetricsEndpointOptions
+{
+    /** TCP port to bind on 127.0.0.1; 0 picks an ephemeral port
+        (read the result from port()). Negative: no listener. */
+    int port = 0;
+    /** When non-empty, rewrite this file with the current exposition
+        every snapshot_period_ms (atomic rename). */
+    std::string snapshot_path;
+    uint64_t snapshot_period_ms = 1000;
+};
+
+/**
+ * Serves obs::prometheusText() over HTTP and/or periodic file
+ * snapshots. start() binds and spawns the serving thread(s); stop()
+ * (also run by the destructor) closes the socket, writes one final
+ * snapshot and joins.
+ */
+class MetricsEndpoint
+{
+  public:
+    MetricsEndpoint() = default;
+    ~MetricsEndpoint();
+
+    MetricsEndpoint(const MetricsEndpoint &) = delete;
+    MetricsEndpoint &operator=(const MetricsEndpoint &) = delete;
+
+    /**
+     * Bind and start serving. Returns false (with no threads started)
+     * when the listener cannot bind; a snapshot-only configuration
+     * (negative port, non-empty snapshot_path) always succeeds.
+     */
+    bool start(MetricsEndpointOptions opts);
+
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** Bound TCP port (after start with port >= 0), else 0. */
+    int port() const { return port_; }
+
+  private:
+    void acceptLoop();
+    void snapshotLoop();
+    void writeSnapshot() const;
+
+    MetricsEndpointOptions opts_;
+    std::atomic<bool> stop_flag_{false};
+    bool running_ = false;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::thread accept_thread_;
+    std::thread snapshot_thread_;
+};
+
+} // namespace serve
+} // namespace tie
+
+#endif // TIE_SERVE_METRICS_ENDPOINT_HH

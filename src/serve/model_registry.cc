@@ -47,6 +47,13 @@ ModelRegistry::publishEntry(const std::string &name,
         entry->version = slot != nullptr ? slot->version + 1 : 1;
         displaced = std::move(slot);
         slot = entry;
+        // Stamp the flight-recorder identity now that the version is
+        // known (it is assigned here, after Server construction).
+        uint16_t &model_id = model_ids_[name];
+        if (model_id == 0)
+            model_id = next_model_id_++;
+        entry->server->setFlightTag(
+            model_id, static_cast<uint16_t>(entry->version));
     }
     // The new version is live; drain the old one. Requests that raced
     // the swap onto the displaced server were *accepted* and are run

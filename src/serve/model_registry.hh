@@ -154,6 +154,9 @@ class ModelRegistry
     ServerOptions opts_;
     mutable std::mutex mu_;
     std::map<std::string, std::shared_ptr<Entry>> models_;
+    /** Flight-recorder model ids: stable per name across versions. */
+    std::map<std::string, uint16_t> model_ids_;
+    uint16_t next_model_id_ = 1;
 };
 
 } // namespace serve

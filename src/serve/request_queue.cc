@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/stat_registry.hh"
+#include "obs/trace.hh"
 #include "serve/serve_stats.hh"
 
 namespace tie {
@@ -67,6 +69,11 @@ Ticket
 RequestQueue::trySubmit(const double *x, uint64_t deadline_us)
 {
     TIE_CHECK_ARG(x != nullptr, "trySubmit needs a non-null input");
+    // Sampled before the lock so the gate cost stays one relaxed load
+    // and the Enqueue event below matches the assigned trace id.
+    const bool fr = obs::FlightRecorder::enabled();
+    uint64_t trace_id = 0;
+    uint64_t enqueue_us = 0;
     {
         std::lock_guard<std::mutex> lk(mu_);
         if (!stop_ && size_ < capacity_ && !free_.empty()) {
@@ -77,12 +84,26 @@ RequestQueue::trySubmit(const double *x, uint64_t deadline_us)
             s.enqueued_at = Clock::now();
             s.deadline_us = deadline_us;
             s.timing = RequestTiming{};
+            if (fr) {
+                trace_id = obs::FlightRecorder::nextTraceId();
+                enqueue_us = obs::hostNowUs();
+            }
+            s.trace_id = trace_id;
+            s.enqueue_us = enqueue_us;
             std::copy(x, x + in_elems_, s.input.begin());
             ring_[(head_ + size_) % ring_.size()] = id;
             ++size_;
             if (obs::enabled())
                 detail::ServeStats::get().accepted.add();
             work_cv_.notify_one();
+            if (fr) {
+                obs::FlightEvent e;
+                e.t0_us = e.t1_us = enqueue_us;
+                e.trace_id = trace_id;
+                e.phase =
+                    static_cast<uint8_t>(obs::FlightPhase::Enqueue);
+                obs::FlightRecorder::instance().record(e);
+            }
             return Ticket{id, s.gen};
         }
     }
@@ -190,6 +211,20 @@ RequestQueue::output(uint32_t id)
 {
     TIE_CHECK_ARG(id < slots_.size(), "slot id ", id, " out of range");
     return slots_[id].output;
+}
+
+uint64_t
+RequestQueue::traceId(uint32_t id) const
+{
+    TIE_CHECK_ARG(id < slots_.size(), "slot id ", id, " out of range");
+    return slots_[id].trace_id;
+}
+
+uint64_t
+RequestQueue::enqueueUs(uint32_t id) const
+{
+    TIE_CHECK_ARG(id < slots_.size(), "slot id ", id, " out of range");
+    return slots_[id].enqueue_us;
 }
 
 void

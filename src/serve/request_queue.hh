@@ -103,6 +103,15 @@ class RequestQueue
     std::vector<double> &output(uint32_t id);
 
     /**
+     * Flight-recorder identity of a dequeued (Running) slot: the
+     * trace id assigned at admission (0 when the recorder was off at
+     * submit time) and the admission timestamp in the hostNowUs
+     * domain. Same ownership contract as input()/output().
+     */
+    uint64_t traceId(uint32_t id) const;
+    uint64_t enqueueUs(uint32_t id) const;
+
+    /**
      * Publish a finished batch: every id becomes Done with the given
      * per-batch service time and its waiting collector is woken.
      */
@@ -135,6 +144,8 @@ class RequestQueue
         Clock::time_point enqueued_at{};
         uint64_t deadline_us = 0;
         RequestTiming timing{};
+        uint64_t trace_id = 0;   ///< flight-recorder id (0: off)
+        uint64_t enqueue_us = 0; ///< hostNowUs at admission
     };
 
     const size_t capacity_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
 #include "serve/serve_stats.hh"
@@ -172,21 +173,63 @@ Server::workerLoop(Worker &w)
     const size_t n_in = in_size_;
     const size_t n_out = out_size_;
     for (;;) {
+        // Sample the recorder gate once per batch so the event set is
+        // internally consistent even if the recorder flips mid-batch.
+        const bool fr = obs::FlightRecorder::enabled();
+        const uint64_t bf_t0 = fr ? obs::hostNowUs() : 0;
+
         const size_t n = queue_.dequeueBatch(
             opts_.max_batch, opts_.batch_timeout_us, w.ids.data());
         if (n == 0)
             return; // stopped and drained
         obs::HostSpan span("serve.batch");
 
+        uint32_t batch_id = 0;
+        obs::FlightEvent ev; // template: all events share the tag
+        if (fr) {
+            batch_id = obs::FlightRecorder::nextBatchId();
+            const uint32_t tag =
+                flight_tag_.load(std::memory_order_relaxed);
+            ev.batch_id = batch_id;
+            ev.model_id = static_cast<uint16_t>(tag >> 16);
+            ev.model_version = static_cast<uint16_t>(tag & 0xffff);
+        }
+        auto flight = [&](obs::FlightPhase ph, uint64_t t0,
+                          uint64_t t1, uint64_t trace_id = 0) {
+            ev.phase = static_cast<uint8_t>(ph);
+            ev.t0_us = t0;
+            ev.t1_us = t1;
+            ev.trace_id = trace_id;
+            obs::FlightRecorder::instance().record(ev);
+        };
+        if (fr) {
+            const uint64_t now = obs::hostNowUs();
+            // BatchForm first, then the member Queue events: the
+            // drain thread reassembles this worker's ring in order.
+            flight(obs::FlightPhase::BatchForm, bf_t0, now);
+            for (size_t b = 0; b < n; ++b) {
+                const uint64_t trace_id = queue_.traceId(w.ids[b]);
+                if (trace_id != 0)
+                    flight(obs::FlightPhase::Queue,
+                           queue_.enqueueUs(w.ids[b]), now, trace_id);
+            }
+        }
+
         // Gather: request b becomes column b of the row-major
         // N x n staging block — the layout under which batched TT
         // inference is column-wise bit-identical to batch-1 runs.
+        uint64_t ph_t0 = fr ? obs::hostNowUs() : 0;
         double *cur = w.buf_a.data();
         double *nxt = w.buf_b.data();
         for (size_t b = 0; b < n; ++b) {
             const std::vector<double> &in = queue_.input(w.ids[b]);
             for (size_t r = 0; r < n_in; ++r)
                 cur[r * n + b] = in[r];
+        }
+        if (fr) {
+            const uint64_t now = obs::hostNowUs();
+            flight(obs::FlightPhase::Gather, ph_t0, now);
+            ph_t0 = now;
         }
 
         const Clock::time_point t0 = Clock::now();
@@ -198,11 +241,21 @@ Server::workerLoop(Worker &w)
             std::chrono::duration<double, std::micro>(Clock::now() -
                                                       t0)
                 .count();
+        if (fr) {
+            const uint64_t now = obs::hostNowUs();
+            flight(obs::FlightPhase::Infer, ph_t0, now);
+            ph_t0 = now;
+        }
 
         for (size_t b = 0; b < n; ++b) {
             std::vector<double> &out = queue_.output(w.ids[b]);
             for (size_t r = 0; r < n_out; ++r)
                 out[r] = cur[r * n + b];
+        }
+        if (fr) {
+            const uint64_t now = obs::hostNowUs();
+            flight(obs::FlightPhase::Scatter, ph_t0, now);
+            ph_t0 = now;
         }
 
         if (obs::enabled()) {
@@ -212,6 +265,9 @@ Server::workerLoop(Worker &w)
             ss.service_us.record(service_us);
         }
         queue_.completeBatch(w.ids.data(), n, service_us);
+        if (fr)
+            flight(obs::FlightPhase::Complete, ph_t0,
+                   obs::hostNowUs());
     }
 }
 

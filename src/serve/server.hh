@@ -27,7 +27,9 @@
 #ifndef TIE_SERVE_SERVER_HH
 #define TIE_SERVE_SERVER_HH
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -122,6 +124,19 @@ class Server
     /** Pending (queued) requests right now. */
     size_t queueDepth() const { return queue_.depth(); }
 
+    /**
+     * Identity stamped on this server's flight-recorder events
+     * (obs/flight_recorder.hh). The ModelRegistry sets it after
+     * publishing — versions are assigned at publish time, after the
+     * Server is constructed — so it is an atomic, settable any time.
+     */
+    void
+    setFlightTag(uint16_t model_id, uint16_t model_version)
+    {
+        flight_tag_.store((uint32_t(model_id) << 16) | model_version,
+                          std::memory_order_relaxed);
+    }
+
   private:
     struct Worker
     {
@@ -147,6 +162,8 @@ class Server
     RequestQueue queue_;
     std::vector<std::unique_ptr<Worker>> workers_;
     bool stopped_ = false;
+    /** (model_id << 16) | model_version for flight events. */
+    std::atomic<uint32_t> flight_tag_{0};
 };
 
 } // namespace serve

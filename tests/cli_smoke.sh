@@ -1,7 +1,10 @@
 #!/bin/sh
-# Smoke test for tie_cli: synth -> info -> round -> simulate round trip.
+# Smoke test for tie_cli: synth -> info -> round -> simulate round trip,
+# plus the metrics endpoint, the stats pretty-printer, and (when the
+# binary is passed as $2) the bench_diff regression gate.
 set -e
 CLI="$1"
+BENCH_DIFF="$2"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
 
@@ -59,5 +62,84 @@ sim_b = [e for e in b["traceEvents"] if e.get("pid") == 1]
 assert sim_a, "no sim events traced"
 assert sim_a == sim_b, "sim trace is not deterministic"
 EOF
+
+# Metrics endpoint: serve-bench exposes the registry in Prometheus
+# text format on an ephemeral loopback port and mirrors it to a file
+# snapshot. The linger keeps the process alive for the scrape.
+"$CLI" serve-bench "$DIR/a.tie" --requests 64 --clients 2 \
+    --metrics-port 0 --metrics-linger-ms 8000 \
+    --metrics-snapshot "$DIR/snap.prom" \
+    --stats-json="$DIR/serve_stats.json" > "$DIR/serve_out.txt" &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n \
+        's/^metrics: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$DIR/serve_out.txt")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "serve-bench never announced its metrics port" >&2
+    cat "$DIR/serve_out.txt" >&2
+    exit 1
+fi
+# Scrape until the load run's series have landed (the first scrape
+# can race the initial flight-recorder drain).
+SCRAPED=""
+for _ in $(seq 1 30); do
+    python3 - "$PORT" > "$DIR/metrics.prom" <<'EOF' || true
+import sys, urllib.request
+url = "http://127.0.0.1:%s/metrics" % sys.argv[1]
+sys.stdout.write(
+    urllib.request.urlopen(url, timeout=10).read().decode())
+EOF
+    if grep -q 'tie_serve_phase_infer_us{quantile="0.99"}' \
+        "$DIR/metrics.prom"; then
+        SCRAPED=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$SCRAPED" ]; then
+    echo "metrics scrape never exposed the phase series" >&2
+    cat "$DIR/metrics.prom" >&2
+    exit 1
+fi
+grep -q "^# TYPE tie_serve_accepted counter" "$DIR/metrics.prom"
+grep -q "^tie_simd_isa " "$DIR/metrics.prom"
+grep -q "^tie_serve_phase_queue_us_count " "$DIR/metrics.prom"
+wait "$SERVE_PID"
+# The periodic snapshot file carries the same exposition format.
+grep -q "^# HELP tie_" "$DIR/snap.prom"
+grep -q "^tie_serve_completed " "$DIR/snap.prom"
+# The report table carries the flight-recorder phase attribution.
+grep -q "phase infer" "$DIR/serve_out.txt"
+
+# Stats pretty-printer renders the session report.
+"$CLI" stats "$DIR/serve_stats.json" | grep -q "distribution"
+"$CLI" stats "$DIR/serve_stats.json" | grep -q "serve.phase.infer_us"
+
+# bench_diff: identical reports compare clean (exit 0); a perturbed
+# latency distribution must trip the gate (nonzero exit).
+if [ -n "$BENCH_DIFF" ]; then
+    "$BENCH_DIFF" "$DIR/serve_stats.json" "$DIR/serve_stats.json"
+    python3 - "$DIR/serve_stats.json" "$DIR/serve_bad.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+ds = d["stats"]["distributions"]
+assert ds, "no distributions in the serve report"
+for rec in ds.values():
+    for k in ("p50", "p95", "p99"):
+        if k in rec:
+            rec[k] = rec[k] * 10 + 1000
+json.dump(d, open(sys.argv[2], "w"))
+EOF
+    if "$BENCH_DIFF" "$DIR/serve_stats.json" "$DIR/serve_bad.json" \
+        > /dev/null 2>&1; then
+        echo "bench_diff accepted a 10x latency regression" >&2
+        exit 1
+    fi
+fi
 
 echo "cli smoke ok"

@@ -13,12 +13,17 @@
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
+#include <set>
+#include <sstream>
+#include <thread>
 
 #include "arch/stats_io.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "core/tie_engine.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/json.hh"
+#include "obs/prom_export.hh"
 #include "obs/report.hh"
 #include "obs/stat_registry.hh"
 #include "obs/trace.hh"
@@ -575,6 +580,238 @@ TEST_F(ObsTest, SessionStripsFlagsAndWritesFiles)
 
     std::remove(stats.c_str());
     std::remove(trace.c_str());
+}
+
+// ------------------------------------------------------ flight recorder
+
+/** Flight-recorder tests leave the recorder stopped and clean. */
+class FlightTest : public ObsTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ObsTest::SetUp();
+        obs::FlightRecorder::instance().stop();
+        obs::FlightRecorder::instance().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::FlightRecorder::instance().stop();
+        obs::FlightRecorder::instance().reset();
+        ObsTest::TearDown();
+    }
+
+    static obs::FlightEvent
+    event(obs::FlightPhase phase, uint64_t t0, uint64_t t1,
+          uint64_t trace_id = 0, uint32_t batch_id = 0)
+    {
+        obs::FlightEvent e;
+        e.t0_us = t0;
+        e.t1_us = t1;
+        e.trace_id = trace_id;
+        e.batch_id = batch_id;
+        e.phase = static_cast<uint8_t>(phase);
+        return e;
+    }
+};
+
+TEST_F(FlightTest, DisabledRecorderDropsNothingAndRecordsNothing)
+{
+    auto &fr = obs::FlightRecorder::instance();
+    ASSERT_FALSE(obs::FlightRecorder::enabled());
+    fr.record(event(obs::FlightPhase::Enqueue, 1, 1, 7));
+    EXPECT_EQ(fr.dropped(), 0u);
+    EXPECT_EQ(fr.drained(), 0u);
+    EXPECT_TRUE(fr.spans().empty());
+}
+
+TEST_F(FlightTest, AssemblesSpansFromWorkerOrderedEvents)
+{
+    obs::setEnabled(true); // phase distributions record only when on
+    auto &fr = obs::FlightRecorder::instance();
+    obs::FlightRecorder::Options opts;
+    opts.drain_period_us = 60'000'000; // drain manually
+    opts.emit_trace = true;
+    fr.start(opts);
+
+    const uint64_t t1 = obs::FlightRecorder::nextTraceId();
+    const uint64_t t2 = obs::FlightRecorder::nextTraceId();
+    EXPECT_NE(t1, t2);
+    const uint32_t b = obs::FlightRecorder::nextBatchId();
+
+    const size_t serve_before = Trace::instance().serveEventCount();
+    fr.record(event(obs::FlightPhase::Enqueue, 100, 100, t1));
+    fr.record(event(obs::FlightPhase::Enqueue, 110, 110, t2));
+    fr.record(event(obs::FlightPhase::BatchForm, 100, 150, 0, b));
+    fr.record(event(obs::FlightPhase::Queue, 100, 150, t1, b));
+    fr.record(event(obs::FlightPhase::Queue, 110, 150, t2, b));
+    fr.record(event(obs::FlightPhase::Gather, 150, 160, 0, b));
+    fr.record(event(obs::FlightPhase::Infer, 160, 260, 0, b));
+    fr.record(event(obs::FlightPhase::Scatter, 260, 270, 0, b));
+    fr.record(event(obs::FlightPhase::Complete, 270, 280, 0, b));
+    fr.drainNow();
+
+    EXPECT_EQ(fr.dropped(), 0u);
+    EXPECT_EQ(fr.drained(), 9u);
+    const std::vector<obs::FlightSpan> spans = fr.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].trace_id, t1);
+    EXPECT_EQ(spans[1].trace_id, t2);
+    EXPECT_EQ(spans[0].batch_id, b);
+    EXPECT_DOUBLE_EQ(spans[0].queue_us, 50.0);
+    EXPECT_DOUBLE_EQ(spans[1].queue_us, 40.0);
+    // Batch-phase attribution is shared by every member.
+    for (const obs::FlightSpan &s : spans) {
+        EXPECT_DOUBLE_EQ(s.gather_us, 10.0);
+        EXPECT_DOUBLE_EQ(s.infer_us, 100.0);
+        EXPECT_DOUBLE_EQ(s.scatter_us, 10.0);
+    }
+
+    // Phase distributions fed: one sample per member per phase.
+    auto &reg = StatRegistry::instance();
+    EXPECT_EQ(reg.distribution("serve.phase.queue_us")
+                  .snapshot().count, 2u);
+    EXPECT_EQ(reg.distribution("serve.phase.infer_us")
+                  .snapshot().count, 2u);
+    EXPECT_EQ(reg.distribution("serve.phase.batch_us")
+                  .snapshot().count, 1u);
+
+    // pid-3 serve timeline: batch_form/gather/infer/scatter/complete
+    // plus one queue span per member.
+    EXPECT_EQ(Trace::instance().serveEventCount() - serve_before, 7u);
+    const std::string json = Trace::instance().toJson();
+    EXPECT_NE(json.find("\"serve (wall-clock)\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"serve\""), std::string::npos);
+    fr.stop();
+}
+
+TEST_F(FlightTest, RingOverflowDropsAndCountsWithoutBlocking)
+{
+    auto &fr = obs::FlightRecorder::instance();
+    obs::FlightRecorder::Options opts;
+    opts.ring_capacity = 64; // already a power of two
+    opts.drain_period_us = 60'000'000;
+    fr.start(opts);
+
+    // 100 events into a 64-slot ring with no draining: 36 must drop,
+    // and record() must return (never block) every time.
+    for (uint64_t i = 0; i < 100; ++i)
+        fr.record(event(obs::FlightPhase::Enqueue, i, i, i + 1));
+    EXPECT_EQ(fr.dropped(), 36u);
+    fr.drainNow();
+    EXPECT_EQ(fr.drained(), 64u);
+    // Space freed by the drain is reusable; drops stay counted.
+    fr.record(event(obs::FlightPhase::Enqueue, 1, 1, 1));
+    fr.drainNow();
+    EXPECT_EQ(fr.drained(), 65u);
+    EXPECT_EQ(fr.dropped(), 36u);
+    fr.stop();
+}
+
+TEST_F(FlightTest, StopIsIdempotentAndRestartSurvives)
+{
+    auto &fr = obs::FlightRecorder::instance();
+    fr.stop(); // never started: no-op
+    fr.start();
+    EXPECT_TRUE(obs::FlightRecorder::enabled());
+    fr.stop();
+    fr.stop();
+    EXPECT_FALSE(obs::FlightRecorder::enabled());
+    // Restart claims fresh rings; events still flow.
+    fr.start();
+    const uint32_t b = obs::FlightRecorder::nextBatchId();
+    fr.record(event(obs::FlightPhase::BatchForm, 0, 5, 0, b));
+    fr.record(event(obs::FlightPhase::Complete, 5, 6, 0, b));
+    fr.stop(); // final drain happens here
+    EXPECT_GE(fr.drained(), 2u);
+}
+
+TEST_F(FlightTest, TraceIdsAreUniqueAcrossThreads)
+{
+    const size_t kThreads = 4, kPerThread = 1000;
+    std::vector<std::vector<uint64_t>> ids(kThreads);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([&ids, t] {
+            ids[t].reserve(kPerThread);
+            for (size_t i = 0; i < kPerThread; ++i)
+                ids[t].push_back(obs::FlightRecorder::nextTraceId());
+        });
+    for (std::thread &th : threads)
+        th.join();
+    std::set<uint64_t> unique;
+    for (const auto &v : ids)
+        unique.insert(v.begin(), v.end());
+    EXPECT_EQ(unique.size(), kThreads * kPerThread);
+    EXPECT_EQ(unique.count(0), 0u); // 0 is the recorder-off sentinel
+}
+
+// --------------------------------------------------- prometheus export
+
+TEST_F(ObsTest, PrometheusNameSanitization)
+{
+    EXPECT_EQ(obs::promMetricName("serve.phase.infer_us"),
+              "tie_serve_phase_infer_us");
+    EXPECT_EQ(obs::promMetricName("simd.isa"), "tie_simd_isa");
+    EXPECT_EQ(obs::promMetricName("a-b c/d"), "tie_a_b_c_d");
+}
+
+TEST_F(ObsTest, PrometheusExpositionCarriesSummarySemantics)
+{
+    obs::setEnabled(true);
+    auto &reg = StatRegistry::instance();
+    reg.counter("promtest.requests", "requests served").add(7);
+    reg.gauge("promtest.depth", "queue depth").set(-3);
+    auto &d = reg.distribution("promtest.lat_us", "latency");
+    d.record(2.0);
+    d.record(8.0);
+    d.record(5.0);
+
+    const std::string text = obs::prometheusText();
+
+    // TYPE lines precede their samples; counter and gauge values.
+    EXPECT_NE(text.find("# HELP tie_promtest_requests requests served"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE tie_promtest_requests counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("tie_promtest_requests 7"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE tie_promtest_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("tie_promtest_depth -3"), std::string::npos);
+
+    // Summary semantics: quantiles plus _sum (sum of observations)
+    // and _count (number of observations).
+    EXPECT_NE(text.find("# TYPE tie_promtest_lat_us summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("tie_promtest_lat_us{quantile=\"0.5\"} "),
+              std::string::npos);
+    EXPECT_NE(text.find("tie_promtest_lat_us{quantile=\"0.99\"} "),
+              std::string::npos);
+    EXPECT_NE(text.find("tie_promtest_lat_us_sum 15"),
+              std::string::npos);
+    EXPECT_NE(text.find("tie_promtest_lat_us_count 3"),
+              std::string::npos);
+
+    // Every non-comment line is "name[{labels}] value".
+    std::istringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        EXPECT_EQ(line.rfind("tie_", 0), 0u) << line;
+    }
+}
+
+TEST_F(ObsTest, PrometheusExpositionIsStableForFixedValues)
+{
+    obs::setEnabled(true);
+    StatRegistry::instance().counter("promtest.stable").add(1);
+    EXPECT_EQ(obs::prometheusText(), obs::prometheusText());
 }
 
 } // namespace

@@ -14,15 +14,27 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <new>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "common/random.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/stat_registry.hh"
 #include "serve/load_gen.hh"
+#include "serve/metrics_endpoint.hh"
 #include "serve/request_queue.hh"
 #include "serve/server.hh"
 
@@ -577,6 +589,260 @@ TEST(ServeObs, StatsAccumulateWhenEnabled)
     }
     obs::setEnabled(false);
     reg.resetAll();
+}
+
+// -------------------------------------------------------------------
+// Flight recorder on the serving hot path.
+// -------------------------------------------------------------------
+
+/** Serve tests with the flight recorder: clean slate both sides. */
+class ServeFlightTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::setEnabled(false);
+        obs::FlightRecorder::instance().stop();
+        obs::FlightRecorder::instance().reset();
+        obs::StatRegistry::instance().resetAll();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::FlightRecorder::instance().stop();
+        obs::FlightRecorder::instance().reset();
+        obs::setEnabled(false);
+        obs::StatRegistry::instance().resetAll();
+    }
+};
+
+TEST_F(ServeFlightTest, InstrumentedSteadyStateDoesNotHeapAllocate)
+{
+    // Same contract as SteadyStateServingDoesNotHeapAllocate, but with
+    // the recorder ON: record() must stay allocation-free. The drain
+    // period is pushed out past the test so the (allocating) drain
+    // thread cannot run inside the counted window.
+    obs::FlightRecorder::Options fopts;
+    fopts.drain_period_us = 60'000'000;
+    obs::FlightRecorder::instance().start(fopts);
+
+    const TestModel model(29);
+    ServerOptions opts;
+    opts.max_batch = 8;
+    opts.batch_timeout_us = 0;
+    opts.queue_capacity = 64;
+    opts.workers = 1;
+    Server server(model.chain(), opts);
+
+    Rng rng(31);
+    std::vector<double> x(server.inSize());
+    std::vector<double> y;
+    std::vector<Ticket> tickets(16);
+
+    auto burst = [&] {
+        for (size_t i = 0; i < tickets.size(); ++i) {
+            for (double &v : x)
+                v = rng.uniform(-1.0, 1.0);
+            tickets[i] = server.submit(x.data());
+        }
+        for (const Ticket t : tickets) {
+            ASSERT_TRUE(t.valid());
+            ASSERT_EQ(server.wait(t, &y), RequestStatus::Done);
+        }
+    };
+
+    for (int round = 0; round < 3; ++round)
+        burst(); // warm-up: ring claiming, output shaping
+
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int round = 0; round < 4; ++round)
+        burst();
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "recording flight events must not touch the heap";
+
+    obs::FlightRecorder::instance().stop();
+    EXPECT_GT(obs::FlightRecorder::instance().drained(), 0u);
+}
+
+TEST_F(ServeFlightTest, RecorderOnOutputsStayBitIdentical)
+{
+    // The reference is computed with the recorder off; every served
+    // output must match it bit-for-bit with the recorder on.
+    obs::FlightRecorder::instance().start();
+
+    const TestModel model(47);
+    const uint64_t seed = 21;
+    const size_t requests = 32;
+    const std::vector<std::vector<double>> expected =
+        referenceOutputs(model.chain(), seed, requests);
+
+    ServerOptions opts;
+    opts.max_batch = 8;
+    opts.batch_timeout_us = 200;
+    opts.queue_capacity = 64;
+    opts.workers = 2;
+    Server server(model.chain(), opts);
+
+    std::vector<Ticket> tickets(requests);
+    for (size_t i = 0; i < requests; ++i)
+        tickets[i] =
+            server.submit(makeRequestInput(seed, i, server.inSize()));
+    std::vector<double> y;
+    for (size_t i = 0; i < requests; ++i) {
+        ASSERT_TRUE(tickets[i].valid());
+        ASSERT_EQ(server.wait(tickets[i], &y), RequestStatus::Done);
+        ASSERT_EQ(y.size(), expected[i].size());
+        EXPECT_EQ(0, std::memcmp(y.data(), expected[i].data(),
+                                 y.size() * sizeof(double)))
+            << "request " << i;
+    }
+}
+
+TEST_F(ServeFlightTest, SpansCarryPerRequestAttribution)
+{
+    obs::setEnabled(true); // phase distributions record at drain time
+    obs::FlightRecorder::instance().start();
+
+    const TestModel model(53);
+    ServerOptions opts;
+    opts.max_batch = 8;
+    opts.batch_timeout_us = 200;
+    opts.queue_capacity = 64;
+    opts.workers = 1;
+    Server server(model.chain(), opts);
+    server.setFlightTag(/*model_id=*/3, /*model_version=*/7);
+
+    const size_t requests = 24;
+    std::vector<Ticket> tickets(requests);
+    for (size_t i = 0; i < requests; ++i)
+        tickets[i] =
+            server.submit(makeRequestInput(1, i, server.inSize()));
+    for (const Ticket t : tickets)
+        ASSERT_EQ(server.wait(t), RequestStatus::Done);
+    server.stop();
+    obs::FlightRecorder::instance().stop(); // final drain
+
+    const std::vector<obs::FlightSpan> spans =
+        obs::FlightRecorder::instance().spans();
+    ASSERT_EQ(spans.size(), requests);
+    std::set<uint64_t> trace_ids;
+    for (const obs::FlightSpan &s : spans) {
+        EXPECT_NE(s.trace_id, 0u);
+        trace_ids.insert(s.trace_id);
+        EXPECT_NE(s.batch_id, 0u);
+        EXPECT_EQ(s.model_id, 3u);
+        EXPECT_EQ(s.model_version, 7u);
+        EXPECT_GE(s.queue_us, 0.0);
+        EXPECT_GE(s.infer_us, 0.0);
+    }
+    EXPECT_EQ(trace_ids.size(), requests) << "trace ids must be unique";
+
+    auto &reg = obs::StatRegistry::instance();
+    EXPECT_EQ(reg.distribution("serve.phase.queue_us")
+                  .snapshot().count, requests);
+    EXPECT_EQ(reg.distribution("serve.phase.infer_us")
+                  .snapshot().count, requests);
+    EXPECT_GE(reg.distribution("serve.phase.batch_us")
+                  .snapshot().count, 1u);
+    EXPECT_EQ(obs::FlightRecorder::instance().dropped(), 0u);
+}
+
+// -------------------------------------------------------------------
+// Metrics endpoint.
+// -------------------------------------------------------------------
+
+namespace {
+
+/** Minimal blocking HTTP/1.0 GET against 127.0.0.1:port. */
+std::string
+httpGet(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    (void)::send(fd, req, sizeof(req) - 1, 0);
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        out.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    return out;
+}
+
+} // namespace
+
+TEST_F(ServeFlightTest, MetricsEndpointServesPrometheusText)
+{
+    obs::setEnabled(true);
+    auto &reg = obs::StatRegistry::instance();
+    reg.counter("endpoint.test_counter", "endpoint test").add(11);
+    reg.distribution("endpoint.test_lat_us", "endpoint latency")
+        .record(5.0);
+
+    MetricsEndpoint endpoint;
+    MetricsEndpointOptions mopts;
+    mopts.port = 0; // ephemeral
+    ASSERT_TRUE(endpoint.start(mopts));
+    ASSERT_TRUE(endpoint.running());
+    ASSERT_GT(endpoint.port(), 0);
+
+    const std::string response = httpGet(endpoint.port());
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(response.find("tie_endpoint_test_counter 11"),
+              std::string::npos);
+    EXPECT_NE(response.find("tie_endpoint_test_lat_us_count 1"),
+              std::string::npos);
+
+    // Sequential clients each get a fresh scrape.
+    const std::string again = httpGet(endpoint.port());
+    EXPECT_NE(again.find("tie_endpoint_test_counter 11"),
+              std::string::npos);
+    endpoint.stop();
+    EXPECT_FALSE(endpoint.running());
+}
+
+TEST_F(ServeFlightTest, MetricsSnapshotFileWrittenWithoutListener)
+{
+    obs::setEnabled(true);
+    obs::StatRegistry::instance()
+        .counter("endpoint.snap_counter", "snapshot test")
+        .add(5);
+
+    const std::string path = "test_metrics_snapshot.prom";
+    MetricsEndpoint endpoint;
+    MetricsEndpointOptions mopts;
+    mopts.port = -1; // no TCP listener: file snapshots only
+    mopts.snapshot_path = path;
+    mopts.snapshot_period_ms = 20;
+    ASSERT_TRUE(endpoint.start(mopts));
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    endpoint.stop(); // writes a final snapshot
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_EQ(text.rfind("# HELP ", 0), 0u);
+    EXPECT_NE(text.find("tie_endpoint_snap_counter 5"),
+              std::string::npos);
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -11,7 +11,9 @@
  *
  * Observability is enabled throughout so the serve.* counter and
  * histogram paths (relaxed counters, mutexed distributions) are
- * race-checked against live readers too.
+ * race-checked against live readers too. The flight recorder runs —
+ * and is restarted mid-storm — so the SPSC rings, the ring-claim
+ * epoch, and the drain thread are race-checked against the hot path.
  */
 
 #include <atomic>
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/stat_registry.hh"
 #include "serve/load_gen.hh"
 #include "serve/server.hh"
@@ -165,10 +168,27 @@ int
 main()
 {
     tie::obs::setEnabled(true);
+    // Recorder on with a fast drain so the drain thread races the
+    // producer rings throughout the storm.
+    auto &flight = tie::obs::FlightRecorder::instance();
+    {
+        tie::obs::FlightRecorder::Options fopts;
+        fopts.drain_period_us = 500;
+        flight.start(fopts);
+    }
 
     const tie::TtMatrix layer = makeLayer(7);
     producerStorm(layer);
+
+    // Restart mid-run: the epoch bump must retire every thread's
+    // claimed ring without racing stragglers.
+    flight.stop();
+    flight.start();
     shutdownMidFlight(layer);
+
+    flight.stop(); // final drain
+    expect(flight.drained() > 0, "flight events drained");
+    expect(!flight.spans().empty(), "flight spans assembled");
 
     // Readers race live writers: snapshot + serialize at the end.
     auto &reg = tie::obs::StatRegistry::instance();

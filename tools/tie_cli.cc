@@ -37,20 +37,26 @@
  * docs/observability.md.
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/stats_io.hh"
 #include "arch/tie_sim.hh"
 #include "common/table.hh"
 #include "io/tie_format.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/json.hh"
 #include "obs/report.hh"
+#include "obs/stat_registry.hh"
 #include "serve/load_gen.hh"
+#include "serve/metrics_endpoint.hh"
 #include "serve/server.hh"
 #include "tt/cost_model.hh"
 #include "tt/tt_io.hh"
@@ -383,7 +389,9 @@ cmdServeBench(const Options &opt)
                   " [--workers W]"
                   " [--max-batch B] [--timeout-us T] [--queue-cap C]"
                   " [--requests R] [--clients K | --qps Q]"
-                  " [--deadline-us D] [--seed s]");
+                  " [--deadline-us D] [--seed s]"
+                  " [--metrics-port P] [--metrics-snapshot FILE]"
+                  " [--metrics-linger-ms L]");
 
     // Either artifact kind serves through the same view chain; the
     // owning object (matrix or mapped model) just has to stay alive.
@@ -419,9 +427,47 @@ cmdServeBench(const Options &opt)
     const std::vector<std::vector<double>> expected =
         serve::referenceOutputs(views, lopts.seed, lopts.requests);
 
+    // Live metrics: a loopback Prometheus endpoint and/or a periodic
+    // exposition snapshot file. Either implies observability so the
+    // serve.* series carry real values.
+    serve::MetricsEndpoint metrics;
+    const bool want_metrics =
+        opt.has("metrics-port") || opt.has("metrics-snapshot");
+    if (want_metrics) {
+        obs::setEnabled(true);
+        serve::MetricsEndpointOptions mopts;
+        mopts.port = opt.has("metrics-port")
+                         ? std::stoi(opt.get("metrics-port", "0"))
+                         : -1;
+        mopts.snapshot_path = opt.get("metrics-snapshot", "");
+        TIE_CHECK_ARG(metrics.start(mopts),
+                      "cannot start the metrics endpoint");
+        if (metrics.port() != 0)
+            // endl: flushed before the load run so a scripted reader
+            // (tests/cli_smoke.sh) can pick the port up immediately.
+            std::cout << "metrics: listening on 127.0.0.1:"
+                      << metrics.port() << std::endl;
+    }
+
+    // The flight recorder attributes per-phase latency; its
+    // serve.phase.* distributions land in --stats-json reports and
+    // the Prometheus exposition.
+    obs::FlightRecorder::instance().start();
+
     serve::Server server(views, sopts);
     const serve::LoadGenReport rep =
         serve::runLoadGen(server, lopts, &expected);
+
+    obs::FlightRecorder::instance().stop();
+
+    if (want_metrics) {
+        const uint64_t linger =
+            std::stoull(opt.get("metrics-linger-ms", "0"));
+        if (linger > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(linger));
+        metrics.stop();
+    }
 
     if (obs::Session *s = obs::Session::current();
         s != nullptr && s->statsRequested()) {
@@ -485,8 +531,149 @@ cmdServeBench(const Options &opt)
                                     " us"});
     t.row({"bit-exact vs reference",
            rep.mismatched == 0 ? "yes" : "NO"});
+    if (obs::enabled()) {
+        // Flight-recorder attribution: which phase ate the tail.
+        auto &reg = obs::StatRegistry::instance();
+        for (const char *phase :
+             {"queue", "batch", "gather", "infer", "scatter"}) {
+            obs::Distribution &d = reg.distribution(
+                "serve.phase." + std::string(phase) + "_us");
+            if (d.snapshot().count == 0)
+                continue;
+            t.row({"phase " + std::string(phase) + " p50 / p99",
+                   TextTable::num(d.percentile(50), 1) + " / " +
+                       TextTable::num(d.percentile(99), 1) + " us"});
+        }
+    }
     t.print();
     return rep.mismatched == 0 ? 0 : 2;
+}
+
+/** Pretty-print any BENCH_*.json (google-benchmark or obs session). */
+int
+cmdStats(const Options &opt)
+{
+    TIE_CHECK_ARG(opt.positional.size() == 1,
+                  "usage: tie_cli stats <BENCH_*.json>");
+    std::ifstream is(opt.positional[0], std::ios::binary);
+    TIE_CHECK_ARG(is.is_open(), "cannot open ", opt.positional[0]);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    std::string err;
+    const obs::JsonValue doc = obs::parseJson(ss.str(), &err);
+    TIE_CHECK_ARG(doc.type == obs::JsonValue::Type::Object,
+                  opt.positional[0], " is not a JSON report: ", err);
+
+    if (const obs::JsonValue *benches = doc.find("benchmarks");
+        benches != nullptr &&
+        benches->type == obs::JsonValue::Type::Array) {
+        // google-benchmark schema (bench/micro_kernels.cc).
+        TextTable t(opt.positional[0] + " (google-benchmark)");
+        t.header({"benchmark", "time", "cpu", "unit", "iterations"});
+        for (const obs::JsonValue &b : benches->array) {
+            const obs::JsonValue *name = b.find("name");
+            if (name == nullptr)
+                continue;
+            const obs::JsonValue *unit = b.find("time_unit");
+            t.row({name->string, TextTable::num(b.num("real_time")),
+                   TextTable::num(b.num("cpu_time")),
+                   unit != nullptr ? unit->string : "?",
+                   std::to_string(b.u64("iterations"))});
+        }
+        t.print();
+        return 0;
+    }
+
+    // obs::Session schema: recorded tables, serve points, registry.
+    if (const obs::JsonValue *name = doc.find("name"))
+        std::cout << "report: " << name->string << "\n\n";
+
+    if (const obs::JsonValue *tables = doc.find("tables");
+        tables != nullptr &&
+        tables->type == obs::JsonValue::Type::Array) {
+        for (const obs::JsonValue &tj : tables->array) {
+            const obs::JsonValue *title = tj.find("title");
+            TextTable t(title != nullptr ? title->string : "");
+            std::vector<std::string> cols;
+            if (const obs::JsonValue *cj = tj.find("columns"))
+                for (const obs::JsonValue &c : cj->array)
+                    cols.push_back(c.string);
+            t.header(cols);
+            if (const obs::JsonValue *rj = tj.find("rows"))
+                for (const obs::JsonValue &row : rj->array) {
+                    std::vector<std::string> cells;
+                    for (const obs::JsonValue &cell : row.array)
+                        cells.push_back(cell.string);
+                    t.row(cells);
+                }
+            t.print();
+            std::cout << "\n";
+        }
+    }
+
+    if (const obs::JsonValue *serve = doc.find("serve")) {
+        if (const obs::JsonValue *points = serve->find("points");
+            points != nullptr &&
+            points->type == obs::JsonValue::Type::Array) {
+            TextTable t("serve sweep points");
+            t.header({"point", "done/rej/to", "req/s", "p50 us",
+                      "p95 us", "p99 us"});
+            for (const obs::JsonValue &p : points->array) {
+                const obs::JsonValue *label = p.find("label");
+                t.row({label != nullptr ? label->string : "?",
+                       std::to_string(p.u64("completed")) + "/" +
+                           std::to_string(p.u64("rejected")) + "/" +
+                           std::to_string(p.u64("timed_out")),
+                       TextTable::num(p.num("achieved_qps"), 0),
+                       TextTable::num(p.num("latency_p50_us"), 1),
+                       TextTable::num(p.num("latency_p95_us"), 1),
+                       TextTable::num(p.num("latency_p99_us"), 1)});
+            }
+            t.print();
+            std::cout << "\n";
+        }
+    }
+
+    if (const obs::JsonValue *stats = doc.find("stats")) {
+        if (const obs::JsonValue *counters = stats->find("counters");
+            counters != nullptr && !counters->object.empty()) {
+            TextTable t("counters");
+            t.header({"name", "value"});
+            for (const auto &kv : counters->object)
+                t.row({kv.first,
+                       std::to_string(static_cast<uint64_t>(
+                           kv.second.number))});
+            t.print();
+            std::cout << "\n";
+        }
+        if (const obs::JsonValue *gauges = stats->find("gauges");
+            gauges != nullptr && !gauges->object.empty()) {
+            TextTable t("gauges");
+            t.header({"name", "value"});
+            for (const auto &kv : gauges->object)
+                t.row({kv.first,
+                       std::to_string(static_cast<int64_t>(
+                           kv.second.number))});
+            t.print();
+            std::cout << "\n";
+        }
+        if (const obs::JsonValue *dists =
+                stats->find("distributions");
+            dists != nullptr && !dists->object.empty()) {
+            TextTable t("distributions");
+            t.header({"name", "count", "mean", "p50", "p95", "p99",
+                      "max"});
+            for (const auto &kv : dists->object)
+                t.row({kv.first, std::to_string(kv.second.u64("count")),
+                       TextTable::num(kv.second.num("mean")),
+                       TextTable::num(kv.second.num("p50")),
+                       TextTable::num(kv.second.num("p95")),
+                       TextTable::num(kv.second.num("p99")),
+                       TextTable::num(kv.second.num("max"))});
+            t.print();
+        }
+    }
+    return 0;
 }
 
 void
@@ -506,6 +693,9 @@ usage()
            "[--timeout-us]\n"
            "              [--queue-cap][--requests][--clients|--qps]"
            "[--deadline-us]\n"
+           "              [--metrics-port P][--metrics-snapshot FILE]"
+           "[--metrics-linger-ms L]\n"
+           "  stats <BENCH_*.json>   pretty-print any bench report\n"
            "observability (any command; also TIE_STATS_JSON/TIE_TRACE"
            " env):\n"
            "  --stats-json[=path]   machine-readable JSON report\n"
@@ -542,6 +732,8 @@ main(int argc, char **argv)
         return cmdSimulate(opt);
     if (cmd == "serve-bench")
         return cmdServeBench(opt);
+    if (cmd == "stats")
+        return cmdStats(opt);
     usage();
     return 1;
 }
