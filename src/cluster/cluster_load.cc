@@ -1,0 +1,114 @@
+#include "cluster/cluster_load.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace tie {
+namespace cluster {
+
+serve::LoadGenReport
+runClusterLoad(Router &router, const ClusterLoadOptions &opts,
+               const std::vector<std::vector<double>> *expected)
+{
+    TIE_CHECK_ARG(opts.requests > 0, "cluster load: requests == 0");
+    TIE_CHECK_ARG(opts.clients > 0, "cluster load: clients == 0");
+    TIE_CHECK_ARG(expected == nullptr ||
+                      expected->size() >= opts.requests,
+                  "cluster load: expected outputs shorter than the "
+                  "request stream");
+
+    const size_t in_size = router.inSize();
+    const size_t out_size = router.outSize();
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::atomic<size_t> rejected{0};
+    std::atomic<size_t> timed_out{0};
+    std::atomic<size_t> mismatched{0};
+    std::mutex lat_mu;
+    std::vector<double> latencies_us;
+    latencies_us.reserve(opts.requests);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(opts.clients);
+    for (size_t c = 0; c < opts.clients; ++c) {
+        clients.emplace_back([&] {
+            std::vector<double> out;
+            std::vector<double> local_lat;
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= opts.requests)
+                    break;
+                const std::vector<double> x =
+                    serve::makeRequestInput(opts.seed, i, in_size);
+                const auto s0 = std::chrono::steady_clock::now();
+                const ClusterTicket t =
+                    router.submit(x.data(), opts.deadline_us);
+                const ClusterStatus st = router.wait(t, &out);
+                const auto s1 = std::chrono::steady_clock::now();
+                switch (st) {
+                  case ClusterStatus::Done: {
+                    completed.fetch_add(1);
+                    local_lat.push_back(
+                        std::chrono::duration<double, std::micro>(
+                            s1 - s0)
+                            .count());
+                    if (expected != nullptr) {
+                        const std::vector<double> &ref =
+                            (*expected)[i];
+                        // Bit-exact, not approximately-equal: any
+                        // replica must produce the same bits as the
+                        // single-process reference.
+                        if (out.size() != ref.size() ||
+                            (out_size > 0 &&
+                             std::memcmp(out.data(), ref.data(),
+                                         ref.size() *
+                                             sizeof(double)) != 0))
+                            mismatched.fetch_add(1);
+                    }
+                    break;
+                  }
+                  case ClusterStatus::TimedOut:
+                    timed_out.fetch_add(1);
+                    break;
+                  case ClusterStatus::Shed:
+                    rejected.fetch_add(1);
+                    break;
+                }
+            }
+            if (!local_lat.empty()) {
+                std::lock_guard<std::mutex> lk(lat_mu);
+                latencies_us.insert(latencies_us.end(),
+                                    local_lat.begin(),
+                                    local_lat.end());
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    serve::LoadGenReport rep;
+    rep.open_loop = false;
+    rep.submitted = opts.requests;
+    rep.completed = completed.load();
+    rep.rejected = rejected.load();
+    rep.timed_out = timed_out.load();
+    rep.mismatched = mismatched.load();
+    rep.wall_s = wall_s;
+    rep.achieved_qps = wall_s > 0 ? rep.completed / wall_s : 0;
+    rep.latency = serve::summarize(std::move(latencies_us));
+    return rep;
+}
+
+} // namespace cluster
+} // namespace tie

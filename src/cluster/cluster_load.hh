@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Closed-loop load generator for the cluster router — the external
+ * driver ISSUE-d for cluster-bench. Reuses the serve-layer request
+ * stream (makeRequestInput), oracle (referenceOutputs) and exact
+ * percentile machinery (summarize), so a cluster run is directly
+ * comparable — including bit-exactly on outputs — with a
+ * single-process serve-bench run at the same seed.
+ */
+
+#ifndef TIE_CLUSTER_CLUSTER_LOAD_HH
+#define TIE_CLUSTER_CLUSTER_LOAD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/router.hh"
+#include "serve/load_gen.hh"
+
+namespace tie {
+namespace cluster {
+
+struct ClusterLoadOptions
+{
+    size_t requests = 256; ///< total requests across all clients
+    size_t clients = 4;    ///< closed-loop client threads
+    uint64_t deadline_us = 0; ///< per-request worker deadline
+    uint64_t seed = 1;        ///< request-stream seed
+};
+
+/**
+ * Drive @p router closed-loop: @p clients threads each keep one
+ * request outstanding, inputs are makeRequestInput(seed, i, inSize).
+ * When @p expected is given (one reference output per request), every
+ * Done output is memcmp'd against it — the cross-replica bit-identity
+ * check. Shed requests count as rejected in the report; nothing is
+ * retried here (the router already failed over internally), so
+ * completed + rejected + timed_out == requests always holds.
+ */
+serve::LoadGenReport runClusterLoad(
+    Router &router, const ClusterLoadOptions &opts,
+    const std::vector<std::vector<double>> *expected = nullptr);
+
+} // namespace cluster
+} // namespace tie
+
+#endif // TIE_CLUSTER_CLUSTER_LOAD_HH

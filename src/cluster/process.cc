@@ -1,0 +1,183 @@
+#include "cluster/process.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tie {
+namespace cluster {
+
+bool
+spawnProcess(const std::vector<std::string> &argv, ChildProcess *out,
+             std::string *error)
+{
+    TIE_CHECK_ARG(!argv.empty(), "spawnProcess: empty argv");
+    TIE_CHECK_ARG(out != nullptr, "spawnProcess: null out");
+
+    int outpipe[2];
+    if (::pipe(outpipe) != 0) {
+        if (error != nullptr)
+            *error = strCat("pipe: ", std::strerror(errno));
+        return false;
+    }
+    int inpipe[2];
+    if (::pipe(inpipe) != 0) {
+        if (error != nullptr)
+            *error = strCat("pipe: ", std::strerror(errno));
+        ::close(outpipe[0]);
+        ::close(outpipe[1]);
+        return false;
+    }
+    // Status pipe: CLOEXEC on both ends, so a successful exec closes
+    // the write side and the parent reads EOF; a failed exec writes
+    // errno through it first.
+    int errpipe[2];
+    if (::pipe(errpipe) != 0) {
+        if (error != nullptr)
+            *error = strCat("pipe: ", std::strerror(errno));
+        ::close(outpipe[0]);
+        ::close(outpipe[1]);
+        ::close(inpipe[0]);
+        ::close(inpipe[1]);
+        return false;
+    }
+    ::fcntl(errpipe[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(errpipe[1], F_SETFD, FD_CLOEXEC);
+
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (error != nullptr)
+            *error = strCat("fork: ", std::strerror(errno));
+        ::close(outpipe[0]);
+        ::close(outpipe[1]);
+        ::close(inpipe[0]);
+        ::close(inpipe[1]);
+        ::close(errpipe[0]);
+        ::close(errpipe[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: only async-signal-safe calls until exec.
+        ::dup2(outpipe[1], STDOUT_FILENO);
+        ::dup2(inpipe[0], STDIN_FILENO);
+        ::close(outpipe[0]);
+        ::close(outpipe[1]);
+        ::close(inpipe[0]);
+        ::close(inpipe[1]);
+        ::close(errpipe[0]);
+        ::execv(cargv[0], cargv.data());
+        const int err = errno;
+        ssize_t rc = ::write(errpipe[1], &err, sizeof(err));
+        (void)rc;
+        ::_exit(127);
+    }
+
+    ::close(outpipe[1]);
+    ::close(inpipe[0]);
+    ::close(errpipe[1]);
+    int exec_errno = 0;
+    const ssize_t n =
+        ::read(errpipe[0], &exec_errno, sizeof(exec_errno));
+    ::close(errpipe[0]);
+    if (n > 0) {
+        // exec failed; reap the stillborn child.
+        int status;
+        ::waitpid(pid, &status, 0);
+        ::close(outpipe[0]);
+        ::close(inpipe[1]);
+        if (error != nullptr)
+            *error = strCat("exec ", argv[0], ": ",
+                            std::strerror(exec_errno));
+        return false;
+    }
+
+    out->pid = pid;
+    out->stdout_fd = outpipe[0];
+    out->stdin_fd = inpipe[1];
+    return true;
+}
+
+bool
+readLine(int fd, std::string *line, int timeout_ms)
+{
+    TIE_CHECK_ARG(line != nullptr, "readLine: null out");
+    line->clear();
+    // Nonblocking + poll, same discipline as the socket layer: a
+    // child that never prints costs at most the timeout.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        char ch;
+        const ssize_t n = ::read(fd, &ch, 1);
+        if (n == 1) {
+            if (ch == '\n')
+                return true;
+            line->push_back(ch);
+            continue;
+        }
+        if (n == 0)
+            return false; // EOF before newline
+        if (errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR)
+            return false;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline)
+            return false;
+        const int left = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count());
+        struct pollfd pfd = {fd, POLLIN, 0};
+        if (::poll(&pfd, 1, left < 1 ? 1 : left) < 0 &&
+            errno != EINTR)
+            return false;
+    }
+}
+
+void
+killProcess(ChildProcess &c, int sig)
+{
+    if (c.pid > 0)
+        ::kill(c.pid, sig);
+}
+
+int
+waitProcess(ChildProcess &c)
+{
+    if (c.pid <= 0)
+        return -1;
+    int status = -1;
+    while (::waitpid(c.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    c.pid = -1;
+    if (c.stdout_fd >= 0) {
+        ::close(c.stdout_fd);
+        c.stdout_fd = -1;
+    }
+    if (c.stdin_fd >= 0) {
+        ::close(c.stdin_fd);
+        c.stdin_fd = -1;
+    }
+    return status;
+}
+
+} // namespace cluster
+} // namespace tie

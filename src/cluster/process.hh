@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal child-process control for the cluster harness: spawn a
+ * tie_worker (fork + exec with a piped stdout), read its "ready"
+ * line, kill it mid-load, reap it. This is what the chaos tests use
+ * to take real processes down — not threads pretending to be
+ * processes — so a SIGKILL genuinely severs sockets mid-frame.
+ *
+ * fork() in a multithreaded parent is safe here because the child
+ * calls only async-signal-safe functions (dup2/execv/_exit) before
+ * exec.
+ */
+
+#ifndef TIE_CLUSTER_PROCESS_HH
+#define TIE_CLUSTER_PROCESS_HH
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace tie {
+namespace cluster {
+
+/** A spawned child. Reap with waitProcess before discarding. */
+struct ChildProcess
+{
+    pid_t pid = -1;
+    int stdout_fd = -1; ///< read side of the child's stdout pipe
+    int stdin_fd = -1;  ///< write side of the child's stdin pipe
+
+    bool running() const { return pid > 0; }
+};
+
+/**
+ * fork + exec @p argv (argv[0] = binary path), with the child's
+ * stdout redirected into a pipe the parent can read and its stdin fed
+ * from a pipe the parent holds open — tie_worker exits on stdin EOF,
+ * so children die with the harness instead of leaking. False + error
+ * when the pipe/fork/exec fails (exec failure is detected via a
+ * CLOEXEC status pipe, not a zombie that "ran" for 0ms).
+ */
+bool spawnProcess(const std::vector<std::string> &argv,
+                  ChildProcess *out, std::string *error = nullptr);
+
+/**
+ * Read one '\n'-terminated line from @p fd, waiting at most
+ * @p timeout_ms. False on timeout/EOF. Used for the worker's
+ * "ready <endpoint>" banner.
+ */
+bool readLine(int fd, std::string *line, int timeout_ms);
+
+/** Send @p sig to the child. No-op on an already-reaped child. */
+void killProcess(ChildProcess &c, int sig);
+
+/**
+ * Wait for the child to exit (blocking), close the pipe, and return
+ * its raw wait(2) status (-1 when there was nothing to reap). Marks
+ * the child reaped.
+ */
+int waitProcess(ChildProcess &c);
+
+} // namespace cluster
+} // namespace tie
+
+#endif // TIE_CLUSTER_PROCESS_HH

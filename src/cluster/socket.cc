@@ -1,0 +1,465 @@
+#include "cluster/socket.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tie {
+namespace cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void
+setError(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = msg;
+}
+
+/** Milliseconds left until @p deadline, clamped to [0, timeout]. */
+int
+remainingMs(Clock::time_point deadline)
+{
+    const auto left = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - Clock::now());
+    return left.count() <= 0
+               ? 0
+               : static_cast<int>(std::min<int64_t>(left.count(),
+                                                    60000));
+}
+
+int
+newSocket(int domain, std::string *error)
+{
+    const int fd = ::socket(domain, SOCK_STREAM, 0);
+    if (fd < 0)
+        setError(error,
+                 strCat("socket() failed: ", std::strerror(errno)));
+    return fd;
+}
+
+} // namespace
+
+std::string
+Endpoint::toString() const
+{
+    return kind == Kind::Tcp ? strCat("tcp:", port)
+                             : strCat("unix:", path);
+}
+
+bool
+parseEndpoint(const std::string &s, Endpoint *out, std::string *error)
+{
+    if (s.rfind("tcp:", 0) == 0) {
+        const std::string body = s.substr(4);
+        char *end = nullptr;
+        const long port = std::strtol(body.c_str(), &end, 10);
+        if (body.empty() || end == nullptr || *end != '\0' ||
+            port < 0 || port > 65535) {
+            setError(error, strCat("bad tcp endpoint '", s,
+                                   "': want tcp:PORT (0-65535)"));
+            return false;
+        }
+        out->kind = Endpoint::Kind::Tcp;
+        out->port = static_cast<int>(port);
+        out->path.clear();
+        return true;
+    }
+    if (s.rfind("unix:", 0) == 0) {
+        const std::string path = s.substr(5);
+        if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+            setError(error, strCat("bad unix endpoint '", s,
+                                   "': empty or too-long path"));
+            return false;
+        }
+        out->kind = Endpoint::Kind::Unix;
+        out->port = 0;
+        out->path = path;
+        return true;
+    }
+    setError(error, strCat("bad endpoint '", s,
+                           "': want tcp:PORT or unix:PATH"));
+    return false;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+           ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool
+sendAllTimed(int fd, const void *data, size_t len, int timeout_ms,
+             std::string *error)
+{
+    if (!setNonBlocking(fd)) {
+        setError(error, strCat("fcntl(O_NONBLOCK) failed: ",
+                               std::strerror(errno)));
+        return false;
+    }
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+            setError(error,
+                     strCat("send() failed: ", std::strerror(errno)));
+            return false;
+        }
+        // Buffer full: wait for the peer to drain, bounded by the
+        // deadline — a reader that never drains costs timeout_ms,
+        // not forever.
+        const int wait = remainingMs(deadline);
+        if (wait == 0) {
+            setError(error, strCat("send timed out after ",
+                                   timeout_ms, " ms with ", len - off,
+                                   " bytes unsent"));
+            return false;
+        }
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        const int r = ::poll(&pfd, 1, wait);
+        if (r < 0 && errno != EINTR) {
+            setError(error,
+                     strCat("poll() failed: ", std::strerror(errno)));
+            return false;
+        }
+        if (r > 0 && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) &&
+            !(pfd.revents & POLLOUT)) {
+            setError(error, "peer closed the connection");
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+recvAllTimed(int fd, void *data, size_t len, int timeout_ms,
+             std::string *error)
+{
+    if (!setNonBlocking(fd)) {
+        setError(error, strCat("fcntl(O_NONBLOCK) failed: ",
+                               std::strerror(errno)));
+        return false;
+    }
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    uint8_t *p = static_cast<uint8_t *>(data);
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::recv(fd, p + off, len - off, 0);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            setError(error, strCat("peer closed with ", len - off,
+                                   " bytes missing"));
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            setError(error,
+                     strCat("recv() failed: ", std::strerror(errno)));
+            return false;
+        }
+        const int wait = remainingMs(deadline);
+        if (wait == 0) {
+            setError(error, strCat("recv timed out after ",
+                                   timeout_ms, " ms with ", len - off,
+                                   " bytes missing"));
+            return false;
+        }
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, wait);
+        if (r < 0 && errno != EINTR) {
+            setError(error,
+                     strCat("poll() failed: ", std::strerror(errno)));
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+listen(const Endpoint &ep, Listener *out, std::string *error)
+{
+    out->endpoint = ep;
+    if (ep.kind == Endpoint::Kind::Tcp) {
+        const int fd = newSocket(AF_INET, error);
+        if (fd < 0)
+            return false;
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<uint16_t>(ep.port));
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 64) != 0) {
+            setError(error, strCat("cannot listen on 127.0.0.1:",
+                                   ep.port, ": ",
+                                   std::strerror(errno)));
+            ::close(fd);
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t blen = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &blen) == 0)
+            out->port = static_cast<int>(ntohs(bound.sin_port));
+        out->endpoint.port = out->port;
+        out->fd = fd;
+        return true;
+    }
+
+    const int fd = newSocket(AF_UNIX, error);
+    if (fd < 0)
+        return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, ep.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // A restarted worker reuses its predecessor's path; the stale
+    // socket file would otherwise make bind() fail with EADDRINUSE.
+    ::unlink(ep.path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        setError(error, strCat("cannot listen on ", ep.path, ": ",
+                               std::strerror(errno)));
+        ::close(fd);
+        return false;
+    }
+    out->fd = fd;
+    out->port = 0;
+    return true;
+}
+
+void
+closeListener(Listener &l)
+{
+    if (l.fd >= 0) {
+        ::close(l.fd);
+        l.fd = -1;
+    }
+    if (l.endpoint.kind == Endpoint::Kind::Unix &&
+        !l.endpoint.path.empty())
+        ::unlink(l.endpoint.path.c_str());
+}
+
+int
+acceptTimed(const Listener &l, int timeout_ms)
+{
+    pollfd pfd{};
+    pfd.fd = l.fd;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r <= 0)
+        return -1;
+    return ::accept(l.fd, nullptr, nullptr);
+}
+
+int
+connectTimed(const Endpoint &ep, int timeout_ms, std::string *error)
+{
+    int fd;
+    if (ep.kind == Endpoint::Kind::Tcp) {
+        fd = newSocket(AF_INET, error);
+        if (fd < 0)
+            return -1;
+        if (!setNonBlocking(fd)) {
+            setError(error, strCat("fcntl(O_NONBLOCK) failed: ",
+                                   std::strerror(errno)));
+            ::close(fd);
+            return -1;
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<uint16_t>(ep.port));
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0 &&
+            errno != EINPROGRESS) {
+            setError(error, strCat("connect(127.0.0.1:", ep.port,
+                                   ") failed: ",
+                                   std::strerror(errno)));
+            ::close(fd);
+            return -1;
+        }
+    } else {
+        fd = newSocket(AF_UNIX, error);
+        if (fd < 0)
+            return -1;
+        if (!setNonBlocking(fd)) {
+            setError(error, strCat("fcntl(O_NONBLOCK) failed: ",
+                                   std::strerror(errno)));
+            ::close(fd);
+            return -1;
+        }
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, ep.path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0 &&
+            errno != EINPROGRESS) {
+            setError(error, strCat("connect(", ep.path, ") failed: ",
+                                   std::strerror(errno)));
+            ::close(fd);
+            return -1;
+        }
+    }
+
+    // Nonblocking connect: wait for writability, then read the
+    // deferred result from SO_ERROR.
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r <= 0) {
+        setError(error, strCat("connect to ", ep.toString(),
+                               " timed out after ", timeout_ms,
+                               " ms"));
+        ::close(fd);
+        return -1;
+    }
+    int so_error = 0;
+    socklen_t slen = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &slen) !=
+            0 ||
+        so_error != 0) {
+        setError(error, strCat("connect to ", ep.toString(),
+                               " failed: ",
+                               std::strerror(so_error != 0 ? so_error
+                                                           : errno)));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void
+FrameConn::reset(int fd)
+{
+    close();
+    fd_ = fd;
+}
+
+void
+FrameConn::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    rx_.clear();
+}
+
+bool
+FrameConn::sendFrame(WireType type, const void *payload, size_t len,
+                     int timeout_ms, std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "sendFrame on a closed connection");
+        return false;
+    }
+    const std::vector<uint8_t> frame = encodeFrame(type, payload, len);
+    return sendAllTimed(fd_, frame.data(), frame.size(), timeout_ms,
+                        error);
+}
+
+FrameConn::RecvStatus
+FrameConn::recvFrame(WireFrame *out, int timeout_ms,
+                     std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "recvFrame on a closed connection");
+        return RecvStatus::Closed;
+    }
+    if (!setNonBlocking(fd_)) {
+        setError(error, strCat("fcntl(O_NONBLOCK) failed: ",
+                               std::strerror(errno)));
+        return RecvStatus::Closed;
+    }
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        if (!rx_.empty()) {
+            size_t consumed = 0;
+            const DecodeStatus st = tryDecodeFrame(
+                rx_.data(), rx_.size(), out, &consumed, error);
+            if (st == DecodeStatus::Ok) {
+                rx_.erase(rx_.begin(),
+                          rx_.begin() +
+                              static_cast<ptrdiff_t>(consumed));
+                return RecvStatus::Ok;
+            }
+            if (st == DecodeStatus::Corrupt)
+                return RecvStatus::Corrupt;
+        }
+        uint8_t buf[4096];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            rx_.insert(rx_.end(), buf, buf + n);
+            continue;
+        }
+        if (n == 0) {
+            if (!rx_.empty())
+                setError(error, "peer closed mid-frame");
+            return RecvStatus::Closed;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            setError(error,
+                     strCat("recv() failed: ", std::strerror(errno)));
+            return RecvStatus::Closed;
+        }
+        const int wait = remainingMs(deadline);
+        if (wait == 0)
+            return RecvStatus::Timeout;
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, wait);
+        if (r < 0 && errno != EINTR) {
+            setError(error,
+                     strCat("poll() failed: ", std::strerror(errno)));
+            return RecvStatus::Closed;
+        }
+    }
+}
+
+} // namespace cluster
+} // namespace tie

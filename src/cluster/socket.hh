@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Reusable nonblocking socket layer for the serving plane: loopback
+ * TCP and unix-domain listeners/connectors, poll()-gated bounded-time
+ * send/recv, and a framed connection that speaks the cluster wire
+ * protocol (cluster/wire.hh).
+ *
+ * This generalizes the metrics endpoint's original ad-hoc listener
+ * (serve/metrics_endpoint.cc) into the transport the cluster router
+ * and workers share. The core discipline: **no unbounded blocking I/O
+ * anywhere**. Every send and recv runs on a nonblocking fd gated by
+ * poll() with a deadline, so one stalled peer (a client that never
+ * reads, a worker that was SIGKILLed mid-frame) costs at most the
+ * timeout — it can never wedge an accept loop or a shutdown path.
+ * The original writeAll() bug this replaces (a blocking send() that
+ * hung MetricsEndpoint::stop() forever behind a stalled scraper) has
+ * a regression test in tests/test_serve.cc.
+ *
+ * Errors are return-value + message, never fatal: connection-level
+ * failures are normal events in a cluster (chaos testing kills
+ * workers on purpose) and the caller decides what dying means.
+ */
+
+#ifndef TIE_CLUSTER_SOCKET_HH
+#define TIE_CLUSTER_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "cluster/wire.hh"
+
+namespace tie {
+namespace cluster {
+
+/**
+ * A worker address: "tcp:PORT" (loopback TCP, port 0 = ephemeral) or
+ * "unix:PATH" (unix-domain stream socket).
+ */
+struct Endpoint
+{
+    enum class Kind { Tcp, Unix };
+    Kind kind = Kind::Tcp;
+    int port = 0;     ///< Tcp: requested port (0 = ephemeral)
+    std::string path; ///< Unix: socket path
+
+    std::string toString() const;
+};
+
+/** Parse "tcp:PORT" / "unix:PATH"; false + error on anything else. */
+bool parseEndpoint(const std::string &s, Endpoint *out,
+                   std::string *error = nullptr);
+
+/** Make @p fd nonblocking. False on fcntl failure. */
+bool setNonBlocking(int fd);
+
+/**
+ * Send all @p len bytes with a deadline: nonblocking send() gated by
+ * poll(POLLOUT), giving up when @p timeout_ms elapses before the
+ * peer drains enough buffer. False on timeout or connection error
+ * (diagnostic in @p error). The fd is made nonblocking as a side
+ * effect.
+ */
+bool sendAllTimed(int fd, const void *data, size_t len, int timeout_ms,
+                  std::string *error = nullptr);
+
+/**
+ * Receive exactly @p len bytes with a deadline (poll(POLLIN)-gated
+ * nonblocking recv). False on timeout, EOF or error.
+ */
+bool recvAllTimed(int fd, void *data, size_t len, int timeout_ms,
+                  std::string *error = nullptr);
+
+/** A bound, listening socket (close with closeListener). */
+struct Listener
+{
+    int fd = -1;
+    int port = 0;     ///< bound TCP port (after ephemeral resolve)
+    Endpoint endpoint; ///< resolved address (port filled in)
+};
+
+/**
+ * Bind + listen on @p ep. TCP listeners bind 127.0.0.1 only — the
+ * cluster is a single-host serving plane, not an exposed service.
+ * Unix listeners unlink a stale socket file first (the chaos harness
+ * restarts workers on the same path). False + error on failure.
+ */
+bool listen(const Endpoint &ep, Listener *out,
+            std::string *error = nullptr);
+
+/** Close the fd and unlink a unix socket file. Idempotent. */
+void closeListener(Listener &l);
+
+/**
+ * Accept one connection, waiting at most @p timeout_ms. Returns the
+ * connected fd, or -1 on timeout/error.
+ */
+int acceptTimed(const Listener &l, int timeout_ms);
+
+/** Connect to @p ep, waiting at most @p timeout_ms. -1 on failure. */
+int connectTimed(const Endpoint &ep, int timeout_ms,
+                 std::string *error = nullptr);
+
+/**
+ * A connected peer speaking the wire protocol: owns the fd plus an
+ * incremental receive buffer, so partially-arrived frames survive
+ * between recvFrame calls. Not thread-safe; callers serialize sends
+ * and receives independently (one writer, one reader is fine —
+ * the buffer is only touched by recvFrame).
+ */
+class FrameConn
+{
+  public:
+    FrameConn() = default;
+    explicit FrameConn(int fd) : fd_(fd) {}
+    ~FrameConn() { close(); }
+
+    FrameConn(const FrameConn &) = delete;
+    FrameConn &operator=(const FrameConn &) = delete;
+    FrameConn(FrameConn &&o) noexcept { *this = std::move(o); }
+    FrameConn &
+    operator=(FrameConn &&o) noexcept
+    {
+        if (this != &o) {
+            close();
+            fd_ = o.fd_;
+            o.fd_ = -1;
+            rx_ = std::move(o.rx_);
+        }
+        return *this;
+    }
+
+    bool open() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Adopt @p fd (closing any previous one); clears the buffer. */
+    void reset(int fd = -1);
+
+    void close();
+
+    /** Encode + send one frame within @p timeout_ms. */
+    bool sendFrame(WireType type, const void *payload, size_t len,
+                   int timeout_ms, std::string *error = nullptr);
+    bool
+    sendFrame(WireType type, const std::vector<uint8_t> &payload,
+              int timeout_ms, std::string *error = nullptr)
+    {
+        return sendFrame(type, payload.data(), payload.size(),
+                         timeout_ms, error);
+    }
+
+    /** Outcome of recvFrame. */
+    enum class RecvStatus { Ok, Timeout, Closed, Corrupt };
+
+    /**
+     * Receive one whole frame, waiting at most @p timeout_ms for the
+     * bytes to arrive. Timeout leaves any partial frame buffered (a
+     * later call continues it); Closed means orderly EOF between
+     * frames or mid-frame death; Corrupt is the wire protocol's
+     * fail-stop rejection (the connection must be dropped).
+     */
+    RecvStatus recvFrame(WireFrame *out, int timeout_ms,
+                         std::string *error = nullptr);
+
+  private:
+    int fd_ = -1;
+    std::vector<uint8_t> rx_;
+};
+
+} // namespace cluster
+} // namespace tie
+
+#endif // TIE_CLUSTER_SOCKET_HH

@@ -1,0 +1,288 @@
+#include "cluster/wire.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "io/crc32.hh"
+
+namespace tie {
+namespace cluster {
+
+namespace {
+
+// The protocol is defined little-endian; like the .tie loader we
+// serialize through explicit byte shifts so the code is correct on
+// any host endianness.
+
+void
+putU32(std::vector<uint8_t> &b, uint32_t v)
+{
+    b.push_back(static_cast<uint8_t>(v));
+    b.push_back(static_cast<uint8_t>(v >> 8));
+    b.push_back(static_cast<uint8_t>(v >> 16));
+    b.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void
+putU64(std::vector<uint8_t> &b, uint64_t v)
+{
+    putU32(b, static_cast<uint32_t>(v));
+    putU32(b, static_cast<uint32_t>(v >> 32));
+}
+
+void
+putF64(std::vector<uint8_t> &b, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(b, bits);
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    return static_cast<uint64_t>(getU32(p)) |
+           static_cast<uint64_t>(getU32(p + 4)) << 32;
+}
+
+double
+getF64(const uint8_t *p)
+{
+    const uint64_t bits = getU64(p);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+void
+setError(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = msg;
+}
+
+} // namespace
+
+bool
+wireTypeKnown(uint32_t t)
+{
+    return t >= static_cast<uint32_t>(WireType::Hello) &&
+           t <= static_cast<uint32_t>(WireType::DrainAck);
+}
+
+std::vector<uint8_t>
+encodeFrame(WireType type, const void *payload, size_t payload_len)
+{
+    TIE_CHECK_ARG(payload_len <= kWireMaxPayload,
+                  "wire payload of ", payload_len,
+                  " bytes exceeds the ", kWireMaxPayload, " cap");
+    TIE_CHECK_ARG(payload != nullptr || payload_len == 0,
+                  "null wire payload with nonzero length");
+    std::vector<uint8_t> b;
+    b.reserve(kWireHeaderSize + payload_len);
+    b.insert(b.end(), kWireMagic, kWireMagic + 4);
+    putU32(b, kWireVersion);
+    putU32(b, static_cast<uint32_t>(type));
+    putU32(b, 0); // reserved
+    putU64(b, payload_len);
+    putU32(b, payload_len == 0 ? 0 : io::crc32(payload, payload_len));
+    putU32(b, io::crc32(b.data(), b.size()));
+    if (payload_len != 0)
+        b.insert(b.end(), static_cast<const uint8_t *>(payload),
+                 static_cast<const uint8_t *>(payload) + payload_len);
+    return b;
+}
+
+DecodeStatus
+tryDecodeFrame(const uint8_t *data, size_t len, WireFrame *out,
+               size_t *consumed, std::string *error)
+{
+    if (len == 0)
+        return DecodeStatus::NeedMore;
+    // Reject bad leading bytes as early as possible: a corrupt prefix
+    // must never be reported as NeedMore, or a peer would wait
+    // forever on a stream that can never become valid.
+    const size_t magic_check = len < 4 ? len : size_t(4);
+    if (std::memcmp(data, kWireMagic, magic_check) != 0) {
+        setError(error, "wire frame: bad magic");
+        return DecodeStatus::Corrupt;
+    }
+    if (len < kWireHeaderSize)
+        return DecodeStatus::NeedMore;
+
+    // Header CRC first: every later field read depends on it.
+    const uint32_t header_crc = getU32(data + 28);
+    if (io::crc32(data, 28) != header_crc) {
+        setError(error, "wire frame: header CRC mismatch");
+        return DecodeStatus::Corrupt;
+    }
+    const uint32_t version = getU32(data + 4);
+    if (version != kWireVersion) {
+        setError(error, strCat("wire frame: protocol version ",
+                               version, ", expected ", kWireVersion));
+        return DecodeStatus::Corrupt;
+    }
+    const uint32_t type = getU32(data + 8);
+    if (!wireTypeKnown(type)) {
+        setError(error,
+                 strCat("wire frame: unknown message type ", type));
+        return DecodeStatus::Corrupt;
+    }
+    if (getU32(data + 12) != 0) {
+        setError(error, "wire frame: reserved field is nonzero");
+        return DecodeStatus::Corrupt;
+    }
+    const uint64_t payload_size = getU64(data + 16);
+    if (payload_size > kWireMaxPayload) {
+        setError(error, strCat("wire frame: payload of ", payload_size,
+                               " bytes exceeds the ", kWireMaxPayload,
+                               " cap"));
+        return DecodeStatus::Corrupt;
+    }
+    if (len < kWireHeaderSize + payload_size)
+        return DecodeStatus::NeedMore;
+
+    const uint8_t *payload = data + kWireHeaderSize;
+    const uint32_t payload_crc = getU32(data + 24);
+    const uint32_t actual_crc =
+        payload_size == 0
+            ? 0
+            : io::crc32(payload, static_cast<size_t>(payload_size));
+    if (actual_crc != payload_crc) {
+        setError(error, "wire frame: payload CRC mismatch");
+        return DecodeStatus::Corrupt;
+    }
+
+    out->type = static_cast<WireType>(type);
+    out->payload.assign(payload, payload + payload_size);
+    *consumed = kWireHeaderSize + static_cast<size_t>(payload_size);
+    return DecodeStatus::Ok;
+}
+
+// ---------------------------------------------------------------------
+// Typed payloads
+// ---------------------------------------------------------------------
+
+std::vector<uint8_t>
+encodeHelloAck(const HelloAckMsg &m)
+{
+    std::vector<uint8_t> b;
+    b.reserve(28);
+    putU64(b, m.in_size);
+    putU64(b, m.out_size);
+    putU64(b, m.layers);
+    putU32(b, m.pid);
+    return b;
+}
+
+bool
+decodeHelloAck(const WireFrame &f, HelloAckMsg *out)
+{
+    if (f.type != WireType::HelloAck || f.payload.size() != 28)
+        return false;
+    const uint8_t *p = f.payload.data();
+    out->in_size = getU64(p);
+    out->out_size = getU64(p + 8);
+    out->layers = getU64(p + 16);
+    out->pid = getU32(p + 24);
+    return out->in_size > 0 && out->out_size > 0 && out->layers > 0;
+}
+
+std::vector<uint8_t>
+encodeInferRequest(const InferRequestMsg &m)
+{
+    std::vector<uint8_t> b;
+    b.reserve(16 + m.x.size() * 8);
+    putU64(b, m.req_id);
+    putU64(b, m.deadline_us);
+    for (double v : m.x)
+        putF64(b, v);
+    return b;
+}
+
+bool
+decodeInferRequest(const WireFrame &f, InferRequestMsg *out)
+{
+    if (f.type != WireType::InferRequest || f.payload.size() < 16 ||
+        (f.payload.size() - 16) % 8 != 0)
+        return false;
+    const uint8_t *p = f.payload.data();
+    out->req_id = getU64(p);
+    out->deadline_us = getU64(p + 8);
+    const size_t n = (f.payload.size() - 16) / 8;
+    out->x.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        out->x[i] = getF64(p + 16 + i * 8);
+    return n > 0;
+}
+
+std::vector<uint8_t>
+encodeInferResponse(const InferResponseMsg &m)
+{
+    std::vector<uint8_t> b;
+    b.reserve(16 + m.y.size() * 8);
+    putU64(b, m.req_id);
+    putU32(b, m.status);
+    putU32(b, 0); // reserved
+    for (double v : m.y)
+        putF64(b, v);
+    return b;
+}
+
+bool
+decodeInferResponse(const WireFrame &f, InferResponseMsg *out)
+{
+    if (f.type != WireType::InferResponse || f.payload.size() < 16 ||
+        (f.payload.size() - 16) % 8 != 0)
+        return false;
+    const uint8_t *p = f.payload.data();
+    out->req_id = getU64(p);
+    out->status = getU32(p + 8);
+    if (getU32(p + 12) != 0)
+        return false;
+    const size_t n = (f.payload.size() - 16) / 8;
+    out->y.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        out->y[i] = getF64(p + 16 + i * 8);
+    return true;
+}
+
+std::vector<uint8_t>
+encodeHealthReport(const HealthReportMsg &m)
+{
+    std::vector<uint8_t> b;
+    b.reserve(40);
+    putU64(b, m.queue_depth);
+    putU64(b, m.in_flight);
+    putU64(b, m.done);
+    putU64(b, m.shed);
+    putU32(b, m.draining);
+    putU32(b, 0); // reserved
+    return b;
+}
+
+bool
+decodeHealthReport(const WireFrame &f, HealthReportMsg *out)
+{
+    if (f.type != WireType::HealthReport || f.payload.size() != 40)
+        return false;
+    const uint8_t *p = f.payload.data();
+    out->queue_depth = getU64(p);
+    out->in_flight = getU64(p + 8);
+    out->done = getU64(p + 16);
+    out->shed = getU64(p + 24);
+    out->draining = getU32(p + 32);
+    return getU32(p + 36) == 0;
+}
+
+} // namespace cluster
+} // namespace tie

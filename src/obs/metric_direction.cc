@@ -1,0 +1,57 @@
+#include "obs/metric_direction.hh"
+
+#include <cctype>
+#include <vector>
+
+namespace tie {
+namespace obs {
+
+const char *
+toString(MetricDirection d)
+{
+    switch (d) {
+      case MetricDirection::LowerBetter:
+        return "lower";
+      case MetricDirection::HigherBetter:
+        return "higher";
+      case MetricDirection::Informational:
+        return "info";
+    }
+    return "?";
+}
+
+MetricDirection
+metricDirection(const std::string &name)
+{
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            cur.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        } else if (!cur.empty()) {
+            tokens.push_back(std::move(cur));
+            cur.clear();
+        }
+    }
+    if (!cur.empty())
+        tokens.push_back(std::move(cur));
+
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        const std::string &t = tokens[i];
+        if (t == "qps" || t == "throughput")
+            return MetricDirection::HigherBetter;
+        if (t == "per" && i + 1 < tokens.size() &&
+            tokens[i + 1] == "second")
+            return MetricDirection::HigherBetter;
+    }
+    for (const std::string &t : tokens) {
+        if (t == "time" || t == "latency" || t == "us" ||
+            t == "ns" || t == "ms")
+            return MetricDirection::LowerBetter;
+    }
+    return MetricDirection::Informational;
+}
+
+} // namespace obs
+} // namespace tie

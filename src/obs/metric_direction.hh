@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Which way is "better" for a named metric — the classification the
+ * perf-regression gate (tools/bench_diff.cc) uses to decide whether a
+ * change in a metric is a regression or an improvement.
+ *
+ * Matching is token-based, not substring-based: the name is split on
+ * non-alphanumeric boundaries and rules match whole tokens only. The
+ * substring matcher this replaces classified any name merely
+ * *containing* "time" as lower-is-better, so a counter like
+ * `timed_out` — where up is unambiguously worse but "timed" is not
+ * the token "time" — would have gated in the wrong direction the day
+ * someone exported it.
+ */
+
+#ifndef TIE_OBS_METRIC_DIRECTION_HH
+#define TIE_OBS_METRIC_DIRECTION_HH
+
+#include <string>
+
+namespace tie {
+namespace obs {
+
+enum class MetricDirection
+{
+    LowerBetter,   ///< durations, latencies (_us/_ns/_ms, *_time)
+    HigherBetter,  ///< rates (qps, *_per_second, throughput)
+    Informational, ///< unknown: reported, never gated
+};
+
+const char *toString(MetricDirection d);
+
+/**
+ * Classify @p name by whole tokens (split on any non-alphanumeric
+ * character, case-insensitive):
+ *
+ *  - HigherBetter: a "qps" or "throughput" token, or adjacent
+ *    "per"+"second" tokens (items_per_second, bytes_per_second).
+ *  - LowerBetter: a "time" or "latency" token (real_time, cpu_time)
+ *    or a duration-unit token "us"/"ns"/"ms" (latency_p99_us).
+ *  - Informational otherwise — in particular "timed_out" ("timed" is
+ *    not "time") and bare percentile keys like "p99".
+ *
+ * Rate rules win over duration rules, so "time_per_second" is a rate.
+ */
+MetricDirection metricDirection(const std::string &name);
+
+} // namespace obs
+} // namespace tie
+
+#endif // TIE_OBS_METRIC_DIRECTION_HH

@@ -142,9 +142,9 @@ runClosedLoop(Server &server, const LoadGenOptions &opts,
     std::vector<double> latency, qwait, service;
     mergeTallies(tallies, rep, latency, qwait, service);
     rep.achieved_qps = wall_s > 0 ? rep.completed / wall_s : 0;
-    rep.latency = summarize(latency);
-    rep.queue_wait = summarize(qwait);
-    rep.service = summarize(service);
+    rep.latency = summarize(std::move(latency));
+    rep.queue_wait = summarize(std::move(qwait));
+    rep.service = summarize(std::move(service));
     return rep;
 }
 
@@ -229,9 +229,9 @@ runOpenLoop(Server &server, const LoadGenOptions &opts,
     std::vector<double> latency, qwait, service;
     mergeTallies(tallies, rep, latency, qwait, service);
     rep.achieved_qps = wall_s > 0 ? rep.completed / wall_s : 0;
-    rep.latency = summarize(latency);
-    rep.queue_wait = summarize(qwait);
-    rep.service = summarize(service);
+    rep.latency = summarize(std::move(latency));
+    rep.queue_wait = summarize(std::move(qwait));
+    rep.service = summarize(std::move(service));
     return rep;
 }
 
@@ -289,7 +289,7 @@ referenceOutputs(const std::vector<TtLayerViewD> &model, uint64_t seed,
 }
 
 LatencySummary
-summarize(std::vector<double> &samples)
+summarize(std::vector<double> samples)
 {
     LatencySummary s;
     if (samples.empty())

@@ -88,8 +88,13 @@ std::vector<std::vector<double>>
 referenceOutputs(const std::vector<TtLayerViewD> &model, uint64_t seed,
                  size_t requests, SessionOptions session = {});
 
-/** Exact summary of @p samples (sorted in place); zeros when empty. */
-LatencySummary summarize(std::vector<double> &samples);
+/**
+ * Exact summary of @p samples; zeros when empty. Taken by value so
+ * the caller's vector is never mutated — the sort needed for exact
+ * percentiles happens on the copy (std::move in when the samples are
+ * no longer needed and the copy should be elided).
+ */
+LatencySummary summarize(std::vector<double> samples);
 
 /**
  * Run the generator selected by opts.offered_qps against @p server.

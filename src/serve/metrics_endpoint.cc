@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "cluster/socket.hh"
 #include "common/logging.hh"
 #include "obs/prom_export.hh"
 
@@ -20,22 +21,13 @@ namespace serve {
 
 namespace {
 
-/** Write all of @p s to @p fd, retrying on short writes / EINTR. */
-void
-writeAll(int fd, const std::string &s)
-{
-    size_t off = 0;
-    while (off < s.size()) {
-        const ssize_t n =
-            ::send(fd, s.data() + off, s.size() - off, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return; // client went away; nothing to clean up
-        }
-        off += static_cast<size_t>(n);
-    }
-}
+/**
+ * A scraper that connects but never reads must not wedge the accept
+ * loop (and with it stop()): the old blocking writeAll here did
+ * exactly that once the exposition outgrew the socket buffer. Bound
+ * the whole response send instead.
+ */
+constexpr int kClientSendTimeoutMs = 2000;
 
 std::string
 httpResponse(const std::string &body)
@@ -67,34 +59,42 @@ MetricsEndpoint::start(MetricsEndpointOptions opts)
     listen_fd_ = -1;
 
     if (opts_.port >= 0) {
+        // A bind failure (port taken, no socket) degrades to
+        // snapshot-only service below instead of aborting start():
+        // losing the scrape port must not silently also lose the
+        // snapshot file the caller asked for.
         const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0) {
             TIE_WARN("metrics endpoint: socket() failed: ",
                      std::strerror(errno));
-            return false;
+        } else {
+            const int one = 1;
+            ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            addr.sin_port =
+                htons(static_cast<uint16_t>(opts_.port));
+            if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr)) != 0 ||
+                ::listen(fd, 16) != 0) {
+                TIE_WARN("metrics endpoint: cannot listen on "
+                         "127.0.0.1:", opts_.port, ": ",
+                         std::strerror(errno));
+                ::close(fd);
+            } else {
+                sockaddr_in bound{};
+                socklen_t len = sizeof(bound);
+                if (::getsockname(
+                        fd, reinterpret_cast<sockaddr *>(&bound),
+                        &len) == 0)
+                    port_ = static_cast<int>(ntohs(bound.sin_port));
+                listen_fd_ = fd;
+                accept_thread_ =
+                    std::thread([this] { acceptLoop(); });
+            }
         }
-        const int one = 1;
-        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-        sockaddr_in addr{};
-        addr.sin_family = AF_INET;
-        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-        addr.sin_port =
-            htons(static_cast<uint16_t>(opts_.port));
-        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
-                   sizeof(addr)) != 0 ||
-            ::listen(fd, 16) != 0) {
-            TIE_WARN("metrics endpoint: cannot listen on 127.0.0.1:",
-                     opts_.port, ": ", std::strerror(errno));
-            ::close(fd);
-            return false;
-        }
-        sockaddr_in bound{};
-        socklen_t len = sizeof(bound);
-        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
-                          &len) == 0)
-            port_ = static_cast<int>(ntohs(bound.sin_port));
-        listen_fd_ = fd;
-        accept_thread_ = std::thread([this] { acceptLoop(); });
     }
 
     if (!opts_.snapshot_path.empty())
@@ -148,7 +148,12 @@ MetricsEndpoint::acceptLoop()
             char buf[4096];
             (void)::recv(client, buf, sizeof(buf), 0);
         }
-        writeAll(client, httpResponse(obs::prometheusText()));
+        const std::string resp = httpResponse(obs::prometheusText());
+        std::string err;
+        if (!cluster::sendAllTimed(client, resp.data(), resp.size(),
+                                   kClientSendTimeoutMs, &err))
+            TIE_WARN_ONCE("metrics endpoint: dropping stalled "
+                          "client: ", err);
         ::close(client);
     }
 }
@@ -183,8 +188,14 @@ MetricsEndpoint::writeSnapshot() const
             return;
         f << obs::prometheusText();
     }
-    // Atomic replace: a reader never sees a torn exposition.
-    std::rename(tmp.c_str(), opts_.snapshot_path.c_str());
+    // Atomic replace: a reader never sees a torn exposition. A
+    // failed rename (read-only fs, cross-device path) leaves the
+    // previous snapshot intact — warn instead of silently serving
+    // stale data forever.
+    if (std::rename(tmp.c_str(), opts_.snapshot_path.c_str()) != 0)
+        TIE_WARN_ONCE("metrics endpoint: cannot replace snapshot ",
+                      opts_.snapshot_path, ": ",
+                      std::strerror(errno));
 }
 
 } // namespace serve

@@ -5,11 +5,13 @@
  * of the StatRegistry (obs/prom_export.hh), plus an optional periodic
  * file-snapshot mode for no-network CI.
  *
- * This is deliberately the repo's first socket code — a minimal,
- * single-threaded accept loop (one request per connection, HTTP/1.0
- * close semantics) that the ROADMAP cluster transport can later grow
- * out of. The accept loop runs on a dedicated thread; poll(2) with a
- * short timeout keeps stop() prompt without signals.
+ * A minimal, single-threaded accept loop (one request per connection,
+ * HTTP/1.0 close semantics) on a dedicated thread; poll(2) with a
+ * short timeout keeps stop() prompt without signals. Response sends
+ * go through the cluster socket layer's bounded sendAllTimed — this
+ * was the repo's first socket code and is now a client of the
+ * transport that grew out of it (cluster/socket.hh), so a scraper
+ * that connects and never reads cannot wedge the loop.
  */
 
 #ifndef TIE_SERVE_METRICS_ENDPOINT_HH
@@ -50,9 +52,11 @@ class MetricsEndpoint
     MetricsEndpoint &operator=(const MetricsEndpoint &) = delete;
 
     /**
-     * Bind and start serving. Returns false (with no threads started)
-     * when the listener cannot bind; a snapshot-only configuration
-     * (negative port, non-empty snapshot_path) always succeeds.
+     * Bind and start serving. A bind failure degrades gracefully:
+     * the listener is skipped (with a warning, port() stays 0) but a
+     * requested snapshot thread still runs — observability is lost
+     * piecewise, never wholesale. Returns false only when nothing
+     * could be started at all.
      */
     bool start(MetricsEndpointOptions opts);
 

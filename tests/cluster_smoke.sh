@@ -1,0 +1,78 @@
+#!/bin/sh
+# Smoke test for the sharded serving cluster: real tie_worker
+# processes behind the router, with and without chaos, plus the
+# cluster_sweep bench's BENCH_cluster.json schema.
+#
+#   $1 = tie_cli binary
+#   $2 = tie_worker binary
+#   $3 = cluster_sweep bench binary
+set -e
+abspath() { echo "$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"; }
+CLI="$(abspath "$1")"
+WORKER="$(abspath "$2")"
+SWEEP="$(abspath "$3")"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" save-model "$DIR/m.tie" --m 4,4 --n 4,4 --rank 3 --seed 9
+
+# Plain sharded run: two worker processes, every request resolved,
+# every completed output bit-identical to the single-process oracle.
+"$CLI" cluster-bench "$DIR/m.tie" --replicas 2 --requests 48 \
+    --clients 4 --worker-bin "$WORKER" --sock-dir "$DIR" \
+    --stats-json="$DIR/cb.json" > "$DIR/out.txt"
+grep -q "all requests resolved.*| yes" "$DIR/out.txt"
+grep -q "bit-exact vs single-process reference.*| yes" "$DIR/out.txt"
+
+# Chaos run: SIGKILL a replica mid-load and restart it on the same
+# socket. Exit code 2 = lost requests or bit mismatch, so a plain
+# success here *is* the zero-lost-work assertion. The request count
+# is sized so the load outlasts the harness's pre-kill delay.
+mkdir "$DIR/chaos"
+"$CLI" cluster-bench "$DIR/m.tie" --replicas 2 --requests 2048 \
+    --clients 4 --chaos --chaos-kills 1 --worker-bin "$WORKER" \
+    --sock-dir "$DIR/chaos" \
+    --stats-json="$DIR/chaos.json" > "$DIR/chaos_out.txt"
+grep -q "chaos" "$DIR/chaos_out.txt"
+grep -q "all requests resolved.*| yes" "$DIR/chaos_out.txt"
+
+# The JSON sidecars carry the machine-readable verdicts.
+python3 -m json.tool "$DIR/cb.json" >/dev/null
+python3 - "$DIR/cb.json" "$DIR/chaos.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    r = json.load(open(path))
+    cb = r["cluster_bench"]
+    assert cb["none_lost"] is True, (path, cb)
+    assert cb["mismatched"] == 0, (path, cb)
+    assert cb["completed"] + cb["rejected"] + cb["timed_out"] \
+        == cb["requests"], (path, cb)
+chaos = json.load(open(sys.argv[2]))["cluster_bench"]
+assert chaos["chaos_kills"] >= 1, chaos
+EOF
+
+# cluster_sweep --quick must emit a schema-valid BENCH_cluster.json
+# in the serve-points shape bench_diff gates.
+(cd "$DIR" && "$SWEEP" --quick --stats-json >/dev/null)
+python3 -m json.tool "$DIR/BENCH_cluster.json" >/dev/null
+python3 - "$DIR/BENCH_cluster.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["name"] == "cluster", r.get("name")
+points = r["serve"]["points"]
+assert points, "no sweep points recorded"
+for p in points:
+    for key in ("label", "mode", "replicas", "requests", "completed",
+                "rejected", "timed_out", "mismatched", "achieved_qps",
+                "latency_p50_us", "latency_p95_us", "latency_p99_us"):
+        assert key in p, f"point missing {key}: {p}"
+    assert p["mode"] == "cluster-closed", p
+    assert p["mismatched"] == 0, f"cluster outputs mismatched: {p}"
+    assert p["completed"] + p["rejected"] + p["timed_out"] \
+        == p["requests"], f"requests unaccounted for: {p}"
+    assert p["latency_p50_us"] <= p["latency_p95_us"] \
+        <= p["latency_p99_us"], f"percentiles out of order: {p}"
+assert {p["replicas"] for p in points} == {1, 2}, points
+EOF
+
+echo "cluster smoke ok"

@@ -23,6 +23,7 @@
 #include "core/tie_engine.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/json.hh"
+#include "obs/metric_direction.hh"
 #include "obs/prom_export.hh"
 #include "obs/report.hh"
 #include "obs/stat_registry.hh"
@@ -812,6 +813,51 @@ TEST_F(ObsTest, PrometheusExpositionIsStableForFixedValues)
     obs::setEnabled(true);
     StatRegistry::instance().counter("promtest.stable").add(1);
     EXPECT_EQ(obs::prometheusText(), obs::prometheusText());
+}
+
+TEST(MetricDirection, TokenBasedClassification)
+{
+    using obs::MetricDirection;
+    using obs::metricDirection;
+    struct Case
+    {
+        const char *name;
+        MetricDirection want;
+    };
+    const Case cases[] = {
+        // Time-like metrics: lower is better.
+        {"real_time", MetricDirection::LowerBetter},
+        {"cpu_time", MetricDirection::LowerBetter},
+        {"latency_p99_us", MetricDirection::LowerBetter},
+        {"queue_wait_p99_us", MetricDirection::LowerBetter},
+        {"service_p50_us", MetricDirection::LowerBetter},
+        {"serve.phase.infer_us", MetricDirection::LowerBetter},
+        {"step_ns", MetricDirection::LowerBetter},
+        {"frame_ms", MetricDirection::LowerBetter},
+        // Rates: higher is better (and wins over a time token, as in
+        // bytes_per_second).
+        {"achieved_qps", MetricDirection::HigherBetter},
+        {"throughput", MetricDirection::HigherBetter},
+        {"items_per_second", MetricDirection::HigherBetter},
+        {"bytes_per_second", MetricDirection::HigherBetter},
+        // The old substring matcher classified these wrongly:
+        // "timed_out".find("time") == 0 made a *count of failures*
+        // gate as lower-is-better wall time; "qps" matched inside
+        // arbitrary words. Token matching keeps them informational.
+        {"timed_out", MetricDirection::Informational},
+        {"times_called", MetricDirection::Informational},
+        {"completed", MetricDirection::Informational},
+        {"mismatched", MetricDirection::Informational},
+        {"p50", MetricDirection::Informational},
+        {"iterations", MetricDirection::Informational},
+        {"", MetricDirection::Informational},
+    };
+    for (const Case &c : cases)
+        EXPECT_EQ(metricDirection(c.name), c.want) << c.name;
+
+    EXPECT_STREQ(toString(MetricDirection::LowerBetter), "lower");
+    EXPECT_STREQ(toString(MetricDirection::HigherBetter), "higher");
+    EXPECT_STREQ(toString(MetricDirection::Informational), "info");
 }
 
 } // namespace

@@ -845,6 +845,129 @@ TEST_F(ServeFlightTest, MetricsSnapshotFileWrittenWithoutListener)
     std::remove(path.c_str());
 }
 
+TEST_F(ServeFlightTest, MetricsEndpointStopIsBoundedWithAStalledClient)
+{
+    // Regression for the blocking writeAll() bug: a scraper that
+    // connects, sends its request and then never reads a byte used to
+    // wedge the accept loop — and stop() — forever once the
+    // exposition outgrew the socket buffers. Inflate the registry so
+    // the response genuinely jams, stall a client, and require stop()
+    // to return within the bounded-send budget.
+    obs::setEnabled(true);
+    auto &reg = obs::StatRegistry::instance();
+    for (int i = 0; i < 2000; ++i)
+        reg.counter("endpoint.stall_filler_counter_" +
+                        std::to_string(i),
+                    "stalled-client regression filler")
+            .add(1);
+
+    MetricsEndpoint endpoint;
+    MetricsEndpointOptions mopts;
+    mopts.port = 0;
+    ASSERT_TRUE(endpoint.start(mopts));
+    ASSERT_GT(endpoint.port(), 0);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    // Shrink the client's receive window to force the jam.
+    const int tiny = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(endpoint.port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+    // Give the endpoint time to accept and start (and jam) the send.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    endpoint.stop();
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    // Send budget is 2000 ms; anything wildly beyond means the old
+    // unbounded path came back. Generous slack for a loaded CI box.
+    EXPECT_LT(elapsed_ms, 15000.0);
+    ::close(fd);
+}
+
+TEST_F(ServeFlightTest, MetricsEndpointBindFailureStillSnapshots)
+{
+    // Occupy a port so the endpoint's bind must fail.
+    const int blocker = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(blocker, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(blocker, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(blocker, 1), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(::getsockname(blocker,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            &len),
+              0);
+    const int taken = static_cast<int>(ntohs(addr.sin_port));
+
+    obs::setEnabled(true);
+    obs::StatRegistry::instance()
+        .counter("endpoint.degrade_counter", "bind-failure test")
+        .add(3);
+
+    // The regression: start() used to return false here and never
+    // launch the snapshot thread, silently dropping the file the
+    // caller asked for along with the (independently broken) port.
+    const std::string path = "test_metrics_degraded.prom";
+    MetricsEndpoint endpoint;
+    MetricsEndpointOptions mopts;
+    mopts.port = taken;
+    mopts.snapshot_path = path;
+    mopts.snapshot_period_ms = 20;
+    ASSERT_TRUE(endpoint.start(mopts));
+    EXPECT_TRUE(endpoint.running());
+    EXPECT_EQ(endpoint.port(), 0); // the listener really is gone
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    endpoint.stop();
+    ::close(blocker);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("tie_endpoint_degrade_counter 3"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(ServeFlightTest, MetricsSnapshotRenameFailureIsSurvivable)
+{
+    // Point the snapshot at an existing directory: the temp file
+    // writes fine but the atomic rename over a directory fails. The
+    // endpoint must warn and keep running, not crash or corrupt.
+    char tmpl[] = "snapshot_dir_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    const std::string dir = tmpl;
+
+    MetricsEndpoint endpoint;
+    MetricsEndpointOptions mopts;
+    mopts.port = -1;
+    mopts.snapshot_path = dir;
+    mopts.snapshot_period_ms = 20;
+    ASSERT_TRUE(endpoint.start(mopts));
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    endpoint.stop(); // the final writeSnapshot also fails gracefully
+
+    std::remove((dir + ".tmp").c_str());
+    ::rmdir(dir.c_str());
+}
+
 } // namespace
 } // namespace serve
 } // namespace tie

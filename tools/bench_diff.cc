@@ -15,9 +15,11 @@
  *    better) keyed by the point label; every "stats"."distributions"
  *    entry contributes its p50/p95/p99.
  *
- * Direction is inferred from the metric name: *_us / *time* metrics
- * are lower-is-better, *per_second / *qps* higher-is-better; anything
- * else is reported but never gates. A regression is a direction-
+ * Direction is inferred from the metric name by the shared
+ * token-based classifier (obs/metric_direction.hh): time/latency and
+ * duration-unit tokens are lower-is-better, qps / per-second tokens
+ * higher-is-better; anything else (including near-misses like
+ * timed_out) is reported but never gates. A regression is a direction-
  * adjusted worsening of more than --threshold percent whose absolute
  * change also exceeds --floor (noise floor, metric's native unit).
  * Metrics present in only one file are listed but never fail the gate
@@ -37,12 +39,13 @@
 
 #include "common/table.hh"
 #include "obs/json.hh"
+#include "obs/metric_direction.hh"
 
 using namespace tie;
 
 namespace {
 
-enum class Direction { LowerBetter, HigherBetter, Informational };
+using Direction = obs::MetricDirection;
 
 struct Metric
 {
@@ -52,23 +55,10 @@ struct Metric
 
 using MetricMap = std::map<std::string, Metric>;
 
-Direction
-directionOf(const std::string &name)
-{
-    auto contains = [&](const char *s) {
-        return name.find(s) != std::string::npos;
-    };
-    if (contains("per_second") || contains("qps"))
-        return Direction::HigherBetter;
-    if (contains("_us") || contains("time") || contains("_ns"))
-        return Direction::LowerBetter;
-    return Direction::Informational;
-}
-
 void
 addMetric(MetricMap &m, const std::string &name, double value)
 {
-    m[name] = Metric{value, directionOf(name)};
+    m[name] = Metric{value, obs::metricDirection(name)};
 }
 
 /** google-benchmark schema: the "benchmarks" array. */

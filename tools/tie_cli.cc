@@ -24,6 +24,13 @@
  *                    --m .. --n .. [--rank r] [--seed s]) [--fxp]
  *       package a layer chain as a versioned .tie artifact
  *       (docs/serialization.md); --fxp embeds the quantized twin
+ *   tie_cli cluster-bench model.tie [--replicas K] [--requests R]
+ *                    [--chaos [--chaos-kills N]] [--p99-bound-us X]
+ *       spawn K tie_worker processes, shard a closed-loop run across
+ *       them through the cluster router, verify every output
+ *       bit-exactly against the single-process oracle; --chaos
+ *       SIGKILLs and restarts replicas mid-load and asserts zero
+ *       lost requests (docs/cluster.md)
  *
  * info and serve-bench sniff the artifact kind by magic, so both
  * accept legacy single-layer .ttm streams and .tie containers.
@@ -37,6 +44,10 @@
  * docs/observability.md.
  */
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -49,6 +60,9 @@
 
 #include "arch/stats_io.hh"
 #include "arch/tie_sim.hh"
+#include "cluster/cluster_load.hh"
+#include "cluster/process.hh"
+#include "cluster/router.hh"
 #include "common/table.hh"
 #include "io/tie_format.hh"
 #include "obs/flight_recorder.hh"
@@ -549,6 +563,282 @@ cmdServeBench(const Options &opt)
     return rep.mismatched == 0 ? 0 : 2;
 }
 
+/** Resolve the tie_worker binary: flag, env, or beside tie_cli. */
+std::string
+workerBinPath(const Options &opt)
+{
+    if (opt.has("worker-bin"))
+        return opt.get("worker-bin");
+    if (const char *env = std::getenv("TIE_WORKER_BIN");
+        env != nullptr && env[0] != '\0')
+        return env;
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        const std::string self(buf);
+        const size_t slash = self.rfind('/');
+        if (slash != std::string::npos)
+            return self.substr(0, slash + 1) + "tie_worker";
+    }
+    return "tie_worker";
+}
+
+/** One spawned replica: the process plus where it listens. */
+struct WorkerProc
+{
+    cluster::ChildProcess proc;
+    cluster::Endpoint endpoint;
+};
+
+/**
+ * Spawn tie_worker serving @p model on @p sock_path and wait for its
+ * "ready <endpoint>" banner. False + diagnostic on spawn failure or
+ * a missing/garbled banner.
+ */
+bool
+spawnWorker(const std::string &bin, const std::string &model,
+            const std::string &sock_path,
+            const serve::ServerOptions &sopts, WorkerProc *out,
+            std::string *error)
+{
+    const std::vector<std::string> argv = {
+        bin,
+        "--model", model,
+        "--listen", "unix:" + sock_path,
+        "--workers", std::to_string(sopts.workers),
+        "--max-batch", std::to_string(sopts.max_batch),
+        "--queue-cap", std::to_string(sopts.queue_capacity),
+        "--batch-timeout-us",
+        std::to_string(sopts.batch_timeout_us),
+    };
+    if (!cluster::spawnProcess(argv, &out->proc, error))
+        return false;
+    std::string line;
+    // Generous: the worker CRC-checks the whole artifact and warms
+    // its inference sessions before the banner.
+    if (!cluster::readLine(out->proc.stdout_fd, &line,
+                           /*timeout_ms=*/30000) ||
+        line.rfind("ready ", 0) != 0 ||
+        !cluster::parseEndpoint(line.substr(6), &out->endpoint,
+                                error)) {
+        if (error != nullptr && error->empty())
+            *error = "worker printed no ready banner: \"" + line +
+                     "\"";
+        cluster::killProcess(out->proc, SIGKILL);
+        cluster::waitProcess(out->proc);
+        return false;
+    }
+    return true;
+}
+
+int
+cmdClusterBench(const Options &opt)
+{
+    TIE_CHECK_ARG(
+        opt.positional.size() == 1,
+        "usage: tie_cli cluster-bench <model.tie> [--replicas K]"
+        " [--requests R] [--clients C] [--seed s] [--deadline-us D]"
+        " [--workers W] [--max-batch B] [--timeout-us T]"
+        " [--queue-cap Q] [--chaos] [--chaos-kills N]"
+        " [--p99-bound-us X] [--worker-bin PATH] [--sock-dir DIR]");
+    const std::string &model_path = opt.positional[0];
+    TIE_CHECK_ARG(io::isTieArtifact(model_path),
+                  "cluster-bench serves .tie artifacts (workers load "
+                  "the file themselves); got ", model_path);
+
+    const size_t replicas =
+        static_cast<size_t>(std::stoul(opt.get("replicas", "2")));
+    TIE_CHECK_ARG(replicas >= 1, "--replicas must be >= 1");
+    const bool chaos = opt.has("chaos");
+    const size_t chaos_kills = static_cast<size_t>(
+        std::stoul(opt.get("chaos-kills", chaos ? "1" : "0")));
+    TIE_CHECK_ARG(!chaos || replicas >= 2,
+                  "--chaos needs at least 2 replicas (a killed "
+                  "replica's work fails over to a live one)");
+
+    serve::ServerOptions sopts;
+    sopts.workers =
+        static_cast<size_t>(std::stoul(opt.get("workers", "1")));
+    sopts.max_batch =
+        static_cast<size_t>(std::stoul(opt.get("max-batch", "4")));
+    sopts.batch_timeout_us = std::stoull(opt.get("timeout-us", "200"));
+    sopts.queue_capacity =
+        static_cast<size_t>(std::stoul(opt.get("queue-cap", "128")));
+
+    cluster::ClusterLoadOptions lopts;
+    lopts.requests =
+        static_cast<size_t>(std::stoul(opt.get("requests", "64")));
+    lopts.clients =
+        static_cast<size_t>(std::stoul(opt.get("clients", "4")));
+    lopts.deadline_us = std::stoull(opt.get("deadline-us", "0"));
+    lopts.seed = std::stoull(opt.get("seed", "1"));
+
+    // The single-process oracle: the same seeded request stream
+    // through the same artifact, batch-1. Every Done output from any
+    // replica must match these bits exactly.
+    io::TieModel artifact = io::TieModel::load(model_path);
+    const std::vector<std::vector<double>> expected =
+        serve::referenceOutputs(artifact.layers(), lopts.seed,
+                                lopts.requests);
+
+    std::string sock_dir = opt.get("sock-dir", "");
+    if (sock_dir.empty()) {
+        char tmpl[] = "/tmp/tie-cluster-XXXXXX";
+        TIE_CHECK_ARG(::mkdtemp(tmpl) != nullptr,
+                      "cannot create socket directory");
+        sock_dir = tmpl;
+    }
+    const std::string bin = workerBinPath(opt);
+
+    std::vector<WorkerProc> workers(replicas);
+    std::vector<cluster::Endpoint> endpoints;
+    for (size_t i = 0; i < replicas; ++i) {
+        const std::string sock =
+            sock_dir + "/w" + std::to_string(i) + ".sock";
+        std::string err;
+        TIE_CHECK_ARG(spawnWorker(bin, model_path, sock, sopts,
+                                  &workers[i], &err),
+                      "cannot spawn replica ", i, ": ", err);
+        endpoints.push_back(workers[i].endpoint);
+    }
+    std::cout << replicas << " replica(s) ready on " << sock_dir
+              << std::endl;
+
+    cluster::RouterOptions ropts;
+    ropts.workers = endpoints;
+    ropts.health_period_ms = 50; // fast failure detection for chaos
+    cluster::Router router(ropts);
+    std::string err;
+    TIE_CHECK_ARG(router.start(&err), "router start failed: ", err);
+
+    // Chaos: SIGKILL replicas (round-robin) under load, restart each
+    // on the same socket so the router's monitor re-adopts it. The
+    // invariants asserted below must hold regardless of timing. Every
+    // requested kill happens even if the load drains first — a smoke
+    // run with a short load still exercises the kill/restart/re-adopt
+    // path deterministically.
+    std::atomic<bool> load_done{false};
+    size_t killed = 0, restarted = 0;
+    std::thread chaos_thread;
+    if (chaos_kills > 0) {
+        chaos_thread = std::thread([&] {
+            for (size_t k = 0; k < chaos_kills; ++k) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+                WorkerProc &victim = workers[k % replicas];
+                cluster::killProcess(victim.proc, SIGKILL);
+                cluster::waitProcess(victim.proc);
+                ++killed;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+                const std::string sock =
+                    sock_dir + "/w" + std::to_string(k % replicas) +
+                    ".sock";
+                std::string serr;
+                if (spawnWorker(bin, model_path, sock, sopts,
+                                &victim, &serr))
+                    ++restarted;
+                else
+                    TIE_WARN("chaos: restart failed: ", serr);
+            }
+        });
+    }
+
+    const serve::LoadGenReport rep =
+        runClusterLoad(router, lopts, &expected);
+    load_done.store(true);
+    if (chaos_thread.joinable())
+        chaos_thread.join();
+
+    router.drainWorkers(/*timeout_ms=*/5000);
+    const cluster::RouterStats stats = router.stats();
+    router.stop();
+    for (WorkerProc &w : workers) {
+        // Drained workers exit on their own; closing stdin is the
+        // EOF backstop for any that never saw the Drain.
+        if (w.proc.stdin_fd >= 0) {
+            ::close(w.proc.stdin_fd);
+            w.proc.stdin_fd = -1;
+        }
+        cluster::waitProcess(w.proc);
+    }
+
+    // The chaos contract. "Lost" = accepted but never resolved;
+    // shed/timed-out requests are explicit outcomes, not losses.
+    const size_t resolved =
+        rep.completed + rep.rejected + rep.timed_out;
+    const bool none_lost = resolved == rep.submitted;
+    const bool bit_exact = rep.mismatched == 0;
+    const double p99_bound =
+        std::stod(opt.get("p99-bound-us", "0"));
+    const bool p99_ok =
+        p99_bound <= 0 || rep.latency.p99 <= p99_bound;
+
+    if (obs::Session *s = obs::Session::current();
+        s != nullptr && s->statsRequested()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.field("model", model_path);
+        w.field("replicas", static_cast<uint64_t>(replicas));
+        w.field("chaos_kills", static_cast<uint64_t>(killed));
+        w.field("chaos_restarts", static_cast<uint64_t>(restarted));
+        w.field("requests", static_cast<uint64_t>(rep.submitted));
+        w.field("completed", static_cast<uint64_t>(rep.completed));
+        w.field("rejected", static_cast<uint64_t>(rep.rejected));
+        w.field("timed_out", static_cast<uint64_t>(rep.timed_out));
+        w.field("mismatched", static_cast<uint64_t>(rep.mismatched));
+        w.field("redispatched", stats.redispatched);
+        w.field("worker_deaths", stats.worker_deaths);
+        w.field("reconnects", stats.reconnects);
+        w.field("achieved_qps", rep.achieved_qps);
+        w.field("latency_p50_us", rep.latency.p50);
+        w.field("latency_p99_us", rep.latency.p99);
+        w.field("none_lost", none_lost);
+        w.endObject();
+        s->setExtra("cluster_bench", w.str());
+    }
+
+    TextTable t("cluster-bench report");
+    t.header({"metric", "value"});
+    t.row({"model", model_path});
+    t.row({"replicas", std::to_string(replicas) + " x " +
+                           std::to_string(sopts.workers) +
+                           " server thread(s)"});
+    t.row({"load", "closed loop, " + std::to_string(lopts.clients) +
+                       " client(s), " +
+                       std::to_string(lopts.requests) + " requests"});
+    if (chaos_kills > 0)
+        t.row({"chaos", std::to_string(killed) + " kill(s), " +
+                            std::to_string(restarted) +
+                            " restart(s)"});
+    t.row({"completed / rejected / timed out",
+           std::to_string(rep.completed) + " / " +
+               std::to_string(rep.rejected) + " / " +
+               std::to_string(rep.timed_out)});
+    t.row({"redispatched / deaths / reconnects",
+           std::to_string(stats.redispatched) + " / " +
+               std::to_string(stats.worker_deaths) + " / " +
+               std::to_string(stats.reconnects)});
+    t.row({"throughput",
+           TextTable::num(rep.achieved_qps, 0) + " req/s"});
+    t.row({"latency p50 / p95 / p99",
+           TextTable::num(rep.latency.p50, 1) + " / " +
+               TextTable::num(rep.latency.p95, 1) + " / " +
+               TextTable::num(rep.latency.p99, 1) + " us"});
+    t.row({"all requests resolved", none_lost ? "yes" : "NO"});
+    t.row({"bit-exact vs single-process reference",
+           bit_exact ? "yes" : "NO"});
+    if (p99_bound > 0)
+        t.row({"p99 within bound", p99_ok ? "yes" : "NO"});
+    t.print();
+
+    if (!none_lost || !bit_exact)
+        return 2;
+    return p99_ok ? 0 : 3;
+}
+
 /** Pretty-print any BENCH_*.json (google-benchmark or obs session). */
 int
 cmdStats(const Options &opt)
@@ -695,6 +985,14 @@ usage()
            "[--deadline-us]\n"
            "              [--metrics-port P][--metrics-snapshot FILE]"
            "[--metrics-linger-ms L]\n"
+           "  cluster-bench <model.tie> [--replicas K][--requests R]"
+           "[--clients C]\n"
+           "              [--chaos][--chaos-kills N][--p99-bound-us X]"
+           "[--worker-bin PATH]\n"
+           "              spawn K tie_worker processes, shard load "
+           "across them,\n"
+           "              verify bit-exactness (and chaos recovery) "
+           "(docs/cluster.md)\n"
            "  stats <BENCH_*.json>   pretty-print any bench report\n"
            "observability (any command; also TIE_STATS_JSON/TIE_TRACE"
            " env):\n"
@@ -732,6 +1030,8 @@ main(int argc, char **argv)
         return cmdSimulate(opt);
     if (cmd == "serve-bench")
         return cmdServeBench(opt);
+    if (cmd == "cluster-bench")
+        return cmdClusterBench(opt);
     if (cmd == "stats")
         return cmdStats(opt);
     usage();
