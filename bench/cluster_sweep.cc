@@ -34,7 +34,9 @@
 #include "io/tie_format.hh"
 #include "obs/json.hh"
 #include "obs/report.hh"
+#include "serve/multi_tenant.hh"
 #include "tt/tt_matrix.hh"
+#include "tune/zoo.hh"
 
 using namespace tie;
 
@@ -72,6 +74,147 @@ appendPointJson(obs::JsonWriter &w, const SweepPoint &p)
     w.endObject();
 }
 
+/**
+ * Multi-tenant cluster sweep over a model zoo (--zoo DIR): one
+ * in-process ClusterWorker + Router per manifest artifact, mixed
+ * closed-loop traffic across all of them, per-tenant bit-exact
+ * verification. The zoo-mode twin of serve_sweep --zoo, one process
+ * boundary further out.
+ */
+int
+runZooSweep(const std::string &zoo_dir, bool quick)
+{
+    const tune::ZooManifest manifest =
+        tune::loadZooManifest(zoo_dir);
+    const size_t n_models = manifest.entries.size();
+    std::cout << "zoo: " << n_models << " model(s) from " << zoo_dir
+              << "\n\n";
+
+    char dir_tmpl[] = "/tmp/tie-cluster-zoo-XXXXXX";
+    if (::mkdtemp(dir_tmpl) == nullptr) {
+        std::cerr << "cannot create temp dir\n";
+        return 1;
+    }
+    const std::string dir = dir_tmpl;
+
+    cluster::ClusterLoadOptions lopts;
+    lopts.requests = quick ? 64 : 512;
+    lopts.clients = 4;
+    lopts.seed = 42;
+
+    std::vector<std::vector<std::vector<double>>> expected;
+    std::vector<std::unique_ptr<cluster::ClusterWorker>> workers;
+    std::vector<std::unique_ptr<cluster::Router>> routers;
+    for (size_t k = 0; k < n_models; ++k) {
+        const std::string path =
+            zoo_dir + "/" + manifest.entries[k].file;
+        io::TieModel artifact = io::TieModel::load(path);
+        expected.push_back(serve::tenantReferenceOutputs(
+            artifact.layers(), k, n_models, lopts.seed,
+            lopts.requests));
+
+        cluster::ClusterWorkerOptions wopts;
+        wopts.listen.kind = cluster::Endpoint::Kind::Unix;
+        wopts.listen.path = dir + "/m" + std::to_string(k) + ".sock";
+        wopts.server.workers = 1;
+        wopts.server.max_batch = 8;
+        wopts.server.batch_timeout_us = 200;
+        wopts.server.queue_capacity = 128;
+        workers.push_back(std::make_unique<cluster::ClusterWorker>(
+            std::move(artifact), wopts));
+        std::string err;
+        if (!workers.back()->start(&err)) {
+            std::cerr << "worker start failed: " << err << "\n";
+            return 1;
+        }
+
+        cluster::RouterOptions ropts;
+        ropts.workers = {workers.back()->endpoint()};
+        routers.push_back(std::make_unique<cluster::Router>(ropts));
+        if (!routers.back()->start(&err)) {
+            std::cerr << "router start failed: " << err << "\n";
+            return 1;
+        }
+    }
+
+    std::vector<cluster::Router *> router_ptrs;
+    for (const auto &r : routers)
+        router_ptrs.push_back(r.get());
+    const cluster::MixedClusterReport rep =
+        cluster::runMixedClusterLoad(router_ptrs, lopts, &expected);
+
+    for (auto &r : routers)
+        r->stop();
+    for (auto &w : workers)
+        w->stop();
+
+    TextTable t("multi-tenant cluster (1 replica per model)");
+    t.header({"model", "done/rej/to", "mismatch", "req/s", "p50 us",
+              "p99 us"});
+    for (size_t k = 0; k < n_models; ++k) {
+        const serve::LoadGenReport &r = rep.per_model[k];
+        t.row({manifest.entries[k].name,
+               std::to_string(r.completed) + "/" +
+                   std::to_string(r.rejected) + "/" +
+                   std::to_string(r.timed_out),
+               std::to_string(r.mismatched),
+               TextTable::num(r.achieved_qps, 0),
+               TextTable::num(r.latency.p50, 1),
+               TextTable::num(r.latency.p99, 1)});
+    }
+    const serve::LoadGenReport &a = rep.aggregate;
+    t.row({"aggregate",
+           std::to_string(a.completed) + "/" +
+               std::to_string(a.rejected) + "/" +
+               std::to_string(a.timed_out),
+           std::to_string(a.mismatched),
+           TextTable::num(a.achieved_qps, 0),
+           TextTable::num(a.latency.p50, 1),
+           TextTable::num(a.latency.p99, 1)});
+    t.print();
+
+    if (obs::Session *s = obs::Session::current();
+        s != nullptr && s->statsRequested()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.field("zoo", zoo_dir);
+        w.field("quick", quick);
+        w.key("points").beginArray();
+        for (size_t k = 0; k < n_models; ++k) {
+            const serve::LoadGenReport &r = rep.per_model[k];
+            w.beginObject();
+            w.field("label", "zoo " + manifest.entries[k].name);
+            w.field("mode", "cluster-closed");
+            w.field("requests", static_cast<uint64_t>(r.submitted));
+            w.field("completed", static_cast<uint64_t>(r.completed));
+            w.field("rejected", static_cast<uint64_t>(r.rejected));
+            w.field("timed_out", static_cast<uint64_t>(r.timed_out));
+            w.field("mismatched",
+                    static_cast<uint64_t>(r.mismatched));
+            w.field("achieved_qps", r.achieved_qps);
+            w.field("latency_p50_us", r.latency.p50);
+            w.field("latency_p95_us", r.latency.p95);
+            w.field("latency_p99_us", r.latency.p99);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        s->setExtra("serve", w.str());
+    }
+
+    const size_t lost =
+        a.submitted - (a.completed + a.rejected + a.timed_out);
+    if (a.mismatched != 0 || lost != 0) {
+        std::cerr << "FAIL: " << a.mismatched
+                  << " mismatched output(s), " << lost
+                  << " lost request(s)\n";
+        return 1;
+    }
+    std::cout << "\nall multi-tenant cluster outputs bit-identical "
+                 "to the per-tenant references; no requests lost\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -80,8 +223,15 @@ main(int argc, char **argv)
     // Session name "cluster" -> default stats path BENCH_cluster.json.
     obs::Session obs_session("cluster", &argc, argv);
     bool quick = false;
-    for (int i = 1; i < argc; ++i)
-        quick |= std::strcmp(argv[i], "--quick") == 0;
+    std::string zoo_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--zoo") == 0 && i + 1 < argc)
+            zoo_dir = argv[++i];
+    }
+    if (!zoo_dir.empty())
+        return runZooSweep(zoo_dir, quick);
 
     std::cout << "== sharded cluster sweep =="
               << (quick ? " (quick)" : "") << "\n\n";

@@ -17,6 +17,12 @@
  * distributions with p50/p95/p99) accumulated across the whole sweep.
  * --quick shrinks the request counts for smoke testing
  * (tests/bench_smoke.sh --serve).
+ *
+ * --zoo DIR switches to the multi-tenant sweep: every artifact of the
+ * model zoo at DIR (tie_cli zoo-build) is published into a
+ * ModelRegistry and mixed traffic is driven across the whole mix at
+ * increasing concurrency, each completed output verified bit-exactly
+ * against its tenant's reference (docs/autotuning.md).
  */
 
 #include <cstring>
@@ -29,8 +35,11 @@
 #include "obs/json.hh"
 #include "obs/report.hh"
 #include "serve/load_gen.hh"
+#include "serve/model_registry.hh"
+#include "serve/multi_tenant.hh"
 #include "serve/server.hh"
 #include "tt/tt_matrix.hh"
+#include "tune/zoo.hh"
 
 using namespace tie;
 using namespace tie::serve;
@@ -112,6 +121,138 @@ printPoints(const std::string &title,
     std::cout << "\n";
 }
 
+/**
+ * Multi-tenant sweep over a model zoo (--zoo DIR): publish every
+ * manifest artifact into a ModelRegistry and drive mixed closed-loop
+ * traffic across the whole mix at increasing concurrency, verifying
+ * every completed output bit-exactly against per-tenant references.
+ */
+int
+runZooSweep(const std::string &zoo_dir, bool quick)
+{
+    ModelRegistry registry;
+    const std::vector<std::string> names =
+        tune::publishZoo(zoo_dir, registry);
+    const tune::ZooManifest manifest =
+        tune::loadZooManifest(zoo_dir);
+    const size_t n_models = names.size();
+    std::cout << "zoo: " << n_models << " model(s) from " << zoo_dir
+              << "\n\n";
+
+    const uint64_t seed = 42;
+    const size_t requests = quick ? 48 : 512;
+
+    // Per-tenant oracles straight from the artifacts the registry
+    // serves (same bytes, separate mapping).
+    std::vector<std::vector<std::vector<double>>> expected;
+    for (size_t k = 0; k < n_models; ++k) {
+        const ServableModel m = loadServable(
+            zoo_dir + "/" + manifest.entries[k].file);
+        expected.push_back(tenantReferenceOutputs(
+            m.views, k, n_models, seed, requests));
+    }
+
+    size_t mismatched = 0;
+    std::vector<std::pair<size_t, MultiTenantReport>> points;
+    for (size_t clients : {size_t(1), size_t(4), size_t(8)}) {
+        MultiTenantOptions mo;
+        mo.requests = requests;
+        mo.clients = clients;
+        mo.seed = seed;
+        points.emplace_back(
+            clients, runMultiTenant(registry, names, mo, &expected));
+        mismatched += points.back().second.aggregate.mismatched;
+    }
+
+    for (const auto &[clients, rep] : points) {
+        TextTable t("multi-tenant, " + std::to_string(clients) +
+                    " client(s)");
+        t.header({"model", "done/rej/to", "mismatch", "req/s",
+                  "p50 us", "p99 us"});
+        for (size_t k = 0; k < n_models; ++k) {
+            const LoadGenReport &r = rep.per_model[k];
+            t.row({rep.models[k],
+                   std::to_string(r.completed) + "/" +
+                       std::to_string(r.rejected) + "/" +
+                       std::to_string(r.timed_out),
+                   std::to_string(r.mismatched),
+                   TextTable::num(r.achieved_qps, 0),
+                   TextTable::num(r.latency.p50, 1),
+                   TextTable::num(r.latency.p99, 1)});
+        }
+        const LoadGenReport &a = rep.aggregate;
+        t.row({"aggregate",
+               std::to_string(a.completed) + "/" +
+                   std::to_string(a.rejected) + "/" +
+                   std::to_string(a.timed_out),
+               std::to_string(a.mismatched),
+               TextTable::num(a.achieved_qps, 0),
+               TextTable::num(a.latency.p50, 1),
+               TextTable::num(a.latency.p99, 1)});
+        t.print();
+        std::cout << "\n";
+    }
+
+    if (obs::Session *s = obs::Session::current();
+        s != nullptr && s->statsRequested()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.field("zoo", zoo_dir);
+        w.field("quick", quick);
+        w.key("points").beginArray();
+        for (const auto &[clients, rep] : points) {
+            w.beginObject();
+            w.field("label", "zoo mix, " + std::to_string(clients) +
+                                 " cli");
+            w.field("mode", "closed");
+            w.field("clients", static_cast<uint64_t>(clients));
+            w.field("requests",
+                    static_cast<uint64_t>(rep.aggregate.submitted));
+            w.field("completed",
+                    static_cast<uint64_t>(rep.aggregate.completed));
+            w.field("rejected",
+                    static_cast<uint64_t>(rep.aggregate.rejected));
+            w.field("timed_out",
+                    static_cast<uint64_t>(rep.aggregate.timed_out));
+            w.field("mismatched",
+                    static_cast<uint64_t>(rep.aggregate.mismatched));
+            w.field("achieved_qps", rep.aggregate.achieved_qps);
+            w.field("latency_p50_us", rep.aggregate.latency.p50);
+            w.field("latency_p95_us", rep.aggregate.latency.p95);
+            w.field("latency_p99_us", rep.aggregate.latency.p99);
+            w.key("models").beginArray();
+            for (size_t k = 0; k < n_models; ++k) {
+                const LoadGenReport &r = rep.per_model[k];
+                w.beginObject();
+                w.field("model", rep.models[k]);
+                w.field("completed",
+                        static_cast<uint64_t>(r.completed));
+                w.field("mismatched",
+                        static_cast<uint64_t>(r.mismatched));
+                w.field("achieved_qps", r.achieved_qps);
+                w.field("latency_p50_us", r.latency.p50);
+                w.field("latency_p99_us", r.latency.p99);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        s->setExtra("serve", w.str());
+    }
+
+    if (mismatched != 0) {
+        std::cerr << "FAIL: " << mismatched
+                  << " served output(s) differed from the per-tenant "
+                     "references\n";
+        return 1;
+    }
+    std::cout << "all multi-tenant outputs bit-identical to the "
+                 "per-tenant references\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -124,8 +265,15 @@ main(int argc, char **argv)
     // drain) runs before the session flushes the report.
     FlightScope flight;
     bool quick = false;
-    for (int i = 1; i < argc; ++i)
-        quick |= std::strcmp(argv[i], "--quick") == 0;
+    std::string zoo_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--zoo") == 0 && i + 1 < argc)
+            zoo_dir = argv[++i];
+    }
+    if (!zoo_dir.empty())
+        return runZooSweep(zoo_dir, quick);
 
     std::cout << "== dynamic-batching serve sweep =="
               << (quick ? " (quick)" : "") << "\n\n";

@@ -110,5 +110,160 @@ runClusterLoad(Router &router, const ClusterLoadOptions &opts,
     return rep;
 }
 
+MixedClusterReport
+runMixedClusterLoad(
+    const std::vector<Router *> &routers,
+    const ClusterLoadOptions &opts,
+    const std::vector<std::vector<std::vector<double>>> *expected)
+{
+    const size_t n_models = routers.size();
+    TIE_CHECK_ARG(n_models > 0, "mixed cluster load: no routers");
+    TIE_CHECK_ARG(opts.requests > 0, "mixed cluster load: requests == 0");
+    TIE_CHECK_ARG(opts.clients > 0, "mixed cluster load: clients == 0");
+    TIE_CHECK_ARG(expected == nullptr || expected->size() == n_models,
+                  "mixed cluster load: expected outputs must align "
+                  "with the router list");
+    for (size_t k = 0; k < n_models; ++k)
+        TIE_CHECK_ARG(routers[k] != nullptr,
+                      "mixed cluster load: null router at slot ", k);
+
+    std::vector<size_t> in_sizes(n_models);
+    for (size_t k = 0; k < n_models; ++k) {
+        in_sizes[k] = routers[k]->inSize();
+        if (expected != nullptr) {
+            // Tenant k serves global ids k, k+N, ... below requests.
+            const size_t tenant_reqs =
+                opts.requests > k
+                    ? (opts.requests - k - 1) / n_models + 1
+                    : 0;
+            TIE_CHECK_ARG((*expected)[k].size() >= tenant_reqs,
+                          "mixed cluster load: model ", k, " has ",
+                          (*expected)[k].size(),
+                          " expected outputs for ", tenant_reqs,
+                          " requests");
+        }
+    }
+
+    /** Per-model counters, mutex-merged at client exit. */
+    struct Tally
+    {
+        size_t submitted = 0;
+        size_t completed = 0;
+        size_t rejected = 0;
+        size_t timed_out = 0;
+        size_t mismatched = 0;
+        std::vector<double> latencies_us;
+    };
+    std::mutex merge_mu;
+    std::vector<Tally> totals(n_models);
+
+    std::atomic<size_t> next{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(opts.clients);
+    for (size_t c = 0; c < opts.clients; ++c) {
+        clients.emplace_back([&] {
+            std::vector<double> out;
+            std::vector<Tally> local(n_models);
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= opts.requests)
+                    break;
+                const size_t k = i % n_models;
+                const std::vector<double> x =
+                    serve::makeRequestInput(opts.seed, i, in_sizes[k]);
+                const auto s0 = std::chrono::steady_clock::now();
+                const ClusterTicket t =
+                    routers[k]->submit(x.data(), opts.deadline_us);
+                const ClusterStatus st = routers[k]->wait(t, &out);
+                const auto s1 = std::chrono::steady_clock::now();
+                ++local[k].submitted;
+                switch (st) {
+                  case ClusterStatus::Done: {
+                    ++local[k].completed;
+                    local[k].latencies_us.push_back(
+                        std::chrono::duration<double, std::micro>(
+                            s1 - s0)
+                            .count());
+                    if (expected != nullptr) {
+                        const std::vector<double> &ref =
+                            (*expected)[k][i / n_models];
+                        if (out.size() != ref.size() ||
+                            (!ref.empty() &&
+                             std::memcmp(out.data(), ref.data(),
+                                         ref.size() *
+                                             sizeof(double)) != 0))
+                            ++local[k].mismatched;
+                    }
+                    break;
+                  }
+                  case ClusterStatus::TimedOut:
+                    ++local[k].timed_out;
+                    break;
+                  case ClusterStatus::Shed:
+                    ++local[k].rejected;
+                    break;
+                }
+            }
+            std::lock_guard<std::mutex> lk(merge_mu);
+            for (size_t k = 0; k < n_models; ++k) {
+                Tally &tot = totals[k];
+                Tally &l = local[k];
+                tot.submitted += l.submitted;
+                tot.completed += l.completed;
+                tot.rejected += l.rejected;
+                tot.timed_out += l.timed_out;
+                tot.mismatched += l.mismatched;
+                tot.latencies_us.insert(tot.latencies_us.end(),
+                                        l.latencies_us.begin(),
+                                        l.latencies_us.end());
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    MixedClusterReport rep;
+    Tally agg;
+    for (size_t k = 0; k < n_models; ++k) {
+        Tally &t = totals[k];
+        serve::LoadGenReport r;
+        r.open_loop = false;
+        r.submitted = t.submitted;
+        r.completed = t.completed;
+        r.rejected = t.rejected;
+        r.timed_out = t.timed_out;
+        r.mismatched = t.mismatched;
+        r.wall_s = wall_s;
+        r.achieved_qps = wall_s > 0 ? r.completed / wall_s : 0;
+        r.latency = serve::summarize(t.latencies_us);
+        rep.per_model.push_back(r);
+        agg.submitted += t.submitted;
+        agg.completed += t.completed;
+        agg.rejected += t.rejected;
+        agg.timed_out += t.timed_out;
+        agg.mismatched += t.mismatched;
+        agg.latencies_us.insert(agg.latencies_us.end(),
+                                t.latencies_us.begin(),
+                                t.latencies_us.end());
+    }
+    rep.aggregate.open_loop = false;
+    rep.aggregate.submitted = agg.submitted;
+    rep.aggregate.completed = agg.completed;
+    rep.aggregate.rejected = agg.rejected;
+    rep.aggregate.timed_out = agg.timed_out;
+    rep.aggregate.mismatched = agg.mismatched;
+    rep.aggregate.wall_s = wall_s;
+    rep.aggregate.achieved_qps =
+        wall_s > 0 ? rep.aggregate.completed / wall_s : 0;
+    rep.aggregate.latency =
+        serve::summarize(std::move(agg.latencies_us));
+    return rep;
+}
+
 } // namespace cluster
 } // namespace tie

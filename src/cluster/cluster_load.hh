@@ -42,6 +42,29 @@ serve::LoadGenReport runClusterLoad(
     Router &router, const ClusterLoadOptions &opts,
     const std::vector<std::vector<double>> *expected = nullptr);
 
+/** Per-model + aggregate reports of one mixed-traffic cluster run. */
+struct MixedClusterReport
+{
+    std::vector<serve::LoadGenReport> per_model; ///< aligned: routers
+    serve::LoadGenReport aggregate;
+};
+
+/**
+ * Multi-tenant variant: one Router per model, request i targets
+ * routers[i % N] with input makeRequestInput(seed, i, inSizeOfTarget)
+ * — the same stream partitioning as serve::runMultiTenant, so a zoo
+ * served in-process and the same zoo served across worker replicas
+ * see identical per-model request streams and can both be verified
+ * against serve::tenantReferenceOutputs. @p expected, when given,
+ * holds one reference vector per model (entry j of model k is global
+ * request j * N + k).
+ */
+MixedClusterReport runMixedClusterLoad(
+    const std::vector<Router *> &routers,
+    const ClusterLoadOptions &opts,
+    const std::vector<std::vector<std::vector<double>>> *expected =
+        nullptr);
+
 } // namespace cluster
 } // namespace tie
 

@@ -18,12 +18,32 @@ constexpr int kTickMs = 100;
 
 } // namespace
 
-ClusterWorker::ClusterWorker(io::TieModel model,
+ClusterWorker::ClusterWorker(serve::ServableModel model,
                              ClusterWorkerOptions opts)
     : model_(std::move(model)), opts_(std::move(opts))
 {
-    TIE_CHECK_ARG(model_.valid(),
+    TIE_CHECK_ARG(!model_.views.empty(),
                   "ClusterWorker needs a loaded model");
+}
+
+namespace {
+
+serve::ServableModel
+toServable(io::TieModel model)
+{
+    serve::ServableModel m;
+    m.artifact = std::move(model);
+    if (m.artifact.valid())
+        m.views = m.artifact.layers();
+    return m;
+}
+
+} // namespace
+
+ClusterWorker::ClusterWorker(io::TieModel model,
+                             ClusterWorkerOptions opts)
+    : ClusterWorker(toServable(std::move(model)), std::move(opts))
+{
 }
 
 ClusterWorker::~ClusterWorker()
@@ -40,7 +60,7 @@ ClusterWorker::start(std::string *error)
     // The server (and its warmed worker sessions) comes up before the
     // first connection is accepted, so a request can never observe a
     // half-built replica.
-    server_ = std::make_unique<serve::Server>(model_.layers(),
+    server_ = std::make_unique<serve::Server>(model_.views,
                                               opts_.server);
     started_ = true;
     accept_thread_ = std::thread([this] { acceptLoop(); });
@@ -140,7 +160,7 @@ ClusterWorker::readerLoop(Conn &c)
             HelloAckMsg ack;
             ack.in_size = server_->inSize();
             ack.out_size = server_->outSize();
-            ack.layers = model_.layerCount();
+            ack.layers = model_.views.size();
             ack.pid = static_cast<uint32_t>(::getpid());
             Item item;
             item.kind = Item::Kind::Ready;

@@ -41,6 +41,7 @@
 
 #include "cluster/socket.hh"
 #include "io/tie_format.hh"
+#include "serve/model_registry.hh"
 #include "serve/server.hh"
 
 namespace tie {
@@ -61,7 +62,12 @@ struct ClusterWorkerOptions
 class ClusterWorker
 {
   public:
-    /** Serve @p model (kept alive by the worker). */
+    /** Serve @p model (kept alive by the worker) — whatever
+        loadServable produced, mapped artifact or owned matrices. */
+    ClusterWorker(serve::ServableModel model,
+                  ClusterWorkerOptions opts);
+
+    /** Mapped-artifact convenience. */
     ClusterWorker(io::TieModel model, ClusterWorkerOptions opts);
 
     ~ClusterWorker(); ///< stop()
@@ -125,7 +131,7 @@ class ClusterWorker
     void writerLoop(Conn &c);
     void pushItem(Conn &c, Item item);
 
-    io::TieModel model_;
+    serve::ServableModel model_;
     ClusterWorkerOptions opts_;
     std::unique_ptr<serve::Server> server_;
     Listener listener_;

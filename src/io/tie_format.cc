@@ -405,6 +405,7 @@ struct TieModel::Rep
     size_t size = 0;
 
     uint32_t flags = 0;
+    std::vector<TieSectionInfo> section_info; ///< table order
     std::vector<uint32_t> order;             ///< execution order
     std::vector<TtLayerConfig> cfgs;         ///< by layer id
     std::vector<const double *> f64;         ///< by layer id
@@ -497,6 +498,8 @@ TieModel::Rep::parse(std::string *err)
             return fail(strCat("section ", s, " (kind ", en.kind,
                                "): checksum mismatch — corrupt "
                                "artifact"));
+        rep.section_info.push_back(
+            {en.kind, en.layer, en.offset, en.size, en.crc});
     }
 
     // Sections must not overlap, and every byte outside the header,
@@ -832,6 +835,33 @@ TieModel::hasFxp() const
 {
     TIE_CHECK_ARG(valid(), "TieModel is empty");
     return (rep_->flags & kTieFlagFxp) != 0;
+}
+
+const std::vector<TieSectionInfo> &
+TieModel::sections() const
+{
+    TIE_CHECK_ARG(valid(), "TieModel is empty");
+    return rep_->section_info;
+}
+
+const char *
+tieSectionKindName(uint32_t kind)
+{
+    switch (static_cast<TieSection>(kind)) {
+      case TieSection::ModelMeta:
+        return "ModelMeta";
+      case TieSection::Graph:
+        return "Graph";
+      case TieSection::LayerConfig:
+        return "LayerConfig";
+      case TieSection::CoresF64:
+        return "CoresF64";
+      case TieSection::FxpMeta:
+        return "FxpMeta";
+      case TieSection::CoresI16:
+        return "CoresI16";
+    }
+    return "?";
 }
 
 size_t

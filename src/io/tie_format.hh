@@ -84,6 +84,22 @@ enum class TieSection : uint32_t
 inline constexpr uint32_t kTieFlagFxp = 1u << 0;
 
 /**
+ * One validated section-table row, as stored in the artifact (table
+ * order). Everything here passed the loader's bounds/CRC checks.
+ */
+struct TieSectionInfo
+{
+    uint32_t kind = 0;
+    uint32_t layer = 0; ///< kTieModelScope for model-scope sections
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc32 = 0;
+};
+
+/** Human-readable name of a TieSection kind ("?" when unknown). */
+const char *tieSectionKindName(uint32_t kind);
+
+/**
  * What gets serialized for one layer: the float cores always (as
  * views, so both owned matrices and mapped artifacts re-serialize),
  * plus the optional quantized twin. Either every layer of a model
@@ -156,6 +172,9 @@ class TieModel
 
     size_t layerCount() const;
     bool hasFxp() const;
+
+    /** The validated section table, in file (table) order. */
+    const std::vector<TieSectionInfo> &sections() const;
 
     /** Chain interface sizes: input of the first / output of the last
         layer in execution order. */

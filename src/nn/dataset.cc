@@ -9,7 +9,14 @@ namespace tie {
 Dataset
 Dataset::slice(size_t begin, size_t count) const
 {
-    TIE_CHECK_ARG(begin + count <= size(), "dataset slice out of range");
+    // Overflow-safe form of begin + count <= size(): a huge count must
+    // fail the check, not wrap around it.
+    TIE_CHECK_ARG(begin <= size() && count <= size() - begin,
+                  "dataset slice [", begin, ", ", begin + count,
+                  ") out of range for ", size(), " samples");
+    TIE_CHECK_ARG(x.cols() == size(),
+                  "dataset has ", x.cols(), " sample columns but ",
+                  size(), " labels");
     Dataset out;
     out.x = MatrixF(x.rows(), count);
     out.labels.assign(labels.begin() + begin,
@@ -47,7 +54,13 @@ makeClusteredImages(size_t n, size_t classes, size_t features,
 MatrixF
 SeqDataset::packBatch(size_t begin, size_t count) const
 {
-    TIE_CHECK_ARG(begin + count <= size(), "sequence batch out of range");
+    TIE_CHECK_ARG(begin <= size() && count <= size() - begin,
+                  "sequence batch [", begin, ", ", begin + count,
+                  ") out of range for ", size(), " samples");
+    TIE_CHECK_ARG(x.size() == size(),
+                  "sequence dataset has ", x.size(), " samples but ",
+                  size(), " labels");
+    TIE_CHECK_ARG(count >= 1, "sequence batch must not be empty");
     const size_t features = x[begin].rows();
     MatrixF out(features, steps * count);
     for (size_t b = 0; b < count; ++b) {
@@ -64,6 +77,9 @@ SeqDataset::packBatch(size_t begin, size_t count) const
 std::vector<int>
 SeqDataset::batchLabels(size_t begin, size_t count) const
 {
+    TIE_CHECK_ARG(begin <= size() && count <= size() - begin,
+                  "label batch [", begin, ", ", begin + count,
+                  ") out of range for ", size(), " samples");
     return {labels.begin() + begin, labels.begin() + begin + count};
 }
 

@@ -1,11 +1,50 @@
 #include "serve/model_registry.hh"
 
+#include <fstream>
 #include <utility>
 
 #include "common/logging.hh"
+#include "tt/tt_io.hh"
 
 namespace tie {
 namespace serve {
+
+bool
+tryLoadServable(const std::string &path, ServableModel *out,
+                std::string *error)
+{
+    *out = ServableModel{};
+    if (io::isTieArtifact(path)) {
+        if (!io::TieModel::tryLoad(path, &out->artifact, error))
+            return false;
+        out->views = out->artifact.layers();
+        return true;
+    }
+    // Legacy .ttm: surface unreadable files as a soft error here; a
+    // malformed payload still fails fatally inside the .ttm loader,
+    // which has no try-variant.
+    {
+        std::ifstream probe(path, std::ios::binary);
+        if (!probe.good()) {
+            if (error != nullptr)
+                *error = "cannot open model file " + path;
+            return false;
+        }
+    }
+    out->owned.push_back(loadTtMatrixFile(path));
+    out->views.push_back(layerView(out->owned.back()));
+    return true;
+}
+
+ServableModel
+loadServable(const std::string &path)
+{
+    ServableModel m;
+    std::string error;
+    TIE_CHECK_ARG(tryLoadServable(path, &m, &error), "loading ", path,
+                  ": ", error);
+    return m;
+}
 
 /**
  * One published (name, version): the weights — owned matrices or a
@@ -98,6 +137,33 @@ ModelRegistry::publish(const std::string &name, const TtMatrix &model)
     std::vector<TtMatrix> chain;
     chain.push_back(model);
     return publish(name, std::move(chain));
+}
+
+uint64_t
+ModelRegistry::publishFile(const std::string &name,
+                           const std::string &path)
+{
+    uint64_t version = 0;
+    std::string error;
+    TIE_CHECK_ARG(tryPublishFile(name, path, &version, &error),
+                  "publishing '", name, "' from ", path, ": ", error);
+    return version;
+}
+
+bool
+ModelRegistry::tryPublishFile(const std::string &name,
+                              const std::string &path,
+                              uint64_t *version, std::string *error)
+{
+    ServableModel m;
+    if (!tryLoadServable(path, &m, error))
+        return false;
+    const uint64_t v = m.fromArtifact()
+                           ? publish(name, std::move(m.artifact))
+                           : publish(name, std::move(m.owned));
+    if (version != nullptr)
+        *version = v;
+    return true;
 }
 
 bool

@@ -66,6 +66,34 @@ class RegistryTicket
     uint64_t version_ = 0;
 };
 
+/**
+ * A model loaded from disk in whichever format the file holds, ready
+ * to build a Server / InferSession over: a mapped .tie artifact
+ * (artifact.valid(), zero-copy) or a .ttm matrix copied into owned.
+ * Either way `views` is the layer chain in execution order; it aliases
+ * this object, which must outlive every consumer of the views.
+ */
+struct ServableModel
+{
+    io::TieModel artifact;
+    std::vector<TtMatrix> owned;
+    std::vector<TtLayerViewD> views;
+
+    bool fromArtifact() const { return artifact.valid(); }
+};
+
+/**
+ * Load @p path as a ServableModel, sniffing the format (.tie magic
+ * vs. .ttm). False with a diagnostic in *error on unreadable or
+ * corrupt files. This is the one mmap/view dance shared by
+ * registry publishing, tie_cli serve benches and tie_worker.
+ */
+bool tryLoadServable(const std::string &path, ServableModel *out,
+                     std::string *error);
+
+/** tryLoadServable or fatal() with the diagnostic. */
+ServableModel loadServable(const std::string &path);
+
 class ModelRegistry
 {
   public:
@@ -89,6 +117,22 @@ class ModelRegistry
 
     /** Single-layer convenience (copies the matrix). */
     uint64_t publish(const std::string &name, const TtMatrix &model);
+
+    /**
+     * Publish straight from a model file (.tie mmap'd zero-copy, .ttm
+     * copied) — the path every file-backed publisher shares instead
+     * of hand-rolling the load/view/publish dance. fatal() on
+     * unreadable or corrupt files.
+     */
+    uint64_t publishFile(const std::string &name,
+                         const std::string &path);
+
+    /** Non-fatal publishFile: false with a diagnostic in *error (and
+        nothing published) on load failure. */
+    bool tryPublishFile(const std::string &name,
+                        const std::string &path,
+                        uint64_t *version = nullptr,
+                        std::string *error = nullptr);
 
     /**
      * Remove @p name: unmap it from lookups immediately, then drain

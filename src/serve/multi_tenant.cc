@@ -1,0 +1,205 @@
+#include "serve/multi_tenant.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace tie {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Mutable per-model accumulation shared by the client threads. */
+struct TenantTally
+{
+    std::mutex mu;
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t rejected = 0;
+    size_t timed_out = 0;
+    size_t mismatched = 0;
+    std::vector<double> latency_us;
+    std::vector<double> queue_wait_us;
+    std::vector<double> service_us;
+};
+
+LoadGenReport
+tallyReport(TenantTally &t, double wall_s)
+{
+    LoadGenReport rep;
+    rep.open_loop = false;
+    rep.wall_s = wall_s;
+    rep.submitted = t.submitted;
+    rep.completed = t.completed;
+    rep.rejected = t.rejected;
+    rep.timed_out = t.timed_out;
+    rep.mismatched = t.mismatched;
+    rep.achieved_qps = wall_s > 0 ? t.completed / wall_s : 0;
+    rep.latency = summarize(t.latency_us);
+    rep.queue_wait = summarize(t.queue_wait_us);
+    rep.service = summarize(t.service_us);
+    return rep;
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+tenantReferenceOutputs(const std::vector<TtLayerViewD> &model,
+                       size_t slot, size_t n_models, uint64_t seed,
+                       size_t total_requests)
+{
+    TIE_CHECK_ARG(n_models >= 1 && slot < n_models,
+                  "tenant slot ", slot, " out of range for ", n_models,
+                  " models");
+    std::vector<InferSessionD> sessions;
+    sessions.reserve(model.size());
+    for (const TtLayerViewD &layer : model)
+        sessions.push_back(InferSessionD(layer));
+
+    std::vector<std::vector<double>> out;
+    std::vector<double> nxt;
+    for (size_t i = slot; i < total_requests; i += n_models) {
+        std::vector<double> cur = makeRequestInput(
+            seed, i, model.front().cfg.inSize());
+        std::vector<double> *a = &cur;
+        std::vector<double> *b = &nxt;
+        for (InferSessionD &s : sessions) {
+            b->resize(s.config().outSize());
+            s.runPtr(a->data(), 1, b->data());
+            std::swap(a, b);
+        }
+        out.push_back(*a);
+    }
+    return out;
+}
+
+MultiTenantReport
+runMultiTenant(ModelRegistry &registry,
+               const std::vector<std::string> &names,
+               const MultiTenantOptions &opts,
+               const std::vector<std::vector<std::vector<double>>>
+                   *expected)
+{
+    const size_t n_models = names.size();
+    TIE_CHECK_ARG(n_models >= 1, "multi-tenant run needs models");
+    TIE_CHECK_ARG(opts.requests >= 1 && opts.clients >= 1,
+                  "multi-tenant run needs requests and clients");
+    TIE_CHECK_ARG(expected == nullptr || expected->size() == n_models,
+                  "expected outputs must align with the model list");
+
+    // Resolve interfaces up front; unknown names are caller bugs.
+    std::vector<size_t> in_sizes(n_models);
+    for (size_t k = 0; k < n_models; ++k) {
+        const ModelInfo mi = registry.info(names[k]);
+        in_sizes[k] = mi.in_size;
+        if (expected != nullptr) {
+            const size_t tenant_reqs =
+                opts.requests > k
+                    ? (opts.requests - k - 1) / n_models + 1
+                    : 0;
+            TIE_CHECK_ARG((*expected)[k].size() >= tenant_reqs,
+                          "model '", names[k], "': ",
+                          (*expected)[k].size(),
+                          " expected outputs for ", tenant_reqs,
+                          " requests");
+        }
+    }
+
+    std::vector<std::unique_ptr<TenantTally>> tallies;
+    for (size_t k = 0; k < n_models; ++k)
+        tallies.push_back(std::make_unique<TenantTally>());
+
+    std::atomic<size_t> next{0};
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(opts.clients);
+    for (size_t c = 0; c < opts.clients; ++c) {
+        clients.emplace_back([&] {
+            std::vector<double> y;
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= opts.requests)
+                    break;
+                const size_t k = i % n_models;
+                const std::vector<double> x =
+                    makeRequestInput(opts.seed, i, in_sizes[k]);
+                const Clock::time_point t0 = Clock::now();
+                RegistryTicket t = registry.submit(names[k], x.data(),
+                                                   opts.deadline_us);
+                RequestTiming timing;
+                const RequestStatus st =
+                    registry.wait(t, &y, &timing);
+                const double lat_us =
+                    std::chrono::duration<double, std::micro>(
+                        Clock::now() - t0)
+                        .count();
+
+                TenantTally &tt = *tallies[k];
+                std::lock_guard<std::mutex> lk(tt.mu);
+                ++tt.submitted;
+                if (st == RequestStatus::Rejected) {
+                    ++tt.rejected;
+                    continue;
+                }
+                if (st == RequestStatus::TimedOut) {
+                    ++tt.timed_out;
+                    continue;
+                }
+                TIE_REQUIRE(st == RequestStatus::Done,
+                            "multi-tenant wait returned ",
+                            toString(st));
+                ++tt.completed;
+                tt.latency_us.push_back(lat_us);
+                tt.queue_wait_us.push_back(timing.queue_wait_us);
+                tt.service_us.push_back(timing.service_us);
+                if (expected != nullptr) {
+                    const std::vector<double> &ref =
+                        (*expected)[k][i / n_models];
+                    if (y.size() != ref.size() ||
+                        (!ref.empty() &&
+                         std::memcmp(y.data(), ref.data(),
+                                     ref.size() * sizeof(double)) !=
+                             0))
+                        ++tt.mismatched;
+                }
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    MultiTenantReport rep;
+    rep.models = names;
+    TenantTally total;
+    for (size_t k = 0; k < n_models; ++k) {
+        TenantTally &t = *tallies[k];
+        rep.per_model.push_back(tallyReport(t, wall_s));
+        total.submitted += t.submitted;
+        total.completed += t.completed;
+        total.rejected += t.rejected;
+        total.timed_out += t.timed_out;
+        total.mismatched += t.mismatched;
+        total.latency_us.insert(total.latency_us.end(),
+                                t.latency_us.begin(),
+                                t.latency_us.end());
+        total.queue_wait_us.insert(total.queue_wait_us.end(),
+                                   t.queue_wait_us.begin(),
+                                   t.queue_wait_us.end());
+        total.service_us.insert(total.service_us.end(),
+                                t.service_us.begin(),
+                                t.service_us.end());
+    }
+    rep.aggregate = tallyReport(total, wall_s);
+    return rep;
+}
+
+} // namespace serve
+} // namespace tie

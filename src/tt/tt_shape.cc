@@ -181,6 +181,51 @@ TtLayerConfig::toString() const
     return oss.str();
 }
 
+namespace {
+
+void
+factorize(size_t value, size_t d, size_t min_factor, size_t max_factor,
+          std::vector<size_t> &prefix,
+          std::vector<std::vector<size_t>> &out)
+{
+    if (d == 1) {
+        if (value >= min_factor &&
+            (max_factor == 0 || value <= max_factor)) {
+            prefix.push_back(value);
+            out.push_back(prefix);
+            prefix.pop_back();
+        }
+        return;
+    }
+    // Ascending divisors keep the output lexicographic.
+    for (size_t f = min_factor; f <= value; ++f) {
+        if (max_factor != 0 && f > max_factor)
+            break;
+        if (value % f != 0)
+            continue;
+        prefix.push_back(f);
+        factorize(value / f, d - 1, min_factor, max_factor, prefix,
+                  out);
+        prefix.pop_back();
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<size_t>>
+enumerateFactorizations(size_t value, size_t d, size_t min_factor,
+                        size_t max_factor)
+{
+    TIE_CHECK_ARG(value >= 1, "cannot factorize 0");
+    TIE_CHECK_ARG(d >= 1, "need at least one factor");
+    TIE_CHECK_ARG(min_factor >= 1, "min_factor must be >= 1");
+    std::vector<std::vector<size_t>> out;
+    std::vector<size_t> prefix;
+    prefix.reserve(d);
+    factorize(value, d, min_factor, max_factor, prefix, out);
+    return out;
+}
+
 void
 forEachIndex(const std::vector<size_t> &shape,
              const std::function<void(const std::vector<size_t> &)> &fn)

@@ -93,6 +93,18 @@ struct TtLayerConfig
 void forEachIndex(const std::vector<size_t> &shape,
                   const std::function<void(const std::vector<size_t> &)> &fn);
 
+/**
+ * All ordered factorizations of @p value into exactly @p d factors,
+ * each in [min_factor, max_factor] (max_factor 0 = unbounded), in
+ * lexicographic order. Order matters for TT shapes — (2,32) and (32,2)
+ * induce different cores and costs — so permutations are distinct
+ * entries. The list is deterministic: it depends only on the
+ * arguments, which is what makes autotuner sweeps reproducible.
+ */
+std::vector<std::vector<size_t>>
+enumerateFactorizations(size_t value, size_t d, size_t min_factor = 2,
+                        size_t max_factor = 0);
+
 } // namespace tie
 
 #endif // TIE_TT_TT_SHAPE_HH

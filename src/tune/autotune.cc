@@ -1,0 +1,410 @@
+#include "tune/autotune.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "arch/tie_sim.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+#include "nn/activations.hh"
+#include "nn/dataset.hh"
+#include "nn/dense.hh"
+#include "nn/sequential.hh"
+#include "nn/trainer.hh"
+#include "nn/tt_dense.hh"
+#include "obs/json.hh"
+#include "tt/cost_model.hh"
+#include "tt/infer_session.hh"
+
+namespace tie {
+namespace tune {
+
+namespace {
+
+/** Golden-ratio stride decorrelating per-candidate seeds. */
+constexpr uint64_t kSeedStride = 0x9e3779b97f4a7c15ULL;
+
+const char *
+simModeName(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::Off:
+        return "off";
+      case SimMode::Analytic:
+        return "analytic";
+      case SimMode::Run:
+        return "run";
+    }
+    return "?";
+}
+
+/** Analytic facts plus budget verdict for one enumerated candidate. */
+struct Screened
+{
+    size_t index = 0;
+    TtLayerConfig config;
+    double compression = 0.0;
+    size_t tt_params = 0;
+    size_t mults = 0;
+    size_t working_elems = 0;
+    bool pruned = false;
+};
+
+bool
+overBudget(const Screened &s, const TuneBudget &b)
+{
+    if (s.compression < b.min_compression)
+        return true;
+    if (b.max_mults != 0 && s.mults > b.max_mults)
+        return true;
+    if (b.max_working_elems != 0 && s.working_elems > b.max_working_elems)
+        return true;
+    if (b.max_params != 0 && s.tt_params > b.max_params)
+        return true;
+    return false;
+}
+
+/**
+ * Train and measure one surviving candidate. Every random decision
+ * derives from a Rng seeded by the candidate's enumeration index, and
+ * the shared datasets are read-only here, so running candidates
+ * concurrently cannot change any result.
+ */
+void
+evalCandidate(const Screened &s, const TuneOptions &opts,
+              const Dataset &train, const Dataset &test,
+              CandidateResult &out)
+{
+    out.index = s.index;
+    out.config = s.config;
+    out.compression = s.compression;
+    out.tt_params = s.tt_params;
+    out.mults = s.mults;
+    out.working_elems = s.working_elems;
+    out.modeled_latency_us =
+        static_cast<double>(s.mults) * opts.ns_per_mult / 1000.0;
+
+    Rng rng(opts.seed ^ (kSeedStride * (s.index + 1)));
+    Sequential model;
+    auto &tt = model.emplace<TtDense>(s.config, rng);
+    model.emplace<Relu>();
+    model.emplace<Dense>(s.config.outSize(), opts.classes, rng);
+
+    TrainConfig tc;
+    tc.epochs = opts.epochs;
+    tc.batch = opts.batch;
+    tc.lr = opts.lr;
+    out.accuracy = trainClassifier(model, train, test, tc).finalTestAcc();
+    out.trained = tt.toTtMatrix();
+
+    // Warmed host session over the trained snapshot: proves the shape
+    // serves end to end and backs the optional latency measurement.
+    auto sess = makeSession(out.trained);
+    std::vector<double> x(s.config.inSize());
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<double>(test.x(i % test.features(), 0));
+    std::vector<double> y;
+    sess.runVec(x, y);
+    TIE_REQUIRE(y.size() == s.config.outSize(),
+                "autotune: session output size mismatch");
+
+    if (opts.measure) {
+        std::vector<double> reps;
+        reps.reserve(opts.measure_reps);
+        for (size_t rep = 0; rep < opts.measure_reps; ++rep) {
+            auto t0 = std::chrono::steady_clock::now();
+            sess.runVec(x, y);
+            auto t1 = std::chrono::steady_clock::now();
+            reps.push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0)
+                    .count());
+        }
+        std::sort(reps.begin(), reps.end());
+        out.measured_latency_us = reps[reps.size() / 2];
+    }
+
+    if (opts.sim_mode == SimMode::Analytic) {
+        SimStats st = TieSimulator::analyticStats(s.config, opts.arch);
+        out.sim_cycles = st.cycles;
+        out.sim_stall_cycles = st.stall_cycles;
+    } else if (opts.sim_mode == SimMode::Run) {
+        const FxpFormat act{16, 8};
+        auto fxp = TtMatrixFxp::quantizeAuto(out.trained, act);
+        MatrixF xf(s.config.inSize(), 1);
+        for (size_t i = 0; i < xf.rows(); ++i)
+            xf(i, 0) = test.x(i % test.features(), 0);
+        TieSimulator sim(opts.arch);
+        auto res = sim.runLayer(fxp, quantizeMatrix(xf, act), true);
+        out.sim_cycles = res.stats.cycles;
+        out.sim_stall_cycles = res.stats.stall_cycles;
+    }
+}
+
+/**
+ * Flatten a synthetic video set to a per-frame classification task:
+ * packBatch lays frames out as columns (t * count + b), each labelled
+ * with its sample's class. This is the training surrogate for the
+ * LSTM/GRU gate-stack interfaces of the model zoo.
+ */
+Dataset
+makeFrameDataset(size_t samples, size_t classes, size_t features,
+                 size_t steps, double noise, Rng &rng)
+{
+    const SeqDataset seq =
+        makeSyntheticVideo(samples, classes, features, steps, noise,
+                           rng);
+    Dataset out;
+    out.x = seq.packBatch(0, seq.size());
+    out.labels.resize(seq.steps * seq.size());
+    for (size_t t = 0; t < seq.steps; ++t)
+        for (size_t b = 0; b < seq.size(); ++b)
+            out.labels[t * seq.size() + b] = seq.labels[b];
+    return out;
+}
+
+Dataset
+makeTuneDataset(size_t samples, size_t in_dim, const TuneOptions &opts,
+                Rng &rng)
+{
+    if (opts.data == DataKind::Video)
+        return makeFrameDataset(samples, opts.classes, in_dim,
+                                opts.video_steps, opts.noise, rng);
+    return makeClusteredImages(samples, opts.classes, in_dim,
+                               opts.noise, rng);
+}
+
+const char *
+dataKindName(DataKind data)
+{
+    return data == DataKind::Video ? "video" : "images";
+}
+
+/**
+ * a dominates b: no worse on every frontier axis, strictly better on
+ * at least one. Compression and accuracy are maximized; modeled
+ * latency (== mults scaled) and, when simulated, TIE cycles are
+ * minimized.
+ */
+bool
+dominates(const CandidateResult &a, const CandidateResult &b,
+          bool use_sim)
+{
+    bool better = false;
+    auto cmp = [&](double x, double y, bool maximize) {
+        double lhs = maximize ? x : y;
+        double rhs = maximize ? y : x;
+        if (lhs < rhs)
+            return false;
+        if (lhs > rhs)
+            better = true;
+        return true;
+    };
+    if (!cmp(a.compression, b.compression, true))
+        return false;
+    if (!cmp(a.accuracy, b.accuracy, true))
+        return false;
+    if (!cmp(static_cast<double>(a.mults), static_cast<double>(b.mults),
+             false))
+        return false;
+    if (use_sim &&
+        !cmp(static_cast<double>(a.sim_cycles),
+             static_cast<double>(b.sim_cycles), false))
+        return false;
+    return better;
+}
+
+} // namespace
+
+TuneReport
+autotune(size_t out_dim, size_t in_dim, const TuneOptions &opts)
+{
+    TIE_CHECK_ARG(opts.classes >= 2, "autotune needs >= 2 classes");
+    TIE_CHECK_ARG(opts.train_samples >= opts.batch && opts.batch >= 1,
+                  "autotune needs train_samples >= batch >= 1");
+    TIE_CHECK_ARG(opts.test_samples >= 1 && opts.epochs >= 1,
+                  "autotune needs test samples and epochs");
+    TIE_CHECK_ARG(opts.ns_per_mult > 0.0, "ns_per_mult must be > 0");
+
+    TuneReport report;
+    report.out_dim = out_dim;
+    report.in_dim = in_dim;
+    report.seed = opts.seed;
+    report.budget = opts.budget;
+    report.sim_mode = opts.sim_mode;
+    report.data = opts.data;
+    report.measured = opts.measure;
+
+    // Screen the whole space with the analytical cost model; only
+    // survivors pay for training.
+    const auto configs = enumerateConfigs(out_dim, in_dim, opts.space);
+    report.enumerated = configs.size();
+    std::vector<Screened> survivors;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        Screened s;
+        s.index = i;
+        s.config = configs[i];
+        s.compression = s.config.compressionRatio();
+        s.tt_params = s.config.ttParamCount();
+        s.mults = multCompact(s.config);
+        s.working_elems = workingBufferElems(s.config);
+        if (overBudget(s, opts.budget)) {
+            report.pruned++;
+            continue;
+        }
+        survivors.push_back(std::move(s));
+    }
+    TIE_CHECK_ARG(!survivors.empty(),
+                  "autotune budget prunes every candidate for ",
+                  out_dim, "x", in_dim);
+
+    // Stride-sample down to max_evals: even positions keep the
+    // evaluated set spread across the enumeration (d, shape, rank)
+    // instead of clustering at its head.
+    if (opts.max_evals != 0 && survivors.size() > opts.max_evals) {
+        std::vector<Screened> picked;
+        picked.reserve(opts.max_evals);
+        for (size_t j = 0; j < opts.max_evals; ++j)
+            picked.push_back(
+                survivors[j * survivors.size() / opts.max_evals]);
+        report.sampled_out = survivors.size() - picked.size();
+        survivors = std::move(picked);
+    }
+
+    // Shared synthetic data, built once from the master seed.
+    Rng data_rng(opts.seed);
+    const Dataset train =
+        makeTuneDataset(opts.train_samples, in_dim, opts, data_rng);
+    const Dataset test =
+        makeTuneDataset(opts.test_samples, in_dim, opts, data_rng);
+
+    // Parallel evaluation: slot and seed are keyed by candidate index,
+    // so any thread count produces identical results (nested parallel
+    // kernels inside training run inline serially by pool contract).
+    report.candidates.resize(survivors.size());
+    auto body = [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            evalCandidate(survivors[i], opts, train, test,
+                          report.candidates[i]);
+    };
+    parallelFor(0, survivors.size(), 1, body);
+
+    const bool use_sim = opts.sim_mode != SimMode::Off;
+    for (size_t i = 0; i < report.candidates.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < report.candidates.size() && !dominated;
+             ++j)
+            dominated = j != i && dominates(report.candidates[j],
+                                            report.candidates[i],
+                                            use_sim);
+        if (!dominated) {
+            report.candidates[i].on_frontier = true;
+            report.frontier.push_back(i);
+        }
+    }
+    return report;
+}
+
+std::string
+paretoJson(const TuneReport &report)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.field("name", "pareto");
+    w.field("out_dim", static_cast<uint64_t>(report.out_dim));
+    w.field("in_dim", static_cast<uint64_t>(report.in_dim));
+    w.field("seed", report.seed);
+    w.field("sim_mode", simModeName(report.sim_mode));
+    w.field("data", dataKindName(report.data));
+    w.field("measured", report.measured);
+    w.key("budget").beginObject();
+    w.field("min_compression", report.budget.min_compression);
+    w.field("max_mults", static_cast<uint64_t>(report.budget.max_mults));
+    w.field("max_working_elems",
+            static_cast<uint64_t>(report.budget.max_working_elems));
+    w.field("max_params",
+            static_cast<uint64_t>(report.budget.max_params));
+    w.endObject();
+    w.field("enumerated", static_cast<uint64_t>(report.enumerated));
+    w.field("pruned", static_cast<uint64_t>(report.pruned));
+    w.field("sampled_out", static_cast<uint64_t>(report.sampled_out));
+    w.field("evaluated",
+            static_cast<uint64_t>(report.candidates.size()));
+    w.key("candidates").beginArray();
+    for (const auto &c : report.candidates) {
+        w.beginObject();
+        w.field("index", static_cast<uint64_t>(c.index));
+        auto factors = [&](const char *k, const std::vector<size_t> &v) {
+            w.key(k).beginArray();
+            for (size_t f : v)
+                w.value(static_cast<uint64_t>(f));
+            w.endArray();
+        };
+        factors("m", c.config.m);
+        factors("n", c.config.n);
+        factors("r", c.config.r);
+        w.field("tt_params", static_cast<uint64_t>(c.tt_params));
+        w.field("compression", c.compression);
+        w.field("mults", static_cast<uint64_t>(c.mults));
+        w.field("working_elems",
+                static_cast<uint64_t>(c.working_elems));
+        w.field("accuracy", c.accuracy);
+        w.field("modeled_latency_us", c.modeled_latency_us);
+        w.field("sim_cycles", c.sim_cycles);
+        w.field("sim_stall_cycles", c.sim_stall_cycles);
+        if (report.measured)
+            w.field("measured_latency_us", c.measured_latency_us);
+        w.field("on_frontier", c.on_frontier);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("frontier").beginArray();
+    for (size_t i : report.frontier)
+        w.value(static_cast<uint64_t>(i));
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+writeParetoReport(const TuneReport &report, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    TIE_CHECK_ARG(out.good(), "cannot open ", path, " for writing");
+    out << paretoJson(report) << "\n";
+    TIE_CHECK_ARG(out.good(), "failed writing pareto report to ", path);
+}
+
+size_t
+selectWinner(const TuneReport &report, size_t max_mults)
+{
+    TIE_CHECK_ARG(!report.candidates.empty(),
+                  "selectWinner on an empty tune report");
+    size_t best = report.candidates.size();
+    for (size_t i = 0; i < report.candidates.size(); ++i) {
+        const auto &c = report.candidates[i];
+        if (max_mults != 0 && c.mults > max_mults)
+            continue;
+        if (best == report.candidates.size()) {
+            best = i;
+            continue;
+        }
+        const auto &b = report.candidates[best];
+        if (c.accuracy > b.accuracy ||
+            (c.accuracy == b.accuracy && c.compression > b.compression))
+            best = i;
+    }
+    if (best != report.candidates.size())
+        return best;
+    // Nothing fits the cap: fall back to the cheapest candidate so a
+    // too-tight budget degrades gracefully instead of failing.
+    best = 0;
+    for (size_t i = 1; i < report.candidates.size(); ++i)
+        if (report.candidates[i].mults < report.candidates[best].mults)
+            best = i;
+    return best;
+}
+
+} // namespace tune
+} // namespace tie

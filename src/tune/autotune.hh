@@ -1,0 +1,197 @@
+/**
+ * @file
+ * TT rank/shape autotuner (ROADMAP "TT model zoo + rank/shape
+ * autotuner"; grounded in Tensorizing Neural Networks and TT-Edge —
+ * see PAPERS.md — which establish rank/shape selection as the
+ * accuracy/compression/latency knob of TT layers).
+ *
+ * Pipeline, for a layer interface (out_dim, in_dim):
+ *
+ *  1. Enumerate candidates (tune/search_space.hh): ordered
+ *     factorizations of M and N times a rank list.
+ *  2. Prune with the analytical cost model (tt/cost_model.hh):
+ *     compression floor, multCompact cap, workingBufferElems cap
+ *     (the working-SRAM capacity gate), TT-parameter cap. Pruning
+ *     costs O(1) per candidate; only survivors are trained.
+ *  3. Evaluate survivors in parallel through the ThreadPool: each
+ *     candidate trains a small TT classifier (TtDense -> ReLU ->
+ *     Dense head) on a shared synthetic dataset with a
+ *     **per-candidate seeded Rng**, then reports test accuracy, a
+ *     modeled host latency derived from multCompact, and simulated
+ *     TIE cycles (arch/tie_sim.hh). Candidate index — not thread id —
+ *     keys the seed and the result slot, so the sweep is
+ *     bit-identical for any thread count.
+ *  4. Compute the Pareto frontier over (compression, accuracy,
+ *     modeled latency, sim cycles) and emit a byte-stable
+ *     BENCH_pareto.json through the obs JSON writer.
+ *
+ * Wall-clock latency measurement through the warmed InferSessions is
+ * available behind TuneOptions::measure; it is reported alongside but
+ * never feeds frontier membership, keeping the report deterministic.
+ */
+
+#ifndef TIE_TUNE_AUTOTUNE_HH
+#define TIE_TUNE_AUTOTUNE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/tech_model.hh"
+#include "tt/tt_matrix.hh"
+#include "tune/search_space.hh"
+
+namespace tie {
+namespace tune {
+
+/** Cost-model gates applied before any candidate is trained. */
+struct TuneBudget
+{
+    /** Candidates compressing less than this are pruned. */
+    double min_compression = 1.0;
+
+    /** multCompact cap per inference (0 = unlimited). */
+    size_t max_mults = 0;
+
+    /** workingBufferElems cap — the working-SRAM capacity gate
+        (0 = unlimited). */
+    size_t max_working_elems = 0;
+
+    /** TT parameter-count cap — weight-SRAM residency (0 = unlimited). */
+    size_t max_params = 0;
+};
+
+/**
+ * Which synthetic workload candidates train on. Images is the
+ * MLP/CNN-style clustered-image task; Video flattens a synthetic
+ * video sequence (nn/dataset.hh makeSyntheticVideo) frame by frame —
+ * the per-frame task behind the paper's LSTM/GRU video classifiers.
+ */
+enum class DataKind
+{
+    Images,
+    Video,
+};
+
+/** How simulated TIE cycles are obtained per candidate. */
+enum class SimMode
+{
+    Off,      ///< no simulation; sim_cycles = 0, not a frontier axis
+    Analytic, ///< TieSimulator::analyticStats (fast sweeps)
+    Run,      ///< TieSimulator::runLayer on the quantized twin
+};
+
+struct TuneOptions
+{
+    SearchSpace space;
+    TuneBudget budget;
+
+    /** Master seed: dataset and every per-candidate Rng derive from
+        it deterministically. */
+    uint64_t seed = 1;
+
+    // Synthetic-dataset and training knobs (nn/dataset.hh, trainer).
+    DataKind data = DataKind::Images;
+    size_t video_steps = 4; ///< frames per sample (DataKind::Video)
+    size_t train_samples = 256;
+    size_t test_samples = 128;
+    size_t classes = 8;
+    double noise = 0.25;
+    size_t epochs = 4;
+    size_t batch = 32;
+    float lr = 0.05f;
+
+    /**
+     * Cap on survivors actually trained. When more candidates survive
+     * pruning, the survivor list is stride-sampled evenly (keeping
+     * first and spread, deterministically) rather than truncated, so
+     * the evaluated set still spans the shape spectrum. 0 = all.
+     */
+    size_t max_evals = 32;
+
+    SimMode sim_mode = SimMode::Run;
+    TieArchConfig arch = {}; ///< simulated TIE instance
+
+    /** Deterministic modeled host latency: multCompact * ns_per_mult.
+        The default is a library-level calibration constant, not a
+        measurement; see docs/autotuning.md. */
+    double ns_per_mult = 0.5;
+
+    /** Measure wall-clock latency through a warmed InferSession
+        (median of reps). Reported as measured_latency_us but never
+        used for frontier membership — it is machine-dependent. */
+    bool measure = false;
+    size_t measure_reps = 32;
+};
+
+/** One evaluated candidate (pruned candidates are only counted). */
+struct CandidateResult
+{
+    size_t index = 0; ///< enumeration index (stable identity)
+    TtLayerConfig config;
+
+    // Analytical facts (cost model).
+    double compression = 0.0;
+    size_t tt_params = 0;
+    size_t mults = 0;         ///< multCompact
+    size_t working_elems = 0; ///< workingBufferElems
+
+    // Evaluated metrics.
+    double accuracy = 0.0;           ///< final test accuracy
+    double modeled_latency_us = 0.0; ///< mults * ns_per_mult / 1000
+    uint64_t sim_cycles = 0;
+    uint64_t sim_stall_cycles = 0;
+    double measured_latency_us = 0.0; ///< only with opts.measure
+
+    bool on_frontier = false;
+
+    /** Trained TT snapshot (the zoo serializes winners from here). */
+    TtMatrix trained;
+};
+
+struct TuneReport
+{
+    size_t out_dim = 0;
+    size_t in_dim = 0;
+    uint64_t seed = 0;
+    TuneBudget budget;
+    SimMode sim_mode = SimMode::Run;
+    DataKind data = DataKind::Images;
+    bool measured = false;
+
+    size_t enumerated = 0; ///< total candidates in the space
+    size_t pruned = 0;     ///< rejected by the cost-model gates
+    size_t sampled_out = 0; ///< survivors dropped by max_evals sampling
+    std::vector<CandidateResult> candidates; ///< evaluated, index order
+    std::vector<size_t> frontier; ///< indices into candidates, ascending
+};
+
+/** Run the full tune pipeline. Deterministic for fixed options. */
+TuneReport autotune(size_t out_dim, size_t in_dim,
+                    const TuneOptions &opts);
+
+/**
+ * Byte-stable JSON document of @p report (the BENCH_pareto.json
+ * schema; docs/autotuning.md). Wall-clock fields are included only
+ * when the report was produced with measurement enabled — without
+ * them the text is bit-identical for any thread count.
+ */
+std::string paretoJson(const TuneReport &report);
+
+/** Write paretoJson(report) + trailing newline to @p path. */
+void writeParetoReport(const TuneReport &report,
+                       const std::string &path);
+
+/**
+ * Deterministic per-budget winner: among evaluated candidates with
+ * mults <= @p max_mults (0 = uncapped), the highest accuracy, ties
+ * broken by higher compression then lower index. When nothing fits
+ * the cap, falls back to the fewest-mults candidate. Returns an index
+ * into report.candidates; fatal() when the report holds none.
+ */
+size_t selectWinner(const TuneReport &report, size_t max_mults);
+
+} // namespace tune
+} // namespace tie
+
+#endif // TIE_TUNE_AUTOTUNE_HH

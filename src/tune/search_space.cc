@@ -1,0 +1,42 @@
+#include "tune/search_space.hh"
+
+#include "common/logging.hh"
+
+namespace tie {
+namespace tune {
+
+std::vector<TtLayerConfig>
+enumerateConfigs(size_t out_dim, size_t in_dim,
+                 const SearchSpace &space)
+{
+    TIE_CHECK_ARG(out_dim >= 2 && in_dim >= 2,
+                  "layer interface must be at least 2x2, got ",
+                  out_dim, "x", in_dim);
+    TIE_CHECK_ARG(space.min_d >= 1 && space.min_d <= space.max_d,
+                  "search space needs 1 <= min_d <= max_d");
+    TIE_CHECK_ARG(!space.ranks.empty(), "search space lists no ranks");
+    for (size_t r : space.ranks)
+        TIE_CHECK_ARG(r >= 1, "ranks must be >= 1");
+
+    std::vector<TtLayerConfig> out;
+    for (size_t d = space.min_d; d <= space.max_d; ++d) {
+        const auto ms = enumerateFactorizations(
+            out_dim, d, space.min_factor, space.max_factor);
+        if (ms.empty())
+            continue;
+        const auto ns = enumerateFactorizations(
+            in_dim, d, space.min_factor, space.max_factor);
+        for (const auto &m : ms)
+            for (const auto &n : ns)
+                for (size_t rank : space.ranks)
+                    out.push_back(TtLayerConfig::withRank(m, n, rank));
+    }
+    TIE_CHECK_ARG(!out.empty(), "search space is empty for ", out_dim,
+                  "x", in_dim, " (d in [", space.min_d, ",",
+                  space.max_d, "], factors >= ", space.min_factor,
+                  ")");
+    return out;
+}
+
+} // namespace tune
+} // namespace tie

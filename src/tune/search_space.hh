@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Autotuner search space: the deterministic enumeration of candidate
+ * TT layer configurations for a given (out, in) interface.
+ *
+ * A candidate is an ordered factorization of M into d factors, an
+ * ordered factorization of N into d factors, and a uniform interior
+ * rank from a caller-supplied list (TtLayerConfig::withRank). The
+ * enumeration order is fixed — d ascending, then m-factorization,
+ * n-factorization and rank in their listed orders — so a candidate's
+ * index is a stable identity across runs and thread counts, which is
+ * what the per-candidate seeded RNGs of the evaluator key off.
+ */
+
+#ifndef TIE_TUNE_SEARCH_SPACE_HH
+#define TIE_TUNE_SEARCH_SPACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "tt/tt_shape.hh"
+
+namespace tie {
+namespace tune {
+
+/** Bounds of the shape/rank enumeration. */
+struct SearchSpace
+{
+    size_t min_d = 2; ///< fewest TT dimensions
+    size_t max_d = 3; ///< most TT dimensions
+
+    /** Per-dimension factor bounds (max 0 = unbounded). Factors of 1
+        are excluded by default: they add cores without splitting
+        anything. */
+    size_t min_factor = 2;
+    size_t max_factor = 0;
+
+    /** Interior ranks tried per shape, in this order. */
+    std::vector<size_t> ranks = {1, 2, 4, 8};
+};
+
+/**
+ * Enumerate every candidate configuration for a layer mapping
+ * @p in_dim inputs to @p out_dim outputs. Dimensions that do not
+ * factorize into d in-range factors simply contribute no candidates
+ * at that d. fatal() when the whole space is empty — a budget sweep
+ * over zero candidates is a caller error, not an empty report.
+ */
+std::vector<TtLayerConfig> enumerateConfigs(size_t out_dim,
+                                            size_t in_dim,
+                                            const SearchSpace &space);
+
+} // namespace tune
+} // namespace tie
+
+#endif // TIE_TUNE_SEARCH_SPACE_HH

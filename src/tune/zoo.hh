@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The .tie model zoo: per-budget autotuner winners serialized as
+ * versioned artifacts, one per (workload family, budget) pair, plus a
+ * zoo.json manifest describing them.
+ *
+ * The default families mirror the paper's four benchmark workload
+ * classes (Sec. 5): an MLP-style FC layer, a CONV-lowered GEMM
+ * interface, and the LSTM/GRU gate-stack interfaces of the video
+ * classifier (trained on the synthetic video task, per frame). Each
+ * family is tuned once; every budget then selects its winner from the
+ * same tune report, so building a zoo costs one sweep per family.
+ *
+ * The zoo is the standard corpus for multi-tenant serving: publishZoo
+ * loads every artifact into a serve::ModelRegistry (mmap, zero-copy)
+ * under the name "<family>-<budget>", and the serve/cluster sweeps
+ * and tie_cli's --zoo modes drive mixed traffic across them.
+ */
+
+#ifndef TIE_TUNE_ZOO_HH
+#define TIE_TUNE_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "tune/autotune.hh"
+
+namespace tie {
+
+namespace serve {
+class ModelRegistry;
+} // namespace serve
+
+namespace tune {
+
+/**
+ * One deployment budget: the winner is the most accurate evaluated
+ * candidate whose multCompact stays within mult_cap_frac of the dense
+ * layer's M*N multiplies (0 = uncapped — pure accuracy pick).
+ */
+struct ZooBudget
+{
+    std::string name;
+    double mult_cap_frac = 0.0;
+};
+
+/** One workload family: a layer interface plus its training task. */
+struct ZooFamily
+{
+    std::string name;
+    size_t out_dim = 0;
+    size_t in_dim = 0;
+    DataKind data = DataKind::Images;
+};
+
+/** The paper-mirroring default families (MLP / CNN / LSTM / GRU). */
+std::vector<ZooFamily> defaultZooFamilies();
+
+struct ZooOptions
+{
+    std::vector<ZooFamily> families = defaultZooFamilies();
+    std::vector<ZooBudget> budgets = {
+        {"fast", 0.25},
+        {"accurate", 0.0},
+    };
+
+    /** Base tune options; out/in dims and DataKind come from each
+        family. */
+    TuneOptions tune;
+
+    /** Also serialize the quantized int16 twin into each artifact. */
+    bool fxp_twin = true;
+};
+
+/** One built artifact, as recorded in zoo.json. */
+struct ZooEntry
+{
+    std::string name;   ///< "<family>-<budget>", the registry name
+    std::string family;
+    std::string budget;
+    std::string file;   ///< basename within the zoo directory
+    TtLayerConfig config;
+    double accuracy = 0.0;
+    double compression = 0.0;
+    size_t mults = 0;
+    uint64_t sim_cycles = 0;
+    bool fxp = false;
+};
+
+struct ZooManifest
+{
+    std::vector<ZooEntry> entries;
+};
+
+/**
+ * Tune every family, select each budget's winner, and write the
+ * artifacts plus zoo.json into @p dir (created if needed). Fully
+ * deterministic for fixed options: same seed => byte-identical
+ * artifacts and manifest.
+ */
+ZooManifest buildZoo(const std::string &dir, const ZooOptions &opts);
+
+/** Byte-stable JSON document of @p manifest (the zoo.json schema). */
+std::string manifestJson(const ZooManifest &manifest);
+
+/** Parse @p dir/zoo.json; fatal() on a missing or malformed manifest. */
+ZooManifest loadZooManifest(const std::string &dir);
+
+/**
+ * Publish every manifest entry of the zoo at @p dir into @p registry
+ * (mmap-backed, zero-copy) under its entry name. Returns the names in
+ * manifest order — the model mix multi-tenant load drives.
+ */
+std::vector<std::string> publishZoo(const std::string &dir,
+                                    serve::ModelRegistry &registry);
+
+} // namespace tune
+} // namespace tie
+
+#endif // TIE_TUNE_ZOO_HH

@@ -13,6 +13,11 @@
 # validates the BENCH_serve.json schema: the structured per-point
 # records, the serve.* counters, and the queue-wait/batch-size/service
 # distributions with ordered p50 <= p95 <= p99.
+#
+# With --pareto BIN, smoke-tests the autotuner via `tie_cli tune`:
+# validates the BENCH_pareto.json schema and asserts the report is
+# byte-identical across TIE_THREADS=1 and TIE_THREADS=4 (the
+# autotuner's determinism contract).
 set -e
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
@@ -81,6 +86,46 @@ for name in ("serve.queue_wait_us", "serve.batch_size",
     assert d["p50"] <= d["p95"] <= d["p99"] <= d["max"], (name, d)
 EOF
     echo "serve bench smoke ok"
+    exit 0
+fi
+
+if [ "$1" = "--pareto" ]; then
+    CLI="$2"
+    TUNE_ARGS="tune 16 16 --seed 7 --ranks 1,2 --epochs 1 \
+        --max-evals 4 --train 64 --test 32 --classes 4 --sim analytic"
+    TIE_THREADS=1 "$CLI" $TUNE_ARGS \
+        --pareto-out "$DIR/pareto.1.json" >/dev/null
+    TIE_THREADS=4 "$CLI" $TUNE_ARGS \
+        --pareto-out "$DIR/pareto.4.json" >/dev/null
+    cmp "$DIR/pareto.1.json" "$DIR/pareto.4.json"
+    python3 -m json.tool "$DIR/pareto.1.json" >/dev/null
+    python3 - "$DIR/pareto.1.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["name"] == "pareto", r.get("name")
+assert r["out_dim"] == 16 and r["in_dim"] == 16, r
+assert r["evaluated"] == len(r["candidates"]) > 0, r["evaluated"]
+assert r["enumerated"] >= r["evaluated"], r
+for c in r["candidates"]:
+    for key in ("index", "m", "n", "r", "tt_params", "compression",
+                "mults", "working_elems", "accuracy",
+                "modeled_latency_us", "sim_cycles", "on_frontier"):
+        assert key in c, f"candidate missing {key}: {c}"
+    assert len(c["r"]) == len(c["m"]) + 1, c
+frontier = r["frontier"]
+assert frontier, "empty Pareto frontier"
+cands = r["candidates"]
+for i in frontier:
+    assert cands[i]["on_frontier"], f"frontier entry {i} not marked"
+# Frontier members must not dominate each other (mults, -accuracy).
+pts = [(cands[i]["mults"], cands[i]["accuracy"]) for i in frontier]
+for a in pts:
+    for b in pts:
+        if a is not b:
+            assert not (a[0] <= b[0] and a[1] >= b[1]
+                        and (a[0] < b[0] or a[1] > b[1])), (a, b)
+EOF
+    echo "pareto smoke ok"
     exit 0
 fi
 

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Tests for the rank/shape autotuner and the model zoo: search-space
+ * enumeration, the cost-model-vs-measured property, thread-count
+ * determinism of the Pareto report, winner selection, zoo round-trip
+ * through the registry, the shared servable-load path, the .tie
+ * section table, and the hardened dataset bounds checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "io/tie_format.hh"
+#include "nn/dataset.hh"
+#include "obs/json.hh"
+#include "serve/model_registry.hh"
+#include "serve/multi_tenant.hh"
+#include "tt/cost_model.hh"
+#include "tt/infer_session.hh"
+#include "tt/tt_io.hh"
+#include "tune/autotune.hh"
+#include "tune/search_space.hh"
+#include "tune/zoo.hh"
+
+namespace tie {
+namespace {
+
+/** Small, fast tune options shared by the determinism/zoo tests. */
+tune::TuneOptions
+quickTuneOptions()
+{
+    tune::TuneOptions opts;
+    opts.seed = 7;
+    opts.space.ranks = {1, 2};
+    opts.train_samples = 64;
+    opts.test_samples = 32;
+    opts.classes = 4;
+    opts.epochs = 1;
+    opts.max_evals = 4;
+    opts.sim_mode = tune::SimMode::Analytic;
+    return opts;
+}
+
+/** mkdtemp scratch directory, removed best-effort on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/tie-tune-test-XXXXXX";
+        EXPECT_NE(::mkdtemp(tmpl), nullptr);
+        path = tmpl;
+    }
+    ~TempDir()
+    {
+        const int rc =
+            std::system(("rm -rf " + path + " 2>/dev/null").c_str());
+        (void)rc;
+    }
+};
+
+TEST(SearchSpace, EnumeratesOrderedFactorizations)
+{
+    const std::vector<std::vector<size_t>> f12 =
+        enumerateFactorizations(12, 2);
+    // Ordered: (2,6), (3,4), (4,3), (6,2) — lexicographic.
+    ASSERT_EQ(f12.size(), 4u);
+    EXPECT_EQ(f12[0], (std::vector<size_t>{2, 6}));
+    EXPECT_EQ(f12[1], (std::vector<size_t>{3, 4}));
+    EXPECT_EQ(f12[2], (std::vector<size_t>{4, 3}));
+    EXPECT_EQ(f12[3], (std::vector<size_t>{6, 2}));
+
+    // A prime has no 2-way factorization with factors >= 2.
+    EXPECT_TRUE(enumerateFactorizations(7, 2).empty());
+}
+
+TEST(SearchSpace, EnumerateConfigsCoversShapeTimesRank)
+{
+    tune::SearchSpace space;
+    space.min_d = 2;
+    space.max_d = 2;
+    space.ranks = {1, 4};
+    const std::vector<TtLayerConfig> cfgs =
+        tune::enumerateConfigs(16, 16, space);
+    // 16 = 2x8, 4x4, 8x2 -> 3 m-shapes x 3 n-shapes x 2 ranks.
+    EXPECT_EQ(cfgs.size(), 18u);
+    for (const TtLayerConfig &cfg : cfgs) {
+        EXPECT_EQ(cfg.outSize(), 16u);
+        EXPECT_EQ(cfg.inSize(), 16u);
+        EXPECT_EQ(cfg.m.size(), 2u);
+    }
+    // Every candidate validates (enumerateConfigs ran validate()).
+}
+
+TEST(SearchSpace, EmptySpaceIsFatal)
+{
+    tune::SearchSpace space;
+    space.min_d = 2;
+    space.max_d = 2;
+    // 13 and 17 are prime: no valid factorization at d=2.
+    EXPECT_DEATH(tune::enumerateConfigs(13, 17, space), "");
+}
+
+/**
+ * The cost-model property: for every enumerated shape/rank, the
+ * analytical per-stage multiply counts must equal what a batch-1
+ * inference actually performs, stage by stage — and their total must
+ * be multCompact.
+ */
+TEST(CostModelProperty, PerStageMultsMatchMeasuredInference)
+{
+    tune::SearchSpace space;
+    space.min_d = 2;
+    space.max_d = 3;
+    space.ranks = {1, 3, 4};
+    const std::vector<TtLayerConfig> cfgs =
+        tune::enumerateConfigs(24, 36, space);
+    ASSERT_FALSE(cfgs.empty());
+
+    Rng rng(123);
+    for (const TtLayerConfig &cfg : cfgs) {
+        const TtMatrix tt = TtMatrix::random(cfg, rng);
+        InferSessionD session(layerView(tt));
+        std::vector<double> x(cfg.inSize());
+        for (double &v : x)
+            v = rng.uniform(-1, 1);
+        std::vector<double> y;
+        InferStats stats;
+        session.runVec(x, y, &stats);
+
+        const std::vector<size_t> per_stage =
+            multCompactPerStage(cfg);
+        ASSERT_EQ(stats.stage_mults.size(), per_stage.size())
+            << cfg.toString();
+        size_t total = 0;
+        for (size_t h = 0; h < per_stage.size(); ++h) {
+            EXPECT_EQ(stats.stage_mults[h], per_stage[h])
+                << cfg.toString() << " stage " << h + 1;
+            total += per_stage[h];
+        }
+        EXPECT_EQ(total, multCompact(cfg)) << cfg.toString();
+        EXPECT_EQ(stats.mults, multCompact(cfg)) << cfg.toString();
+    }
+}
+
+/** Same seed, different thread counts: byte-identical Pareto JSON. */
+TEST(Autotune, DeterministicAcrossThreadCounts)
+{
+    const tune::TuneOptions opts = quickTuneOptions();
+    const size_t prev_threads = threadCount();
+
+    setThreadCount(1);
+    const tune::TuneReport serial = tune::autotune(16, 16, opts);
+    const std::string serial_json = tune::paretoJson(serial);
+
+    setThreadCount(4);
+    const tune::TuneReport parallel = tune::autotune(16, 16, opts);
+    const std::string parallel_json = tune::paretoJson(parallel);
+    setThreadCount(prev_threads);
+
+    EXPECT_EQ(serial_json, parallel_json);
+    ASSERT_EQ(serial.candidates.size(), parallel.candidates.size());
+    for (size_t i = 0; i < serial.candidates.size(); ++i) {
+        EXPECT_EQ(serial.candidates[i].accuracy,
+                  parallel.candidates[i].accuracy);
+        EXPECT_EQ(serial.candidates[i].sim_cycles,
+                  parallel.candidates[i].sim_cycles);
+    }
+    EXPECT_EQ(serial.frontier, parallel.frontier);
+    EXPECT_FALSE(serial.frontier.empty());
+}
+
+TEST(Autotune, BudgetPrunesAndWinnerRespectsCap)
+{
+    tune::TuneOptions opts = quickTuneOptions();
+    opts.budget.min_compression = 2.0;
+    const tune::TuneReport report = tune::autotune(16, 16, opts);
+    EXPECT_GT(report.pruned, 0u);
+    for (const tune::CandidateResult &c : report.candidates)
+        EXPECT_GE(c.compression, 2.0);
+
+    // The winner under a mult cap never exceeds it when any candidate
+    // fits; the uncapped winner is the accuracy argmax.
+    size_t min_mults = SIZE_MAX, max_acc_idx = 0;
+    for (size_t i = 0; i < report.candidates.size(); ++i) {
+        min_mults = std::min(min_mults, report.candidates[i].mults);
+        if (report.candidates[i].accuracy >
+            report.candidates[max_acc_idx].accuracy)
+            max_acc_idx = i;
+    }
+    const size_t capped = tune::selectWinner(report, min_mults);
+    EXPECT_LE(report.candidates[capped].mults, min_mults);
+    const size_t uncapped = tune::selectWinner(report, 0);
+    EXPECT_EQ(report.candidates[uncapped].accuracy,
+              report.candidates[max_acc_idx].accuracy);
+}
+
+TEST(Autotune, ParetoReportWritesValidSchema)
+{
+    TempDir dir;
+    const tune::TuneOptions opts = quickTuneOptions();
+    const tune::TuneReport report = tune::autotune(16, 16, opts);
+    const std::string path = dir.path + "/BENCH_pareto.json";
+    tune::writeParetoReport(report, path);
+
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is.is_open());
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    std::string err;
+    const obs::JsonValue doc = obs::parseJson(text, &err);
+    ASSERT_EQ(doc.type, obs::JsonValue::Type::Object) << err;
+    const obs::JsonValue *name = doc.find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->string, "pareto");
+    EXPECT_EQ(doc.u64("evaluated"), report.candidates.size());
+    const obs::JsonValue *cands = doc.find("candidates");
+    ASSERT_NE(cands, nullptr);
+    ASSERT_EQ(cands->type, obs::JsonValue::Type::Array);
+    ASSERT_EQ(cands->array.size(), report.candidates.size());
+    for (const obs::JsonValue &c : cands->array) {
+        EXPECT_NE(c.find("m"), nullptr);
+        EXPECT_NE(c.find("accuracy"), nullptr);
+        EXPECT_NE(c.find("compression"), nullptr);
+        // measured_latency_us only appears with measurement on.
+        EXPECT_EQ(c.find("measured_latency_us"), nullptr);
+    }
+    ASSERT_NE(doc.find("frontier"), nullptr);
+}
+
+/**
+ * The zoo acceptance path: build -> manifest -> publish (mmap) ->
+ * serve, with the served outputs bit-identical to an in-process
+ * session over the same trained weights.
+ */
+TEST(Zoo, BuildPublishServeRoundTrip)
+{
+    TempDir dir;
+    tune::ZooOptions zopts;
+    zopts.tune = quickTuneOptions();
+    zopts.families = {{"mlp", 16, 16, tune::DataKind::Images},
+                      {"gru", 12, 16, tune::DataKind::Video}};
+    zopts.budgets = {{"fast", 0.5}, {"accurate", 0.0}};
+
+    const tune::ZooManifest built = tune::buildZoo(dir.path, zopts);
+    ASSERT_EQ(built.entries.size(), 4u);
+
+    // The manifest round-trips through disk.
+    const tune::ZooManifest loaded = tune::loadZooManifest(dir.path);
+    ASSERT_EQ(loaded.entries.size(), built.entries.size());
+    for (size_t i = 0; i < built.entries.size(); ++i) {
+        EXPECT_EQ(loaded.entries[i].name, built.entries[i].name);
+        EXPECT_EQ(loaded.entries[i].file, built.entries[i].file);
+        EXPECT_EQ(loaded.entries[i].config.toString(),
+                  built.entries[i].config.toString());
+        EXPECT_TRUE(loaded.entries[i].fxp);
+    }
+
+    serve::ModelRegistry registry;
+    const std::vector<std::string> names =
+        tune::publishZoo(dir.path, registry);
+    ASSERT_EQ(names.size(), built.entries.size());
+
+    for (size_t k = 0; k < names.size(); ++k) {
+        const serve::ModelInfo info = registry.info(names[k]);
+        EXPECT_TRUE(info.from_artifact); // mmap'd, not copied
+        EXPECT_EQ(info.in_size,
+                  built.entries[k].config.inSize());
+
+        // Served output == in-process session over the artifact.
+        const io::TieModel m = io::TieModel::load(
+            dir.path + "/" + built.entries[k].file);
+        InferSessionD session(m.layer(0));
+        std::vector<double> x(info.in_size);
+        Rng rng(900 + k);
+        for (double &v : x)
+            v = rng.uniform(-1, 1);
+        std::vector<double> want, got;
+        session.runVec(x, want);
+        serve::RegistryTicket t = registry.submit(names[k], x);
+        ASSERT_EQ(registry.wait(t, &got),
+                  serve::RequestStatus::Done);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(got[i], want[i]) << names[k] << " elem " << i;
+    }
+}
+
+TEST(Zoo, MultiTenantMixIsBitExact)
+{
+    TempDir dir;
+    tune::ZooOptions zopts;
+    zopts.tune = quickTuneOptions();
+    zopts.families = {{"mlp", 16, 16, tune::DataKind::Images},
+                      {"gru", 12, 16, tune::DataKind::Video}};
+    zopts.budgets = {{"accurate", 0.0}};
+    const tune::ZooManifest manifest =
+        tune::buildZoo(dir.path, zopts);
+
+    serve::ModelRegistry registry;
+    const std::vector<std::string> names =
+        tune::publishZoo(dir.path, registry);
+    ASSERT_EQ(names.size(), 2u);
+
+    serve::MultiTenantOptions mo;
+    mo.requests = 40;
+    mo.clients = 3;
+    mo.seed = 5;
+    std::vector<std::vector<std::vector<double>>> expected;
+    for (size_t k = 0; k < names.size(); ++k) {
+        const serve::ServableModel m = serve::loadServable(
+            dir.path + "/" + manifest.entries[k].file);
+        expected.push_back(serve::tenantReferenceOutputs(
+            m.views, k, names.size(), mo.seed, mo.requests));
+    }
+    const serve::MultiTenantReport rep =
+        serve::runMultiTenant(registry, names, mo, &expected);
+    EXPECT_EQ(rep.aggregate.submitted, mo.requests);
+    EXPECT_EQ(rep.aggregate.completed, mo.requests);
+    EXPECT_EQ(rep.aggregate.mismatched, 0u);
+    ASSERT_EQ(rep.per_model.size(), 2u);
+    EXPECT_EQ(rep.per_model[0].submitted, 20u);
+    EXPECT_EQ(rep.per_model[1].submitted, 20u);
+    for (const serve::LoadGenReport &r : rep.per_model)
+        EXPECT_EQ(r.mismatched, 0u);
+}
+
+TEST(Servable, LoadsBothFormatsAndRejectsMissing)
+{
+    TempDir dir;
+    TtLayerConfig cfg;
+    cfg.m = {2, 4};
+    cfg.n = {4, 2};
+    cfg.r = {1, 2, 1};
+    Rng rng(77);
+    const TtMatrix tt = TtMatrix::random(cfg, rng);
+
+    const std::string tie_path = dir.path + "/m.tie";
+    const std::string ttm_path = dir.path + "/m.ttm";
+    io::saveTieModel(tt, tie_path);
+    saveTtMatrixFile(tt, ttm_path);
+
+    serve::ServableModel a, b;
+    std::string err;
+    ASSERT_TRUE(serve::tryLoadServable(tie_path, &a, &err)) << err;
+    EXPECT_TRUE(a.fromArtifact());
+    ASSERT_TRUE(serve::tryLoadServable(ttm_path, &b, &err)) << err;
+    EXPECT_FALSE(b.fromArtifact());
+    ASSERT_EQ(a.views.size(), 1u);
+    ASSERT_EQ(b.views.size(), 1u);
+
+    // Both backings serve the same bits.
+    InferSessionD sa(a.views[0]), sb(b.views[0]);
+    std::vector<double> x(cfg.inSize());
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+    std::vector<double> ya, yb;
+    sa.runVec(x, ya);
+    sb.runVec(x, yb);
+    EXPECT_EQ(ya, yb);
+
+    serve::ServableModel c;
+    EXPECT_FALSE(serve::tryLoadServable(dir.path + "/nope.tie", &c,
+                                        &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Servable, PublishFileServesEitherFormat)
+{
+    TempDir dir;
+    TtLayerConfig cfg;
+    cfg.m = {2, 4};
+    cfg.n = {4, 2};
+    cfg.r = {1, 2, 1};
+    Rng rng(78);
+    const TtMatrix tt = TtMatrix::random(cfg, rng);
+    io::saveTieModel(tt, dir.path + "/m.tie");
+    saveTtMatrixFile(tt, dir.path + "/m.ttm");
+
+    serve::ModelRegistry registry;
+    EXPECT_EQ(registry.publishFile("a", dir.path + "/m.tie"), 1u);
+    EXPECT_EQ(registry.publishFile("b", dir.path + "/m.ttm"), 1u);
+    EXPECT_TRUE(registry.info("a").from_artifact);
+    EXPECT_FALSE(registry.info("b").from_artifact);
+
+    std::vector<double> x(cfg.inSize());
+    for (double &v : x)
+        v = rng.uniform(-1, 1);
+    std::vector<double> ya, yb;
+    serve::RegistryTicket ta = registry.submit("a", x);
+    ASSERT_EQ(registry.wait(ta, &ya), serve::RequestStatus::Done);
+    serve::RegistryTicket tb = registry.submit("b", x);
+    ASSERT_EQ(registry.wait(tb, &yb), serve::RequestStatus::Done);
+    EXPECT_EQ(ya, yb);
+
+    uint64_t version = 0;
+    std::string err;
+    EXPECT_FALSE(registry.tryPublishFile("c", dir.path + "/nope",
+                                         &version, &err));
+    EXPECT_FALSE(registry.has("c"));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(TieFormat, SectionTableIsExposedAndNamed)
+{
+    TempDir dir;
+    TtLayerConfig cfg;
+    cfg.m = {2, 4};
+    cfg.n = {4, 2};
+    cfg.r = {1, 2, 1};
+    Rng rng(79);
+    const TtMatrix tt = TtMatrix::random(cfg, rng);
+    const TtMatrixFxp fxp =
+        TtMatrixFxp::quantizeAuto(tt, FxpFormat{16, 8});
+    const std::string path = dir.path + "/m.tie";
+    io::saveTieModel({io::makeLayerSpec(tt, fxp)}, path);
+
+    const io::TieModel m = io::TieModel::load(path);
+    const std::vector<io::TieSectionInfo> &sections = m.sections();
+    // ModelMeta, Graph, LayerConfig, CoresF64, FxpMeta, CoresI16.
+    ASSERT_EQ(sections.size(), 6u);
+    EXPECT_EQ(sections[0].kind,
+              static_cast<uint32_t>(io::TieSection::ModelMeta));
+    EXPECT_EQ(sections[0].layer, io::kTieModelScope);
+    EXPECT_STREQ(io::tieSectionKindName(sections[0].kind),
+                 "ModelMeta");
+    EXPECT_STREQ(io::tieSectionKindName(sections[5].kind),
+                 "CoresI16");
+    EXPECT_STREQ(io::tieSectionKindName(999), "?");
+    uint64_t file_end = 0;
+    for (const io::TieSectionInfo &s : sections) {
+        EXPECT_EQ(s.offset % io::kTieAlign, 0u);
+        EXPECT_GT(s.size, 0u);
+        file_end = std::max(file_end, s.offset + s.size);
+    }
+    EXPECT_LE(file_end, m.sizeBytes());
+}
+
+TEST(DatasetBounds, SliceAndBatchAccessorsFailStop)
+{
+    Rng rng(11);
+    const Dataset ds = makeClusteredImages(10, 2, 4, 0.1, rng);
+    EXPECT_EQ(ds.slice(8, 2).size(), 2u);
+    EXPECT_DEATH(ds.slice(8, 3), "out of range");
+    EXPECT_DEATH(ds.slice(11, 0), "out of range");
+    // Overflow-probe: begin + count wrapping must not pass the check.
+    EXPECT_DEATH(ds.slice(1, SIZE_MAX), "out of range");
+
+    const SeqDataset seq = makeSyntheticVideo(6, 2, 4, 3, 0.1, rng);
+    EXPECT_EQ(seq.packBatch(4, 2).cols(), 3u * 2u);
+    EXPECT_DEATH(seq.packBatch(4, 3), "out of range");
+    EXPECT_DEATH(seq.packBatch(0, 0), "must not be empty");
+    EXPECT_DEATH(seq.batchLabels(5, 2), "out of range");
+    EXPECT_DEATH(seq.batchLabels(2, SIZE_MAX), "out of range");
+}
+
+} // namespace
+} // namespace tie

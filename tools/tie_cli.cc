@@ -11,6 +11,14 @@
  *       shapes, compression, multiplication counts, SRAM fit
  *   tie_cli round in.ttm out.ttm --rank 2 [--eps 1e-4]
  *       re-rank an existing model (tt rounding)
+ *   tie_cli tune <out_dim> <in_dim> [--seed 1] [--ranks 1,2,4,8] ..
+ *       rank/shape autotune: enumerate factorizations x ranks, prune
+ *       with the cost model, train/evaluate survivors in parallel,
+ *       emit the Pareto frontier as BENCH_pareto.json
+ *       (docs/autotuning.md)
+ *   tie_cli zoo-build <dir> [--budgets fast:0.25,accurate:0] ..
+ *       tune the paper's four workload families and serialize each
+ *       budget's winner as a .tie artifact + zoo.json manifest
  *   tie_cli simulate model.ttm [--npe 16 --nmac 16 --freq 1000]
  *                    [--batch 1] [--relu]
  *       run the cycle-accurate simulator, print the full report
@@ -49,8 +57,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -71,11 +81,15 @@
 #include "obs/stat_registry.hh"
 #include "serve/load_gen.hh"
 #include "serve/metrics_endpoint.hh"
+#include "serve/model_registry.hh"
+#include "serve/multi_tenant.hh"
 #include "serve/server.hh"
 #include "tt/cost_model.hh"
 #include "tt/tt_io.hh"
 #include "tt/tt_round.hh"
 #include "tt/tt_svd.hh"
+#include "tune/autotune.hh"
+#include "tune/zoo.hh"
 
 using namespace tie;
 
@@ -250,6 +264,15 @@ cmdSaveModel(const Options &opt)
     return 0;
 }
 
+/** "0x" + zero-padded 8-digit hex of a CRC-32. */
+std::string
+crcHex(uint32_t crc)
+{
+    char buf[11];
+    std::snprintf(buf, sizeof(buf), "0x%08x", crc);
+    return buf;
+}
+
 int
 infoTie(const std::string &path)
 {
@@ -266,6 +289,24 @@ infoTie(const std::string &path)
         t.row({"layer " + std::to_string(i),
                m.config(i).toString()});
     t.print();
+
+    // The full validated section table — every row already passed the
+    // loader's bounds and CRC checks, so this doubles as an integrity
+    // receipt for the artifact.
+    TextTable st("sections (" +
+                 std::to_string(m.sections().size()) + ")");
+    st.header({"#", "kind", "layer", "offset", "size", "crc32"});
+    size_t idx = 0;
+    for (const io::TieSectionInfo &s : m.sections()) {
+        st.row({std::to_string(idx++),
+                io::tieSectionKindName(s.kind),
+                s.layer == io::kTieModelScope
+                    ? "model"
+                    : std::to_string(s.layer),
+                std::to_string(s.offset), std::to_string(s.size),
+                crcHex(s.crc32)});
+    }
+    st.print();
     return 0;
 }
 
@@ -395,6 +436,172 @@ cmdSimulate(const Options &opt)
     return exact || opt.has("relu") ? 0 : 2;
 }
 
+/** Shared tune knobs of the tune and zoo-build commands. */
+tune::TuneOptions
+tuneOptionsFrom(const Options &opt)
+{
+    tune::TuneOptions topts;
+    topts.seed = std::stoull(opt.get("seed", "1"));
+    topts.space.min_d =
+        static_cast<size_t>(std::stoul(opt.get("min-d", "2")));
+    topts.space.max_d =
+        static_cast<size_t>(std::stoul(opt.get("max-d", "3")));
+    if (opt.has("ranks"))
+        topts.space.ranks = parseFactors(opt.get("ranks"));
+    topts.budget.min_compression =
+        std::stod(opt.get("min-compression", "1"));
+    topts.budget.max_mults =
+        static_cast<size_t>(std::stoul(opt.get("max-mults", "0")));
+    topts.budget.max_working_elems =
+        static_cast<size_t>(std::stoul(opt.get("max-working", "0")));
+    topts.budget.max_params =
+        static_cast<size_t>(std::stoul(opt.get("max-params", "0")));
+    topts.max_evals =
+        static_cast<size_t>(std::stoul(opt.get("max-evals", "32")));
+    topts.epochs =
+        static_cast<size_t>(std::stoul(opt.get("epochs", "4")));
+    topts.classes =
+        static_cast<size_t>(std::stoul(opt.get("classes", "8")));
+    topts.train_samples =
+        static_cast<size_t>(std::stoul(opt.get("train", "256")));
+    topts.test_samples =
+        static_cast<size_t>(std::stoul(opt.get("test", "128")));
+    const std::string data = opt.get("data", "images");
+    if (data == "video")
+        topts.data = tune::DataKind::Video;
+    else
+        TIE_CHECK_ARG(data == "images", "--data must be images|video");
+    topts.video_steps =
+        static_cast<size_t>(std::stoul(opt.get("steps", "4")));
+    const std::string sim = opt.get("sim", "run");
+    if (sim == "off")
+        topts.sim_mode = tune::SimMode::Off;
+    else if (sim == "analytic")
+        topts.sim_mode = tune::SimMode::Analytic;
+    else
+        TIE_CHECK_ARG(sim == "run", "--sim must be run|analytic|off");
+    topts.arch.n_pe =
+        static_cast<size_t>(std::stoul(opt.get("npe", "16")));
+    topts.arch.n_mac =
+        static_cast<size_t>(std::stoul(opt.get("nmac", "16")));
+    topts.measure = opt.has("measure");
+    return topts;
+}
+
+int
+cmdTune(const Options &opt)
+{
+    TIE_CHECK_ARG(
+        opt.positional.size() == 2,
+        "usage: tie_cli tune <out_dim> <in_dim> [--seed s]"
+        " [--min-d A] [--max-d B] [--ranks 1,2,4,8]"
+        " [--min-compression X] [--max-mults M] [--max-working W]"
+        " [--max-params P] [--max-evals K] [--epochs E] [--classes C]"
+        " [--train N] [--test N] [--data images|video] [--steps T]"
+        " [--sim run|analytic|off] [--npe N] [--nmac M] [--measure]"
+        " [--pareto-out FILE]");
+    const size_t out_dim =
+        static_cast<size_t>(std::stoul(opt.positional[0]));
+    const size_t in_dim =
+        static_cast<size_t>(std::stoul(opt.positional[1]));
+    const tune::TuneOptions topts = tuneOptionsFrom(opt);
+
+    const tune::TuneReport report = tune::autotune(out_dim, in_dim,
+                                                   topts);
+
+    const std::string pareto_path =
+        opt.get("pareto-out", "BENCH_pareto.json");
+    tune::writeParetoReport(report, pareto_path);
+
+    if (obs::Session *s = obs::Session::current();
+        s != nullptr && s->statsRequested())
+        s->setExtra("pareto", tune::paretoJson(report));
+
+    TextTable t("autotune " + std::to_string(out_dim) + " x " +
+                std::to_string(in_dim) + " (seed " +
+                std::to_string(topts.seed) + ")");
+    t.header({"candidate", "config", "comp", "acc", "mults",
+              "model us", "sim cyc", "front"});
+    for (const tune::CandidateResult &c : report.candidates) {
+        t.row({std::to_string(c.index), c.config.toString(),
+               TextTable::ratio(c.compression, 1),
+               TextTable::num(c.accuracy, 3),
+               std::to_string(c.mults),
+               TextTable::num(c.modeled_latency_us, 2),
+               std::to_string(c.sim_cycles),
+               c.on_frontier ? "*" : ""});
+    }
+    t.print();
+    std::cout << report.enumerated << " enumerated, " << report.pruned
+              << " pruned by the cost model, " << report.sampled_out
+              << " sampled out, " << report.candidates.size()
+              << " evaluated, " << report.frontier.size()
+              << " on the Pareto frontier\nwrote " << pareto_path
+              << "\n";
+    return 0;
+}
+
+int
+cmdZooBuild(const Options &opt)
+{
+    TIE_CHECK_ARG(
+        opt.positional.size() == 1,
+        "usage: tie_cli zoo-build <dir> [--budgets fast:0.25,"
+        "accurate:0] [--families mlp,cnn,lstm,gru] [--no-fxp]"
+        " + the tune knobs of `tie_cli tune`");
+    tune::ZooOptions zopts;
+    zopts.tune = tuneOptionsFrom(opt);
+    zopts.fxp_twin = !opt.has("no-fxp");
+    if (opt.has("budgets")) {
+        zopts.budgets.clear();
+        for (const std::string &tok : splitCsv(opt.get("budgets"))) {
+            const size_t colon = tok.find(':');
+            TIE_CHECK_ARG(colon != std::string::npos,
+                          "--budgets entries are name:mult_cap_frac; "
+                          "got ", tok);
+            zopts.budgets.push_back(
+                {tok.substr(0, colon),
+                 std::stod(tok.substr(colon + 1))});
+        }
+    }
+    if (opt.has("families")) {
+        const std::vector<std::string> keep =
+            splitCsv(opt.get("families"));
+        std::vector<tune::ZooFamily> picked;
+        for (const tune::ZooFamily &f : zopts.families)
+            for (const std::string &k : keep)
+                if (f.name == k) {
+                    picked.push_back(f);
+                    break;
+                }
+        TIE_CHECK_ARG(!picked.empty(),
+                      "--families matches no default family");
+        zopts.families = picked;
+    }
+
+    const tune::ZooManifest manifest =
+        tune::buildZoo(opt.positional[0], zopts);
+
+    if (obs::Session *s = obs::Session::current();
+        s != nullptr && s->statsRequested())
+        s->setExtra("zoo", tune::manifestJson(manifest));
+
+    TextTable t("model zoo: " + opt.positional[0]);
+    t.header({"model", "config", "acc", "comp", "mults", "sim cyc",
+              "fxp"});
+    for (const tune::ZooEntry &e : manifest.entries)
+        t.row({e.name, e.config.toString(),
+               TextTable::num(e.accuracy, 3),
+               TextTable::ratio(e.compression, 1),
+               std::to_string(e.mults), std::to_string(e.sim_cycles),
+               e.fxp ? "yes" : "no"});
+    t.print();
+    std::cout << "wrote " << manifest.entries.size()
+              << " artifact(s) + zoo.json to " << opt.positional[0]
+              << "\n";
+    return 0;
+}
+
 int
 cmdServeBench(const Options &opt)
 {
@@ -408,17 +615,11 @@ cmdServeBench(const Options &opt)
                   " [--metrics-linger-ms L]");
 
     // Either artifact kind serves through the same view chain; the
-    // owning object (matrix or mapped model) just has to stay alive.
-    TtMatrix tt;
-    io::TieModel artifact;
-    std::vector<TtLayerViewD> views;
-    if (io::isTieArtifact(opt.positional[0])) {
-        artifact = io::TieModel::load(opt.positional[0]);
-        views = artifact.layers();
-    } else {
-        tt = loadTtMatrixFile(opt.positional[0]);
-        views.push_back(layerView(tt));
-    }
+    // ServableModel owns the backing (matrix or mapping) and must
+    // outlive the server.
+    const serve::ServableModel model =
+        serve::loadServable(opt.positional[0]);
+    const std::vector<TtLayerViewD> &views = model.views;
 
     serve::ServerOptions sopts;
     sopts.workers =
@@ -633,12 +834,185 @@ spawnWorker(const std::string &bin, const std::string &model,
     return true;
 }
 
+/**
+ * Multi-tenant cluster bench: one worker fleet + router per zoo
+ * model, mixed closed-loop traffic across all of them, per-model
+ * bit-exact verification against the mmap'd artifacts.
+ */
+int
+cmdClusterBenchZoo(const Options &opt)
+{
+    const std::string zoo_dir = opt.get("zoo");
+    const tune::ZooManifest manifest =
+        tune::loadZooManifest(zoo_dir);
+    const size_t n_models = manifest.entries.size();
+    TIE_CHECK_ARG(!opt.has("chaos") && !opt.has("chaos-kills"),
+                  "--chaos applies to the single-model bench only");
+
+    const size_t replicas =
+        static_cast<size_t>(std::stoul(opt.get("replicas", "1")));
+    TIE_CHECK_ARG(replicas >= 1, "--replicas must be >= 1");
+
+    serve::ServerOptions sopts;
+    sopts.workers =
+        static_cast<size_t>(std::stoul(opt.get("workers", "1")));
+    sopts.max_batch =
+        static_cast<size_t>(std::stoul(opt.get("max-batch", "4")));
+    sopts.batch_timeout_us = std::stoull(opt.get("timeout-us", "200"));
+    sopts.queue_capacity =
+        static_cast<size_t>(std::stoul(opt.get("queue-cap", "128")));
+
+    cluster::ClusterLoadOptions lopts;
+    lopts.requests =
+        static_cast<size_t>(std::stoul(opt.get("requests", "64")));
+    lopts.clients =
+        static_cast<size_t>(std::stoul(opt.get("clients", "4")));
+    lopts.deadline_us = std::stoull(opt.get("deadline-us", "0"));
+    lopts.seed = std::stoull(opt.get("seed", "1"));
+
+    // Per-tenant oracles from the same artifacts the workers load.
+    std::vector<std::string> paths;
+    std::vector<std::vector<std::vector<double>>> expected;
+    for (size_t k = 0; k < n_models; ++k) {
+        paths.push_back(zoo_dir + "/" + manifest.entries[k].file);
+        io::TieModel artifact = io::TieModel::load(paths.back());
+        expected.push_back(serve::tenantReferenceOutputs(
+            artifact.layers(), k, n_models, lopts.seed,
+            lopts.requests));
+    }
+
+    std::string sock_dir = opt.get("sock-dir", "");
+    if (sock_dir.empty()) {
+        char tmpl[] = "/tmp/tie-cluster-XXXXXX";
+        TIE_CHECK_ARG(::mkdtemp(tmpl) != nullptr,
+                      "cannot create socket directory");
+        sock_dir = tmpl;
+    }
+    const std::string bin = workerBinPath(opt);
+
+    std::vector<WorkerProc> workers(n_models * replicas);
+    std::vector<std::unique_ptr<cluster::Router>> routers;
+    for (size_t k = 0; k < n_models; ++k) {
+        cluster::RouterOptions ropts;
+        for (size_t r = 0; r < replicas; ++r) {
+            const std::string sock = sock_dir + "/m" +
+                                     std::to_string(k) + "w" +
+                                     std::to_string(r) + ".sock";
+            WorkerProc &w = workers[k * replicas + r];
+            std::string err;
+            TIE_CHECK_ARG(spawnWorker(bin, paths[k], sock, sopts, &w,
+                                      &err),
+                          "cannot spawn ", manifest.entries[k].name,
+                          " replica ", r, ": ", err);
+            ropts.workers.push_back(w.endpoint);
+        }
+        ropts.health_period_ms = 50;
+        routers.push_back(
+            std::make_unique<cluster::Router>(ropts));
+        std::string err;
+        TIE_CHECK_ARG(routers.back()->start(&err),
+                      manifest.entries[k].name, " router start "
+                      "failed: ", err);
+    }
+    std::cout << n_models << " model(s) x " << replicas
+              << " replica(s) ready on " << sock_dir << std::endl;
+
+    std::vector<cluster::Router *> router_ptrs;
+    for (const std::unique_ptr<cluster::Router> &r : routers)
+        router_ptrs.push_back(r.get());
+    const cluster::MixedClusterReport rep =
+        cluster::runMixedClusterLoad(router_ptrs, lopts, &expected);
+
+    for (const std::unique_ptr<cluster::Router> &r : routers)
+        r->drainWorkers(/*timeout_ms=*/5000);
+    for (const std::unique_ptr<cluster::Router> &r : routers)
+        r->stop();
+    for (WorkerProc &w : workers) {
+        if (w.proc.stdin_fd >= 0) {
+            ::close(w.proc.stdin_fd);
+            w.proc.stdin_fd = -1;
+        }
+        cluster::waitProcess(w.proc);
+    }
+
+    const size_t resolved = rep.aggregate.completed +
+                            rep.aggregate.rejected +
+                            rep.aggregate.timed_out;
+    const bool none_lost = resolved == rep.aggregate.submitted;
+    const bool bit_exact = rep.aggregate.mismatched == 0;
+
+    if (obs::Session *s = obs::Session::current();
+        s != nullptr && s->statsRequested()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.field("zoo", zoo_dir);
+        w.field("replicas", static_cast<uint64_t>(replicas));
+        w.field("requests",
+                static_cast<uint64_t>(rep.aggregate.submitted));
+        w.field("completed",
+                static_cast<uint64_t>(rep.aggregate.completed));
+        w.field("rejected",
+                static_cast<uint64_t>(rep.aggregate.rejected));
+        w.field("timed_out",
+                static_cast<uint64_t>(rep.aggregate.timed_out));
+        w.field("mismatched",
+                static_cast<uint64_t>(rep.aggregate.mismatched));
+        w.field("achieved_qps", rep.aggregate.achieved_qps);
+        w.field("none_lost", none_lost);
+        w.key("models").beginArray();
+        for (size_t k = 0; k < n_models; ++k) {
+            const serve::LoadGenReport &r = rep.per_model[k];
+            w.beginObject();
+            w.field("model", manifest.entries[k].name);
+            w.field("completed", static_cast<uint64_t>(r.completed));
+            w.field("mismatched",
+                    static_cast<uint64_t>(r.mismatched));
+            w.field("latency_p50_us", r.latency.p50);
+            w.field("latency_p99_us", r.latency.p99);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        s->setExtra("cluster_bench", w.str());
+    }
+
+    TextTable t("multi-tenant cluster-bench: " + zoo_dir);
+    t.header({"model", "done/rej/to", "mismatch", "p50 us",
+              "p99 us"});
+    for (size_t k = 0; k < n_models; ++k) {
+        const serve::LoadGenReport &r = rep.per_model[k];
+        t.row({manifest.entries[k].name,
+               std::to_string(r.completed) + "/" +
+                   std::to_string(r.rejected) + "/" +
+                   std::to_string(r.timed_out),
+               std::to_string(r.mismatched),
+               TextTable::num(r.latency.p50, 1),
+               TextTable::num(r.latency.p99, 1)});
+    }
+    t.row({"aggregate",
+           std::to_string(rep.aggregate.completed) + "/" +
+               std::to_string(rep.aggregate.rejected) + "/" +
+               std::to_string(rep.aggregate.timed_out),
+           std::to_string(rep.aggregate.mismatched),
+           TextTable::num(rep.aggregate.latency.p50, 1),
+           TextTable::num(rep.aggregate.latency.p99, 1)});
+    t.print();
+    std::cout << "all requests resolved: "
+              << (none_lost ? "yes" : "NO")
+              << "\nbit-exact vs references: "
+              << (bit_exact ? "yes" : "NO") << "\n";
+    return none_lost && bit_exact ? 0 : 2;
+}
+
 int
 cmdClusterBench(const Options &opt)
 {
+    if (opt.has("zoo"))
+        return cmdClusterBenchZoo(opt);
     TIE_CHECK_ARG(
         opt.positional.size() == 1,
-        "usage: tie_cli cluster-bench <model.tie> [--replicas K]"
+        "usage: tie_cli cluster-bench (<model.tie> | --zoo DIR)"
+        " [--replicas K]"
         " [--requests R] [--clients C] [--seed s] [--deadline-us D]"
         " [--workers W] [--max-batch B] [--timeout-us T]"
         " [--queue-cap Q] [--chaos] [--chaos-kills N]"
@@ -977,6 +1351,23 @@ usage()
            " --m .. --n ..) [--fxp]\n"
            "  info <model.{ttm,tie}>\n"
            "  round <in.ttm> <out.ttm> --rank r [--eps e]\n"
+           "  tune <out_dim> <in_dim> [--seed][--min-d][--max-d]"
+           "[--ranks 1,2,4,8]\n"
+           "              [--min-compression][--max-mults]"
+           "[--max-working][--max-params]\n"
+           "              [--max-evals][--epochs][--classes]"
+           "[--data images|video]\n"
+           "              [--sim run|analytic|off][--measure]"
+           "[--pareto-out FILE]\n"
+           "              rank/shape autotune: cost-model pruning, "
+           "trained evaluation,\n"
+           "              Pareto frontier -> BENCH_pareto.json "
+           "(docs/autotuning.md)\n"
+           "  zoo-build <dir> [--budgets fast:0.25,accurate:0]"
+           "[--families mlp,cnn,lstm,gru]\n"
+           "              [--no-fxp] + tune knobs\n"
+           "              build the per-budget .tie model zoo + "
+           "zoo.json manifest\n"
            "  simulate <model.ttm> [--npe][--nmac][--freq][--batch]"
            "[--relu]\n"
            "  serve-bench <model.{ttm,tie}> [--workers][--max-batch]"
@@ -985,13 +1376,16 @@ usage()
            "[--deadline-us]\n"
            "              [--metrics-port P][--metrics-snapshot FILE]"
            "[--metrics-linger-ms L]\n"
-           "  cluster-bench <model.tie> [--replicas K][--requests R]"
-           "[--clients C]\n"
-           "              [--chaos][--chaos-kills N][--p99-bound-us X]"
-           "[--worker-bin PATH]\n"
-           "              spawn K tie_worker processes, shard load "
+           "  cluster-bench (<model.tie> | --zoo DIR) [--replicas K]"
+           "[--requests R]\n"
+           "              [--clients C][--chaos][--chaos-kills N]"
+           "[--p99-bound-us X]\n"
+           "              [--worker-bin PATH]\n"
+           "              spawn tie_worker processes, shard load "
            "across them,\n"
-           "              verify bit-exactness (and chaos recovery) "
+           "              verify bit-exactness (and chaos recovery); "
+           "--zoo drives\n"
+           "              mixed multi-tenant traffic over a model zoo "
            "(docs/cluster.md)\n"
            "  stats <BENCH_*.json>   pretty-print any bench report\n"
            "observability (any command; also TIE_STATS_JSON/TIE_TRACE"
@@ -1026,6 +1420,10 @@ main(int argc, char **argv)
         return cmdInfo(opt);
     if (cmd == "round")
         return cmdRound(opt);
+    if (cmd == "tune")
+        return cmdTune(opt);
+    if (cmd == "zoo-build")
+        return cmdZooBuild(opt);
     if (cmd == "simulate")
         return cmdSimulate(opt);
     if (cmd == "serve-bench")

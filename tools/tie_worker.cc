@@ -6,7 +6,8 @@
  *              [--workers N] [--max-batch B] [--queue-cap Q] \
  *              [--batch-timeout-us T]
  *
- * Loads a .tie artifact (mmap, fully CRC-verified before serving),
+ * Loads a model file — a .tie artifact (mmap, fully CRC-verified
+ * before serving) or a legacy .ttm matrix —
  * starts a ClusterWorker on the given endpoint, prints a single
  * flushed "ready <endpoint>" line on stdout (the spawn handshake the
  * router harness reads), then runs until either stdin reaches EOF
@@ -29,7 +30,7 @@
 
 #include "cluster/worker.hh"
 #include "common/logging.hh"
-#include "io/tie_format.hh"
+#include "serve/model_registry.hh"
 
 namespace {
 
@@ -112,9 +113,9 @@ main(int argc, char **argv)
         return 2;
     }
 
-    io::TieModel model;
+    serve::ServableModel model;
     std::string err;
-    if (!io::TieModel::tryLoad(model_path, &model, &err)) {
+    if (!serve::tryLoadServable(model_path, &model, &err)) {
         std::fprintf(stderr, "tie_worker: cannot load %s: %s\n",
                      model_path.c_str(), err.c_str());
         return 1;
