@@ -26,6 +26,8 @@
 #include "common/thread_pool.hh"
 #include "obs/report.hh"
 #include "core/workloads.hh"
+#include "linalg/gemm.hh"
+#include "linalg/pack.hh"
 #include "linalg/simd.hh"
 #include "linalg/svd.hh"
 #include "quant/fxp_simd.hh"
@@ -362,6 +364,76 @@ BM_GemmGatheredF32_Isa(benchmark::State &state, simd::Isa isa)
 }
 
 void
+BM_GemmF32_Packed(benchmark::State &state, simd::Isa isa, bool fast)
+{
+    // Same operands as BM_GemmF32_Isa, consumed through the packed
+    // register-blocked microkernel (pack cost excluded — sessions pack
+    // once at warm-up). fast=true additionally permits FMA.
+    Rng rng(11);
+    MatrixF a(kIsaM, kIsaK), b(kIsaK, kIsaN), c(kIsaM, kIsaN);
+    a.setUniform(rng, -1, 1);
+    b.setUniform(rng, -1, 1);
+    std::vector<float> pa(pack::packedAElems(kIsaM, kIsaK));
+    pack::packA(kIsaM, kIsaK, a.data(), pa.data());
+    for (auto _ : state) {
+        c.fill(0.0f);
+        simd::gemmPackedF32(isa, fast, kIsaK, pa.data(), b.data(),
+                            kIsaN, c.data(), kIsaN, 0, kIsaM, 0, kIsaN);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kIsaM * kIsaK * kIsaN);
+}
+
+void
+BM_GemmGatheredF32_Packed(benchmark::State &state, simd::Isa isa)
+{
+    // The gathered workload of BM_GemmGatheredF32_Isa through the
+    // pack-then-dense panel path (gemm::gemmPackedGatheredBlocked's
+    // inner loop, with the ISA explicit): gather each kColBlock-wide
+    // panel of virtual B into contiguous scratch, then run the packed
+    // microkernel on it.
+    Rng rng(12);
+    const size_t cols_out = kIsaN / 8; // 8 batch blocks
+    MatrixF a(kIsaM, kIsaK), v(kIsaK, kIsaN), c(kIsaM, kIsaN);
+    a.setUniform(rng, -1, 1);
+    v.setUniform(rng, -1, 1);
+    std::vector<size_t> offset(kIsaK * cols_out);
+    for (auto &o : offset)
+        o = static_cast<size_t>(
+            rng.intIn(0, static_cast<int64_t>(kIsaK * cols_out) - 1));
+    const size_t block_stride = kIsaK * cols_out;
+    std::vector<float> pa(pack::packedAElems(kIsaM, kIsaK));
+    pack::packA(kIsaM, kIsaK, a.data(), pa.data());
+    std::vector<float> bscratch(kIsaK * gemm::kColBlock);
+    for (auto _ : state) {
+        c.fill(0.0f);
+        for (size_t p0 = 0; p0 < kIsaN; p0 += gemm::kColBlock) {
+            const size_t p1 = std::min(kIsaN, p0 + gemm::kColBlock);
+            const size_t w = p1 - p0;
+            for (size_t kk = 0; kk < kIsaK; ++kk) {
+                const size_t *off = offset.data() + kk * cols_out;
+                float *dst = bscratch.data() + kk * w;
+                size_t q = p0 % cols_out;
+                const float *vb =
+                    v.data() + (p0 / cols_out) * block_stride;
+                for (size_t jj = 0; jj < w; ++jj) {
+                    dst[jj] = vb[off[q]];
+                    if (++q == cols_out) {
+                        q = 0;
+                        vb += block_stride;
+                    }
+                }
+            }
+            simd::gemmPackedF32(isa, false, kIsaK, pa.data(),
+                                bscratch.data(), w, c.data() + p0,
+                                kIsaN, 0, kIsaM, 0, w);
+        }
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kIsaM * kIsaK * kIsaN);
+}
+
+void
 BM_FxpMatmul_Isa(benchmark::State &state, simd::Isa isa)
 {
     Rng rng(13);
@@ -395,6 +467,21 @@ registerIsaSweeps()
             ("BM_GemmGatheredF32_Isa/" + name).c_str(),
             [isa](benchmark::State &s) {
                 BM_GemmGatheredF32_Isa(s, isa);
+            });
+        benchmark::RegisterBenchmark(
+            ("BM_GemmF32_Packed/" + name).c_str(),
+            [isa](benchmark::State &s) {
+                BM_GemmF32_Packed(s, isa, false);
+            });
+        benchmark::RegisterBenchmark(
+            ("BM_GemmF32_PackedFast/" + name).c_str(),
+            [isa](benchmark::State &s) {
+                BM_GemmF32_Packed(s, isa, true);
+            });
+        benchmark::RegisterBenchmark(
+            ("BM_GemmGatheredF32_Packed/" + name).c_str(),
+            [isa](benchmark::State &s) {
+                BM_GemmGatheredF32_Packed(s, isa);
             });
         benchmark::RegisterBenchmark(
             ("BM_FxpMatmul_Isa/" + name).c_str(),

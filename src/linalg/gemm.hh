@@ -43,6 +43,8 @@ struct KernelStats
     obs::Counter &gemv_madds;
     obs::Distribution &gemm_us;
     obs::Gauge &simd_isa; ///< active dispatch path (simd::Isa ordinal)
+    obs::Counter &packed_panels; ///< operand panels packed (A + B)
+    obs::Counter &pack_bytes;    ///< bytes written into packed panels
 
     static KernelStats &
     get()
@@ -61,6 +63,12 @@ struct KernelStats
             obs::StatRegistry::instance().gauge(
                 "simd.isa",
                 "active SIMD path (0=scalar 1=sse 2=avx2 3=neon)"),
+            obs::StatRegistry::instance().counter(
+                "gemm.packed_panels",
+                "operand panels packed for the microkernel"),
+            obs::StatRegistry::instance().counter(
+                "gemm.pack_bytes",
+                "bytes written into packed operand panels"),
         };
         return s;
     }
@@ -252,6 +260,143 @@ gemmGatheredBlocked(size_t m, size_t k, const T *a, const T *v,
             obs::HostSpan tile("gemm.tile");
             gemmTileGathered(n, k, a, v, g, c, 0, m, j0, j1);
         });
+    }
+}
+
+/**
+ * Inner tile over a packed A operand (linalg/pack.hh), dispatching to
+ * the register-blocked microkernel. @p fast only affects float (see
+ * simd::FastMode); with fast false the result is bit-identical to
+ * gemmTile on the same operands for every ISA.
+ */
+template <typename T>
+inline void
+gemmPackedTile(size_t k, const T *pa, const T *b, size_t ldb, T *c,
+               size_t ldc, bool fast, size_t i0, size_t i1, size_t j0,
+               size_t j1)
+{
+    static_assert(std::is_same_v<T, float> ||
+                      std::is_same_v<T, double>,
+                  "packed kernels exist for float and double only");
+    if constexpr (std::is_same_v<T, float>)
+        simd::gemmPackedF32(simd::activeIsa(), fast, k, pa, b, ldb, c,
+                            ldc, i0, i1, j0, j1);
+    else
+        simd::gemmPackedF64(simd::activeIsa(), fast, k, pa, b, ldb, c,
+                            ldc, i0, i1, j0, j1);
+}
+
+/**
+ * C = packedA * B (C zero-initialised m x n row-major, B k x n
+ * row-major, pa packed by pack::packA), parallelised like gemmBlocked.
+ * kRowBlock is a multiple of pack::kRowPanel, so row chunks always
+ * start on a panel boundary as the microkernel requires.
+ */
+template <typename T>
+void
+gemmPackedBlocked(size_t m, size_t n, size_t k, const T *pa,
+                  const T *b, T *c, bool fast)
+{
+    if (m == 0 || n == 0 || k == 0)
+        return;
+    if (obs::enabled()) {
+        KernelStats &ks = KernelStats::get();
+        ks.gemm_calls.add();
+        ks.gemm_madds.add(m * n * k);
+        ks.simd_isa.set(static_cast<int64_t>(simd::activeIsa()));
+    }
+    obs::ScopedTimer timer(KernelStats::get().gemm_us);
+    obs::HostSpan span("gemm.packed");
+    if (m * n * k < kParallelMinWork) {
+        gemmPackedTile(k, pa, b, n, c, n, fast, 0, m, 0, n);
+        return;
+    }
+    if (m >= n) {
+        parallelFor(0, m, kRowBlock, [&](size_t i0, size_t i1) {
+            obs::HostSpan tile("gemm.tile");
+            gemmPackedTile(k, pa, b, n, c, n, fast, i0, i1, 0, n);
+        });
+    } else {
+        parallelFor(0, n, kColBlock, [&](size_t j0, size_t j1) {
+            obs::HostSpan tile("gemm.tile");
+            gemmPackedTile(k, pa, b, n, c, n, fast, 0, m, j0, j1);
+        });
+    }
+}
+
+/**
+ * C = packedA * gather(B): the packed replacement for
+ * gemmGatheredBlocked. Instead of feeding the indirect per-element
+ * read to the GEMM (which defeats vectorization — the regression that
+ * made fused lose to materialized on wide stages,
+ * docs/performance.md), each kColBlock-wide panel of the gathered
+ * virtual B is first packed contiguously into @p bscratch (k x panel
+ * width, caller-owned, >= k * kColBlock elements, reused across
+ * panels and calls), then the dense packed microkernel consumes it.
+ * One sequential pass per element replaces k indirect reads per
+ * column.
+ *
+ * The panel loop is serial (one shared scratch); the gather pass and
+ * the microkernel parallelise inside each panel, partitioned over
+ * disjoint output/scratch ranges, so results stay bit-identical to
+ * gemmGatheredBlocked for every thread count — and to the scalar
+ * path when @p fast is false.
+ */
+template <typename T>
+void
+gemmPackedGatheredBlocked(size_t m, size_t k, const T *pa, const T *v,
+                          const GatherB &g, T *c, T *bscratch,
+                          bool fast)
+{
+    const size_t n = g.cols_out * g.batch;
+    if (m == 0 || n == 0 || k == 0)
+        return;
+    if (obs::enabled()) {
+        KernelStats &ks = KernelStats::get();
+        ks.gemm_calls.add();
+        ks.gemm_madds.add(m * n * k);
+        ks.simd_isa.set(static_cast<int64_t>(simd::activeIsa()));
+    }
+    obs::ScopedTimer timer(KernelStats::get().gemm_us);
+    obs::HostSpan span("gemm.packed_gathered");
+    for (size_t p0 = 0; p0 < n; p0 += kColBlock) {
+        const size_t p1 = std::min(n, p0 + kColBlock);
+        const size_t w = p1 - p0;
+        auto packRows = [&](size_t klo, size_t khi) {
+            for (size_t kk = klo; kk < khi; ++kk) {
+                const size_t *off = g.offset + kk * g.cols_out;
+                T *dst = bscratch + kk * w;
+                size_t q = p0 % g.cols_out;
+                const T *vb =
+                    v + (p0 / g.cols_out) * g.block_stride;
+                for (size_t jj = 0; jj < w; ++jj) {
+                    dst[jj] = vb[off[q]];
+                    if (++q == g.cols_out) {
+                        q = 0;
+                        vb += g.block_stride;
+                    }
+                }
+            }
+        };
+        if (k * w < kParallelMinWork)
+            packRows(0, k);
+        else
+            parallelFor(0, k, 0, packRows);
+        if (obs::enabled()) {
+            KernelStats &ks = KernelStats::get();
+            ks.packed_panels.add();
+            ks.pack_bytes.add(k * w * sizeof(T));
+        }
+        T *cw = c + p0; // column window shares C's row stride n
+        auto compute = [&](size_t i0, size_t i1) {
+            obs::HostSpan tile("gemm.tile");
+            gemmPackedTile(k, pa, bscratch, w, cw, n, fast, i0, i1, 0,
+                           w);
+        };
+        if (m * w * k < kParallelMinWork)
+            compute(0, m);
+        else
+            parallelFor(0, m, kRowBlock, compute);
     }
 }
 

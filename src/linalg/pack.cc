@@ -1,0 +1,42 @@
+#include "linalg/pack.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "linalg/gemm.hh"
+
+namespace tie {
+namespace pack {
+
+void *
+alignedAlloc(size_t bytes)
+{
+    if (bytes == 0)
+        return nullptr;
+    // aligned_alloc requires the size to be a multiple of the
+    // alignment; round up — the slack is never read.
+    const size_t rounded = (bytes + kAlign - 1) / kAlign * kAlign;
+    void *p = std::aligned_alloc(kAlign, rounded);
+    if (p == nullptr)
+        TIE_PANIC("aligned_alloc(", kAlign, ", ", rounded, ") failed");
+    return p;
+}
+
+void
+alignedFree(void *p)
+{
+    std::free(p);
+}
+
+void
+addPackStats(size_t panels, size_t bytes)
+{
+    if (!obs::enabled())
+        return;
+    gemm::KernelStats &ks = gemm::KernelStats::get();
+    ks.packed_panels.add(panels);
+    ks.pack_bytes.add(bytes);
+}
+
+} // namespace pack
+} // namespace tie

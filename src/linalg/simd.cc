@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "linalg/gemm.hh"
+#include "linalg/pack.hh"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define TIE_SIMD_X86 1
@@ -141,6 +142,25 @@ fxpLanes(Isa isa)
     return floatLanes(isa);
 }
 
+FastMode
+resolveFastMode(const char *env_value)
+{
+    if (env_value == nullptr || *env_value == '\0' ||
+        std::strcmp(env_value, "0") == 0)
+        return FastMode::Off;
+    if (std::strcmp(env_value, "1") == 0)
+        return FastMode::On;
+    TIE_FATAL("TIE_FAST='", env_value, "' must be 0 or 1");
+}
+
+FastMode
+resolveFastMode(FastMode requested)
+{
+    if (requested != FastMode::Env)
+        return requested;
+    return resolveFastMode(std::getenv("TIE_FAST"));
+}
+
 namespace {
 
 /**
@@ -213,6 +233,58 @@ rowTail(size_t n, size_t k, const T *arow, const T *b, T *crow,
         for (size_t kk = 0; kk < k; ++kk)
             cj += arow[kk] * b[kk * n + j];
         crow[j] = cj;
+    }
+}
+
+/**
+ * Scalar reference over a packed A operand (linalg/pack.hh layout):
+ * every output element runs the exact ascending-k separate-mul/add
+ * chain of tileScalar, reading A through the panel interleave instead
+ * of row-major. Handles any row range, including mid-panel starts and
+ * the zero-padded tail panel (whose padded rows are simply skipped).
+ */
+template <typename T>
+void
+tilePackedScalar(size_t k, const T *pa, const T *b, size_t ldb, T *c,
+                 size_t ldc, size_t i0, size_t i1, size_t j0,
+                 size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel;
+    for (size_t k0 = 0; k0 < k; k0 += gemm::kDepthBlock) {
+        const size_t k1 = std::min(k, k0 + gemm::kDepthBlock);
+        for (size_t i = i0; i < i1; ++i) {
+            const size_t p = i / MR;
+            const T *ap = pa + p * MR * k + (i - p * MR);
+            T *crow = c + i * ldc;
+            for (size_t kk = k0; kk < k1; ++kk) {
+                const T aik = ap[kk * MR];
+                const T *brow = b + kk * ldb;
+                for (size_t j = j0; j < j1; ++j)
+                    crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/**
+ * Scalar column tail of the packed vector kernels: finishes columns
+ * [j, j1) of one full panel (rows i .. i + kRowPanel), same chain as
+ * the lanes. @p ap is the panel base (pa + i * k).
+ */
+template <typename T>
+inline void
+packedColTail(size_t k, const T *ap, const T *b, size_t ldb, T *c,
+              size_t ldc, size_t i, size_t j, size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel;
+    for (size_t r = 0; r < MR; ++r) {
+        T *crow = c + (i + r) * ldc;
+        for (size_t jj = j; jj < j1; ++jj) {
+            T cj = crow[jj];
+            for (size_t kk = 0; kk < k; ++kk)
+                cj += ap[kk * MR + r] * b[kk * ldb + jj];
+            crow[jj] = cj;
+        }
     }
 }
 
@@ -530,6 +602,286 @@ tileGatheredF64Sse(size_t n, size_t k, const double *a, const double *v,
     }
 }
 
+/**
+ * Packed x86 microkernels: a kRowPanel x (2 vectors) accumulator block
+ * held in registers, k innermost. Per k step: kRowPanel broadcasts
+ * from the packed panel and 2 B vector loads feed 2 * kRowPanel
+ * multiply-adds, so B is streamed kRowPanel times less often than by
+ * the one-row tileF32* kernels. Separate mul + add keeps every
+ * element's chain bit-identical to tilePackedScalar; the *Fma variants
+ * (TIE_FAST=1 only) contract them into fused multiply-adds.
+ */
+__attribute__((target("avx2"))) void
+tilePackedF32Avx2(size_t k, const float *pa, const float *b,
+                  size_t ldb, float *c, size_t ldc, size_t i0,
+                  size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel, W = 8;
+    size_t i = i0;
+    for (; i + MR <= i1; i += MR) {
+        const float *ap = pa + i * k;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m256 acc0[MR], acc1[MR];
+            for (size_t r = 0; r < MR; ++r) {
+                acc0[r] = _mm256_loadu_ps(c + (i + r) * ldc + j);
+                acc1[r] = _mm256_loadu_ps(c + (i + r) * ldc + j + W);
+            }
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const float *bp = b + kk * ldb + j;
+                const __m256 b0 = _mm256_loadu_ps(bp);
+                const __m256 b1 = _mm256_loadu_ps(bp + W);
+                for (size_t r = 0; r < MR; ++r) {
+                    const __m256 a = _mm256_set1_ps(av[r]);
+                    acc0[r] = _mm256_add_ps(acc0[r],
+                                            _mm256_mul_ps(a, b0));
+                    acc1[r] = _mm256_add_ps(acc1[r],
+                                            _mm256_mul_ps(a, b1));
+                }
+            }
+            for (size_t r = 0; r < MR; ++r) {
+                _mm256_storeu_ps(c + (i + r) * ldc + j, acc0[r]);
+                _mm256_storeu_ps(c + (i + r) * ldc + j + W, acc1[r]);
+            }
+        }
+        for (; j + W <= j1; j += W) {
+            __m256 acc[MR];
+            for (size_t r = 0; r < MR; ++r)
+                acc[r] = _mm256_loadu_ps(c + (i + r) * ldc + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const __m256 b0 = _mm256_loadu_ps(b + kk * ldb + j);
+                for (size_t r = 0; r < MR; ++r)
+                    acc[r] = _mm256_add_ps(
+                        acc[r],
+                        _mm256_mul_ps(_mm256_set1_ps(av[r]), b0));
+            }
+            for (size_t r = 0; r < MR; ++r)
+                _mm256_storeu_ps(c + (i + r) * ldc + j, acc[r]);
+        }
+        if (j < j1)
+            packedColTail(k, ap, b, ldb, c, ldc, i, j, j1);
+    }
+    if (i < i1)
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i, i1, j0, j1);
+}
+
+__attribute__((target("avx2,fma"))) void
+tilePackedF32Avx2Fma(size_t k, const float *pa, const float *b,
+                     size_t ldb, float *c, size_t ldc, size_t i0,
+                     size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel, W = 8;
+    size_t i = i0;
+    for (; i + MR <= i1; i += MR) {
+        const float *ap = pa + i * k;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m256 acc0[MR], acc1[MR];
+            for (size_t r = 0; r < MR; ++r) {
+                acc0[r] = _mm256_loadu_ps(c + (i + r) * ldc + j);
+                acc1[r] = _mm256_loadu_ps(c + (i + r) * ldc + j + W);
+            }
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const float *bp = b + kk * ldb + j;
+                const __m256 b0 = _mm256_loadu_ps(bp);
+                const __m256 b1 = _mm256_loadu_ps(bp + W);
+                for (size_t r = 0; r < MR; ++r) {
+                    const __m256 a = _mm256_set1_ps(av[r]);
+                    acc0[r] = _mm256_fmadd_ps(a, b0, acc0[r]);
+                    acc1[r] = _mm256_fmadd_ps(a, b1, acc1[r]);
+                }
+            }
+            for (size_t r = 0; r < MR; ++r) {
+                _mm256_storeu_ps(c + (i + r) * ldc + j, acc0[r]);
+                _mm256_storeu_ps(c + (i + r) * ldc + j + W, acc1[r]);
+            }
+        }
+        for (; j + W <= j1; j += W) {
+            __m256 acc[MR];
+            for (size_t r = 0; r < MR; ++r)
+                acc[r] = _mm256_loadu_ps(c + (i + r) * ldc + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const __m256 b0 = _mm256_loadu_ps(b + kk * ldb + j);
+                for (size_t r = 0; r < MR; ++r)
+                    acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(av[r]),
+                                             b0, acc[r]);
+            }
+            for (size_t r = 0; r < MR; ++r)
+                _mm256_storeu_ps(c + (i + r) * ldc + j, acc[r]);
+        }
+        if (j < j1)
+            packedColTail(k, ap, b, ldb, c, ldc, i, j, j1);
+    }
+    if (i < i1)
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i, i1, j0, j1);
+}
+
+__attribute__((target("avx2"))) void
+tilePackedF64Avx2(size_t k, const double *pa, const double *b,
+                  size_t ldb, double *c, size_t ldc, size_t i0,
+                  size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel, W = 4;
+    size_t i = i0;
+    for (; i + MR <= i1; i += MR) {
+        const double *ap = pa + i * k;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m256d acc0[MR], acc1[MR];
+            for (size_t r = 0; r < MR; ++r) {
+                acc0[r] = _mm256_loadu_pd(c + (i + r) * ldc + j);
+                acc1[r] = _mm256_loadu_pd(c + (i + r) * ldc + j + W);
+            }
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double *av = ap + kk * MR;
+                const double *bp = b + kk * ldb + j;
+                const __m256d b0 = _mm256_loadu_pd(bp);
+                const __m256d b1 = _mm256_loadu_pd(bp + W);
+                for (size_t r = 0; r < MR; ++r) {
+                    const __m256d a = _mm256_set1_pd(av[r]);
+                    acc0[r] = _mm256_add_pd(acc0[r],
+                                            _mm256_mul_pd(a, b0));
+                    acc1[r] = _mm256_add_pd(acc1[r],
+                                            _mm256_mul_pd(a, b1));
+                }
+            }
+            for (size_t r = 0; r < MR; ++r) {
+                _mm256_storeu_pd(c + (i + r) * ldc + j, acc0[r]);
+                _mm256_storeu_pd(c + (i + r) * ldc + j + W, acc1[r]);
+            }
+        }
+        for (; j + W <= j1; j += W) {
+            __m256d acc[MR];
+            for (size_t r = 0; r < MR; ++r)
+                acc[r] = _mm256_loadu_pd(c + (i + r) * ldc + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double *av = ap + kk * MR;
+                const __m256d b0 = _mm256_loadu_pd(b + kk * ldb + j);
+                for (size_t r = 0; r < MR; ++r)
+                    acc[r] = _mm256_add_pd(
+                        acc[r],
+                        _mm256_mul_pd(_mm256_set1_pd(av[r]), b0));
+            }
+            for (size_t r = 0; r < MR; ++r)
+                _mm256_storeu_pd(c + (i + r) * ldc + j, acc[r]);
+        }
+        if (j < j1)
+            packedColTail(k, ap, b, ldb, c, ldc, i, j, j1);
+    }
+    if (i < i1)
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i, i1, j0, j1);
+}
+
+__attribute__((target("sse4.2"))) void
+tilePackedF32Sse(size_t k, const float *pa, const float *b, size_t ldb,
+                 float *c, size_t ldc, size_t i0, size_t i1, size_t j0,
+                 size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel, W = 4;
+    size_t i = i0;
+    for (; i + MR <= i1; i += MR) {
+        const float *ap = pa + i * k;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m128 acc0[MR], acc1[MR];
+            for (size_t r = 0; r < MR; ++r) {
+                acc0[r] = _mm_loadu_ps(c + (i + r) * ldc + j);
+                acc1[r] = _mm_loadu_ps(c + (i + r) * ldc + j + W);
+            }
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const float *bp = b + kk * ldb + j;
+                const __m128 b0 = _mm_loadu_ps(bp);
+                const __m128 b1 = _mm_loadu_ps(bp + W);
+                for (size_t r = 0; r < MR; ++r) {
+                    const __m128 a = _mm_set1_ps(av[r]);
+                    acc0[r] = _mm_add_ps(acc0[r], _mm_mul_ps(a, b0));
+                    acc1[r] = _mm_add_ps(acc1[r], _mm_mul_ps(a, b1));
+                }
+            }
+            for (size_t r = 0; r < MR; ++r) {
+                _mm_storeu_ps(c + (i + r) * ldc + j, acc0[r]);
+                _mm_storeu_ps(c + (i + r) * ldc + j + W, acc1[r]);
+            }
+        }
+        for (; j + W <= j1; j += W) {
+            __m128 acc[MR];
+            for (size_t r = 0; r < MR; ++r)
+                acc[r] = _mm_loadu_ps(c + (i + r) * ldc + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const __m128 b0 = _mm_loadu_ps(b + kk * ldb + j);
+                for (size_t r = 0; r < MR; ++r)
+                    acc[r] = _mm_add_ps(
+                        acc[r], _mm_mul_ps(_mm_set1_ps(av[r]), b0));
+            }
+            for (size_t r = 0; r < MR; ++r)
+                _mm_storeu_ps(c + (i + r) * ldc + j, acc[r]);
+        }
+        if (j < j1)
+            packedColTail(k, ap, b, ldb, c, ldc, i, j, j1);
+    }
+    if (i < i1)
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i, i1, j0, j1);
+}
+
+__attribute__((target("sse4.2"))) void
+tilePackedF64Sse(size_t k, const double *pa, const double *b,
+                 size_t ldb, double *c, size_t ldc, size_t i0,
+                 size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel, W = 2;
+    size_t i = i0;
+    for (; i + MR <= i1; i += MR) {
+        const double *ap = pa + i * k;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            __m128d acc0[MR], acc1[MR];
+            for (size_t r = 0; r < MR; ++r) {
+                acc0[r] = _mm_loadu_pd(c + (i + r) * ldc + j);
+                acc1[r] = _mm_loadu_pd(c + (i + r) * ldc + j + W);
+            }
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double *av = ap + kk * MR;
+                const double *bp = b + kk * ldb + j;
+                const __m128d b0 = _mm_loadu_pd(bp);
+                const __m128d b1 = _mm_loadu_pd(bp + W);
+                for (size_t r = 0; r < MR; ++r) {
+                    const __m128d a = _mm_set1_pd(av[r]);
+                    acc0[r] = _mm_add_pd(acc0[r], _mm_mul_pd(a, b0));
+                    acc1[r] = _mm_add_pd(acc1[r], _mm_mul_pd(a, b1));
+                }
+            }
+            for (size_t r = 0; r < MR; ++r) {
+                _mm_storeu_pd(c + (i + r) * ldc + j, acc0[r]);
+                _mm_storeu_pd(c + (i + r) * ldc + j + W, acc1[r]);
+            }
+        }
+        for (; j + W <= j1; j += W) {
+            __m128d acc[MR];
+            for (size_t r = 0; r < MR; ++r)
+                acc[r] = _mm_loadu_pd(c + (i + r) * ldc + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double *av = ap + kk * MR;
+                const __m128d b0 = _mm_loadu_pd(b + kk * ldb + j);
+                for (size_t r = 0; r < MR; ++r)
+                    acc[r] = _mm_add_pd(
+                        acc[r], _mm_mul_pd(_mm_set1_pd(av[r]), b0));
+            }
+            for (size_t r = 0; r < MR; ++r)
+                _mm_storeu_pd(c + (i + r) * ldc + j, acc[r]);
+        }
+        if (j < j1)
+            packedColTail(k, ap, b, ldb, c, ldc, i, j, j1);
+    }
+    if (i < i1)
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i, i1, j0, j1);
+}
+
 #endif // TIE_SIMD_X86
 
 #if TIE_SIMD_NEON
@@ -660,6 +1012,168 @@ tileGatheredF64Neon(size_t n, size_t k, const double *a,
     }
 }
 
+/**
+ * Packed NEON microkernels — same register blocking as the x86 ones
+ * (kRowPanel x 2 vectors). The Fast variant fuses via vfmaq_f32.
+ */
+void
+tilePackedF32Neon(size_t k, const float *pa, const float *b,
+                  size_t ldb, float *c, size_t ldc, size_t i0,
+                  size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel, W = 4;
+    size_t i = i0;
+    for (; i + MR <= i1; i += MR) {
+        const float *ap = pa + i * k;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            float32x4_t acc0[MR], acc1[MR];
+            for (size_t r = 0; r < MR; ++r) {
+                acc0[r] = vld1q_f32(c + (i + r) * ldc + j);
+                acc1[r] = vld1q_f32(c + (i + r) * ldc + j + W);
+            }
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const float *bp = b + kk * ldb + j;
+                const float32x4_t b0 = vld1q_f32(bp);
+                const float32x4_t b1 = vld1q_f32(bp + W);
+                for (size_t r = 0; r < MR; ++r) {
+                    const float32x4_t a = vdupq_n_f32(av[r]);
+                    acc0[r] = vaddq_f32(acc0[r], vmulq_f32(a, b0));
+                    acc1[r] = vaddq_f32(acc1[r], vmulq_f32(a, b1));
+                }
+            }
+            for (size_t r = 0; r < MR; ++r) {
+                vst1q_f32(c + (i + r) * ldc + j, acc0[r]);
+                vst1q_f32(c + (i + r) * ldc + j + W, acc1[r]);
+            }
+        }
+        for (; j + W <= j1; j += W) {
+            float32x4_t acc[MR];
+            for (size_t r = 0; r < MR; ++r)
+                acc[r] = vld1q_f32(c + (i + r) * ldc + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const float32x4_t b0 = vld1q_f32(b + kk * ldb + j);
+                for (size_t r = 0; r < MR; ++r)
+                    acc[r] = vaddq_f32(
+                        acc[r], vmulq_f32(vdupq_n_f32(av[r]), b0));
+            }
+            for (size_t r = 0; r < MR; ++r)
+                vst1q_f32(c + (i + r) * ldc + j, acc[r]);
+        }
+        if (j < j1)
+            packedColTail(k, ap, b, ldb, c, ldc, i, j, j1);
+    }
+    if (i < i1)
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i, i1, j0, j1);
+}
+
+void
+tilePackedF32NeonFast(size_t k, const float *pa, const float *b,
+                      size_t ldb, float *c, size_t ldc, size_t i0,
+                      size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel, W = 4;
+    size_t i = i0;
+    for (; i + MR <= i1; i += MR) {
+        const float *ap = pa + i * k;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            float32x4_t acc0[MR], acc1[MR];
+            for (size_t r = 0; r < MR; ++r) {
+                acc0[r] = vld1q_f32(c + (i + r) * ldc + j);
+                acc1[r] = vld1q_f32(c + (i + r) * ldc + j + W);
+            }
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const float *bp = b + kk * ldb + j;
+                const float32x4_t b0 = vld1q_f32(bp);
+                const float32x4_t b1 = vld1q_f32(bp + W);
+                for (size_t r = 0; r < MR; ++r) {
+                    const float32x4_t a = vdupq_n_f32(av[r]);
+                    acc0[r] = vfmaq_f32(acc0[r], a, b0);
+                    acc1[r] = vfmaq_f32(acc1[r], a, b1);
+                }
+            }
+            for (size_t r = 0; r < MR; ++r) {
+                vst1q_f32(c + (i + r) * ldc + j, acc0[r]);
+                vst1q_f32(c + (i + r) * ldc + j + W, acc1[r]);
+            }
+        }
+        for (; j + W <= j1; j += W) {
+            float32x4_t acc[MR];
+            for (size_t r = 0; r < MR; ++r)
+                acc[r] = vld1q_f32(c + (i + r) * ldc + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const float *av = ap + kk * MR;
+                const float32x4_t b0 = vld1q_f32(b + kk * ldb + j);
+                for (size_t r = 0; r < MR; ++r)
+                    acc[r] = vfmaq_f32(acc[r], vdupq_n_f32(av[r]), b0);
+            }
+            for (size_t r = 0; r < MR; ++r)
+                vst1q_f32(c + (i + r) * ldc + j, acc[r]);
+        }
+        if (j < j1)
+            packedColTail(k, ap, b, ldb, c, ldc, i, j, j1);
+    }
+    if (i < i1)
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i, i1, j0, j1);
+}
+
+void
+tilePackedF64Neon(size_t k, const double *pa, const double *b,
+                  size_t ldb, double *c, size_t ldc, size_t i0,
+                  size_t i1, size_t j0, size_t j1)
+{
+    constexpr size_t MR = pack::kRowPanel, W = 2;
+    size_t i = i0;
+    for (; i + MR <= i1; i += MR) {
+        const double *ap = pa + i * k;
+        size_t j = j0;
+        for (; j + 2 * W <= j1; j += 2 * W) {
+            float64x2_t acc0[MR], acc1[MR];
+            for (size_t r = 0; r < MR; ++r) {
+                acc0[r] = vld1q_f64(c + (i + r) * ldc + j);
+                acc1[r] = vld1q_f64(c + (i + r) * ldc + j + W);
+            }
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double *av = ap + kk * MR;
+                const double *bp = b + kk * ldb + j;
+                const float64x2_t b0 = vld1q_f64(bp);
+                const float64x2_t b1 = vld1q_f64(bp + W);
+                for (size_t r = 0; r < MR; ++r) {
+                    const float64x2_t a = vdupq_n_f64(av[r]);
+                    acc0[r] = vaddq_f64(acc0[r], vmulq_f64(a, b0));
+                    acc1[r] = vaddq_f64(acc1[r], vmulq_f64(a, b1));
+                }
+            }
+            for (size_t r = 0; r < MR; ++r) {
+                vst1q_f64(c + (i + r) * ldc + j, acc0[r]);
+                vst1q_f64(c + (i + r) * ldc + j + W, acc1[r]);
+            }
+        }
+        for (; j + W <= j1; j += W) {
+            float64x2_t acc[MR];
+            for (size_t r = 0; r < MR; ++r)
+                acc[r] = vld1q_f64(c + (i + r) * ldc + j);
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double *av = ap + kk * MR;
+                const float64x2_t b0 = vld1q_f64(b + kk * ldb + j);
+                for (size_t r = 0; r < MR; ++r)
+                    acc[r] = vaddq_f64(
+                        acc[r], vmulq_f64(vdupq_n_f64(av[r]), b0));
+            }
+            for (size_t r = 0; r < MR; ++r)
+                vst1q_f64(c + (i + r) * ldc + j, acc[r]);
+        }
+        if (j < j1)
+            packedColTail(k, ap, b, ldb, c, ldc, i, j, j1);
+    }
+    if (i < i1)
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i, i1, j0, j1);
+}
+
 #endif // TIE_SIMD_NEON
 
 } // namespace
@@ -786,6 +1300,80 @@ gemmTileGatheredF64(Isa isa, size_t n, size_t k, const double *a,
         break;
     }
     TIE_PANIC("gemmTileGatheredF64 dispatched to ", isaName(isa),
+              ", which this build cannot execute");
+}
+
+void
+gemmPackedF32(Isa isa, bool fast, size_t k, const float *pa,
+              const float *b, size_t ldb, float *c, size_t ldc,
+              size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        // The fast path's scalar fallback is the exact chain: there is
+        // no scalar FMA to permit, so fast == exact here.
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i0, i1, j0, j1);
+        return;
+#if TIE_SIMD_X86
+      case Isa::Avx2:
+        // AVX2 does not strictly imply FMA3 (e.g. VIA Nano); guard the
+        // fused kernel on the actual feature and fall back to exact.
+        if (fast && __builtin_cpu_supports("fma"))
+            tilePackedF32Avx2Fma(k, pa, b, ldb, c, ldc, i0, i1, j0,
+                                 j1);
+        else
+            tilePackedF32Avx2(k, pa, b, ldb, c, ldc, i0, i1, j0, j1);
+        return;
+      case Isa::Sse42:
+        // No FMA at the SSE4.2 feature level: fast == exact.
+        tilePackedF32Sse(k, pa, b, ldb, c, ldc, i0, i1, j0, j1);
+        return;
+#endif
+#if TIE_SIMD_NEON
+      case Isa::Neon:
+        if (fast)
+            tilePackedF32NeonFast(k, pa, b, ldb, c, ldc, i0, i1, j0,
+                                  j1);
+        else
+            tilePackedF32Neon(k, pa, b, ldb, c, ldc, i0, i1, j0, j1);
+        return;
+#endif
+      default:
+        break;
+    }
+    TIE_PANIC("gemmPackedF32 dispatched to ", isaName(isa),
+              ", which this build cannot execute");
+}
+
+void
+gemmPackedF64(Isa isa, bool fast, size_t k, const double *pa,
+              const double *b, size_t ldb, double *c, size_t ldc,
+              size_t i0, size_t i1, size_t j0, size_t j1)
+{
+    // f64 is bit-exact under every FastMode (the accuracy contract
+    // covers f32 only), so the flag is accepted and ignored.
+    (void)fast;
+    switch (isa) {
+      case Isa::Scalar:
+        tilePackedScalar(k, pa, b, ldb, c, ldc, i0, i1, j0, j1);
+        return;
+#if TIE_SIMD_X86
+      case Isa::Avx2:
+        tilePackedF64Avx2(k, pa, b, ldb, c, ldc, i0, i1, j0, j1);
+        return;
+      case Isa::Sse42:
+        tilePackedF64Sse(k, pa, b, ldb, c, ldc, i0, i1, j0, j1);
+        return;
+#endif
+#if TIE_SIMD_NEON
+      case Isa::Neon:
+        tilePackedF64Neon(k, pa, b, ldb, c, ldc, i0, i1, j0, j1);
+        return;
+#endif
+      default:
+        break;
+    }
+    TIE_PANIC("gemmPackedF64 dispatched to ", isaName(isa),
               ", which this build cannot execute");
 }
 

@@ -79,6 +79,38 @@ size_t doubleLanes(Isa isa);
 size_t fxpLanes(Isa isa);
 
 /**
+ * Float fast-arithmetic policy, mirroring FuseMode (tt/infer_session).
+ * The default keeps the determinism contract above: separate multiply
+ * and add, bit-identical to scalar on every ISA. TIE_FAST=1 permits
+ * FMA and fused multiply-accumulate chains in the *float32* packed
+ * microkernels only — f64 and the fixed-point MAC chain stay bit-exact
+ * regardless. The accuracy contract of the fast path (a per-element
+ * rounding bound, asserted in tests/test_simd.cc) is documented in
+ * docs/performance.md.
+ */
+enum class FastMode
+{
+    Env, ///< resolve from TIE_FAST ("0"/unset = Off, "1" = On);
+         ///< a malformed value is a fatal error.
+    Off, ///< bit-exact default (separate mul + add everywhere)
+    On,  ///< allow FMA in f32 packed kernels (documented error bound)
+};
+
+/**
+ * Pure resolver for a TIE_FAST value: unset/empty/"0" is Off, "1" is
+ * On, anything else is a fatal user error (matching the TIE_SIMD /
+ * TIE_THREADS strictness). Exposed separately so tests cover the
+ * parsing without forking per value.
+ */
+FastMode resolveFastMode(const char *env_value);
+
+/**
+ * Resolve Env against the TIE_FAST environment variable; Off/On pass
+ * through untouched.
+ */
+FastMode resolveFastMode(FastMode requested);
+
+/**
  * C[i0:i1, j0:j1) += A[i0:i1, :] * B[:, j0:j1) with A (m x k), B
  * (k x n), C (m x n) row-major — the inner tile of gemm::gemmBlocked.
  * Remainder columns (j1 - j0 not a lane multiple) run the scalar tail
@@ -110,6 +142,37 @@ void gemmTileGatheredF64(Isa isa, size_t n, size_t k, const double *a,
                          const double *v, const size_t *offset,
                          size_t cols_out, size_t block_stride, double *c,
                          size_t i0, size_t i1, size_t j0, size_t j1);
+
+/**
+ * Register-blocked microkernel over a packed A operand (linalg/pack.hh
+ * layout: pack::kRowPanel-row panels, column-major within the panel):
+ *
+ *   C[i0:i1, j0:j1) += packedA * B
+ *
+ * where B is row-major with leading dimension @p ldb and C row-major
+ * with leading dimension @p ldc, both indexed by the same absolute
+ * column j (B element (kk, j) is b[kk * ldb + j]). @p i0 must be a
+ * multiple of pack::kRowPanel; @p i1 may end mid-panel (the packed
+ * rows past it run the scalar chain, and the zero-padded panel tail
+ * is never written).
+ *
+ * The kernel holds a pack::kRowPanel x (2 vectors) accumulator block
+ * in registers, so B is streamed kRowPanel times less often than by
+ * gemmTileF32 — the packing win. Each output element still runs its
+ * full ascending-k chain with separate multiply and add, so with
+ * @p fast false results are bit-identical to gemmTileF32/F64 and the
+ * scalar reference for every ISA and every panel split.
+ *
+ * @p fast true permits FMA in the f32 kernels on ISAs that have it
+ * (AVX2+FMA, NEON); the f64 kernels ignore it. See FastMode for the
+ * accuracy contract.
+ */
+void gemmPackedF32(Isa isa, bool fast, size_t k, const float *pa,
+                   const float *b, size_t ldb, float *c, size_t ldc,
+                   size_t i0, size_t i1, size_t j0, size_t j1);
+void gemmPackedF64(Isa isa, bool fast, size_t k, const double *pa,
+                   const double *b, size_t ldb, double *c, size_t ldc,
+                   size_t i0, size_t i1, size_t j0, size_t j1);
 
 } // namespace simd
 } // namespace tie

@@ -257,9 +257,41 @@ InferSessionT<T>::InferSessionT(const TtLayerConfig &cfg,
 template <typename T>
 InferSessionT<T>::InferSessionT(TtLayerView<T> layer, SessionOptions opts)
     : plan_(layer.cfg), cores_(std::move(layer.cores)), opts_(opts),
-      mode_(resolveFuseMode(opts.fuse))
+      mode_(resolveFuseMode(opts.fuse)),
+      fast_(simd::resolveFastMode(opts.fast) == simd::FastMode::On)
 {
-    checkCoreViews(plan_.config(), cores_);
+    const TtLayerConfig &cfg = plan_.config();
+    checkCoreViews(cfg, cores_);
+    packCores();
+    // Gathered-B panel scratch: one kColBlock-wide panel of the widest
+    // fusable stage operand (stage h < d reads k = coreCols(h) rows).
+    size_t max_k = 0;
+    for (size_t h = 1; h + 1 <= cfg.d(); ++h)
+        max_k = std::max(max_k, cfg.coreCols(h));
+    bscratch_.resize(max_k * gemm::kColBlock);
+}
+
+/**
+ * (Re)pack every stage core into microkernel panels. Called at
+ * construction and again per run for Matrix-bound sessions, whose
+ * weight bytes may change between runs; the packed buffers are
+ * grow-only and core shapes are fixed, so repacks never allocate.
+ */
+template <typename T>
+void
+InferSessionT<T>::packCores()
+{
+    packed_.resize(cores_.size());
+    size_t panels = 0, bytes = 0;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+        const CoreView<T> &g = cores_[i];
+        const size_t elems = pack::packedAElems(g.rows, g.cols);
+        packed_[i].resize(elems);
+        pack::packA(g.rows, g.cols, g.data, packed_[i].data());
+        panels += (g.rows + pack::kRowPanel - 1) / pack::kRowPanel;
+        bytes += elems * sizeof(T);
+    }
+    pack::addPackStats(panels, bytes);
 }
 
 template <typename T>
@@ -300,6 +332,10 @@ InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
             cores_[i] = {g.data(), g.rows(), g.cols()};
         }
         checkCoreViews(cfg, cores_);
+        // The packed panels mirror the weight bytes, so they go stale
+        // with the views; repacking costs one pass over the cores
+        // (sum of m_h * k_h elements — noise next to the GEMMs).
+        packCores();
     }
     ensureBatch(batch);
     if (obs::enabled())
@@ -376,9 +412,12 @@ InferSessionT<T>::runRaw(const T *x, size_t batch, T *ydirect,
             gb.cols_out = spec.cols_out;
             gb.block_stride = spec.cols_in;
             gb.batch = batch;
-            gemm::gemmGatheredBlocked(m, k, g.data, op, gb, out);
+            gemm::gemmPackedGatheredBlocked(m, k, packed_[h - 1].data(),
+                                            op, gb, out,
+                                            bscratch_.data(), fast_);
         } else {
-            gemm::gemmBlocked(m, ncols, k, g.data, op, out);
+            gemm::gemmPackedBlocked(m, ncols, k, packed_[h - 1].data(),
+                                    op, out, fast_);
         }
 
         const size_t sm = m * k * ncols;

@@ -34,6 +34,8 @@
 
 #include <vector>
 
+#include "linalg/pack.hh"
+#include "linalg/simd.hh"
 #include "tt/tt_infer.hh"
 
 namespace tie {
@@ -85,6 +87,14 @@ struct SessionOptions
      * backward pass needs the operands). Every mode is bit-identical.
      */
     FuseMode fuse = FuseMode::Env;
+
+    /**
+     * Float fast-arithmetic policy; the default defers to TIE_FAST
+     * and falls back to Off. On permits FMA in the float32 stage
+     * GEMMs only (documented error bound, linalg/simd.hh); the f64
+     * and fxp paths stay bit-exact under every setting.
+     */
+    simd::FastMode fast = simd::FastMode::Env;
 };
 
 /**
@@ -200,8 +210,23 @@ class InferSessionT
     /** Current arena footprint in bytes (both ping-pong halves). */
     size_t arenaBytes() const { return arena_.size() * sizeof(T); }
 
+    /**
+     * Bytes held in packed operand panels: every stage core packed at
+     * warm-up plus the gathered-B panel scratch. Separate from
+     * arenaBytes(), which models the paper's dual working SRAMs.
+     */
+    size_t
+    packedBytes() const
+    {
+        size_t b = bscratch_.size() * sizeof(T);
+        for (const pack::AlignedBuf<T> &p : packed_)
+            b += p.size() * sizeof(T);
+        return b;
+    }
+
   private:
     void ensureBatch(size_t batch);
+    void packCores();
     void runRaw(const T *x, size_t batch, T *ydirect, T *yflat,
                 std::vector<Matrix<T>> *capture, InferStats *stats);
 
@@ -218,6 +243,18 @@ class InferSessionT
     std::vector<const Matrix<T> *> bound_;
     SessionOptions opts_;
     FuseMode mode_ = FuseMode::Auto; ///< opts_.fuse resolved (never Env)
+    bool fast_ = false; ///< opts_.fast resolved (f32 FMA permitted)
+
+    /**
+     * Per-stage weight cores packed into microkernel panels
+     * (linalg/pack.hh), index h-1 — filled at construction and, for
+     * Matrix-bound sessions, refreshed from the re-bound views every
+     * run (the owners may update weights in place between runs). The
+     * buffers are grow-only, so steady-state repacks never allocate.
+     */
+    std::vector<pack::AlignedBuf<T>> packed_;
+    /** Gathered-B panel scratch for gemm::gemmPackedGatheredBlocked. */
+    pack::AlignedBuf<T> bscratch_;
 
     bool has_batch_ = false;
     size_t batch_ = 0;

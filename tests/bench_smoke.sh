@@ -24,7 +24,7 @@ trap 'rm -rf "$DIR"' EXIT
 
 if [ "$1" = "--micro" ]; then
     BIN="$2"
-    (cd "$DIR" && "$BIN" --benchmark_filter='BM_TtInfer|_Isa' \
+    (cd "$DIR" && "$BIN" --benchmark_filter='BM_TtInfer|_Isa|_Packed' \
                          --benchmark_min_time=0.01 >/dev/null 2>&1)
     python3 -m json.tool "$DIR/BENCH_micro.json" >/dev/null
     python3 - "$DIR/BENCH_micro.json" <<'EOF'
@@ -36,6 +36,8 @@ for want in ("BM_TtInfer_PerCall/1", "BM_TtInfer_Session/1",
              "BM_TtInferFxp_PerCall/1", "BM_TtInferFxp_Session/1",
              # the per-ISA SIMD sweeps always include the scalar path
              "BM_GemmF32_Isa/scalar", "BM_GemmGatheredF32_Isa/scalar",
+             "BM_GemmF32_Packed/scalar", "BM_GemmF32_PackedFast/scalar",
+             "BM_GemmGatheredF32_Packed/scalar",
              "BM_FxpMatmul_Isa/scalar"):
     assert want in names, f"missing {want}: {sorted(names)}"
 EOF

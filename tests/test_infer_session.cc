@@ -528,6 +528,130 @@ TEST(FuseModeFatal, MalformedEnvValueDies)
                 ::testing::ExitedWithCode(1), "TIE_FUSE");
 }
 
+/** Saves and restores TIE_FAST around a test. */
+struct FastEnvGuard
+{
+    std::string saved;
+    bool was_set = false;
+
+    FastEnvGuard()
+    {
+        const char *v = std::getenv("TIE_FAST");
+        if (v != nullptr) {
+            was_set = true;
+            saved = v;
+        }
+    }
+
+    ~FastEnvGuard()
+    {
+        if (was_set)
+            setenv("TIE_FAST", saved.c_str(), 1);
+        else
+            unsetenv("TIE_FAST");
+    }
+};
+
+TEST(FastMode, F64SessionsAreBitExactRegardless)
+{
+    // The fast path exists for f32 only: a double session must produce
+    // identical bits with fast off, on, and resolved from TIE_FAST=1.
+    FastEnvGuard guard;
+    unsetenv("TIE_FAST");
+    Rng rng(31);
+    const TtLayerConfig cfg = testConfigs()[1];
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    InferSessionD exact = makeSession(tt);
+    SessionOptions on;
+    on.fast = simd::FastMode::On;
+    InferSessionD fast = makeSession(tt, on);
+    setenv("TIE_FAST", "1", 1);
+    InferSessionD env = makeSession(tt); // default: FastMode::Env
+    unsetenv("TIE_FAST");
+    for (size_t batch : {size_t(1), size_t(64)}) {
+        MatrixD x(cfg.inSize(), batch);
+        x.setUniform(rng);
+        MatrixD ye, yf, yv;
+        exact.runInto(x, ye);
+        fast.runInto(x, yf);
+        env.runInto(x, yv);
+        EXPECT_TRUE(yf == ye) << "explicit On, batch " << batch;
+        EXPECT_TRUE(yv == ye) << "TIE_FAST=1, batch " << batch;
+    }
+}
+
+TEST(FastMode, F32SessionFastStaysWithinAccuracyContract)
+{
+    // An f32 session with TIE_FAST on may differ from the exact chain,
+    // but only within the documented per-element rounding bound —
+    // checked here as a relative error far tighter than any consumer
+    // of half-precision-ish activations could observe.
+    FastEnvGuard guard;
+    unsetenv("TIE_FAST");
+    Rng rng(37);
+    const TtLayerConfig cfg = testConfigs()[2]; // d = 4
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+    std::vector<MatrixF> fcores;
+    fcores.reserve(cfg.d());
+    for (size_t h = 1; h <= cfg.d(); ++h) {
+        const MatrixD &u = tt.core(h).unfolded();
+        MatrixF f(u.rows(), u.cols());
+        for (size_t i = 0; i < u.rows(); ++i)
+            for (size_t j = 0; j < u.cols(); ++j)
+                f.at(i, j) = static_cast<float>(u.at(i, j));
+        fcores.push_back(std::move(f));
+    }
+    std::vector<const MatrixF *> ptrs;
+    for (const MatrixF &f : fcores)
+        ptrs.push_back(&f);
+    InferSessionF exact(cfg, ptrs);
+    SessionOptions on;
+    on.fast = simd::FastMode::On;
+    InferSessionF fast(cfg, ptrs, on);
+
+    for (size_t batch : {size_t(1), size_t(64)}) {
+        MatrixF x(cfg.inSize(), batch);
+        x.setUniform(rng);
+        MatrixF ye, yf;
+        exact.runInto(x, ye);
+        fast.runInto(x, yf);
+        for (size_t i = 0; i < ye.rows(); ++i) {
+            for (size_t j = 0; j < ye.cols(); ++j) {
+                const double e = ye.at(i, j), f = yf.at(i, j);
+                EXPECT_LE(std::fabs(f - e),
+                          1e-4 * (std::fabs(e) + 1.0))
+                    << i << "," << j << " batch " << batch;
+            }
+        }
+    }
+}
+
+TEST(InferSession, PackingCountersAndFootprintTrackWarmup)
+{
+    Rng rng(41);
+    const TtLayerConfig cfg = testConfigs()[1]; // d = 3
+    TtMatrix tt = TtMatrix::random(cfg, rng);
+
+    obs::StatRegistry &reg = obs::StatRegistry::instance();
+    obs::setEnabled(true);
+    reg.resetAll();
+    InferSessionD session = makeSession(tt); // packs d cores
+    const uint64_t after_build = reg.counter("gemm.packed_panels").value();
+    EXPECT_GE(after_build, cfg.d());
+    EXPECT_GT(reg.counter("gemm.pack_bytes").value(), 0u);
+
+    // Matrix-bound sessions repack on every run (weights may have been
+    // updated in place), so the counter keeps moving.
+    MatrixD x(cfg.inSize(), 3), y;
+    x.setUniform(rng);
+    session.runInto(x, y);
+    EXPECT_GT(reg.counter("gemm.packed_panels").value(), after_build);
+    obs::setEnabled(false);
+    reg.resetAll();
+
+    EXPECT_GT(session.packedBytes(), 0u);
+}
+
 TEST(InferSessionFatal, InputRowsMismatchDies)
 {
     Rng rng(1);

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "common/random.hh"
 #include "linalg/gemm.hh"
+#include "linalg/pack.hh"
 #include "linalg/simd.hh"
 #include "quant/fxp.hh"
 #include "quant/fxp_simd.hh"
@@ -87,6 +90,37 @@ TEST(SimdResolve, ActiveIsaIsSupportedAndStable)
     EXPECT_TRUE(simd::isaSupported(isa));
     EXPECT_EQ(simd::activeIsa(), isa);
     EXPECT_EQ(gemm::simdWidth(), simd::floatLanes(isa));
+}
+
+TEST(SimdResolve, FastModeResolves)
+{
+    using simd::FastMode;
+    EXPECT_EQ(simd::resolveFastMode(nullptr), FastMode::Off);
+    EXPECT_EQ(simd::resolveFastMode(""), FastMode::Off);
+    EXPECT_EQ(simd::resolveFastMode("0"), FastMode::Off);
+    EXPECT_EQ(simd::resolveFastMode("1"), FastMode::On);
+    // Explicit requests pass through the env-resolving overload
+    // untouched, whatever TIE_FAST says.
+    EXPECT_EQ(simd::resolveFastMode(FastMode::Off), FastMode::Off);
+    EXPECT_EQ(simd::resolveFastMode(FastMode::On), FastMode::On);
+}
+
+TEST(SimdResolve, FastModeMalformedIsFatal)
+{
+    EXPECT_EXIT(simd::resolveFastMode("2"),
+                ::testing::ExitedWithCode(1), "must be 0 or 1");
+    EXPECT_EXIT(simd::resolveFastMode("on"),
+                ::testing::ExitedWithCode(1), "must be 0 or 1");
+    EXPECT_EXIT(simd::resolveFastMode("true"),
+                ::testing::ExitedWithCode(1), "must be 0 or 1");
+    // The Env path applies the same strictness to the live variable
+    // (set inside the death-test child only).
+    EXPECT_EXIT(
+        {
+            setenv("TIE_FAST", "bogus", 1);
+            simd::resolveFastMode(simd::FastMode::Env);
+        },
+        ::testing::ExitedWithCode(1), "must be 0 or 1");
 }
 
 TEST(SimdResolve, MaskAndLanesAreConsistent)
@@ -245,6 +279,237 @@ TEST(SimdGemm, GatheredMatchesMaterializedOnEveryIsa)
                                   c.data(), 0, m, 0, n);
         EXPECT_EQ(std::memcmp(c.data(), refd.data(),
                               c.size() * sizeof(double)),
+                  0)
+            << simd::isaName(isa);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed-panel microkernel: the default path must be bit-identical to
+// the unpacked kernels and the scalar reference (packed == unpacked ==
+// scalar) for every ISA, shape, panel split and batch; TIE_FAST only
+// bends f32 within the documented bound.
+// ---------------------------------------------------------------------
+
+template <typename T>
+void
+packedGemm(Isa isa, bool fast, size_t k, const T *pa, const T *b,
+           size_t ldb, T *c, size_t ldc, size_t i0, size_t i1,
+           size_t j0, size_t j1)
+{
+    if constexpr (std::is_same_v<T, float>)
+        simd::gemmPackedF32(isa, fast, k, pa, b, ldb, c, ldc, i0, i1,
+                            j0, j1);
+    else
+        simd::gemmPackedF64(isa, fast, k, pa, b, ldb, c, ldc, i0, i1,
+                            j0, j1);
+}
+
+template <typename T>
+void
+checkPackedBitIdentity()
+{
+    Rng rng(0x9acc);
+    for (const Shape &s : kShapes) {
+        const auto a = randomBuf<T>(s.m * s.k, rng);
+        const auto b = randomBuf<T>(s.k * s.n, rng);
+        std::vector<T> ref(s.m * s.n, T(0));
+        if constexpr (std::is_same_v<T, float>)
+            simd::gemmTileF32(Isa::Scalar, s.n, s.k, a.data(), b.data(),
+                              ref.data(), 0, s.m, 0, s.n);
+        else
+            simd::gemmTileF64(Isa::Scalar, s.n, s.k, a.data(), b.data(),
+                              ref.data(), 0, s.m, 0, s.n);
+        std::vector<T> pa(pack::packedAElems(s.m, s.k));
+        pack::packA(s.m, s.k, a.data(), pa.data());
+        for (Isa isa : supportedIsas()) {
+            std::vector<T> c(s.m * s.n, T(0));
+            packedGemm<T>(isa, false, s.k, pa.data(), b.data(), s.n,
+                          c.data(), s.n, 0, s.m, 0, s.n);
+            EXPECT_EQ(std::memcmp(c.data(), ref.data(),
+                                  c.size() * sizeof(T)),
+                      0)
+                << simd::isaName(isa) << " " << s.m << "x" << s.k << "x"
+                << s.n;
+        }
+    }
+}
+
+TEST(SimdPacked, F32BitIdenticalToScalarOnEveryIsa)
+{
+    checkPackedBitIdentity<float>();
+}
+
+TEST(SimdPacked, F64BitIdenticalToScalarOnEveryIsa)
+{
+    checkPackedBitIdentity<double>();
+}
+
+TEST(SimdPacked, UnalignedWindowsAndPanelSplitsMatchScalar)
+{
+    // Panel-aligned i0 with i1 ending mid-panel, plus column windows
+    // off every lane boundary; nothing outside the window may move.
+    Rng rng(0x9acd);
+    const size_t m = 11, k = 13, n = 37; // 2 full panels + 3-row tail
+    const auto a = randomBuf<float>(m * k, rng);
+    const auto b = randomBuf<float>(k * n, rng);
+    std::vector<float> pa(pack::packedAElems(m, k));
+    pack::packA(m, k, a.data(), pa.data());
+    for (size_t i0 : {size_t(0), size_t(4), size_t(8)}) {
+        for (size_t i1 : {i0 + 1, i0 + 3, m}) {
+            for (size_t j0 : {size_t(0), size_t(1), size_t(13)}) {
+                const size_t j1 = n - 2;
+                std::vector<float> ref(m * n, -7.0f), c(m * n, -7.0f);
+                simd::gemmTileF32(Isa::Scalar, n, k, a.data(), b.data(),
+                                  ref.data(), i0, i1, j0, j1);
+                for (Isa isa : supportedIsas()) {
+                    std::fill(c.begin(), c.end(), -7.0f);
+                    packedGemm<float>(isa, false, k, pa.data(), b.data(),
+                                      n, c.data(), n, i0, i1, j0, j1);
+                    EXPECT_EQ(std::memcmp(c.data(), ref.data(),
+                                          c.size() * sizeof(float)),
+                              0)
+                        << simd::isaName(isa) << " i0=" << i0
+                        << " i1=" << i1 << " j0=" << j0;
+                }
+            }
+        }
+    }
+}
+
+template <typename T>
+void
+checkPackedBlockedMatchesUnpacked(size_t m, size_t n, size_t k)
+{
+    Rng rng(0x9ace + m + n + k);
+    const auto a = randomBuf<T>(m * k, rng);
+    const auto b = randomBuf<T>(k * n, rng);
+    std::vector<T> ref(m * n, T(0)), c(m * n, T(0));
+    gemm::gemmBlocked(m, n, k, a.data(), b.data(), ref.data());
+    std::vector<T> pa(pack::packedAElems(m, k));
+    pack::packA(m, k, a.data(), pa.data());
+    gemm::gemmPackedBlocked(m, n, k, pa.data(), b.data(), c.data(),
+                            false);
+    EXPECT_EQ(std::memcmp(c.data(), ref.data(), c.size() * sizeof(T)),
+              0)
+        << m << "x" << k << "x" << n;
+}
+
+TEST(SimdPacked, BlockedWrapperMatchesUnpacked)
+{
+    // Below and above the kParallelMinWork threshold, row- and
+    // column-dominant splits.
+    checkPackedBlockedMatchesUnpacked<float>(5, 9, 7);
+    checkPackedBlockedMatchesUnpacked<float>(64, 96, 64);
+    checkPackedBlockedMatchesUnpacked<float>(17, 1031, 33);
+    checkPackedBlockedMatchesUnpacked<double>(5, 9, 7);
+    checkPackedBlockedMatchesUnpacked<double>(64, 96, 64);
+}
+
+template <typename T>
+void
+checkPackedGatheredMatchesGathered(size_t batch)
+{
+    Rng rng(0x9acf + batch);
+    const size_t m = 6, k = 12, cols_out = 21;
+    const size_t n = cols_out * batch;
+    const auto a = randomBuf<T>(m * k, rng);
+    const auto v = randomBuf<T>(k * n, rng);
+    std::vector<size_t> offset(k * cols_out);
+    for (auto &o : offset)
+        o = static_cast<size_t>(rng.intIn(0, k * cols_out - 1));
+    gemm::GatherB g;
+    g.offset = offset.data();
+    g.cols_out = cols_out;
+    g.block_stride = k * cols_out;
+    g.batch = batch;
+
+    std::vector<T> ref(m * n, T(0)), c(m * n, T(0));
+    gemm::gemmGatheredBlocked(m, k, a.data(), v.data(), g, ref.data());
+    std::vector<T> pa(pack::packedAElems(m, k));
+    pack::packA(m, k, a.data(), pa.data());
+    std::vector<T> bscratch(k * std::min(n, gemm::kColBlock));
+    gemm::gemmPackedGatheredBlocked(m, k, pa.data(), v.data(), g,
+                                    c.data(), bscratch.data(), false);
+    EXPECT_EQ(std::memcmp(c.data(), ref.data(), c.size() * sizeof(T)),
+              0)
+        << "batch=" << batch;
+}
+
+TEST(SimdPacked, GatheredMatchesUnpackedGatheredForEveryBatch)
+{
+    // batch = 64 pushes n past kColBlock, exercising the serial panel
+    // loop and the scratch reuse across panels.
+    for (size_t batch : {size_t(1), size_t(7), size_t(64)}) {
+        checkPackedGatheredMatchesGathered<float>(batch);
+        checkPackedGatheredMatchesGathered<double>(batch);
+    }
+}
+
+TEST(SimdPacked, FastModeF32WithinDocumentedBound)
+{
+    // TIE_FAST accuracy contract (docs/performance.md): per output
+    // element, |fast - exact| is bounded by the classic dot-product
+    // error gamma_k * sum(|a| |b|) with gamma_k = k*eps / (1 - k*eps),
+    // eps = 2^-24, times a small safety factor. Checked against an
+    // f64 reference so the bound covers both the exact and the fused
+    // chain.
+    Rng rng(0xfa57);
+    const size_t m = 8, k = 512, n = 64;
+    const auto a = randomBuf<float>(m * k, rng);
+    const auto b = randomBuf<float>(k * n, rng);
+    std::vector<double> refd(m * n, 0.0), absd(m * n, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double acc = 0.0, mag = 0.0;
+            for (size_t kk = 0; kk < k; ++kk) {
+                const double p = double(a[i * k + kk]) *
+                                 double(b[kk * n + j]);
+                acc += p;
+                mag += std::fabs(p);
+            }
+            refd[i * n + j] = acc;
+            absd[i * n + j] = mag;
+        }
+    }
+    const double eps = std::ldexp(1.0, -24);
+    const double gamma = k * eps / (1.0 - k * eps);
+    std::vector<float> pa(pack::packedAElems(m, k));
+    pack::packA(m, k, a.data(), pa.data());
+    for (Isa isa : supportedIsas()) {
+        for (bool fast : {false, true}) {
+            std::vector<float> c(m * n, 0.0f);
+            simd::gemmPackedF32(isa, fast, k, pa.data(), b.data(), n,
+                                c.data(), n, 0, m, 0, n);
+            for (size_t e = 0; e < m * n; ++e) {
+                const double bound = 4.0 * gamma * absd[e] +
+                                     std::fabs(refd[e]) * 4.0 * eps;
+                EXPECT_LE(std::fabs(double(c[e]) - refd[e]), bound)
+                    << simd::isaName(isa) << " fast=" << fast
+                    << " elem " << e;
+            }
+        }
+    }
+}
+
+TEST(SimdPacked, FastModeNeverChangesF64)
+{
+    // f64 has no fast path: fast=true must be bit-identical to
+    // fast=false on every ISA.
+    Rng rng(0xfa58);
+    const size_t m = 7, k = 33, n = 19;
+    const auto a = randomBuf<double>(m * k, rng);
+    const auto b = randomBuf<double>(k * n, rng);
+    std::vector<double> pa(pack::packedAElems(m, k));
+    pack::packA(m, k, a.data(), pa.data());
+    for (Isa isa : supportedIsas()) {
+        std::vector<double> exact(m * n, 0.0), fast(m * n, 0.0);
+        simd::gemmPackedF64(isa, false, k, pa.data(), b.data(), n,
+                            exact.data(), n, 0, m, 0, n);
+        simd::gemmPackedF64(isa, true, k, pa.data(), b.data(), n,
+                            fast.data(), n, 0, m, 0, n);
+        EXPECT_EQ(std::memcmp(exact.data(), fast.data(),
+                              exact.size() * sizeof(double)),
                   0)
             << simd::isaName(isa);
     }

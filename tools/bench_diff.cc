@@ -168,11 +168,14 @@ usage()
     std::cerr
         << "usage: bench_diff <baseline.json> <current.json>\n"
            "                  [--threshold=PCT] [--floor=ABS]\n"
-           "                  [--all]\n\n"
+           "                  [--match=SUBSTR] [--all]\n\n"
            "Diffs two BENCH_*.json reports (google-benchmark or obs\n"
            "session schema). Exits 2 when any gated metric worsened\n"
            "by more than PCT percent (default 10) with an absolute\n"
            "change above ABS in the metric's unit (default 0).\n"
+           "--match compares only metrics whose name contains SUBSTR\n"
+           "(for per-family thresholds: run once broadly, again with\n"
+           "a tighter threshold on one family).\n"
            "--all prints every metric, not just changed/gated ones.\n";
     return 1;
 }
@@ -185,6 +188,7 @@ main(int argc, char **argv)
     std::vector<std::string> paths;
     double threshold = 10.0;
     double floor_abs = 0.0;
+    std::string match;
     bool show_all = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -193,6 +197,8 @@ main(int argc, char **argv)
             threshold = std::atof(a + 12);
         else if (std::strncmp(a, "--floor=", 8) == 0)
             floor_abs = std::atof(a + 8);
+        else if (std::strncmp(a, "--match=", 8) == 0)
+            match = a + 8;
         else if (std::strcmp(a, "--all") == 0)
             show_all = true;
         else if (std::strncmp(a, "--", 2) == 0)
@@ -206,6 +212,21 @@ main(int argc, char **argv)
     MetricMap base, cur;
     if (!loadMetrics(paths[0], base) || !loadMetrics(paths[1], cur))
         return 1;
+    if (!match.empty()) {
+        auto filter = [&](MetricMap &m) {
+            for (auto it = m.begin(); it != m.end();)
+                it = it->first.find(match) == std::string::npos
+                         ? m.erase(it)
+                         : std::next(it);
+        };
+        filter(base);
+        filter(cur);
+        if (cur.empty()) {
+            std::cerr << "bench_diff: --match=" << match
+                      << " selects no metric in " << paths[1] << "\n";
+            return 1;
+        }
+    }
 
     TextTable t("bench_diff: " + paths[0] + " -> " + paths[1]);
     t.header({"metric", "baseline", "current", "delta %", "verdict"});
